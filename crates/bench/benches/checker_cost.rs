@@ -1,0 +1,69 @@
+//! Ablation: the cost of checking IVL.
+//!
+//! DESIGN.md §6 argues the monotone interval checker is the piece that
+//! makes IVL *practically* checkable on recorded executions. This
+//! bench quantifies it: the exact search on small histories vs the
+//! linear-time interval check on histories three orders of magnitude
+//! larger.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivl_spec::gen::{random_linearizable_history, GenConfig};
+use ivl_spec::ivl::{check_ivl_exact, check_ivl_monotone};
+use ivl_spec::specs::BatchedCounterSpec;
+use rand::Rng;
+use std::time::Duration;
+
+fn history(processes: u32, ops: u32, seed: u64) -> ivl_spec::History<u64, (), u64> {
+    random_linearizable_history(
+        &BatchedCounterSpec,
+        &GenConfig {
+            processes,
+            ops_per_process: ops,
+            seed,
+            ..GenConfig::default()
+        },
+        |r| r.gen_range(1..=5u64),
+        |_| (),
+    )
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ivl_check_exact");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (procs, ops) in [(2u32, 3u32), (3, 3), (4, 3)] {
+        let h = history(procs, ops, 42);
+        let total_ops = (procs * ops) as u64;
+        group.throughput(Throughput::Elements(total_ops));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}x{ops}")),
+            &h,
+            |b, h| b.iter(|| check_ivl_exact(&[BatchedCounterSpec], h)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_monotone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ivl_check_monotone");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (procs, ops) in [(4u32, 3u32), (8, 100), (8, 1_000), (8, 5_000)] {
+        let h = history(procs, ops, 42);
+        let total_ops = (procs * ops) as u64;
+        group.throughput(Throughput::Elements(total_ops));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}x{ops}")),
+            &h,
+            |b, h| b.iter(|| check_ivl_monotone(&BatchedCounterSpec, h)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_monotone);
+criterion_main!(benches);

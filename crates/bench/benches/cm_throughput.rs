@@ -1,0 +1,206 @@
+//! E9: wall-clock cost of concurrent CountMin implementations (paper
+//! §5).
+//!
+//! Expected shape: `PCM` scales with ingest threads (per-cell atomic
+//! increments, no global synchronization); the mutex CM is flat; the
+//! snapshot CM ingests fast but queries stall the world (visible in
+//! the mixed workload); the delegation sketch is fastest on ingest at
+//! the price of staleness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivl_bench::{sketch_mixed_batch, sketch_update_batch};
+use ivl_concurrent::{DelegatedCountMin, MutexCountMin, Pcm, ShardedPcm, SnapshotCountMin};
+use ivl_sketch::countmin::CountMinParams;
+use ivl_sketch::CoinFlips;
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 20_000;
+const ALPHABET: usize = 10_000;
+
+fn params() -> CountMinParams {
+    // α ≈ 0.1%, δ ≈ 1%: the dimensions a production deployment uses.
+    CountMinParams::for_bounds(0.001, 0.01)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    let mut group = c.benchmark_group("cm_ingest");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for threads in [1usize, 2, 4, max_threads]
+        .iter()
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        group.throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+        group.bench_with_input(BenchmarkId::new("pcm", threads), &threads, |b, &threads| {
+            let sketch = Pcm::new(params(), &mut CoinFlips::from_seed(1));
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for k in 0..iters {
+                    total += sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                }
+                total
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mutex", threads),
+            &threads,
+            |b, &threads| {
+                let sketch = MutexCountMin::new(params(), &mut CoinFlips::from_seed(1));
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for k in 0..iters {
+                        total +=
+                            sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", threads),
+            &threads,
+            |b, &threads| {
+                let sketch = SnapshotCountMin::new(params(), &mut CoinFlips::from_seed(1));
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for k in 0..iters {
+                        total +=
+                            sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("delegation", threads),
+            &threads,
+            |b, &threads| {
+                let sketch =
+                    DelegatedCountMin::new(params(), 128, &mut CoinFlips::from_seed(1));
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for k in 0..iters {
+                        total +=
+                            sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for k in 0..iters {
+                        // Sharded handles are single-use per shard;
+                        // build a fresh sketch per batch (cheap vs the
+                        // 20k-updates batch it times).
+                        let sketch =
+                            ShardedPcm::new(params(), threads, &mut CoinFlips::from_seed(1));
+                        total +=
+                            sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cm_mixed_ingest_plus_queries");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let threads = 4;
+    let queries = 5_000;
+    group.bench_function("pcm", |b| {
+        let sketch = Pcm::new(params(), &mut CoinFlips::from_seed(2));
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                total +=
+                    sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
+            }
+            total
+        });
+    });
+    group.bench_function("mutex", |b| {
+        let sketch = MutexCountMin::new(params(), &mut CoinFlips::from_seed(2));
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                total +=
+                    sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
+            }
+            total
+        });
+    });
+    group.bench_function("snapshot", |b| {
+        let sketch = SnapshotCountMin::new(params(), &mut CoinFlips::from_seed(2));
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                total +=
+                    sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
+            }
+            total
+        });
+    });
+    group.bench_function("delegation", |b| {
+        let sketch = DelegatedCountMin::new(params(), 128, &mut CoinFlips::from_seed(2));
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                total +=
+                    sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+/// Ablation: sharding trades query cost (reads `shards × depth`
+/// cells) for contention-free updates — the CountMin analogue of the
+/// paper's O(1)-update / O(n)-read counter trade-off.
+fn bench_sharded_query_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_query_cost");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    // Baseline: unsharded PCM query.
+    {
+        let pcm = Pcm::new(params(), &mut CoinFlips::from_seed(3));
+        pcm.update(7);
+        group.bench_function("pcm_1_matrix", |b| {
+            b.iter(|| std::hint::black_box(pcm.estimate(7)))
+        });
+    }
+    for shards in [1usize, 2, 4, 8, 16] {
+        let sketch = ShardedPcm::new(params(), shards, &mut CoinFlips::from_seed(3));
+        {
+            use ivl_concurrent::{ConcurrentSketch, SketchHandle};
+            let mut h = sketch.handle();
+            h.update(7);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, _| b.iter(|| std::hint::black_box(sketch.estimate(7))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_mixed, bench_sharded_query_cost);
+criterion_main!(benches);

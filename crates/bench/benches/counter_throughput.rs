@@ -1,0 +1,150 @@
+//! E3: wall-clock cost of batched counters (paper §6).
+//!
+//! Measures update throughput of the four counters across thread
+//! counts, and the cost of reads. Expected shape: the IVL counter's
+//! updates scale linearly with threads (uncontended per-thread
+//! slots); fetch-add saturates on one cache line; the mutex counter
+//! is flat-to-degrading; the snapshot counter pays Θ(n) per update and
+//! collapses as threads grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivl_bench::{counter_mixed_batch, counter_update_batch};
+use ivl_counter::{
+    FetchAddCounter, IvlBatchedCounter, MutexBatchedCounter, SharedBatchedCounter,
+    SnapshotBatchedCounter,
+};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 20_000;
+
+fn bench_updates(c: &mut Criterion) {
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    let mut group = c.benchmark_group("counter_update");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for threads in [1usize, 2, 4, max_threads].iter().copied().collect::<std::collections::BTreeSet<_>>() {
+        group.throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ivl", threads),
+            &threads,
+            |b, &threads| {
+                let counter = IvlBatchedCounter::new(threads);
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += counter_update_batch(&counter, threads, OPS_PER_THREAD, 1);
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fetch_add", threads),
+            &threads,
+            |b, &threads| {
+                let counter = FetchAddCounter::new(threads);
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += counter_update_batch(&counter, threads, OPS_PER_THREAD, 1);
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex", threads),
+            &threads,
+            |b, &threads| {
+                let counter = MutexBatchedCounter::new(threads);
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += counter_update_batch(&counter, threads, OPS_PER_THREAD, 1);
+                    }
+                    total
+                });
+            },
+        );
+        // The snapshot counter is orders of magnitude slower per
+        // update; use a smaller batch to keep the bench bounded.
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", threads),
+            &threads,
+            |b, &threads| {
+                let counter = SnapshotBatchedCounter::new(threads);
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += counter_update_batch(&counter, threads, OPS_PER_THREAD / 20, 1)
+                            * 20;
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_read");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for slots in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("ivl", slots), &slots, |b, &slots| {
+            let counter = IvlBatchedCounter::new(slots);
+            for s in 0..slots {
+                counter.update_slot(s, 1);
+            }
+            b.iter(|| std::hint::black_box(counter.read()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fetch_add", slots),
+            &slots,
+            |b, &slots| {
+                let counter = FetchAddCounter::new(slots);
+                counter.update_slot(0, 1);
+                b.iter(|| std::hint::black_box(counter.read()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_mixed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let threads = 4;
+    group.bench_function("ivl", |b| {
+        let counter = IvlBatchedCounter::new(threads);
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += counter_mixed_batch(&counter, threads, OPS_PER_THREAD, 2_000);
+            }
+            total
+        });
+    });
+    group.bench_function("mutex", |b| {
+        let counter = MutexBatchedCounter::new(threads);
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += counter_mixed_batch(&counter, threads, OPS_PER_THREAD, 2_000);
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_reads, bench_mixed);
+criterion_main!(benches);

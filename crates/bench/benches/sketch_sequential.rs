@@ -1,0 +1,167 @@
+//! E13 (cost side): sequential sketch throughput — update and query
+//! cost of each (ε,δ)-bounded object in the workspace. The accuracy
+//! side of E13 is the `tables` binary's error table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivl_sketch::stream::ZipfStream;
+use ivl_sketch::{
+    CoinFlips, CountMin, CountMinParams, CountSketch, FrequencySketch, GkQuantiles, HyperLogLog,
+    MorrisCounter, SpaceSaving,
+};
+use std::time::Duration;
+
+const N: u64 = 10_000;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_update");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function(BenchmarkId::new("countmin", "w=2719,d=5"), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                let mut cm =
+                    CountMin::new(CountMinParams::for_bounds(0.001, 0.01), &mut CoinFlips::from_seed(k));
+                let items: Vec<u64> = ZipfStream::new(10_000, 1.1, k).take(N as usize).collect();
+                let start = std::time::Instant::now();
+                for &i in &items {
+                    cm.update(i);
+                }
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("countsketch", "w=1024,d=5"), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                let mut cs = CountSketch::new(1024, 5, &mut CoinFlips::from_seed(k));
+                let items: Vec<u64> = ZipfStream::new(10_000, 1.1, k).take(N as usize).collect();
+                let start = std::time::Instant::now();
+                for &i in &items {
+                    cs.update(i);
+                }
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("spacesaving", "k=256"), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                let mut ss = SpaceSaving::new(256);
+                let items: Vec<u64> = ZipfStream::new(10_000, 1.1, k).take(N as usize).collect();
+                let start = std::time::Instant::now();
+                for &i in &items {
+                    ss.update(i);
+                }
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("hyperloglog", "p=12"), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                let mut hll = HyperLogLog::new(12, &mut CoinFlips::from_seed(k));
+                let start = std::time::Instant::now();
+                for x in 0..N {
+                    hll.update(x.wrapping_mul(k + 1));
+                }
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("morris", "a=0.1"), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                let mut m = MorrisCounter::new(0.1, CoinFlips::from_seed(k));
+                let start = std::time::Instant::now();
+                for _ in 0..N {
+                    m.update();
+                }
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("gk_quantiles", "eps=0.01"), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for k in 0..iters {
+                let mut gk = GkQuantiles::new(0.01);
+                let items: Vec<u64> = ZipfStream::new(1_000_000, 1.01, k)
+                    .take(N as usize)
+                    .collect();
+                let start = std::time::Instant::now();
+                for &i in &items {
+                    gk.insert(i);
+                }
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_query");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    let mut cm = CountMin::new(
+        CountMinParams::for_bounds(0.001, 0.01),
+        &mut CoinFlips::from_seed(1),
+    );
+    let mut cs = CountSketch::new(1024, 5, &mut CoinFlips::from_seed(1));
+    let mut ss = SpaceSaving::new(256);
+    let mut hll = HyperLogLog::new(12, &mut CoinFlips::from_seed(1));
+    let mut gk = GkQuantiles::new(0.01);
+    for (i, item) in ZipfStream::new(10_000, 1.1, 1).take(100_000).enumerate() {
+        cm.update(item);
+        cs.update(item);
+        ss.update(item);
+        hll.update(item);
+        if i % 10 == 0 {
+            gk.insert(item);
+        }
+    }
+
+    group.bench_function("countmin_point", |b| {
+        b.iter(|| std::hint::black_box(cm.estimate(7)))
+    });
+    group.bench_function("countsketch_point", |b| {
+        b.iter(|| std::hint::black_box(cs.estimate(7)))
+    });
+    group.bench_function("spacesaving_point", |b| {
+        b.iter(|| std::hint::black_box(ss.estimate(7)))
+    });
+    group.bench_function("hyperloglog_cardinality", |b| {
+        b.iter(|| std::hint::black_box(hll.estimate()))
+    });
+    group.bench_function("gk_median", |b| {
+        b.iter(|| std::hint::black_box(gk.query_quantile(0.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! `ivl-check`: verdicts for externally recorded histories.
+//!
+//! ```text
+//! usage: ivl_check <file> <spec>
+//!   <file>  history in the ivl-spec text format (see ivl_spec::io)
+//!   <spec>  counter | incdec | max | min
+//! ```
+//!
+//! Prints the timeline, the linearizability verdict, the IVL verdict
+//! and (for monotone specs) the per-query IVL intervals. Exit status:
+//! 0 if IVL, 2 if not, 1 on usage/parse errors.
+
+use ivl_spec::history::History;
+use ivl_spec::io::parse_history;
+use ivl_spec::ivl::{check_ivl_exact, monotone_query_bounds};
+use ivl_spec::linearize::check_linearizable;
+use ivl_spec::render::render_timeline;
+use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+use ivl_spec::specs::{BatchedCounterSpec, IncDecCounterSpec, MaxRegisterSpec, MinRegisterSpec};
+use std::fmt::Debug;
+use std::process::ExitCode;
+
+/// Adapters giving the CLI specs a `u64` query argument (ignored), so
+/// one file format serves all of them.
+macro_rules! arg_ignoring_spec {
+    ($name:ident, $inner:ty, $update:ty, $value:ty) => {
+        #[derive(Clone, Debug)]
+        struct $name;
+
+        impl ObjectSpec for $name {
+            type Update = $update;
+            type Query = u64;
+            type Value = $value;
+            type State = <$inner as ObjectSpec>::State;
+
+            fn initial_state(&self) -> Self::State {
+                <$inner>::default().initial_state()
+            }
+
+            fn apply_update(&self, state: &mut Self::State, update: &Self::Update) {
+                <$inner>::default().apply_update(state, update)
+            }
+
+            fn eval_query(&self, state: &Self::State, _q: &u64) -> Self::Value {
+                <$inner>::default().eval_query(state, &())
+            }
+        }
+    };
+}
+
+arg_ignoring_spec!(CounterCli, BatchedCounterSpec, u64, u64);
+arg_ignoring_spec!(IncDecCli, IncDecCounterSpec, i64, i64);
+arg_ignoring_spec!(MaxCli, MaxRegisterSpec, u64, u64);
+arg_ignoring_spec!(MinCli, MinRegisterSpec, u64, u64);
+
+impl MonotoneSpec for CounterCli {}
+impl MonotoneSpec for MaxCli {}
+impl MonotoneSpec for MinCli {}
+// IncDecCli is deliberately not monotone.
+
+fn check<S>(spec: S, text: &str, monotone: bool) -> Result<bool, String>
+where
+    S: MonotoneSpec + ObjectSpec<Query = u64>,
+    S::Update: std::str::FromStr + Debug,
+    S::Value: std::str::FromStr + Debug + std::fmt::Display,
+{
+    let h: History<S::Update, u64, S::Value> =
+        parse_history(text).map_err(|e| e.to_string())?;
+    println!("{}", render_timeline(&h));
+    let lin = check_linearizable(std::slice::from_ref(&spec), &h);
+    println!("linearizable : {}", lin.is_linearizable());
+    let ivl = check_ivl_exact(std::slice::from_ref(&spec), &h);
+    println!("IVL          : {ivl:?}");
+    if monotone {
+        println!("\nper-query IVL intervals:");
+        for qb in monotone_query_bounds(&spec, &h) {
+            let mark = if qb.in_bounds() { "ok " } else { "VIOLATION" };
+            println!(
+                "  {:>5}: {} <= {} <= {}  {mark}",
+                qb.id, qb.lower, qb.actual, qb.upper
+            );
+        }
+    }
+    Ok(ivl.is_ivl())
+}
+
+/// Exact check only, for the non-monotone inc/dec spec.
+fn check_exact_only<S>(spec: S, text: &str) -> Result<bool, String>
+where
+    S: ObjectSpec<Query = u64>,
+    S::Update: std::str::FromStr + Debug,
+    S::Value: std::str::FromStr + Debug,
+{
+    let h: History<S::Update, u64, S::Value> =
+        parse_history(text).map_err(|e| e.to_string())?;
+    println!("{}", render_timeline(&h));
+    let lin = check_linearizable(std::slice::from_ref(&spec), &h);
+    println!("linearizable : {}", lin.is_linearizable());
+    let ivl = check_ivl_exact(&[spec], &h);
+    println!("IVL          : {ivl:?}");
+    Ok(ivl.is_ivl())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: ivl_check <file> <counter|incdec|max|min>");
+        return ExitCode::from(1);
+    }
+    let text = match std::fs::read_to_string(&args[1]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args[1]);
+            return ExitCode::from(1);
+        }
+    };
+    let outcome = match args[2].as_str() {
+        "counter" => check(CounterCli, &text, true),
+        "max" => check(MaxCli, &text, true),
+        "min" => check(MinCli, &text, true),
+        "incdec" => check_exact_only(IncDecCli, &text),
+        other => {
+            eprintln!("unknown spec `{other}` (counter|incdec|max|min)");
+            return ExitCode::from(1);
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

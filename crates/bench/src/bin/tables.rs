@@ -1,0 +1,331 @@
+//! Regenerates every numeric table of EXPERIMENTS.md in one run.
+//!
+//! Run with: `cargo run --release -p ivl-bench --bin tables`
+
+use ivl_concurrent::{DelegatedCountMin, Pcm};
+use ivl_core::theorem6::{counter_envelope_run, theorem6_run, Theorem6Config};
+use ivl_counter::{FetchAddCounter, IvlBatchedCounter, MutexBatchedCounter};
+use ivl_shmem::algorithms::{example9_violation_count, example9_violation_count_biased};
+use ivl_shmem::experiments::{render_table, step_complexity_sweep};
+use ivl_sketch::stream::ZipfStream;
+use ivl_sketch::{
+    CoinFlips, CountMin, CountSketch, FrequencySketch, GkQuantiles, HyperLogLog, MorrisCounter,
+    SpaceSaving,
+};
+use std::collections::HashMap;
+
+fn e1_e2_step_complexity() {
+    println!("== E1/E2: step complexity (simulator; Theorems 11 & 14) ==\n");
+    let rows = step_complexity_sweep(&[2, 4, 8, 16, 32, 64, 128], 8, 0xC0FFEE);
+    println!("{}", render_table(&rows));
+}
+
+fn e5_counter_envelope() {
+    println!("== E5: IVL envelope on real-thread counters (Lemma 10) ==\n");
+    println!("counter     | reads | lower viol | upper viol | final total");
+    println!("------------+-------+------------+------------+------------");
+    let c = IvlBatchedCounter::new(4);
+    let r = counter_envelope_run(&c, 100_000, 1, 10_000);
+    println!(
+        "ivl         | {:>5} | {:>10} | {:>10} | {:>10}",
+        r.reads, r.lower_violations, r.upper_violations, r.final_total
+    );
+    let c = FetchAddCounter::new(4);
+    let r = counter_envelope_run(&c, 100_000, 1, 10_000);
+    println!(
+        "fetch_add   | {:>5} | {:>10} | {:>10} | {:>10}",
+        r.reads, r.lower_violations, r.upper_violations, r.final_total
+    );
+    let c = MutexBatchedCounter::new(4);
+    let r = counter_envelope_run(&c, 100_000, 1, 10_000);
+    println!(
+        "mutex       | {:>5} | {:>10} | {:>10} | {:>10}\n",
+        r.reads, r.lower_violations, r.upper_violations, r.final_total
+    );
+}
+
+fn e7_violation_frequency() {
+    println!("== E7: PCM linearizability violations under random schedules ==\n");
+    for runs in [100u64, 400, 1_000] {
+        let v = example9_violation_count(runs);
+        println!(
+            "{runs:>5} random schedules: {v:>4} non-linearizable histories ({:.1}%), all IVL",
+            100.0 * v as f64 / runs as f64
+        );
+    }
+    println!("scheduler bias (400 runs, updater:querier weights):");
+    for (w, label) in [([1u32, 1], "1:1 balanced"), ([1, 4], "1:4 updater-starved"), ([4, 1], "4:1 querier-starved")] {
+        let v = example9_violation_count_biased(400, w);
+        println!("  {label:<20} {v:>4} non-linearizable ({:.1}%)", 100.0 * v as f64 / 400.0);
+    }
+    e7_exact_census();
+    println!();
+}
+
+/// E7-exact: exhaustively enumerate every schedule of the minimal
+/// Example 9 configuration and count the non-linearizable ones.
+fn e7_exact_census() {
+    use ivl_shmem::algorithms::{example9_hash, PcmSim};
+    use ivl_shmem::executor::SimObject;
+    use ivl_shmem::{explore_all_schedules, Memory, SimOp, Workload};
+    use ivl_spec::check_ivl_monotone;
+    use ivl_spec::linearize::check_linearizable;
+
+    let config = || {
+        let mut mem = Memory::new();
+        let obj = PcmSim::new(&mut mem, 2, 2, example9_hash());
+        let w = vec![
+            Workload {
+                ops: vec![
+                    SimOp::Update(2),
+                    SimOp::Update(2),
+                    SimOp::Update(2),
+                    SimOp::Update(0),
+                    SimOp::Update(1),
+                    SimOp::Update(0),
+                ],
+            },
+            Workload {
+                ops: vec![SimOp::Query(0), SimOp::Query(1)],
+            },
+        ];
+        (mem, Box::new(obj) as Box<dyn SimObject>, w)
+    };
+    let spec = {
+        let mut mem = Memory::new();
+        PcmSim::new(&mut mem, 2, 2, example9_hash()).spec()
+    };
+    let mut nonlin = 0u64;
+    let mut all_ivl = true;
+    let stats = explore_all_schedules(&config, 1_000_000, |_, result| {
+        all_ivl &= check_ivl_monotone(&spec, &result.history).is_ivl();
+        if !check_linearizable(std::slice::from_ref(&spec), &result.history).is_linearizable() {
+            nonlin += 1;
+        }
+    });
+    println!(
+        "exhaustive census (minimal Example 9 config): {nonlin} / {} schedules \
+         non-linearizable, all IVL = {all_ivl}",
+        stats.schedules
+    );
+}
+
+fn e8_theorem6() {
+    println!("== E8: Theorem 6 / Corollary 8 (PCM vs delegation) ==\n");
+    let cfg = Theorem6Config {
+        threads: 4,
+        updates_per_thread: 100_000,
+        alphabet: 2_000,
+        zipf_s: 1.1,
+        queries: 5_000,
+        alpha: 0.005,
+        seed: 42,
+    };
+    let delta = 0.01;
+    let pcm = Pcm::for_bounds(cfg.alpha, delta, &mut CoinFlips::from_seed(7));
+    let r = theorem6_run(&pcm, &cfg);
+    println!(
+        "PCM        : {} queries | lower viol {} | upper viol {} ({:.3}% vs δ = {:.1}%) | ε = {:.0}",
+        r.queries,
+        r.lower_violations,
+        r.upper_violations,
+        100.0 * r.upper_violation_rate(),
+        100.0 * delta,
+        r.epsilon
+    );
+
+    let dcm = DelegatedCountMin::new(
+        ivl_sketch::countmin::CountMinParams::for_bounds(cfg.alpha, delta),
+        4_096,
+        &mut CoinFlips::from_seed(7),
+    );
+    let r = theorem6_run(&dcm, &cfg);
+    println!(
+        "delegation : {} queries | lower viol {} (IVL forbids any) | upper viol {}",
+        r.queries, r.lower_violations, r.upper_violations
+    );
+    println!();
+}
+
+fn e13_sequential_errors() {
+    println!("== E13: sequential (ε,δ) verification, all sketches ==\n");
+    let n: u64 = 200_000;
+    let alphabet = 5_000;
+
+    // Ground truth stream.
+    let items: Vec<u64> = ZipfStream::new(alphabet, 1.1, 99).take(n as usize).collect();
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for &i in &items {
+        *truth.entry(i).or_default() += 1;
+    }
+
+    // CountMin.
+    {
+        let alpha = 0.002;
+        let delta = 0.01;
+        let mut cm = CountMin::for_bounds(alpha, delta, &mut CoinFlips::from_seed(1));
+        for &i in &items {
+            cm.update(i);
+        }
+        let eps = (alpha * n as f64).ceil() as u64;
+        let fails = truth
+            .iter()
+            .filter(|(&a, &f)| cm.estimate(a) < f || cm.estimate(a) > f + eps)
+            .count();
+        println!(
+            "CountMin    (α={alpha}, δ={delta}): {} items, {} outside [f, f+{eps}] ({:.3}% vs δ={:.0}%)",
+            truth.len(),
+            fails,
+            100.0 * fails as f64 / truth.len() as f64,
+            100.0 * delta
+        );
+    }
+
+    // CountSketch.
+    {
+        let mut cs = CountSketch::new(2048, 5, &mut CoinFlips::from_seed(2));
+        for &i in &items {
+            cs.update(i);
+        }
+        let mut worst_rel: f64 = 0.0;
+        for (&a, &f) in truth.iter().filter(|(_, &f)| f > n / 1_000) {
+            let est = cs.estimate(a) as f64;
+            worst_rel = worst_rel.max((est - f as f64).abs() / f as f64);
+        }
+        println!("CountSketch (w=2048, d=5): worst heavy-hitter rel err {worst_rel:.4}");
+    }
+
+    // SpaceSaving.
+    {
+        let k = 512;
+        let mut ss = SpaceSaving::new(k);
+        for &i in &items {
+            ss.update(i);
+        }
+        let bound = n / k as u64;
+        let over = ss
+            .top()
+            .iter()
+            .map(|&(a, _, _)| ss.estimate(a) - truth.get(&a).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        println!("SpaceSaving (k={k}): max overestimate {over} (bound n/k = {bound})");
+    }
+
+    // HyperLogLog.
+    {
+        let mut hll = HyperLogLog::new(12, &mut CoinFlips::from_seed(3));
+        for &i in &items {
+            hll.update(i);
+        }
+        let distinct = truth.len() as f64;
+        let rel = (hll.estimate() - distinct).abs() / distinct;
+        println!(
+            "HyperLogLog (p=12): rel err {rel:.4} (std err {:.4})",
+            hll.standard_error()
+        );
+    }
+
+    // Morris (mean over runs).
+    {
+        let runs = 30;
+        let mut total = 0.0;
+        for s in 0..runs {
+            let mut m = MorrisCounter::new(0.05, CoinFlips::from_seed(s));
+            for _ in 0..n {
+                m.update();
+            }
+            total += m.estimate();
+        }
+        let mean = total / runs as f64;
+        println!(
+            "Morris      (a=0.05): mean of {runs} runs {mean:.0} vs true {n} (rel {:.4})",
+            (mean - n as f64).abs() / n as f64
+        );
+    }
+
+    // GK quantiles.
+    {
+        let eps = 0.005;
+        let mut gk = GkQuantiles::new(eps);
+        for &i in &items {
+            gk.insert(i);
+        }
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        let mut worst = 0u64;
+        for phi in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let rank = ((phi * n as f64).ceil() as u64).clamp(1, n);
+            let v = gk.query_rank(rank);
+            let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+            let hi = sorted.partition_point(|&x| x <= v) as u64;
+            let err = if rank < lo {
+                lo - rank
+            } else {
+                rank.saturating_sub(hi)
+            };
+            worst = worst.max(err);
+        }
+        println!(
+            "GKQuantiles (ε={eps}): worst rank error {worst} (bound εn = {:.0}), summary {} tuples",
+            eps * n as f64,
+            gk.summary_size()
+        );
+    }
+    println!();
+}
+
+fn e8b_concurrent_morris_hll() {
+    println!("== E14: concurrent Morris / HLL accuracy under 4 threads ==\n");
+    let threads = 4;
+    let per_thread = 50_000u64;
+    let n = threads as f64 * per_thread as f64;
+    let runs = 10;
+    let mut total = 0.0;
+    for s in 0..runs {
+        let m = ivl_concurrent::ConcurrentMorris::new(0.05, CoinFlips::from_seed(s));
+        crossbeam::scope(|sc| {
+            for _ in 0..threads {
+                let m = &m;
+                sc.spawn(move |_| {
+                    for _ in 0..per_thread {
+                        m.update();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        total += m.estimate();
+    }
+    println!(
+        "ConcurrentMorris: mean of {runs} runs {:.0} vs true {n:.0} (rel {:.4})",
+        total / runs as f64,
+        (total / runs as f64 - n).abs() / n
+    );
+
+    let mut coins = CoinFlips::from_seed(5);
+    let hll = ivl_concurrent::ConcurrentHll::new(12, &mut coins);
+    let distinct = 200_000u64;
+    crossbeam::scope(|sc| {
+        for t in 0..threads as u64 {
+            let hll = &hll;
+            sc.spawn(move |_| {
+                for x in (t * distinct / 4)..((t + 1) * distinct / 4) {
+                    hll.update(x);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let rel = (hll.estimate() - distinct as f64).abs() / distinct as f64;
+    println!("ConcurrentHll   : rel err {rel:.4} on {distinct} distinct items\n");
+}
+
+fn main() {
+    e1_e2_step_complexity();
+    e5_counter_envelope();
+    e7_violation_frequency();
+    e8_theorem6();
+    e13_sequential_errors();
+    e8b_concurrent_morris_hll();
+}

@@ -1,0 +1,126 @@
+//! Shared benchmark utilities: multi-threaded throughput drivers used
+//! by the Criterion benches and the table generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ivl_concurrent::{ConcurrentSketch, SketchHandle};
+use ivl_counter::SharedBatchedCounter;
+use ivl_sketch::stream::ZipfStream;
+use std::time::{Duration, Instant};
+
+/// Runs `threads` updaters each performing `ops_per_thread` counter
+/// updates; returns the wall-clock duration of the whole batch.
+pub fn counter_update_batch<C: SharedBatchedCounter>(
+    counter: &C,
+    threads: usize,
+    ops_per_thread: u64,
+    value: u64,
+) -> Duration {
+    let start = Instant::now();
+    crossbeam::scope(|s| {
+        for slot in 0..threads {
+            s.spawn(move |_| {
+                for _ in 0..ops_per_thread {
+                    counter.update_slot(slot, value);
+                }
+            });
+        }
+    })
+    .unwrap();
+    start.elapsed()
+}
+
+/// Like [`counter_update_batch`] with one extra thread issuing
+/// `reads` reads concurrently; returns total duration.
+pub fn counter_mixed_batch<C: SharedBatchedCounter>(
+    counter: &C,
+    threads: usize,
+    ops_per_thread: u64,
+    reads: u64,
+) -> Duration {
+    let start = Instant::now();
+    crossbeam::scope(|s| {
+        for slot in 0..threads {
+            s.spawn(move |_| {
+                for _ in 0..ops_per_thread {
+                    counter.update_slot(slot, 1);
+                }
+            });
+        }
+        s.spawn(move |_| {
+            for _ in 0..reads {
+                std::hint::black_box(counter.read());
+            }
+        });
+    })
+    .unwrap();
+    start.elapsed()
+}
+
+/// Runs `threads` ingest threads pushing Zipf items into a concurrent
+/// sketch; returns the wall-clock duration.
+pub fn sketch_update_batch<S: ConcurrentSketch>(
+    sketch: &S,
+    threads: usize,
+    ops_per_thread: u64,
+    alphabet: usize,
+    seed: u64,
+) -> Duration {
+    let start = Instant::now();
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let mut handle = sketch.handle();
+            let mut stream = ZipfStream::new(alphabet, 1.1, seed ^ (t as u64));
+            s.spawn(move |_| {
+                for _ in 0..ops_per_thread {
+                    handle.update(stream.next_item());
+                }
+                handle.flush();
+            });
+        }
+    })
+    .unwrap();
+    start.elapsed()
+}
+
+/// Ingest plus a concurrent query thread issuing `queries` point
+/// queries; returns total duration.
+pub fn sketch_mixed_batch<S: ConcurrentSketch>(
+    sketch: &S,
+    threads: usize,
+    ops_per_thread: u64,
+    queries: u64,
+    alphabet: usize,
+    seed: u64,
+) -> Duration {
+    let start = Instant::now();
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let mut handle = sketch.handle();
+            let mut stream = ZipfStream::new(alphabet, 1.1, seed ^ (t as u64));
+            s.spawn(move |_| {
+                for _ in 0..ops_per_thread {
+                    handle.update(stream.next_item());
+                }
+                handle.flush();
+            });
+        }
+        {
+            let sketch = &sketch;
+            let mut qstream = ZipfStream::new(alphabet, 1.1, seed ^ 0xabcdef);
+            s.spawn(move |_| {
+                for _ in 0..queries {
+                    std::hint::black_box(sketch.query(qstream.next_item()));
+                }
+            });
+        }
+    })
+    .unwrap();
+    start.elapsed()
+}
+
+/// Million-operations-per-second from an op count and duration.
+pub fn mops(ops: u64, d: Duration) -> f64 {
+    ops as f64 / d.as_secs_f64() / 1e6
+}

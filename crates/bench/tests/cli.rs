@@ -1,0 +1,101 @@
+//! End-to-end tests of the `ivl_check` CLI: verdicts and exit codes
+//! for histories in the text interchange format.
+
+use std::io::Write;
+use std::process::Command;
+
+fn run_cli(history: &str, spec: &str) -> (i32, String) {
+    let mut f = tempfile_path();
+    write!(f.1, "{history}").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_ivl_check"))
+        .arg(&f.0)
+        .arg(spec)
+        .output()
+        .expect("run ivl_check");
+    let code = out.status.code().unwrap_or(-1);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    std::fs::remove_file(&f.0).ok();
+    (code, stdout)
+}
+
+/// Minimal unique temp file (std-only).
+fn tempfile_path() -> (String, std::fs::File) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "ivl_check_test_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let f = std::fs::File::create(&path).unwrap();
+    (path.to_string_lossy().into_owned(), f)
+}
+
+const INTERMEDIATE_READ: &str = "\
+inv 0 0 0 update 7
+rsp 0 0 0
+inv 1 0 0 update 3
+inv 2 1 0 query 0
+rsp 2 1 0 8
+rsp 1 0 0
+";
+
+#[test]
+fn intermediate_value_is_ivl_not_linearizable() {
+    let (code, out) = run_cli(INTERMEDIATE_READ, "counter");
+    assert_eq!(code, 0, "IVL history exits 0:\n{out}");
+    assert!(out.contains("linearizable : false"));
+    assert!(out.contains("IVL          : Ivl"));
+    assert!(out.contains("7 <= 8 <= 10"));
+}
+
+#[test]
+fn out_of_envelope_read_rejected() {
+    let bad = INTERMEDIATE_READ.replace("rsp 2 1 0 8", "rsp 2 1 0 11");
+    let (code, out) = run_cli(&bad, "counter");
+    assert_eq!(code, 2, "violating history exits 2:\n{out}");
+    assert!(out.contains("NoUpperLinearization"));
+    assert!(out.contains("VIOLATION"));
+}
+
+#[test]
+fn incdec_regular_but_not_ivl() {
+    // §3.4: query concurrent with inc(1), dec(-1); returns -1.
+    let h = "\
+inv 0 2 0 query 0
+inv 1 0 0 update 1
+rsp 1 0 0
+inv 2 1 0 update -1
+rsp 2 1 0
+rsp 0 2 0 -1
+";
+    let (code, out) = run_cli(h, "incdec");
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("NoLowerLinearization"));
+}
+
+#[test]
+fn min_register_antitone_interval() {
+    // Insert 5 concurrent with a read returning MAX (read misses it).
+    let h = "\
+inv 0 1 0 query 0
+inv 1 0 0 update 5
+rsp 1 0 0
+rsp 0 1 0 18446744073709551615
+";
+    let (code, out) = run_cli(h, "min");
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("IVL          : Ivl"));
+}
+
+#[test]
+fn parse_errors_exit_1() {
+    let (code, _) = run_cli("nonsense here\n", "counter");
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn unknown_spec_exits_1() {
+    let (code, _) = run_cli(INTERMEDIATE_READ, "bogus");
+    assert_eq!(code, 1);
+}

@@ -1,0 +1,208 @@
+//! A delegation-style buffered concurrent CountMin, after
+//! Stylianopoulos et al., *Delegation Sketch* (EuroSys 2020) \[33\].
+//!
+//! Each thread buffers updates locally and flushes them to the shared
+//! atomic matrix every `batch` items. Updates are therefore extremely
+//! cheap (mostly local), and queries read the shared matrix without
+//! locks.
+//!
+//! The semantic price is the paper's §3.4 point: an `update` *returns*
+//! while its effect sits invisible in a local buffer. A query that
+//! starts strictly after such an update completes can miss it —
+//! violating not only linearizability but the *lower* bound of IVL
+//! (the query returns less than every legal linearization value). The
+//! `delegation_violates_ivl` integration test exhibits exactly this
+//! history and has the exact checker reject it; the error experiment
+//! (E8) shows the corresponding `f̂_a < f_a^start` underestimates that
+//! IVL forbids.
+
+use crate::{ConcurrentSketch, SketchHandle};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::hash::PairwiseHash;
+use ivl_sketch::CoinFlips;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The shared matrix of a delegation-style CountMin.
+#[derive(Debug)]
+pub struct DelegatedCountMin {
+    params: CountMinParams,
+    hashes: Vec<PairwiseHash>,
+    cells: Vec<AtomicU64>,
+    batch: usize,
+}
+
+impl DelegatedCountMin {
+    /// Creates the sketch; each handle flushes after `batch` buffered
+    /// updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is 0.
+    pub fn new(params: CountMinParams, batch: usize, coins: &mut CoinFlips) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        let proto = CountMin::new(params, coins);
+        DelegatedCountMin {
+            params,
+            hashes: proto.hashes().to_vec(),
+            cells: (0..params.width * params.depth)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            batch,
+        }
+    }
+
+    /// The flush batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    #[inline]
+    fn cell_index(&self, row: usize, item: u64) -> usize {
+        row * self.params.width + self.hashes[row].hash(item)
+    }
+
+    fn apply(&self, item: u64, count: u64) {
+        for row in 0..self.params.depth {
+            let idx = self.cell_index(row, item);
+            self.cells[idx].fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
+    /// Estimates from the shared matrix only (buffered updates
+    /// invisible).
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.params.depth)
+            .map(|row| self.cells[self.cell_index(row, item)].load(Ordering::Relaxed))
+            .min()
+            .expect("depth >= 1")
+    }
+}
+
+/// A per-thread buffering handle. Drop (or [`SketchHandle::flush`])
+/// publishes the residue.
+#[derive(Debug)]
+pub struct DelegateHandle<'a> {
+    parent: &'a DelegatedCountMin,
+    /// Buffered (item, count) pairs; small linear scan is faster than
+    /// hashing at typical batch sizes.
+    pending: Vec<(u64, u64)>,
+    buffered: usize,
+}
+
+impl SketchHandle for DelegateHandle<'_> {
+    fn update(&mut self, item: u64) {
+        match self.pending.iter_mut().find(|(i, _)| *i == item) {
+            Some((_, c)) => *c += 1,
+            None => self.pending.push((item, 1)),
+        }
+        self.buffered += 1;
+        if self.buffered >= self.parent.batch {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        for (item, count) in self.pending.drain(..) {
+            self.parent.apply(item, count);
+        }
+        self.buffered = 0;
+    }
+}
+
+impl Drop for DelegateHandle<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl ConcurrentSketch for DelegatedCountMin {
+    type Handle<'a> = DelegateHandle<'a>;
+
+    fn handle(&self) -> DelegateHandle<'_> {
+        DelegateHandle {
+            parent: self,
+            pending: Vec::new(),
+            buffered: 0,
+        }
+    }
+
+    fn query(&self, item: u64) -> u64 {
+        self.estimate(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CountMinParams {
+        CountMinParams {
+            width: 64,
+            depth: 3,
+        }
+    }
+
+    #[test]
+    fn buffered_updates_invisible_until_flush() {
+        let cm = DelegatedCountMin::new(params(), 8, &mut CoinFlips::from_seed(1));
+        let mut h = cm.handle();
+        for _ in 0..5 {
+            h.update(3); // below batch: still buffered
+        }
+        assert_eq!(cm.estimate(3), 0, "completed updates invisible — the §3.4 hazard");
+        h.flush();
+        assert_eq!(cm.estimate(3), 5);
+    }
+
+    #[test]
+    fn batch_boundary_auto_flushes() {
+        let cm = DelegatedCountMin::new(params(), 4, &mut CoinFlips::from_seed(2));
+        let mut h = cm.handle();
+        for _ in 0..4 {
+            h.update(9);
+        }
+        assert_eq!(cm.estimate(9), 4);
+    }
+
+    #[test]
+    fn drop_publishes_residue() {
+        let cm = DelegatedCountMin::new(params(), 100, &mut CoinFlips::from_seed(3));
+        {
+            let mut h = cm.handle();
+            for _ in 0..7 {
+                h.update(1);
+            }
+        }
+        assert_eq!(cm.estimate(1), 7);
+    }
+
+    #[test]
+    fn quiescent_totals_exact_after_flush() {
+        let cm = DelegatedCountMin::new(params(), 16, &mut CoinFlips::from_seed(4));
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                let cm = &cm;
+                s.spawn(move |_| {
+                    let mut h = cm.handle();
+                    for _ in 0..1000 {
+                        h.update(2);
+                    }
+                    h.flush();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(cm.estimate(2), 4000);
+    }
+
+    #[test]
+    fn mixed_items_aggregate_in_buffer() {
+        let cm = DelegatedCountMin::new(params(), 6, &mut CoinFlips::from_seed(5));
+        let mut h = cm.handle();
+        for item in [1u64, 2, 1, 2, 1, 1] {
+            h.update(item); // 6th update triggers flush
+        }
+        assert_eq!(cm.estimate(1), 4);
+        assert_eq!(cm.estimate(2), 2);
+    }
+}

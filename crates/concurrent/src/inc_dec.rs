@@ -1,0 +1,201 @@
+//! The §3.4 non-monotone counterexample: an increment/decrement
+//! counter.
+//!
+//! For *monotone* objects, regular-like semantics ("a query sees all
+//! completed updates and some subset of concurrent ones") implies IVL.
+//! The paper's §3.4 shows this fails for non-monotone objects: if a
+//! query concurrent with an increment and an ensuing decrement sees
+//! only the decrement, it returns a value *below every* linearization
+//! value — violating IVL's lower bound.
+//!
+//! [`RegularIncDec`] is the per-slot scanning counter (Algorithm 2
+//! with signed deltas): each slot read is individually regular, but a
+//! scan can catch slot B after its decrement while having passed slot
+//! A before its earlier increment. The integration tests exhibit that
+//! history and the exact checker rejects it.
+//!
+//! [`LinearizableIncDec`] (single `fetch_add`) is the always-correct
+//! comparison point.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// Per-slot inc/dec counter: the signed analogue of the IVL batched
+/// counter. **Not IVL** in general, because the object is not
+/// monotone.
+#[derive(Debug)]
+pub struct RegularIncDec {
+    slots: Vec<CachePadded<AtomicI64>>,
+}
+
+impl RegularIncDec {
+    /// Creates a counter with `n` single-writer slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one slot");
+        RegularIncDec {
+            slots: (0..n).map(|_| CachePadded::new(AtomicI64::new(0))).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds `delta` (may be negative) on behalf of `slot`'s owner.
+    pub fn add(&self, slot: usize, delta: i64) {
+        let cell = &self.slots[slot];
+        let current = cell.load(Ordering::Relaxed);
+        cell.store(current + delta, Ordering::Release);
+    }
+
+    /// Reads one slot (exposed so tests can choreograph the §3.4
+    /// interleaving explicitly).
+    pub fn slot_value(&self, slot: usize) -> i64 {
+        self.slots[slot].load(Ordering::Acquire)
+    }
+
+    /// Scans all slots in index order and returns the sum.
+    pub fn read(&self) -> i64 {
+        self.slots.iter().map(|s| s.load(Ordering::Acquire)).sum()
+    }
+}
+
+/// Linearizable inc/dec counter on a single RMW atomic.
+#[derive(Debug, Default)]
+pub struct LinearizableIncDec {
+    total: AtomicI64,
+}
+
+impl LinearizableIncDec {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.total.fetch_add(delta, Ordering::AcqRel);
+    }
+
+    /// Reads the exact current value.
+    pub fn read(&self) -> i64 {
+        self.total.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_spec::history::{HistoryBuilder, ObjectId, ProcessId};
+    use ivl_spec::ivl::{check_ivl_exact, IvlVerdict};
+    use ivl_spec::specs::IncDecCounterSpec;
+
+    #[test]
+    fn sequential_sums_signed() {
+        let c = RegularIncDec::new(2);
+        c.add(0, 5);
+        c.add(1, -3);
+        assert_eq!(c.read(), 2);
+    }
+
+    #[test]
+    fn quiescent_concurrent_total_exact() {
+        let n = 4;
+        let c = RegularIncDec::new(n);
+        crossbeam::scope(|s| {
+            for slot in 0..n {
+                let c = &c;
+                s.spawn(move |_| {
+                    for k in 0..10_000i64 {
+                        c.add(slot, if k % 2 == 0 { 2 } else { -1 });
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(c.read(), 5_000 * n as i64);
+    }
+
+    #[test]
+    fn section_3_4_interleaving_violates_ivl() {
+        // Choreographed replay of the paper's §3.4 scenario on the real
+        // object: the query reads slot 0 *before* its increment and
+        // slot 1 *after* its decrement, returning −1, below every
+        // linearization value. The exact checker rejects the recorded
+        // history.
+        let c = RegularIncDec::new(2);
+        let mut b = HistoryBuilder::<i64, (), i64>::new();
+        let q_proc = ProcessId(2);
+        let x = ObjectId(0);
+
+        // Query invoked; reads slot 0 (sees 0).
+        let q = b.invoke_query(q_proc, x, ());
+        let part0 = c.slot_value(0);
+
+        // inc(1) on slot 0 completes.
+        let inc = b.invoke_update(ProcessId(0), x, 1);
+        c.add(0, 1);
+        b.respond_update(inc);
+
+        // dec(1) on slot 1 completes.
+        let dec = b.invoke_update(ProcessId(1), x, -1);
+        c.add(1, -1);
+        b.respond_update(dec);
+
+        // Query reads slot 1 (sees −1) and returns the sum.
+        let part1 = c.slot_value(1);
+        let sum = part0 + part1;
+        b.respond_query(q, sum);
+
+        assert_eq!(sum, -1, "the query mixed instants");
+        let h = b.finish();
+        assert_eq!(
+            check_ivl_exact(&[IncDecCounterSpec], &h),
+            IvlVerdict::NoLowerLinearization,
+            "regular-like non-monotone history must violate IVL"
+        );
+    }
+
+    #[test]
+    fn linearizable_inc_dec_never_out_of_envelope() {
+        // The fetch_add counter under the same choreography returns a
+        // legal value.
+        let c = LinearizableIncDec::new();
+        let before = c.read();
+        c.add(1);
+        c.add(-1);
+        let after = c.read();
+        assert_eq!(before, 0);
+        assert_eq!(after, 0);
+    }
+
+    #[test]
+    fn linearizable_concurrent_reads_stay_in_legal_range() {
+        // inc(+1) then dec(−1) repeatedly: the counter only ever holds
+        // 0 or 1; every concurrent read must see 0 or 1.
+        let c = LinearizableIncDec::new();
+        crossbeam::scope(|s| {
+            let c = &c;
+            let w = s.spawn(move |_| {
+                for _ in 0..100_000 {
+                    c.add(1);
+                    c.add(-1);
+                }
+            });
+            s.spawn(move |_| {
+                for _ in 0..100_000 {
+                    let v = c.read();
+                    assert!(v == 0 || v == 1, "impossible value {v}");
+                }
+            });
+            w.join().unwrap();
+        })
+        .unwrap();
+    }
+}

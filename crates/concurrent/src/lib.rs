@@ -1,0 +1,84 @@
+//! Concurrent sketches: the paper's §5 parallelization of CountMin and
+//! the baselines it is compared against.
+//!
+//! * [`pcm`] — `PCM(c̄)`: the straightforward parallelization of
+//!   Algorithm 1 with per-counter atomic increments. **IVL but not
+//!   linearizable** (Lemma 7, Example 9); by Theorem 6 it inherits the
+//!   sequential CountMin (ε,δ) bound in the `v_min`/`v_max` sense
+//!   (Corollary 8).
+//! * [`locked`] — linearizable baselines: a global-mutex CountMin and
+//!   a snapshot CountMin (queries exclude updates and read a quiescent
+//!   matrix — the "take a snapshot of the matrix" cost the paper
+//!   attributes to the framework of Rinberg et al. \[32\]).
+//! * [`delegation`] — a buffered, delegation-style sketch in the
+//!   spirit of Stylianopoulos et al. \[33\]: updates park in
+//!   thread-local buffers and flush in batches. Fast, but an update
+//!   can *complete* while still invisible, so its histories violate
+//!   even IVL's lower linearization — the workspace's concrete
+//!   instance of "regular-like semantics do not imply IVL" (§3.4).
+//! * [`inc_dec`] — the §3.4 non-monotone counterexample object
+//!   (increment/decrement counter) with a per-slot "regular-like"
+//!   implementation that violates IVL and a fetch-add implementation
+//!   that is linearizable.
+//! * [`morris_conc`] / [`hll_conc`] — concurrent Morris and
+//!   HyperLogLog: monotone quantitative objects (max-register cores)
+//!   parallelized with CAS/fetch-max; their recorded histories are
+//!   checked IVL with the interval fast path.
+//! * [`recorded`] — a recording wrapper producing
+//!   [`ivl_spec::History`] values from real concurrent runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod delegation;
+pub mod hll_conc;
+pub mod inc_dec;
+pub mod locked;
+pub mod min_register;
+pub mod morris_conc;
+pub mod pcm;
+pub mod rank_conc;
+pub mod recorded;
+pub mod sharded;
+
+pub use delegation::DelegatedCountMin;
+pub use hll_conc::ConcurrentHll;
+pub use inc_dec::{LinearizableIncDec, RegularIncDec};
+pub use locked::{MutexCountMin, SnapshotCountMin};
+pub use min_register::ConcurrentMinRegister;
+pub use morris_conc::ConcurrentMorris;
+pub use pcm::Pcm;
+pub use rank_conc::ConcurrentHistogram;
+pub use recorded::RecordedSketch;
+pub use sharded::ShardedPcm;
+
+/// A concurrent point-frequency sketch usable through per-thread
+/// handles.
+///
+/// `query` takes `&self` and may run concurrently with updates;
+/// implementations differ in what guarantee the returned estimate
+/// carries (IVL for [`Pcm`], linearizability for the locked sketches,
+/// bounded staleness only for [`DelegatedCountMin`]).
+pub trait ConcurrentSketch: Send + Sync {
+    /// The per-thread updater handle.
+    type Handle<'a>: SketchHandle + Send
+    where
+        Self: 'a;
+
+    /// Creates an updater handle for one thread.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// Estimates the frequency of `item`.
+    fn query(&self, item: u64) -> u64;
+}
+
+/// A per-thread updater for a [`ConcurrentSketch`].
+pub trait SketchHandle {
+    /// Processes one occurrence of `item`.
+    fn update(&mut self, item: u64);
+
+    /// Makes all buffered updates visible (no-op for unbuffered
+    /// sketches). Called when a thread finishes its stream.
+    fn flush(&mut self) {}
+}

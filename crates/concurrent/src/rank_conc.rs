@@ -1,0 +1,232 @@
+//! A concurrent rank/quantile histogram — "additional sketches" from
+//! the paper's conclusion, parallelized the IVL way.
+//!
+//! Buckets are atomic counters bumped with `fetch_add`; `rank_lower`
+//! scans a prefix of buckets exactly like the IVL batched counter's
+//! read scans slots. Counters only grow and increments commute, so
+//! rank queries are monotone quantitative queries and the Lemma 10
+//! argument applies verbatim: a concurrent `rank_lower(x)` returns a
+//! value between the rank at the query's start and the rank (with all
+//! overlapping inserts applied) at its end. The recorded-history test
+//! checks exactly that with the interval checker.
+
+use ivl_sketch::histogram::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared equi-width histogram over `[0, domain)`.
+#[derive(Debug)]
+pub struct ConcurrentHistogram {
+    domain: u64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl ConcurrentHistogram {
+    /// Creates a histogram with `buckets` buckets over `[0, domain)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is 0 or `domain < buckets`.
+    pub fn new(domain: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(domain >= buckets as u64, "domain smaller than bucket count");
+        ConcurrentHistogram {
+            domain,
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, x: u64) -> usize {
+        assert!(x < self.domain, "value outside domain");
+        ((x as u128 * self.buckets.len() as u128) / self.domain as u128) as usize
+    }
+
+    /// Inserts a value (one `fetch_add`). Wait-free.
+    pub fn insert(&self, x: u64) {
+        let b = self.bucket_of(x);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lower rank bound of `x`: prefix scan of buckets below `x`'s —
+    /// an intermediate value in the IVL sense under concurrency.
+    pub fn rank_lower(&self, x: u64) -> u64 {
+        let b = self.bucket_of(x);
+        self.buckets[..b]
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Upper rank bound of `x` (includes `x`'s bucket).
+    pub fn rank_upper(&self, x: u64) -> u64 {
+        let b = self.bucket_of(x);
+        self.buckets[..=b]
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Copies the buckets into a sequential [`Histogram`] for quantile
+    /// extraction (the copy itself is an IVL read: each bucket value
+    /// is an intermediate of the true bucket trajectory).
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new(self.domain, self.buckets.len());
+        for (i, c) in self.buckets.iter().enumerate() {
+            let left_edge =
+                (i as u128 * self.domain as u128 / self.buckets.len() as u128) as u64;
+            for _ in 0..c.load(Ordering::Acquire) {
+                // Representative insertion at the bucket's left edge;
+                // count-preserving because buckets are count-only.
+                h.insert(left_edge);
+            }
+        }
+        h
+    }
+
+    /// Total insertions visible (sum of all buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|c| c.load(Ordering::Acquire)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_spec::history::{ObjectId, ProcessId};
+    use ivl_spec::ivl::check_ivl_monotone;
+    use ivl_spec::record::Recorder;
+    use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+
+    /// Sequential spec of `rank_lower` queries over the histogram:
+    /// update = inserted value, query = probe value, return =
+    /// rank_lower. Monotone: inserts only raise ranks.
+    #[derive(Clone, Debug)]
+    struct RankSpec {
+        domain: u64,
+        buckets: usize,
+    }
+
+    impl ObjectSpec for RankSpec {
+        type Update = u64;
+        type Query = u64;
+        type Value = u64;
+        type State = Histogram;
+
+        fn initial_state(&self) -> Histogram {
+            Histogram::new(self.domain, self.buckets)
+        }
+
+        fn apply_update(&self, state: &mut Histogram, update: &u64) {
+            state.insert(*update);
+        }
+
+        fn eval_query(&self, state: &Histogram, query: &u64) -> u64 {
+            state.rank_lower(*query)
+        }
+    }
+
+    impl MonotoneSpec for RankSpec {}
+
+    #[test]
+    fn quiescent_ranks_match_sequential() {
+        let conc = ConcurrentHistogram::new(1_000, 20);
+        let mut seq = Histogram::new(1_000, 20);
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let conc = &conc;
+                s.spawn(move |_| {
+                    for k in 0..5_000u64 {
+                        conc.insert((t * 131 + k * 7) % 1_000);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for t in 0..4u64 {
+            for k in 0..5_000u64 {
+                seq.insert((t * 131 + k * 7) % 1_000);
+            }
+        }
+        for probe in [0u64, 100, 500, 999] {
+            assert_eq!(conc.rank_lower(probe), seq.rank_lower(probe));
+            assert_eq!(conc.rank_upper(probe), seq.rank_upper(probe));
+        }
+        assert_eq!(conc.count(), 20_000);
+    }
+
+    #[test]
+    fn recorded_rank_histories_are_ivl() {
+        let spec = RankSpec {
+            domain: 1_000,
+            buckets: 10,
+        };
+        for round in 0..5 {
+            let conc = ConcurrentHistogram::new(1_000, 10);
+            let rec = Recorder::<u64, u64, u64>::new();
+            crossbeam::scope(|s| {
+                for t in 0..3u32 {
+                    let conc = &conc;
+                    let rec = &rec;
+                    s.spawn(move |_| {
+                        for k in 0..400u64 {
+                            let v = (t as u64 * 613 + k * 31) % 1_000;
+                            let id = rec.invoke_update(ProcessId(t), ObjectId(0), v);
+                            conc.insert(v);
+                            rec.respond_update(id);
+                        }
+                    });
+                }
+                let conc = &conc;
+                let rec = &rec;
+                s.spawn(move |_| {
+                    for k in 0..300u64 {
+                        let probe = (k * 97) % 1_000;
+                        let id = rec.invoke_query(ProcessId(9), ObjectId(0), probe);
+                        let v = conc.rank_lower(probe);
+                        rec.respond_query(id, v);
+                    }
+                });
+            })
+            .unwrap();
+            let h = rec.finish();
+            assert!(
+                check_ivl_monotone(&spec, &h).is_ivl(),
+                "round {round}: concurrent rank histogram violated IVL"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_queries_monotone_over_time() {
+        let conc = ConcurrentHistogram::new(100, 4);
+        crossbeam::scope(|s| {
+            let conc = &conc;
+            let w = s.spawn(move |_| {
+                for k in 0..100_000u64 {
+                    conc.insert(k % 100);
+                }
+            });
+            s.spawn(move |_| {
+                let mut last = 0;
+                for _ in 0..20_000 {
+                    let r = conc.rank_lower(75);
+                    assert!(r >= last, "rank regressed");
+                    last = r;
+                }
+            });
+            w.join().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn snapshot_quantiles_reasonable() {
+        let conc = ConcurrentHistogram::new(1_000, 100);
+        for k in 0..10_000u64 {
+            conc.insert(k % 1_000);
+        }
+        let snap = conc.snapshot();
+        let median = snap.quantile(0.5);
+        assert!((400..600).contains(&median), "median {median}");
+    }
+}

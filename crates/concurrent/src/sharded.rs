@@ -1,0 +1,306 @@
+//! A sharded IVL CountMin: per-thread sub-matrices, summed at query
+//! time.
+//!
+//! `PCM` keeps one shared matrix and pays a `fetch_add` (RMW) per cell
+//! per update. The sharded variant gives each handle its own matrix of
+//! plain atomics written with cheap stores (the handle is the only
+//! writer of its shard — the IVL-counter trick applied per cell);
+//! a query reads the cell in *every* shard, sums, and takes the row
+//! minimum.
+//!
+//! Because CountMin cells are additive, the summed matrix equals the
+//! single-matrix sketch of the union stream, so the estimator — and
+//! the (ε,δ) analysis — is unchanged. Cells only grow and updates
+//! commute, so the object is monotone and the implementation is IVL
+//! by the same Lemma 7 argument; recorded histories are checked
+//! against the same [`ivl_sketch::cm_spec::CountMinSpec`].
+//!
+//! Trade-off: updates avoid RMW contention entirely; queries cost
+//! `shards × depth` cell reads instead of `depth` — the CountMin
+//! analogue of the paper's O(1)-update / O(n)-read batched counter.
+
+use crate::{ConcurrentSketch, SketchHandle};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::hash::PairwiseHash;
+use ivl_sketch::CoinFlips;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A sharded concurrent CountMin (one sub-matrix per handle).
+///
+/// # Examples
+///
+/// ```
+/// use ivl_concurrent::{ConcurrentSketch, ShardedPcm, SketchHandle};
+/// use ivl_sketch::countmin::CountMinParams;
+/// use ivl_sketch::CoinFlips;
+///
+/// let mut coins = CoinFlips::from_seed(2);
+/// let sketch = ShardedPcm::new(CountMinParams { width: 64, depth: 4 }, 2, &mut coins);
+/// crossbeam::scope(|s| {
+///     for _ in 0..2 {
+///         let mut h = sketch.handle(); // one shard per thread
+///         s.spawn(move |_| {
+///             for _ in 0..1_000 {
+///                 h.update(9);
+///             }
+///         });
+///     }
+/// })
+/// .unwrap();
+/// assert_eq!(sketch.estimate(9), 2_000);
+/// ```
+#[derive(Debug)]
+pub struct ShardedPcm {
+    params: CountMinParams,
+    hashes: Vec<PairwiseHash>,
+    /// `shards[s][row * width + col]`.
+    shards: Vec<Vec<AtomicU64>>,
+    next_shard: AtomicUsize,
+}
+
+impl ShardedPcm {
+    /// Creates a sketch with `shards` sub-matrices, drawing hashes
+    /// from `coins`. At most `shards` handles may be live at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn new(params: CountMinParams, shards: usize, coins: &mut CoinFlips) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let proto = CountMin::new(params, coins);
+        ShardedPcm {
+            params,
+            hashes: proto.hashes().to_vec(),
+            shards: (0..shards)
+                .map(|_| {
+                    (0..params.width * params.depth)
+                        .map(|_| AtomicU64::new(0))
+                        .collect()
+                })
+                .collect(),
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates a sharded sketch sharing the hashes of an (empty)
+    /// prototype — same coins, same deterministic algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prototype is non-empty or `shards` is 0.
+    pub fn from_prototype(proto: &CountMin, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert_eq!(
+            ivl_sketch::FrequencySketch::stream_len(proto),
+            0,
+            "prototype must be empty"
+        );
+        let params = proto.params();
+        ShardedPcm {
+            params,
+            hashes: proto.hashes().to_vec(),
+            shards: (0..shards)
+                .map(|_| {
+                    (0..params.width * params.depth)
+                        .map(|_| AtomicU64::new(0))
+                        .collect()
+                })
+                .collect(),
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The sketch dimensions.
+    pub fn params(&self) -> CountMinParams {
+        self.params
+    }
+
+    #[inline]
+    fn cell_offset(&self, row: usize, item: u64) -> usize {
+        row * self.params.width + self.hashes[row].hash(item)
+    }
+
+    /// Estimates `item`'s frequency: per row, sum the cell across all
+    /// shards; return the row minimum.
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.params.depth)
+            .map(|row| {
+                let off = self.cell_offset(row, item);
+                self.shards
+                    .iter()
+                    .map(|m| m[off].load(Ordering::Acquire))
+                    .sum::<u64>()
+            })
+            .min()
+            .expect("depth >= 1")
+    }
+}
+
+/// Single-writer updater over one shard.
+#[derive(Debug)]
+pub struct ShardHandle<'a> {
+    parent: &'a ShardedPcm,
+    shard: usize,
+}
+
+impl ShardHandle<'_> {
+    /// The shard this handle owns.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Batched update: `count` occurrences at once (the paper's
+    /// batched updates; one store per row regardless of `count`).
+    pub fn update_by(&mut self, item: u64, count: u64) {
+        let m = &self.parent.shards[self.shard];
+        for row in 0..self.parent.params.depth {
+            let off = self.parent.cell_offset(row, item);
+            let cell = &m[off];
+            let cur = cell.load(Ordering::Relaxed);
+            cell.store(cur + count, Ordering::Release);
+        }
+    }
+}
+
+impl SketchHandle for ShardHandle<'_> {
+    fn update(&mut self, item: u64) {
+        self.update_by(item, 1);
+    }
+}
+
+impl ConcurrentSketch for ShardedPcm {
+    type Handle<'a> = ShardHandle<'a>;
+
+    /// Hands out shards round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more handles are requested than shards exist —
+    /// two handles on one shard would break the single-writer cells.
+    fn handle(&self) -> ShardHandle<'_> {
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            shard < self.shards.len(),
+            "more handles requested than shards ({})",
+            self.shards.len()
+        );
+        ShardHandle {
+            parent: self,
+            shard,
+        }
+    }
+
+    fn query(&self, item: u64) -> u64 {
+        self.estimate(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_sketch::FrequencySketch;
+
+    fn params() -> CountMinParams {
+        CountMinParams {
+            width: 64,
+            depth: 4,
+        }
+    }
+
+    #[test]
+    fn quiescent_equals_single_matrix_sketch() {
+        let mut coins = CoinFlips::from_seed(1);
+        let mut cm = CountMin::new(params(), &mut coins);
+        let sharded = ShardedPcm::from_prototype(&cm, 4);
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let mut h = sharded.handle();
+                s.spawn(move |_| {
+                    for k in 0..10_000u64 {
+                        h.update((t * 13 + k) % 101);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for t in 0..4u64 {
+            for k in 0..10_000u64 {
+                cm.update((t * 13 + k) % 101);
+            }
+        }
+        for item in 0..101u64 {
+            assert_eq!(sharded.estimate(item), cm.estimate(item), "item {item}");
+        }
+    }
+
+    #[test]
+    fn batched_updates_count_in_bulk() {
+        let mut coins = CoinFlips::from_seed(2);
+        let sharded = ShardedPcm::new(params(), 2, &mut coins);
+        let mut h = sharded.handle();
+        h.update_by(9, 1_000);
+        assert_eq!(sharded.estimate(9), 1_000);
+    }
+
+    #[test]
+    fn estimates_monotone_under_concurrent_reads() {
+        let mut coins = CoinFlips::from_seed(3);
+        let sharded = ShardedPcm::new(params(), 2, &mut coins);
+        crossbeam::scope(|s| {
+            let mut h = sharded.handle();
+            let w = s.spawn(move |_| {
+                for _ in 0..50_000u64 {
+                    h.update(7);
+                }
+            });
+            let sh = &sharded;
+            s.spawn(move |_| {
+                let mut last = 0;
+                loop {
+                    let v = sh.estimate(7);
+                    assert!(v >= last, "estimate regressed: {v} < {last}");
+                    last = v;
+                    if v >= 50_000 {
+                        break;
+                    }
+                }
+            });
+            w.join().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "more handles")]
+    fn over_subscription_rejected() {
+        let mut coins = CoinFlips::from_seed(4);
+        let sharded = ShardedPcm::new(params(), 1, &mut coins);
+        let _h1 = sharded.handle();
+        let _h2 = sharded.handle();
+    }
+
+    #[test]
+    fn never_underestimates_at_quiescence() {
+        let mut coins = CoinFlips::from_seed(5);
+        let sharded = ShardedPcm::new(params(), 3, &mut coins);
+        crossbeam::scope(|s| {
+            for t in 0..3u64 {
+                let mut h = sharded.handle();
+                s.spawn(move |_| {
+                    for _ in 0..1_000 {
+                        h.update(t);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for t in 0..3u64 {
+            assert!(sharded.estimate(t) >= 1_000);
+        }
+    }
+}

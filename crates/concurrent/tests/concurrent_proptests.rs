@@ -1,0 +1,123 @@
+//! Property tests of the concurrent sketches: quiescent agreement
+//! with the sequential algorithm under the same coins (arbitrary
+//! streams, dimensions and thread splits), and IVL of recorded PCM
+//! runs across workload shapes.
+
+use ivl_concurrent::{ConcurrentSketch, Pcm, RecordedSketch, ShardedPcm, SketchHandle};
+use ivl_sketch::cm_spec::CountMinSpec;
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::{CoinFlips, FrequencySketch};
+use ivl_spec::check_ivl_monotone;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PCM at quiescence equals CM(c̄) on the concatenated stream,
+    /// for arbitrary dimensions, coins and thread splits.
+    #[test]
+    fn pcm_quiescent_equals_sequential(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..40, 0..80),
+            1..5,
+        ),
+        seed in 0u64..10_000,
+        width in 2usize..32,
+        depth in 1usize..5,
+    ) {
+        let params = CountMinParams { width, depth };
+        let mut cm = CountMin::new(params, &mut CoinFlips::from_seed(seed));
+        let pcm = Pcm::from_prototype(&cm);
+        crossbeam::scope(|s| {
+            for stream in &streams {
+                let pcm = &pcm;
+                s.spawn(move |_| {
+                    for &i in stream {
+                        pcm.update(i);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for stream in &streams {
+            for &i in stream {
+                cm.update(i);
+            }
+        }
+        for item in 0..40u64 {
+            prop_assert_eq!(pcm.estimate(item), cm.estimate(item));
+        }
+        prop_assert_eq!(pcm.stream_len_estimate(), cm.stream_len());
+    }
+
+    /// Sharded PCM at quiescence also equals CM(c̄) — sharding is
+    /// invisible to the estimator.
+    #[test]
+    fn sharded_quiescent_equals_sequential(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..40, 0..80),
+            1..4,
+        ),
+        seed in 0u64..10_000,
+    ) {
+        let params = CountMinParams { width: 16, depth: 3 };
+        let mut cm = CountMin::new(params, &mut CoinFlips::from_seed(seed));
+        let sharded = ShardedPcm::from_prototype(&cm, streams.len());
+        crossbeam::scope(|s| {
+            for stream in &streams {
+                let mut h = sharded.handle();
+                s.spawn(move |_| {
+                    for &i in stream {
+                        h.update(i);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for stream in &streams {
+            for &i in stream {
+                cm.update(i);
+            }
+        }
+        for item in 0..40u64 {
+            prop_assert_eq!(sharded.estimate(item), cm.estimate(item));
+        }
+    }
+
+    /// Recorded concurrent PCM runs are IVL for arbitrary small
+    /// workload shapes (Lemma 7 as a property over real threads).
+    #[test]
+    fn recorded_pcm_runs_are_ivl(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..12, 1..40),
+            1..4,
+        ),
+        queries in proptest::collection::vec(0u64..12, 1..25),
+        seed in 0u64..10_000,
+    ) {
+        let params = CountMinParams { width: 8, depth: 2 };
+        let proto = CountMin::new(params, &mut CoinFlips::from_seed(seed));
+        let spec = CountMinSpec::new(proto.clone());
+        let rec = RecordedSketch::new(Pcm::from_prototype(&proto));
+        crossbeam::scope(|s| {
+            for stream in &streams {
+                let mut h = rec.handle();
+                s.spawn(move |_| {
+                    for &i in stream {
+                        h.update(i);
+                    }
+                });
+            }
+            let rec = &rec;
+            let queries = &queries;
+            s.spawn(move |_| {
+                for &q in queries {
+                    rec.query_from(1000, q);
+                }
+            });
+        })
+        .unwrap();
+        let h = rec.finish();
+        prop_assert!(check_ivl_monotone(&spec, &h).is_ivl());
+    }
+}

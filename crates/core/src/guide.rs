@@ -1,0 +1,155 @@
+//! # A guided tour: Intermediate Value Linearizability in practice
+//!
+//! This is a narrative walkthrough of the workspace, written for a
+//! reader who knows concurrency but has not read the paper. Every code
+//! block compiles and runs as a doctest.
+//!
+//! ## 1. The problem
+//!
+//! Big-data systems summarize streams with *sketches* — CountMin for
+//! frequencies, HyperLogLog for distinct counts — and need queries to
+//! run concurrently with very fast ingestion. Under linearizability,
+//! a read overlapping a batched update of +3 must return the value
+//! *before* or *after* the whole batch. Nothing in between:
+//!
+//! ```
+//! use ivl_core::prelude::*;
+//! use ivl_spec::specs::BatchedCounterSpec;
+//!
+//! // Counter at 7; inc(3) in flight; overlapping read returns 8.
+//! let mut b = HistoryBuilder::<u64, (), u64>::new();
+//! let seed = b.invoke_update(ProcessId(0), ObjectId(0), 7);
+//! b.respond_update(seed);
+//! let inc = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+//! let read = b.invoke_query(ProcessId(1), ObjectId(0), ());
+//! b.respond_query(read, 8);
+//! b.respond_update(inc);
+//! let h = b.finish();
+//!
+//! assert!(!check_linearizable(&[BatchedCounterSpec], &h).is_linearizable());
+//! ```
+//!
+//! But if the system designer would accept either 7 or 10, why not 8?
+//! That is **IVL** (Definition 2): a query may return anything
+//! *bounded between two legal linearization values*:
+//!
+//! ```
+//! # use ivl_core::prelude::*;
+//! # use ivl_spec::specs::BatchedCounterSpec;
+//! # let mut b = HistoryBuilder::<u64, (), u64>::new();
+//! # let seed = b.invoke_update(ProcessId(0), ObjectId(0), 7);
+//! # b.respond_update(seed);
+//! # let inc = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+//! # let read = b.invoke_query(ProcessId(1), ObjectId(0), ());
+//! # b.respond_query(read, 8);
+//! # b.respond_update(inc);
+//! # let h = b.finish();
+//! assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+//! ```
+//!
+//! ## 2. Why IVL rather than "sees a subset of concurrent updates"
+//!
+//! Regularity-style conditions break for objects that can move both
+//! ways: a query concurrent with `inc(1); dec(1)` that sees only the
+//! decrement returns −1 — *below every value the object ever legally
+//! held*. IVL forbids this, and the distinction matters because it is
+//! exactly what makes error bounds transfer (§3 below). See
+//! [`ivl_spec::relaxations`] for the executable comparison.
+//!
+//! ## 3. The payoff: free error bounds (Theorem 6)
+//!
+//! A CountMin sketch guarantees `f ≤ f̂ ≤ f + ε` with probability
+//! 1 − δ, *proved for sequential executions*. Theorem 6 says: if your
+//! concurrent implementation is IVL, the same bound holds around the
+//! interval's `v_min`/`v_max` — no new analysis. The paper's `PCM`
+//! (per-cell atomic increments) is IVL, so:
+//!
+//! ```
+//! use ivl_core::prelude::*;
+//!
+//! let mut coins = CoinFlips::from_seed(1);
+//! let pcm = Pcm::for_bounds(0.01, 0.01, &mut coins);
+//! crossbeam::scope(|s| {
+//!     for _ in 0..2 {
+//!         s.spawn(|_| {
+//!             for _ in 0..1_000 {
+//!                 pcm.update(7);
+//!             }
+//!         });
+//!     }
+//!     // Concurrent reads are intermediate values: sound bounds.
+//!     let est = pcm.estimate(7);
+//!     assert!(est <= 2_000);
+//! })
+//! .unwrap();
+//! ```
+//!
+//! The empirical validator ([`crate::theorem6`]) drives this with
+//! ground-truth tracking; the formal checker
+//! ([`ivl_spec::bounded::epsilon_bounded_report`]) evaluates
+//! Definition 5 on recorded histories.
+//!
+//! ## 4. The price of linearizability (Theorems 11 & 14)
+//!
+//! The paper's batched counter separates the criteria by *cost*: IVL
+//! admits an O(1)-update counter from single-writer registers, while
+//! any linearizable one needs Ω(n) steps per update. The workspace
+//! measures this in the paper's own cost model with a step-counting
+//! simulator:
+//!
+//! ```
+//! use ivl_core::shmem::experiments::step_complexity_sweep;
+//!
+//! let rows = step_complexity_sweep(&[2, 8], 4, 1);
+//! assert_eq!(rows[0].ivl_update_max, 1);          // O(1), exactly
+//! assert!(rows[1].lin_update_min >= 17);          // ≥ 2n+1 at n=8
+//! ```
+//!
+//! And on real threads, [`ivl_counter::IvlBatchedCounter`] is the
+//! NUMA-friendly realization: per-thread cache-padded slots, one store
+//! per update.
+//!
+//! ## 5. Checking your own implementation
+//!
+//! Wrap an object with [`ivl_spec::record::Recorder`] (or use the
+//! provided wrappers), run your stress test, and hand the history to a
+//! checker. For monotone objects — counters, CountMin, max/min
+//! registers — the interval fast path scales to millions of events:
+//!
+//! ```
+//! use ivl_core::prelude::*;
+//! use ivl_spec::specs::BatchedCounterSpec;
+//!
+//! let counter = RecordedCounter::new(IvlBatchedCounter::new(2));
+//! crossbeam::scope(|s| {
+//!     s.spawn(|_| {
+//!         for _ in 0..100 {
+//!             counter.update(0, 1);
+//!         }
+//!     });
+//!     s.spawn(|_| {
+//!         for _ in 0..50 {
+//!             counter.read_from(1);
+//!         }
+//!     });
+//! })
+//! .unwrap();
+//! let history = counter.finish();
+//! assert!(check_ivl_monotone(&BatchedCounterSpec, &history).is_ivl());
+//! ```
+//!
+//! Histories also round-trip through a text format
+//! ([`ivl_spec::io`]) so recordings from other languages can be
+//! checked with the `ivl_check` CLI.
+//!
+//! ## 6. Going further
+//!
+//! * Exhaustive verification of small instances (every schedule, not a
+//!   sample): [`ivl_core::shmem::exhaustive`] — it finds the paper's
+//!   Example 9 schedule as the *unique* violating interleaving of the
+//!   minimal configuration.
+//! * The antitone frontier (priority queues):
+//!   [`ivl_concurrent::min_register`].
+//! * The full paper-to-code index: [`crate::paper`].
+//!
+//! [`ivl_core::shmem::exhaustive`]: crate::shmem::exhaustive

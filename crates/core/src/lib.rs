@@ -1,0 +1,71 @@
+//! # Intermediate Value Linearizability (IVL)
+//!
+//! A reproduction of Rinberg & Keidar, *"Intermediate Value
+//! Linearizability: A Quantitative Correctness Criterion"* (DISC
+//! 2020): the IVL correctness criterion made executable, every
+//! construction in the paper implemented, and every claim turned into
+//! a checkable experiment.
+//!
+//! This facade crate re-exports the workspace and hosts the
+//! [`theorem6`] empirical validator. The pieces:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`spec`] (ivl-spec) | histories, linearizations, the IVL/linearizability checkers |
+//! | [`shmem`] (ivl-shmem) | shared-memory simulator, step-counted runs of Algorithms 2 & 3 |
+//! | [`sketch`] (ivl-sketch) | sequential (ε,δ)-bounded sketches: CountMin, CountSketch, Morris, HLL, SpaceSaving, GK quantiles |
+//! | [`counter`] (ivl-counter) | real-thread batched counters: IVL (Algorithm 2) + linearizable baselines |
+//! | [`concurrent`] (ivl-concurrent) | `PCM` (§5) + locked/delegation baselines, concurrent Morris/HLL |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ivl_core::prelude::*;
+//!
+//! // The paper's batched counter (Algorithm 2): O(1) update, O(n) read.
+//! let counter = IvlBatchedCounter::new(4);
+//! counter.update_slot(0, 3);
+//! assert_eq!(counter.read(), 3);
+//!
+//! // The paper's concurrent CountMin (Algorithm 1 parallelized).
+//! let mut coins = CoinFlips::from_seed(42);
+//! let pcm = Pcm::for_bounds(0.01, 0.01, &mut coins);
+//! pcm.update(7);
+//! assert!(pcm.estimate(7) >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod guide;
+pub mod paper;
+pub mod theorem6;
+
+pub use ivl_concurrent as concurrent;
+pub use ivl_counter as counter;
+pub use ivl_shmem as shmem;
+pub use ivl_sketch as sketch;
+pub use ivl_spec as spec;
+
+/// One-stop imports for the common API surface.
+pub mod prelude {
+    pub use crate::theorem6::{counter_envelope_run, theorem6_run, EnvelopeReport, Theorem6Report};
+    pub use ivl_concurrent::{
+        ConcurrentHll, ConcurrentMorris, ConcurrentSketch, DelegatedCountMin, MutexCountMin,
+        Pcm, RecordedSketch, SketchHandle, SnapshotCountMin,
+    };
+    pub use ivl_counter::{
+        BinarySnapshot, FetchAddCounter, IvlBatchedCounter, MutexBatchedCounter, RecordedCounter,
+        SharedBatchedCounter, SnapshotBatchedCounter, ThresholdMonitor,
+    };
+    pub use ivl_sketch::{
+        CoinFlips, CountMin, CountMinParams, CountSketch, FrequencySketch, GkQuantiles,
+        HyperLogLog, MorrisCounter, SpaceSaving,
+    };
+    pub use ivl_spec::{
+        check_ivl_exact, check_ivl_monotone, check_linearizable, History, HistoryBuilder,
+        IvlVerdict, LinVerdict, MonotoneSpec, ObjectId, ObjectSpec, OpId, ProcessId, QueryBounds,
+        Recorder,
+    };
+}

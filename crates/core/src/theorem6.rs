@@ -1,0 +1,281 @@
+//! Empirical validation of Theorem 6 / Corollary 8.
+//!
+//! **Theorem 6**: an IVL implementation of a sequential (ε,δ)-bounded
+//! object is a concurrent (ε,δ)-bounded object — each query's return
+//! value lies in `[v_min − ε, v_max + ε]` with probability `≥ 1 − δ`,
+//! where `v_min`/`v_max` are the least/greatest ideal values over
+//! linearizations of the query's interval.
+//!
+//! **Corollary 8** instantiates this for the concurrent CountMin
+//! `PCM`: `f_a^start ≤ f̂_a ≤ f_a^end + ε` with probability `≥ 1 − δ`,
+//! where `f_a^start` is the item's ideal frequency when the query
+//! starts and `f_a^end` at its end.
+//!
+//! [`theorem6_run`] drives any [`ConcurrentSketch`] with updater
+//! threads and a concurrent query thread while tracking exact ground
+//! truth per item with two atomics (`invoked` bumped before the sketch
+//! update, `completed` after). For each query it checks the **sound
+//! outer envelope**
+//!
+//! ```text
+//! completed(a)@start  ≤  f̂_a  ≤  invoked(a)@end + ε
+//! ```
+//!
+//! which contains the Corollary 8 interval (`completed@start ≤
+//! f_start` and `f_end ≤ invoked@end`), so a violation of the envelope
+//! implies a violation of Corollary 8's bound. An IVL sketch (PCM)
+//! passes with violation rate ≲ δ; the delegation sketch violates the
+//! *lower* side deterministically under bursts — the experiment that
+//! separates IVL from regular-like staleness semantics.
+
+use ivl_concurrent::{ConcurrentSketch, SketchHandle};
+use ivl_counter::SharedBatchedCounter;
+use ivl_sketch::stream::ZipfStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of a Theorem-6 validation run.
+#[derive(Clone, Copy, Debug)]
+pub struct Theorem6Config {
+    /// Number of updater threads.
+    pub threads: usize,
+    /// Updates per thread.
+    pub updates_per_thread: u64,
+    /// Item alphabet size (items are `0..alphabet`).
+    pub alphabet: usize,
+    /// Zipf exponent of the update streams.
+    pub zipf_s: f64,
+    /// Queries issued by the concurrent query thread.
+    pub queries: u64,
+    /// The sketch's additive-error factor α (ε = α·n).
+    pub alpha: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Theorem6Config {
+    fn default() -> Self {
+        Theorem6Config {
+            threads: 4,
+            updates_per_thread: 50_000,
+            alphabet: 1_000,
+            zipf_s: 1.1,
+            queries: 2_000,
+            alpha: 0.01,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of a Theorem-6 validation run.
+#[derive(Clone, Debug)]
+pub struct Theorem6Report {
+    /// Queries issued concurrently with updates.
+    pub queries: u64,
+    /// Queries whose estimate fell below `completed@start` — forbidden
+    /// by IVL regardless of δ for CountMin (its lower bound is
+    /// deterministic).
+    pub lower_violations: u64,
+    /// Queries whose estimate exceeded `invoked@end + ε`.
+    pub upper_violations: u64,
+    /// Total updates when the run finished.
+    pub stream_len: u64,
+    /// The additive bound ε = α·n used (computed from the final
+    /// stream length — an over-approximation of the paper's "maximum ε
+    /// during the query interval" only in the benign direction for the
+    /// *upper* check of early queries; see `upper_violation_rate`).
+    pub epsilon: f64,
+}
+
+impl Theorem6Report {
+    /// Fraction of queries violating the upper bound (compare with δ).
+    pub fn upper_violation_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.upper_violations as f64 / self.queries as f64
+    }
+}
+
+/// Runs the Theorem-6 / Corollary-8 validation against `sketch`.
+///
+/// Per-query checks use ε = α·(invoked at query end), the paper's
+/// "maximum value the bound takes during the query's interval".
+pub fn theorem6_run<S: ConcurrentSketch>(sketch: &S, cfg: &Theorem6Config) -> Theorem6Report {
+    let invoked: Vec<AtomicU64> = (0..cfg.alphabet).map(|_| AtomicU64::new(0)).collect();
+    let completed: Vec<AtomicU64> = (0..cfg.alphabet).map(|_| AtomicU64::new(0)).collect();
+    let total_invoked = AtomicU64::new(0);
+    let lower_violations = AtomicU64::new(0);
+    let upper_violations = AtomicU64::new(0);
+
+    crossbeam::scope(|s| {
+        for t in 0..cfg.threads {
+            let mut handle = sketch.handle();
+            let invoked = &invoked;
+            let completed = &completed;
+            let total_invoked = &total_invoked;
+            let mut stream = ZipfStream::new(cfg.alphabet, cfg.zipf_s, cfg.seed ^ (t as u64) << 32);
+            s.spawn(move |_| {
+                for _ in 0..cfg.updates_per_thread {
+                    let item = stream.next_item();
+                    invoked[item as usize].fetch_add(1, Ordering::SeqCst);
+                    total_invoked.fetch_add(1, Ordering::SeqCst);
+                    handle.update(item);
+                    completed[item as usize].fetch_add(1, Ordering::SeqCst);
+                }
+                handle.flush();
+            });
+        }
+
+        // Query thread: interleaves queries with the whole ingest.
+        {
+            let sketch = &sketch;
+            let invoked = &invoked;
+            let completed = &completed;
+            let total_invoked = &total_invoked;
+            let lower_violations = &lower_violations;
+            let upper_violations = &upper_violations;
+            let mut qstream = ZipfStream::new(cfg.alphabet, cfg.zipf_s, cfg.seed ^ 0xdead_beef);
+            s.spawn(move |_| {
+                let mut issued = 0;
+                while issued < cfg.queries {
+                    let item = qstream.next_item();
+                    let start_lower = completed[item as usize].load(Ordering::SeqCst);
+                    let est = sketch.query(item);
+                    let end_upper = invoked[item as usize].load(Ordering::SeqCst);
+                    let n_end = total_invoked.load(Ordering::SeqCst);
+                    let eps = (cfg.alpha * n_end as f64).ceil() as u64;
+                    if est < start_lower {
+                        lower_violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if est > end_upper + eps {
+                        upper_violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    issued += 1;
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let stream_len = total_invoked.load(Ordering::SeqCst);
+    Theorem6Report {
+        queries: cfg.queries,
+        lower_violations: lower_violations.load(Ordering::Relaxed),
+        upper_violations: upper_violations.load(Ordering::Relaxed),
+        stream_len,
+        epsilon: cfg.alpha * stream_len as f64,
+    }
+}
+
+/// Outcome of a batched-counter IVL-envelope run.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvelopeReport {
+    /// Reads performed concurrently with updates.
+    pub reads: u64,
+    /// Reads below the sum of updates completed at read start.
+    pub lower_violations: u64,
+    /// Reads above the sum of updates invoked at read end.
+    pub upper_violations: u64,
+    /// Final counter total.
+    pub final_total: u64,
+}
+
+/// Drives a [`SharedBatchedCounter`] with one updater per slot and a
+/// concurrent reader, checking every read against the IVL envelope
+/// `[completed@start, invoked@end]` (Lemma 10's guarantee, and the
+/// deterministic ε = 0 case of Theorem 6).
+pub fn counter_envelope_run<C: SharedBatchedCounter>(
+    counter: &C,
+    updates_per_slot: u64,
+    value_per_update: u64,
+    reads: u64,
+) -> EnvelopeReport {
+    let n = counter.num_slots();
+    let invoked_sum = AtomicU64::new(0);
+    let completed_sum = AtomicU64::new(0);
+    let lower_violations = AtomicU64::new(0);
+    let upper_violations = AtomicU64::new(0);
+
+    crossbeam::scope(|s| {
+        for slot in 0..n {
+            let counter = &counter;
+            let invoked_sum = &invoked_sum;
+            let completed_sum = &completed_sum;
+            s.spawn(move |_| {
+                for _ in 0..updates_per_slot {
+                    invoked_sum.fetch_add(value_per_update, Ordering::SeqCst);
+                    counter.update_slot(slot, value_per_update);
+                    completed_sum.fetch_add(value_per_update, Ordering::SeqCst);
+                }
+            });
+        }
+        {
+            let counter = &counter;
+            let invoked_sum = &invoked_sum;
+            let completed_sum = &completed_sum;
+            let lower_violations = &lower_violations;
+            let upper_violations = &upper_violations;
+            s.spawn(move |_| {
+                for _ in 0..reads {
+                    let lo = completed_sum.load(Ordering::SeqCst);
+                    let v = counter.read();
+                    let hi = invoked_sum.load(Ordering::SeqCst);
+                    if v < lo {
+                        lower_violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if v > hi {
+                        upper_violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    EnvelopeReport {
+        reads,
+        lower_violations: lower_violations.load(Ordering::Relaxed),
+        upper_violations: upper_violations.load(Ordering::Relaxed),
+        final_total: counter.read(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_concurrent::Pcm;
+    use ivl_counter::IvlBatchedCounter;
+    use ivl_sketch::CoinFlips;
+
+    #[test]
+    fn pcm_passes_theorem6() {
+        let cfg = Theorem6Config {
+            threads: 3,
+            updates_per_thread: 20_000,
+            queries: 500,
+            alpha: 0.01,
+            ..Theorem6Config::default()
+        };
+        let pcm = Pcm::for_bounds(cfg.alpha, 0.01, &mut CoinFlips::from_seed(3));
+        let report = theorem6_run(&pcm, &cfg);
+        assert_eq!(
+            report.lower_violations, 0,
+            "CountMin's lower bound is deterministic under IVL"
+        );
+        assert!(
+            report.upper_violation_rate() <= 0.02,
+            "upper violations {} / {}",
+            report.upper_violations,
+            report.queries
+        );
+    }
+
+    #[test]
+    fn ivl_counter_passes_envelope() {
+        let c = IvlBatchedCounter::new(4);
+        let report = counter_envelope_run(&c, 50_000, 1, 5_000);
+        assert_eq!(report.lower_violations, 0);
+        assert_eq!(report.upper_violations, 0);
+        assert_eq!(report.final_total, 200_000);
+    }
+}

@@ -1,0 +1,87 @@
+//! Real-thread batched counters: Algorithm 2 of the paper and the
+//! linearizable baselines it is measured against.
+//!
+//! A *batched counter* (paper §6) supports `update(v)` with `v ≥ 0`
+//! and `read()` returning the sum of all preceding updates. The crate
+//! provides:
+//!
+//! * [`IvlBatchedCounter`] — the paper's Algorithm 2 on cache-padded
+//!   per-thread atomics: `update` is one store to the caller's own
+//!   slot (O(1), no contention — a NUMA-friendly counter, §6.1),
+//!   `read` sums all slots (O(n)). IVL but **not** linearizable.
+//! * [`MutexBatchedCounter`] — the simplest linearizable baseline.
+//! * [`FetchAddCounter`] — linearizable with O(1) update via a
+//!   *read-modify-write* primitive. This does not contradict
+//!   Theorem 14: the Ω(n) lower bound is for implementations from SWMR
+//!   **registers**; `fetch_add` is a stronger primitive. It is the
+//!   honest "what you give up" comparison point: one contended cache
+//!   line instead of n uncontended ones.
+//! * [`SnapshotBatchedCounter`] — a collect-based linearizable counter
+//!   mirroring the simulator's Afek-style construction, whose update
+//!   cost grows with the number of slots (the wall-clock face of the
+//!   Ω(n) bound; the *model-accurate* step counts live in
+//!   `ivl-shmem`).
+//! * [`BinarySnapshot`] — Algorithm 3: a binary snapshot object from
+//!   any batched counter, linearizable exactly when the counter is.
+//! * [`ThresholdMonitor`] — the paper's §1.2 motivating scenario: a
+//!   monitor process watching a counter cross a threshold.
+//! * [`RecordedCounter`] — wraps any counter, recording an
+//!   [`ivl_spec::History`] for the IVL/linearizability checkers.
+//!
+//! # Example
+//!
+//! ```
+//! use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter};
+//!
+//! let counter = IvlBatchedCounter::new(4);
+//! crossbeam::scope(|s| {
+//!     for slot in 0..4 {
+//!         let c = &counter;
+//!         s.spawn(move |_| {
+//!             for _ in 0..1000 {
+//!                 c.update_slot(slot, 3);
+//!             }
+//!         });
+//!     }
+//! })
+//! .unwrap();
+//! assert_eq!(counter.read(), 12_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+pub mod binary_snapshot;
+pub mod ivl_batched;
+pub mod monitor;
+pub mod recording;
+
+pub use baselines::{FetchAddCounter, MutexBatchedCounter, SnapshotBatchedCounter};
+pub use binary_snapshot::BinarySnapshot;
+pub use ivl_batched::IvlBatchedCounter;
+pub use monitor::ThresholdMonitor;
+pub use recording::RecordedCounter;
+
+/// A shared batched counter (paper §6.2): `update(v ≥ 0)` adds `v`,
+/// `read` returns the sum of preceding updates.
+///
+/// Updates are slot-addressed: implementations built from single-writer
+/// registers (the IVL counter, the snapshot counter) require that **at
+/// most one thread at a time uses a given slot**; implementations on
+/// stronger primitives ignore the slot. Violating the single-writer
+/// discipline on slot-addressed implementations loses updates but is
+/// memory-safe (slots are atomics).
+pub trait SharedBatchedCounter: Send + Sync {
+    /// Number of update slots.
+    fn num_slots(&self) -> usize;
+
+    /// Adds `v` on behalf of the owner of `slot`.
+    fn update_slot(&self, slot: usize, v: u64);
+
+    /// Returns the sum of all preceding updates (IVL implementations
+    /// may return any value between the sums at the read's start and
+    /// end).
+    fn read(&self) -> u64;
+}

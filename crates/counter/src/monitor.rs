@@ -1,0 +1,178 @@
+//! The paper's §1.2 motivating scenario: a monitoring process watching
+//! a shared counter cross a threshold.
+//!
+//! "Consider a system where processes count events, and a monitoring
+//! process detects when the number of events passes a threshold."
+//! IVL is exactly the guarantee the monitor needs: any intermediate
+//! value it observes is bounded by the counter's true value at the
+//! read's start and end, so (a) it never fires before the true count
+//! has at least reached the observed value, and (b) it fires at most
+//! one read after the true count passes the threshold.
+
+use crate::SharedBatchedCounter;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Watches a batched counter until it reaches a threshold.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter, ThresholdMonitor};
+/// use ivl_counter::monitor::MonitorOutcome;
+///
+/// let counter = IvlBatchedCounter::new(2);
+/// let monitor = ThresholdMonitor::new(&counter, 100);
+/// let outcome = crossbeam::scope(|s| {
+///     let watcher = s.spawn(|_| monitor.run());
+///     s.spawn(|_| {
+///         for _ in 0..200 {
+///             counter.update_slot(0, 1);
+///         }
+///     });
+///     watcher.join().unwrap()
+/// })
+/// .unwrap();
+/// match outcome {
+///     MonitorOutcome::Fired { observed, .. } => {
+///         // IVL: the observed value is a sound lower bound on the
+///         // true count when the read returned.
+///         assert!((100..=200).contains(&observed));
+///     }
+///     MonitorOutcome::Stopped { .. } => unreachable!(),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ThresholdMonitor<'a, C> {
+    counter: &'a C,
+    threshold: u64,
+    stop: AtomicBool,
+}
+
+/// What a finished monitor observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MonitorOutcome {
+    /// The counter reached the threshold; carries the observed value
+    /// and how many reads it took.
+    Fired {
+        /// The first observed value ≥ threshold.
+        observed: u64,
+        /// Number of reads performed.
+        reads: u64,
+    },
+    /// The monitor was stopped before the threshold was reached;
+    /// carries the last observed value.
+    Stopped {
+        /// The last value read before stopping.
+        last: u64,
+    },
+}
+
+impl<'a, C: SharedBatchedCounter> ThresholdMonitor<'a, C> {
+    /// Creates a monitor firing when `counter.read() ≥ threshold`.
+    pub fn new(counter: &'a C, threshold: u64) -> Self {
+        ThresholdMonitor {
+            counter,
+            threshold,
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Polls the counter until it reaches the threshold or
+    /// [`ThresholdMonitor::stop`] is called (from another thread).
+    pub fn run(&self) -> MonitorOutcome {
+        let mut reads = 0u64;
+        let mut last = 0u64;
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return MonitorOutcome::Stopped { last };
+            }
+            let v = self.counter.read();
+            reads += 1;
+            last = v;
+            if v >= self.threshold {
+                return MonitorOutcome::Fired { observed: v, reads };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Asks a running monitor to stop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivl_batched::IvlBatchedCounter;
+
+    #[test]
+    fn fires_at_or_after_threshold() {
+        let n = 4;
+        let c = IvlBatchedCounter::new(n);
+        let monitor = ThresholdMonitor::new(&c, 1_000);
+        let outcome = crossbeam::scope(|s| {
+            let handle = s.spawn(|_| monitor.run());
+            for slot in 0..n {
+                let c = &c;
+                s.spawn(move |_| {
+                    for _ in 0..1_000 {
+                        c.update_slot(slot, 1);
+                    }
+                });
+            }
+            handle.join().unwrap()
+        })
+        .unwrap();
+        match outcome {
+            MonitorOutcome::Fired { observed, .. } => {
+                assert!(observed >= 1_000);
+                // IVL upper bound: never beyond the final total.
+                assert!(observed <= 4_000);
+            }
+            MonitorOutcome::Stopped { .. } => panic!("monitor must fire"),
+        }
+    }
+
+    #[test]
+    fn observed_value_is_sound_lower_bound_on_final_count() {
+        // Whatever the monitor observed, at least that many events
+        // really happened by the end (IVL lower bound + monotone
+        // counter).
+        let n = 2;
+        let c = IvlBatchedCounter::new(n);
+        let monitor = ThresholdMonitor::new(&c, 500);
+        let outcome = crossbeam::scope(|s| {
+            let handle = s.spawn(|_| monitor.run());
+            for slot in 0..n {
+                let c = &c;
+                s.spawn(move |_| {
+                    for _ in 0..5_000 {
+                        c.update_slot(slot, 1);
+                    }
+                });
+            }
+            handle.join().unwrap()
+        })
+        .unwrap();
+        let final_total = c.read();
+        if let MonitorOutcome::Fired { observed, .. } = outcome {
+            assert!(observed <= final_total);
+        }
+    }
+
+    #[test]
+    fn stop_interrupts() {
+        let c = IvlBatchedCounter::new(1);
+        let monitor = ThresholdMonitor::new(&c, u64::MAX);
+        let outcome = crossbeam::scope(|s| {
+            let handle = s.spawn(|_| monitor.run());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            monitor.stop();
+            handle.join().unwrap()
+        })
+        .unwrap();
+        assert!(matches!(outcome, MonitorOutcome::Stopped { .. }));
+    }
+}

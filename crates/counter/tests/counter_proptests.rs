@@ -1,0 +1,114 @@
+//! Property tests of the real-thread counters: exactness at
+//! quiescence for arbitrary update mixes, IVL of recorded concurrent
+//! histories across random shapes, and the envelope invariant.
+
+use ivl_counter::{
+    FetchAddCounter, IvlBatchedCounter, MutexBatchedCounter, RecordedCounter,
+    SharedBatchedCounter,
+};
+use ivl_spec::check_ivl_monotone;
+use ivl_spec::specs::BatchedCounterSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every counter implementation agrees with plain arithmetic at
+    /// quiescence, for arbitrary per-thread update sequences.
+    #[test]
+    fn quiescent_totals_exact(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..100, 0..50),
+            1..5,
+        ),
+    ) {
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let n = per_thread.len();
+
+        let ivl = IvlBatchedCounter::new(n);
+        let fa = FetchAddCounter::new(n);
+        let mx = MutexBatchedCounter::new(n);
+        crossbeam::scope(|s| {
+            for (slot, updates) in per_thread.iter().enumerate() {
+                let (ivl, fa, mx) = (&ivl, &fa, &mx);
+                s.spawn(move |_| {
+                    for &v in updates {
+                        ivl.update_slot(slot, v);
+                        fa.update_slot(slot, v);
+                        mx.update_slot(slot, v);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        prop_assert_eq!(ivl.read(), expected);
+        prop_assert_eq!(fa.read(), expected);
+        prop_assert_eq!(mx.read(), expected);
+    }
+
+    /// Recorded concurrent runs of the IVL counter are IVL, whatever
+    /// the workload shape (Lemma 10 as a property).
+    #[test]
+    fn recorded_ivl_counter_histories_are_ivl(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(1u64..20, 1..30),
+            1..4,
+        ),
+        reads in 1usize..30,
+    ) {
+        let n = per_thread.len();
+        let rec = RecordedCounter::new(IvlBatchedCounter::new(n + 1));
+        crossbeam::scope(|s| {
+            for (slot, updates) in per_thread.iter().enumerate() {
+                let rec = &rec;
+                s.spawn(move |_| {
+                    for &v in updates {
+                        rec.update(slot, v);
+                    }
+                });
+            }
+            let rec = &rec;
+            s.spawn(move |_| {
+                for _ in 0..reads {
+                    rec.read_from(n);
+                }
+            });
+        })
+        .unwrap();
+        let h = rec.finish();
+        prop_assert!(check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());
+    }
+
+    /// Reads are monotone when issued by a single reader, for any
+    /// number of writer threads (per-slot monotonicity + fixed scan
+    /// order).
+    #[test]
+    fn single_reader_sees_monotone_sums(threads in 1usize..5, per in 100u64..2_000) {
+        let c = IvlBatchedCounter::new(threads);
+        crossbeam::scope(|s| {
+            for slot in 0..threads {
+                let c = &c;
+                s.spawn(move |_| {
+                    for _ in 0..per {
+                        c.update_slot(slot, 1);
+                    }
+                });
+            }
+            let c = &c;
+            let target = per * threads as u64;
+            s.spawn(move |_| {
+                let mut last = 0;
+                loop {
+                    let v = c.read();
+                    assert!(v >= last);
+                    last = v;
+                    if v == target {
+                        break;
+                    }
+                }
+            });
+        })
+        .unwrap();
+        prop_assert_eq!(c.read(), per * threads as u64);
+    }
+}

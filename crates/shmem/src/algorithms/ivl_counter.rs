@@ -1,0 +1,201 @@
+//! Algorithm 2: the wait-free IVL batched counter from SWMR registers.
+//!
+//! ```text
+//! shared array v[1..n]            // v[i] writable only by p_i
+//! procedure update_i(v):  v[i] ← v[i] + v          // O(1) steps
+//! procedure read():       sum ← Σ_i v[i]; return   // O(n) steps
+//! ```
+//!
+//! `v[i] ← v[i] + v` is a read-modify-write of the process's *own*
+//! register; since `p_i` is its only writer, it keeps a local mirror
+//! and the update is a **single write step** — giving the O(1) update
+//! step complexity of Theorem 11. `read` collects all `n` registers,
+//! one step each.
+//!
+//! The implementation is *not* linearizable (a read may see a later
+//! update and miss an earlier one, Figure 2 of the paper) but is IVL
+//! (Lemma 10), which the simulator test-suite verifies on random
+//! schedules via [`ivl_spec::check_ivl_monotone`].
+
+use crate::executor::{SimObject, SimOp};
+use crate::machine::{MemCtx, OpMachine, StepStatus};
+use crate::register::{Memory, RegValue, RegisterId};
+use ivl_spec::ProcessId;
+
+/// The simulated Algorithm 2 object.
+#[derive(Debug)]
+pub struct IvlCounterSim {
+    regs: Vec<RegisterId>,
+    /// Local mirror of each process's own register (legal because each
+    /// register is single-writer).
+    local: Vec<u64>,
+}
+
+impl IvlCounterSim {
+    /// Allocates the `n` SWMR registers in `mem`.
+    pub fn new(mem: &mut Memory, n: usize) -> Self {
+        IvlCounterSim {
+            regs: mem.alloc_swmr_array(n),
+            local: vec![0; n],
+        }
+    }
+}
+
+impl SimObject for IvlCounterSim {
+    fn begin_op(&mut self, process: ProcessId, op: &SimOp) -> Box<dyn OpMachine> {
+        let pi = process.0 as usize;
+        match op {
+            SimOp::Update(v) => {
+                self.local[pi] += v;
+                Box::new(UpdateMachine {
+                    reg: self.regs[pi],
+                    value: self.local[pi],
+                })
+            }
+            SimOp::Query(_) => Box::new(ReadMachine {
+                regs: self.regs.clone(),
+                next: 0,
+                sum: 0,
+            }),
+        }
+    }
+
+    fn num_processes(&self) -> usize {
+        self.regs.len()
+    }
+}
+
+/// `update_i(v)`: one write of the new per-process sum.
+#[derive(Debug)]
+struct UpdateMachine {
+    reg: RegisterId,
+    value: u64,
+}
+
+impl OpMachine for UpdateMachine {
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
+        ctx.write(self.reg, RegValue::Int(self.value));
+        StepStatus::Done(None)
+    }
+}
+
+/// `read()`: collect all registers, one per step, then return the sum.
+#[derive(Debug)]
+struct ReadMachine {
+    regs: Vec<RegisterId>,
+    next: usize,
+    sum: u64,
+}
+
+impl OpMachine for ReadMachine {
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
+        self.sum += ctx.read(self.regs[self.next]).as_int();
+        self.next += 1;
+        if self.next == self.regs.len() {
+            StepStatus::Done(Some(self.sum))
+        } else {
+            StepStatus::Running
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, SimCounterSpec, Workload};
+    use crate::scheduler::{RandomScheduler, RoundRobinScheduler};
+    use ivl_spec::check_ivl_monotone;
+
+    #[test]
+    fn sequential_read_sums_updates() {
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, 2);
+        let workloads = vec![
+            Workload {
+                ops: vec![SimOp::Update(3), SimOp::Update(4)],
+            },
+            Workload {
+                ops: vec![SimOp::Query(0)],
+            },
+        ];
+        // Round-robin: p0 and p1 interleave; but each update is a
+        // single step, so the final read (if last) sees everything.
+        let mut exec = Executor::new(
+            mem,
+            Box::new(obj),
+            workloads,
+            RoundRobinScheduler::new(),
+        );
+        let result = exec.run();
+        assert!(check_ivl_monotone(&SimCounterSpec, &result.history).is_ivl());
+    }
+
+    #[test]
+    fn update_takes_one_step_read_takes_n() {
+        for n in [2usize, 4, 8, 16] {
+            let mut mem = Memory::new();
+            let obj = IvlCounterSim::new(&mut mem, n);
+            let mut workloads = vec![Workload::updates(3, 5); n];
+            workloads[0] = Workload {
+                ops: vec![SimOp::Query(0), SimOp::Query(0)],
+            };
+            let mut exec =
+                Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(n as u64));
+            let result = exec.run();
+            assert_eq!(result.mean_update_steps(), 1.0, "update is O(1)");
+            assert_eq!(result.mean_query_steps(), n as f64, "read is O(n)");
+        }
+    }
+
+    #[test]
+    fn random_schedules_are_ivl() {
+        for seed in 0..50 {
+            let mut mem = Memory::new();
+            let n = 4;
+            let obj = IvlCounterSim::new(&mut mem, n);
+            let mut workloads = vec![Workload::updates(4, 2); n];
+            workloads[1] = Workload {
+                ops: vec![
+                    SimOp::Query(0),
+                    SimOp::Update(7),
+                    SimOp::Query(0),
+                    SimOp::Query(0),
+                ],
+            };
+            let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
+            let result = exec.run();
+            assert!(
+                check_ivl_monotone(&SimCounterSpec, &result.history).is_ivl(),
+                "seed {seed} violated IVL"
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_like_intermediate_read() {
+        // p0 updates 7, p1 updates 3, p2 reads concurrently with a
+        // schedule that lets the read see p1's update but start before
+        // p0's completes: the IVL counter may return any of 0/3/7/10.
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, 3);
+        let workloads = vec![
+            Workload::updates(1, 7),
+            Workload::updates(1, 3),
+            Workload::queries(1, 0),
+        ];
+        // Schedule: p2 reads r0 (0), then p0 writes, p1 writes, then p2
+        // reads r1 (3) and r2 (0) -> returns 3, an intermediate value.
+        let script = vec![2, 0, 1, 2, 2];
+        let mut exec = Executor::new(
+            mem,
+            Box::new(obj),
+            workloads,
+            crate::scheduler::FixedScheduler::new(script),
+        );
+        let result = exec.run();
+        let ops = result.history.operations();
+        let read = ops.iter().find(|o| o.op.is_query()).unwrap();
+        assert_eq!(read.return_value, Some(3), "read returned 3 = 0 + 3");
+        assert!(check_ivl_monotone(&SimCounterSpec, &result.history).is_ivl());
+    }
+}

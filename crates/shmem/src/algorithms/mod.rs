@@ -1,0 +1,15 @@
+//! The paper's register-based algorithms as simulated step machines.
+
+pub mod binary_snapshot;
+pub mod fetch_add_counter;
+pub mod inc_dec_sim;
+pub mod ivl_counter;
+pub mod pcm_sim;
+pub mod snapshot;
+
+pub use binary_snapshot::BinarySnapshotSim;
+pub use fetch_add_counter::FetchAddCounterSim;
+pub use inc_dec_sim::{decode_signed, encode_signed, IncDecCounterSim, IncDecSimSpec};
+pub use ivl_counter::IvlCounterSim;
+pub use pcm_sim::{example9_hash, example9_violation_count, example9_violation_count_biased, PcmSim, TableCmSpec};
+pub use snapshot::SnapshotCounterSim;

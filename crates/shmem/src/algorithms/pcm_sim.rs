@@ -1,0 +1,354 @@
+//! A simulated `PCM`: the paper's concurrent CountMin (Algorithm 1)
+//! as step machines, for deterministic schedule re-enactments
+//! (Example 9) and violation-frequency experiments.
+//!
+//! Hash functions are supplied as explicit per-row tables over a
+//! finite alphabet, so tests can construct the exact collision
+//! patterns of the paper's Example 9 (`h1(a)=h2(a)=1`, `h1(b)=2`,
+//! `h2(b)=1`) without searching for them in a sampled hash family.
+//!
+//! Cells are incremented with the one-step atomic `fetch_add`
+//! primitive (the paper's "atomically increment"); queries read the
+//! `d` relevant cells one step at a time, which is exactly the window
+//! in which `PCM` is not linearizable.
+
+use crate::executor::{SimObject, SimOp};
+use crate::machine::{MemCtx, OpMachine, StepStatus};
+use crate::register::{Memory, RegisterId};
+use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+use ivl_spec::ProcessId;
+
+/// The simulated concurrent CountMin.
+#[derive(Debug)]
+pub struct PcmSim {
+    processes: usize,
+    /// `hash[row][item]` = column of `item` in `row`.
+    hash: Vec<Vec<usize>>,
+    /// `regs[row][col]`, all MWMR.
+    regs: Vec<Vec<RegisterId>>,
+}
+
+impl PcmSim {
+    /// Allocates a `d × w` matrix (dimensions inferred from the hash
+    /// tables) in `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash` is empty, rows have inconsistent alphabets, or
+    /// a table entry exceeds `width`.
+    pub fn new(mem: &mut Memory, processes: usize, width: usize, hash: Vec<Vec<usize>>) -> Self {
+        assert!(!hash.is_empty(), "need at least one row");
+        let alphabet = hash[0].len();
+        for row in &hash {
+            assert_eq!(row.len(), alphabet, "inconsistent alphabet across rows");
+            assert!(row.iter().all(|&c| c < width), "hash value out of range");
+        }
+        let regs = (0..hash.len())
+            .map(|_| (0..width).map(|_| mem.alloc(None)).collect())
+            .collect();
+        PcmSim {
+            processes,
+            hash,
+            regs,
+        }
+    }
+
+    /// The matching sequential specification `CM` over the same hash
+    /// tables (for the checkers).
+    pub fn spec(&self) -> TableCmSpec {
+        TableCmSpec {
+            width: self.regs[0].len(),
+            hash: self.hash.clone(),
+        }
+    }
+}
+
+impl SimObject for PcmSim {
+    fn begin_op(&mut self, _process: ProcessId, op: &SimOp) -> Box<dyn OpMachine> {
+        match op {
+            SimOp::Update(item) => Box::new(UpdateMachine {
+                cells: self
+                    .hash
+                    .iter()
+                    .zip(&self.regs)
+                    .map(|(row_hash, row_regs)| row_regs[row_hash[*item as usize]])
+                    .collect(),
+                next: 0,
+            }),
+            SimOp::Query(item) => Box::new(QueryMachine {
+                cells: self
+                    .hash
+                    .iter()
+                    .zip(&self.regs)
+                    .map(|(row_hash, row_regs)| row_regs[row_hash[*item as usize]])
+                    .collect(),
+                next: 0,
+                min: u64::MAX,
+            }),
+        }
+    }
+
+    fn num_processes(&self) -> usize {
+        self.processes
+    }
+}
+
+/// `update(a)`: one `fetch_add` per row.
+#[derive(Debug)]
+struct UpdateMachine {
+    cells: Vec<RegisterId>,
+    next: usize,
+}
+
+impl OpMachine for UpdateMachine {
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
+        ctx.fetch_add(self.cells[self.next], 1);
+        self.next += 1;
+        if self.next == self.cells.len() {
+            StepStatus::Done(None)
+        } else {
+            StepStatus::Running
+        }
+    }
+}
+
+/// `query(a)`: one read per row, return the minimum.
+#[derive(Debug)]
+struct QueryMachine {
+    cells: Vec<RegisterId>,
+    next: usize,
+    min: u64,
+}
+
+impl OpMachine for QueryMachine {
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
+        let v = ctx.read(self.cells[self.next]).as_int();
+        self.min = self.min.min(v);
+        self.next += 1;
+        if self.next == self.cells.len() {
+            StepStatus::Done(Some(self.min))
+        } else {
+            StepStatus::Running
+        }
+    }
+}
+
+/// Sequential CountMin specification over explicit hash tables —
+/// `CM(c̄)` with the table playing `c̄`. Monotone (cells only grow;
+/// min of grown cells grows).
+#[derive(Clone, Debug)]
+pub struct TableCmSpec {
+    width: usize,
+    hash: Vec<Vec<usize>>,
+}
+
+impl ObjectSpec for TableCmSpec {
+    type Update = u64;
+    type Query = u64;
+    type Value = u64;
+    type State = Vec<u64>;
+
+    fn initial_state(&self) -> Vec<u64> {
+        vec![0; self.width * self.hash.len()]
+    }
+
+    fn apply_update(&self, state: &mut Vec<u64>, update: &u64) {
+        for (row, row_hash) in self.hash.iter().enumerate() {
+            state[row * self.width + row_hash[*update as usize]] += 1;
+        }
+    }
+
+    fn eval_query(&self, state: &Vec<u64>, query: &u64) -> u64 {
+        self.hash
+            .iter()
+            .enumerate()
+            .map(|(row, row_hash)| state[row * self.width + row_hash[*query as usize]])
+            .min()
+            .expect("at least one row")
+    }
+}
+
+impl MonotoneSpec for TableCmSpec {}
+
+/// Example 9's hash pattern over alphabet {a=0, b=1, e=2}, w=2, d=2:
+/// h1(a)=0, h2(a)=0, h1(b)=1, h2(b)=0 (the paper's values,
+/// 0-indexed), plus a filler item e with h1(e)=1, h2(e)=1 that lets
+/// real updates reach the paper's initial matrix `[[1,4],[2,3]]`.
+pub fn example9_hash() -> Vec<Vec<usize>> {
+    vec![vec![0, 1, 1], vec![0, 0, 1]]
+}
+
+/// Runs `runs` random schedules of an Example 9-shaped workload and
+/// returns how many recorded histories were **not** linearizable
+/// (experiment E7; every history is additionally asserted IVL —
+/// Lemma 7).
+///
+/// # Panics
+///
+/// Panics if any history violates IVL.
+pub fn example9_violation_count(runs: u64) -> u64 {
+    example9_violation_count_with(runs, crate::scheduler::RandomScheduler::new)
+}
+
+/// [`example9_violation_count`] under a *biased* scheduler: `weights`
+/// gives the updater (index 0) and querier (index 1) scheduling
+/// weights. Starving the updater widens the window in which its
+/// multi-row update is half-applied, raising the violation rate —
+/// the adversarial-speed sensitivity of Example 9 (E7b).
+pub fn example9_violation_count_biased(runs: u64, weights: [u32; 2]) -> u64 {
+    example9_violation_count_with(runs, |seed| {
+        crate::scheduler::BiasedScheduler::new(weights.to_vec(), seed)
+    })
+}
+
+fn example9_violation_count_with<S, F>(runs: u64, mk_scheduler: F) -> u64
+where
+    S: crate::scheduler::Scheduler,
+    F: Fn(u64) -> S,
+{
+    use crate::executor::{Executor, Workload};
+    use ivl_spec::check_ivl_monotone;
+    use ivl_spec::linearize::check_linearizable;
+
+    let mut nonlin = 0;
+    for seed in 0..runs {
+        let mut mem = Memory::new();
+        let obj = PcmSim::new(&mut mem, 2, 2, example9_hash());
+        let spec = obj.spec();
+        let workloads = vec![
+            // Seeds (as in Example 9), then repeated updates of a.
+            Workload {
+                ops: vec![
+                    SimOp::Update(2),
+                    SimOp::Update(2),
+                    SimOp::Update(2),
+                    SimOp::Update(0),
+                    SimOp::Update(1),
+                    SimOp::Update(0),
+                    SimOp::Update(0),
+                    SimOp::Update(0),
+                ],
+            },
+            // Query pairs: query(a) then query(b), repeatedly.
+            Workload {
+                ops: vec![
+                    SimOp::Query(0),
+                    SimOp::Query(1),
+                    SimOp::Query(0),
+                    SimOp::Query(1),
+                    SimOp::Query(0),
+                    SimOp::Query(1),
+                ],
+            },
+        ];
+        let mut exec = Executor::new(mem, Box::new(obj), workloads, mk_scheduler(seed));
+        let result = exec.run();
+        assert!(
+            check_ivl_monotone(&spec, &result.history).is_ivl(),
+            "seed {seed}: Lemma 7 violated"
+        );
+        if !check_linearizable(&[spec], &result.history).is_linearizable() {
+            nonlin += 1;
+        }
+    }
+    nonlin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, Workload};
+    use crate::scheduler::FixedScheduler;
+    use ivl_spec::check_ivl_monotone;
+    use ivl_spec::linearize::check_linearizable;
+
+    #[test]
+    fn example9_deterministic_reenactment() {
+        // The paper's Example 9, verbatim up to reachability: seeding
+        // with completed updates e,e,e,a,b produces exactly the
+        // paper's initial matrix c = [[1,4],[2,3]]. Then U=update(a)
+        // stalls after incrementing row 1 (c[0][0]: 1→2); Q1=query(a)
+        // returns 2 (sees U), Q2=query(b) returns 2 (misses U's row-2
+        // increment); finally U completes. The return values force
+        // U ≺ Q1 and Q2 ≺ U in any linearization, contradicting the
+        // program order Q1 ≺_H Q2 — not linearizable, yet IVL.
+        let mut mem = Memory::new();
+        let obj = PcmSim::new(&mut mem, 2, 2, example9_hash());
+        let spec = obj.spec();
+        let workloads = vec![
+            // p0: seeds, then the stalled update U(a).
+            Workload {
+                ops: vec![
+                    SimOp::Update(2),
+                    SimOp::Update(2),
+                    SimOp::Update(2),
+                    SimOp::Update(0),
+                    SimOp::Update(1),
+                    SimOp::Update(0), // U
+                ],
+            },
+            // p1: Q1 = query(a), then Q2 = query(b).
+            Workload {
+                ops: vec![SimOp::Query(0), SimOp::Query(1)],
+            },
+        ];
+        // p0: 5 seed updates × 2 steps = 10 steps, then U's row-1
+        // step; p1: Q1 (2 steps), Q2 (2 steps); p0 finishes U.
+        let mut script = vec![0; 11];
+        script.extend([1, 1, 1, 1, 0]);
+        let mut exec = Executor::new(mem, Box::new(obj), workloads, FixedScheduler::new(script));
+        let result = exec.run();
+        let ops = result.history.operations();
+        let queries: Vec<_> = ops.iter().filter(|o| o.op.is_query()).collect();
+        assert_eq!(queries[0].return_value, Some(2), "Q1 observes U's row-1 bump");
+        assert_eq!(queries[1].return_value, Some(2), "Q2 misses U's row-2 bump");
+        assert!(
+            !check_linearizable(std::slice::from_ref(&spec), &result.history).is_linearizable(),
+            "Example 9: no linearization exists"
+        );
+        assert!(
+            check_ivl_monotone(&spec, &result.history).is_ivl(),
+            "Example 9 history is IVL (Lemma 7)"
+        );
+    }
+
+    #[test]
+    fn random_schedules_are_ivl_and_sometimes_not_linearizable() {
+        // Lemma 7 on random schedules + Example 9's moral: some
+        // schedule is not linearizable.
+        let nonlin = example9_violation_count(300);
+        assert!(
+            nonlin > 0,
+            "expected at least one non-linearizable PCM schedule in 300 runs"
+        );
+    }
+
+    #[test]
+    fn quiescent_queries_match_spec() {
+        let mut mem = Memory::new();
+        let obj = PcmSim::new(&mut mem, 2, 4, vec![vec![0, 1, 2, 3], vec![1, 0, 3, 2]]);
+        let spec = obj.spec();
+        let workloads = vec![
+            Workload {
+                ops: vec![SimOp::Update(2), SimOp::Update(2), SimOp::Update(3)],
+            },
+            Workload {
+                ops: vec![SimOp::Query(2)],
+            },
+        ];
+        // p0 finishes everything, then p1 queries.
+        let script: Vec<usize> = std::iter::repeat_n(0, 6)
+            .chain(std::iter::repeat_n(1, 2))
+            .collect();
+        let mut exec = Executor::new(mem, Box::new(obj), workloads, FixedScheduler::new(script));
+        let result = exec.run();
+        let q = result
+            .history
+            .operations()
+            .into_iter()
+            .find(|o| o.op.is_query())
+            .unwrap();
+        assert_eq!(q.return_value, Some(2));
+        assert!(check_linearizable(&[spec], &result.history).is_linearizable());
+    }
+}

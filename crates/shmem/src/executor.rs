@@ -1,0 +1,383 @@
+//! The execution engine: drives per-process workloads against a
+//! simulated object under a scheduler, recording the history and
+//! per-operation step counts.
+
+use crate::machine::{MemCtx, OpMachine, StepStatus};
+use crate::register::Memory;
+use crate::scheduler::Scheduler;
+use ivl_spec::history::{History, HistoryBuilder, ObjectId, OpId};
+use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+use ivl_spec::ProcessId;
+
+/// One operation of a workload: counters use `Update(v)`/`Query(_)`,
+/// the binary snapshot uses `Update(bit)`/`Query(_)`. The query
+/// argument is carried into the recorded history (and ignored by
+/// counters).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimOp {
+    /// A mutating operation with argument.
+    Update(u64),
+    /// A read-only operation with argument.
+    Query(u64),
+}
+
+/// The operation sequence one process performs.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// Operations in program order.
+    pub ops: Vec<SimOp>,
+}
+
+impl Workload {
+    /// A workload of `count` updates of `value` each.
+    pub fn updates(count: usize, value: u64) -> Self {
+        Workload {
+            ops: vec![SimOp::Update(value); count],
+        }
+    }
+
+    /// A workload of `count` queries with argument `arg`.
+    pub fn queries(count: usize, arg: u64) -> Self {
+        Workload {
+            ops: vec![SimOp::Query(arg); count],
+        }
+    }
+}
+
+/// A simulated shared object: allocates its registers at construction
+/// and hands out one [`OpMachine`] per invoked operation.
+pub trait SimObject {
+    /// Begins an operation by `process`, returning its step machine.
+    /// Called exactly once per invocation, at invocation time; any
+    /// process-local bookkeeping (e.g. cached own-register values) may
+    /// be updated here, since it is invisible to other processes.
+    fn begin_op(&mut self, process: ProcessId, op: &SimOp) -> Box<dyn OpMachine>;
+
+    /// Number of processes the object was configured for.
+    fn num_processes(&self) -> usize;
+}
+
+/// Step count and identity of one completed (or pending) operation.
+#[derive(Clone, Debug)]
+pub struct OpStat {
+    /// Operation id in the recorded history.
+    pub id: OpId,
+    /// Executing process.
+    pub process: ProcessId,
+    /// The operation performed.
+    pub op: SimOp,
+    /// Shared-memory steps the operation took (scheduled machine
+    /// steps).
+    pub steps: u64,
+    /// Whether the operation completed within the run.
+    pub completed: bool,
+}
+
+/// Outcome of an execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The recorded history (update arg, query arg, return value all
+    /// `u64`).
+    pub history: History<u64, u64, u64>,
+    /// Per-operation statistics, in invocation order.
+    pub stats: Vec<OpStat>,
+}
+
+impl RunResult {
+    /// Mean step count over completed operations matching `pred`.
+    pub fn mean_steps(&self, pred: impl Fn(&OpStat) -> bool) -> f64 {
+        let sel: Vec<&OpStat> = self
+            .stats
+            .iter()
+            .filter(|s| s.completed && pred(s))
+            .collect();
+        if sel.is_empty() {
+            return f64::NAN;
+        }
+        sel.iter().map(|s| s.steps as f64).sum::<f64>() / sel.len() as f64
+    }
+
+    /// Maximum step count over completed operations matching `pred`.
+    pub fn max_steps(&self, pred: impl Fn(&OpStat) -> bool) -> u64 {
+        self.stats
+            .iter()
+            .filter(|s| s.completed && pred(s))
+            .map(|s| s.steps)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean steps of completed updates.
+    pub fn mean_update_steps(&self) -> f64 {
+        self.mean_steps(|s| matches!(s.op, SimOp::Update(_)))
+    }
+
+    /// Mean steps of completed queries.
+    pub fn mean_query_steps(&self) -> f64 {
+        self.mean_steps(|s| matches!(s.op, SimOp::Query(_)))
+    }
+}
+
+struct InFlight {
+    id: OpId,
+    machine: Box<dyn OpMachine>,
+    op: SimOp,
+    /// Shared-memory accesses so far (the step-complexity measure).
+    steps: u64,
+    /// Scheduled turns so far, including access-free local steps; used
+    /// only for the wait-freedom backstop.
+    turns: u64,
+}
+
+struct ProcState {
+    workload: Vec<SimOp>,
+    next_op: usize,
+    current: Option<InFlight>,
+}
+
+/// Drives a [`SimObject`] under a [`Scheduler`].
+pub struct Executor<S: Scheduler> {
+    mem: Memory,
+    object: Box<dyn SimObject>,
+    procs: Vec<ProcState>,
+    scheduler: S,
+    /// Hard cap on steps per operation — a backstop against
+    /// wait-freedom violations in algorithm implementations.
+    pub max_steps_per_op: u64,
+}
+
+impl<S: Scheduler> std::fmt::Debug for Executor<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("processes", &self.procs.len())
+            .field("max_steps_per_op", &self.max_steps_per_op)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Scheduler> Executor<S> {
+    /// Creates an executor over `object` (whose registers live in
+    /// `mem`), one workload per process, driven by `scheduler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of workloads does not match the object's
+    /// process count.
+    pub fn new(
+        mem: Memory,
+        object: Box<dyn SimObject>,
+        workloads: Vec<Workload>,
+        scheduler: S,
+    ) -> Self {
+        assert_eq!(
+            workloads.len(),
+            object.num_processes(),
+            "one workload per process"
+        );
+        let n = workloads.len();
+        let procs = workloads
+            .into_iter()
+            .map(|w| ProcState {
+                workload: w.ops,
+                next_op: 0,
+                current: None,
+            })
+            .collect();
+        let max_steps_per_op = 64 + 8 * (n as u64) * (n as u64);
+        Executor {
+            mem,
+            object,
+            procs,
+            scheduler,
+            max_steps_per_op,
+        }
+    }
+
+    /// Runs every workload to completion and returns the recorded
+    /// history and step counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation exceeds [`Executor::max_steps_per_op`]
+    /// steps (wait-freedom violation in the simulated algorithm).
+    pub fn run(&mut self) -> RunResult {
+        self.run_bounded(u64::MAX)
+    }
+
+    /// Runs at most `max_turns` scheduling turns and then stops,
+    /// leaving in-flight operations **pending** in the recorded
+    /// history (they are reported with `completed: false` in the
+    /// stats). This exercises the pending-operation paths of the
+    /// checkers: a cut-off execution is exactly a history with
+    /// pending updates/queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on wait-freedom violations, as [`Executor::run`].
+    pub fn run_bounded(&mut self, max_turns: u64) -> RunResult {
+        let mut builder = HistoryBuilder::<u64, u64, u64>::new();
+        let mut stats: Vec<OpStat> = Vec::new();
+        let obj = ObjectId(0);
+        let mut turns = 0u64;
+
+        loop {
+            if turns >= max_turns {
+                break;
+            }
+            turns += 1;
+            let runnable = self.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            let pi = self.scheduler.next(&runnable);
+            let p = ProcessId(pi as u32);
+
+            // Invoke a new operation if idle.
+            if self.procs[pi].current.is_none() {
+                let op = self.procs[pi].workload[self.procs[pi].next_op];
+                self.procs[pi].next_op += 1;
+                let id = match op {
+                    SimOp::Update(v) => builder.invoke_update(p, obj, v),
+                    SimOp::Query(a) => builder.invoke_query(p, obj, a),
+                };
+                let machine = self.object.begin_op(p, &op);
+                self.procs[pi].current = Some(InFlight {
+                    id,
+                    machine,
+                    op,
+                    steps: 0,
+                    turns: 0,
+                });
+            }
+
+            // One step.
+            let fl = self.procs[pi].current.as_mut().expect("op in flight");
+            let mut ctx = MemCtx::new(&mut self.mem, p);
+            let status = fl.machine.step(&mut ctx);
+            if ctx.access_used() {
+                fl.steps += 1;
+            }
+            fl.turns += 1;
+            assert!(
+                fl.turns <= self.max_steps_per_op,
+                "operation {} of {p} exceeded {} turns: wait-freedom violated",
+                fl.id,
+                self.max_steps_per_op
+            );
+            if let StepStatus::Done(ret) = status {
+                match (fl.op, ret) {
+                    (SimOp::Update(_), None) => builder.respond_update(fl.id),
+                    (SimOp::Query(_), Some(v)) => builder.respond_query(fl.id, v),
+                    (SimOp::Update(_), Some(_)) => panic!("update returned a value"),
+                    (SimOp::Query(_), None) => panic!("query returned no value"),
+                }
+                stats.push(OpStat {
+                    id: fl.id,
+                    process: p,
+                    op: fl.op,
+                    steps: fl.steps,
+                    completed: true,
+                });
+                self.procs[pi].current = None;
+            }
+        }
+
+        // Report operations still in flight at the cutoff.
+        for (pi, p) in self.procs.iter().enumerate() {
+            if let Some(fl) = &p.current {
+                stats.push(OpStat {
+                    id: fl.id,
+                    process: ProcessId(pi as u32),
+                    op: fl.op,
+                    steps: fl.steps,
+                    completed: false,
+                });
+            }
+        }
+
+        RunResult {
+            history: builder.finish(),
+            stats,
+        }
+    }
+
+    /// Read access to the memory (for post-run inspection).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The processes that can take a step right now (mid-operation or
+    /// with workload remaining). Used by the exhaustive explorer to
+    /// branch on every scheduling choice.
+    pub fn runnable(&self) -> Vec<usize> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.current.is_some() || p.next_op < p.workload.len())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Sequential specification matching simulator counter histories
+/// (update arg / query arg / value all `u64`; the query argument is
+/// ignored). Equivalent to [`ivl_spec::specs::BatchedCounterSpec`]
+/// modulo the query argument type.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SimCounterSpec;
+
+impl ObjectSpec for SimCounterSpec {
+    type Update = u64;
+    type Query = u64;
+    type Value = u64;
+    type State = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn apply_update(&self, state: &mut u64, update: &u64) {
+        *state += *update;
+    }
+
+    fn eval_query(&self, state: &u64, _query: &u64) -> u64 {
+        *state
+    }
+}
+
+impl MonotoneSpec for SimCounterSpec {}
+
+/// Sequential specification of the binary snapshot object of
+/// Algorithm 3 as recorded by the simulator: `update` arguments encode
+/// `(component << 1) | bit`, queries return the bit-vector as a mask.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimBinarySnapshotSpec {
+    /// Number of components.
+    pub n: usize,
+}
+
+impl ObjectSpec for SimBinarySnapshotSpec {
+    type Update = u64;
+    type Query = u64;
+    type Value = u64;
+    type State = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn apply_update(&self, state: &mut u64, update: &u64) {
+        let component = (update >> 1) as usize;
+        let bit = update & 1;
+        assert!(component < self.n);
+        if bit == 1 {
+            *state |= 1 << component;
+        } else {
+            *state &= !(1 << component);
+        }
+    }
+
+    fn eval_query(&self, state: &u64, _query: &u64) -> u64 {
+        *state
+    }
+}

@@ -1,0 +1,182 @@
+//! Step-complexity sweeps: the E1/E2 experiments of DESIGN.md.
+//!
+//! These regenerate, in the paper's own cost model, the asymptotic
+//! claims of §6: the IVL batched counter updates in O(1) and reads in
+//! O(n) steps (Theorem 11), while the linearizable snapshot-based
+//! counter — a representative of the Ω(n) lower bound of Theorem 14 —
+//! pays at least `2n + 1` steps per update.
+
+use crate::algorithms::{FetchAddCounterSim, IvlCounterSim, SnapshotCounterSim};
+use crate::executor::{Executor, RunResult, SimOp, Workload};
+use crate::register::Memory;
+use crate::scheduler::RandomScheduler;
+
+/// One row of the step-complexity table.
+#[derive(Clone, Copy, Debug)]
+pub struct StepComplexityRow {
+    /// Number of processes.
+    pub n: usize,
+    /// Mean steps of an IVL counter `update`.
+    pub ivl_update_mean: f64,
+    /// Maximum steps of an IVL counter `update`.
+    pub ivl_update_max: u64,
+    /// Mean steps of an IVL counter `read`.
+    pub ivl_read_mean: f64,
+    /// Mean steps of a linearizable (snapshot) counter `update`.
+    pub lin_update_mean: f64,
+    /// Minimum steps of a linearizable counter `update` (compare with
+    /// the `2n + 1` floor).
+    pub lin_update_min: u64,
+    /// Mean steps of a linearizable counter `read` (scan).
+    pub lin_read_mean: f64,
+    /// Mean steps of the RMW fetch-add counter `update` (always 1 —
+    /// the bound is register-model-specific).
+    pub rmw_update_mean: f64,
+}
+
+fn mixed_workloads(n: usize, updates_per_proc: usize, reader: usize) -> Vec<Workload> {
+    let mut w = vec![Workload::updates(updates_per_proc, 1); n];
+    w[reader] = Workload {
+        ops: (0..updates_per_proc)
+            .map(|k| {
+                if k % 2 == 0 {
+                    SimOp::Query(0)
+                } else {
+                    SimOp::Update(1)
+                }
+            })
+            .collect(),
+    };
+    w
+}
+
+fn run_ivl(n: usize, updates_per_proc: usize, seed: u64) -> RunResult {
+    let mut mem = Memory::new();
+    let obj = IvlCounterSim::new(&mut mem, n);
+    let mut exec = Executor::new(
+        mem,
+        Box::new(obj),
+        mixed_workloads(n, updates_per_proc, 0),
+        RandomScheduler::new(seed),
+    );
+    exec.run()
+}
+
+fn run_lin(n: usize, updates_per_proc: usize, seed: u64) -> RunResult {
+    let mut mem = Memory::new();
+    let obj = SnapshotCounterSim::new(&mut mem, n);
+    let mut exec = Executor::new(
+        mem,
+        Box::new(obj),
+        mixed_workloads(n, updates_per_proc, 0),
+        RandomScheduler::new(seed),
+    );
+    exec.run()
+}
+
+fn run_rmw(n: usize, updates_per_proc: usize, seed: u64) -> RunResult {
+    let mut mem = Memory::new();
+    let obj = FetchAddCounterSim::new(&mut mem, n);
+    let mut exec = Executor::new(
+        mem,
+        Box::new(obj),
+        mixed_workloads(n, updates_per_proc, 0),
+        RandomScheduler::new(seed),
+    );
+    exec.run()
+}
+
+/// Runs the E1/E2 sweep: for each process count in `ns`, executes an
+/// update-heavy workload with interleaved reads on both counters under
+/// a seeded random scheduler and collects per-operation step counts.
+pub fn step_complexity_sweep(ns: &[usize], updates_per_proc: usize, seed: u64) -> Vec<StepComplexityRow> {
+    ns.iter()
+        .map(|&n| {
+            let ivl = run_ivl(n, updates_per_proc, seed ^ n as u64);
+            let lin = run_lin(n, updates_per_proc, seed ^ n as u64);
+            let rmw = run_rmw(n, updates_per_proc, seed ^ n as u64);
+            let is_update = |s: &crate::executor::OpStat| matches!(s.op, SimOp::Update(_));
+            let is_query = |s: &crate::executor::OpStat| matches!(s.op, SimOp::Query(_));
+            StepComplexityRow {
+                n,
+                ivl_update_mean: ivl.mean_steps(is_update),
+                ivl_update_max: ivl.max_steps(is_update),
+                ivl_read_mean: ivl.mean_steps(is_query),
+                lin_update_mean: lin.mean_steps(is_update),
+                lin_update_min: lin
+                    .stats
+                    .iter()
+                    .filter(|s| is_update(s))
+                    .map(|s| s.steps)
+                    .min()
+                    .unwrap_or(0),
+                lin_read_mean: lin.mean_steps(is_query),
+                rmw_update_mean: rmw.mean_steps(is_update),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as an aligned text table (the EXPERIMENTS.md
+/// artifact for E1/E2).
+pub fn render_table(rows: &[StepComplexityRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "  n | IVL upd mean | IVL upd max | IVL read mean | LIN upd mean | LIN upd min | LIN read mean | RMW upd mean\n",
+    );
+    out.push_str(
+        "----+--------------+-------------+---------------+--------------+-------------+---------------+-------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>3} | {:>12.2} | {:>11} | {:>13.2} | {:>12.2} | {:>11} | {:>13.2} | {:>12.2}\n",
+            r.n,
+            r.ivl_update_mean,
+            r.ivl_update_max,
+            r.ivl_read_mean,
+            r.lin_update_mean,
+            r.lin_update_min,
+            r.lin_read_mean,
+            r.rmw_update_mean,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_confirms_theorem_11_and_14_shapes() {
+        let rows = step_complexity_sweep(&[2, 4, 8, 16], 6, 42);
+        for r in &rows {
+            // Theorem 11: IVL update O(1), read O(n) exactly.
+            assert_eq!(r.ivl_update_max, 1, "n={}: IVL update is 1 step", r.n);
+            assert_eq!(r.ivl_read_mean, r.n as f64, "n={}: IVL read is n steps", r.n);
+            // Theorem 14 shape: linearizable update at least 2n+1.
+            assert!(
+                r.lin_update_min > 2 * r.n as u64,
+                "n={}: linearizable update ≥ 2n+1 steps",
+                r.n
+            );
+        }
+        // Linear growth: update cost at n=16 must dwarf n=2.
+        assert!(rows[3].lin_update_mean > 4.0 * rows[0].lin_update_mean);
+        // IVL update cost flat in n.
+        assert_eq!(rows[0].ivl_update_mean, rows[3].ivl_update_mean);
+        // The RMW counter is O(1) at every n — the bound is
+        // register-model-specific.
+        for r in &rows {
+            assert_eq!(r.rmw_update_mean, 1.0, "n={}", r.n);
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = step_complexity_sweep(&[2, 4], 4, 1);
+        let t = render_table(&rows);
+        assert!(t.contains("IVL upd mean"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic shared-memory simulator for step-complexity
+//! experiments.
+//!
+//! The complexity results of the paper (Theorem 11: the IVL batched
+//! counter does `update` in O(1) and `read` in O(n) steps; Theorem 14:
+//! any wait-free *linearizable* batched counter from SWMR registers
+//! needs Ω(n) steps per `update`) are statements about *shared-memory
+//! steps* in the standard asynchronous model — not about wall-clock
+//! time. This crate executes the paper's algorithms in exactly that
+//! model and counts steps, so the claims can be checked in their own
+//! cost model:
+//!
+//! * [`register`] — a memory of atomic registers with single-writer
+//!   (SWMR) ownership enforcement; every read or write of a shared
+//!   register is one *step*.
+//! * [`machine`] — operations as explicit step machines performing at
+//!   most one shared-memory access per step (uniform step complexity,
+//!   paper §3.1).
+//! * [`scheduler`] — round-robin, seeded-random, and fixed (replay)
+//!   schedulers; the executor is deterministic given a scheduler, per
+//!   the deterministic-algorithm model of §2.1.
+//! * [`executor`] — drives per-process workloads, records the resulting
+//!   [`ivl_spec::History`] and per-operation step counts.
+//! * [`algorithms`] — the paper's constructions: the IVL batched
+//!   counter (Algorithm 2), a linearizable batched counter built from a
+//!   wait-free atomic snapshot (Afek et al.-style, the standard
+//!   SWMR-register construction, whose update cost is ≥ n+1 steps —
+//!   matching the Ω(n) lower bound), and the binary-snapshot reduction
+//!   (Algorithm 3).
+//! * [`experiments`] — parameter sweeps producing the step-count tables
+//!   reported in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithms;
+pub mod executor;
+pub mod exhaustive;
+pub mod experiments;
+pub mod machine;
+pub mod register;
+pub mod scheduler;
+
+pub use executor::{Executor, OpStat, RunResult, SimOp, Workload};
+pub use exhaustive::{count_schedules, explore_all_schedules, ExplorationStats};
+pub use machine::{MemCtx, OpMachine, StepStatus};
+pub use register::{Memory, RegValue, RegisterId};
+pub use scheduler::{BiasedScheduler, FixedScheduler, RandomScheduler, RoundRobinScheduler, Scheduler};

@@ -1,0 +1,124 @@
+//! Operations as explicit step machines.
+//!
+//! An operation in the model is a sequence of *steps*, each accessing
+//! at most one shared variable plus arbitrary local computation
+//! (paper §2.1). An [`OpMachine`] is the explicit state-machine form of
+//! one in-flight operation: the executor calls [`OpMachine::step`] once
+//! per scheduled step, handing it a [`MemCtx`] that permits **at most
+//! one** shared access — a second access within the same step panics,
+//! so the step accounting cannot silently drift from the model.
+
+use crate::register::{Memory, RegValue, RegisterId};
+use ivl_spec::ProcessId;
+
+/// Per-step capability to access shared memory at most once.
+#[derive(Debug)]
+pub struct MemCtx<'a> {
+    mem: &'a mut Memory,
+    process: ProcessId,
+    accessed: bool,
+}
+
+impl<'a> MemCtx<'a> {
+    /// Creates a context for one step of `process`.
+    pub fn new(mem: &'a mut Memory, process: ProcessId) -> Self {
+        MemCtx {
+            mem,
+            process,
+            accessed: false,
+        }
+    }
+
+    fn claim_access(&mut self) {
+        assert!(
+            !self.accessed,
+            "a step may perform at most one shared-memory access"
+        );
+        self.accessed = true;
+    }
+
+    /// Atomically reads register `r` (consumes this step's access).
+    pub fn read(&mut self, r: RegisterId) -> RegValue {
+        self.claim_access();
+        self.mem.read(r)
+    }
+
+    /// Atomically writes register `r` (consumes this step's access).
+    ///
+    /// # Panics
+    ///
+    /// Panics on SWMR ownership violation.
+    pub fn write(&mut self, r: RegisterId, value: RegValue) {
+        self.claim_access();
+        self.mem.write(r, self.process, value);
+    }
+
+    /// Atomically adds `delta` to register `r`, returning the previous
+    /// value (consumes this step's access). RMW primitive — see
+    /// [`Memory::fetch_add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on SWMR registers or non-`Int` contents.
+    pub fn fetch_add(&mut self, r: RegisterId, delta: u64) -> u64 {
+        self.claim_access();
+        self.mem.fetch_add(r, delta)
+    }
+
+    /// The process executing this step.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// Whether this step performed its shared access.
+    pub fn access_used(&self) -> bool {
+        self.accessed
+    }
+}
+
+/// Outcome of one step of an operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepStatus {
+    /// The operation needs more steps.
+    Running,
+    /// The operation completed; queries carry their return value,
+    /// updates carry `None`.
+    Done(Option<u64>),
+}
+
+/// One in-flight operation as an explicit state machine.
+///
+/// Implementations must be *bounded wait-free*: `step` must report
+/// `Done` within a bounded number of calls regardless of other
+/// processes' progress (the paper assumes bounded wait-freedom
+/// throughout, §3.1). The executor enforces a generous hard cap as a
+/// backstop.
+pub trait OpMachine {
+    /// Executes one step: at most one shared access via `ctx`, plus
+    /// local computation.
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at most one shared-memory access")]
+    fn second_access_in_one_step_panics() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(Some(ProcessId(0)));
+        let mut ctx = MemCtx::new(&mut mem, ProcessId(0));
+        let _ = ctx.read(r);
+        let _ = ctx.read(r);
+    }
+
+    #[test]
+    fn single_access_ok() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(Some(ProcessId(0)));
+        let mut ctx = MemCtx::new(&mut mem, ProcessId(0));
+        ctx.write(r, RegValue::Int(3));
+        assert!(ctx.access_used());
+    }
+}

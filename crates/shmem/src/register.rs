@@ -1,0 +1,238 @@
+//! Atomic shared registers with SWMR ownership enforcement.
+//!
+//! The model (paper §2.1): processes access atomic shared variables;
+//! each access is instantaneous and counts as one step. Registers in
+//! the abstract model may hold arbitrarily large values (the Afek et
+//! al. snapshot stores an embedded view in a register), represented
+//! here by [`RegValue`].
+//!
+//! The lower bound of Theorem 14 holds for implementations from
+//! *single-writer* multi-reader (SWMR) registers, so [`Memory`]
+//! enforces single-writer ownership: a write by any process other than
+//! the register's owner panics, making an accidental departure from
+//! the model loud.
+
+use ivl_spec::ProcessId;
+use std::fmt;
+
+/// Index of a register within a [`Memory`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RegisterId(pub usize);
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The value held by a register.
+///
+/// The abstract model allows registers of unbounded size; the variants
+/// cover the shapes used by the algorithms in this crate.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum RegValue {
+    /// Initial, never-written state.
+    #[default]
+    Empty,
+    /// A plain integer (the IVL counter's per-process sums).
+    Int(u64),
+    /// A snapshot-object component: the stored value, a write sequence
+    /// number, and the writer's embedded view of all components (Afek
+    /// et al.).
+    Snap {
+        /// Component value.
+        value: u64,
+        /// Number of writes to this component so far.
+        seq: u64,
+        /// The view (one value per component) the writer embedded.
+        view: Vec<u64>,
+    },
+}
+
+impl RegValue {
+    /// Reads the integer in `Int`, or 0 for `Empty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Snap` — mixing register disciplines is an algorithm
+    /// bug.
+    pub fn as_int(&self) -> u64 {
+        match self {
+            RegValue::Empty => 0,
+            RegValue::Int(v) => *v,
+            RegValue::Snap { .. } => panic!("read Snap register as Int"),
+        }
+    }
+
+    /// Reads a snapshot component, mapping `Empty` to an all-zero
+    /// component with an empty view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Int`.
+    pub fn as_snap(&self) -> (u64, u64, &[u64]) {
+        match self {
+            RegValue::Empty => (0, 0, &[]),
+            RegValue::Snap { value, seq, view } => (*value, *seq, view),
+            RegValue::Int(_) => panic!("read Int register as Snap"),
+        }
+    }
+}
+
+/// A bank of atomic registers with ownership metadata and access
+/// counters.
+#[derive(Debug, Default)]
+pub struct Memory {
+    cells: Vec<RegValue>,
+    owners: Vec<Option<ProcessId>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Allocates a register writable only by `owner` (SWMR); pass
+    /// `None` for a multi-writer register (not used by the paper's
+    /// algorithms, provided for baselines).
+    pub fn alloc(&mut self, owner: Option<ProcessId>) -> RegisterId {
+        self.cells.push(RegValue::Empty);
+        self.owners.push(owner);
+        RegisterId(self.cells.len() - 1)
+    }
+
+    /// Allocates `n` registers, register `i` owned by process `i`.
+    pub fn alloc_swmr_array(&mut self, n: usize) -> Vec<RegisterId> {
+        (0..n)
+            .map(|i| self.alloc(Some(ProcessId(i as u32))))
+            .collect()
+    }
+
+    /// Atomically reads a register. One step.
+    pub fn read(&mut self, r: RegisterId) -> RegValue {
+        self.reads += 1;
+        self.cells[r.0].clone()
+    }
+
+    /// Atomically writes a register. One step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writer` is not the register's owner (SWMR
+    /// violation).
+    pub fn write(&mut self, r: RegisterId, writer: ProcessId, value: RegValue) {
+        if let Some(owner) = self.owners[r.0] {
+            assert_eq!(
+                owner, writer,
+                "SWMR violation: {writer} wrote register {r} owned by {owner}"
+            );
+        }
+        self.writes += 1;
+        self.cells[r.0] = value;
+    }
+
+    /// Atomically adds `delta` to an `Int` register and returns the
+    /// *previous* value. One step. This is a read-modify-write
+    /// primitive, stronger than a SWMR register — provided for
+    /// algorithms the paper states in terms of atomic increments
+    /// (`PCM`'s counters), never used by the register-model counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on SWMR-owned registers (RMW is a multi-writer
+    /// primitive here) or non-`Int` contents.
+    pub fn fetch_add(&mut self, r: RegisterId, delta: u64) -> u64 {
+        assert!(
+            self.owners[r.0].is_none(),
+            "fetch_add is a multi-writer primitive; register {r} is SWMR"
+        );
+        self.reads += 1;
+        self.writes += 1;
+        let old = self.cells[r.0].as_int();
+        self.cells[r.0] = RegValue::Int(old + delta);
+        old
+    }
+
+    /// Number of registers allocated.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no registers are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total shared reads performed.
+    pub fn total_reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total shared writes performed.
+    pub fn total_writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swmr_owner_can_write() {
+        let mut m = Memory::new();
+        let r = m.alloc(Some(ProcessId(0)));
+        m.write(r, ProcessId(0), RegValue::Int(7));
+        assert_eq!(m.read(r).as_int(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "SWMR violation")]
+    fn swmr_non_owner_write_panics() {
+        let mut m = Memory::new();
+        let r = m.alloc(Some(ProcessId(0)));
+        m.write(r, ProcessId(1), RegValue::Int(7));
+    }
+
+    #[test]
+    fn mwmr_register_accepts_any_writer() {
+        let mut m = Memory::new();
+        let r = m.alloc(None);
+        m.write(r, ProcessId(0), RegValue::Int(1));
+        m.write(r, ProcessId(5), RegValue::Int(2));
+        assert_eq!(m.read(r).as_int(), 2);
+    }
+
+    #[test]
+    fn empty_reads_as_zero() {
+        let mut m = Memory::new();
+        let r = m.alloc(Some(ProcessId(0)));
+        assert_eq!(m.read(r).as_int(), 0);
+        let (v, s, view) = RegValue::Empty.as_snap();
+        assert_eq!((v, s), (0, 0));
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut m = Memory::new();
+        let r = m.alloc(Some(ProcessId(0)));
+        m.write(r, ProcessId(0), RegValue::Int(1));
+        m.read(r);
+        m.read(r);
+        assert_eq!(m.total_writes(), 1);
+        assert_eq!(m.total_reads(), 2);
+    }
+
+    #[test]
+    fn alloc_swmr_array_assigns_owners() {
+        let mut m = Memory::new();
+        let regs = m.alloc_swmr_array(3);
+        assert_eq!(regs.len(), 3);
+        m.write(regs[2], ProcessId(2), RegValue::Int(9));
+        assert_eq!(m.read(regs[2]).as_int(), 9);
+    }
+}

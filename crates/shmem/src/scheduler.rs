@@ -1,0 +1,215 @@
+//! Schedulers: who takes the next step.
+//!
+//! A schedule `σ` (paper §2.1) is the order in which processes take
+//! steps. Because the algorithms are deterministic, a scheduler fully
+//! determines the execution; the random scheduler is seeded, so every
+//! run is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses which runnable process takes the next step.
+pub trait Scheduler {
+    /// Picks one element of `runnable` (non-empty, ascending process
+    /// indices).
+    fn next(&mut self, runnable: &[usize]) -> usize;
+}
+
+/// Cycles through processes in index order.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinScheduler {
+    last: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler starting at process 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        // First runnable process strictly greater than `last`, else the
+        // smallest runnable.
+        let pick = runnable
+            .iter()
+            .copied()
+            .find(|&p| p > self.last)
+            .unwrap_or(runnable[0]);
+        self.last = pick;
+        pick
+    }
+}
+
+/// Uniformly random choice from a seeded RNG.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed; identical seeds replay
+    /// identical schedules.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Weighted random choice: process `i` is scheduled proportionally to
+/// `weights[i]`. Models asymmetric speeds (a slow updater amid fast
+/// queriers is exactly the §1 scenario where intermediate values
+/// surface); degenerates to [`RandomScheduler`] with equal weights.
+#[derive(Clone, Debug)]
+pub struct BiasedScheduler {
+    weights: Vec<u32>,
+    rng: StdRng,
+}
+
+impl BiasedScheduler {
+    /// Creates a scheduler with per-process weights (0-weight processes
+    /// are only run when no weighted process is runnable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn new(weights: Vec<u32>, seed: u64) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        BiasedScheduler {
+            weights,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for BiasedScheduler {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        let weight_of = |p: usize| self.weights.get(p).copied().unwrap_or(1);
+        let total: u64 = runnable.iter().map(|&p| weight_of(p) as u64).sum();
+        if total == 0 {
+            return runnable[self.rng.gen_range(0..runnable.len())];
+        }
+        let mut ticket = self.rng.gen_range(0..total);
+        for &p in runnable {
+            let w = weight_of(p) as u64;
+            if ticket < w {
+                return p;
+            }
+            ticket -= w;
+        }
+        runnable[runnable.len() - 1]
+    }
+}
+
+/// Replays an explicit sequence of process indices; used to re-enact
+/// hand-crafted adversarial schedules (e.g. the paper's Example 9).
+/// When the scripted process is not runnable (or the script is
+/// exhausted), falls back to the smallest runnable process.
+#[derive(Clone, Debug)]
+pub struct FixedScheduler {
+    script: Vec<usize>,
+    pos: usize,
+}
+
+impl FixedScheduler {
+    /// Creates a scheduler replaying `script`.
+    pub fn new(script: Vec<usize>) -> Self {
+        FixedScheduler { script, pos: 0 }
+    }
+}
+
+impl Scheduler for FixedScheduler {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        while self.pos < self.script.len() {
+            let want = self.script[self.pos];
+            self.pos += 1;
+            if runnable.contains(&want) {
+                return want;
+            }
+        }
+        runnable[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobinScheduler::new();
+        let runnable = [0, 1, 2];
+        assert_eq!(s.next(&runnable), 1);
+        assert_eq!(s.next(&runnable), 2);
+        assert_eq!(s.next(&runnable), 0);
+        assert_eq!(s.next(&runnable), 1);
+    }
+
+    #[test]
+    fn round_robin_skips_blocked() {
+        let mut s = RoundRobinScheduler::new();
+        assert_eq!(s.next(&[0, 2]), 2);
+        assert_eq!(s.next(&[0, 2]), 0);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let runnable = [0, 1, 2, 3];
+        let picks1: Vec<usize> = {
+            let mut s = RandomScheduler::new(42);
+            (0..20).map(|_| s.next(&runnable)).collect()
+        };
+        let picks2: Vec<usize> = {
+            let mut s = RandomScheduler::new(42);
+            (0..20).map(|_| s.next(&runnable)).collect()
+        };
+        assert_eq!(picks1, picks2);
+    }
+
+    #[test]
+    fn fixed_replays_then_falls_back() {
+        let mut s = FixedScheduler::new(vec![2, 2, 0]);
+        assert_eq!(s.next(&[0, 1, 2]), 2);
+        assert_eq!(s.next(&[0, 1, 2]), 2);
+        assert_eq!(s.next(&[0, 1, 2]), 0);
+        assert_eq!(s.next(&[1, 2]), 1); // script exhausted
+    }
+
+    #[test]
+    fn fixed_skips_unrunnable_entries() {
+        let mut s = FixedScheduler::new(vec![3, 1]);
+        assert_eq!(s.next(&[0, 1]), 1); // 3 not runnable, skipped
+    }
+
+    #[test]
+    fn biased_respects_weights() {
+        let mut s = BiasedScheduler::new(vec![9, 1], 7);
+        let runnable = [0, 1];
+        let p0 = (0..10_000).filter(|_| s.next(&runnable) == 0).count();
+        assert!((8500..9500).contains(&p0), "p0 scheduled {p0}/10000");
+    }
+
+    #[test]
+    fn biased_zero_weight_process_still_runs_alone() {
+        let mut s = BiasedScheduler::new(vec![0, 1], 3);
+        assert_eq!(s.next(&[0]), 0);
+    }
+
+    #[test]
+    fn biased_is_reproducible() {
+        let runnable = [0, 1, 2];
+        let run = || {
+            let mut s = BiasedScheduler::new(vec![1, 2, 3], 11);
+            (0..50).map(|_| s.next(&runnable)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,239 @@
+//! Property tests of the simulator and its algorithms: Lemma 10
+//! (Algorithm 2 is IVL) and the snapshot counter's linearizability on
+//! arbitrary seeded schedules and workload shapes, plus step-count
+//! invariants.
+
+use ivl_shmem::algorithms::{IvlCounterSim, PcmSim, SnapshotCounterSim};
+use ivl_shmem::executor::{SimCounterSpec, SimObject};
+use ivl_shmem::{Executor, Memory, RandomScheduler, SimOp, Workload};
+use ivl_spec::check_ivl_monotone;
+use ivl_spec::linearize::check_linearizable;
+use proptest::prelude::*;
+
+/// Builds per-process workloads from proptest-drawn shapes: each
+/// process gets a list of (is_query, value) pairs.
+fn workloads_from(shapes: &[Vec<(bool, u64)>]) -> Vec<Workload> {
+    shapes
+        .iter()
+        .map(|ops| Workload {
+            ops: ops
+                .iter()
+                .map(|&(q, v)| if q { SimOp::Query(0) } else { SimOp::Update(v % 10) })
+                .collect(),
+        })
+        .collect()
+}
+
+fn shape_strategy(max_procs: usize, max_ops: usize) -> impl Strategy<Value = Vec<Vec<(bool, u64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<bool>(), 0u64..10), 0..max_ops),
+        1..max_procs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 10 on arbitrary workloads and schedules, with the O(n)
+    /// and O(1) step counts verified on the same runs.
+    #[test]
+    fn ivl_counter_sim_always_ivl(shapes in shape_strategy(5, 5), seed in 0u64..1_000_000) {
+        let n = shapes.len();
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, n);
+        let mut exec = Executor::new(
+            mem,
+            Box::new(obj),
+            workloads_from(&shapes),
+            RandomScheduler::new(seed),
+        );
+        let result = exec.run();
+        prop_assert!(check_ivl_monotone(&SimCounterSpec, &result.history).is_ivl());
+        for stat in &result.stats {
+            match stat.op {
+                SimOp::Update(_) => prop_assert_eq!(stat.steps, 1),
+                SimOp::Query(_) => prop_assert_eq!(stat.steps, n as u64),
+            }
+        }
+    }
+
+    /// The snapshot-based counter is linearizable on every sampled
+    /// schedule (kept small: the checker is exponential).
+    #[test]
+    fn snapshot_counter_sim_always_linearizable(
+        shapes in shape_strategy(4, 3),
+        seed in 0u64..1_000_000,
+    ) {
+        let total_ops: usize = shapes.iter().map(|s| s.len()).sum();
+        prop_assume!(total_ops <= 8);
+        let n = shapes.len();
+        let mut mem = Memory::new();
+        let obj = SnapshotCounterSim::new(&mut mem, n);
+        let mut exec = Executor::new(
+            mem,
+            Box::new(obj),
+            workloads_from(&shapes),
+            RandomScheduler::new(seed),
+        );
+        let result = exec.run();
+        prop_assert!(
+            check_linearizable(&[SimCounterSpec], &result.history).is_linearizable(),
+            "schedule {seed} broke the snapshot counter: {:?}",
+            result.history
+        );
+        // Ω(n)-shaped cost: every update pays at least 2n + 1 steps.
+        for stat in &result.stats {
+            if matches!(stat.op, SimOp::Update(_)) {
+                prop_assert!(stat.steps > 2 * n as u64);
+            }
+        }
+    }
+
+    /// Simulated PCM with random hash tables: always IVL (Lemma 7),
+    /// and quiescent final queries match the sequential spec.
+    #[test]
+    fn pcm_sim_random_tables_always_ivl(
+        table_seed in 0u64..10_000,
+        sched_seed in 0u64..1_000_000,
+        width in 2usize..5,
+        depth in 1usize..4,
+    ) {
+        // Derive deterministic hash tables from the seed.
+        let alphabet = 6usize;
+        let mut x = table_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let hash: Vec<Vec<usize>> = (0..depth)
+            .map(|_| (0..alphabet).map(|_| (next() as usize) % width).collect())
+            .collect();
+
+        let mut mem = Memory::new();
+        let obj = PcmSim::new(&mut mem, 3, width, hash);
+        let spec = obj.spec();
+        let workloads = vec![
+            Workload {
+                ops: vec![SimOp::Update(0), SimOp::Update(1), SimOp::Update(2)],
+            },
+            Workload {
+                ops: vec![SimOp::Query(0), SimOp::Query(3), SimOp::Query(1)],
+            },
+            Workload {
+                ops: vec![SimOp::Update(4), SimOp::Update(5)],
+            },
+        ];
+        let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(sched_seed));
+        let result = exec.run();
+        prop_assert!(check_ivl_monotone(&spec, &result.history).is_ivl());
+    }
+
+    /// The executor's history is always well-formed, whatever the
+    /// schedule.
+    #[test]
+    fn executor_histories_wellformed(shapes in shape_strategy(5, 4), seed in 0u64..1_000_000) {
+        let n = shapes.len();
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, n);
+        let mut exec = Executor::new(
+            mem,
+            Box::new(obj),
+            workloads_from(&shapes),
+            RandomScheduler::new(seed),
+        );
+        let result = exec.run();
+        prop_assert!(
+            ivl_spec::History::from_events(result.history.events().to_vec()).is_ok()
+        );
+        // Every operation of every workload completed.
+        let expected: usize = shapes.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(result.stats.len(), expected);
+    }
+
+    /// Cut-off executions leave pending operations; the history is
+    /// still well-formed and still IVL (pending updates may or may not
+    /// have taken partial effect — exactly what IVL's completion
+    /// semantics cover).
+    #[test]
+    fn bounded_runs_leave_wellformed_pending_histories(
+        shapes in shape_strategy(4, 4),
+        seed in 0u64..1_000_000,
+        cutoff in 1u64..40,
+    ) {
+        let n = shapes.len();
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, n);
+        let mut exec = Executor::new(
+            mem,
+            Box::new(obj),
+            workloads_from(&shapes),
+            RandomScheduler::new(seed),
+        );
+        let result = exec.run_bounded(cutoff);
+        prop_assert!(
+            ivl_spec::History::from_events(result.history.events().to_vec()).is_ok()
+        );
+        prop_assert!(check_ivl_monotone(&SimCounterSpec, &result.history).is_ivl());
+        // Stats cover exactly the invoked operations.
+        let invoked = result.history.operations().len();
+        prop_assert_eq!(result.stats.len(), invoked);
+    }
+
+    /// Determinism: identical seeds produce identical histories and
+    /// step counts.
+    #[test]
+    fn executor_is_deterministic(seed in 0u64..1_000_000) {
+        let run = || {
+            let mut mem = Memory::new();
+            let obj = SnapshotCounterSim::new(&mut mem, 3);
+            let workloads = vec![
+                Workload { ops: vec![SimOp::Update(1), SimOp::Update(2)] },
+                Workload { ops: vec![SimOp::Query(0)] },
+                Workload { ops: vec![SimOp::Update(3)] },
+            ];
+            let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
+            let r = exec.run();
+            let steps: Vec<u64> = r.stats.iter().map(|s| s.steps).collect();
+            (r.history, steps)
+        };
+        let (h1, s1) = run();
+        let (h2, s2) = run();
+        prop_assert_eq!(h1, h2);
+        prop_assert_eq!(s1, s2);
+    }
+}
+
+/// Non-proptest guard: the binary-snapshot reduction machinery
+/// composes with both counters without panicking across many seeds.
+#[test]
+fn reduction_composition_smoke() {
+    use ivl_shmem::algorithms::BinarySnapshotSim;
+    for seed in 0..20 {
+        let n = 3;
+        let mut mem = Memory::new();
+        let counter = SnapshotCounterSim::new(&mut mem, n);
+        let mut obj = BinarySnapshotSim::new(Box::new(counter));
+        assert_eq!(obj.num_processes(), n);
+        let workloads = vec![
+            Workload {
+                ops: vec![SimOp::Update(1), SimOp::Update(0)],
+            },
+            Workload {
+                ops: vec![SimOp::Update(1)],
+            },
+            Workload {
+                ops: vec![SimOp::Query(0), SimOp::Query(0)],
+            },
+        ];
+        let first = obj.begin_op(ivl_spec::ProcessId(0), &SimOp::Update(1));
+        drop(first); // machines may be dropped unstarted
+        let mut mem = Memory::new();
+        let counter = SnapshotCounterSim::new(&mut mem, n);
+        let obj = BinarySnapshotSim::new(Box::new(counter));
+        let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
+        let result = exec.run();
+        assert!(result.stats.iter().all(|s| s.completed));
+    }
+}

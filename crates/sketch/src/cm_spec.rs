@@ -1,0 +1,171 @@
+//! [`ivl_spec::ObjectSpec`] adapter for CountMin: the deterministic
+//! sequential specification `CM(c̄)` of the paper's §5.
+//!
+//! Given the sampled coin flips (i.e. a constructed, empty
+//! [`CountMin`]), replaying a sequential history against this spec
+//! computes `τ_{CM(c̄)}(H)` — exactly what the IVL checkers need to
+//! verify a recorded concurrent `PCM(c̄)` execution (Lemma 7 /
+//! Definition 3 instantiated at the sampled coin vector).
+//!
+//! CountMin point queries are *monotone*: counters only grow under
+//! updates, updates commute (they are cell increments), and `min` of
+//! coordinate-wise-larger vectors is larger — so the interval fast
+//! path ([`ivl_spec::check_ivl_monotone`]) is sound and complete for
+//! it, and scales to recorded executions with millions of events.
+
+use crate::countmin::CountMin;
+use crate::FrequencySketch;
+use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+
+/// Sequential specification `CM(c̄)` built around an empty prototype
+/// sketch (which fixes dimensions and hash functions = the coin
+/// flips).
+#[derive(Clone, Debug)]
+pub struct CountMinSpec {
+    proto: CountMin,
+}
+
+impl CountMinSpec {
+    /// Wraps an (empty) prototype sketch as the sequential spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prototype has already ingested updates — the spec
+    /// must start from the initial state.
+    pub fn new(proto: CountMin) -> Self {
+        assert_eq!(proto.stream_len(), 0, "prototype must be empty");
+        CountMinSpec { proto }
+    }
+
+    /// The prototype (empty) sketch.
+    pub fn prototype(&self) -> &CountMin {
+        &self.proto
+    }
+}
+
+impl ObjectSpec for CountMinSpec {
+    type Update = u64;
+    type Query = u64;
+    type Value = u64;
+    type State = CountMin;
+
+    fn initial_state(&self) -> CountMin {
+        self.proto.clone()
+    }
+
+    fn apply_update(&self, state: &mut CountMin, update: &u64) {
+        state.update(*update);
+    }
+
+    fn eval_query(&self, state: &CountMin, query: &u64) -> u64 {
+        state.estimate(*query)
+    }
+}
+
+impl MonotoneSpec for CountMinSpec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coins::CoinFlips;
+    use crate::countmin::CountMinParams;
+    use ivl_spec::history::{HistoryBuilder, ObjectId, ProcessId};
+    use ivl_spec::ivl::{check_ivl_exact, check_ivl_monotone};
+    use ivl_spec::linearize::check_linearizable;
+    use ivl_spec::spec::tau;
+
+    fn spec(seed: u64) -> CountMinSpec {
+        let mut coins = CoinFlips::from_seed(seed);
+        CountMinSpec::new(CountMin::new(
+            CountMinParams { width: 8, depth: 2 },
+            &mut coins,
+        ))
+    }
+
+    #[test]
+    fn tau_matches_direct_replay() {
+        let s = spec(1);
+        let mut b = HistoryBuilder::<u64, u64, u64>::new();
+        let p = ProcessId(0);
+        let x = ObjectId(0);
+        for item in [3u64, 3, 5] {
+            let u = b.invoke_update(p, x, item);
+            b.respond_update(u);
+        }
+        let q = b.invoke_query(p, x, 3);
+        b.respond_query(q, 0);
+        let t = tau(&s, &b.finish());
+        let mut direct = s.initial_state();
+        for item in [3u64, 3, 5] {
+            direct.update(item);
+        }
+        assert_eq!(*t.ret(q), direct.estimate(3));
+    }
+
+    #[test]
+    fn sequential_cm_history_is_linearizable_and_ivl() {
+        let s = spec(2);
+        let mut replay = s.initial_state();
+        let mut b = HistoryBuilder::<u64, u64, u64>::new();
+        let p = ProcessId(0);
+        let x = ObjectId(0);
+        for item in [1u64, 2, 1, 1, 7] {
+            let u = b.invoke_update(p, x, item);
+            b.respond_update(u);
+            replay.update(item);
+        }
+        let q = b.invoke_query(p, x, 1);
+        b.respond_query(q, replay.estimate(1));
+        let h = b.finish();
+        assert!(check_linearizable(std::slice::from_ref(&s), &h).is_linearizable());
+        assert!(check_ivl_exact(std::slice::from_ref(&s), &h).is_ivl());
+        assert!(check_ivl_monotone(&s, &h).is_ivl());
+    }
+
+    #[test]
+    fn example9_structure_not_linearizable_but_ivl() {
+        // The paper's Example 9, re-expressed against a real CM(c̄):
+        // find two items a, b colliding in row 2 but not row 1; a
+        // query of a sees the concurrent update's row-1 increment
+        // while a *later* query of b misses its row-2 increment —
+        // impossible to linearize, yet IVL.
+        //
+        // Rather than searching for hash collisions, we reproduce the
+        // *counter-example shape* with the batched counter inside
+        // Example 9's proof: Q1 observes U, Q2 (after Q1) does not.
+        let s = spec(3);
+        let mut b = HistoryBuilder::<u64, u64, u64>::new();
+        let p0 = ProcessId(0);
+        let p1 = ProcessId(1);
+        let x = ObjectId(0);
+        // A completed update of item 9 establishes a baseline.
+        let u0 = b.invoke_update(p0, x, 9);
+        b.respond_update(u0);
+        let base = {
+            let mut st = s.initial_state();
+            st.update(9);
+            st.estimate(9)
+        };
+        let with_u = {
+            let mut st = s.initial_state();
+            st.update(9);
+            st.update(9);
+            st.estimate(9)
+        };
+        // Pending-ish concurrent update U of the same item; Q1 sees it,
+        // Q2 (same process, later) does not.
+        let u = b.invoke_update(p0, x, 9);
+        let q1 = b.invoke_query(p1, x, 9);
+        b.respond_query(q1, with_u);
+        let q2 = b.invoke_query(p1, x, 9);
+        b.respond_query(q2, base);
+        b.respond_update(u);
+        let h = b.finish();
+        assert!(
+            !check_linearizable(std::slice::from_ref(&s), &h).is_linearizable(),
+            "Q1 before Q2 with Q1 seeing U and Q2 missing it cannot linearize"
+        );
+        assert!(check_ivl_exact(std::slice::from_ref(&s), &h).is_ivl());
+        assert!(check_ivl_monotone(&s, &h).is_ivl());
+    }
+}

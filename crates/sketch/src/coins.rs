@@ -1,0 +1,142 @@
+//! The coin-flip vector `c̄ ∈ Ω^∞` (paper §2.2), made concrete.
+//!
+//! A randomized algorithm `A` is a probability distribution over
+//! deterministic algorithms `{A(c̄)}`, one per coin-flip vector. Here a
+//! [`CoinFlips`] value *is* the (lazily materialized) vector `c̄`: a
+//! deterministic stream of 64-bit words derived from a seed by the
+//! SplitMix64 generator. Constructing a sketch from a `CoinFlips`
+//! yields the deterministic algorithm `A(c̄)`; equal seeds give equal
+//! algorithms, which is what lets tests compare a concurrent execution
+//! against the sequential specification `CM(c̄)` *with the same coins*
+//! (Definition 3 quantifies over a common linearization for every
+//! `c̄`; we instantiate it at the sampled one).
+//!
+//! SplitMix64 is implemented from scratch (no `rand` dependency here)
+//! so the mapping seed → `c̄` is stable across platforms and `rand`
+//! versions.
+
+/// A deterministic, seedable stream of coin flips: the explicit `c̄`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoinFlips {
+    state: u64,
+    /// Index of the next flip (`c_i`).
+    drawn: u64,
+}
+
+impl CoinFlips {
+    /// Materializes the coin-flip vector determined by `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        CoinFlips {
+            state: seed,
+            drawn: 0,
+        }
+    }
+
+    /// Draws the next coin flip `c_i` as a 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.drawn += 1;
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws a flip uniform in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Draws a flip uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli flip with success probability `p`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// How many flips have been drawn so far (the index `i` into
+    /// `c̄`).
+    pub fn flips_drawn(&self) -> u64 {
+        self.drawn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_vector() {
+        let mut a = CoinFlips::from_seed(7);
+        let mut b = CoinFlips::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = CoinFlips::from_seed(1);
+        let mut b = CoinFlips::from_seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn known_splitmix_values() {
+        // Reference values for seed 0 from the canonical SplitMix64.
+        let mut c = CoinFlips::from_seed(0);
+        assert_eq!(c.next_u64(), 0xE220A8397B1DCDAF);
+        assert_eq!(c.next_u64(), 0x6E789E6AA1B965F4);
+        assert_eq!(c.next_u64(), 0x06C45D188009454F);
+    }
+
+    #[test]
+    fn bounded_draws_in_range() {
+        let mut c = CoinFlips::from_seed(3);
+        for _ in 0..1000 {
+            assert!(c.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut c = CoinFlips::from_seed(4);
+        for _ in 0..1000 {
+            let x = c.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_roughly_matches() {
+        let mut c = CoinFlips::from_seed(5);
+        let hits = (0..10_000).filter(|_| c.next_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn flip_count_advances() {
+        let mut c = CoinFlips::from_seed(6);
+        assert_eq!(c.flips_drawn(), 0);
+        c.next_u64();
+        c.next_f64();
+        assert_eq!(c.flips_drawn(), 2);
+    }
+}

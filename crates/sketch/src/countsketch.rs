@@ -1,0 +1,282 @@
+//! The CountSketch (Charikar–Chen–Farach-Colton): a frequency
+//! estimator with *two-sided* error, used here as a second sequential
+//! (ε,δ)-bounded frequency object and as a contrast to CountMin.
+//!
+//! Each row `i` has a bucket hash `h_i` and a sign hash `s_i`;
+//! `update(a)` adds `s_i(a)` to `c[i][h_i(a)]`, and the estimate is
+//! the **median** over rows of `s_i(a) · c[i][h_i(a)]`. The estimate is
+//! unbiased per row, with |error| ≤ `√(n₂)/√w`-ish (ℓ2 guarantee);
+//! with `d = O(log 1/δ)` rows the median concentrates.
+//!
+//! Note: CountSketch estimates can *decrease* as unrelated updates
+//! arrive (signs are ±1), so unlike CountMin it is **not monotone** —
+//! its straightforward parallelization is *not* automatically
+//! IVL-checkable by the interval fast path. This is exactly the
+//! distinction §3.4 of the paper draws; the concurrent crate
+//! demonstrates it.
+
+use crate::coins::CoinFlips;
+use crate::hash::{PairwiseHash, SignHash};
+use crate::FrequencySketch;
+
+/// The sequential CountSketch.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CountSketch {
+    width: usize,
+    depth: usize,
+    bucket_hashes: Vec<PairwiseHash>,
+    sign_hashes: Vec<SignHash>,
+    cells: Vec<i64>,
+    stream_len: u64,
+}
+
+impl CountSketch {
+    /// Creates a `depth × width` CountSketch, drawing hashes from
+    /// `coins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    pub fn new(width: usize, depth: usize, coins: &mut CoinFlips) -> Self {
+        assert!(width > 0 && depth > 0, "dimensions must be positive");
+        let bucket_hashes = (0..depth)
+            .map(|_| PairwiseHash::draw(coins, width as u64))
+            .collect();
+        let sign_hashes = (0..depth).map(|_| SignHash::draw(coins)).collect();
+        CountSketch {
+            width,
+            depth,
+            bucket_hashes,
+            sign_hashes,
+            cells: vec![0; width * depth],
+            stream_len: 0,
+        }
+    }
+
+    /// Signed per-row estimate for `item`.
+    fn row_estimate(&self, row: usize, item: u64) -> i64 {
+        let col = self.bucket_hashes[row].hash(item);
+        self.sign_hashes[row].sign(item) * self.cells[row * self.width + col]
+    }
+
+    /// The signed median estimate (may be negative for rare items under
+    /// heavy collision noise).
+    pub fn estimate_signed(&self, item: u64) -> i64 {
+        let mut ests: Vec<i64> = (0..self.depth).map(|r| self.row_estimate(r, item)).collect();
+        ests.sort_unstable();
+        let mid = ests.len() / 2;
+        if ests.len() % 2 == 1 {
+            ests[mid]
+        } else {
+            (ests[mid - 1] + ests[mid]) / 2
+        }
+    }
+
+    /// Width of each row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Estimates the second frequency moment `F₂ = Σ_a f_a²` (the
+    /// self-join size): per row, the sum of squared cells is the
+    /// classic AMS / tug-of-war estimator — unbiased with variance
+    /// `≤ 2F₂²/w`; the median over rows concentrates it.
+    pub fn f2_estimate(&self) -> u64 {
+        let mut rows: Vec<u64> = (0..self.depth)
+            .map(|row| {
+                self.cells[row * self.width..(row + 1) * self.width]
+                    .iter()
+                    .map(|&c| (c * c) as u64)
+                    .sum()
+            })
+            .collect();
+        rows.sort_unstable();
+        let mid = rows.len() / 2;
+        if rows.len() % 2 == 1 {
+            rows[mid]
+        } else {
+            (rows[mid - 1] + rows[mid]) / 2
+        }
+    }
+
+    /// Merges another sketch built with the **same coins** (cell-wise
+    /// sum) — mergeable-summaries \[1\]: equals the sketch of the
+    /// concatenated streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions or hashes differ.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert_eq!(
+            (self.width, self.depth),
+            (other.width, other.depth),
+            "dimension mismatch"
+        );
+        assert_eq!(
+            (&self.bucket_hashes, &self.sign_hashes),
+            (&other.bucket_hashes, &other.sign_hashes),
+            "sketches use different coins"
+        );
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a += b;
+        }
+        self.stream_len += other.stream_len;
+    }
+}
+
+impl FrequencySketch for CountSketch {
+    fn update(&mut self, item: u64) {
+        for row in 0..self.depth {
+            let col = self.bucket_hashes[row].hash(item);
+            self.cells[row * self.width + col] += self.sign_hashes[row].sign(item);
+        }
+        self.stream_len += 1;
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        self.estimate_signed(item).max(0) as u64
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ZipfStream;
+    use std::collections::HashMap;
+
+    #[test]
+    fn heavy_hitters_estimated_accurately() {
+        let mut cs = CountSketch::new(1024, 5, &mut CoinFlips::from_seed(1));
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut stream = ZipfStream::new(10_000, 1.3, 9);
+        let n = 50_000;
+        for _ in 0..n {
+            let a = stream.next_item();
+            cs.update(a);
+            *truth.entry(a).or_default() += 1;
+        }
+        // The top item's relative error should be small.
+        let (&top, &f) = truth.iter().max_by_key(|(_, &f)| f).unwrap();
+        let est = cs.estimate(top);
+        let err = (est as f64 - f as f64).abs() / f as f64;
+        assert!(err < 0.1, "top item {top}: est {est}, true {f}");
+    }
+
+    #[test]
+    fn unbiasedness_rough_check() {
+        // Mean estimate over many sketches of a mid-frequency item
+        // should straddle the truth.
+        let mut total = 0i64;
+        let runs = 30;
+        for seed in 0..runs {
+            let mut cs = CountSketch::new(64, 1, &mut CoinFlips::from_seed(seed));
+            for x in 0..2_000u64 {
+                cs.update(x % 100);
+            }
+            total += cs.estimate_signed(7); // true count 20
+        }
+        let mean = total as f64 / runs as f64;
+        assert!((mean - 20.0).abs() < 15.0, "mean {mean} far from 20");
+    }
+
+    #[test]
+    fn estimates_can_decrease_not_monotone() {
+        // Demonstrates non-monotonicity: an unrelated update with a
+        // negative sign in the shared bucket lowers the estimate.
+        let mut cs = CountSketch::new(2, 1, &mut CoinFlips::from_seed(3));
+        for _ in 0..100 {
+            cs.update(1);
+        }
+        let before = cs.estimate_signed(1);
+        // Find an item with opposite sign in the same bucket.
+        let bucket1 = cs.bucket_hashes[0].hash(1);
+        let sign1 = cs.sign_hashes[0].sign(1);
+        let other = (2..10_000u64)
+            .find(|&x| cs.bucket_hashes[0].hash(x) == bucket1 && cs.sign_hashes[0].sign(x) == -sign1)
+            .expect("a colliding opposite-sign item exists");
+        for _ in 0..10 {
+            cs.update(other);
+        }
+        let after = cs.estimate_signed(1);
+        assert_eq!(after, before - 10, "estimate decreased");
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let cs = CountSketch::new(16, 3, &mut CoinFlips::from_seed(4));
+        assert_eq!(cs.estimate(5), 0);
+        assert_eq!(cs.stream_len(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_coins() {
+        let mk = || {
+            let mut cs = CountSketch::new(32, 3, &mut CoinFlips::from_seed(8));
+            for x in 0..500u64 {
+                cs.update(x % 17);
+            }
+            cs
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let mk = || CountSketch::new(64, 3, &mut CoinFlips::from_seed(9));
+        let mut left = mk();
+        let mut right = mk();
+        let mut whole = mk();
+        for x in 0..2_000u64 {
+            left.update(x % 23);
+            whole.update(x % 23);
+            right.update(x % 31);
+            whole.update(x % 31);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different coins")]
+    fn merge_rejects_mismatched_coins() {
+        let mut a = CountSketch::new(8, 2, &mut CoinFlips::from_seed(1));
+        let b = CountSketch::new(8, 2, &mut CoinFlips::from_seed(2));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn f2_estimate_tracks_second_moment() {
+        // Zipf stream with known-ish F2; median-of-rows estimate
+        // should land within ~25%.
+        let mut cs = CountSketch::new(2048, 7, &mut CoinFlips::from_seed(10));
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut stream = ZipfStream::new(2_000, 1.2, 11);
+        for _ in 0..40_000 {
+            let a = stream.next_item();
+            cs.update(a);
+            *truth.entry(a).or_default() += 1;
+        }
+        let f2: u64 = truth.values().map(|&f| f * f).sum();
+        let est = cs.f2_estimate();
+        let rel = (est as f64 - f2 as f64).abs() / f2 as f64;
+        assert!(rel < 0.25, "F2 est {est} vs {f2} (rel {rel})");
+    }
+
+    #[test]
+    fn f2_of_singleton_stream_is_exact() {
+        let mut cs = CountSketch::new(64, 3, &mut CoinFlips::from_seed(12));
+        for _ in 0..100 {
+            cs.update(5);
+        }
+        assert_eq!(cs.f2_estimate(), 100 * 100);
+    }
+}

@@ -1,0 +1,200 @@
+//! Carter–Wegman universal hashing over the Mersenne prime `2^61 − 1`.
+//!
+//! CountMin's analysis needs each row's hash drawn from a *pairwise
+//! independent* family. The classic construction is `h(x) = ((a·x + b)
+//! mod p) mod w` with `p` prime and `a ∈ [1, p)`, `b ∈ [0, p)` drawn
+//! from the coin flips. Using the Mersenne prime `p = 2^61 − 1` lets
+//! the `mod p` reduction be two shifts and an add.
+//!
+//! [`SignHash`] extends the family with a pairwise-independent ±1 sign
+//! (for CountSketch) by taking one extra output bit.
+
+use crate::coins::CoinFlips;
+
+/// The Mersenne prime `2^61 − 1`.
+pub const MERSENNE_61: u64 = (1 << 61) - 1;
+
+/// Reduces a 128-bit product modulo `2^61 − 1`.
+#[inline]
+fn mod_mersenne61(x: u128) -> u64 {
+    // x = hi * 2^61 + lo, and 2^61 ≡ 1 (mod p). For inputs up to
+    // ~2^122, `hi` may itself reach p, so the fold can need two
+    // subtractions.
+    let lo = (x as u64) & MERSENNE_61;
+    let hi = (x >> 61) as u64;
+    let mut s = lo + hi;
+    while s >= MERSENNE_61 {
+        s -= MERSENNE_61;
+    }
+    s
+}
+
+/// A pairwise-independent hash `x ↦ ((a·x + b) mod p) mod w` into
+/// `[0, w)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    w: u64,
+}
+
+impl PairwiseHash {
+    /// Draws a hash into `[0, w)` from the coin flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is 0.
+    pub fn draw(coins: &mut CoinFlips, w: u64) -> Self {
+        assert!(w > 0, "range must be positive");
+        let a = 1 + coins.next_below(MERSENNE_61 - 1); // a ∈ [1, p)
+        let b = coins.next_below(MERSENNE_61); // b ∈ [0, p)
+        PairwiseHash { a, b, w }
+    }
+
+    /// Hashes `x` into `[0, w)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> usize {
+        let ax = (self.a as u128) * ((x % MERSENNE_61) as u128) + self.b as u128;
+        (mod_mersenne61(ax) % self.w) as usize
+    }
+
+    /// The range bound `w`.
+    pub fn range(&self) -> u64 {
+        self.w
+    }
+}
+
+/// A pairwise-independent ±1 sign hash (one bit of a fresh
+/// [`PairwiseHash`] with range 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SignHash {
+    inner: PairwiseHash,
+}
+
+impl SignHash {
+    /// Draws a sign hash from the coin flips.
+    pub fn draw(coins: &mut CoinFlips) -> Self {
+        SignHash {
+            inner: PairwiseHash::draw(coins, 2),
+        }
+    }
+
+    /// Returns `+1` or `-1`.
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.inner.hash(x) == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+/// A 64-bit mixing hash (SplitMix64 finalizer) for uses that need a
+/// well-scrambled full-width value, e.g. HyperLogLog's bit patterns.
+/// Seeded per-sketch from the coin flips.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MixHash {
+    seed: u64,
+}
+
+impl MixHash {
+    /// Draws a mixing hash from the coin flips.
+    pub fn draw(coins: &mut CoinFlips) -> Self {
+        MixHash {
+            seed: coins.next_u64() | 1,
+        }
+    }
+
+    /// Scrambles `x` to 64 well-mixed bits.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let mut z = x.wrapping_mul(self.seed).wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mersenne_reduction_matches_naive() {
+        for x in [0u128, 1, MERSENNE_61 as u128, u64::MAX as u128, u128::MAX >> 6] {
+            assert_eq!(mod_mersenne61(x), (x % MERSENNE_61 as u128) as u64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn hash_stays_in_range() {
+        let mut coins = CoinFlips::from_seed(1);
+        let h = PairwiseHash::draw(&mut coins, 100);
+        for x in 0..10_000u64 {
+            assert!(h.hash(x) < 100);
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_per_coins() {
+        let h1 = PairwiseHash::draw(&mut CoinFlips::from_seed(9), 64);
+        let h2 = PairwiseHash::draw(&mut CoinFlips::from_seed(9), 64);
+        for x in 0..1000u64 {
+            assert_eq!(h1.hash(x), h2.hash(x));
+        }
+    }
+
+    #[test]
+    fn hash_spreads_roughly_uniformly() {
+        let mut coins = CoinFlips::from_seed(2);
+        let w = 16u64;
+        let h = PairwiseHash::draw(&mut coins, w);
+        let mut buckets = vec![0u32; w as usize];
+        for x in 0..16_000u64 {
+            buckets[h.hash(x)] += 1;
+        }
+        for (i, &c) in buckets.iter().enumerate() {
+            assert!((500..1500).contains(&c), "bucket {i} holds {c}");
+        }
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let mut coins = CoinFlips::from_seed(3);
+        let s = SignHash::draw(&mut coins);
+        let pos = (0..10_000u64).filter(|&x| s.sign(x) == 1).count();
+        assert!((4000..6000).contains(&pos), "got {pos} positive signs");
+    }
+
+    #[test]
+    fn mix_hash_changes_all_bit_positions() {
+        let mut coins = CoinFlips::from_seed(4);
+        let m = MixHash::draw(&mut coins);
+        let mut seen_diff = 0u64;
+        for x in 0..64u64 {
+            seen_diff |= m.hash(x) ^ m.hash(x + 1);
+        }
+        assert_eq!(seen_diff.count_ones(), 64, "every bit should flip somewhere");
+    }
+
+    #[test]
+    fn pairwise_collision_rate_near_1_over_w() {
+        // Empirical collision probability across random pairs should be
+        // ~1/w for a universal family.
+        let mut coins = CoinFlips::from_seed(5);
+        let w = 64u64;
+        let trials = 200;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let h = PairwiseHash::draw(&mut coins, w);
+            let x = coins.next_u64() % 1_000_000;
+            let y = x + 1 + coins.next_below(1_000_000);
+            if h.hash(x) == h.hash(y) {
+                collisions += 1;
+            }
+        }
+        // Expected ~ trials / w ≈ 3.1; allow generous slack.
+        assert!(collisions <= 15, "too many collisions: {collisions}");
+    }
+}

@@ -1,0 +1,241 @@
+//! A fixed-boundary histogram rank/quantile estimator.
+//!
+//! The paper's §4 uses the Quantiles sketch (rank within ±εn \[1\]) as
+//! a running example of an (ε,δ)-bounded object. GK ([`crate::quantiles`])
+//! covers the deterministic sequential case but resists
+//! parallelization (its tuple list is order-sensitive). The classic
+//! alternative that *does* parallelize is an **equi-width histogram**
+//! over a bounded value domain: `b` buckets of atomic counters;
+//! `rank(x)` is the count in buckets strictly below `x`'s, plus
+//! (optionally) a part of `x`'s own bucket.
+//!
+//! * `rank_lower(x) ≤ true rank(x) ≤ rank_lower(x) + bucket_count(x)`,
+//!   so the rank error is bounded by the heaviest bucket — a
+//!   deterministic (ε, 0) bound of `n/b` for near-uniform data, or
+//!   exactly `max bucket load` in general (exposed, not assumed).
+//! * `rank_lower` is a **sum of monotonically growing counters** —
+//!   precisely the shape of the IVL batched counter's read — so the
+//!   concurrent version (in `ivl-concurrent`) is a monotone
+//!   quantitative object and IVL by the Lemma 10 argument.
+
+use crate::FrequencySketch;
+
+/// A sequential equi-width histogram over `[0, domain)`.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sketch::Histogram;
+///
+/// let mut h = Histogram::new(1_000, 100);
+/// for v in 0..1_000u64 {
+///     h.insert(v);
+/// }
+/// // True rank of 500 is 500; the histogram brackets it.
+/// assert!(h.rank_lower(500) <= 500 && 500 <= h.rank_upper(500));
+/// // With 10 values per bucket, the bracket width is 10.
+/// assert_eq!(h.max_bucket_load(), 10);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    domain: u64,
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equi-width buckets covering
+    /// `[0, domain)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is 0 or `domain < buckets`.
+    pub fn new(domain: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(domain >= buckets as u64, "domain smaller than bucket count");
+        Histogram {
+            domain,
+            buckets: vec![0; buckets],
+            count: 0,
+        }
+    }
+
+    /// The bucket index of value `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the domain.
+    pub fn bucket_of(&self, x: u64) -> usize {
+        assert!(x < self.domain, "value outside domain");
+        ((x as u128 * self.buckets.len() as u128) / self.domain as u128) as usize
+    }
+
+    /// Inserts a value.
+    pub fn insert(&mut self, x: u64) {
+        let b = self.bucket_of(x);
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// Number of values inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Lower bound on the rank of `x` (1-based rank of the first
+    /// occurrence): values in buckets strictly below `x`'s.
+    pub fn rank_lower(&self, x: u64) -> u64 {
+        let b = self.bucket_of(x);
+        self.buckets[..b].iter().sum()
+    }
+
+    /// Upper bound on the rank of `x`: `rank_lower` plus `x`'s whole
+    /// bucket.
+    pub fn rank_upper(&self, x: u64) -> u64 {
+        let b = self.bucket_of(x);
+        self.buckets[..=b].iter().sum()
+    }
+
+    /// The maximum bucket load — the exact additive rank-error bound
+    /// of this histogram on the data it actually saw.
+    pub fn max_bucket_load(&self) -> u64 {
+        self.buckets.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A value whose rank is approximately `rank` (returns the left
+    /// edge of the first bucket whose cumulative count reaches
+    /// `rank`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `rank` exceeds the count.
+    pub fn value_at_rank(&self, rank: u64) -> u64 {
+        assert!(self.count > 0, "empty histogram");
+        assert!((1..=self.count).contains(&rank), "rank out of range");
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return (i as u128 * self.domain as u128 / self.buckets.len() as u128) as u64;
+            }
+        }
+        self.domain - 1
+    }
+
+    /// Approximate `phi`-quantile.
+    pub fn quantile(&self, phi: f64) -> u64 {
+        let rank = ((phi * self.count as f64).ceil() as u64).clamp(1, self.count.max(1));
+        self.value_at_rank(rank)
+    }
+
+    /// Merges another histogram with identical shape (bucket-wise
+    /// sum) — mergeable \[1\].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+/// [`FrequencySketch`]-flavoured adapter is deliberately absent: a
+/// histogram estimates *ranks*, not point frequencies. The marker impl
+/// below documents the distinction for readers grepping the trait.
+const _: Option<&dyn FrequencySketch> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ranks_bracket_truth() {
+        let mut h = Histogram::new(1_000, 50);
+        let mut values: Vec<u64> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..1_000);
+            h.insert(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        for probe in [0u64, 13, 250, 500, 900, 999] {
+            let true_rank_lo = values.partition_point(|&v| v < probe) as u64;
+            let lo = h.rank_lower(probe);
+            let hi = h.rank_upper(probe);
+            assert!(
+                lo <= true_rank_lo && true_rank_lo <= hi,
+                "probe {probe}: true {true_rank_lo} outside [{lo}, {hi}]"
+            );
+            assert!(hi - lo <= h.max_bucket_load());
+        }
+    }
+
+    #[test]
+    fn uniform_data_error_near_n_over_b() {
+        let mut h = Histogram::new(10_000, 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        for _ in 0..n {
+            h.insert(rng.gen_range(0..10_000));
+        }
+        // Max bucket ≈ n/b = 500 with slack for variance.
+        assert!(h.max_bucket_load() < 2 * (n / 100), "{}", h.max_bucket_load());
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = Histogram::new(1_000, 64);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20_000 {
+            h.insert(rng.gen_range(0..1_000));
+        }
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q75 = h.quantile(0.75);
+        assert!(q25 <= q50 && q50 <= q75, "{q25} {q50} {q75}");
+        assert!((200..300).contains(&q25), "{q25}");
+        assert!((450..550).contains(&q50), "{q50}");
+        assert!((700..800).contains(&q75), "{q75}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new(100, 10);
+        let mut b = Histogram::new(100, 10);
+        let mut u = Histogram::new(100, 10);
+        for v in 0..50 {
+            a.insert(v);
+            u.insert(v);
+        }
+        for v in 50..100 {
+            b.insert(v);
+            u.insert(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_rejected() {
+        let mut h = Histogram::new(10, 2);
+        h.insert(10);
+    }
+
+    #[test]
+    fn bucket_mapping_covers_domain_evenly() {
+        let h = Histogram::new(100, 4);
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(24), 0);
+        assert_eq!(h.bucket_of(25), 1);
+        assert_eq!(h.bucket_of(99), 3);
+    }
+}

@@ -1,0 +1,301 @@
+//! The KLL quantiles sketch (Karnin–Lang–Liberty, FOCS 2016) — the
+//! modern *mergeable* quantiles summary behind the Apache DataSketches
+//! library the paper's introduction cites \[10\].
+//!
+//! A hierarchy of *compactors*: level `l` holds items each
+//! representing `2^l` stream items. When a compactor fills, it sorts
+//! itself and promotes a random half (odd- or even-indexed items,
+//! chosen by a coin flip) to level `l+1` — each surviving item now
+//! stands for twice the weight, and the rank error introduced is
+//! unbiased. With capacity `k` the sketch stores `O(k log(n/k))`
+//! items and answers rank queries within `εn` for `ε = O(1/k)` with
+//! constant probability (per-query error concentrates by the
+//! martingale argument of the paper; we validate empirically).
+//!
+//! Like every randomized sketch in this crate, a KLL instance is the
+//! deterministic algorithm `KLL(c̄)` once its [`CoinFlips`] are fixed.
+
+use crate::coins::CoinFlips;
+
+/// A KLL quantiles sketch over `u64` values.
+#[derive(Clone, Debug)]
+pub struct KllSketch {
+    k: usize,
+    /// `levels[l]` holds items of weight `2^l`; kept unsorted until
+    /// compaction/query.
+    levels: Vec<Vec<u64>>,
+    count: u64,
+    coins: CoinFlips,
+}
+
+impl KllSketch {
+    /// Creates a sketch with compactor capacity `k` (larger = more
+    /// accurate; `ε ≈ 1.5/k`), drawing compaction coins from `coins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 8`.
+    pub fn new(k: usize, coins: CoinFlips) -> Self {
+        assert!(k >= 8, "capacity must be at least 8");
+        KllSketch {
+            k,
+            levels: vec![Vec::new()],
+            count: 0,
+            coins,
+        }
+    }
+
+    /// The compactor capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of values inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total items currently stored across all levels.
+    pub fn stored_items(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Capacity of level `l`: geometrically decreasing from the top,
+    /// floor 8 (the standard KLL schedule with ratio 2/3,
+    /// approximated by integer thirds).
+    fn level_capacity(&self, level: usize, num_levels: usize) -> usize {
+        let depth = num_levels - 1 - level;
+        let mut cap = self.k;
+        for _ in 0..depth {
+            cap = cap * 2 / 3;
+        }
+        cap.max(8)
+    }
+
+    /// Inserts one value.
+    pub fn insert(&mut self, value: u64) {
+        self.count += 1;
+        self.levels[0].push(value);
+        self.compact();
+    }
+
+    fn compact(&mut self) {
+        let mut level = 0;
+        while level < self.levels.len() {
+            let num_levels = self.levels.len();
+            let cap = self.level_capacity(level, num_levels);
+            if self.levels[level].len() <= cap {
+                level += 1;
+                continue;
+            }
+            // Sort, promote a random half, keep nothing.
+            self.levels[level].sort_unstable();
+            let keep_odd = self.coins.next_bool(0.5);
+            let promoted: Vec<u64> = self.levels[level]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i % 2 == 1) == keep_odd)
+                .map(|(_, &v)| v)
+                .collect();
+            self.levels[level].clear();
+            if level + 1 == self.levels.len() {
+                self.levels.push(Vec::new());
+            }
+            self.levels[level + 1].extend(promoted);
+            level += 1;
+        }
+    }
+
+    /// Estimated rank of `value`: the weighted count of stored items
+    /// `< value` (1-based rank of `value`'s insertion point).
+    pub fn rank(&self, value: u64) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(l, items)| {
+                let below = items.iter().filter(|&&v| v < value).count() as u64;
+                below << l
+            })
+            .sum()
+    }
+
+    /// A value whose rank is approximately `target_rank` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty.
+    pub fn value_at_rank(&self, target_rank: u64) -> u64 {
+        assert!(self.count > 0, "empty sketch");
+        // Gather (value, weight), sort by value, walk the prefix.
+        let mut items: Vec<(u64, u64)> = self
+            .levels
+            .iter()
+            .enumerate()
+            .flat_map(|(l, items)| items.iter().map(move |&v| (v, 1u64 << l)))
+            .collect();
+        items.sort_unstable();
+        let mut acc = 0;
+        for (v, w) in &items {
+            acc += w;
+            if acc >= target_rank {
+                return *v;
+            }
+        }
+        items.last().expect("non-empty").0
+    }
+
+    /// Approximate `phi`-quantile (`0 ≤ phi ≤ 1`).
+    pub fn quantile(&self, phi: f64) -> u64 {
+        let rank = ((phi * self.count as f64).ceil() as u64).clamp(1, self.count.max(1));
+        self.value_at_rank(rank)
+    }
+
+    /// Merges another sketch (level-wise concatenation, then
+    /// recompaction) — the mergeability KLL is famous for. The
+    /// sketches may use different coins; the merged error bound is
+    /// that of a sketch that ingested both streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn merge(&mut self, other: &KllSketch) {
+        assert_eq!(self.k, other.k, "capacity mismatch");
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (l, items) in other.levels.iter().enumerate() {
+            self.levels[l].extend_from_slice(items);
+        }
+        self.count += other.count;
+        self.compact();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rel_rank_err(sketch: &KllSketch, sorted: &[u64], phi: f64) -> f64 {
+        let n = sorted.len() as u64;
+        let rank = ((phi * n as f64).ceil() as u64).clamp(1, n);
+        let v = sketch.value_at_rank(rank);
+        let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+        let hi = sorted.partition_point(|&x| x <= v) as u64;
+        let err = if rank < lo {
+            lo - rank
+        } else {
+            rank.saturating_sub(hi)
+        };
+        err as f64 / n as f64
+    }
+
+    #[test]
+    fn quantiles_accurate_on_random_stream() {
+        let mut kll = KllSketch::new(200, CoinFlips::from_seed(1));
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut values: Vec<u64> = (0..100_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        for &v in &values {
+            kll.insert(v);
+        }
+        values.sort_unstable();
+        for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let err = rel_rank_err(&kll, &values, phi);
+            assert!(err < 0.02, "phi={phi}: rel rank err {err}");
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut kll = KllSketch::new(128, CoinFlips::from_seed(3));
+        for v in 0..200_000u64 {
+            kll.insert(v);
+        }
+        assert!(
+            kll.stored_items() < 3_000,
+            "stored {} items for 200k inserts",
+            kll.stored_items()
+        );
+    }
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut kll = KllSketch::new(64, CoinFlips::from_seed(4));
+        for v in [5u64, 1, 9, 3, 7] {
+            kll.insert(v);
+        }
+        assert_eq!(kll.value_at_rank(1), 1);
+        assert_eq!(kll.value_at_rank(3), 5);
+        assert_eq!(kll.value_at_rank(5), 9);
+        assert_eq!(kll.rank(6), 3);
+    }
+
+    #[test]
+    fn weights_preserve_total_count() {
+        let mut kll = KllSketch::new(32, CoinFlips::from_seed(5));
+        let n = 50_000u64;
+        for v in 0..n {
+            kll.insert(v);
+        }
+        let total_weight: u64 = kll
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(l, items)| (items.len() as u64) << l)
+            .sum();
+        // Compaction promotes exactly half (by weight) of each full
+        // compactor, so total weight stays within one compactor's
+        // worth of the true count.
+        let slack = (kll.capacity() as u64) << kll.levels.len();
+        assert!(
+            total_weight <= n && n - total_weight <= slack,
+            "weight {total_weight} vs count {n}"
+        );
+    }
+
+    #[test]
+    fn merge_accuracy_comparable_to_union() {
+        let mut a = KllSketch::new(200, CoinFlips::from_seed(6));
+        let mut b = KllSketch::new(200, CoinFlips::from_seed(7));
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut values: Vec<u64> = Vec::new();
+        for _ in 0..50_000 {
+            let v = rng.gen_range(0..1_000_000);
+            a.insert(v);
+            values.push(v);
+        }
+        for _ in 0..50_000 {
+            let v = rng.gen_range(500_000..1_500_000);
+            b.insert(v);
+            values.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100_000);
+        values.sort_unstable();
+        for phi in [0.1, 0.5, 0.9] {
+            let err = rel_rank_err(&a, &values, phi);
+            assert!(err < 0.03, "phi={phi}: post-merge rel err {err}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_coins() {
+        let run = || {
+            let mut kll = KllSketch::new(64, CoinFlips::from_seed(9));
+            for v in 0..10_000u64 {
+                kll.insert((v * 7919) % 65_536);
+            }
+            (kll.stored_items(), kll.quantile(0.5))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn merge_rejects_mismatched_capacity() {
+        let mut a = KllSketch::new(32, CoinFlips::from_seed(1));
+        let b = KllSketch::new(64, CoinFlips::from_seed(1));
+        a.merge(&b);
+    }
+}

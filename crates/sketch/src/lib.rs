@@ -1,0 +1,71 @@
+//! Sequential (ε,δ)-bounded data sketches, built from scratch.
+//!
+//! The paper's Theorem 6 transfers the *sequential* error analysis of
+//! any (ε,δ)-bounded object to concurrent IVL implementations. This
+//! crate provides the sequential objects (and their analyses as
+//! executable assertions):
+//!
+//! * [`countmin`] — the CountMin sketch of Cormode & Muthukrishnan
+//!   (§5's running example): `f_a ≤ f̂_a ≤ f_a + αn` with probability
+//!   `1 − δ`.
+//! * [`countsketch`] — the median-of-signs CountSketch (an alternative
+//!   frequency estimator with two-sided error).
+//! * [`morris`] — Morris's approximate counter \[27\]\[12\].
+//! * [`hll`] — HyperLogLog distinct counting \[13\]\[18\].
+//! * [`spacesaving`] — SpaceSaving top-k / heavy hitters \[26\].
+//! * [`quantiles`] — Greenwald–Khanna ε-approximate quantiles
+//!   (deterministic rank error, the (ε, 0) end of the spectrum).
+//! * [`hash`] — Carter–Wegman universal hashing over the Mersenne
+//!   prime `2^61 − 1`, built from scratch.
+//! * [`coins`] — the explicit coin-flip vector `c̄ ∈ Ω^∞` of the
+//!   paper's §2.2: a randomized sketch is a *distribution over
+//!   deterministic sketches*, realized here by constructing each
+//!   sketch from a [`coins::CoinFlips`] value. Two sketches built from
+//!   equal coin flips are the *same deterministic algorithm*.
+//! * [`stream`] — synthetic workload generators (uniform, Zipf,
+//!   adversarial bursts) standing in for the proprietary traces the
+//!   sketch literature evaluates on.
+//! * [`cm_spec`] — [`ivl_spec::ObjectSpec`] adapters so recorded
+//!   concurrent histories can be checked for IVL against `CM(c̄)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cm_spec;
+pub mod coins;
+pub mod countmin;
+pub mod countsketch;
+pub mod hash;
+pub mod histogram;
+pub mod hll;
+pub mod kll;
+pub mod morris;
+pub mod quantiles;
+pub mod spacesaving;
+pub mod stream;
+
+pub use coins::CoinFlips;
+pub use countmin::{CountMin, CountMinConservative, CountMinParams};
+pub use countsketch::CountSketch;
+pub use histogram::Histogram;
+pub use hll::HyperLogLog;
+pub use kll::KllSketch;
+pub use morris::MorrisCounter;
+pub use quantiles::GkQuantiles;
+pub use spacesaving::SpaceSaving;
+
+/// A point-frequency estimator over `u64` items.
+///
+/// Implemented by [`CountMin`], [`CountSketch`] and [`SpaceSaving`];
+/// lets benches and concurrent wrappers treat them uniformly.
+pub trait FrequencySketch {
+    /// Processes one occurrence of `item`.
+    fn update(&mut self, item: u64);
+
+    /// Estimates how many times `item` has been updated.
+    fn estimate(&self, item: u64) -> u64;
+
+    /// Total updates processed (the stream length `n`).
+    fn stream_len(&self) -> u64;
+}

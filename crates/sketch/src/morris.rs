@@ -1,0 +1,180 @@
+//! Morris's approximate counter (CACM 1978), analyzed by Flajolet
+//! (BIT 1985) — the oldest (ε,δ)-bounded object \[27\]\[12\].
+//!
+//! The counter stores only an exponent `X`. `update()` increments `X`
+//! with probability `b^−X` for base `b = 1 + a`; `query()` returns
+//! `(b^X − 1)/a`, an unbiased estimate of the number of updates with
+//! variance `≈ a·n²/2`. Small `a` trades memory (larger `X`) for
+//! accuracy: `Var = a n²/2`, so by Chebyshev the estimate is within
+//! `εn` of `n` with probability `1 − a/(2ε²)`.
+//!
+//! The estimate is a monotone function of `X`, and `X` only grows — a
+//! *monotone quantitative object* in the paper's sense, so its lock-free
+//! parallelization (in `ivl-concurrent`) is IVL-checkable with the
+//! interval fast path.
+
+use crate::coins::CoinFlips;
+
+/// A Morris approximate counter with base `1 + a`.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sketch::{CoinFlips, MorrisCounter};
+///
+/// let mut m = MorrisCounter::new(0.05, CoinFlips::from_seed(1));
+/// for _ in 0..10_000 {
+///     m.update();
+/// }
+/// // The whole state is one small exponent...
+/// assert!(m.exponent() < 300);
+/// // ...yet the estimate tracks the count.
+/// assert!((m.estimate() - 10_000.0).abs() / 10_000.0 < 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MorrisCounter {
+    /// The stored exponent `X`.
+    exponent: u32,
+    /// Accuracy parameter `a` (base is `1 + a`).
+    a: f64,
+    coins: CoinFlips,
+    updates: u64,
+}
+
+impl MorrisCounter {
+    /// Creates a counter with accuracy parameter `a` (smaller = more
+    /// accurate; classic Morris is `a = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a > 0`.
+    pub fn new(a: f64, coins: CoinFlips) -> Self {
+        assert!(a > 0.0, "accuracy parameter must be positive");
+        MorrisCounter {
+            exponent: 0,
+            a,
+            coins,
+            updates: 0,
+        }
+    }
+
+    /// The classic Morris counter (`a = 1`, base 2).
+    pub fn classic(coins: CoinFlips) -> Self {
+        Self::new(1.0, coins)
+    }
+
+    /// Probability that the next update increments the exponent.
+    pub fn increment_probability(&self) -> f64 {
+        (1.0 + self.a).powi(-(self.exponent as i32))
+    }
+
+    /// Registers one event.
+    pub fn update(&mut self) {
+        let p = self.increment_probability();
+        if self.coins.next_bool(p) {
+            self.exponent += 1;
+        }
+        self.updates += 1;
+    }
+
+    /// The estimate `((1+a)^X − 1)/a` of the number of events.
+    pub fn estimate(&self) -> f64 {
+        ((1.0 + self.a).powi(self.exponent as i32) - 1.0) / self.a
+    }
+
+    /// The stored exponent `X` (the entire state of the sketch).
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+
+    /// Exact number of updates performed (ground truth for tests).
+    pub fn true_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// The (ε,δ) relation: for relative error `eps`, the failure
+    /// probability by Chebyshev is `δ ≤ a / (2 ε²)`.
+    pub fn delta_for(&self, eps: f64) -> f64 {
+        self.a / (2.0 * eps * eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_first_increment() {
+        // X=0 -> increment probability 1: first update always counts.
+        let mut m = MorrisCounter::classic(CoinFlips::from_seed(1));
+        assert_eq!(m.estimate(), 0.0);
+        m.update();
+        assert_eq!(m.exponent(), 1);
+        assert_eq!(m.estimate(), 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_count_on_average() {
+        // Average over independent counters: mean relative error small.
+        let n = 10_000u64;
+        let runs = 40;
+        let mut total = 0.0;
+        for seed in 0..runs {
+            let mut m = MorrisCounter::new(0.1, CoinFlips::from_seed(seed));
+            for _ in 0..n {
+                m.update();
+            }
+            total += m.estimate();
+        }
+        let mean = total / runs as f64;
+        let rel = (mean - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "mean {mean} vs {n} (rel err {rel})");
+    }
+
+    #[test]
+    fn smaller_a_is_more_accurate() {
+        let spread = |a: f64| -> f64 {
+            let n = 5_000u64;
+            let mut errs = 0.0;
+            for seed in 100..130 {
+                let mut m = MorrisCounter::new(a, CoinFlips::from_seed(seed));
+                for _ in 0..n {
+                    m.update();
+                }
+                errs += ((m.estimate() - n as f64) / n as f64).powi(2);
+            }
+            errs
+        };
+        assert!(spread(0.05) < spread(1.0), "a=0.05 should beat a=1.0");
+    }
+
+    #[test]
+    fn exponent_is_monotone() {
+        let mut m = MorrisCounter::classic(CoinFlips::from_seed(5));
+        let mut last = 0;
+        for _ in 0..10_000 {
+            m.update();
+            assert!(m.exponent() >= last);
+            last = m.exponent();
+        }
+    }
+
+    #[test]
+    fn chebyshev_bound_formula() {
+        let m = MorrisCounter::new(0.02, CoinFlips::from_seed(6));
+        assert!((m.delta_for(0.1) - 1.0).abs() < 1e-12); // 0.02 / 0.02
+        assert!(m.delta_for(0.5) < 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_coins() {
+        let run = || {
+            let mut m = MorrisCounter::classic(CoinFlips::from_seed(9));
+            for _ in 0..1000 {
+                m.update();
+            }
+            m.exponent()
+        };
+        assert_eq!(run(), run());
+    }
+}

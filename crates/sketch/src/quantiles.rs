@@ -1,0 +1,267 @@
+//! Greenwald–Khanna ε-approximate quantiles (SIGMOD 2001) — the
+//! deterministic ((εn, 0)-bounded) end of the quantitative-object
+//! spectrum, complementing the probabilistic sketches. The paper's §4
+//! cites the Quantiles sketch of \[1\] as its example of rank-error
+//! bounds; GK provides the same interface with a deterministic
+//! guarantee.
+//!
+//! The summary keeps tuples `(v_i, g_i, Δ_i)` sorted by value, where
+//! `g_i` is the gap in minimum rank to the previous tuple and `Δ_i`
+//! the uncertainty. Invariant: `g_i + Δ_i ≤ ⌊2εn⌋`, which bounds any
+//! rank query's error by `εn`.
+
+/// One GK summary tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Tuple {
+    value: u64,
+    /// Gap in min-rank from the previous tuple.
+    g: u64,
+    /// Rank uncertainty.
+    delta: u64,
+}
+
+/// A Greenwald–Khanna ε-approximate quantile summary over `u64`
+/// values.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sketch::GkQuantiles;
+///
+/// let mut gk = GkQuantiles::new(0.01);
+/// for v in 0..10_000u64 {
+///     gk.insert(v);
+/// }
+/// let median = gk.query_quantile(0.5);
+/// assert!((4800..=5200).contains(&median));
+/// // Sub-linear space:
+/// assert!(gk.summary_size() < 1_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GkQuantiles {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    count: u64,
+    since_compress: u64,
+}
+
+impl GkQuantiles {
+    /// Creates a summary with rank-error parameter `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        GkQuantiles {
+            epsilon,
+            tuples: Vec::new(),
+            count: 0,
+            since_compress: 0,
+        }
+    }
+
+    /// The rank-error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of values inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of tuples currently stored (the space the summary uses —
+    /// `O((1/ε) log εn)`).
+    pub fn summary_size(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn two_eps_n(&self) -> u64 {
+        (2.0 * self.epsilon * self.count as f64).floor() as u64
+    }
+
+    /// Inserts one value.
+    pub fn insert(&mut self, value: u64) {
+        self.count += 1;
+        let pos = self.tuples.partition_point(|t| t.value < value);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            0 // new minimum or maximum is known exactly
+        } else {
+            self.two_eps_n().saturating_sub(1)
+        };
+        self.tuples.insert(
+            pos,
+            Tuple {
+                value,
+                g: 1,
+                delta,
+            },
+        );
+        self.since_compress += 1;
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Merges adjacent tuples whose combined uncertainty stays within
+    /// the invariant.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = self.two_eps_n();
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        out.push(self.tuples[0]);
+        for i in 1..self.tuples.len() {
+            let t = self.tuples[i];
+            let last = *out.last().expect("non-empty");
+            let is_last_input = i == self.tuples.len() - 1;
+            // Merge `last` into `t` when allowed; never merge away the
+            // first or last tuple (min/max must stay exact).
+            if out.len() > 1 && !is_last_input && last.g + t.g + t.delta <= cap {
+                out.pop();
+                out.push(Tuple {
+                    value: t.value,
+                    g: last.g + t.g,
+                    delta: t.delta,
+                });
+            } else {
+                out.push(t);
+            }
+        }
+        self.tuples = out;
+    }
+
+    /// Returns a value whose rank differs from `rank` by at most
+    /// `εn` (ranks are 1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty or `rank` is out of `1..=count`.
+    pub fn query_rank(&self, rank: u64) -> u64 {
+        assert!(!self.tuples.is_empty(), "empty summary");
+        assert!((1..=self.count).contains(&rank), "rank out of range");
+        // Accept the first tuple with r − rmin ≤ εn and rmax − r ≤ εn;
+        // the GK invariant (g_i + Δ_i ≤ 2εn) guarantees one exists.
+        let eps_n = self.epsilon * self.count as f64;
+        let mut rmin = 0u64;
+        for t in &self.tuples {
+            rmin += t.g;
+            let rmax = rmin + t.delta;
+            if rank as f64 - rmin as f64 <= eps_n && rmax as f64 - rank as f64 <= eps_n {
+                return t.value;
+            }
+        }
+        self.tuples.last().expect("non-empty").value
+    }
+
+    /// Returns a value at approximately the `phi`-quantile
+    /// (`0 ≤ phi ≤ 1`).
+    pub fn query_quantile(&self, phi: f64) -> u64 {
+        let rank = ((phi * self.count as f64).ceil() as u64).clamp(1, self.count.max(1));
+        self.query_rank(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// True rank error of `value` against a sorted ground truth:
+    /// distance from `rank` to the closest rank where `value` occurs.
+    fn rank_error(sorted: &[u64], value: u64, rank: u64) -> u64 {
+        let lo = sorted.partition_point(|&x| x < value) as u64 + 1;
+        let hi = sorted.partition_point(|&x| x <= value) as u64;
+        if rank < lo {
+            lo - rank
+        } else { rank.saturating_sub(hi) }
+    }
+
+    fn check_stream(values: Vec<u64>, eps: f64) {
+        let mut gk = GkQuantiles::new(eps);
+        for &v in &values {
+            gk.insert(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = values.len() as u64;
+        let allow = (eps * n as f64).ceil() as u64 + 1;
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let rank = ((phi * n as f64).ceil() as u64).clamp(1, n);
+            let v = gk.query_rank(rank);
+            let err = rank_error(&sorted, v, rank);
+            assert!(
+                err <= allow,
+                "phi={phi}: value {v} has rank error {err} > {allow}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_random_stream() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        check_stream(values, 0.01);
+    }
+
+    #[test]
+    fn sorted_stream() {
+        check_stream((0..10_000).collect(), 0.01);
+    }
+
+    #[test]
+    fn reverse_sorted_stream() {
+        check_stream((0..10_000).rev().collect(), 0.01);
+    }
+
+    #[test]
+    fn heavily_duplicated_stream() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..10)).collect();
+        check_stream(values, 0.02);
+    }
+
+    #[test]
+    fn summary_is_sublinear() {
+        let mut gk = GkQuantiles::new(0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50_000 {
+            gk.insert(rng.gen_range(0..1_000_000));
+        }
+        assert!(
+            gk.summary_size() < 5_000,
+            "summary holds {} tuples for 50k inserts",
+            gk.summary_size()
+        );
+    }
+
+    #[test]
+    fn median_of_known_distribution() {
+        let mut gk = GkQuantiles::new(0.01);
+        for v in 0..10_001u64 {
+            gk.insert(v);
+        }
+        let med = gk.query_quantile(0.5);
+        assert!((4800..=5200).contains(&med), "median {med}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty summary")]
+    fn empty_query_panics() {
+        GkQuantiles::new(0.1).query_rank(1);
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut gk = GkQuantiles::new(0.05);
+        for v in [5u64, 3, 9, 1, 7] {
+            gk.insert(v);
+        }
+        assert_eq!(gk.query_rank(1), 1);
+        assert_eq!(gk.query_rank(5), 9);
+    }
+}

@@ -1,0 +1,366 @@
+//! SpaceSaving (Metwally, Agrawal, El Abbadi, ICDT 2005): top-k /
+//! heavy-hitters with `k` counters \[26\].
+//!
+//! Invariants maintained (and tested):
+//!
+//! * every monitored item's stored count **over**-estimates its true
+//!   frequency by at most its stored `error`;
+//! * the minimum stored count is at most `n/k`, so any item with true
+//!   frequency above `n/k` is guaranteed to be monitored;
+//! * estimates never under-estimate: `f_a ≤ f̂_a ≤ f_a + n/k` — the
+//!   (ε, 0) guarantee with `ε = n/k`.
+//!
+//! The implementation keeps a `BTreeSet<(count, item)>` alongside the
+//! item map for `O(log k)` updates.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::FrequencySketch;
+
+/// One monitored counter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Slot {
+    count: u64,
+    /// Upper bound on over-estimation inherited at takeover time.
+    error: u64,
+}
+
+/// The SpaceSaving top-k sketch.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sketch::{FrequencySketch, SpaceSaving};
+///
+/// let mut ss = SpaceSaving::new(8);
+/// for _ in 0..100 {
+///     ss.update(42); // a heavy hitter
+/// }
+/// for x in 0..50u64 {
+///     ss.update(x); // light noise
+/// }
+/// assert!(ss.is_monitored(42));
+/// assert!(ss.estimate(42) >= 100);
+/// assert_eq!(ss.guaranteed_above(90), vec![42]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    capacity: usize,
+    slots: HashMap<u64, Slot>,
+    /// Orders monitored items by (count, item) for O(log k) min
+    /// lookup/eviction.
+    order: BTreeSet<(u64, u64)>,
+    stream_len: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a sketch monitoring at most `capacity` items
+    /// (`ε = n/capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving {
+            capacity,
+            slots: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            stream_len: 0,
+        }
+    }
+
+    /// The capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The additive error bound `n/k` for the current stream.
+    pub fn epsilon(&self) -> f64 {
+        self.stream_len as f64 / self.capacity as f64
+    }
+
+    /// The monitored items with their (count, error) pairs, highest
+    /// count first.
+    pub fn top(&self) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<(u64, u64, u64)> = self
+            .slots
+            .iter()
+            .map(|(&item, s)| (item, s.count, s.error))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Whether `item` is currently monitored.
+    pub fn is_monitored(&self, item: u64) -> bool {
+        self.slots.contains_key(&item)
+    }
+
+    /// Items guaranteed to exceed frequency `threshold` (count − error
+    /// ≥ threshold).
+    pub fn guaranteed_above(&self, threshold: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.count.saturating_sub(s.error) >= threshold)
+            .map(|(&item, _)| item)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merges another SpaceSaving summary (Agarwal et al.'s mergeable
+    /// heavy-hitters \[1\]): counts and errors of common items add;
+    /// items unique to one side inherit the other side's minimum count
+    /// as extra error; the result is pruned back to `capacity`. The
+    /// merged summary keeps the `f ≤ f̂ ≤ f + (n₁+n₂)/k` guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let self_min = if self.slots.len() < self.capacity {
+            0
+        } else {
+            self.order.iter().next().map_or(0, |&(c, _)| c)
+        };
+        let other_min = if other.slots.len() < other.capacity {
+            0
+        } else {
+            other.order.iter().next().map_or(0, |&(c, _)| c)
+        };
+
+        let mut merged: Vec<(u64, Slot)> = Vec::with_capacity(self.slots.len() + other.slots.len());
+        for (&item, s) in &self.slots {
+            match other.slots.get(&item) {
+                Some(o) => merged.push((
+                    item,
+                    Slot {
+                        count: s.count + o.count,
+                        error: s.error + o.error,
+                    },
+                )),
+                None => merged.push((
+                    item,
+                    Slot {
+                        count: s.count + other_min,
+                        error: s.error + other_min,
+                    },
+                )),
+            }
+        }
+        for (&item, o) in &other.slots {
+            if !self.slots.contains_key(&item) {
+                merged.push((
+                    item,
+                    Slot {
+                        count: o.count + self_min,
+                        error: o.error + self_min,
+                    },
+                ));
+            }
+        }
+        merged.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(&b.0)));
+        merged.truncate(self.capacity);
+
+        self.slots.clear();
+        self.order.clear();
+        for (item, slot) in merged {
+            self.slots.insert(item, slot);
+            self.order.insert((slot.count, item));
+        }
+        self.stream_len += other.stream_len;
+    }
+}
+
+impl FrequencySketch for SpaceSaving {
+    fn update(&mut self, item: u64) {
+        self.stream_len += 1;
+        if let Some(slot) = self.slots.get_mut(&item) {
+            assert!(self.order.remove(&(slot.count, item)));
+            slot.count += 1;
+            self.order.insert((slot.count, item));
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.insert(item, Slot { count: 1, error: 0 });
+            self.order.insert((1, item));
+            return;
+        }
+        // Evict the minimum and take over its count.
+        let &(min_count, victim) = self.order.iter().next().expect("capacity > 0");
+        self.order.remove(&(min_count, victim));
+        self.slots.remove(&victim);
+        self.slots.insert(
+            item,
+            Slot {
+                count: min_count + 1,
+                error: min_count,
+            },
+        );
+        self.order.insert((min_count + 1, item));
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        self.slots.get(&item).map_or(
+            // Unmonitored items: bounded by the current minimum count
+            // (0 if the table is not yet full).
+            if self.slots.len() < self.capacity {
+                0
+            } else {
+                self.order.iter().next().map_or(0, |&(c, _)| c)
+            },
+            |s| s.count,
+        )
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ZipfStream;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_until_capacity() {
+        let mut ss = SpaceSaving::new(8);
+        for x in 0..8u64 {
+            for _ in 0..=x {
+                ss.update(x);
+            }
+        }
+        for x in 0..8u64 {
+            assert_eq!(ss.estimate(x), x + 1);
+        }
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut ss = SpaceSaving::new(32);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut stream = ZipfStream::new(500, 1.2, 3);
+        for _ in 0..20_000 {
+            let a = stream.next_item();
+            ss.update(a);
+            *truth.entry(a).or_default() += 1;
+        }
+        for (&a, &f) in &truth {
+            assert!(ss.estimate(a) >= f, "item {a}: {} < {f}", ss.estimate(a));
+        }
+    }
+
+    #[test]
+    fn overestimate_bounded_by_n_over_k() {
+        let k = 64;
+        let mut ss = SpaceSaving::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut stream = ZipfStream::new(2_000, 1.1, 4);
+        let n = 30_000u64;
+        for _ in 0..n {
+            let a = stream.next_item();
+            ss.update(a);
+            *truth.entry(a).or_default() += 1;
+        }
+        let bound = n / k as u64 + 1;
+        for (a, _, _) in ss.top() {
+            let f = truth[&a];
+            assert!(
+                ss.estimate(a) <= f + bound,
+                "item {a}: est {} > {f} + {bound}",
+                ss.estimate(a)
+            );
+        }
+    }
+
+    #[test]
+    fn frequent_items_guaranteed_monitored() {
+        let k = 50;
+        let mut ss = SpaceSaving::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut stream = ZipfStream::new(1_000, 1.5, 5);
+        let n = 25_000u64;
+        for _ in 0..n {
+            let a = stream.next_item();
+            ss.update(a);
+            *truth.entry(a).or_default() += 1;
+        }
+        for (&a, &f) in &truth {
+            if f > n / k as u64 {
+                assert!(ss.is_monitored(a), "frequent item {a} (f={f}) evicted");
+            }
+        }
+    }
+
+    #[test]
+    fn guaranteed_above_uses_error_bound() {
+        let mut ss = SpaceSaving::new(4);
+        for _ in 0..100 {
+            ss.update(1);
+        }
+        for _ in 0..5 {
+            ss.update(2);
+        }
+        let g = ss.guaranteed_above(50);
+        assert_eq!(g, vec![1]);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut ss = SpaceSaving::new(8);
+        let mut stream = ZipfStream::new(10_000, 1.01, 6);
+        for _ in 0..5_000 {
+            ss.update(stream.next_item());
+            assert!(ss.top().len() <= 8);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_no_underestimate_guarantee() {
+        let k = 32;
+        let mut left = SpaceSaving::new(k);
+        let mut right = SpaceSaving::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut s1 = ZipfStream::new(300, 1.3, 7);
+        let mut s2 = ZipfStream::new(300, 1.3, 8);
+        for _ in 0..10_000 {
+            let a = s1.next_item();
+            left.update(a);
+            *truth.entry(a).or_default() += 1;
+            let b = s2.next_item();
+            right.update(b);
+            *truth.entry(b).or_default() += 1;
+        }
+        left.merge(&right);
+        assert_eq!(left.stream_len(), 20_000);
+        assert!(left.top().len() <= k);
+        // Monitored items never underestimate after a merge.
+        for (item, count, _err) in left.top() {
+            assert!(
+                count >= truth[&item],
+                "item {item}: merged count {count} < true {}",
+                truth[&item]
+            );
+        }
+        // Heavy items (well above 2n/k) survive the merge.
+        let n = 20_000u64;
+        for (&a, &f) in &truth {
+            if f > 4 * n / k as u64 {
+                assert!(left.is_monitored(a), "heavy item {a} (f={f}) lost in merge");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn merge_rejects_mismatched_capacity() {
+        let mut a = SpaceSaving::new(4);
+        let b = SpaceSaving::new(8);
+        a.merge(&b);
+    }
+}

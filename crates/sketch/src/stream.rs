@@ -1,0 +1,216 @@
+//! Synthetic stream generators.
+//!
+//! The sketch literature evaluates on skewed real traces (network
+//! packets, query logs); lacking those, these generators produce the
+//! same workload classes: uniform, Zipf-distributed (the standard model
+//! of heavy-hitter workloads), and adversarial bursts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf-distributed item stream over alphabet `0..alphabet` with
+/// exponent `s` (items are ranked: item 0 is the most frequent).
+///
+/// Sampling is inverse-CDF with a precomputed table and binary search —
+/// `O(log |alphabet|)` per draw, exact (no rejection).
+#[derive(Clone, Debug)]
+pub struct ZipfStream {
+    cdf: Vec<f64>,
+    rng: StdRng,
+    drawn: u64,
+}
+
+impl ZipfStream {
+    /// Creates a stream over `alphabet` items with Zipf exponent
+    /// `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is 0 or `s ≤ 0`.
+    pub fn new(alphabet: usize, s: f64, seed: u64) -> Self {
+        assert!(alphabet > 0, "alphabet must be non-empty");
+        assert!(s > 0.0, "exponent must be positive");
+        let mut cdf = Vec::with_capacity(alphabet);
+        let mut acc = 0.0;
+        for k in 1..=alphabet {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfStream {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+            drawn: 0,
+        }
+    }
+
+    /// Draws the next item.
+    pub fn next_item(&mut self) -> u64 {
+        self.drawn += 1;
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Items drawn so far.
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// The alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+impl Iterator for ZipfStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_item())
+    }
+}
+
+/// A uniform item stream over `0..alphabet`.
+#[derive(Clone, Debug)]
+pub struct UniformStream {
+    alphabet: u64,
+    rng: StdRng,
+}
+
+impl UniformStream {
+    /// Creates a uniform stream over `alphabet` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is 0.
+    pub fn new(alphabet: usize, seed: u64) -> Self {
+        assert!(alphabet > 0, "alphabet must be non-empty");
+        UniformStream {
+            alphabet: alphabet as u64,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next item.
+    pub fn next_item(&mut self) -> u64 {
+        self.rng.gen_range(0..self.alphabet)
+    }
+}
+
+impl Iterator for UniformStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_item())
+    }
+}
+
+/// An adversarial burst stream: long runs of a single hot item
+/// interleaved with uniform background noise — the worst case for
+/// staleness-based (delegation-style) concurrent sketches, where a
+/// whole burst can hide in thread-local buffers.
+#[derive(Clone, Debug)]
+pub struct BurstStream {
+    alphabet: u64,
+    burst_len: u64,
+    hot: u64,
+    in_burst: u64,
+    rng: StdRng,
+}
+
+impl BurstStream {
+    /// Creates a stream alternating `burst_len`-long bursts of a hot
+    /// item with equally long uniform stretches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is 0 or `burst_len` is 0.
+    pub fn new(alphabet: usize, burst_len: u64, seed: u64) -> Self {
+        assert!(alphabet > 0 && burst_len > 0);
+        BurstStream {
+            alphabet: alphabet as u64,
+            burst_len,
+            hot: 0,
+            in_burst: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next item.
+    pub fn next_item(&mut self) -> u64 {
+        if self.in_burst < self.burst_len {
+            self.in_burst += 1;
+            self.hot
+        } else if self.in_burst < 2 * self.burst_len {
+            self.in_burst += 1;
+            self.rng.gen_range(0..self.alphabet)
+        } else {
+            self.in_burst = 0;
+            self.hot = self.rng.gen_range(0..self.alphabet);
+            self.hot
+        }
+    }
+}
+
+impl Iterator for BurstStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_item())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_is_skewed_and_ranked() {
+        let mut s = ZipfStream::new(1000, 1.2, 1);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(s.next_item()).or_default() += 1;
+        }
+        let c0 = counts.get(&0).copied().unwrap_or(0);
+        let c10 = counts.get(&10).copied().unwrap_or(0);
+        let c100 = counts.get(&100).copied().unwrap_or(0);
+        assert!(c0 > c10, "rank 0 ({c0}) should beat rank 10 ({c10})");
+        assert!(c10 > c100, "rank 10 ({c10}) should beat rank 100 ({c100})");
+    }
+
+    #[test]
+    fn zipf_items_in_alphabet() {
+        let mut s = ZipfStream::new(50, 1.0, 2);
+        for _ in 0..10_000 {
+            assert!(s.next_item() < 50);
+        }
+    }
+
+    #[test]
+    fn zipf_is_reproducible() {
+        let a: Vec<u64> = ZipfStream::new(100, 1.1, 7).take(100).collect();
+        let b: Vec<u64> = ZipfStream::new(100, 1.1, 7).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_covers_alphabet() {
+        let mut s = UniformStream::new(10, 3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[s.next_item() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bursts_have_long_runs() {
+        let mut s = BurstStream::new(1000, 50, 4);
+        let first: Vec<u64> = (0..50).map(|_| s.next_item()).collect();
+        assert!(first.windows(2).all(|w| w[0] == w[1]), "burst is constant");
+    }
+}

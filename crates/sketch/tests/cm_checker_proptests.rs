@@ -1,0 +1,116 @@
+//! Checker-equivalence property tests on *CountMin* histories — the
+//! object with query arguments, where per-item bounds interact: the
+//! monotone fast path must agree with the exact Definition 2 search on
+//! generated and perturbed `CM(c̄)` histories.
+
+use ivl_sketch::cm_spec::CountMinSpec;
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::CoinFlips;
+use ivl_spec::gen::{completed_queries, random_linearizable_history, with_query_return, GenConfig};
+use ivl_spec::ivl::{check_ivl_exact, check_ivl_monotone};
+use ivl_spec::linearize::check_linearizable;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn spec(seed: u64, width: usize, depth: usize) -> CountMinSpec {
+    let mut coins = CoinFlips::from_seed(seed);
+    CountMinSpec::new(CountMin::new(CountMinParams { width, depth }, &mut coins))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Atomic CM executions are linearizable and IVL; both checkers
+    /// agree.
+    #[test]
+    fn atomic_cm_histories_pass_everything(
+        seed in 0u64..10_000,
+        coin_seed in 0u64..1_000,
+        width in 2usize..8,
+        depth in 1usize..4,
+        alphabet in 1u64..6,
+    ) {
+        let s = spec(coin_seed, width, depth);
+        let cfg = GenConfig {
+            processes: 3,
+            ops_per_process: 2,
+            seed,
+            ..GenConfig::default()
+        };
+        let h = random_linearizable_history(
+            &s,
+            &cfg,
+            |r| r.gen_range(0..alphabet),
+            |r| r.gen_range(0..alphabet),
+        );
+        prop_assert!(check_linearizable(std::slice::from_ref(&s), &h).is_linearizable());
+        prop_assert!(check_ivl_exact(std::slice::from_ref(&s), &h).is_ivl());
+        prop_assert!(check_ivl_monotone(&s, &h).is_ivl());
+    }
+
+    /// Perturbing one query's return by an arbitrary offset: the exact
+    /// and fast checkers must return the same verdict — on an object
+    /// whose queries carry arguments and whose bounds depend on hash
+    /// collisions.
+    #[test]
+    fn cm_checkers_agree_under_perturbation(
+        seed in 0u64..10_000,
+        coin_seed in 0u64..1_000,
+        perturb in -4i64..5,
+    ) {
+        let s = spec(coin_seed, 4, 2);
+        let cfg = GenConfig {
+            processes: 3,
+            ops_per_process: 2,
+            seed,
+            ..GenConfig::default()
+        };
+        let h = random_linearizable_history(
+            &s,
+            &cfg,
+            |r| r.gen_range(0..4u64),
+            |r| r.gen_range(0..4u64),
+        );
+        let queries = completed_queries(&h);
+        let h = if let Some(&q) = queries.first() {
+            let cur = h
+                .operations()
+                .iter()
+                .find(|o| o.id == q)
+                .unwrap()
+                .return_value
+                .unwrap();
+            with_query_return(&h, q, cur.saturating_add_signed(perturb))
+        } else {
+            h
+        };
+        let exact = check_ivl_exact(std::slice::from_ref(&s), &h).is_ivl();
+        let fast = check_ivl_monotone(&s, &h).is_ivl();
+        prop_assert_eq!(exact, fast, "CM checkers disagree on {:?}", h);
+    }
+
+    /// Pending updates included: same agreement.
+    #[test]
+    fn cm_checkers_agree_with_pending_ops(
+        seed in 0u64..10_000,
+        coin_seed in 0u64..1_000,
+    ) {
+        let s = spec(coin_seed, 4, 2);
+        let cfg = GenConfig {
+            processes: 3,
+            ops_per_process: 2,
+            allow_pending: true,
+            seed,
+            ..GenConfig::default()
+        };
+        let h = random_linearizable_history(
+            &s,
+            &cfg,
+            |r| r.gen_range(0..4u64),
+            |r| r.gen_range(0..4u64),
+        );
+        let exact = check_ivl_exact(std::slice::from_ref(&s), &h).is_ivl();
+        let fast = check_ivl_monotone(&s, &h).is_ivl();
+        prop_assert_eq!(exact, fast);
+    }
+}

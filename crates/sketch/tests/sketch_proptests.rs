@@ -1,0 +1,212 @@
+//! Property tests of the sequential sketches' invariants — the facts
+//! the paper's Theorem 6 machinery leans on (one-sided bounds,
+//! monotonicity, mergeability, determinism given coins).
+
+use ivl_sketch::countmin::{CountMin, CountMinConservative, CountMinParams};
+use ivl_sketch::hash::PairwiseHash;
+use ivl_sketch::{
+    CoinFlips, CountSketch, FrequencySketch, GkQuantiles, HyperLogLog, SpaceSaving,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn truth_of(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut t = HashMap::new();
+    for &i in stream {
+        *t.entry(i).or_default() += 1;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CountMin never under-estimates, on arbitrary streams and coins.
+    #[test]
+    fn countmin_never_underestimates(
+        stream in proptest::collection::vec(0u64..64, 0..300),
+        seed in 0u64..10_000,
+        width in 2usize..32,
+        depth in 1usize..5,
+    ) {
+        let mut cm = CountMin::new(
+            CountMinParams { width, depth },
+            &mut CoinFlips::from_seed(seed),
+        );
+        for &i in &stream {
+            cm.update(i);
+        }
+        for (&a, &f) in &truth_of(&stream) {
+            prop_assert!(cm.estimate(a) >= f);
+        }
+    }
+
+    /// CountMin estimates never exceed the stream length, and the
+    /// monotonicity Lemma 7 relies on holds: adding any update never
+    /// lowers any estimate.
+    #[test]
+    fn countmin_monotone_in_updates(
+        stream in proptest::collection::vec(0u64..32, 1..120),
+        probe in 0u64..32,
+        seed in 0u64..10_000,
+    ) {
+        let mut cm = CountMin::new(
+            CountMinParams { width: 8, depth: 3 },
+            &mut CoinFlips::from_seed(seed),
+        );
+        let mut last = 0;
+        for &i in &stream {
+            cm.update(i);
+            let est = cm.estimate(probe);
+            prop_assert!(est >= last, "estimate decreased after an update");
+            prop_assert!(est <= cm.stream_len());
+            last = est;
+        }
+    }
+
+    /// Conservative update: sandwiched between the truth and plain
+    /// CountMin on every stream.
+    #[test]
+    fn conservative_update_sandwich(
+        stream in proptest::collection::vec(0u64..48, 0..250),
+        seed in 0u64..10_000,
+    ) {
+        let params = CountMinParams { width: 8, depth: 3 };
+        let mut plain = CountMin::new(params, &mut CoinFlips::from_seed(seed));
+        let mut cu = CountMinConservative::new(params, &mut CoinFlips::from_seed(seed));
+        for &i in &stream {
+            plain.update(i);
+            cu.update(i);
+        }
+        for (&a, &f) in &truth_of(&stream) {
+            prop_assert!(cu.estimate(a) >= f);
+            prop_assert!(cu.estimate(a) <= plain.estimate(a));
+        }
+    }
+
+    /// Merging CountMin sketches equals sketching the concatenation.
+    #[test]
+    fn countmin_merge_homomorphic(
+        s1 in proptest::collection::vec(0u64..32, 0..120),
+        s2 in proptest::collection::vec(0u64..32, 0..120),
+        seed in 0u64..10_000,
+    ) {
+        let params = CountMinParams { width: 8, depth: 3 };
+        let mk = || CountMin::new(params, &mut CoinFlips::from_seed(seed));
+        let (mut a, mut b, mut whole) = (mk(), mk(), mk());
+        for &i in &s1 { a.update(i); whole.update(i); }
+        for &i in &s2 { b.update(i); whole.update(i); }
+        a.merge(&b);
+        prop_assert_eq!(a, whole);
+    }
+
+    /// SpaceSaving: never under-estimates monitored items; the
+    /// over-estimate of any monitored item is bounded by its recorded
+    /// error, which is bounded by n/k.
+    #[test]
+    fn spacesaving_invariants(
+        stream in proptest::collection::vec(0u64..64, 0..400),
+        k in 1usize..16,
+    ) {
+        let mut ss = SpaceSaving::new(k);
+        for &i in &stream {
+            ss.update(i);
+        }
+        let truth = truth_of(&stream);
+        let n = stream.len() as u64;
+        for (item, count, error) in ss.top() {
+            let f = truth.get(&item).copied().unwrap_or(0);
+            prop_assert!(count >= f, "underestimate");
+            prop_assert!(count - f <= error, "error bound broken");
+            prop_assert!(error <= n / k as u64 + 1, "error above n/k");
+        }
+        prop_assert!(ss.top().len() <= k);
+        prop_assert_eq!(ss.stream_len(), n);
+    }
+
+    /// HyperLogLog registers are monotone and merge = union, on
+    /// arbitrary streams.
+    #[test]
+    fn hll_monotone_and_mergeable(
+        s1 in proptest::collection::vec(any::<u64>(), 0..200),
+        s2 in proptest::collection::vec(any::<u64>(), 0..200),
+        seed in 0u64..10_000,
+    ) {
+        let proto = HyperLogLog::new(4, &mut CoinFlips::from_seed(seed));
+        let (mut a, mut b, mut whole) = (proto.clone(), proto.clone(), proto.clone());
+        let mut prev = a.registers().to_vec();
+        for &i in &s1 {
+            a.update(i);
+            whole.update(i);
+            for (x, y) in a.registers().iter().zip(&prev) {
+                prop_assert!(x >= y, "register decreased");
+            }
+            prev = a.registers().to_vec();
+        }
+        for &i in &s2 {
+            b.update(i);
+            whole.update(i);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a, whole);
+    }
+
+    /// GK quantiles: every rank query lands within εn of the target
+    /// rank, on arbitrary value distributions.
+    #[test]
+    fn gk_rank_error_bounded(
+        values in proptest::collection::vec(0u64..1000, 1..400),
+    ) {
+        let eps = 0.05;
+        let mut gk = GkQuantiles::new(eps);
+        for &v in &values {
+            gk.insert(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = values.len() as u64;
+        let allow = (eps * n as f64).ceil() as u64 + 1;
+        for rank in [1, n / 4 + 1, n / 2 + 1, (3 * n / 4).max(1), n] {
+            let v = gk.query_rank(rank);
+            let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+            let hi = sorted.partition_point(|&x| x <= v) as u64;
+            let err = if rank < lo { lo - rank } else { rank.saturating_sub(hi) };
+            prop_assert!(err <= allow, "rank {rank}: value {v} error {err} > {allow}");
+        }
+    }
+
+    /// Carter–Wegman hashes stay in range and are deterministic.
+    #[test]
+    fn pairwise_hash_contract(seed in 0u64..100_000, w in 1u64..1000, x in any::<u64>()) {
+        let h1 = PairwiseHash::draw(&mut CoinFlips::from_seed(seed), w);
+        let h2 = PairwiseHash::draw(&mut CoinFlips::from_seed(seed), w);
+        prop_assert!(h1.hash(x) < w as usize);
+        prop_assert_eq!(h1.hash(x), h2.hash(x));
+    }
+
+    /// CountSketch estimates of an isolated (collision-free by
+    /// construction: alphabet of one) item are exact.
+    #[test]
+    fn countsketch_exact_without_collisions(count in 0u64..300, seed in 0u64..10_000) {
+        let mut cs = CountSketch::new(16, 3, &mut CoinFlips::from_seed(seed));
+        for _ in 0..count {
+            cs.update(5);
+        }
+        prop_assert_eq!(cs.estimate(5), count);
+    }
+
+    /// CountSketch merge is homomorphic.
+    #[test]
+    fn countsketch_merge_homomorphic(
+        s1 in proptest::collection::vec(0u64..16, 0..100),
+        s2 in proptest::collection::vec(0u64..16, 0..100),
+        seed in 0u64..10_000,
+    ) {
+        let mk = || CountSketch::new(8, 3, &mut CoinFlips::from_seed(seed));
+        let (mut a, mut b, mut whole) = (mk(), mk(), mk());
+        for &i in &s1 { a.update(i); whole.update(i); }
+        for &i in &s2 { b.update(i); whole.update(i); }
+        a.merge(&b);
+        prop_assert_eq!(a, whole);
+    }
+}

@@ -1,0 +1,214 @@
+//! Definition 5 as a checkable predicate: concurrent (ε,δ)-bounded
+//! objects.
+//!
+//! Definition 5 of the paper says a concurrent randomized algorithm
+//! implements an (ε,δ)-bounded `I` object if every query returns at
+//! least `v_min − ε` and at most `v_max + ε` with probability
+//! `1 − δ/2` each, where `v_min`/`v_max` range over the *ideal*
+//! specification `I`'s values across linearizations of the query's
+//! interval.
+//!
+//! [`epsilon_bounded_report`] evaluates the bracket for every
+//! completed query of a recorded history against an ideal spec `I`
+//! (e.g. [`crate::specs::MultiCounterSpec`] — true frequencies — for a
+//! CountMin history), using the monotone fast path for `v_min`/`v_max`.
+//! The per-query outcomes feed a violation-rate estimate to compare
+//! with δ, which is how Theorem 6's conclusion is validated on real
+//! executions in the formal domain (experiment E8, checker flavour).
+
+use crate::history::{History, OpId};
+use crate::ivl::monotone_query_bounds;
+use crate::spec::MonotoneSpec;
+
+/// One query's outcome under Definition 5.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BoundedQueryOutcome {
+    /// The query's operation id.
+    pub id: OpId,
+    /// `v_min` under the ideal spec (least value over linearizations).
+    pub v_min: f64,
+    /// `v_max` under the ideal spec.
+    pub v_max: f64,
+    /// The value actually returned.
+    pub actual: f64,
+    /// Whether `v_min − ε ≤ actual` held.
+    pub lower_ok: bool,
+    /// Whether `actual ≤ v_max + ε` held.
+    pub upper_ok: bool,
+}
+
+/// Aggregate outcome of a Definition 5 check.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BoundedReport {
+    /// Per-query outcomes, in history order.
+    pub queries: Vec<BoundedQueryOutcome>,
+    /// The ε used.
+    pub epsilon: f64,
+}
+
+impl BoundedReport {
+    /// Number of queries violating the lower bracket.
+    pub fn lower_violations(&self) -> usize {
+        self.queries.iter().filter(|q| !q.lower_ok).count()
+    }
+
+    /// Number of queries violating the upper bracket.
+    pub fn upper_violations(&self) -> usize {
+        self.queries.iter().filter(|q| !q.upper_ok).count()
+    }
+
+    /// Fraction of queries violating either side — compare with δ.
+    pub fn violation_rate(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries
+            .iter()
+            .filter(|q| !q.lower_ok || !q.upper_ok)
+            .count() as f64
+            / self.queries.len() as f64
+    }
+
+    /// Whether every query satisfied both brackets (the δ = 0 case).
+    pub fn all_within(&self) -> bool {
+        self.queries.iter().all(|q| q.lower_ok && q.upper_ok)
+    }
+}
+
+/// Checks Definition 5 on a recorded history against a **monotone
+/// ideal** specification `ideal`, with additive slack `epsilon`.
+///
+/// The history's recorded return values are the *implementation's*
+/// answers (e.g. a CountMin estimate); `ideal` defines the exact
+/// quantity (e.g. true frequencies). `v_min`/`v_max` are computed with
+/// the extremal-linearization fast path, exact for monotone ideals.
+///
+/// `to_f64` converts values for the ε comparison (quantities and ε
+/// need not be integers, and `u64` has no lossless `Into<f64>`).
+pub fn epsilon_bounded_report<S>(
+    ideal: &S,
+    h: &History<S::Update, S::Query, S::Value>,
+    epsilon: f64,
+    to_f64: impl Fn(&S::Value) -> f64,
+) -> BoundedReport
+where
+    S: MonotoneSpec,
+{
+    let queries = monotone_query_bounds(ideal, h)
+        .into_iter()
+        .map(|qb| {
+            let v_min: f64 = to_f64(&qb.lower);
+            let v_max: f64 = to_f64(&qb.upper);
+            let actual: f64 = to_f64(&qb.actual);
+            BoundedQueryOutcome {
+                id: qb.id,
+                v_min,
+                v_max,
+                actual,
+                lower_ok: actual >= v_min - epsilon,
+                upper_ok: actual <= v_max + epsilon,
+            }
+        })
+        .collect();
+    BoundedReport { queries, epsilon }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryBuilder, ObjectId, ProcessId};
+    use crate::specs::MultiCounterSpec;
+
+    /// A small exact-frequency ideal spec for the tests.
+    #[derive(Clone, Copy, Debug)]
+    struct SmallFreqSpec {
+        alphabet: usize,
+    }
+
+    impl crate::spec::ObjectSpec for SmallFreqSpec {
+        type Update = usize;
+        type Query = usize;
+        type Value = u32;
+        type State = Vec<u32>;
+
+        fn initial_state(&self) -> Vec<u32> {
+            vec![0; self.alphabet]
+        }
+
+        fn apply_update(&self, state: &mut Vec<u32>, update: &usize) {
+            state[*update] += 1;
+        }
+
+        fn eval_query(&self, state: &Vec<u32>, query: &usize) -> u32 {
+            state[*query]
+        }
+    }
+
+    impl MonotoneSpec for SmallFreqSpec {}
+
+    #[test]
+    fn overestimate_within_epsilon_accepted() {
+        // Ideal frequency of item 0 is 2; the sketch answered 3.
+        let spec = SmallFreqSpec { alphabet: 2 };
+        let mut b = HistoryBuilder::<usize, usize, u32>::new();
+        let p = ProcessId(0);
+        let x = ObjectId(0);
+        for _ in 0..2 {
+            let u = b.invoke_update(p, x, 0);
+            b.respond_update(u);
+        }
+        let q = b.invoke_query(ProcessId(1), x, 0);
+        b.respond_query(q, 3);
+        let h = b.finish();
+        let r = epsilon_bounded_report(&spec, &h, 1.0, |v| *v as f64);
+        assert!(r.all_within());
+        let r = epsilon_bounded_report(&spec, &h, 0.5, |v| *v as f64);
+        assert_eq!(r.upper_violations(), 1);
+        assert_eq!(r.lower_violations(), 0);
+        assert!((r.violation_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_window_widens_the_bracket() {
+        // An update concurrent with the query raises v_max, so a
+        // higher answer is accepted without ε.
+        let spec = SmallFreqSpec { alphabet: 2 };
+        let mut b = HistoryBuilder::<usize, usize, u32>::new();
+        let p = ProcessId(0);
+        let x = ObjectId(0);
+        let u0 = b.invoke_update(p, x, 0);
+        b.respond_update(u0);
+        let u1 = b.invoke_update(p, x, 0); // concurrent with the query
+        let q = b.invoke_query(ProcessId(1), x, 0);
+        b.respond_query(q, 2);
+        b.respond_update(u1);
+        let h = b.finish();
+        let r = epsilon_bounded_report(&spec, &h, 0.0, |v| *v as f64);
+        assert!(r.all_within(), "{r:?}");
+        assert_eq!(r.queries[0].v_min, 1.0);
+        assert_eq!(r.queries[0].v_max, 2.0);
+    }
+
+    #[test]
+    fn underestimate_below_vmin_minus_eps_rejected() {
+        let spec = SmallFreqSpec { alphabet: 2 };
+        let mut b = HistoryBuilder::<usize, usize, u32>::new();
+        let p = ProcessId(0);
+        let x = ObjectId(0);
+        for _ in 0..5 {
+            let u = b.invoke_update(p, x, 0);
+            b.respond_update(u);
+        }
+        let q = b.invoke_query(ProcessId(1), x, 0);
+        b.respond_query(q, 1);
+        let h = b.finish();
+        let r = epsilon_bounded_report(&spec, &h, 2.0, |v| *v as f64);
+        assert_eq!(r.lower_violations(), 1);
+    }
+
+    #[test]
+    fn multi_counter_spec_is_the_documented_ideal() {
+        // Compile-time pairing claimed by the module docs.
+        let _ideal = MultiCounterSpec::new(4);
+    }
+}

@@ -1,0 +1,316 @@
+//! Random history generators for tests and property-based checking.
+//!
+//! [`random_linearizable_history`] simulates an atomic object under a
+//! random schedule: every operation takes effect at one instant inside
+//! its interval, so the produced history is linearizable by
+//! construction. From it, tests derive IVL-but-not-linearizable
+//! histories (perturbing query returns within their monotone bounds)
+//! and IVL-violating histories (perturbing outside them).
+
+use crate::history::{History, HistoryBuilder, ObjectId, OpId, ProcessId};
+use crate::ivl::monotone_query_bounds;
+use crate::spec::{MonotoneSpec, ObjectSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random history generation.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Number of concurrent processes.
+    pub processes: u32,
+    /// Operations each process performs.
+    pub ops_per_process: u32,
+    /// Probability an operation is a query (vs. an update).
+    pub query_ratio: f64,
+    /// Probability, per tick, that a pending op takes effect.
+    pub commit_prob: f64,
+    /// Probability, per tick, that a committed op responds.
+    pub respond_prob: f64,
+    /// Whether the final ops may be left pending (invoked, no
+    /// response) when generation stops.
+    pub allow_pending: bool,
+    /// RNG seed; identical configs produce identical histories.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            processes: 3,
+            ops_per_process: 3,
+            query_ratio: 0.4,
+            commit_prob: 0.5,
+            respond_prob: 0.5,
+            allow_pending: false,
+            seed: 0,
+        }
+    }
+}
+
+enum Phase<V> {
+    Idle,
+    /// Invoked, effect not yet taken.
+    Pending(OpId, bool /* is_query */),
+    /// Effect taken; queries carry their computed return value.
+    Committed(OpId, Option<V>),
+    Done,
+}
+
+enum PendingOp<U, Q> {
+    Update(U),
+    Query(Q),
+}
+
+/// Simulates an atomic (linearizable) object on a random schedule and
+/// returns the recorded history. Each operation's effect (update
+/// applied / query evaluated) happens at one instant between its
+/// invocation and response, so the result is linearizable by
+/// construction.
+///
+/// `update_gen` and `query_gen` draw operation arguments.
+pub fn random_linearizable_history<S, FU, FQ>(
+    spec: &S,
+    cfg: &GenConfig,
+    mut update_gen: FU,
+    mut query_gen: FQ,
+) -> History<S::Update, S::Query, S::Value>
+where
+    S: ObjectSpec,
+    FU: FnMut(&mut StdRng) -> S::Update,
+    FQ: FnMut(&mut StdRng) -> S::Query,
+{
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = HistoryBuilder::<S::Update, S::Query, S::Value>::new();
+    let mut state = spec.initial_state();
+    let obj = ObjectId(0);
+
+    let mut phases: Vec<Phase<S::Value>> = (0..cfg.processes).map(|_| Phase::Idle).collect();
+    let mut remaining: Vec<u32> = vec![cfg.ops_per_process; cfg.processes as usize];
+    let mut pending_args: Vec<Option<PendingOp<S::Update, S::Query>>> =
+        (0..cfg.processes).map(|_| None).collect();
+
+    loop {
+        let all_done = phases.iter().all(|p| matches!(p, Phase::Done));
+        if all_done {
+            break;
+        }
+        // Pick a random non-done process and advance it one step.
+        let alive: Vec<usize> = phases
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !matches!(p, Phase::Done))
+            .map(|(i, _)| i)
+            .collect();
+        let pi = alive[rng.gen_range(0..alive.len())];
+        let p = ProcessId(pi as u32);
+        match &phases[pi] {
+            Phase::Idle => {
+                if remaining[pi] == 0 {
+                    phases[pi] = Phase::Done;
+                    continue;
+                }
+                remaining[pi] -= 1;
+                if rng.gen_bool(cfg.query_ratio) {
+                    let q = query_gen(&mut rng);
+                    let id = b.invoke_query(p, obj, q.clone());
+                    pending_args[pi] = Some(PendingOp::Query(q));
+                    phases[pi] = Phase::Pending(id, true);
+                } else {
+                    let u = update_gen(&mut rng);
+                    let id = b.invoke_update(p, obj, u.clone());
+                    pending_args[pi] = Some(PendingOp::Update(u));
+                    phases[pi] = Phase::Pending(id, false);
+                }
+            }
+            Phase::Pending(id, is_query) => {
+                let (id, is_query) = (*id, *is_query);
+                if rng.gen_bool(cfg.commit_prob) {
+                    let val = match pending_args[pi].take().expect("pending op has args") {
+                        PendingOp::Update(u) => {
+                            spec.apply_update(&mut state, &u);
+                            None
+                        }
+                        PendingOp::Query(q) => Some(spec.eval_query(&state, &q)),
+                    };
+                    debug_assert_eq!(is_query, val.is_some());
+                    phases[pi] = Phase::Committed(id, val);
+                }
+            }
+            Phase::Committed(id, val) => {
+                if rng.gen_bool(cfg.respond_prob) {
+                    match val {
+                        Some(v) => b.respond_query(*id, v.clone()),
+                        None => b.respond_update(*id),
+                    }
+                    phases[pi] = Phase::Idle;
+                }
+            }
+            Phase::Done => unreachable!(),
+        }
+    }
+
+    // Optionally leave some trailing updates pending: invoke extra
+    // updates that never respond.
+    if cfg.allow_pending {
+        for pi in 0..cfg.processes as usize {
+            if rng.gen_bool(0.3) {
+                let u = update_gen(&mut rng);
+                b.invoke_update(ProcessId(pi as u32), obj, u);
+            }
+        }
+    }
+
+    b.finish()
+}
+
+/// Rewrites the return value of query `target` to `new_value`, leaving
+/// everything else intact. Used to manufacture IVL-but-not-linearizable
+/// and IVL-violating histories from linearizable ones.
+pub fn with_query_return<U: Clone, Q: Clone, V: Clone>(
+    h: &History<U, Q, V>,
+    target: OpId,
+    new_value: V,
+) -> History<U, Q, V> {
+    use crate::history::{Event, EventKind};
+    let events = h
+        .events()
+        .iter()
+        .map(|ev| match &ev.kind {
+            EventKind::Respond(Some(_)) if ev.op == target => Event {
+                op: ev.op,
+                process: ev.process,
+                object: ev.object,
+                kind: EventKind::Respond(Some(new_value.clone())),
+            },
+            _ => ev.clone(),
+        })
+        .collect();
+    History::from_events(events).expect("rewriting a return value preserves well-formedness")
+}
+
+/// The completed queries of `h`, in invocation order.
+pub fn completed_queries<U: Clone, Q: Clone, V: Clone>(h: &History<U, Q, V>) -> Vec<OpId> {
+    h.operations()
+        .into_iter()
+        .filter(|o| o.op.is_query() && o.is_complete())
+        .map(|o| o.id)
+        .collect()
+}
+
+/// For a monotone spec, derives from a linearizable history a new
+/// history in which each query returns a uniformly random value inside
+/// its IVL interval — IVL by construction, usually not linearizable.
+pub fn randomize_within_ivl_bounds<S>(
+    spec: &S,
+    h: &History<S::Update, S::Query, u64>,
+    seed: u64,
+) -> History<S::Update, S::Query, u64>
+where
+    S: MonotoneSpec<Value = u64>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = monotone_query_bounds(spec, h);
+    let mut out = h.clone();
+    for qb in bounds {
+        let v = rng.gen_range(qb.lower..=qb.upper);
+        out = with_query_return(&out, qb.id, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivl::{check_ivl_exact, check_ivl_monotone};
+    use crate::linearize::check_linearizable;
+    use crate::specs::BatchedCounterSpec;
+
+    fn small_cfg(seed: u64) -> GenConfig {
+        GenConfig {
+            processes: 3,
+            ops_per_process: 2,
+            seed,
+            ..GenConfig::default()
+        }
+    }
+
+    #[test]
+    fn generated_histories_are_linearizable() {
+        for seed in 0..30 {
+            let h = random_linearizable_history(
+                &BatchedCounterSpec,
+                &small_cfg(seed),
+                |r| r.gen_range(1..=5u64),
+                |_| (),
+            );
+            assert!(
+                check_linearizable(&[BatchedCounterSpec], &h).is_linearizable(),
+                "seed {seed} produced a non-linearizable history"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_histories_are_ivl() {
+        for seed in 0..30 {
+            let h = random_linearizable_history(
+                &BatchedCounterSpec,
+                &small_cfg(seed),
+                |r| r.gen_range(1..=5u64),
+                |_| (),
+            );
+            assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+            assert!(check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());
+        }
+    }
+
+    #[test]
+    fn randomized_within_bounds_stays_ivl() {
+        for seed in 0..30 {
+            let h = random_linearizable_history(
+                &BatchedCounterSpec,
+                &small_cfg(seed),
+                |r| r.gen_range(1..=5u64),
+                |_| (),
+            );
+            let h2 = randomize_within_ivl_bounds(&BatchedCounterSpec, &h, seed ^ 0xabcdef);
+            assert!(
+                check_ivl_exact(&[BatchedCounterSpec], &h2).is_ivl(),
+                "seed {seed}: perturbed history must stay IVL"
+            );
+        }
+    }
+
+    #[test]
+    fn value_above_upper_bound_violates_ivl() {
+        for seed in 0..20 {
+            let h = random_linearizable_history(
+                &BatchedCounterSpec,
+                &small_cfg(seed),
+                |r| r.gen_range(1..=5u64),
+                |_| (),
+            );
+            let bounds = crate::ivl::monotone_query_bounds(&BatchedCounterSpec, &h);
+            if let Some(qb) = bounds.first() {
+                let bad = with_query_return(&h, qb.id, qb.upper + 1);
+                assert!(!check_ivl_exact(&[BatchedCounterSpec], &bad).is_ivl());
+                assert!(!check_ivl_monotone(&BatchedCounterSpec, &bad).is_ivl());
+            }
+        }
+    }
+
+    #[test]
+    fn pending_ops_supported() {
+        let cfg = GenConfig {
+            allow_pending: true,
+            ..small_cfg(7)
+        };
+        let h = random_linearizable_history(
+            &BatchedCounterSpec,
+            &cfg,
+            |r| r.gen_range(1..=5u64),
+            |_| (),
+        );
+        assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+    }
+}

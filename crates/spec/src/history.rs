@@ -1,0 +1,640 @@
+//! Histories: sequences of invocation and response events.
+//!
+//! A *history* (paper §2.1) is the sequence of invoke and response steps
+//! of an execution. A *well-formed* history has no concurrent operations
+//! by the same process, and every response is preceded by a matching
+//! invocation. A *skeleton history* `H?` is a history whose query return
+//! values have been erased.
+//!
+//! Histories here are generic over the update argument type `U`, the
+//! query argument type `Q`, and the query return value type `V` of the
+//! object(s) they mention, so the same machinery serves batched counters
+//! (`U = u64`), CountMin sketches (`U = item`, `Q = item`), and any other
+//! quantitative object.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a process (thread) in a history.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a shared object in a (possibly multi-object) history.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Identifier of a single operation instance within one history.
+///
+/// Returned by [`HistoryBuilder::invoke_update`] /
+/// [`HistoryBuilder::invoke_query`] and used to attach the matching
+/// response.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The operation named by an invocation: an `update` (mutator, returns
+/// nothing) or a `query` (accessor, returns a value from a totally
+/// ordered domain). This is the *quantitative object* interface of
+/// paper §3.1.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op<U, Q> {
+    /// A mutating operation carrying its argument.
+    Update(U),
+    /// A read-only operation carrying its argument.
+    Query(Q),
+}
+
+impl<U, Q> Op<U, Q> {
+    /// Whether this is an update operation.
+    pub fn is_update(&self) -> bool {
+        matches!(self, Op::Update(_))
+    }
+
+    /// Whether this is a query operation.
+    pub fn is_query(&self) -> bool {
+        matches!(self, Op::Query(_))
+    }
+}
+
+/// One event of a history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EventKind<U, Q, V> {
+    /// Invocation step `inv_p(op(arg))`.
+    Invoke(Op<U, Q>),
+    /// Response step `rsp_p(op) → ret`. The value is `None` for update
+    /// responses and for skeleton (`?`) query responses.
+    Respond(Option<V>),
+}
+
+/// An invocation or response event, tagged with the operation, process
+/// and object it belongs to.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event<U, Q, V> {
+    /// The operation instance this event belongs to.
+    pub op: OpId,
+    /// The invoking process.
+    pub process: ProcessId,
+    /// The object the operation acts on.
+    pub object: ObjectId,
+    /// Invocation or response.
+    pub kind: EventKind<U, Q, V>,
+}
+
+/// A complete record of one operation extracted from a history.
+#[derive(Clone, Debug)]
+pub struct OperationRecord<U, Q, V> {
+    /// The operation instance id.
+    pub id: OpId,
+    /// The invoking process.
+    pub process: ProcessId,
+    /// The object acted upon.
+    pub object: ObjectId,
+    /// The operation and its argument.
+    pub op: Op<U, Q>,
+    /// Index of the invocation event in the history.
+    pub invoke_index: usize,
+    /// Index of the response event, or `None` if the operation is
+    /// pending (invoked but never responded).
+    pub respond_index: Option<usize>,
+    /// The returned value for completed queries; `None` for updates and
+    /// pending queries.
+    pub return_value: Option<V>,
+}
+
+impl<U, Q, V> OperationRecord<U, Q, V> {
+    /// Whether the operation completed (has a response event).
+    pub fn is_complete(&self) -> bool {
+        self.respond_index.is_some()
+    }
+
+    /// Whether this operation *precedes* `other` in the history's
+    /// partial order `≺_H`: its response occurs before `other`'s
+    /// invocation.
+    pub fn precedes(&self, other: &Self) -> bool {
+        match self.respond_index {
+            Some(r) => r < other.invoke_index,
+            None => false,
+        }
+    }
+
+    /// Whether this operation is concurrent with `other` (neither
+    /// precedes the other).
+    pub fn concurrent_with(&self, other: &Self) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+}
+
+/// Errors detected when validating well-formedness of a history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MalformedHistory {
+    /// A response event appears with no matching prior invocation.
+    ResponseWithoutInvocation(OpId),
+    /// Two invocations share an [`OpId`].
+    DuplicateInvocation(OpId),
+    /// Two responses share an [`OpId`].
+    DuplicateResponse(OpId),
+    /// A process invoked an operation while another of its operations
+    /// was still pending.
+    OverlappingOpsSameProcess(ProcessId, OpId, OpId),
+    /// An update response carries a return value, or a completed query
+    /// response carries none.
+    ReturnValueMismatch(OpId),
+    /// A response names a different process or object than its
+    /// invocation.
+    InconsistentResponse(OpId),
+}
+
+impl fmt::Display for MalformedHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MalformedHistory::ResponseWithoutInvocation(op) => {
+                write!(f, "response for {op} has no matching invocation")
+            }
+            MalformedHistory::DuplicateInvocation(op) => {
+                write!(f, "duplicate invocation of {op}")
+            }
+            MalformedHistory::DuplicateResponse(op) => write!(f, "duplicate response of {op}"),
+            MalformedHistory::OverlappingOpsSameProcess(p, a, b) => {
+                write!(f, "{p} invoked {b} while {a} was pending")
+            }
+            MalformedHistory::ReturnValueMismatch(op) => {
+                write!(f, "response of {op} carries a wrong-kind return value")
+            }
+            MalformedHistory::InconsistentResponse(op) => {
+                write!(f, "response of {op} names a different process or object")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MalformedHistory {}
+
+/// A history: an ordered sequence of invocation and response events.
+///
+/// Construct one with [`HistoryBuilder`], which guarantees
+/// well-formedness, or from raw events with [`History::from_events`],
+/// which validates them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct History<U, Q, V> {
+    events: Vec<Event<U, Q, V>>,
+}
+
+impl<U: Clone, Q: Clone, V: Clone> History<U, Q, V> {
+    /// Builds a history from raw events, validating well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MalformedHistory`] violation found.
+    pub fn from_events(events: Vec<Event<U, Q, V>>) -> Result<Self, MalformedHistory> {
+        let h = History { events };
+        h.validate()?;
+        Ok(h)
+    }
+
+    fn validate(&self) -> Result<(), MalformedHistory> {
+        let mut invoked: HashMap<OpId, (ProcessId, ObjectId, bool)> = HashMap::new();
+        let mut responded: HashMap<OpId, ()> = HashMap::new();
+        let mut pending_per_process: HashMap<ProcessId, OpId> = HashMap::new();
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::Invoke(op) => {
+                    if invoked.contains_key(&ev.op) {
+                        return Err(MalformedHistory::DuplicateInvocation(ev.op));
+                    }
+                    if let Some(&prev) = pending_per_process.get(&ev.process) {
+                        return Err(MalformedHistory::OverlappingOpsSameProcess(
+                            ev.process, prev, ev.op,
+                        ));
+                    }
+                    invoked.insert(ev.op, (ev.process, ev.object, op.is_update()));
+                    pending_per_process.insert(ev.process, ev.op);
+                }
+                EventKind::Respond(val) => {
+                    let Some(&(proc, obj, is_update)) = invoked.get(&ev.op) else {
+                        return Err(MalformedHistory::ResponseWithoutInvocation(ev.op));
+                    };
+                    if responded.contains_key(&ev.op) {
+                        return Err(MalformedHistory::DuplicateResponse(ev.op));
+                    }
+                    if proc != ev.process || obj != ev.object {
+                        return Err(MalformedHistory::InconsistentResponse(ev.op));
+                    }
+                    if is_update != val.is_none() {
+                        return Err(MalformedHistory::ReturnValueMismatch(ev.op));
+                    }
+                    responded.insert(ev.op, ());
+                    pending_per_process.remove(&ev.process);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The raw event sequence.
+    pub fn events(&self) -> &[Event<U, Q, V>] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Extracts one [`OperationRecord`] per invocation, in invocation
+    /// order.
+    pub fn operations(&self) -> Vec<OperationRecord<U, Q, V>> {
+        let mut ops: Vec<OperationRecord<U, Q, V>> = Vec::new();
+        let mut index_of: HashMap<OpId, usize> = HashMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            match &ev.kind {
+                EventKind::Invoke(op) => {
+                    index_of.insert(ev.op, ops.len());
+                    ops.push(OperationRecord {
+                        id: ev.op,
+                        process: ev.process,
+                        object: ev.object,
+                        op: op.clone(),
+                        invoke_index: i,
+                        respond_index: None,
+                        return_value: None,
+                    });
+                }
+                EventKind::Respond(val) => {
+                    let idx = index_of[&ev.op];
+                    ops[idx].respond_index = Some(i);
+                    ops[idx].return_value = val.clone();
+                }
+            }
+        }
+        ops
+    }
+
+    /// The skeleton history `H?`: all query return values replaced by
+    /// `?` (represented as `None`).
+    pub fn skeleton(&self) -> History<U, Q, V> {
+        let events = self
+            .events
+            .iter()
+            .map(|ev| Event {
+                op: ev.op,
+                process: ev.process,
+                object: ev.object,
+                kind: match &ev.kind {
+                    EventKind::Invoke(op) => EventKind::Invoke(op.clone()),
+                    EventKind::Respond(_) => EventKind::Respond(None),
+                },
+            })
+            .collect();
+        History { events }
+    }
+
+    /// The per-object projection `H|x`: the sub-history of events on
+    /// object `x` (paper §2.1).
+    pub fn project(&self, object: ObjectId) -> History<U, Q, V> {
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|ev| ev.object == object)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// All distinct object ids mentioned, in first-appearance order.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut seen = Vec::new();
+        for ev in &self.events {
+            if !seen.contains(&ev.object) {
+                seen.push(ev.object);
+            }
+        }
+        seen
+    }
+
+    /// All distinct process ids mentioned, in first-appearance order.
+    pub fn processes(&self) -> Vec<ProcessId> {
+        let mut seen = Vec::new();
+        for ev in &self.events {
+            if !seen.contains(&ev.process) {
+                seen.push(ev.process);
+            }
+        }
+        seen
+    }
+
+    /// Whether the history is *sequential*: an alternating sequence of
+    /// invocations and their immediate responses.
+    pub fn is_sequential(&self) -> bool {
+        let mut expect_response_for: Option<OpId> = None;
+        for ev in &self.events {
+            match (&ev.kind, expect_response_for) {
+                (EventKind::Invoke(_), None) => expect_response_for = Some(ev.op),
+                (EventKind::Respond(_), Some(id)) if id == ev.op => expect_response_for = None,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Interleaves two histories over disjoint objects and processes
+    /// into one, taking events alternately (used by locality tests).
+    /// Event order within each input history is preserved. Operation
+    /// ids of `other` are shifted past this history's maximum id so that
+    /// independently built histories never collide.
+    pub fn interleave(&self, other: &History<U, Q, V>) -> History<U, Q, V> {
+        let offset = self
+            .events
+            .iter()
+            .map(|ev| ev.op.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut events = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.events.len() || j < other.events.len() {
+            if i < self.events.len() {
+                events.push(self.events[i].clone());
+                i += 1;
+            }
+            if j < other.events.len() {
+                let mut ev = other.events[j].clone();
+                ev.op = OpId(ev.op.0 + offset);
+                events.push(ev);
+                j += 1;
+            }
+        }
+        History { events }
+    }
+}
+
+/// Incremental builder producing well-formed histories.
+///
+/// Operation ids are assigned automatically; the builder panics on
+/// ill-formed usage (a process invoking while pending, responding to an
+/// unknown or already-completed operation), making misuse loud in tests.
+#[derive(Debug)]
+pub struct HistoryBuilder<U, Q, V> {
+    events: Vec<Event<U, Q, V>>,
+    next_op: u64,
+    pending: HashMap<ProcessId, OpId>,
+    meta: HashMap<OpId, (ProcessId, ObjectId, bool)>,
+}
+
+impl<U: Clone, Q: Clone, V: Clone> Default for HistoryBuilder<U, Q, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<U: Clone, Q: Clone, V: Clone> HistoryBuilder<U, Q, V> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        HistoryBuilder {
+            events: Vec::new(),
+            next_op: 0,
+            pending: HashMap::new(),
+            meta: HashMap::new(),
+        }
+    }
+
+    fn invoke(&mut self, process: ProcessId, object: ObjectId, op: Op<U, Q>) -> OpId {
+        assert!(
+            !self.pending.contains_key(&process),
+            "{process} invoked an operation while another is pending"
+        );
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.pending.insert(process, id);
+        self.meta.insert(id, (process, object, op.is_update()));
+        self.events.push(Event {
+            op: id,
+            process,
+            object,
+            kind: EventKind::Invoke(op),
+        });
+        id
+    }
+
+    /// Appends `inv_p(update(arg))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` already has a pending operation.
+    pub fn invoke_update(&mut self, process: ProcessId, object: ObjectId, arg: U) -> OpId {
+        self.invoke(process, object, Op::Update(arg))
+    }
+
+    /// Appends `inv_p(query(arg))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` already has a pending operation.
+    pub fn invoke_query(&mut self, process: ProcessId, object: ObjectId, arg: Q) -> OpId {
+        self.invoke(process, object, Op::Query(arg))
+    }
+
+    fn respond(&mut self, id: OpId, value: Option<V>) {
+        let &(process, object, is_update) = self
+            .meta
+            .get(&id)
+            .unwrap_or_else(|| panic!("respond to unknown {id}"));
+        assert_eq!(
+            self.pending.get(&process),
+            Some(&id),
+            "{id} is not the pending operation of {process}"
+        );
+        assert_eq!(
+            is_update,
+            value.is_none(),
+            "return value kind mismatch for {id}"
+        );
+        self.pending.remove(&process);
+        self.events.push(Event {
+            op: id,
+            process,
+            object,
+            kind: EventKind::Respond(value),
+        });
+    }
+
+    /// Appends `rsp_p(update)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown, already responded, or is a query.
+    pub fn respond_update(&mut self, id: OpId) {
+        self.respond(id, None);
+    }
+
+    /// Appends `rsp_p(query) → value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown, already responded, or is an update.
+    pub fn respond_query(&mut self, id: OpId, value: V) {
+        self.respond(id, Some(value));
+    }
+
+    /// Finishes the builder, returning the history. Pending operations
+    /// remain pending (allowed by well-formedness).
+    pub fn finish(self) -> History<U, Q, V> {
+        History {
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type H = HistoryBuilder<u64, (), u64>;
+
+    #[test]
+    fn builder_produces_wellformed() {
+        let mut b = H::new();
+        let u = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+        let q = b.invoke_query(ProcessId(1), ObjectId(0), ());
+        b.respond_update(u);
+        b.respond_query(q, 0);
+        let h = b.finish();
+        assert_eq!(h.len(), 4);
+        assert!(History::from_events(h.events().to_vec()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn builder_rejects_same_process_overlap() {
+        let mut b = H::new();
+        b.invoke_update(ProcessId(0), ObjectId(0), 1);
+        b.invoke_update(ProcessId(0), ObjectId(0), 2);
+    }
+
+    #[test]
+    fn precedence_and_concurrency() {
+        let mut b = H::new();
+        let u1 = b.invoke_update(ProcessId(0), ObjectId(0), 1);
+        b.respond_update(u1);
+        let u2 = b.invoke_update(ProcessId(0), ObjectId(0), 2);
+        let q = b.invoke_query(ProcessId(1), ObjectId(0), ());
+        b.respond_update(u2);
+        b.respond_query(q, 1);
+        let h = b.finish();
+        let ops = h.operations();
+        assert!(ops[0].precedes(&ops[1]));
+        assert!(ops[0].precedes(&ops[2]));
+        assert!(ops[1].concurrent_with(&ops[2]));
+        assert!(!ops[2].precedes(&ops[1]));
+    }
+
+    #[test]
+    fn skeleton_erases_query_values() {
+        let mut b = H::new();
+        let q = b.invoke_query(ProcessId(0), ObjectId(0), ());
+        b.respond_query(q, 42);
+        let h = b.finish();
+        let sk = h.skeleton();
+        match &sk.events()[1].kind {
+            EventKind::Respond(v) => assert!(v.is_none()),
+            _ => panic!("expected response"),
+        }
+    }
+
+    #[test]
+    fn projection_splits_objects() {
+        let mut b = H::new();
+        let a = b.invoke_update(ProcessId(0), ObjectId(0), 1);
+        b.respond_update(a);
+        let c = b.invoke_update(ProcessId(0), ObjectId(1), 2);
+        b.respond_update(c);
+        let h = b.finish();
+        assert_eq!(h.project(ObjectId(0)).len(), 2);
+        assert_eq!(h.project(ObjectId(1)).len(), 2);
+        assert_eq!(h.objects(), vec![ObjectId(0), ObjectId(1)]);
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let mut b = H::new();
+        let u = b.invoke_update(ProcessId(0), ObjectId(0), 1);
+        b.respond_update(u);
+        let q = b.invoke_query(ProcessId(1), ObjectId(0), ());
+        b.respond_query(q, 1);
+        assert!(b.finish().is_sequential());
+
+        let mut b = H::new();
+        let u = b.invoke_update(ProcessId(0), ObjectId(0), 1);
+        let q = b.invoke_query(ProcessId(1), ObjectId(0), ());
+        b.respond_update(u);
+        b.respond_query(q, 1);
+        assert!(!b.finish().is_sequential());
+    }
+
+    #[test]
+    fn from_events_rejects_response_without_invocation() {
+        let ev = Event::<u64, (), u64> {
+            op: OpId(0),
+            process: ProcessId(0),
+            object: ObjectId(0),
+            kind: EventKind::Respond(None),
+        };
+        assert_eq!(
+            History::from_events(vec![ev]).unwrap_err(),
+            MalformedHistory::ResponseWithoutInvocation(OpId(0))
+        );
+    }
+
+    #[test]
+    fn from_events_rejects_update_with_return_value() {
+        let events = vec![
+            Event::<u64, (), u64> {
+                op: OpId(0),
+                process: ProcessId(0),
+                object: ObjectId(0),
+                kind: EventKind::Invoke(Op::Update(1)),
+            },
+            Event {
+                op: OpId(0),
+                process: ProcessId(0),
+                object: ObjectId(0),
+                kind: EventKind::Respond(Some(7)),
+            },
+        ];
+        assert_eq!(
+            History::from_events(events).unwrap_err(),
+            MalformedHistory::ReturnValueMismatch(OpId(0))
+        );
+    }
+
+    #[test]
+    fn pending_operations_allowed() {
+        let mut b = H::new();
+        b.invoke_update(ProcessId(0), ObjectId(0), 5);
+        let h = b.finish();
+        let ops = h.operations();
+        assert_eq!(ops.len(), 1);
+        assert!(!ops[0].is_complete());
+    }
+}

@@ -1,0 +1,239 @@
+//! A plain-text interchange format for histories, so externally
+//! recorded executions can be fed to the checkers (see the `ivl-check`
+//! binary in `ivl-bench`).
+//!
+//! One event per line; blank lines and `#` comments ignored:
+//!
+//! ```text
+//! # inv <op> <process> <object> update <arg>
+//! # inv <op> <process> <object> query  <arg>
+//! # rsp <op> <process> <object> [<return-value>]
+//! inv 0 0 0 update 3
+//! inv 1 1 0 query 0
+//! rsp 0 0 0
+//! rsp 1 1 0 2
+//! ```
+//!
+//! Argument and value types are generic over [`FromStr`]/[`Display`],
+//! so the same parser serves `u64` counters and `i64`
+//! increment/decrement histories. Parsed histories are validated for
+//! well-formedness.
+
+use crate::history::{Event, EventKind, History, MalformedHistory, ObjectId, Op, OpId, ProcessId};
+use std::fmt::{self, Display};
+use std::str::FromStr;
+
+/// Errors from [`parse_history`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseHistoryError {
+    /// A line could not be parsed; carries the 1-based line number and
+    /// a description.
+    BadLine(usize, String),
+    /// The parsed events do not form a well-formed history.
+    Malformed(MalformedHistory),
+}
+
+impl Display for ParseHistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHistoryError::BadLine(n, msg) => write!(f, "line {n}: {msg}"),
+            ParseHistoryError::Malformed(m) => write!(f, "ill-formed history: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseHistoryError {}
+
+impl From<MalformedHistory> for ParseHistoryError {
+    fn from(m: MalformedHistory) -> Self {
+        ParseHistoryError::Malformed(m)
+    }
+}
+
+/// Parses the text format into a validated history.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ivl_spec::history::History;
+/// use ivl_spec::io::parse_history;
+///
+/// let text = "\
+/// inv 0 0 0 update 3
+/// inv 1 1 0 query 0
+/// rsp 0 0 0
+/// rsp 1 1 0 3
+/// ";
+/// let h: History<u64, u64, u64> = parse_history(text)?;
+/// assert_eq!(h.operations().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseHistoryError`] on syntax errors or ill-formed event
+/// sequences.
+pub fn parse_history<U, Q, V>(text: &str) -> Result<History<U, Q, V>, ParseHistoryError>
+where
+    U: FromStr + Clone,
+    Q: FromStr + Clone,
+    V: FromStr + Clone,
+{
+    let mut events: Vec<Event<U, Q, V>> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let bad = |msg: &str| ParseHistoryError::BadLine(lineno, msg.to_string());
+        let kind_tok = tok.next().ok_or_else(|| bad("missing event kind"))?;
+        let op: u64 = tok
+            .next()
+            .ok_or_else(|| bad("missing op id"))?
+            .parse()
+            .map_err(|_| bad("op id must be an integer"))?;
+        let process: u32 = tok
+            .next()
+            .ok_or_else(|| bad("missing process id"))?
+            .parse()
+            .map_err(|_| bad("process id must be an integer"))?;
+        let object: u32 = tok
+            .next()
+            .ok_or_else(|| bad("missing object id"))?
+            .parse()
+            .map_err(|_| bad("object id must be an integer"))?;
+        let kind = match kind_tok {
+            "inv" => {
+                let which = tok.next().ok_or_else(|| bad("missing operation kind"))?;
+                match which {
+                    "update" => {
+                        let arg = tok
+                            .next()
+                            .ok_or_else(|| bad("missing update argument"))?
+                            .parse::<U>()
+                            .map_err(|_| bad("unparsable update argument"))?;
+                        EventKind::Invoke(Op::Update(arg))
+                    }
+                    "query" => {
+                        let arg = tok
+                            .next()
+                            .ok_or_else(|| bad("missing query argument"))?
+                            .parse::<Q>()
+                            .map_err(|_| bad("unparsable query argument"))?;
+                        EventKind::Invoke(Op::Query(arg))
+                    }
+                    other => return Err(bad(&format!("unknown operation kind `{other}`"))),
+                }
+            }
+            "rsp" => match tok.next() {
+                Some(v) => EventKind::Respond(Some(
+                    v.parse::<V>().map_err(|_| bad("unparsable return value"))?,
+                )),
+                None => EventKind::Respond(None),
+            },
+            other => return Err(bad(&format!("unknown event kind `{other}`"))),
+        };
+        if tok.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+        events.push(Event {
+            op: OpId(op),
+            process: ProcessId(process),
+            object: ObjectId(object),
+            kind,
+        });
+    }
+    Ok(History::from_events(events)?)
+}
+
+/// Serializes a history into the text format parsed by
+/// [`parse_history`].
+pub fn write_history<U, Q, V>(h: &History<U, Q, V>) -> String
+where
+    U: Display + Clone,
+    Q: Display + Clone,
+    V: Display + Clone,
+{
+    let mut out = String::new();
+    for ev in h.events() {
+        let (op, p, x) = (ev.op.0, ev.process.0, ev.object.0);
+        match &ev.kind {
+            EventKind::Invoke(Op::Update(u)) => {
+                out.push_str(&format!("inv {op} {p} {x} update {u}\n"));
+            }
+            EventKind::Invoke(Op::Query(q)) => {
+                out.push_str(&format!("inv {op} {p} {x} query {q}\n"));
+            }
+            EventKind::Respond(Some(v)) => out.push_str(&format!("rsp {op} {p} {x} {v}\n")),
+            EventKind::Respond(None) => out.push_str(&format!("rsp {op} {p} {x}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+
+    fn sample() -> History<u64, u64, u64> {
+        let mut b = HistoryBuilder::new();
+        let u = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+        let q = b.invoke_query(ProcessId(1), ObjectId(0), 0);
+        b.respond_update(u);
+        b.respond_query(q, 2);
+        b.invoke_update(ProcessId(0), ObjectId(0), 9); // pending
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let text = write_history(&h);
+        let back: History<u64, u64, u64> = parse_history(&text).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# a comment\ninv 0 0 0 update 5  # inline\nrsp 0 0 0\n\n";
+        let h: History<u64, u64, u64> = parse_history(text).unwrap();
+        assert_eq!(h.operations().len(), 1);
+    }
+
+    #[test]
+    fn signed_arguments_parse_for_incdec() {
+        let text = "inv 0 0 0 update -4\nrsp 0 0 0\ninv 1 1 0 query 0\nrsp 1 1 0 -4\n";
+        let h: History<i64, u64, i64> = parse_history(text).unwrap();
+        let ops = h.operations();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].return_value, Some(-4));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let text = "inv 0 0 0 update 5\nbogus 1 2 3\n";
+        let err = parse_history::<u64, u64, u64>(text).unwrap_err();
+        assert_eq!(
+            err,
+            ParseHistoryError::BadLine(2, "unknown event kind `bogus`".into())
+        );
+    }
+
+    #[test]
+    fn malformed_histories_rejected() {
+        let text = "rsp 0 0 0\n";
+        let err = parse_history::<u64, u64, u64>(text).unwrap_err();
+        assert!(matches!(err, ParseHistoryError::Malformed(_)));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let text = "inv 0 0 0 update 5 6\n";
+        assert!(parse_history::<u64, u64, u64>(text).is_err());
+    }
+}

@@ -1,0 +1,546 @@
+//! IVL checkers: exact (Definition 2) and the monotone fast path.
+//!
+//! **Definition 2 (IVL).** A history `H` is IVL with respect to a
+//! sequential specification iff there exist two linearizations `H1`,
+//! `H2` of the skeleton `H?` such that for every query `Q` that returns
+//! in `H`:
+//!
+//! ```text
+//! ret(Q, τ(H1))  ≤  ret(Q, H)  ≤  ret(Q, τ(H2))
+//! ```
+//!
+//! [`check_ivl_exact`] searches for `H1` and `H2` independently (the two
+//! existentials do not interact), via the same pruned DFS as the
+//! linearizability checker.
+//!
+//! [`check_ivl_monotone`] is the efficient decision procedure for
+//! [`MonotoneSpec`] objects. For a monotone object with commuting
+//! updates the extremal linearizations are the paper's own Lemma 7/10
+//! construction:
+//!
+//! * `H1` places every operation at a point inside its interval with
+//!   queries at their **invocation** and updates at their **response**
+//!   — so each query sees exactly the updates that *precede* it in
+//!   `≺_H`, the least possible set;
+//! * `H2` places queries at their **response** and updates at their
+//!   **invocation** (pending updates included, i.e. completed) — so
+//!   each query sees every update *not after* it, the greatest possible
+//!   set.
+//!
+//! Both are valid linearizations (every operation is collapsed to a
+//! point within its own interval, so real-time order is preserved), and
+//! by monotonicity and commutativity they simultaneously minimize /
+//! maximize every query's value. Hence for monotone objects:
+//!
+//! ```text
+//! H is IVL  ⟺  ∀Q: eval({u : u ≺_H Q}) ≤ ret(Q) ≤ eval({u : ¬(Q ≺_H u)})
+//! ```
+//!
+//! The equivalence of the two checkers is property-tested in this
+//! module's test suite and in the crate's proptest suite.
+
+use crate::history::{History, Op, OpId};
+use crate::linearize::{search, Prep, ValueConstraint};
+use crate::spec::{MonotoneSpec, ObjectSpec};
+
+/// Verdict of an IVL check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IvlVerdict {
+    /// The history is IVL.
+    Ivl,
+    /// No lower-bounding linearization `H1` exists: some query returned
+    /// less than every legal linearization value.
+    NoLowerLinearization,
+    /// No upper-bounding linearization `H2` exists: some query returned
+    /// more than every legal linearization value.
+    NoUpperLinearization,
+}
+
+impl IvlVerdict {
+    /// Whether the history was found IVL.
+    pub fn is_ivl(&self) -> bool {
+        matches!(self, IvlVerdict::Ivl)
+    }
+}
+
+/// Exact IVL check (Definition 2) by independent DFS for the two
+/// bounding linearizations. Exponential; use on small histories
+/// (≤ [`crate::linearize::MAX_EXACT_OPS`] operations).
+///
+/// # Examples
+///
+/// The paper's headline: an intermediate value of a batched increment
+/// is IVL though not linearizable.
+///
+/// ```
+/// use ivl_spec::history::{HistoryBuilder, ObjectId, ProcessId};
+/// use ivl_spec::ivl::check_ivl_exact;
+/// use ivl_spec::linearize::check_linearizable;
+/// use ivl_spec::specs::BatchedCounterSpec;
+///
+/// let mut b = HistoryBuilder::<u64, (), u64>::new();
+/// let seed = b.invoke_update(ProcessId(0), ObjectId(0), 7);
+/// b.respond_update(seed);
+/// let inc = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+/// let read = b.invoke_query(ProcessId(1), ObjectId(0), ());
+/// b.respond_query(read, 8); // between the legal 7 and 10
+/// b.respond_update(inc);
+/// let h = b.finish();
+/// assert!(!check_linearizable(&[BatchedCounterSpec], &h).is_linearizable());
+/// assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+/// ```
+///
+/// Multi-object histories are supported: object `x_i` is interpreted
+/// under `specs[i]`, and a *single* pair `H1`, `H2` of whole-history
+/// linearizations must bound all queries of all objects — the composed
+/// definition whose equivalence to per-object checking is Theorem 1
+/// (locality).
+///
+/// # Panics
+///
+/// Panics if `h` mentions an object id with no spec or exceeds the
+/// exact-search size limit.
+pub fn check_ivl_exact<S: ObjectSpec>(
+    specs: &[S],
+    h: &History<S::Update, S::Query, S::Value>,
+) -> IvlVerdict {
+    let prep = Prep::<S>::new(h);
+    if search(specs, &prep, ValueConstraint::AtMostRecorded).is_none() {
+        return IvlVerdict::NoLowerLinearization;
+    }
+    if search(specs, &prep, ValueConstraint::AtLeastRecorded).is_none() {
+        return IvlVerdict::NoUpperLinearization;
+    }
+    IvlVerdict::Ivl
+}
+
+/// Per-query outcome of the monotone interval check.
+///
+/// `lower`/`upper` are the two extremal-linearization values in sorted
+/// order: for isotone objects (values grow with updates) the
+/// preceding-updates-only evaluation is the lower end; for antitone
+/// objects (e.g. a min register, where inserts can only lower the
+/// minimum) the roles swap — the checker handles both uniformly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryBounds<V> {
+    /// The query's operation id.
+    pub id: OpId,
+    /// Least legal value across the two extremal linearizations.
+    pub lower: V,
+    /// Greatest legal value across the two extremal linearizations.
+    pub upper: V,
+    /// The value the implementation actually returned.
+    pub actual: V,
+}
+
+impl<V: Ord> QueryBounds<V> {
+    /// Whether the actual return value lies in `[lower, upper]`.
+    pub fn in_bounds(&self) -> bool {
+        self.lower <= self.actual && self.actual <= self.upper
+    }
+}
+
+/// Computes per-query IVL bounds for a **monotone** object (see module
+/// docs for why the interval check is sound and complete for
+/// [`MonotoneSpec`]). Runs in `O(ops² · cost(apply))` worst case but
+/// `O(ops · cost(apply) + queries · cost(eval))` here thanks to
+/// incremental replay, so it scales to recorded executions with
+/// millions of events.
+///
+/// Single-object histories only (project first; by Theorem 1 this loses
+/// nothing).
+///
+/// # Panics
+///
+/// Panics if `h` mentions more than one object or a completed query
+/// lacks a return value.
+pub fn monotone_query_bounds<S: MonotoneSpec>(
+    spec: &S,
+    h: &History<S::Update, S::Query, S::Value>,
+) -> Vec<QueryBounds<S::Value>> {
+    assert!(
+        h.objects().len() <= 1,
+        "monotone checker takes single-object histories; project first"
+    );
+    let ops = h.operations();
+
+    // Completed queries, with invoke/respond indices.
+    struct QueryRef<'a, Q, V> {
+        id: OpId,
+        arg: &'a Q,
+        invoke: usize,
+        respond: usize,
+        actual: &'a V,
+    }
+    let mut queries: Vec<QueryRef<S::Query, S::Value>> = Vec::new();
+    // Updates with (invoke, respond) indices; respond = usize::MAX when
+    // pending.
+    let mut updates: Vec<(usize, usize, &S::Update)> = Vec::new();
+    for op in &ops {
+        match &op.op {
+            Op::Query(q) => {
+                if let Some(r) = op.respond_index {
+                    queries.push(QueryRef {
+                        id: op.id,
+                        arg: q,
+                        invoke: op.invoke_index,
+                        respond: r,
+                        actual: op
+                            .return_value
+                            .as_ref()
+                            .expect("completed query has a return value"),
+                    });
+                }
+            }
+            Op::Update(u) => {
+                updates.push((op.invoke_index, op.respond_index.unwrap_or(usize::MAX), u));
+            }
+        }
+    }
+
+    let mut out: Vec<QueryBounds<S::Value>> = queries
+        .iter()
+        .map(|q| QueryBounds {
+            id: q.id,
+            lower: spec.eval_query(&spec.initial_state(), q.arg), // placeholder
+            upper: spec.eval_query(&spec.initial_state(), q.arg), // placeholder
+            actual: q.actual.clone(),
+        })
+        .collect();
+    // `lower` temporarily holds the preceding-updates-only value and
+    // `upper` the all-non-after value; they are sorted at the end so
+    // antitone objects (min registers) are handled too.
+
+    // Lower pass: queries in invocation order; apply updates whose
+    // response precedes the query's invocation. Commutativity lets us
+    // apply updates in response order incrementally.
+    {
+        let mut by_resp: Vec<usize> = (0..updates.len())
+            .filter(|&i| updates[i].1 != usize::MAX)
+            .collect();
+        by_resp.sort_by_key(|&i| updates[i].1);
+        let mut q_order: Vec<usize> = (0..queries.len()).collect();
+        q_order.sort_by_key(|&qi| queries[qi].invoke);
+        let mut state = spec.initial_state();
+        let mut next = 0;
+        for &qi in &q_order {
+            while next < by_resp.len() && updates[by_resp[next]].1 < queries[qi].invoke {
+                spec.apply_update(&mut state, updates[by_resp[next]].2);
+                next += 1;
+            }
+            out[qi].lower = spec.eval_query(&state, queries[qi].arg);
+        }
+    }
+
+    // Upper pass: queries in response order; apply updates (pending
+    // included) whose invocation precedes the query's response.
+    {
+        let mut by_inv: Vec<usize> = (0..updates.len()).collect();
+        by_inv.sort_by_key(|&i| updates[i].0);
+        let mut q_order: Vec<usize> = (0..queries.len()).collect();
+        q_order.sort_by_key(|&qi| queries[qi].respond);
+        let mut state = spec.initial_state();
+        let mut next = 0;
+        for &qi in &q_order {
+            while next < by_inv.len() && updates[by_inv[next]].0 < queries[qi].respond {
+                spec.apply_update(&mut state, updates[by_inv[next]].2);
+                next += 1;
+            }
+            out[qi].upper = spec.eval_query(&state, queries[qi].arg);
+        }
+    }
+
+    // Sort each interval's endpoints (antitone objects produce them
+    // reversed).
+    for qb in &mut out {
+        if qb.lower > qb.upper {
+            std::mem::swap(&mut qb.lower, &mut qb.upper);
+        }
+    }
+
+    out
+}
+
+/// IVL check for monotone objects via the interval criterion; sound and
+/// complete for [`MonotoneSpec`] implementations (module docs), and
+/// linear-ish in history size. Single-object histories only.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_spec::history::{HistoryBuilder, ObjectId, ProcessId};
+/// use ivl_spec::ivl::check_ivl_monotone;
+/// use ivl_spec::specs::BatchedCounterSpec;
+///
+/// // Figure 2 of the paper: two concurrent updates, one overlapping
+/// // read returning a partial sum.
+/// let mut b = HistoryBuilder::<u64, (), u64>::new();
+/// let read = b.invoke_query(ProcessId(2), ObjectId(0), ());
+/// let u1 = b.invoke_update(ProcessId(0), ObjectId(0), 7);
+/// let u2 = b.invoke_update(ProcessId(1), ObjectId(0), 3);
+/// b.respond_update(u1);
+/// b.respond_update(u2);
+/// b.respond_query(read, 3); // saw u2, missed u1: intermediate
+/// let h = b.finish();
+/// assert!(check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());
+/// ```
+pub fn check_ivl_monotone<S: MonotoneSpec>(
+    spec: &S,
+    h: &History<S::Update, S::Query, S::Value>,
+) -> IvlVerdict {
+    for qb in monotone_query_bounds(spec, h) {
+        if qb.actual < qb.lower {
+            return IvlVerdict::NoLowerLinearization;
+        }
+        if qb.actual > qb.upper {
+            return IvlVerdict::NoUpperLinearization;
+        }
+    }
+    IvlVerdict::Ivl
+}
+
+/// Checks a multi-object history for IVL **via locality** (Theorem 1):
+/// projects onto each object and checks each projection with the exact
+/// checker. By Theorem 1 this is equivalent to the whole-history check
+/// performed by [`check_ivl_exact`].
+pub fn check_ivl_by_locality<S: ObjectSpec>(
+    specs: &[S],
+    h: &History<S::Update, S::Query, S::Value>,
+) -> IvlVerdict {
+    for obj in h.objects() {
+        let sub = h.project(obj);
+        let spec = specs[obj.0 as usize].clone();
+        // The projected history only mentions `obj`, but the exact
+        // checker indexes specs by object id; pass the original slice.
+        match check_ivl_exact(specs, &sub) {
+            IvlVerdict::Ivl => {}
+            bad => {
+                let _ = spec;
+                return bad;
+            }
+        }
+    }
+    IvlVerdict::Ivl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryBuilder, ObjectId, ProcessId};
+    use crate::specs::{BatchedCounterSpec, IncDecCounterSpec, MaxRegisterSpec};
+
+    type B = HistoryBuilder<u64, (), u64>;
+    const X: ObjectId = ObjectId(0);
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+
+    fn seven_to_ten(read_value: u64) -> crate::history::History<u64, (), u64> {
+        let mut b = B::new();
+        let u0 = b.invoke_update(P0, X, 7);
+        b.respond_update(u0);
+        let u = b.invoke_update(P0, X, 3);
+        let q = b.invoke_query(P1, X, ());
+        b.respond_query(q, read_value);
+        b.respond_update(u);
+        b.finish()
+    }
+
+    #[test]
+    fn intermediate_value_is_ivl() {
+        // The paper's headline example: 8 is IVL although not
+        // linearizable.
+        for v in 7..=10 {
+            assert!(
+                check_ivl_exact(&[BatchedCounterSpec], &seven_to_ten(v)).is_ivl(),
+                "{v} should be IVL"
+            );
+            assert!(
+                check_ivl_monotone(&BatchedCounterSpec, &seven_to_ten(v)).is_ivl(),
+                "{v} should be IVL (monotone)"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_interval_values_rejected() {
+        assert_eq!(
+            check_ivl_exact(&[BatchedCounterSpec], &seven_to_ten(6)),
+            IvlVerdict::NoLowerLinearization
+        );
+        assert_eq!(
+            check_ivl_exact(&[BatchedCounterSpec], &seven_to_ten(11)),
+            IvlVerdict::NoUpperLinearization
+        );
+        assert_eq!(
+            check_ivl_monotone(&BatchedCounterSpec, &seven_to_ten(6)),
+            IvlVerdict::NoLowerLinearization
+        );
+        assert_eq!(
+            check_ivl_monotone(&BatchedCounterSpec, &seven_to_ten(11)),
+            IvlVerdict::NoUpperLinearization
+        );
+    }
+
+    #[test]
+    fn linearizable_implies_ivl() {
+        for v in [7, 10] {
+            assert!(check_ivl_exact(&[BatchedCounterSpec], &seven_to_ten(v)).is_ivl());
+        }
+    }
+
+    #[test]
+    fn sequential_ivl_object_not_relaxed() {
+        // Paper §3.2: in a sequential execution an IVL object must
+        // follow the sequential specification exactly.
+        let mut b = B::new();
+        let u = b.invoke_update(P0, X, 5);
+        b.respond_update(u);
+        let q = b.invoke_query(P0, X, ());
+        b.respond_query(q, 4);
+        let h = b.finish();
+        assert!(!check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+        assert!(!check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());
+    }
+
+    #[test]
+    fn figure2_reenactment() {
+        // Figure 2 of the paper: p1 updates 7, p2 updates 3, p3 reads
+        // and returns an intermediate value between 0 (counter at read
+        // start) and 10 (counter when read completes).
+        for ret in 0..=10 {
+            let mut b = B::new();
+            let q = b.invoke_query(ProcessId(3), X, ());
+            let u1 = b.invoke_update(P0, X, 7);
+            let u2 = b.invoke_update(P1, X, 3);
+            b.respond_update(u1);
+            b.respond_update(u2);
+            b.respond_query(q, ret);
+            let h = b.finish();
+            assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+            assert!(check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());
+        }
+    }
+
+    #[test]
+    fn pending_update_raises_upper_bound() {
+        let mut b = B::new();
+        b.invoke_update(P0, X, 5); // never responds
+        let q = b.invoke_query(P1, X, ());
+        b.respond_query(q, 5);
+        let h = b.finish();
+        assert!(check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());
+        assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+    }
+
+    #[test]
+    fn pending_update_does_not_lower_lower_bound() {
+        let mut b = B::new();
+        let u = b.invoke_update(P0, X, 5);
+        b.respond_update(u);
+        b.invoke_update(P0, X, 100); // pending
+        let q = b.invoke_query(P1, X, ());
+        b.respond_query(q, 4); // below the 5 already completed
+        let h = b.finish();
+        assert!(!check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());
+        assert!(!check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+    }
+
+    #[test]
+    fn monotone_bounds_values() {
+        let h = seven_to_ten(8);
+        let bounds = monotone_query_bounds(&BatchedCounterSpec, &h);
+        assert_eq!(bounds.len(), 1);
+        assert_eq!(bounds[0].lower, 7);
+        assert_eq!(bounds[0].upper, 10);
+        assert_eq!(bounds[0].actual, 8);
+        assert!(bounds[0].in_bounds());
+    }
+
+    #[test]
+    fn section_3_4_nonmonotone_counterexample() {
+        // §3.4: query concurrent with inc(1) followed by dec(1). Seeing
+        // only the decrement returns -1, smaller than every legal value
+        // (0 before both, 1 after inc, 0 after both) — violates IVL.
+        let mut b = HistoryBuilder::<i64, (), i64>::new();
+        let q = b.invoke_query(P1, X, ());
+        let inc = b.invoke_update(P0, X, 1);
+        b.respond_update(inc);
+        let dec = b.invoke_update(P0, X, -1);
+        b.respond_update(dec);
+        b.respond_query(q, -1);
+        let h = b.finish();
+        assert_eq!(
+            check_ivl_exact(&[IncDecCounterSpec], &h),
+            IvlVerdict::NoLowerLinearization
+        );
+        // 0 and 1 are fine.
+        for ok in [0, 1] {
+            let mut b = HistoryBuilder::<i64, (), i64>::new();
+            let q = b.invoke_query(P1, X, ());
+            let inc = b.invoke_update(P0, X, 1);
+            b.respond_update(inc);
+            let dec = b.invoke_update(P0, X, -1);
+            b.respond_update(dec);
+            b.respond_query(q, ok);
+            assert!(check_ivl_exact(&[IncDecCounterSpec], &b.finish()).is_ivl());
+        }
+    }
+
+    #[test]
+    fn max_register_monotone_check() {
+        let mut b = B::new();
+        let q = b.invoke_query(P1, X, ());
+        let u = b.invoke_update(P0, X, 9);
+        b.respond_update(u);
+        b.respond_query(q, 9);
+        let h = b.finish();
+        assert!(check_ivl_monotone(&MaxRegisterSpec, &h).is_ivl());
+        assert!(check_ivl_exact(&[MaxRegisterSpec], &h).is_ivl());
+    }
+
+    #[test]
+    fn locality_composition() {
+        // Two objects, each individually IVL; interleaved composite is
+        // IVL by Theorem 1 and by direct whole-history check.
+        let mut b = B::new();
+        let u0 = b.invoke_update(P0, ObjectId(0), 3);
+        let q0 = b.invoke_query(P1, ObjectId(0), ());
+        b.respond_query(q0, 2); // intermediate of 0..3? No: bounds [0,3]
+        b.respond_update(u0);
+        let h0 = b.finish();
+
+        let mut b = HistoryBuilder::<u64, (), u64>::new();
+        let u1 = b.invoke_update(ProcessId(2), ObjectId(1), 5);
+        let q1 = b.invoke_query(ProcessId(3), ObjectId(1), ());
+        b.respond_query(q1, 4);
+        b.respond_update(u1);
+        let h1 = b.finish();
+
+        let composite = h0.interleave(&h1);
+        let specs = [BatchedCounterSpec, BatchedCounterSpec];
+        assert!(check_ivl_exact(&specs, &composite).is_ivl());
+        assert!(check_ivl_by_locality(&specs, &composite).is_ivl());
+    }
+
+    #[test]
+    fn locality_detects_single_bad_object() {
+        let mut b = B::new();
+        let u0 = b.invoke_update(P0, ObjectId(0), 3);
+        b.respond_update(u0);
+        let q0 = b.invoke_query(P1, ObjectId(0), ());
+        b.respond_query(q0, 99); // out of bounds on object 0
+        let h0 = b.finish();
+
+        let mut b = HistoryBuilder::<u64, (), u64>::new();
+        let u1 = b.invoke_update(ProcessId(2), ObjectId(1), 5);
+        b.respond_update(u1);
+        let q1 = b.invoke_query(ProcessId(3), ObjectId(1), ());
+        b.respond_query(q1, 5);
+        let h1 = b.finish();
+
+        let composite = h0.interleave(&h1);
+        let specs = [BatchedCounterSpec, BatchedCounterSpec];
+        assert!(!check_ivl_exact(&specs, &composite).is_ivl());
+        assert!(!check_ivl_by_locality(&specs, &composite).is_ivl());
+    }
+}

@@ -1,0 +1,91 @@
+//! Formal framework for *Intermediate Value Linearizability* (IVL).
+//!
+//! This crate makes the definitions of Rinberg & Keidar, *"Intermediate
+//! Value Linearizability: A Quantitative Correctness Criterion"* (DISC
+//! 2020), executable:
+//!
+//! * [`history`] — invocation/response event sequences, well-formedness,
+//!   the `≺_H` precedence partial order, per-object projection and
+//!   *skeleton histories* (histories with return values erased, written
+//!   `H?` in the paper).
+//! * [`spec`] — deterministic sequential specifications of *quantitative
+//!   objects* (objects with `update` and totally-ordered-`query`
+//!   operations), i.e. the `τ_H` operator that fills in the unique legal
+//!   return values of a sequential skeleton.
+//! * [`linearize`] — enumeration of linearizations of a skeleton history
+//!   and an exact linearizability checker (Wing–Gong style search), plus
+//!   computation of the `v_min`/`v_max` bounds of Definition 5.
+//! * [`ivl`] — exact IVL checking (Definition 2) by searching for the two
+//!   bounding linearizations `H1`, `H2`, and an efficient, provably
+//!   equivalent interval-based checker for *monotone* quantitative objects
+//!   (the class covering every construction in the paper: batched
+//!   counters, CountMin point queries, Morris counters, HyperLogLog).
+//! * [`specs`] — built-in sequential specifications used throughout the
+//!   workspace: batched counter, increment/decrement counter, max and
+//!   min registers, exact multi-item frequencies.
+//! * [`bounded`] — Definition 5 as a checkable predicate: the
+//!   `v_min − ε ≤ ret ≤ v_max + ε` bracket evaluated per query on
+//!   recorded histories.
+//! * [`relaxations`] — the §3.4 regular-subset criterion, executable,
+//!   for comparing IVL against regularity-style semantics.
+//! * [`record`] — a thread-safe history recorder for instrumenting
+//!   real concurrent implementations.
+//! * [`render`] — ASCII timelines and event listings of histories.
+//! * [`io`] — a plain-text interchange format so externally recorded
+//!   histories can be checked (see the `ivl_check` CLI in `ivl-bench`).
+//! * [`gen`] — random well-formed history generators for property tests:
+//!   linearizable histories, IVL-but-not-linearizable histories, and
+//!   histories that violate IVL.
+//!
+//! # Quick example
+//!
+//! Re-enacting Example 1 of the paper: a batched counter is incremented
+//! by 3 concurrently with a query that returns 0.
+//!
+//! ```
+//! use ivl_spec::history::{HistoryBuilder, ProcessId, ObjectId};
+//! use ivl_spec::specs::BatchedCounterSpec;
+//! use ivl_spec::ivl::check_ivl_exact;
+//! use ivl_spec::linearize::check_linearizable;
+//!
+//! let mut h = HistoryBuilder::new();
+//! let p = ProcessId(0);
+//! let q = ProcessId(1);
+//! let obj = ObjectId(0);
+//! let inc = h.invoke_update(p, obj, 3u64);   // inv_p(inc(3))
+//! let rd = h.invoke_query(q, obj, ());       // inv_q(query)
+//! h.respond_update(inc);                     // rsp_p(inc)
+//! h.respond_query(rd, 0u64);                 // rsp_q(query -> 0)
+//! let history = h.finish();
+//!
+//! let spec = BatchedCounterSpec;
+//! // 0 is legal under linearizability (query linearized before inc)...
+//! assert!(check_linearizable(&[spec.clone()], &history).is_linearizable());
+//! // ...and therefore also IVL.
+//! assert!(check_ivl_exact(&[spec], &history).is_ivl());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounded;
+pub mod gen;
+pub mod history;
+pub mod io;
+pub mod ivl;
+pub mod linearize;
+pub mod record;
+pub mod relaxations;
+pub mod render;
+pub mod spec;
+pub mod specs;
+
+pub use bounded::{epsilon_bounded_report, BoundedReport};
+pub use history::{History, HistoryBuilder, ObjectId, OpId, ProcessId};
+pub use record::Recorder;
+pub use relaxations::{check_regular_subset, RegularVerdict};
+pub use render::{render_events, render_timeline};
+pub use ivl::{check_ivl_exact, check_ivl_monotone, IvlVerdict, QueryBounds};
+pub use linearize::{check_linearizable, LinVerdict};
+pub use spec::{MonotoneSpec, ObjectSpec};

@@ -1,0 +1,603 @@
+//! Linearization enumeration and the linearizability checker.
+//!
+//! A *linearization* of a history `H` (paper §2.1) is a sequential
+//! history `H'` that (1) contains the same invocations and responses as
+//! a completion of `H` (some pending operations removed, others
+//! completed), and (2) preserves the precedence partial order `≺_H`.
+//!
+//! This module searches over linear extensions of `≺_H`:
+//!
+//! * [`check_linearizable`] — is there a linearization whose `τ` return
+//!   values equal the recorded ones? (Wing–Gong style DFS with pruning.)
+//! * [`query_value_bounds`] — the `v_min`/`v_max` of Definition 5: the
+//!   minimum/maximum value each query may return across *all*
+//!   linearizations of the skeleton.
+//! * [`count_linearizations`] — number of linear extensions (used by
+//!   tests and diagnostics).
+//!
+//! The search is exponential in the worst case; it is intended for the
+//! small histories exercised in tests (≤ [`MAX_EXACT_OPS`] operations).
+//! Large recorded executions are checked with the monotone fast path in
+//! [`crate::ivl`].
+
+use crate::history::{History, Op, OpId, OperationRecord};
+use crate::spec::ObjectSpec;
+use std::collections::HashMap;
+
+/// Maximum number of operations accepted by the exact (exponential)
+/// search routines.
+pub const MAX_EXACT_OPS: usize = 40;
+
+/// Verdict of [`check_linearizable`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LinVerdict {
+    /// A linearization matching all recorded return values exists; the
+    /// witness lists operation ids in linearization order.
+    Linearizable {
+        /// Operations in the order of the witnessing linearization.
+        witness: Vec<OpId>,
+    },
+    /// No linearization matches the recorded return values.
+    NotLinearizable,
+}
+
+impl LinVerdict {
+    /// Whether the history was found linearizable.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, LinVerdict::Linearizable { .. })
+    }
+}
+
+/// Internal: preprocessed operations of a history for the searches.
+pub(crate) struct Prep<S: ObjectSpec> {
+    /// All operations participating in the search. Completed operations
+    /// are mandatory; pending updates are optional; pending queries are
+    /// dropped (they never returned, so no return value constrains them).
+    pub ops: Vec<OperationRecord<S::Update, S::Query, S::Value>>,
+    /// `preds[i]` = indices `j` with `ops[j] ≺_H ops[i]`.
+    pub preds: Vec<Vec<usize>>,
+    /// Whether `ops[i]` is mandatory (completed).
+    pub mandatory: Vec<bool>,
+}
+
+impl<S: ObjectSpec> Prep<S> {
+    pub(crate) fn new(h: &History<S::Update, S::Query, S::Value>) -> Self {
+        let ops: Vec<_> = h
+            .operations()
+            .into_iter()
+            .filter(|o| o.is_complete() || o.op.is_update())
+            .collect();
+        assert!(
+            ops.len() <= MAX_EXACT_OPS,
+            "exact search supports at most {MAX_EXACT_OPS} operations, got {}",
+            ops.len()
+        );
+        let mandatory: Vec<bool> = ops.iter().map(|o| o.is_complete()).collect();
+        let mut preds = vec![Vec::new(); ops.len()];
+        for (i, a) in ops.iter().enumerate() {
+            for (j, b) in ops.iter().enumerate() {
+                if i != j && b.precedes(a) {
+                    preds[i].push(j);
+                }
+            }
+        }
+        Prep {
+            ops,
+            preds,
+            mandatory,
+        }
+    }
+
+    /// Whether operation `i` may be placed next given the set of already
+    /// placed operations (`placed` bitmask): all its `≺_H` predecessors
+    /// must already be placed. (Optional operations that were *skipped*
+    /// are never predecessors, because pending operations have no
+    /// response and thus precede nothing.)
+    fn available(&self, i: usize, placed: u64) -> bool {
+        self.preds[i].iter().all(|&j| placed & (1 << j) != 0)
+    }
+}
+
+/// How a query's τ-value must relate to its recorded return value for a
+/// branch of the search to stay alive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ValueConstraint {
+    /// τ-value must equal the recorded value (linearizability).
+    Equal,
+    /// τ-value must be ≤ the recorded value (the `H1` search of IVL).
+    AtMostRecorded,
+    /// τ-value must be ≥ the recorded value (the `H2` search of IVL).
+    AtLeastRecorded,
+}
+
+/// DFS over linear extensions. Returns a witness order if a completion
+/// satisfying `constraint` on every completed query exists.
+#[allow(clippy::too_many_arguments)] // the DFS threads explicit search state
+pub(crate) fn search<S: ObjectSpec>(
+    specs: &[S],
+    prep: &Prep<S>,
+    constraint: ValueConstraint,
+) -> Option<Vec<OpId>> {
+    let n = prep.ops.len();
+    let full_mandatory: u64 = prep
+        .mandatory
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .fold(0u64, |acc, (i, _)| acc | (1 << i));
+    let mut states: Vec<S::State> = specs.iter().map(|s| s.initial_state()).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    #[allow(clippy::too_many_arguments)] // explicit DFS state
+    fn rec<S: ObjectSpec>(
+        specs: &[S],
+        prep: &Prep<S>,
+        constraint: ValueConstraint,
+        placed: u64,
+        skipped: u64,
+        full_mandatory: u64,
+        states: &mut Vec<S::State>,
+        order: &mut Vec<usize>,
+    ) -> bool {
+        if placed & full_mandatory == full_mandatory {
+            return true;
+        }
+        for i in 0..prep.ops.len() {
+            let bit = 1u64 << i;
+            if placed & bit != 0 || skipped & bit != 0 {
+                continue;
+            }
+            if !prep.available(i, placed) {
+                continue;
+            }
+            let rec_op = &prep.ops[i];
+            let obj = rec_op.object.0 as usize;
+            assert!(
+                obj < specs.len(),
+                "history mentions object x{obj} but only {} specs were given",
+                specs.len()
+            );
+            match &rec_op.op {
+                Op::Update(u) => {
+                    let saved = states[obj].clone();
+                    specs[obj].apply_update(&mut states[obj], u);
+                    order.push(i);
+                    if rec(
+                        specs,
+                        prep,
+                        constraint,
+                        placed | bit,
+                        skipped,
+                        full_mandatory,
+                        states,
+                        order,
+                    ) {
+                        return true;
+                    }
+                    order.pop();
+                    states[obj] = saved;
+                    // An optional (pending) update may also be skipped
+                    // entirely; since it precedes nothing, skipping it
+                    // never blocks other operations.
+                    if !prep.mandatory[i]
+                        && rec(
+                            specs,
+                            prep,
+                            constraint,
+                            placed,
+                            skipped | bit,
+                            full_mandatory,
+                            states,
+                            order,
+                        )
+                    {
+                        return true;
+                    }
+                }
+                Op::Query(q) => {
+                    let v = specs[obj].eval_query(&states[obj], q);
+                    let recorded = rec_op
+                        .return_value
+                        .as_ref()
+                        .expect("completed query has a return value");
+                    let ok = match constraint {
+                        ValueConstraint::Equal => v == *recorded,
+                        ValueConstraint::AtMostRecorded => v <= *recorded,
+                        ValueConstraint::AtLeastRecorded => v >= *recorded,
+                    };
+                    if ok {
+                        order.push(i);
+                        if rec(
+                            specs,
+                            prep,
+                            constraint,
+                            placed | bit,
+                            skipped,
+                            full_mandatory,
+                            states,
+                            order,
+                        ) {
+                            return true;
+                        }
+                        order.pop();
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    if rec(
+        specs,
+        prep,
+        constraint,
+        0,
+        0,
+        full_mandatory,
+        &mut states,
+        &mut order,
+    ) {
+        Some(order.iter().map(|&i| prep.ops[i].id).collect())
+    } else {
+        None
+    }
+}
+
+/// Checks whether `h` is linearizable with respect to the per-object
+/// specifications `specs` (object `x_i` uses `specs[i]`).
+///
+/// Pending updates may be completed or dropped; pending queries are
+/// dropped. Exact but exponential; see [`MAX_EXACT_OPS`].
+///
+/// # Examples
+///
+/// A read overlapping an increment may return the old or new value,
+/// but nothing in between:
+///
+/// ```
+/// use ivl_spec::history::{HistoryBuilder, ObjectId, ProcessId};
+/// use ivl_spec::linearize::check_linearizable;
+/// use ivl_spec::specs::BatchedCounterSpec;
+///
+/// let mut b = HistoryBuilder::<u64, (), u64>::new();
+/// let inc = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+/// let read = b.invoke_query(ProcessId(1), ObjectId(0), ());
+/// b.respond_query(read, 3); // saw the concurrent increment: legal
+/// b.respond_update(inc);
+/// let h = b.finish();
+/// assert!(check_linearizable(&[BatchedCounterSpec], &h).is_linearizable());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `h` mentions an object id with no corresponding spec, or
+/// has more than [`MAX_EXACT_OPS`] operations.
+pub fn check_linearizable<S: ObjectSpec>(
+    specs: &[S],
+    h: &History<S::Update, S::Query, S::Value>,
+) -> LinVerdict {
+    let prep = Prep::<S>::new(h);
+    match search(specs, &prep, ValueConstraint::Equal) {
+        Some(witness) => LinVerdict::Linearizable { witness },
+        None => LinVerdict::NotLinearizable,
+    }
+}
+
+/// The `v_min`/`v_max` interval of one query across all linearizations
+/// of a skeleton (Definition 5).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValueInterval<V> {
+    /// `v_min(H, Q)`: minimum return value across linearizations.
+    pub min: V,
+    /// `v_max(H, Q)`: maximum return value across linearizations.
+    pub max: V,
+}
+
+/// Computes, for every completed query of `h`, the minimum and maximum
+/// value it returns across **all** linearizations of the skeleton `H?`
+/// (the `v_min^I`/`v_max^I` of Definition 5, with `specs` playing the
+/// ideal specification `I`).
+///
+/// Full enumeration — exponential; use only on small histories.
+///
+/// # Panics
+///
+/// Panics on missing specs or oversized histories (see
+/// [`MAX_EXACT_OPS`]).
+pub fn query_value_bounds<S: ObjectSpec>(
+    specs: &[S],
+    h: &History<S::Update, S::Query, S::Value>,
+) -> HashMap<OpId, ValueInterval<S::Value>> {
+    let prep = Prep::<S>::new(h);
+    let mut states: Vec<S::State> = specs.iter().map(|s| s.initial_state()).collect();
+    let mut bounds: HashMap<OpId, ValueInterval<S::Value>> = HashMap::new();
+    let full_mandatory: u64 = prep
+        .mandatory
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .fold(0u64, |acc, (i, _)| acc | (1 << i));
+
+    // Record τ-values along every root-to-complete path. Values are
+    // recorded when a query is placed; a path "completes" when all
+    // mandatory operations are placed. Because recording happens at
+    // placement time, we only fold values into `bounds` on paths that
+    // reach completion (tracked via a pending stack).
+    #[allow(clippy::too_many_arguments)] // explicit DFS state
+    fn rec<S: ObjectSpec>(
+        specs: &[S],
+        prep: &Prep<S>,
+        placed: u64,
+        skipped: u64,
+        full_mandatory: u64,
+        states: &mut Vec<S::State>,
+        path_vals: &mut Vec<(OpId, S::Value)>,
+        bounds: &mut HashMap<OpId, ValueInterval<S::Value>>,
+    ) {
+        if placed & full_mandatory == full_mandatory {
+            for (id, v) in path_vals.iter() {
+                bounds
+                    .entry(*id)
+                    .and_modify(|iv| {
+                        if *v < iv.min {
+                            iv.min = v.clone();
+                        }
+                        if *v > iv.max {
+                            iv.max = v.clone();
+                        }
+                    })
+                    .or_insert_with(|| ValueInterval {
+                        min: v.clone(),
+                        max: v.clone(),
+                    });
+            }
+            return;
+        }
+        for i in 0..prep.ops.len() {
+            let bit = 1u64 << i;
+            if placed & bit != 0 || skipped & bit != 0 || !prep.available(i, placed) {
+                continue;
+            }
+            let rec_op = &prep.ops[i];
+            let obj = rec_op.object.0 as usize;
+            match &rec_op.op {
+                Op::Update(u) => {
+                    let saved = states[obj].clone();
+                    specs[obj].apply_update(&mut states[obj], u);
+                    rec(
+                        specs,
+                        prep,
+                        placed | bit,
+                        skipped,
+                        full_mandatory,
+                        states,
+                        path_vals,
+                        bounds,
+                    );
+                    states[obj] = saved;
+                    if !prep.mandatory[i] {
+                        rec(
+                            specs,
+                            prep,
+                            placed,
+                            skipped | bit,
+                            full_mandatory,
+                            states,
+                            path_vals,
+                            bounds,
+                        );
+                    }
+                }
+                Op::Query(q) => {
+                    let v = specs[obj].eval_query(&states[obj], q);
+                    path_vals.push((rec_op.id, v));
+                    rec(
+                        specs,
+                        prep,
+                        placed | bit,
+                        skipped,
+                        full_mandatory,
+                        states,
+                        path_vals,
+                        bounds,
+                    );
+                    path_vals.pop();
+                }
+            }
+        }
+    }
+
+    let mut path_vals = Vec::new();
+    rec(
+        specs,
+        &prep,
+        0,
+        0,
+        full_mandatory,
+        &mut states,
+        &mut path_vals,
+        &mut bounds,
+    );
+    bounds
+}
+
+/// Counts the linearizations of `h`'s skeleton (completions included:
+/// each pending update may be placed anywhere legal or dropped).
+///
+/// # Panics
+///
+/// Panics on oversized histories (see [`MAX_EXACT_OPS`]).
+pub fn count_linearizations<S: ObjectSpec>(
+    _specs: &[S],
+    h: &History<S::Update, S::Query, S::Value>,
+) -> u64 {
+    let prep = Prep::<S>::new(h);
+    let optional: Vec<usize> = (0..prep.ops.len()).filter(|&i| !prep.mandatory[i]).collect();
+    assert!(
+        optional.len() <= 20,
+        "too many pending updates to enumerate completions"
+    );
+
+    // Counts linear extensions of exactly the operations in `include`.
+    fn extensions<S: ObjectSpec>(prep: &Prep<S>, include: u64, placed: u64) -> u64 {
+        if placed == include {
+            return 1;
+        }
+        let mut total = 0;
+        for i in 0..prep.ops.len() {
+            let bit = 1u64 << i;
+            if include & bit == 0 || placed & bit != 0 || !prep.available(i, placed) {
+                continue;
+            }
+            total += extensions(prep, include, placed | bit);
+        }
+        total
+    }
+
+    let mandatory_mask: u64 = prep
+        .mandatory
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .fold(0u64, |acc, (i, _)| acc | (1 << i));
+    let mut total = 0;
+    for subset in 0u64..(1 << optional.len()) {
+        let mut include = mandatory_mask;
+        for (bit_pos, &op_idx) in optional.iter().enumerate() {
+            if subset & (1 << bit_pos) != 0 {
+                include |= 1 << op_idx;
+            }
+        }
+        total += extensions(&prep, include, 0);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryBuilder, ObjectId, ProcessId};
+    use crate::specs::BatchedCounterSpec;
+
+    type B = HistoryBuilder<u64, (), u64>;
+    const X: ObjectId = ObjectId(0);
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+
+    /// The paper's §1 example: an update bumps a batched counter from 7
+    /// to 10; a concurrent read may return 7 or 10 under
+    /// linearizability, but not 8.
+    fn seven_to_ten(read_value: u64) -> crate::history::History<u64, (), u64> {
+        let mut b = B::new();
+        let u0 = b.invoke_update(P0, X, 7);
+        b.respond_update(u0);
+        let u = b.invoke_update(P0, X, 3);
+        let q = b.invoke_query(P1, X, ());
+        b.respond_query(q, read_value);
+        b.respond_update(u);
+        b.finish()
+    }
+
+    #[test]
+    fn overlapping_read_may_return_old_value() {
+        assert!(check_linearizable(&[BatchedCounterSpec], &seven_to_ten(7)).is_linearizable());
+    }
+
+    #[test]
+    fn overlapping_read_may_return_new_value() {
+        assert!(check_linearizable(&[BatchedCounterSpec], &seven_to_ten(10)).is_linearizable());
+    }
+
+    #[test]
+    fn intermediate_value_not_linearizable() {
+        assert_eq!(
+            check_linearizable(&[BatchedCounterSpec], &seven_to_ten(8)),
+            LinVerdict::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn sequential_wrong_value_rejected() {
+        let mut b = B::new();
+        let u = b.invoke_update(P0, X, 5);
+        b.respond_update(u);
+        let q = b.invoke_query(P0, X, ());
+        b.respond_query(q, 4);
+        assert!(!check_linearizable(&[BatchedCounterSpec], &b.finish()).is_linearizable());
+    }
+
+    #[test]
+    fn pending_update_may_be_included() {
+        // Update never responds, but a later read sees its effect: legal,
+        // the pending update is completed in the linearization.
+        let mut b = B::new();
+        b.invoke_update(P0, X, 5);
+        let q = b.invoke_query(P1, X, ());
+        b.respond_query(q, 5);
+        assert!(check_linearizable(&[BatchedCounterSpec], &b.finish()).is_linearizable());
+    }
+
+    #[test]
+    fn pending_update_may_be_dropped() {
+        let mut b = B::new();
+        b.invoke_update(P0, X, 5);
+        let q = b.invoke_query(P1, X, ());
+        b.respond_query(q, 0);
+        assert!(check_linearizable(&[BatchedCounterSpec], &b.finish()).is_linearizable());
+    }
+
+    #[test]
+    fn value_bounds_of_overlapping_read() {
+        let h = seven_to_ten(8);
+        let bounds = query_value_bounds(&[BatchedCounterSpec], &h);
+        let q = h
+            .operations()
+            .into_iter()
+            .find(|o| o.op.is_query())
+            .unwrap();
+        let iv = &bounds[&q.id];
+        assert_eq!(iv.min, 7);
+        assert_eq!(iv.max, 10);
+    }
+
+    #[test]
+    fn counting_small_history() {
+        // Two concurrent completed updates: 2 orders; no queries.
+        let mut b = B::new();
+        let u1 = b.invoke_update(P0, X, 1);
+        let u2 = b.invoke_update(P1, X, 2);
+        b.respond_update(u1);
+        b.respond_update(u2);
+        assert_eq!(count_linearizations(&[BatchedCounterSpec], &b.finish()), 2);
+    }
+
+    #[test]
+    fn witness_respects_precedence() {
+        let mut b = B::new();
+        let u1 = b.invoke_update(P0, X, 1);
+        b.respond_update(u1);
+        let u2 = b.invoke_update(P0, X, 2);
+        b.respond_update(u2);
+        let LinVerdict::Linearizable { witness } =
+            check_linearizable(&[BatchedCounterSpec], &b.finish())
+        else {
+            panic!("sequential history must be linearizable");
+        };
+        assert_eq!(witness, vec![u1, u2]);
+    }
+
+    #[test]
+    fn program_order_enforced() {
+        // Same process: q1 then q2. q1 sees the concurrent update, q2
+        // does not. Under linearizability this is impossible (program
+        // order preserved).
+        let mut b = B::new();
+        let u = b.invoke_update(P0, X, 5);
+        let q1 = b.invoke_query(P1, X, ());
+        b.respond_query(q1, 5);
+        let q2 = b.invoke_query(P1, X, ());
+        b.respond_query(q2, 0);
+        b.respond_update(u);
+        assert!(!check_linearizable(&[BatchedCounterSpec], &b.finish()).is_linearizable());
+    }
+}

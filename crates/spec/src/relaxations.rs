@@ -1,0 +1,206 @@
+//! Executable §3.4: comparing IVL with regular-like semantics.
+//!
+//! Stylianopoulos et al. \[33\] describe their sketch guarantee as "a
+//! query takes into account all completed insert operations and
+//! possibly a subset of the overlapping ones" — a quantitative
+//! generalization of Lamport's regularity. [`check_regular_subset`]
+//! implements that condition literally: each completed query's return
+//! value must equal the object evaluated over *all updates that
+//! precede it* plus *some subset of the updates concurrent with it*.
+//!
+//! The paper's §3.4 observations, which this module's tests make
+//! machine-checked:
+//!
+//! * for **monotone** objects, subset-regularity implies IVL (the
+//!   empty and full subsets bracket every subset);
+//! * for **non-monotone** objects it does not (seeing only a
+//!   decrement under-runs every linearization);
+//! * IVL does **not** imply subset-regularity: IVL additionally allows
+//!   *intermediate steps of a single update* to be observed (a batched
+//!   `inc(3)` read as `+1`), which no subset reproduces.
+
+use crate::history::{History, Op, OpId};
+use crate::spec::ObjectSpec;
+
+/// Verdict of [`check_regular_subset`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegularVerdict {
+    /// Every completed query matches some subset of its concurrent
+    /// updates.
+    Regular,
+    /// The named query's value matches no subset.
+    NotRegular(OpId),
+}
+
+impl RegularVerdict {
+    /// Whether the history satisfies subset-regularity.
+    pub fn is_regular(&self) -> bool {
+        matches!(self, RegularVerdict::Regular)
+    }
+}
+
+/// Checks the regular-like condition of §3.4 / \[33\] on a
+/// single-object history: each completed query returns the object
+/// evaluated over all preceding updates plus some subset of concurrent
+/// ones (pending updates overlapping the query count as concurrent).
+///
+/// Exponential in the number of updates concurrent with any one query
+/// (subset enumeration, capped at 20); queries are checked
+/// independently — regularity needs no common witness, unlike IVL's
+/// common pair of linearizations.
+///
+/// # Panics
+///
+/// Panics if the history mentions several objects or a query overlaps
+/// more than 20 updates.
+pub fn check_regular_subset<S: ObjectSpec>(
+    spec: &S,
+    h: &History<S::Update, S::Query, S::Value>,
+) -> RegularVerdict {
+    assert!(
+        h.objects().len() <= 1,
+        "regularity checker takes single-object histories; project first"
+    );
+    let ops = h.operations();
+    let updates: Vec<_> = ops.iter().filter(|o| o.op.is_update()).collect();
+
+    for q in ops.iter().filter(|o| o.op.is_query() && o.is_complete()) {
+        let Op::Query(qarg) = &q.op else { unreachable!() };
+        let actual = q.return_value.as_ref().expect("completed query");
+        let preceding: Vec<&S::Update> = updates
+            .iter()
+            .filter(|u| u.precedes(q))
+            .map(|u| match &u.op {
+                Op::Update(arg) => arg,
+                Op::Query(_) => unreachable!(),
+            })
+            .collect();
+        let concurrent: Vec<&S::Update> = updates
+            .iter()
+            .filter(|u| !u.precedes(q) && !q.precedes(u))
+            .map(|u| match &u.op {
+                Op::Update(arg) => arg,
+                Op::Query(_) => unreachable!(),
+            })
+            .collect();
+        assert!(
+            concurrent.len() <= 20,
+            "too many concurrent updates for subset enumeration"
+        );
+        let mut matched = false;
+        for subset in 0u32..(1 << concurrent.len()) {
+            let mut state = spec.initial_state();
+            for u in &preceding {
+                spec.apply_update(&mut state, u);
+            }
+            for (bit, u) in concurrent.iter().enumerate() {
+                if subset & (1 << bit) != 0 {
+                    spec.apply_update(&mut state, u);
+                }
+            }
+            if spec.eval_query(&state, qarg) == *actual {
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return RegularVerdict::NotRegular(q.id);
+        }
+    }
+    RegularVerdict::Regular
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryBuilder, ObjectId, ProcessId};
+    use crate::ivl::check_ivl_exact;
+    use crate::specs::{BatchedCounterSpec, IncDecCounterSpec};
+
+    const X: ObjectId = ObjectId(0);
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+    const P2: ProcessId = ProcessId(2);
+
+    #[test]
+    fn sees_subset_of_concurrent_updates() {
+        // Two concurrent updates 3 and 4; read returns 4 (subset {4}).
+        let mut b = HistoryBuilder::<u64, (), u64>::new();
+        let q = b.invoke_query(P2, X, ());
+        let u1 = b.invoke_update(P0, X, 3);
+        let u2 = b.invoke_update(P1, X, 4);
+        b.respond_update(u1);
+        b.respond_update(u2);
+        b.respond_query(q, 4);
+        let h = b.finish();
+        assert!(check_regular_subset(&BatchedCounterSpec, &h).is_regular());
+        assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+    }
+
+    #[test]
+    fn missing_completed_update_is_not_regular() {
+        let mut b = HistoryBuilder::<u64, (), u64>::new();
+        let u = b.invoke_update(P0, X, 3);
+        b.respond_update(u);
+        let q = b.invoke_query(P2, X, ());
+        b.respond_query(q, 0);
+        let h = b.finish();
+        assert_eq!(
+            check_regular_subset(&BatchedCounterSpec, &h),
+            RegularVerdict::NotRegular(q)
+        );
+        assert!(!check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+    }
+
+    #[test]
+    fn ivl_does_not_imply_regular() {
+        // The §1 headline: inc(3) bumping 7 to 10 read as 8 — IVL, but
+        // no subset of {inc(3)} sums to 8 − 7 = 1.
+        let mut b = HistoryBuilder::<u64, (), u64>::new();
+        let seed = b.invoke_update(P0, X, 7);
+        b.respond_update(seed);
+        let inc = b.invoke_update(P0, X, 3);
+        let q = b.invoke_query(P1, X, ());
+        b.respond_query(q, 8);
+        b.respond_update(inc);
+        let h = b.finish();
+        assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+        assert_eq!(
+            check_regular_subset(&BatchedCounterSpec, &h),
+            RegularVerdict::NotRegular(q)
+        );
+    }
+
+    #[test]
+    fn regular_does_not_imply_ivl_for_nonmonotone() {
+        // §3.4 verbatim: query concurrent with inc(1) then dec(1);
+        // seeing only the decrement ({dec} is a legal subset) returns
+        // −1 — regular, but below every linearization value.
+        let mut b = HistoryBuilder::<i64, (), i64>::new();
+        let q = b.invoke_query(P2, X, ());
+        let inc = b.invoke_update(P0, X, 1);
+        b.respond_update(inc);
+        let dec = b.invoke_update(P1, X, -1);
+        b.respond_update(dec);
+        b.respond_query(q, -1);
+        let h = b.finish();
+        assert!(check_regular_subset(&IncDecCounterSpec, &h).is_regular());
+        assert!(!check_ivl_exact(&[IncDecCounterSpec], &h).is_ivl());
+    }
+
+    #[test]
+    fn pending_updates_count_as_concurrent() {
+        let mut b = HistoryBuilder::<u64, (), u64>::new();
+        b.invoke_update(P0, X, 5); // pending forever
+        let q = b.invoke_query(P1, X, ());
+        b.respond_query(q, 5);
+        let h = b.finish();
+        assert!(check_regular_subset(&BatchedCounterSpec, &h).is_regular());
+    }
+
+    #[test]
+    fn empty_history_is_regular() {
+        let h = HistoryBuilder::<u64, (), u64>::new().finish();
+        assert!(check_regular_subset(&BatchedCounterSpec, &h).is_regular());
+    }
+}

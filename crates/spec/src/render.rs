@@ -1,0 +1,137 @@
+//! Human-readable rendering of histories: an ASCII timeline (one lane
+//! per process, `[===]` spans for operation intervals) plus a legend.
+//! Used by the examples and by test failure messages when a checker
+//! verdict needs eyeballing.
+
+use crate::history::{EventKind, History, Op};
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+/// Renders `h` as an ASCII timeline with a legend, e.g.
+///
+/// ```text
+/// p0: .[=======].......
+/// p1: ....[========]...
+///
+/// op0  p0  update(3)
+/// op1  p1  query(()) -> 0
+/// ```
+///
+/// Columns are event indices: `[` at the invocation, `]` at the
+/// response, `=` while pending, `-` for operations still pending at
+/// the end.
+pub fn render_timeline<U, Q, V>(h: &History<U, Q, V>) -> String
+where
+    U: Debug + Clone,
+    Q: Debug + Clone,
+    V: Debug + Clone,
+{
+    let processes = h.processes();
+    let width = h.len();
+    let mut lanes: Vec<Vec<char>> = vec![vec!['.'; width]; processes.len()];
+    let lane_of = |p| processes.iter().position(|&x| x == p).expect("known process");
+
+    let ops = h.operations();
+    for op in &ops {
+        let lane = lane_of(op.process);
+        match op.respond_index {
+            Some(r) => {
+                lanes[lane][op.invoke_index] = '[';
+                lanes[lane][r] = ']';
+                for c in lanes[lane][op.invoke_index + 1..r].iter_mut() {
+                    *c = '=';
+                }
+            }
+            None => {
+                lanes[lane][op.invoke_index] = '[';
+                for c in lanes[lane][op.invoke_index + 1..].iter_mut() {
+                    *c = '-';
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (i, p) in processes.iter().enumerate() {
+        let _ = writeln!(out, "{p:>4}: {}", lanes[i].iter().collect::<String>());
+    }
+    out.push('\n');
+    for op in &ops {
+        let desc = match &op.op {
+            Op::Update(u) => format!("update({u:?})"),
+            Op::Query(q) => match &op.return_value {
+                Some(v) => format!("query({q:?}) -> {v:?}"),
+                None => format!("query({q:?}) -> pending"),
+            },
+        };
+        let pending = if op.is_complete() { "" } else { "  [pending]" };
+        let _ = writeln!(out, "{:>5}  {:>4}  {desc}{pending}", op.id, op.process);
+    }
+    out
+}
+
+/// Renders `h` as a flat, numbered event list (one line per event).
+pub fn render_events<U, Q, V>(h: &History<U, Q, V>) -> String
+where
+    U: Debug + Clone,
+    Q: Debug + Clone,
+    V: Debug + Clone,
+{
+    let mut out = String::new();
+    for (i, ev) in h.events().iter().enumerate() {
+        let what = match &ev.kind {
+            EventKind::Invoke(Op::Update(u)) => format!("inv  update({u:?})"),
+            EventKind::Invoke(Op::Query(q)) => format!("inv  query({q:?})"),
+            EventKind::Respond(Some(v)) => format!("rsp  -> {v:?}"),
+            EventKind::Respond(None) => "rsp".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{i:>4}  {:>4} {:>3} {:>5}  {what}",
+            ev.process, ev.object, ev.op
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryBuilder, ObjectId, ProcessId};
+
+    fn sample() -> History<u64, (), u64> {
+        let mut b = HistoryBuilder::new();
+        let u = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+        let q = b.invoke_query(ProcessId(1), ObjectId(0), ());
+        b.respond_update(u);
+        b.respond_query(q, 0);
+        b.invoke_update(ProcessId(0), ObjectId(0), 9); // pending
+        b.finish()
+    }
+
+    #[test]
+    fn timeline_shows_overlap() {
+        let t = render_timeline(&sample());
+        assert!(t.contains("p0: [=]"), "got:\n{t}");
+        assert!(t.contains("p1: .[=]"), "got:\n{t}");
+        assert!(t.contains("update(3)"));
+        assert!(t.contains("query(()) -> 0"));
+        assert!(t.contains("[pending]"));
+    }
+
+    #[test]
+    fn timeline_marks_pending_tail() {
+        let t = render_timeline(&sample());
+        // The pending update opens a bracket at the last column.
+        let lane0 = t.lines().next().unwrap();
+        assert!(lane0.ends_with('['), "got: {lane0}");
+    }
+
+    #[test]
+    fn event_list_numbers_all_events() {
+        let e = render_events(&sample());
+        assert_eq!(e.lines().count(), 5);
+        assert!(e.contains("inv  update(3)"));
+        assert!(e.contains("rsp  -> 0"));
+    }
+}

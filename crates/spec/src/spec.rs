@@ -1,0 +1,211 @@
+//! Sequential specifications of quantitative objects and the `τ`
+//! operator.
+//!
+//! Paper §3.1: a *deterministic quantitative object* supports `update`
+//! (mutating, no return value) and `query` (returns a value from a
+//! totally ordered domain), and its sequential specification `H`
+//! contains exactly one history per sequential skeleton — the one
+//! obtained by the operator `τ_H`, which replays the operations in order
+//! and fills in the unique return value of each query.
+//!
+//! A randomized object (paper §2.2, §3.3) is a *distribution* over
+//! deterministic specifications, one per coin-flip vector `c̄`. In this
+//! crate that is modelled by the spec being a *value*: e.g. a CountMin
+//! spec instance carries its sampled hash functions, so `CountMinSpec`
+//! constructed from coin flips `c̄` is exactly the deterministic
+//! specification `CM(c̄)`.
+
+use crate::history::{EventKind, History, Op, OpId};
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+/// A deterministic sequential specification of a quantitative object.
+///
+/// Implementations replay updates against an explicit state and evaluate
+/// queries against it; [`tau`] uses this to realize the paper's `τ_H`
+/// operator on sequential skeletons.
+pub trait ObjectSpec: Clone {
+    /// Argument type of `update` operations.
+    type Update: Clone + Debug;
+    /// Argument type of `query` operations.
+    type Query: Clone + Debug;
+    /// Return value domain of queries; totally ordered, as required of
+    /// quantitative objects.
+    type Value: Clone + Ord + Debug;
+    /// Replay state.
+    type State: Clone;
+
+    /// The object's initial state.
+    fn initial_state(&self) -> Self::State;
+
+    /// Applies one update to the state.
+    fn apply_update(&self, state: &mut Self::State, update: &Self::Update);
+
+    /// Evaluates one query against the state.
+    fn eval_query(&self, state: &Self::State, query: &Self::Query) -> Self::Value;
+
+    /// Evaluates a query after applying `updates` (in order) to the
+    /// initial state. Convenience used by checkers and tests.
+    fn eval_after<'a, I>(&self, updates: I, query: &Self::Query) -> Self::Value
+    where
+        I: IntoIterator<Item = &'a Self::Update>,
+        Self::Update: 'a,
+    {
+        let mut st = self.initial_state();
+        for u in updates {
+            self.apply_update(&mut st, u);
+        }
+        self.eval_query(&st, query)
+    }
+}
+
+/// Marker trait for *monotone* quantitative objects.
+///
+/// An implementation promises two semantic properties (checked by
+/// property tests in this crate, not by the compiler):
+///
+/// 1. **Commutativity**: the state reached from a multiset of updates is
+///    independent of their order (so replay order within a
+///    linearization does not matter), and
+/// 2. **Uniform monotonicity**: applying any additional update moves
+///    every query's value in one fixed direction — never decreasing it
+///    (*isotone*: counters, CountMin, max registers) or never
+///    increasing it (*antitone*: min registers, the key component of
+///    the paper's future-work priority queues). Objects where
+///    different updates move values in different directions (the §3.4
+///    inc/dec counter) must NOT implement this trait.
+///
+/// Every construction in the paper is monotone: batched counters (only
+/// non-negative increments), CountMin point queries (counters only grow,
+/// `min` of grown counters grows), Morris counters and HyperLogLog
+/// (max-registers). For monotone objects, IVL admits an efficient
+/// sound-and-complete interval check
+/// ([`crate::ivl::check_ivl_monotone`]).
+pub trait MonotoneSpec: ObjectSpec {}
+
+/// The result of applying `τ` to a sequential skeleton: the same
+/// sequence of operations with every query's unique return value filled
+/// in.
+#[derive(Clone, Debug)]
+pub struct TauResult<S: ObjectSpec> {
+    /// Return value of each completed query, keyed by operation id.
+    pub query_returns: HashMap<OpId, S::Value>,
+    /// Final replay state.
+    pub final_state: S::State,
+}
+
+impl<S: ObjectSpec> TauResult<S> {
+    /// The return value `ret(Q, τ_H(H))` of query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a completed query of the replayed skeleton.
+    pub fn ret(&self, q: OpId) -> &S::Value {
+        &self.query_returns[&q]
+    }
+}
+
+/// Applies the `τ_H` operator: replays a *sequential* history (or
+/// skeleton) of a single object under spec `spec`, returning each
+/// query's unique legal return value.
+///
+/// Return values already present in `h` are ignored; only the order of
+/// operations matters, which is exactly the skeleton semantics.
+///
+/// # Panics
+///
+/// Panics if `h` is not sequential.
+pub fn tau<S: ObjectSpec>(
+    spec: &S,
+    h: &History<S::Update, S::Query, S::Value>,
+) -> TauResult<S> {
+    assert!(h.is_sequential(), "tau is defined on sequential histories");
+    let mut state = spec.initial_state();
+    let mut query_returns = HashMap::new();
+    for ev in h.events() {
+        if let EventKind::Invoke(op) = &ev.kind {
+            match op {
+                Op::Update(u) => spec.apply_update(&mut state, u),
+                Op::Query(q) => {
+                    let v = spec.eval_query(&state, q);
+                    query_returns.insert(ev.op, v);
+                }
+            }
+        }
+    }
+    TauResult {
+        query_returns,
+        final_state: state,
+    }
+}
+
+/// One operation of an explicit replay order: its id and the
+/// operation (with argument).
+pub type OrderedOp<S> =
+    (OpId, Op<<S as ObjectSpec>::Update, <S as ObjectSpec>::Query>);
+
+/// Replays an explicit operation order (ids refer to operations of some
+/// history) rather than an event sequence. Used by the linearization
+/// search, which manipulates operation orders directly.
+pub fn tau_order<S: ObjectSpec>(spec: &S, order: &[OrderedOp<S>]) -> TauResult<S> {
+    let mut state = spec.initial_state();
+    let mut query_returns = HashMap::new();
+    for (id, op) in order {
+        match op {
+            Op::Update(u) => spec.apply_update(&mut state, u),
+            Op::Query(q) => {
+                let v = spec.eval_query(&state, q);
+                query_returns.insert(*id, v);
+            }
+        }
+    }
+    TauResult {
+        query_returns,
+        final_state: state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryBuilder, ObjectId, ProcessId};
+    use crate::specs::BatchedCounterSpec;
+
+    #[test]
+    fn tau_fills_unique_returns() {
+        let mut b = HistoryBuilder::<u64, (), u64>::new();
+        let p = ProcessId(0);
+        let x = ObjectId(0);
+        let u = b.invoke_update(p, x, 3);
+        b.respond_update(u);
+        let q1 = b.invoke_query(p, x, ());
+        b.respond_query(q1, 999); // value ignored by tau
+        let u2 = b.invoke_update(p, x, 4);
+        b.respond_update(u2);
+        let q2 = b.invoke_query(p, x, ());
+        b.respond_query(q2, 999);
+        let h = b.finish();
+        let t = tau(&BatchedCounterSpec, &h);
+        assert_eq!(*t.ret(q1), 3);
+        assert_eq!(*t.ret(q2), 7);
+        assert_eq!(t.final_state, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn tau_rejects_concurrent_history() {
+        let mut b = HistoryBuilder::<u64, (), u64>::new();
+        let u = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+        let q = b.invoke_query(ProcessId(1), ObjectId(0), ());
+        b.respond_update(u);
+        b.respond_query(q, 0);
+        tau(&BatchedCounterSpec, &b.finish());
+    }
+
+    #[test]
+    fn eval_after_matches_manual_replay() {
+        let spec = BatchedCounterSpec;
+        let updates = [1u64, 2, 3, 4];
+        assert_eq!(spec.eval_after(updates.iter(), &()), 10);
+    }
+}

@@ -1,0 +1,225 @@
+//! Built-in sequential specifications used across the workspace.
+//!
+//! * [`BatchedCounterSpec`] — the paper's §6 batched counter: `update(v)`
+//!   with `v ≥ 0`, `read()` returns the sum of all preceding updates.
+//! * [`IncDecCounterSpec`] — the §3.4 non-monotone counterexample: an
+//!   object supporting both increments and decrements.
+//! * [`MaxRegisterSpec`] — a max register (`update(v)` sets the value to
+//!   `max(current, v)`); the monotone core of HyperLogLog registers.
+//! * [`MultiCounterSpec`] — a vector of named counters with point
+//!   queries; the *ideal specification* `I` of frequency sketches (a
+//!   query for item `a` returns the exact frequency `f_a`).
+
+use crate::spec::{MonotoneSpec, ObjectSpec};
+
+/// The paper's batched counter (§6.2): `update(v ≥ 0)` adds `v`; `read`
+/// returns the sum of all preceding updates, 0 initially.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct BatchedCounterSpec;
+
+impl ObjectSpec for BatchedCounterSpec {
+    type Update = u64;
+    type Query = ();
+    type Value = u64;
+    type State = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn apply_update(&self, state: &mut u64, update: &u64) {
+        *state += *update;
+    }
+
+    fn eval_query(&self, state: &u64, _query: &()) -> u64 {
+        *state
+    }
+}
+
+/// Batched counters are monotone: increments are non-negative and
+/// commute, and `read` never decreases as updates are added.
+impl MonotoneSpec for BatchedCounterSpec {}
+
+/// A counter supporting increments *and* decrements — the paper's §3.4
+/// example of a non-monotone quantitative object, for which regular-like
+/// "query sees a subset of concurrent updates" semantics violates IVL.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct IncDecCounterSpec;
+
+impl ObjectSpec for IncDecCounterSpec {
+    type Update = i64;
+    type Query = ();
+    type Value = i64;
+    type State = i64;
+
+    fn initial_state(&self) -> i64 {
+        0
+    }
+
+    fn apply_update(&self, state: &mut i64, update: &i64) {
+        *state += *update;
+    }
+
+    fn eval_query(&self, state: &i64, _query: &()) -> i64 {
+        *state
+    }
+}
+
+// Deliberately NOT `MonotoneSpec`: decrements can lower a query's value,
+// so the interval fast path is unsound for it. The exact checker still
+// applies.
+
+/// A max register: `update(v)` raises the stored value to at least `v`;
+/// `read` returns the maximum update seen (0 initially).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct MaxRegisterSpec;
+
+impl ObjectSpec for MaxRegisterSpec {
+    type Update = u64;
+    type Query = ();
+    type Value = u64;
+    type State = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn apply_update(&self, state: &mut u64, update: &u64) {
+        *state = (*state).max(*update);
+    }
+
+    fn eval_query(&self, state: &u64, _query: &()) -> u64 {
+        *state
+    }
+}
+
+/// Max is commutative and monotone.
+impl MonotoneSpec for MaxRegisterSpec {}
+
+/// A min register: `update(v)` lowers the stored value to at most `v`;
+/// `read` returns the minimum update seen (`u64::MAX` initially).
+///
+/// The quantitative core of a priority queue's `peek-min` — the
+/// paper's conclusion singles priority queues out as the
+/// "semi-quantitative" frontier for IVL; the key component is this
+/// *antitone* monotone object, handled by the same interval checker
+/// with the endpoint roles swapped.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct MinRegisterSpec;
+
+impl ObjectSpec for MinRegisterSpec {
+    type Update = u64;
+    type Query = ();
+    type Value = u64;
+    type State = u64;
+
+    fn initial_state(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn apply_update(&self, state: &mut u64, update: &u64) {
+        *state = (*state).min(*update);
+    }
+
+    fn eval_query(&self, state: &u64, _query: &()) -> u64 {
+        *state
+    }
+}
+
+/// Min is commutative and uniformly antitone.
+impl MonotoneSpec for MinRegisterSpec {}
+
+/// The ideal specification `I` of a frequency estimator over an alphabet
+/// `0..alphabet`: `update(a)` increments item `a`'s exact count;
+/// `query(a)` returns it. CountMin is an (ε,δ)-bounded implementation of
+/// this spec (paper §5); the spec itself is the error-free reference
+/// used by `v_min`/`v_max` (Definition 5) and Corollary 8.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MultiCounterSpec {
+    /// Number of distinct items (items are `0..alphabet`).
+    pub alphabet: usize,
+}
+
+impl MultiCounterSpec {
+    /// Creates the ideal frequency spec for items `0..alphabet`.
+    pub fn new(alphabet: usize) -> Self {
+        MultiCounterSpec { alphabet }
+    }
+}
+
+impl ObjectSpec for MultiCounterSpec {
+    type Update = usize;
+    type Query = usize;
+    type Value = u64;
+    type State = Vec<u64>;
+
+    fn initial_state(&self) -> Vec<u64> {
+        vec![0; self.alphabet]
+    }
+
+    fn apply_update(&self, state: &mut Vec<u64>, update: &usize) {
+        state[*update] += 1;
+    }
+
+    fn eval_query(&self, state: &Vec<u64>, query: &usize) -> u64 {
+        state[*query]
+    }
+}
+
+/// Point frequencies only grow and increments commute.
+impl MonotoneSpec for MultiCounterSpec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_counter_sums() {
+        let s = BatchedCounterSpec;
+        let mut st = s.initial_state();
+        s.apply_update(&mut st, &3);
+        s.apply_update(&mut st, &4);
+        assert_eq!(s.eval_query(&st, &()), 7);
+    }
+
+    #[test]
+    fn inc_dec_goes_both_ways() {
+        let s = IncDecCounterSpec;
+        let mut st = s.initial_state();
+        s.apply_update(&mut st, &5);
+        s.apply_update(&mut st, &-8);
+        assert_eq!(s.eval_query(&st, &()), -3);
+    }
+
+    #[test]
+    fn max_register_takes_max() {
+        let s = MaxRegisterSpec;
+        let mut st = s.initial_state();
+        s.apply_update(&mut st, &5);
+        s.apply_update(&mut st, &2);
+        assert_eq!(s.eval_query(&st, &()), 5);
+    }
+
+    #[test]
+    fn min_register_takes_min() {
+        let s = MinRegisterSpec;
+        let mut st = s.initial_state();
+        assert_eq!(s.eval_query(&st, &()), u64::MAX);
+        s.apply_update(&mut st, &5);
+        s.apply_update(&mut st, &9);
+        assert_eq!(s.eval_query(&st, &()), 5);
+    }
+
+    #[test]
+    fn multi_counter_tracks_frequencies() {
+        let s = MultiCounterSpec::new(4);
+        let mut st = s.initial_state();
+        for a in [0usize, 1, 1, 3, 1] {
+            s.apply_update(&mut st, &a);
+        }
+        assert_eq!(s.eval_query(&st, &0), 1);
+        assert_eq!(s.eval_query(&st, &1), 3);
+        assert_eq!(s.eval_query(&st, &2), 0);
+        assert_eq!(s.eval_query(&st, &3), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's §1.2 scenario: processes count events in batches; a
+//! monitoring process detects when the total passes a threshold. IVL
+//! is exactly the guarantee the monitor needs — any intermediate value
+//! it sees is bracketed by the counter's true value at the read's
+//! start and end.
+//!
+//! Run with: `cargo run --release --example event_threshold`
+
+use ivl_core::counter::monitor::MonitorOutcome;
+use ivl_core::prelude::*;
+
+const WORKERS: usize = 8;
+const BATCHES_PER_WORKER: u64 = 50_000;
+const BATCH: u64 = 3;
+const THRESHOLD: u64 = 600_000;
+
+fn run<C: SharedBatchedCounter>(name: &str, counter: &C) {
+    let monitor = ThresholdMonitor::new(counter, THRESHOLD);
+    let start = std::time::Instant::now();
+    let outcome = crossbeam::scope(|s| {
+        let handle = s.spawn(|_| monitor.run());
+        for slot in 0..WORKERS {
+            s.spawn(move |_| {
+                for _ in 0..BATCHES_PER_WORKER {
+                    counter.update_slot(slot, BATCH);
+                }
+            });
+        }
+        handle.join().unwrap()
+    })
+    .unwrap();
+    let elapsed = start.elapsed();
+    let final_total = counter.read();
+    match outcome {
+        MonitorOutcome::Fired { observed, reads } => {
+            println!(
+                "{name:<22} fired at observed={observed:>8} after {reads:>7} reads \
+                 (final total {final_total}, wall {elapsed:?})"
+            );
+            assert!(observed >= THRESHOLD);
+            assert!(observed <= final_total);
+        }
+        MonitorOutcome::Stopped { last } => {
+            println!("{name:<22} stopped early at {last}");
+        }
+    }
+}
+
+fn main() {
+    println!(
+        "{} workers × {} batches of {} events; threshold {}\n",
+        WORKERS, BATCHES_PER_WORKER, BATCH, THRESHOLD
+    );
+    // The paper's §6 comparison, live: the IVL counter's updates are
+    // uncontended stores, the fetch-add counter contends on one cache
+    // line, the mutex counter serializes everything. All three give
+    // the monitor a sound trigger; they differ in ingest throughput.
+    run("IVL batched counter", &IvlBatchedCounter::new(WORKERS));
+    run("fetch-add counter", &FetchAddCounter::new(WORKERS));
+    run("mutex counter", &MutexBatchedCounter::new(WORKERS));
+    println!(
+        "\nAll monitors fired at a value ≥ threshold and ≤ final total —\n\
+         the IVL envelope in action (intermediate values are safe to act on)."
+    );
+}

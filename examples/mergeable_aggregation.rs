@@ -1,0 +1,108 @@
+//! Distributed aggregation with mergeable summaries (Agarwal et al.,
+//! "Mergeable Summaries" — reference \[1\] of the paper): per-site
+//! sketches built independently and merged at a coordinator, compared
+//! against (a) a single sketch of the union stream and (b) the
+//! sharded concurrent CountMin, whose query-time summation is the
+//! *online* version of the same merge.
+//!
+//! Run with: `cargo run --release --example mergeable_aggregation`
+
+use ivl_core::prelude::*;
+use ivl_concurrent::{ShardedPcm, SketchHandle};
+use ivl_sketch::stream::ZipfStream;
+use std::collections::HashMap;
+
+const SITES: usize = 4;
+const EVENTS_PER_SITE: usize = 200_000;
+const ALPHABET: usize = 20_000;
+const ALPHA: f64 = 0.001;
+const DELTA: f64 = 0.01;
+
+fn main() {
+    // Per-site streams + ground truth.
+    let streams: Vec<Vec<u64>> = (0..SITES)
+        .map(|s| {
+            ZipfStream::new(ALPHABET, 1.2, 500 + s as u64)
+                .take(EVENTS_PER_SITE)
+                .collect()
+        })
+        .collect();
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for s in &streams {
+        for &i in s {
+            *truth.entry(i).or_default() += 1;
+        }
+    }
+    let n: u64 = truth.values().sum();
+    let eps = (ALPHA * n as f64).ceil() as u64;
+
+    // All parties share coins (same seed = same hash functions), the
+    // precondition for merging.
+    let proto = {
+        let mut coins = CoinFlips::from_seed(77);
+        CountMin::for_bounds(ALPHA, DELTA, &mut coins)
+    };
+
+    // (a) Batch path: one sketch per site, merged at the coordinator.
+    let mut sites: Vec<CountMin> = (0..SITES).map(|_| proto.clone()).collect();
+    crossbeam::scope(|s| {
+        for (sketch, stream) in sites.iter_mut().zip(&streams) {
+            s.spawn(move |_| {
+                for &i in stream {
+                    sketch.update(i);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let mut merged = sites.remove(0);
+    for site in &sites {
+        merged.merge(site);
+    }
+
+    // (b) Reference: a single sequential sketch of the union stream.
+    let mut union = proto.clone();
+    for s in &streams {
+        for &i in s {
+            union.update(i);
+        }
+    }
+    assert_eq!(merged, union, "merge == union stream (homomorphism)");
+
+    // (c) Online path: the sharded concurrent CountMin with one shard
+    // per site; queries merge at read time.
+    let sharded = ShardedPcm::from_prototype(&proto, SITES);
+    crossbeam::scope(|s| {
+        for stream in &streams {
+            let mut h = sharded.handle();
+            s.spawn(move |_| {
+                for &i in stream {
+                    h.update(i);
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    println!(
+        "{SITES} sites × {EVENTS_PER_SITE} events; n = {n}; sketch {}×{}; ε = αn = {eps}\n",
+        merged.params().depth,
+        merged.params().width
+    );
+    println!(" item |    true | merged  | sharded | both within [f, f+ε]");
+    println!("------+---------+---------+---------+---------------------");
+    let mut hot: Vec<(&u64, &u64)> = truth.iter().collect();
+    hot.sort_by(|a, b| b.1.cmp(a.1));
+    let mut ok = 0;
+    for (&item, &f) in hot.iter().take(12) {
+        let em = merged.estimate(item);
+        let es = sharded.estimate(item);
+        assert_eq!(em, es, "offline merge and online sharding agree exactly");
+        let within = em >= f && em <= f + eps;
+        ok += within as u32;
+        println!("{item:>5} | {f:>7} | {em:>7} | {es:>7} | {within}");
+    }
+    println!("\n{ok}/12 top items within the (ε,δ) envelope (δ = {DELTA});");
+    println!("merged batch sketch and query-time sharded sketch are identical —");
+    println!("mergeability and IVL sharding are two faces of cell additivity.");
+}

@@ -1,0 +1,227 @@
+//! Coverage for API surfaces not exercised elsewhere: batched update
+//! paths, accessors, renderers, verdict plumbing, and cross-type
+//! consistency checks.
+
+use ivl_core::prelude::*;
+use ivl_spec::io::{parse_history, write_history};
+use ivl_spec::linearize::LinVerdict;
+use ivl_spec::render::{render_events, render_timeline};
+use ivl_spec::specs::BatchedCounterSpec;
+
+#[test]
+fn pcm_batched_updates_equal_unit_updates() {
+    let mut coins_a = CoinFlips::from_seed(3);
+    let mut coins_b = CoinFlips::from_seed(3);
+    let params = CountMinParams {
+        width: 32,
+        depth: 3,
+    };
+    let a = Pcm::new(params, &mut coins_a);
+    let b = Pcm::new(params, &mut coins_b);
+    a.update_by(9, 500);
+    for _ in 0..500 {
+        b.update(9);
+    }
+    for item in 0..32u64 {
+        assert_eq!(a.estimate(item), b.estimate(item));
+    }
+    assert_eq!(a.stream_len_estimate(), 500);
+    assert_eq!(a.cells_snapshot(), b.cells_snapshot());
+}
+
+#[test]
+fn pcm_batched_update_is_the_intro_scenario() {
+    // A single batched update observed partially by a concurrent
+    // query: with d rows bumped by `count` each, the estimate moves
+    // from f to f + count through row-sized steps — the paper's
+    // "7 to 10" in sketch form. At quiescence it has fully landed.
+    let pcm = Pcm::new(
+        CountMinParams {
+            width: 16,
+            depth: 4,
+        },
+        &mut CoinFlips::from_seed(4),
+    );
+    pcm.update_by(5, 7);
+    assert_eq!(pcm.estimate(5), 7);
+    pcm.update_by(5, 3);
+    assert_eq!(pcm.estimate(5), 10);
+}
+
+#[test]
+fn linearization_witness_is_a_valid_order() {
+    let mut b = HistoryBuilder::<u64, (), u64>::new();
+    let u1 = b.invoke_update(ProcessId(0), ObjectId(0), 1);
+    let q = b.invoke_query(ProcessId(1), ObjectId(0), ());
+    b.respond_update(u1);
+    let u2 = b.invoke_update(ProcessId(0), ObjectId(0), 2);
+    b.respond_query(q, 1);
+    b.respond_update(u2);
+    let h = b.finish();
+    match check_linearizable(&[BatchedCounterSpec], &h) {
+        LinVerdict::Linearizable { witness } => {
+            // The witness must contain every completed operation
+            // exactly once and respect u1 ≺ u2.
+            assert_eq!(witness.len(), 3);
+            let pos =
+                |id| witness.iter().position(|&x| x == id).expect("in witness");
+            assert!(pos(u1) < pos(u2));
+        }
+        LinVerdict::NotLinearizable => panic!("history is linearizable"),
+    }
+}
+
+#[test]
+fn renderers_cover_multi_object_histories() {
+    let mut b = HistoryBuilder::<u64, u64, u64>::new();
+    let u = b.invoke_update(ProcessId(0), ObjectId(0), 1);
+    b.respond_update(u);
+    let q = b.invoke_query(ProcessId(1), ObjectId(1), 7);
+    b.respond_query(q, 0);
+    let h = b.finish();
+    let t = render_timeline(&h);
+    assert!(t.contains("p0:"));
+    assert!(t.contains("p1:"));
+    let e = render_events(&h);
+    assert!(e.contains("x0"));
+    assert!(e.contains("x1"));
+    assert_eq!(e.lines().count(), 4);
+}
+
+#[test]
+fn io_roundtrip_preserves_checker_verdicts() {
+    // Serialize a recorded real execution, parse it back, and confirm
+    // the verdicts are identical.
+    let counter = RecordedCounter::new(IvlBatchedCounter::new(3));
+    crossbeam::scope(|s| {
+        for slot in 0..2 {
+            let counter = &counter;
+            s.spawn(move |_| {
+                for _ in 0..4 {
+                    counter.update(slot, 2);
+                }
+            });
+        }
+        let counter = &counter;
+        s.spawn(move |_| {
+            for _ in 0..3 {
+                counter.read_from(2);
+            }
+        });
+    })
+    .unwrap();
+    let h = counter.finish();
+
+    // The counter history has Q = (); map to the u64-query format by
+    // rebuilding events through the text format of a compatible type.
+    use ivl_spec::history::{Event, EventKind, History, Op};
+    let as_u64q: History<u64, u64, u64> = History::from_events(
+        h.events()
+            .iter()
+            .map(|ev| Event {
+                op: ev.op,
+                process: ev.process,
+                object: ev.object,
+                kind: match &ev.kind {
+                    EventKind::Invoke(Op::Update(u)) => EventKind::Invoke(Op::Update(*u)),
+                    EventKind::Invoke(Op::Query(())) => EventKind::Invoke(Op::Query(0u64)),
+                    EventKind::Respond(v) => EventKind::Respond(*v),
+                },
+            })
+            .collect(),
+    )
+    .unwrap();
+    let text = write_history(&as_u64q);
+    let parsed: History<u64, u64, u64> = parse_history(&text).unwrap();
+    assert_eq!(as_u64q, parsed);
+}
+
+#[test]
+fn countmin_params_accessors_consistent() {
+    let p = CountMinParams::for_bounds(0.02, 0.05);
+    assert!(p.alpha() <= 0.02 + 1e-12);
+    assert!(p.delta() <= 0.05 + 1e-12);
+    let mut coins = CoinFlips::from_seed(1);
+    let cm = CountMin::new(p, &mut coins);
+    assert_eq!(cm.params(), p);
+    assert_eq!(cm.cells().len(), p.width * p.depth);
+    assert_eq!(cm.hashes().len(), p.depth);
+}
+
+#[test]
+fn gk_accessors() {
+    let mut gk = GkQuantiles::new(0.05);
+    assert_eq!(gk.epsilon(), 0.05);
+    assert_eq!(gk.count(), 0);
+    gk.insert(3);
+    assert_eq!(gk.count(), 1);
+    assert!(gk.summary_size() >= 1);
+}
+
+#[test]
+fn kll_quantile_api() {
+    use ivl_sketch::KllSketch;
+    let mut kll = KllSketch::new(128, CoinFlips::from_seed(5));
+    assert_eq!(kll.capacity(), 128);
+    for v in 0..10_000u64 {
+        kll.insert(v);
+    }
+    let q = kll.quantile(0.9);
+    assert!((8_500..=9_500).contains(&q), "{q}");
+}
+
+#[test]
+fn spacesaving_epsilon_tracks_stream() {
+    let mut ss = SpaceSaving::new(10);
+    for _ in 0..100 {
+        ss.update(1);
+    }
+    assert_eq!(ss.capacity(), 10);
+    assert!((ss.epsilon() - 10.0).abs() < 1e-12);
+}
+
+#[test]
+fn concurrent_histogram_rank_upper_bounds_lower() {
+    use ivl_concurrent::ConcurrentHistogram;
+    let h = ConcurrentHistogram::new(100, 10);
+    for v in 0..100u64 {
+        h.insert(v);
+    }
+    for probe in [0u64, 37, 99] {
+        assert!(h.rank_lower(probe) <= h.rank_upper(probe));
+    }
+    assert_eq!(h.count(), 100);
+}
+
+#[test]
+fn theorem6_default_config_is_sane() {
+    use ivl_core::theorem6::Theorem6Config;
+    let cfg = Theorem6Config::default();
+    assert!(cfg.threads > 0);
+    assert!(cfg.alpha > 0.0 && cfg.alpha < 1.0);
+    assert!(cfg.alphabet > 0);
+}
+
+#[test]
+fn monitor_outcome_shapes() {
+    use ivl_core::counter::monitor::MonitorOutcome;
+    let c = IvlBatchedCounter::new(1);
+    c.update_slot(0, 10);
+    let m = ThresholdMonitor::new(&c, 5);
+    match m.run() {
+        MonitorOutcome::Fired { observed, reads } => {
+            assert_eq!(observed, 10);
+            assert_eq!(reads, 1);
+        }
+        MonitorOutcome::Stopped { .. } => panic!("threshold already passed"),
+    }
+}
+
+#[test]
+fn eval_after_is_order_insensitive_for_monotone_specs() {
+    use ivl_spec::spec::ObjectSpec;
+    let s = BatchedCounterSpec;
+    let forward = s.eval_after([1u64, 2, 3].iter(), &());
+    let backward = s.eval_after([3u64, 2, 1].iter(), &());
+    assert_eq!(forward, backward);
+}

@@ -1,0 +1,159 @@
+//! E14: the breadth of the monotone ⇒ IVL observation — concurrent
+//! HyperLogLog and PCM recorded at stress and checked with the
+//! interval fast path; concurrent Morris validated statistically.
+
+use ivl_core::prelude::*;
+use ivl_sketch::cm_spec::CountMinSpec;
+use ivl_sketch::countmin::CountMinParams;
+use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+
+/// Sequential spec of the concurrent HLL's *indicator* value (a
+/// strictly monotone integer functional of the register vector; see
+/// `ivl_concurrent::hll_conc`). Update = item, query = (), value =
+/// indicator.
+#[derive(Clone, Debug)]
+struct HllIndicatorSpec {
+    proto: HyperLogLog,
+}
+
+impl ObjectSpec for HllIndicatorSpec {
+    type Update = u64;
+    type Query = ();
+    type Value = u128;
+    type State = Vec<u8>;
+
+    fn initial_state(&self) -> Vec<u8> {
+        vec![0; self.proto.num_registers()]
+    }
+
+    fn apply_update(&self, state: &mut Vec<u8>, update: &u64) {
+        let (idx, rank) = self.proto.route(*update);
+        if rank > state[idx] {
+            state[idx] = rank;
+        }
+    }
+
+    fn eval_query(&self, state: &Vec<u8>, _query: &()) -> u128 {
+        state
+            .iter()
+            .map(|&m| (1u128 << 64) - (1u128 << (64 - (m as u32).min(64))))
+            .sum()
+    }
+}
+
+impl MonotoneSpec for HllIndicatorSpec {}
+
+/// Concurrent HLL under heavy ingest with concurrent indicator
+/// queries: recorded histories pass the IVL checker against the
+/// sequential register spec with the same coins.
+#[test]
+fn concurrent_hll_histories_are_ivl() {
+    for seed in 0..3 {
+        let mut coins = CoinFlips::from_seed(seed);
+        let hll = ConcurrentHll::new(6, &mut coins);
+        let spec = HllIndicatorSpec {
+            proto: hll.prototype().clone(),
+        };
+        let rec = Recorder::<u64, (), u128>::new();
+        crossbeam::scope(|s| {
+            for t in 0..3u64 {
+                let hll = &hll;
+                let rec = &rec;
+                s.spawn(move |_| {
+                    for k in 0..2_000u64 {
+                        let item = t * 1_000_000 + k;
+                        let id = rec.invoke_update(ProcessId(t as u32), ObjectId(0), item);
+                        hll.update(item);
+                        rec.respond_update(id);
+                    }
+                });
+            }
+            {
+                let hll = &hll;
+                let rec = &rec;
+                s.spawn(move |_| {
+                    for _ in 0..1_000 {
+                        let id = rec.invoke_query(ProcessId(9), ObjectId(0), ());
+                        let v = hll.indicator();
+                        rec.respond_query(id, v);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let h = rec.finish();
+        assert!(
+            check_ivl_monotone(&spec, &h).is_ivl(),
+            "seed {seed}: concurrent HLL violated IVL"
+        );
+    }
+}
+
+/// PCM at a larger scale than the unit test: tens of thousands of
+/// recorded events, all IVL (the fast path makes this cheap).
+#[test]
+fn pcm_histories_ivl_at_scale() {
+    let params = CountMinParams {
+        width: 128,
+        depth: 4,
+    };
+    let mut coins = CoinFlips::from_seed(77);
+    let proto = CountMin::new(params, &mut coins);
+    let spec = CountMinSpec::new(proto.clone());
+    let rec = RecordedSketch::new(Pcm::from_prototype(&proto));
+    crossbeam::scope(|s| {
+        for t in 0..4u64 {
+            let mut h = rec.handle();
+            s.spawn(move |_| {
+                for k in 0..5_000u64 {
+                    h.update((t * 31 + k) % 257);
+                }
+            });
+        }
+        let rec = &rec;
+        s.spawn(move |_| {
+            for k in 0..2_000u64 {
+                rec.query_from(1000, k % 257);
+            }
+        });
+    })
+    .unwrap();
+    let h = rec.finish();
+    assert!(h.operations().len() >= 22_000);
+    assert!(check_ivl_monotone(&spec, &h).is_ivl());
+}
+
+/// Concurrent Morris: estimates remain within a loose (ε,δ)-style
+/// envelope across independent runs (the paper's Definition 3 story
+/// needs common linearizations across coin vectors; here we validate
+/// the user-facing accuracy claim).
+#[test]
+fn concurrent_morris_accuracy_envelope() {
+    let runs = 20;
+    let threads = 4;
+    let per_thread = 10_000u64;
+    let n = threads as f64 * per_thread as f64;
+    let mut within = 0;
+    for seed in 0..runs {
+        let m = ConcurrentMorris::new(0.05, CoinFlips::from_seed(seed));
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                let m = &m;
+                s.spawn(move |_| {
+                    for _ in 0..per_thread {
+                        m.update();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let rel = (m.estimate() - n).abs() / n;
+        if rel < 0.5 {
+            within += 1;
+        }
+    }
+    assert!(
+        within as f64 >= 0.8 * runs as f64,
+        "only {within}/{runs} runs within 50% of the truth"
+    );
+}

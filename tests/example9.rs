@@ -1,0 +1,157 @@
+//! E7: the paper's Example 9 — `PCM` is not linearizable — re-enacted
+//! three ways: deterministically in the simulator, statistically over
+//! random schedules, and in the history domain against a real
+//! `CM(c̄)` with sampled hashes.
+
+use ivl_core::prelude::*;
+use ivl_core::shmem::algorithms::{example9_hash, example9_violation_count, PcmSim};
+use ivl_core::shmem::{Executor, FixedScheduler, Memory, SimOp, Workload};
+use ivl_sketch::cm_spec::CountMinSpec;
+
+/// Deterministic re-enactment in the simulator: the exact schedule of
+/// Example 9 (update stalled between rows, two queries slipping into
+/// the gap) with the paper's initial matrix `[[1,4],[2,3]]` reached by
+/// real seed updates.
+#[test]
+fn example9_exact_schedule() {
+    let mut mem = Memory::new();
+    let obj = PcmSim::new(&mut mem, 2, 2, example9_hash());
+    let spec = obj.spec();
+    let workloads = vec![
+        Workload {
+            ops: vec![
+                SimOp::Update(2),
+                SimOp::Update(2),
+                SimOp::Update(2),
+                SimOp::Update(0),
+                SimOp::Update(1),
+                SimOp::Update(0), // U, stalled between rows
+            ],
+        },
+        Workload {
+            ops: vec![SimOp::Query(0), SimOp::Query(1)],
+        },
+    ];
+    let mut script = vec![0; 11];
+    script.extend([1, 1, 1, 1, 0]);
+    let mut exec = Executor::new(mem, Box::new(obj), workloads, FixedScheduler::new(script));
+    let result = exec.run();
+
+    let queries: Vec<_> = result
+        .history
+        .operations()
+        .into_iter()
+        .filter(|o| o.op.is_query())
+        .collect();
+    assert_eq!(queries[0].return_value, Some(2), "Q1 = 2 (sees U)");
+    assert_eq!(queries[1].return_value, Some(2), "Q2 = 2 (misses U)");
+
+    assert!(
+        !check_linearizable(std::slice::from_ref(&spec), &result.history).is_linearizable(),
+        "Example 9: U ≺ Q1, Q2 ≺ U, Q1 ≺_H Q2 — no linearization"
+    );
+    assert!(
+        check_ivl_monotone(&spec, &result.history).is_ivl(),
+        "Lemma 7: the same history is IVL"
+    );
+}
+
+/// Statistical version: under random schedules of an Example 9-shaped
+/// workload, a non-trivial fraction of histories is not linearizable,
+/// and every single one is IVL.
+#[test]
+fn example9_statistical_frequency() {
+    let runs = 400;
+    let violations = example9_violation_count(runs);
+    assert!(
+        violations > 0,
+        "no non-linearizable schedule found in {runs} runs"
+    );
+    // Sanity: the effect is not ubiquitous either — most histories do
+    // linearize under uniform scheduling.
+    assert!(
+        violations < runs,
+        "every schedule non-linearizable is implausible"
+    );
+}
+
+/// History-domain version against a real sampled `CM(c̄)`: find items
+/// realizing Example 9's collision pattern in a drawn hash family,
+/// and build the history with true hashes. The pattern (mirroring the
+/// simulator construction) is a triple (a, b, f):
+///
+/// * row 0: `a` and `b` distinct, `f` shares `b`'s cell;
+/// * row 1: `a` and `b` collide, `f` elsewhere.
+///
+/// Seeding f×3, a, b then makes `query(b)`'s minimum come from the
+/// shared row-1 cell, so a pending `update(a)` that `Q1 = query(a)`
+/// observes but a later `Q2 = query(b)` misses yields the paper's
+/// contradiction.
+#[test]
+fn example9_with_sampled_hashes() {
+    let mut found = None;
+    'seeds: for seed in 0..500u64 {
+        let mut coins = CoinFlips::from_seed(seed);
+        let proto = CountMin::new(CountMinParams { width: 2, depth: 2 }, &mut coins);
+        let h0 = |x: u64| proto.hashes()[0].hash(x);
+        let h1 = |x: u64| proto.hashes()[1].hash(x);
+        for a in 0..30u64 {
+            for b in 0..30u64 {
+                if a == b || h0(a) == h0(b) || h1(a) != h1(b) {
+                    continue;
+                }
+                for f in 0..30u64 {
+                    if f == a || f == b {
+                        continue;
+                    }
+                    if h0(f) == h0(b) && h1(f) != h1(b) {
+                        found = Some((proto.clone(), a, b, f));
+                        break 'seeds;
+                    }
+                }
+            }
+        }
+    }
+    let (proto, a, b, f) = found.expect("collision pattern must exist at w=2, d=2");
+    let spec = CountMinSpec::new(proto.clone());
+
+    // Sequential ground values via replay.
+    let est = |items: &[u64], q: u64| {
+        let mut st = proto.clone();
+        for &i in items {
+            ivl_sketch::FrequencySketch::update(&mut st, i);
+        }
+        ivl_sketch::FrequencySketch::estimate(&st, q)
+    };
+    let seeds = [f, f, f, a, b];
+    let with_u: Vec<u64> = seeds.iter().copied().chain([a]).collect();
+    let q1_without = est(&seeds, a);
+    let q1_with = est(&with_u, a);
+    let q2_without = est(&seeds, b);
+    let q2_with = est(&with_u, b);
+    assert!(q1_with > q1_without, "Q1's value must prove U ≺ Q1");
+    assert!(q2_with > q2_without, "Q2's value must prove Q2 ≺ U");
+
+    let mut hb = HistoryBuilder::<u64, u64, u64>::new();
+    let p0 = ProcessId(0);
+    let p1 = ProcessId(1);
+    let x = ObjectId(0);
+    for &s in &seeds {
+        let u = hb.invoke_update(p0, x, s);
+        hb.respond_update(u);
+    }
+    let u = hb.invoke_update(p0, x, a); // U, concurrent with both queries
+    let q1 = hb.invoke_query(p1, x, a);
+    hb.respond_query(q1, q1_with);
+    let q2 = hb.invoke_query(p1, x, b);
+    hb.respond_query(q2, q2_without);
+    hb.respond_update(u);
+    let h = hb.finish();
+
+    assert!(
+        !check_linearizable(std::slice::from_ref(&spec), &h).is_linearizable(),
+        "Example 9 with sampled hashes must not linearize"
+    );
+    assert!(check_ivl_monotone(&spec, &h).is_ivl());
+    assert!(check_ivl_exact(&[spec], &h).is_ivl());
+}

@@ -1,0 +1,161 @@
+//! Crash-stop failure injection: threads that die mid-operation leave
+//! *pending* operations in the recorded history, and IVL's completion
+//! semantics (pending updates may be linearized or dropped) must
+//! absorb every variant.
+
+use ivl_core::prelude::*;
+use ivl_spec::specs::BatchedCounterSpec;
+use std::panic::AssertUnwindSafe;
+
+/// A thread crashes after applying its update but before the response
+/// is recorded: the update is pending in the history yet *visible* to
+/// readers — legal, because a pending update may be completed in the
+/// linearization.
+#[test]
+fn crash_after_apply_leaves_visible_pending_update() {
+    let counter = IvlBatchedCounter::new(2);
+    let rec = Recorder::<u64, (), u64>::new();
+
+    // "Crashing" updater: invoke, apply, die (no respond).
+    let id = rec.invoke_update(ProcessId(0), ObjectId(0), 5);
+    counter.update_slot(0, 5);
+    let _ = id; // the response is never recorded
+
+    // A later read sees the orphaned value.
+    let rid = rec.invoke_query(ProcessId(1), ObjectId(0), ());
+    let v = counter.read();
+    rec.respond_query(rid, v);
+
+    let h = rec.finish();
+    assert_eq!(v, 5);
+    assert!(
+        check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl(),
+        "a visible pending update is IVL (completed in the linearization)"
+    );
+    assert!(
+        check_linearizable(&[BatchedCounterSpec], &h).is_linearizable(),
+        "and even linearizable (complete the pending update)"
+    );
+}
+
+/// A thread crashes after invoking but *before* applying: the pending
+/// update is invisible — equally legal (dropped from the
+/// linearization).
+#[test]
+fn crash_before_apply_leaves_invisible_pending_update() {
+    let counter = IvlBatchedCounter::new(2);
+    let rec = Recorder::<u64, (), u64>::new();
+
+    let _id = rec.invoke_update(ProcessId(0), ObjectId(0), 5);
+    // dies before counter.update_slot
+
+    let rid = rec.invoke_query(ProcessId(1), ObjectId(0), ());
+    let v = counter.read();
+    rec.respond_query(rid, v);
+
+    let h = rec.finish();
+    assert_eq!(v, 0);
+    assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+    assert!(check_linearizable(&[BatchedCounterSpec], &h).is_linearizable());
+}
+
+/// A real panicking thread: the panic unwinds out of the worker, the
+/// recorder is left with the pending op, and everything downstream
+/// still works (no poisoning of the recording path, well-formed
+/// history, checkers run).
+#[test]
+fn panicking_updater_is_absorbed() {
+    let counter = IvlBatchedCounter::new(4);
+    let rec = Recorder::<u64, (), u64>::new();
+
+    crossbeam::scope(|s| {
+        // Healthy updaters.
+        for slot in 1..3usize {
+            let counter = &counter;
+            let rec = &rec;
+            s.spawn(move |_| {
+                for _ in 0..100 {
+                    let id = rec.invoke_update(ProcessId(slot as u32), ObjectId(0), 1);
+                    counter.update_slot(slot, 1);
+                    rec.respond_update(id);
+                }
+            });
+        }
+        // The doomed one: dies mid-operation.
+        let counter = &counter;
+        let rec = &rec;
+        let doomed = s.spawn(move |_| {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let _id = rec.invoke_update(ProcessId(0), ObjectId(0), 7);
+                counter.update_slot(0, 7);
+                panic!("injected crash");
+            }));
+            assert!(result.is_err(), "the crash must fire");
+        });
+        doomed.join().unwrap();
+        // A reader races along.
+        s.spawn(move |_| {
+            for _ in 0..50 {
+                let id = rec.invoke_query(ProcessId(9), ObjectId(0), ());
+                let v = counter.read();
+                rec.respond_query(id, v);
+            }
+        });
+    })
+    .unwrap();
+
+    let h = rec.finish();
+    assert!(History::from_events(h.events().to_vec()).is_ok());
+    let pending = h.operations().iter().filter(|o| !o.is_complete()).count();
+    assert_eq!(pending, 1, "exactly the crashed op is pending");
+    assert!(check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());
+}
+
+/// Simulator flavour: cut an execution at every possible instant and
+/// check the truncated history — crash-stop of the whole world at an
+/// arbitrary point — is always IVL.
+#[test]
+fn world_stop_at_every_instant_is_ivl() {
+    use ivl_core::shmem::algorithms::IvlCounterSim;
+    use ivl_core::shmem::executor::SimCounterSpec;
+    use ivl_core::shmem::{Executor, Memory, RandomScheduler, SimOp, Workload};
+
+    let full_len = {
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, 3);
+        let w = vec![
+            Workload {
+                ops: vec![SimOp::Update(2), SimOp::Update(3)],
+            },
+            Workload {
+                ops: vec![SimOp::Query(0), SimOp::Query(0)],
+            },
+            Workload {
+                ops: vec![SimOp::Update(5)],
+            },
+        ];
+        let mut exec = Executor::new(mem, Box::new(obj), w, RandomScheduler::new(9));
+        exec.run().history.len()
+    };
+    for cutoff in 0..=full_len as u64 {
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, 3);
+        let w = vec![
+            Workload {
+                ops: vec![SimOp::Update(2), SimOp::Update(3)],
+            },
+            Workload {
+                ops: vec![SimOp::Query(0), SimOp::Query(0)],
+            },
+            Workload {
+                ops: vec![SimOp::Update(5)],
+            },
+        ];
+        let mut exec = Executor::new(mem, Box::new(obj), w, RandomScheduler::new(9));
+        let result = exec.run_bounded(cutoff);
+        assert!(
+            check_ivl_monotone(&SimCounterSpec, &result.history).is_ivl(),
+            "cutoff {cutoff}: truncated history violated IVL"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The correctness-criteria hierarchy of §3.4, checked empirically on
+//! generated histories:
+//!
+//! ```text
+//!            linearizable ⟹ IVL            (always)
+//!   regular-subset ⟹ IVL                   (monotone objects only)
+//!   IVL        ⇏ regular-subset            (intermediate values)
+//!   IVL        ⇏ linearizable              (Example 9 / Figure 2)
+//! ```
+
+use ivl_core::prelude::*;
+use ivl_spec::gen::{completed_queries, random_linearizable_history, GenConfig};
+use ivl_spec::relaxations::check_regular_subset;
+use ivl_spec::specs::BatchedCounterSpec;
+use rand::Rng;
+
+fn gen_history(seed: u64) -> History<u64, (), u64> {
+    random_linearizable_history(
+        &BatchedCounterSpec,
+        &GenConfig {
+            processes: 3,
+            ops_per_process: 2,
+            seed,
+            ..GenConfig::default()
+        },
+        |r| r.gen_range(1..=5u64),
+        |_| (),
+    )
+}
+
+/// Linearizable ⟹ IVL and ⟹ regular, across many generated histories.
+#[test]
+fn linearizable_implies_everything() {
+    for seed in 0..200 {
+        let h = gen_history(seed);
+        assert!(check_linearizable(&[BatchedCounterSpec], &h).is_linearizable());
+        assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+        assert!(
+            check_regular_subset(&BatchedCounterSpec, &h).is_regular(),
+            "seed {seed}: a linearizable counter history is regular (its \
+             linearization's concurrent prefix is the witnessing subset)"
+        );
+    }
+}
+
+/// The strictness witnesses: find (generate) histories separating each
+/// pair of criteria, proving the hierarchy is strict on this object.
+#[test]
+fn hierarchy_is_strict() {
+    // IVL but not linearizable and not regular: an intermediate value
+    // of a single batched update.
+    let mut b = HistoryBuilder::<u64, (), u64>::new();
+    let seed = b.invoke_update(ProcessId(0), ObjectId(0), 7);
+    b.respond_update(seed);
+    let inc = b.invoke_update(ProcessId(0), ObjectId(0), 3);
+    let q = b.invoke_query(ProcessId(1), ObjectId(0), ());
+    b.respond_query(q, 8);
+    b.respond_update(inc);
+    let h = b.finish();
+    assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+    assert!(!check_linearizable(&[BatchedCounterSpec], &h).is_linearizable());
+    assert!(!check_regular_subset(&BatchedCounterSpec, &h).is_regular());
+
+    // Regular and IVL but not linearizable: two same-process queries
+    // disagreeing about one concurrent update (Example 9's shape on
+    // the counter).
+    let mut b = HistoryBuilder::<u64, (), u64>::new();
+    let u = b.invoke_update(ProcessId(0), ObjectId(0), 5);
+    let q1 = b.invoke_query(ProcessId(1), ObjectId(0), ());
+    b.respond_query(q1, 5); // sees u
+    let q2 = b.invoke_query(ProcessId(1), ObjectId(0), ());
+    b.respond_query(q2, 0); // misses u
+    b.respond_update(u);
+    let h = b.finish();
+    assert!(check_regular_subset(&BatchedCounterSpec, &h).is_regular());
+    assert!(check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl());
+    assert!(!check_linearizable(&[BatchedCounterSpec], &h).is_linearizable());
+}
+
+/// Fuzzed separation census: across random perturbations of generated
+/// histories, count which criteria combinations occur and assert the
+/// implications hold pointwise. (Monotone object: regular ⟹ IVL must
+/// never be violated.)
+#[test]
+fn fuzzed_census_respects_implications() {
+    use ivl_spec::gen::with_query_return;
+    let mut seen_ivl_not_lin = false;
+    for seed in 0..400u64 {
+        let h = gen_history(seed);
+        let queries = completed_queries(&h);
+        let h = if let Some(&q) = queries.first() {
+            let cur = h
+                .operations()
+                .iter()
+                .find(|o| o.id == q)
+                .unwrap()
+                .return_value
+                .unwrap();
+            let delta = (seed % 7) as i64 - 3;
+            with_query_return(&h, q, cur.saturating_add_signed(delta))
+        } else {
+            h
+        };
+        let lin = check_linearizable(&[BatchedCounterSpec], &h).is_linearizable();
+        let ivl = check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl();
+        let reg = check_regular_subset(&BatchedCounterSpec, &h).is_regular();
+        if lin {
+            assert!(ivl, "seed {seed}: linearizable but not IVL");
+        }
+        if reg {
+            assert!(ivl, "seed {seed}: regular but not IVL on a monotone object");
+        }
+        if ivl && !lin {
+            seen_ivl_not_lin = true;
+        }
+    }
+    assert!(
+        seen_ivl_not_lin,
+        "the fuzz should exhibit IVL-but-not-linearizable histories"
+    );
+}

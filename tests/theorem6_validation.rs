@@ -1,0 +1,240 @@
+//! E8: Theorem 6 / Corollary 8 validation — the IVL parallelization
+//! `PCM` preserves CountMin's (ε,δ) bounds under concurrency, while
+//! the delegation-style sketch (regular-like staleness) violates the
+//! bound IVL guarantees.
+
+use ivl_core::prelude::*;
+use ivl_core::theorem6::{theorem6_run, Theorem6Config};
+use ivl_concurrent::delegation::DelegatedCountMin;
+use ivl_sketch::cm_spec::CountMinSpec;
+use ivl_sketch::countmin::CountMinParams;
+use ivl_spec::ivl::check_ivl_exact;
+use ivl_spec::IvlVerdict;
+
+/// Corollary 8 on PCM: the lower bound `f_a^start ≤ f̂_a` holds for
+/// every single query (CountMin's lower bound is deterministic), and
+/// upper violations stay within δ.
+#[test]
+fn pcm_preserves_error_bounds() {
+    let cfg = Theorem6Config {
+        threads: 4,
+        updates_per_thread: 40_000,
+        alphabet: 2_000,
+        zipf_s: 1.1,
+        queries: 2_000,
+        alpha: 0.005,
+        seed: 42,
+    };
+    let delta = 0.01;
+    let pcm = Pcm::for_bounds(cfg.alpha, delta, &mut CoinFlips::from_seed(7));
+    let report = theorem6_run(&pcm, &cfg);
+    assert_eq!(report.lower_violations, 0, "IVL forbids underestimates");
+    assert!(
+        report.upper_violation_rate() <= delta * 3.0,
+        "upper violation rate {} should be ≲ δ = {delta}",
+        report.upper_violation_rate()
+    );
+    assert_eq!(report.stream_len, 160_000);
+}
+
+/// The sharded IVL CountMin passes the same validation — a second,
+/// structurally different IVL implementation of the same spec.
+#[test]
+fn sharded_pcm_preserves_error_bounds() {
+    use ivl_concurrent::ShardedPcm;
+    let cfg = Theorem6Config {
+        threads: 4,
+        updates_per_thread: 30_000,
+        alphabet: 1_500,
+        zipf_s: 1.1,
+        queries: 1_500,
+        alpha: 0.005,
+        seed: 43,
+    };
+    let sharded = ShardedPcm::new(
+        CountMinParams::for_bounds(cfg.alpha, 0.01),
+        cfg.threads,
+        &mut CoinFlips::from_seed(8),
+    );
+    let report = theorem6_run(&sharded, &cfg);
+    assert_eq!(report.lower_violations, 0);
+    assert!(report.upper_violation_rate() <= 0.03);
+}
+
+/// The delegation sketch deterministically violates the IVL lower
+/// bound: a query issued after an update *completed* (but sits in a
+/// local buffer) underestimates — forbidden for any IVL
+/// implementation of CountMin.
+#[test]
+fn delegation_violates_ivl_lower_bound() {
+    let params = CountMinParams {
+        width: 256,
+        depth: 4,
+    };
+    let mut coins = CoinFlips::from_seed(9);
+    let dcm = DelegatedCountMin::new(params, 1_000, &mut coins);
+    let mut handle = dcm.handle();
+    for _ in 0..500 {
+        handle.update(7); // all 500 complete, none flushed
+    }
+    // A fresh, non-concurrent query after 500 *completed* updates:
+    let est = dcm.estimate(7);
+    assert!(est < 500, "the buffered sketch must miss completed updates");
+    assert_eq!(est, 0);
+    handle.flush();
+    assert_eq!(dcm.estimate(7), 500);
+}
+
+/// The same violation expressed as a recorded history rejected by the
+/// exact checker — connecting the systems observation back to
+/// Definition 2.
+#[test]
+fn delegation_history_rejected_by_checker() {
+    let params = CountMinParams { width: 8, depth: 2 };
+    let mut coins = CoinFlips::from_seed(11);
+    let proto = ivl_sketch::CountMin::new(params, &mut coins);
+    let spec = CountMinSpec::new(proto.clone());
+    let dcm = DelegatedCountMin::new(params, 100, &mut CoinFlips::from_seed(11));
+
+    let rec = Recorder::<u64, u64, u64>::new();
+    let mut handle = dcm.handle();
+    // Three completed (but buffered) updates of item 3.
+    for _ in 0..3 {
+        let id = rec.invoke_update(ProcessId(0), ObjectId(0), 3);
+        SketchHandle::update(&mut handle, 3);
+        rec.respond_update(id);
+    }
+    // A later, non-overlapping query.
+    let id = rec.invoke_query(ProcessId(1), ObjectId(0), 3);
+    let est = dcm.estimate(3);
+    rec.respond_query(id, est);
+    let h = rec.finish();
+    assert_eq!(est, 0);
+    assert_eq!(
+        check_ivl_exact(&[spec], &h),
+        IvlVerdict::NoLowerLinearization,
+        "regular-like staleness must fail IVL's lower bound"
+    );
+}
+
+/// Definition 5 in the formal domain: record a real PCM run, then
+/// have the checker evaluate `v_min − ε ≤ f̂ ≤ v_max + ε` per query
+/// against the *ideal* frequency spec (v_min/v_max from the extremal
+/// linearizations of the recorded history itself).
+#[test]
+fn definition5_checker_on_recorded_pcm_run() {
+    use ivl_spec::bounded::epsilon_bounded_report;
+    use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+
+    /// Exact frequencies over u64 items — the ideal `I` for CountMin.
+    #[derive(Clone, Copy, Debug)]
+    struct IdealFreq {
+        alphabet: u64,
+    }
+
+    impl ObjectSpec for IdealFreq {
+        type Update = u64;
+        type Query = u64;
+        type Value = u64;
+        type State = Vec<u64>;
+
+        fn initial_state(&self) -> Vec<u64> {
+            vec![0; self.alphabet as usize]
+        }
+
+        fn apply_update(&self, state: &mut Vec<u64>, update: &u64) {
+            state[*update as usize] += 1;
+        }
+
+        fn eval_query(&self, state: &Vec<u64>, query: &u64) -> u64 {
+            state[*query as usize]
+        }
+    }
+
+    impl MonotoneSpec for IdealFreq {}
+
+    let alpha = 0.01;
+    let alphabet = 64u64;
+    let params = CountMinParams::for_bounds(alpha, 0.01);
+    let pcm = Pcm::new(params, &mut CoinFlips::from_seed(5));
+    let rec = RecordedSketch::new(pcm);
+    let per_thread = 4_000u64;
+    let threads = 3u64;
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let mut h = rec.handle();
+            s.spawn(move |_| {
+                for k in 0..per_thread {
+                    h.update((t * 31 + k * 7) % alphabet);
+                }
+            });
+        }
+        let rec = &rec;
+        s.spawn(move |_| {
+            for k in 0..1_500u64 {
+                rec.query_from(1000, (k * 13) % alphabet);
+            }
+        });
+    })
+    .unwrap();
+    let h = rec.finish();
+    let n = (threads * per_thread) as f64;
+    let report = epsilon_bounded_report(&IdealFreq { alphabet }, &h, alpha * n, |v| *v as f64);
+    assert_eq!(
+        report.lower_violations(),
+        0,
+        "CountMin under-estimates are impossible under IVL"
+    );
+    assert!(
+        report.violation_rate() <= 0.03,
+        "Definition 5 violation rate {} too high",
+        report.violation_rate()
+    );
+}
+
+/// A coarse two-sided sanity check at quiescence: the concurrent
+/// sketch's estimates equal a sequential replay's (cell increments
+/// commute), so Theorem 6's conclusion is anchored to the sequential
+/// analysis.
+#[test]
+fn pcm_quiescent_estimates_match_sequential_bounds() {
+    use ivl_sketch::stream::ZipfStream;
+    use std::collections::HashMap;
+
+    let alpha = 0.01;
+    let delta = 0.02;
+    let mut coins = CoinFlips::from_seed(21);
+    let proto = ivl_sketch::CountMin::for_bounds(alpha, delta, &mut coins);
+    let pcm = Pcm::from_prototype(&proto);
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    let streams: Vec<Vec<u64>> = (0..4)
+        .map(|t| ZipfStream::new(1_000, 1.2, 100 + t).take(25_000).collect())
+        .collect();
+    for s in &streams {
+        for &item in s {
+            *truth.entry(item).or_default() += 1;
+        }
+    }
+    crossbeam::scope(|s| {
+        for stream in &streams {
+            let pcm = &pcm;
+            s.spawn(move |_| {
+                for &item in stream {
+                    pcm.update(item);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let n: u64 = truth.values().sum();
+    let eps = (alpha * n as f64).ceil() as u64;
+    let failures = truth
+        .iter()
+        .filter(|(&a, &f)| {
+            let est = pcm.estimate(a);
+            est < f || est > f + eps
+        })
+        .count();
+    let rate = failures as f64 / truth.len() as f64;
+    assert!(rate <= delta * 2.0, "failure rate {rate} >> δ {delta}");
+}
