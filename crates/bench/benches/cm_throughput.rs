@@ -53,8 +53,7 @@ fn bench_ingest(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for k in 0..iters {
-                        total +=
-                            sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                        total += sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
                     }
                     total
                 });
@@ -68,8 +67,7 @@ fn bench_ingest(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for k in 0..iters {
-                        total +=
-                            sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                        total += sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
                     }
                     total
                 });
@@ -79,13 +77,11 @@ fn bench_ingest(c: &mut Criterion) {
             BenchmarkId::new("delegation", threads),
             &threads,
             |b, &threads| {
-                let sketch =
-                    DelegatedCountMin::new(params(), 128, &mut CoinFlips::from_seed(1));
+                let sketch = DelegatedCountMin::new(params(), 128, &mut CoinFlips::from_seed(1));
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for k in 0..iters {
-                        total +=
-                            sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                        total += sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
                     }
                     total
                 });
@@ -103,8 +99,7 @@ fn bench_ingest(c: &mut Criterion) {
                         // 20k-updates batch it times).
                         let sketch =
                             ShardedPcm::new(params(), threads, &mut CoinFlips::from_seed(1));
-                        total +=
-                            sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
+                        total += sketch_update_batch(&sketch, threads, OPS_PER_THREAD, ALPHABET, k);
                     }
                     total
                 });
@@ -127,8 +122,7 @@ fn bench_mixed(c: &mut Criterion) {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for k in 0..iters {
-                total +=
-                    sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
+                total += sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
             }
             total
         });
@@ -138,8 +132,7 @@ fn bench_mixed(c: &mut Criterion) {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for k in 0..iters {
-                total +=
-                    sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
+                total += sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
             }
             total
         });
@@ -149,8 +142,7 @@ fn bench_mixed(c: &mut Criterion) {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for k in 0..iters {
-                total +=
-                    sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
+                total += sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
             }
             total
         });
@@ -160,8 +152,7 @@ fn bench_mixed(c: &mut Criterion) {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for k in 0..iters {
-                total +=
-                    sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
+                total += sketch_mixed_batch(&sketch, threads, OPS_PER_THREAD, queries, ALPHABET, k);
             }
             total
         });
@@ -193,11 +184,9 @@ fn bench_sharded_query_cost(c: &mut Criterion) {
             let mut h = sketch.handle();
             h.update(7);
         }
-        group.bench_with_input(
-            BenchmarkId::new("sharded", shards),
-            &shards,
-            |b, _| b.iter(|| std::hint::black_box(sketch.estimate(7))),
-        );
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, _| {
+            b.iter(|| std::hint::black_box(sketch.estimate(7)))
+        });
     }
     group.finish();
 }

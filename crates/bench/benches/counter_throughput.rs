@@ -24,22 +24,22 @@ fn bench_updates(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
-    for threads in [1usize, 2, 4, max_threads].iter().copied().collect::<std::collections::BTreeSet<_>>() {
+    for threads in [1usize, 2, 4, max_threads]
+        .iter()
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         group.throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
-        group.bench_with_input(
-            BenchmarkId::new("ivl", threads),
-            &threads,
-            |b, &threads| {
-                let counter = IvlBatchedCounter::new(threads);
-                b.iter_custom(|iters| {
-                    let mut total = Duration::ZERO;
-                    for _ in 0..iters {
-                        total += counter_update_batch(&counter, threads, OPS_PER_THREAD, 1);
-                    }
-                    total
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ivl", threads), &threads, |b, &threads| {
+            let counter = IvlBatchedCounter::new(threads);
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += counter_update_batch(&counter, threads, OPS_PER_THREAD, 1);
+                }
+                total
+            });
+        });
         group.bench_with_input(
             BenchmarkId::new("fetch_add", threads),
             &threads,
@@ -78,8 +78,8 @@ fn bench_updates(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for _ in 0..iters {
-                        total += counter_update_batch(&counter, threads, OPS_PER_THREAD / 20, 1)
-                            * 20;
+                        total +=
+                            counter_update_batch(&counter, threads, OPS_PER_THREAD / 20, 1) * 20;
                     }
                     total
                 });
@@ -103,15 +103,11 @@ fn bench_reads(c: &mut Criterion) {
             }
             b.iter(|| std::hint::black_box(counter.read()));
         });
-        group.bench_with_input(
-            BenchmarkId::new("fetch_add", slots),
-            &slots,
-            |b, &slots| {
-                let counter = FetchAddCounter::new(slots);
-                counter.update_slot(0, 1);
-                b.iter(|| std::hint::black_box(counter.read()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fetch_add", slots), &slots, |b, &slots| {
+            let counter = FetchAddCounter::new(slots);
+            counter.update_slot(0, 1);
+            b.iter(|| std::hint::black_box(counter.read()));
+        });
     }
     group.finish();
 }

@@ -24,8 +24,10 @@ fn bench_updates(c: &mut Criterion) {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for k in 0..iters {
-                let mut cm =
-                    CountMin::new(CountMinParams::for_bounds(0.001, 0.01), &mut CoinFlips::from_seed(k));
+                let mut cm = CountMin::new(
+                    CountMinParams::for_bounds(0.001, 0.01),
+                    &mut CoinFlips::from_seed(k),
+                );
                 let items: Vec<u64> = ZipfStream::new(10_000, 1.1, k).take(N as usize).collect();
                 let start = std::time::Instant::now();
                 for &i in &items {

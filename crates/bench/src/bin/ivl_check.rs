@@ -64,8 +64,7 @@ where
     S::Update: std::str::FromStr + Debug,
     S::Value: std::str::FromStr + Debug + std::fmt::Display,
 {
-    let h: History<S::Update, u64, S::Value> =
-        parse_history(text).map_err(|e| e.to_string())?;
+    let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
     println!("{}", render_timeline(&h));
     let lin = check_linearizable(std::slice::from_ref(&spec), &h);
     println!("linearizable : {}", lin.is_linearizable());
@@ -91,8 +90,7 @@ where
     S::Update: std::str::FromStr + Debug,
     S::Value: std::str::FromStr + Debug,
 {
-    let h: History<S::Update, u64, S::Value> =
-        parse_history(text).map_err(|e| e.to_string())?;
+    let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
     println!("{}", render_timeline(&h));
     let lin = check_linearizable(std::slice::from_ref(&spec), &h);
     println!("linearizable : {}", lin.is_linearizable());

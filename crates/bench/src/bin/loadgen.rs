@@ -1,0 +1,240 @@
+//! `loadgen`: multi-threaded load generator for `ivl-service`.
+//!
+//! ```text
+//! usage: loadgen [--threads N] [--ops N] [--keys N] [--queries N]
+//!                [--batch N] [--shards N] [--no-check]
+//! ```
+//!
+//! Boots an in-process recording server, hammers it over real TCP with
+//! `--threads` ingest connections (Zipf keys, batched frames) plus one
+//! querying connection, prints throughput and the server's own STATS
+//! view, then drains and replays the recorded history through the IVL
+//! checkers: the monotone interval checker over the full run, and the
+//! exact (exponential) checker over a second, small run that fits
+//! under its operation limit. Exit status 2 if any check fails.
+
+use ivl_bench::{mops, timed_scope, Worker};
+use ivl_service::server::{serve, ServerConfig};
+use ivl_service::{Client, ClientError, ErrorCode};
+use ivl_sketch::stream::ZipfStream;
+use ivl_spec::ivl::{check_ivl_exact, check_ivl_monotone};
+use ivl_spec::linearize::MAX_EXACT_OPS;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Opts {
+    threads: usize,
+    ops: u64,
+    keys: usize,
+    queries: u64,
+    batch: usize,
+    shards: usize,
+    check: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            threads: 4,
+            ops: 20_000,
+            keys: 512,
+            queries: 2_000,
+            batch: 32,
+            shards: 8,
+            check: true,
+        }
+    }
+}
+
+fn parse() -> Option<Opts> {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next()?.parse::<u64>().ok();
+        match arg.as_str() {
+            "--threads" => o.threads = val()? as usize,
+            "--ops" => o.ops = val()?,
+            "--keys" => o.keys = (val()? as usize).max(2),
+            "--queries" => o.queries = val()?,
+            "--batch" => o.batch = (val()? as usize).clamp(1, 4096),
+            "--shards" => o.shards = val()? as usize,
+            "--no-check" => o.check = false,
+            _ => return None,
+        }
+    }
+    Some(o)
+}
+
+/// One ingest connection: `ops` weighted updates in `batch`-sized
+/// frames over Zipf-distributed keys. A `busy` answer (more ingest
+/// connections than shards) is backpressure, not failure: back off and
+/// retry until a peer hangs up and frees its shard lease.
+fn ingest_client(addr: std::net::SocketAddr, ops: u64, keys: usize, batch: usize, seed: u64) {
+    let mut client = Client::connect(addr).expect("connect ingest");
+    let mut stream = ZipfStream::new(keys, 1.1, seed);
+    let mut pending = Vec::with_capacity(batch);
+    let mut sent = 0u64;
+    while sent < ops {
+        pending.clear();
+        while pending.len() < batch && sent < ops {
+            let key = stream.next_item();
+            pending.push((key, 1 + key % 3));
+            sent += 1;
+        }
+        loop {
+            match client.batch(&pending) {
+                Ok(_) => break,
+                Err(ClientError::Server {
+                    code: ErrorCode::Busy,
+                    ..
+                }) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                Err(e) => panic!("batch failed: {e}"),
+            }
+        }
+    }
+}
+
+fn run_load(o: &Opts) -> Result<(), String> {
+    let cfg = ServerConfig {
+        shards: o.shards,
+        record: o.check,
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
+    let addr = handle.addr();
+    let params = handle.params();
+    println!(
+        "server on {addr} — {} shards, width {}, depth {} (alpha {:.4}, delta {:.4})",
+        o.shards,
+        params.width,
+        params.depth,
+        params.alpha(),
+        params.delta()
+    );
+
+    let mut workers: Vec<Worker<'_>> = (0..o.threads)
+        .map(|t| -> Worker<'_> {
+            let (ops, keys, batch) = (o.ops, o.keys, o.batch);
+            Box::new(move || ingest_client(addr, ops, keys, batch, 0x10ad ^ t as u64))
+        })
+        .collect();
+    let (queries, keys) = (o.queries, o.keys);
+    workers.push(Box::new(move || {
+        let mut client = Client::connect(addr).expect("connect querier");
+        let mut stream = ZipfStream::new(keys, 1.1, 0xbeef);
+        for _ in 0..queries {
+            let env = client.query(stream.next_item()).expect("query answered");
+            assert!(
+                env.estimate >= env.lower_bound(),
+                "inconsistent envelope: {env:?}"
+            );
+        }
+    }));
+    let wall = timed_scope(workers);
+
+    let total_updates = o.ops * o.threads as u64;
+    println!(
+        "load: {} updates + {} queries over {} conns in {:.3}s — {:.2} Mops/s end-to-end",
+        total_updates,
+        o.queries,
+        o.threads + 1,
+        wall.as_secs_f64(),
+        mops(total_updates + o.queries, wall)
+    );
+    let s = handle.stats();
+    println!(
+        "stats: {} updates, {} queries, {} batches, stream {}, \
+         update p50/p99 {}/{} ns, query p50/p99 {}/{} ns",
+        s.updates,
+        s.queries,
+        s.batches,
+        s.stream_len,
+        s.update_p50_ns,
+        s.update_p99_ns,
+        s.query_p50_ns,
+        s.query_p99_ns
+    );
+    if s.updates != total_updates {
+        return Err(format!(
+            "server counted {} updates, loadgen sent {total_updates}",
+            s.updates
+        ));
+    }
+
+    let joined = handle.join();
+    if o.check {
+        let history = joined.history.expect("recording was on");
+        let events = history.events().len();
+        let t0 = Instant::now();
+        let verdict = check_ivl_monotone(&joined.spec, &history);
+        println!(
+            "IVL (monotone interval checker): {} over {events} events in {:.3}s",
+            verdict.is_ivl(),
+            t0.elapsed().as_secs_f64()
+        );
+        if !verdict.is_ivl() {
+            return Err("recorded serving history is not IVL".into());
+        }
+    }
+    Ok(())
+}
+
+/// A second, tiny run whose history fits the exact checker's bound.
+fn run_exact_check() -> Result<(), String> {
+    let cfg = ServerConfig {
+        shards: 2,
+        record: true,
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
+    let addr = handle.addr();
+    let workers: Vec<Worker<'_>> = (0..2)
+        .map(|t| -> Worker<'_> {
+            Box::new(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..8u64 {
+                    client.update(i % 3, 1 + t).expect("update");
+                }
+                for key in 0..3u64 {
+                    client.query(key).expect("query");
+                }
+            })
+        })
+        .collect();
+    timed_scope(workers);
+    let joined = handle.join();
+    let history = joined.history.expect("recording was on");
+    let ops = history.operations().len();
+    assert!(ops <= MAX_EXACT_OPS, "exact-check run too large: {ops} ops");
+    let verdict = check_ivl_exact(std::slice::from_ref(&joined.spec), &history);
+    println!("IVL (exact checker): {} over {ops} ops", verdict.is_ivl());
+    if verdict.is_ivl() {
+        Ok(())
+    } else {
+        Err("small serving history fails the exact IVL check".into())
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse() else {
+        eprintln!(
+            "usage: loadgen [--threads N] [--ops N] [--keys N] [--queries N] \
+             [--batch N] [--shards N] [--no-check]"
+        );
+        return ExitCode::from(1);
+    };
+    let outcome = run_load(&opts).and_then(|()| {
+        if opts.check {
+            run_exact_check()
+        } else {
+            Ok(())
+        }
+    });
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("FAILED: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -54,9 +54,16 @@ fn e7_violation_frequency() {
         );
     }
     println!("scheduler bias (400 runs, updater:querier weights):");
-    for (w, label) in [([1u32, 1], "1:1 balanced"), ([1, 4], "1:4 updater-starved"), ([4, 1], "4:1 querier-starved")] {
+    for (w, label) in [
+        ([1u32, 1], "1:1 balanced"),
+        ([1, 4], "1:4 updater-starved"),
+        ([4, 1], "4:1 querier-starved"),
+    ] {
         let v = example9_violation_count_biased(400, w);
-        println!("  {label:<20} {v:>4} non-linearizable ({:.1}%)", 100.0 * v as f64 / 400.0);
+        println!(
+            "  {label:<20} {v:>4} non-linearizable ({:.1}%)",
+            100.0 * v as f64 / 400.0
+        );
     }
     e7_exact_census();
     println!();
@@ -153,7 +160,9 @@ fn e13_sequential_errors() {
     let alphabet = 5_000;
 
     // Ground truth stream.
-    let items: Vec<u64> = ZipfStream::new(alphabet, 1.1, 99).take(n as usize).collect();
+    let items: Vec<u64> = ZipfStream::new(alphabet, 1.1, 99)
+        .take(n as usize)
+        .collect();
     let mut truth: HashMap<u64, u64> = HashMap::new();
     for &i in &items {
         *truth.entry(i).or_default() += 1;

@@ -149,7 +149,11 @@ mod tests {
         for _ in 0..5 {
             h.update(3); // below batch: still buffered
         }
-        assert_eq!(cm.estimate(3), 0, "completed updates invisible — the §3.4 hazard");
+        assert_eq!(
+            cm.estimate(3),
+            0,
+            "completed updates invisible — the §3.4 hazard"
+        );
         h.flush();
         assert_eq!(cm.estimate(3), 5);
     }

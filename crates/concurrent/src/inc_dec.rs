@@ -38,7 +38,9 @@ impl RegularIncDec {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one slot");
         RegularIncDec {
-            slots: (0..n).map(|_| CachePadded::new(AtomicI64::new(0))).collect(),
+            slots: (0..n)
+                .map(|_| CachePadded::new(AtomicI64::new(0)))
+                .collect(),
         }
     }
 

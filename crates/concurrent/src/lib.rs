@@ -51,7 +51,7 @@ pub use morris_conc::ConcurrentMorris;
 pub use pcm::Pcm;
 pub use rank_conc::ConcurrentHistogram;
 pub use recorded::RecordedSketch;
-pub use sharded::ShardedPcm;
+pub use sharded::{ShardLease, ShardedPcm};
 
 /// A concurrent point-frequency sketch usable through per-thread
 /// handles.

@@ -53,12 +53,9 @@ impl ConcurrentMorris {
         let heads = self.coins.lock().next_bool(p);
         if heads {
             // One shot: a failure means someone else advanced X.
-            let _ = self.exponent.compare_exchange(
-                x,
-                x + 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
+            let _ = self
+                .exponent
+                .compare_exchange(x, x + 1, Ordering::AcqRel, Ordering::Acquire);
         }
     }
 

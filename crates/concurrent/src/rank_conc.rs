@@ -72,8 +72,7 @@ impl ConcurrentHistogram {
     pub fn snapshot(&self) -> Histogram {
         let mut h = Histogram::new(self.domain, self.buckets.len());
         for (i, c) in self.buckets.iter().enumerate() {
-            let left_edge =
-                (i as u128 * self.domain as u128 / self.buckets.len() as u128) as u64;
+            let left_edge = (i as u128 * self.domain as u128 / self.buckets.len() as u128) as u64;
             for _ in 0..c.load(Ordering::Acquire) {
                 // Representative insertion at the bucket's left edge;
                 // count-preserving because buckets are count-only.

@@ -143,10 +143,7 @@ mod tests {
     #[test]
     fn handles_get_distinct_processes() {
         let mut coins = CoinFlips::from_seed(1);
-        let rec = RecordedSketch::new(Pcm::new(
-            CountMinParams { width: 8, depth: 2 },
-            &mut coins,
-        ));
+        let rec = RecordedSketch::new(Pcm::new(CountMinParams { width: 8, depth: 2 }, &mut coins));
         let h1 = rec.handle();
         let h2 = rec.handle();
         assert_ne!(h1.process(), h2.process());

@@ -23,7 +23,7 @@ use crate::{ConcurrentSketch, SketchHandle};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hash::PairwiseHash;
 use ivl_sketch::CoinFlips;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A sharded concurrent CountMin (one sub-matrix per handle).
 ///
@@ -55,7 +55,13 @@ pub struct ShardedPcm {
     hashes: Vec<PairwiseHash>,
     /// `shards[s][row * width + col]`.
     shards: Vec<Vec<AtomicU64>>,
-    next_shard: AtomicUsize,
+    /// Single-writer ownership flags, one per shard. [`handle`]
+    /// acquires a shard permanently; [`ShardedPcm::lease`] returns it
+    /// on drop so serving layers can recycle shards across
+    /// connections.
+    ///
+    /// [`handle`]: ConcurrentSketch::handle
+    in_use: Vec<AtomicBool>,
 }
 
 impl ShardedPcm {
@@ -78,7 +84,7 @@ impl ShardedPcm {
                         .collect()
                 })
                 .collect(),
-            next_shard: AtomicUsize::new(0),
+            in_use: (0..shards).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -106,7 +112,7 @@ impl ShardedPcm {
                         .collect()
                 })
                 .collect(),
-            next_shard: AtomicUsize::new(0),
+            in_use: (0..shards).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -118,6 +124,27 @@ impl ShardedPcm {
     /// The sketch dimensions.
     pub fn params(&self) -> CountMinParams {
         self.params
+    }
+
+    /// Claims the lowest free shard, or `None` when all are taken.
+    fn acquire_free_shard(&self) -> Option<usize> {
+        self.in_use
+            .iter()
+            .position(|flag| !flag.swap(true, Ordering::AcqRel))
+    }
+
+    /// Checks out a free shard as a droppable single-writer lease, or
+    /// returns `None` when every shard is busy. Unlike
+    /// [`ConcurrentSketch::handle`] (which owns its shard forever), a
+    /// lease returns the shard to the free pool on drop — the shape a
+    /// serving layer needs to hand shards to connections that come and
+    /// go. Leases and permanent handles draw from the same pool, so
+    /// the single-writer invariant holds across both.
+    pub fn lease(&self) -> Option<ShardLease<'_>> {
+        self.acquire_free_shard().map(|shard| ShardLease {
+            parent: self,
+            shard,
+        })
     }
 
     #[inline]
@@ -173,22 +200,58 @@ impl SketchHandle for ShardHandle<'_> {
     }
 }
 
+/// A single-writer shard checkout that returns its shard to the free
+/// pool on drop (see [`ShardedPcm::lease`]).
+#[derive(Debug)]
+pub struct ShardLease<'a> {
+    parent: &'a ShardedPcm,
+    shard: usize,
+}
+
+impl ShardLease<'_> {
+    /// The shard this lease owns.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Batched update: `count` occurrences at once (one store per row
+    /// regardless of `count`).
+    pub fn update_by(&mut self, item: u64, count: u64) {
+        let m = &self.parent.shards[self.shard];
+        for row in 0..self.parent.params.depth {
+            let off = self.parent.cell_offset(row, item);
+            let cell = &m[off];
+            let cur = cell.load(Ordering::Relaxed);
+            cell.store(cur + count, Ordering::Release);
+        }
+    }
+}
+
+impl SketchHandle for ShardLease<'_> {
+    fn update(&mut self, item: u64) {
+        self.update_by(item, 1);
+    }
+}
+
+impl Drop for ShardLease<'_> {
+    fn drop(&mut self) {
+        self.parent.in_use[self.shard].store(false, Ordering::Release);
+    }
+}
+
 impl ConcurrentSketch for ShardedPcm {
     type Handle<'a> = ShardHandle<'a>;
 
-    /// Hands out shards round-robin.
+    /// Hands out the lowest free shard, permanently.
     ///
     /// # Panics
     ///
     /// Panics when more handles are requested than shards exist —
     /// two handles on one shard would break the single-writer cells.
     fn handle(&self) -> ShardHandle<'_> {
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed);
-        assert!(
-            shard < self.shards.len(),
-            "more handles requested than shards ({})",
-            self.shards.len()
-        );
+        let shard = self.acquire_free_shard().unwrap_or_else(|| {
+            panic!("more handles requested than shards ({})", self.shards.len())
+        });
         ShardHandle {
             parent: self,
             shard,
@@ -282,6 +345,37 @@ mod tests {
         let sharded = ShardedPcm::new(params(), 1, &mut coins);
         let _h1 = sharded.handle();
         let _h2 = sharded.handle();
+    }
+
+    #[test]
+    fn leases_recycle_shards() {
+        let mut coins = CoinFlips::from_seed(6);
+        let sharded = ShardedPcm::new(params(), 2, &mut coins);
+        {
+            let mut a = sharded.lease().expect("shard 0 free");
+            let mut b = sharded.lease().expect("shard 1 free");
+            assert_ne!(a.shard(), b.shard());
+            assert!(sharded.lease().is_none(), "pool exhausted");
+            a.update_by(3, 10);
+            b.update_by(3, 5);
+        }
+        // Both leases dropped: the pool refills and writes persist.
+        assert_eq!(sharded.estimate(3), 15);
+        let c = sharded.lease().expect("returned to pool");
+        assert_eq!(c.shard(), 0, "lowest shard first");
+    }
+
+    #[test]
+    fn leases_and_handles_share_the_pool() {
+        let mut coins = CoinFlips::from_seed(7);
+        let sharded = ShardedPcm::new(params(), 2, &mut coins);
+        let h = sharded.handle();
+        let l = sharded.lease().expect("one shard left");
+        assert_ne!(h.shard(), l.shard());
+        assert!(sharded.lease().is_none());
+        drop(l);
+        // The handle's shard is permanent; the lease's shard returns.
+        assert_eq!(sharded.lease().expect("lease shard free").shard(), 1);
     }
 
     #[test]

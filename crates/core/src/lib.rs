@@ -16,6 +16,7 @@
 //! | [`sketch`] (ivl-sketch) | sequential (ε,δ)-bounded sketches: CountMin, CountSketch, Morris, HLL, SpaceSaving, GK quantiles |
 //! | [`counter`] (ivl-counter) | real-thread batched counters: IVL (Algorithm 2) + linearizable baselines |
 //! | [`concurrent`] (ivl-concurrent) | `PCM` (§5) + locked/delegation baselines, concurrent Morris/HLL |
+//! | [`service`] (ivl-service) | sharded sketch-serving TCP subsystem with IVL error envelopes |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub mod theorem6;
 
 pub use ivl_concurrent as concurrent;
 pub use ivl_counter as counter;
+pub use ivl_service as service;
 pub use ivl_shmem as shmem;
 pub use ivl_sketch as sketch;
 pub use ivl_spec as spec;
@@ -52,13 +54,14 @@ pub use ivl_spec as spec;
 pub mod prelude {
     pub use crate::theorem6::{counter_envelope_run, theorem6_run, EnvelopeReport, Theorem6Report};
     pub use ivl_concurrent::{
-        ConcurrentHll, ConcurrentMorris, ConcurrentSketch, DelegatedCountMin, MutexCountMin,
-        Pcm, RecordedSketch, SketchHandle, SnapshotCountMin,
+        ConcurrentHll, ConcurrentMorris, ConcurrentSketch, DelegatedCountMin, MutexCountMin, Pcm,
+        RecordedSketch, SketchHandle, SnapshotCountMin,
     };
     pub use ivl_counter::{
         BinarySnapshot, FetchAddCounter, IvlBatchedCounter, MutexBatchedCounter, RecordedCounter,
         SharedBatchedCounter, SnapshotBatchedCounter, ThresholdMonitor,
     };
+    pub use ivl_service::{Client, Envelope, ServerConfig, StatsReport, WeightedCmSpec};
     pub use ivl_sketch::{
         CoinFlips, CountMin, CountMinParams, CountSketch, FrequencySketch, GkQuantiles,
         HyperLogLog, MorrisCounter, SpaceSaving,

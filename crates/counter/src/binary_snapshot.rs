@@ -134,7 +134,11 @@ mod tests {
             for i in 0..3 {
                 bs.update(i, 1 - bit);
             }
-            let expect = if bit == 0 { vec![1, 1, 1] } else { vec![0, 0, 0] };
+            let expect = if bit == 0 {
+                vec![1, 1, 1]
+            } else {
+                vec![0, 0, 0]
+            };
             assert_eq!(bs.scan(), expect, "round {round}");
         }
     }

@@ -34,7 +34,9 @@ impl IvlBatchedCounter {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one slot");
         IvlBatchedCounter {
-            slots: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            slots: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             handles_taken: AtomicBool::new(false),
         }
     }
@@ -109,10 +111,7 @@ impl SharedBatchedCounter for IvlBatchedCounter {
     /// read started, at most its value (including pending updates)
     /// when it returns.
     fn read(&self) -> u64 {
-        self.slots
-            .iter()
-            .map(|s| s.load(Ordering::Acquire))
-            .sum()
+        self.slots.iter().map(|s| s.load(Ordering::Acquire)).sum()
     }
 }
 

@@ -3,8 +3,7 @@
 //! histories across random shapes, and the envelope invariant.
 
 use ivl_counter::{
-    FetchAddCounter, IvlBatchedCounter, MutexBatchedCounter, RecordedCounter,
-    SharedBatchedCounter,
+    FetchAddCounter, IvlBatchedCounter, MutexBatchedCounter, RecordedCounter, SharedBatchedCounter,
 };
 use ivl_spec::check_ivl_monotone;
 use ivl_spec::specs::BatchedCounterSpec;

@@ -1,0 +1,108 @@
+//! `ivl_client`: one-shot commands against a running `ivl_serve`.
+//!
+//! ```text
+//! usage: ivl_client <addr> <command> [args]
+//!   update <key> <weight>     ingest weight occurrences of key
+//!   query <key>               estimate + IVL error envelope
+//!   batch <key:weight> ...    many updates in one frame
+//!   stats                     server counters and latency quantiles
+//!   shutdown                  drain the server
+//! ```
+
+use ivl_service::client::Client;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ivl_client <addr> <update <key> <weight> | query <key> | \
+         batch <key:weight>... | stats | shutdown>"
+    );
+    ExitCode::from(1)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut client = Client::connect(&args[0]).map_err(|e| e.to_string())?;
+    match (args[1].as_str(), &args[2..]) {
+        ("update", [key, weight]) => {
+            let applied = client
+                .update(
+                    key.parse().map_err(|_| "bad key")?,
+                    weight.parse().map_err(|_| "bad weight")?,
+                )
+                .map_err(|e| e.to_string())?;
+            println!("ack: {applied} updates applied on this connection");
+        }
+        ("query", [key]) => {
+            let env = client
+                .query(key.parse().map_err(|_| "bad key")?)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "key {}: estimate {} (true frequency in [{}, {}] w.p. >= {:.3}; \
+                 epsilon {} = ceil({:.4} * {}))",
+                env.key,
+                env.estimate,
+                env.lower_bound(),
+                env.upper_bound(),
+                1.0 - env.delta,
+                env.epsilon,
+                env.alpha,
+                env.stream_len
+            );
+        }
+        ("batch", items) if !items.is_empty() => {
+            let mut pairs = Vec::with_capacity(items.len());
+            for item in items {
+                let (k, w) = item.split_once(':').ok_or("batch items are key:weight")?;
+                pairs.push((
+                    k.parse().map_err(|_| "bad key")?,
+                    w.parse().map_err(|_| "bad weight")?,
+                ));
+            }
+            let applied = client.batch(&pairs).map_err(|e| e.to_string())?;
+            println!("ack: {applied} updates applied on this connection");
+        }
+        ("stats", []) => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "connections: {} accepted, {} rejected, {} active\n\
+                 operations : {} updates, {} queries, {} batches, \
+                 {} protocol errors, {} busy rejections\n\
+                 stream     : {} total weight\n\
+                 latency    : update p50/p99 {}/{} ns, query p50/p99 {}/{} ns",
+                s.accepted,
+                s.rejected,
+                s.active,
+                s.updates,
+                s.queries,
+                s.batches,
+                s.protocol_errors,
+                s.busy_rejections,
+                s.stream_len,
+                s.update_p50_ns,
+                s.update_p99_ns,
+                s.query_p50_ns,
+                s.query_p99_ns
+            );
+        }
+        ("shutdown", []) => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server draining");
+        }
+        _ => return Err("unknown command".into()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

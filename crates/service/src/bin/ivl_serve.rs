@@ -1,0 +1,106 @@
+//! `ivl_serve`: run a sketch server until a client sends `SHUTDOWN`.
+//!
+//! ```text
+//! usage: ivl_serve [addr] [--shards N] [--alpha A] [--delta D]
+//!                  [--max-conns N] [--record]
+//!   addr         listen address (default 127.0.0.1:7070; port 0 picks one)
+//!   --shards     sketch shards == max concurrent ingest connections (8)
+//!   --alpha      CountMin relative error (0.005)
+//!   --delta      CountMin failure probability (0.01)
+//!   --max-conns  connection limit (64)
+//!   --record     record the full history and check it IVL on drain
+//! ```
+
+use ivl_service::server::{serve, ServerConfig};
+use ivl_spec::ivl::check_ivl_monotone;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ivl_serve [addr] [--shards N] [--alpha A] [--delta D] \
+         [--max-conns N] [--record]"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7070".to_owned();
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("{what} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--shards" => match take("--shards").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.shards = v,
+                None => return usage(),
+            },
+            "--alpha" => match take("--alpha").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.alpha = v,
+                None => return usage(),
+            },
+            "--delta" => match take("--delta").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.delta = v,
+                None => return usage(),
+            },
+            "--max-conns" => match take("--max-conns").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_connections = v,
+                None => return usage(),
+            },
+            "--record" => cfg.record = true,
+            "--help" | "-h" => return usage(),
+            other if !other.starts_with('-') => addr = other.to_owned(),
+            _ => return usage(),
+        }
+    }
+    let handle = match serve(&addr, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let params = handle.params();
+    println!(
+        "ivl_serve listening on {} (width {}, depth {}, alpha {:.4}, delta {:.4})",
+        handle.addr(),
+        params.width,
+        params.depth,
+        params.alpha(),
+        params.delta()
+    );
+    handle.wait_for_shutdown();
+    let joined = handle.join();
+    let s = joined.stats;
+    println!(
+        "drained: {} conns ({} rejected), {} updates, {} queries, {} batches, \
+         stream {}, update p50/p99 {}/{} ns, query p50/p99 {}/{} ns",
+        s.accepted,
+        s.rejected,
+        s.updates,
+        s.queries,
+        s.batches,
+        s.stream_len,
+        s.update_p50_ns,
+        s.update_p99_ns,
+        s.query_p50_ns,
+        s.query_p99_ns
+    );
+    if let Some(history) = joined.history {
+        let verdict = check_ivl_monotone(&joined.spec, &history);
+        println!(
+            "recorded history: {} events, IVL: {}",
+            history.events().len(),
+            verdict.is_ivl()
+        );
+        if !verdict.is_ivl() {
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

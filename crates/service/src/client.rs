@@ -1,0 +1,136 @@
+//! Blocking client for the sketch service.
+//!
+//! One request in flight at a time (lockstep request/response); use
+//! [`Client::batch`] to amortize round trips, or several clients for
+//! concurrency — the server shards per connection.
+
+use crate::envelope::Envelope;
+use crate::metrics::StatsReport;
+use crate::protocol::{self, ErrorCode, Request, Response, WireError};
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or writing failed.
+    Io(io::Error),
+    /// The response stream did not parse.
+    Wire(WireError),
+    /// The server refused the request.
+    Server {
+        /// Refusal class (retry on [`ErrorCode::Busy`]).
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with a well-formed but unexpected frame.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server refused ({code}): {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to an `ivl-service` server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            buf: Vec::new(),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.buf.clear();
+        req.encode(&mut self.buf);
+        self.writer.write_all(&self.buf)?;
+        let payload = protocol::read_frame(&mut self.reader, protocol::DEFAULT_MAX_FRAME_LEN)?
+            .ok_or(ClientError::Wire(WireError::Truncated))?;
+        let rsp = Response::decode(&payload)?;
+        if let Response::Error { code, message } = rsp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(rsp)
+    }
+
+    /// Ingests `weight` occurrences of `key`; returns the connection's
+    /// cumulative applied-update count.
+    pub fn update(&mut self, key: u64, weight: u64) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Update { key, weight })? {
+            Response::Ack { applied } => Ok(applied),
+            _ => Err(ClientError::Unexpected("wanted ACK")),
+        }
+    }
+
+    /// Ingests many pairs under one frame (at most
+    /// [`protocol::MAX_BATCH_ITEMS`]); returns the cumulative
+    /// applied-update count.
+    pub fn batch(&mut self, items: &[(u64, u64)]) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Batch(items.to_vec()))? {
+            Response::Ack { applied } => Ok(applied),
+            _ => Err(ClientError::Unexpected("wanted ACK")),
+        }
+    }
+
+    /// Queries `key`'s frequency; returns the estimate inside its IVL
+    /// error envelope.
+    pub fn query(&mut self, key: u64) -> Result<Envelope, ClientError> {
+        match self.roundtrip(&Request::Query { key })? {
+            Response::Envelope(env) => Ok(env),
+            _ => Err(ClientError::Unexpected("wanted ENVELOPE")),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            _ => Err(ClientError::Unexpected("wanted STATS")),
+        }
+    }
+
+    /// Asks the server to stop accepting connections and drain.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Goodbye => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted GOODBYE")),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The IVL error envelope attached to every query response.
+//!
+//! The server's sketch is the sharded `PCM(c̄)` — IVL but not
+//! linearizable. Theorem 6 is what makes a *served* estimate
+//! meaningful despite concurrency: an IVL implementation of a
+//! sequential (ε,δ)-bounded object is itself (ε,δ)-bounded, with the
+//! sequential error bound read against `v_min` (the object's value
+//! over completed updates when the query starts) and `v_max` (its
+//! value over invoked updates when the query ends). For CountMin that
+//! instantiates to
+//!
+//! * `estimate ≥ f_start` always — CountMin never underestimates, and
+//!   by IVL the estimate dominates some state containing every update
+//!   completed before the query began;
+//! * `estimate ≤ f_end + ε` with probability at least `1 − δ`, where
+//!   `ε = α·n` and `n` is the total stream weight at the query's end.
+//!
+//! The envelope ships `(estimate, ε, δ, n)` so the client can
+//! reconstruct exactly that guarantee without knowing the sketch's
+//! dimensions.
+
+/// A frequency estimate together with its Theorem 6 (ε,δ) bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Envelope {
+    /// The queried item.
+    pub key: u64,
+    /// The served point estimate.
+    pub estimate: u64,
+    /// Absolute error bound `⌈α·n⌉` at the query's stream length.
+    pub epsilon: u64,
+    /// Failure probability of the upper bound.
+    pub delta: f64,
+    /// Total stream weight observed by the server (an IVL read of the
+    /// ingest counter, so itself an intermediate value).
+    pub stream_len: u64,
+    /// The sketch's relative-error parameter `α` (`ε = α·n`).
+    pub alpha: f64,
+}
+
+impl Envelope {
+    /// Builds the envelope for `estimate` of `key` at stream length
+    /// `stream_len`, under sketch parameters `(alpha, delta)`.
+    pub fn new(key: u64, estimate: u64, stream_len: u64, alpha: f64, delta: f64) -> Self {
+        Envelope {
+            key,
+            estimate,
+            epsilon: (alpha * stream_len as f64).ceil() as u64,
+            delta,
+            stream_len,
+            alpha,
+        }
+    }
+
+    /// Smallest true frequency compatible with the envelope's upper
+    /// bound: `max(0, estimate − ε)`.
+    pub fn lower_bound(&self) -> u64 {
+        self.estimate.saturating_sub(self.epsilon)
+    }
+
+    /// The estimate itself — CountMin never underestimates, so the
+    /// true frequency at the query's start is at most this.
+    pub fn upper_bound(&self) -> u64 {
+        self.estimate
+    }
+
+    /// The Theorem 6 check for a concurrent query: `f_start` is the
+    /// key's true frequency over updates *completed* before the query
+    /// was invoked, `f_end` over updates *invoked* before it returned.
+    /// Deterministically `estimate ≥ f_start`; with probability
+    /// `1 − δ`, `estimate ≤ f_end + ε`. Returns whether the served
+    /// envelope satisfies both.
+    pub fn covers(&self, f_start: u64, f_end: u64) -> bool {
+        self.estimate >= f_start && self.estimate <= f_end + self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_is_ceil_alpha_n() {
+        let e = Envelope::new(1, 10, 1_000, 0.005, 0.01);
+        assert_eq!(e.epsilon, 5);
+        let e = Envelope::new(1, 10, 1_001, 0.005, 0.01);
+        assert_eq!(e.epsilon, 6); // 5.005 rounds up
+        let e = Envelope::new(1, 10, 0, 0.005, 0.01);
+        assert_eq!(e.epsilon, 0);
+    }
+
+    #[test]
+    fn covers_matches_theorem6_window() {
+        let e = Envelope::new(1, 10, 1_000, 0.005, 0.01); // epsilon 5
+        assert!(e.covers(10, 10)); // exact
+        assert!(e.covers(5, 5)); // within +epsilon of f_end
+        assert!(e.covers(10, 20)); // concurrent updates still arriving
+        assert!(!e.covers(11, 20)); // would underestimate a completed update
+        assert!(!e.covers(0, 4)); // overestimates beyond epsilon
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_saturating() {
+        let e = Envelope::new(1, 3, 10_000, 0.005, 0.01); // epsilon 50 > estimate
+        assert_eq!(e.lower_bound(), 0);
+        assert!(e.lower_bound() <= e.upper_bound());
+    }
+}

@@ -1,0 +1,49 @@
+//! `ivl-service`: serving the paper's sketches over a socket, with the
+//! paper's guarantee attached to every answer.
+//!
+//! This crate turns the workspace's concurrent IVL machinery into a
+//! small sharded subsystem:
+//!
+//! * [`server`] — a thread-per-connection TCP server over a single
+//!   [`ivl_concurrent::ShardedPcm`]. Each updating connection leases
+//!   one single-writer shard, so ingest is plain atomic stores — no
+//!   RMW, no lock — and the lease pool doubles as backpressure.
+//! * [`protocol`] — a compact length-prefixed binary wire format
+//!   (`UPDATE`/`QUERY`/`BATCH`/`STATS`/`SHUTDOWN`).
+//! * [`envelope`] — every query answer carries an **IVL error
+//!   envelope**: `(estimate, ε, δ, n)` with `ε = α·n`, the Theorem 6
+//!   transfer of CountMin's sequential (ε,δ) bound to the concurrent
+//!   serving setting.
+//! * [`metrics`] — wait-free op counters and `log₂` latency
+//!   histograms, themselves read IVL-style by `STATS`.
+//! * [`wspec`] — the sequential specification of the served object
+//!   (weighted CountMin), so a recorded serving run can be replayed
+//!   through [`ivl_spec`]'s IVL checkers.
+//! * [`client`] — a blocking client library used by the `ivl_client`
+//!   binary and the load generator in `ivl-bench`.
+//!
+//! The point of the subsystem is the paper's thesis made operational:
+//! because the backing sketch is IVL (not linearizable — no
+//! synchronization on the update path), the server can promise clients
+//! a *quantitative* bound instead of an ordering guarantee, and that
+//! promise is mechanically checkable: run with
+//! [`ServerConfig::record`], then feed the returned history and spec
+//! to [`ivl_spec::ivl::check_ivl_monotone`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod envelope;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod wspec;
+
+pub use client::{Client, ClientError};
+pub use envelope::Envelope;
+pub use metrics::{Metrics, StatsReport};
+pub use protocol::{ErrorCode, Request, Response, WireError};
+pub use server::{serve, JoinedServer, ServerConfig, ServerHandle};
+pub use wspec::WeightedCmSpec;

@@ -1,0 +1,270 @@
+//! Server metrics: wait-free atomic counters plus latency histograms.
+//!
+//! The latency histograms reuse the workspace's IVL machinery rather
+//! than a lock: each recording is one `fetch_add` into a
+//! [`ConcurrentHistogram`] bucket, and a `STATS` snapshot is an IVL
+//! read — every counter value it reports was held at some instant
+//! inside the snapshot, so totals can be "intermediate" but never
+//! invented. Latencies are bucketed by `⌈log₂ ns⌉`, giving ~2× quantile
+//! resolution from nanoseconds to seconds in 64 buckets.
+
+use ivl_concurrent::ConcurrentHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ latency buckets (covers 1 ns to ~2⁶³ ns).
+const LAT_BUCKETS: usize = 64;
+
+/// Wait-free operation counters and latency histograms for one server.
+#[derive(Debug)]
+pub struct Metrics {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    active: AtomicU64,
+    updates: AtomicU64,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    protocol_errors: AtomicU64,
+    busy_rejections: AtomicU64,
+    update_lat: ConcurrentHistogram,
+    query_lat: ConcurrentHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn log2_bucket(ns: u128) -> u64 {
+    // ceil(log2(ns)) clamped to the bucket range; 0 ns lands in
+    // bucket 0.
+    (128 - ns.leading_zeros()).min(LAT_BUCKETS as u32 - 1) as u64
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics {
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            update_lat: ConcurrentHistogram::new(LAT_BUCKETS as u64, LAT_BUCKETS),
+            query_lat: ConcurrentHistogram::new(LAT_BUCKETS as u64, LAT_BUCKETS),
+        }
+    }
+
+    /// A connection was accepted (and is now active).
+    pub fn connection_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection ended.
+    pub fn connection_closed(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was turned away at the accept gate.
+    pub fn connection_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of currently active connections.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed) as usize
+    }
+
+    /// Records `n` applied updates taking `ns` nanoseconds total.
+    pub fn record_updates(&self, n: u64, ns: u128) {
+        self.updates.fetch_add(n, Ordering::Relaxed);
+        self.update_lat.insert(log2_bucket(ns));
+    }
+
+    /// Records one batch frame (its updates go through
+    /// [`record_updates`](Self::record_updates)).
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one query taking `ns` nanoseconds.
+    pub fn record_query(&self, ns: u128) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.query_lat.insert(log2_bucket(ns));
+    }
+
+    /// Records a malformed frame.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an update refused because every shard was leased.
+    pub fn record_busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots everything into a [`StatsReport`]; `stream_len` is
+    /// supplied by the caller (the ingest counter's IVL read).
+    pub fn report(&self, stream_len: u64) -> StatsReport {
+        let quantiles = |h: &ConcurrentHistogram| {
+            let snap = h.snapshot();
+            if snap.count() == 0 {
+                (0, 0)
+            } else {
+                (1u64 << snap.quantile(0.50), 1u64 << snap.quantile(0.99))
+            }
+        };
+        let (update_p50_ns, update_p99_ns) = quantiles(&self.update_lat);
+        let (query_p50_ns, query_p99_ns) = quantiles(&self.query_lat);
+        StatsReport {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            stream_len,
+            update_p50_ns,
+            update_p99_ns,
+            query_p50_ns,
+            query_p99_ns,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's [`Metrics`], as served by
+/// `STATS`. Latency quantiles are upper edges of `log₂` buckets, so
+/// they are ~2× approximations — enough to see orders of magnitude,
+/// cheap enough to never perturb the hot path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections turned away at the accept gate.
+    pub rejected: u64,
+    /// Connections currently being served.
+    pub active: u64,
+    /// Update operations applied (batch items count individually).
+    pub updates: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Batch frames applied.
+    pub batches: u64,
+    /// Malformed frames answered with a protocol error.
+    pub protocol_errors: u64,
+    /// Updates refused because every shard was leased.
+    pub busy_rejections: u64,
+    /// Total stream weight ingested (IVL read).
+    pub stream_len: u64,
+    /// Median applied-update latency, rounded up to a power of two ns.
+    pub update_p50_ns: u64,
+    /// 99th-percentile applied-update latency (power-of-two ns).
+    pub update_p99_ns: u64,
+    /// Median query latency (power-of-two ns).
+    pub query_p50_ns: u64,
+    /// 99th-percentile query latency (power-of-two ns).
+    pub query_p99_ns: u64,
+}
+
+impl StatsReport {
+    /// Number of `u64` fields on the wire.
+    pub const NUM_FIELDS: usize = 13;
+
+    /// The fields in wire order.
+    pub fn as_fields(&self) -> [u64; Self::NUM_FIELDS] {
+        [
+            self.accepted,
+            self.rejected,
+            self.active,
+            self.updates,
+            self.queries,
+            self.batches,
+            self.protocol_errors,
+            self.busy_rejections,
+            self.stream_len,
+            self.update_p50_ns,
+            self.update_p99_ns,
+            self.query_p50_ns,
+            self.query_p99_ns,
+        ]
+    }
+
+    /// Rebuilds a report from wire order.
+    pub fn from_fields(f: [u64; Self::NUM_FIELDS]) -> Self {
+        StatsReport {
+            accepted: f[0],
+            rejected: f[1],
+            active: f[2],
+            updates: f[3],
+            queries: f[4],
+            batches: f[5],
+            protocol_errors: f[6],
+            busy_rejections: f[7],
+            stream_len: f[8],
+            update_p50_ns: f[9],
+            update_p99_ns: f[10],
+            query_p50_ns: f[11],
+            query_p99_ns: f[12],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_are_monotone() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(1024), 11);
+        assert_eq!(log2_bucket(u128::MAX), LAT_BUCKETS as u64 - 1);
+        let mut last = 0;
+        for ns in [0u128, 1, 5, 100, 10_000, 1 << 40] {
+            let b = log2_bucket(ns);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn report_reflects_recordings() {
+        let m = Metrics::new();
+        m.connection_accepted();
+        m.record_updates(3, 1_000);
+        m.record_query(2_000);
+        m.record_query(4_000);
+        let r = m.report(42);
+        assert_eq!(r.accepted, 1);
+        assert_eq!(r.active, 1);
+        assert_eq!(r.updates, 3);
+        assert_eq!(r.queries, 2);
+        assert_eq!(r.stream_len, 42);
+        assert!(r.update_p50_ns >= 1_000);
+        assert!(r.query_p50_ns >= 2_000);
+        assert!(r.query_p50_ns <= r.query_p99_ns);
+    }
+
+    #[test]
+    fn empty_histograms_report_zero_quantiles() {
+        let r = Metrics::new().report(0);
+        assert_eq!(r.update_p50_ns, 0);
+        assert_eq!(r.query_p99_ns, 0);
+    }
+
+    #[test]
+    fn fields_roundtrip() {
+        let m = Metrics::new();
+        m.record_updates(7, 123);
+        m.record_batch();
+        let r = m.report(9);
+        assert_eq!(StatsReport::from_fields(r.as_fields()), r);
+    }
+}

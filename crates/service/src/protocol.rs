@@ -1,0 +1,527 @@
+//! The wire protocol: compact length-prefixed binary frames.
+//!
+//! Every frame is a `u32` little-endian payload length followed by the
+//! payload; the payload's first byte is the opcode, the rest the body.
+//! All integers are little-endian, floats travel as IEEE-754 bit
+//! patterns. The length prefix makes the stream self-delimiting, so a
+//! malformed *body* never desynchronizes the connection: the server
+//! answers with an [`ErrorCode::Protocol`] response and keeps reading
+//! at the next frame boundary. Only a corrupted length prefix
+//! (truncated or oversized) forces the connection closed.
+//!
+//! Request opcodes: `UPDATE` 0x01, `QUERY` 0x02, `BATCH` 0x03, `STATS`
+//! 0x04, `SHUTDOWN` 0x05. Response opcodes: `ACK` 0x81, `ENVELOPE`
+//! 0x82, `STATS` 0x84, `GOODBYE` 0x85, `ERROR` 0xEE.
+
+use crate::envelope::Envelope;
+use crate::metrics::StatsReport;
+use std::fmt;
+use std::io::{self, Read};
+
+/// Frames larger than this are rejected by default (see
+/// [`read_frame`]'s `max_len` parameter).
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// A `BATCH` frame may carry at most this many `(key, weight)` pairs —
+/// the protocol's bounded-queue knob: a client cannot enqueue
+/// unbounded work with a single frame.
+pub const MAX_BATCH_ITEMS: u32 = 4096;
+
+/// Errors raised while framing or parsing the wire format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended in the middle of a length prefix or payload.
+    Truncated,
+    /// The length prefix announced more than `max` bytes.
+    Oversized {
+        /// Announced payload length.
+        len: u32,
+        /// The limit in force.
+        max: u32,
+    },
+    /// The payload's first byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// The body does not parse under its opcode's schema.
+    Malformed(&'static str),
+    /// An underlying I/O error (by kind; the connection is gone).
+    Io(io::ErrorKind),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated mid-prefix or mid-payload"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::Malformed(why) => write!(f, "malformed frame body: {why}"),
+            WireError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.kind())
+        }
+    }
+}
+
+/// Why the server refused a request (body of an error response).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// All sketch shards are leased to other connections; retry later.
+    Busy,
+    /// The request frame did not parse (see [`WireError`]).
+    Protocol,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Busy => 1,
+            ErrorCode::Protocol => 2,
+            ErrorCode::ShuttingDown => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            1 => Ok(ErrorCode::Busy),
+            2 => Ok(ErrorCode::Protocol),
+            3 => Ok(ErrorCode::ShuttingDown),
+            _ => Err(WireError::Malformed("unknown error code")),
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::Busy => write!(f, "busy"),
+            ErrorCode::Protocol => write!(f, "protocol"),
+            ErrorCode::ShuttingDown => write!(f, "shutting-down"),
+        }
+    }
+}
+
+/// A client-to-server frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Ingest `weight` occurrences of `key` (the sketch's batched
+    /// update).
+    Update {
+        /// Item to count.
+        key: u64,
+        /// Occurrence count folded in by this update.
+        weight: u64,
+    },
+    /// Ask for `key`'s frequency estimate with its IVL error envelope.
+    Query {
+        /// Item to estimate.
+        key: u64,
+    },
+    /// Ingest many `(key, weight)` pairs under one frame (at most
+    /// [`MAX_BATCH_ITEMS`]).
+    Batch(Vec<(u64, u64)>),
+    /// Ask for the server's operation counters and latency quantiles.
+    Stats,
+    /// Stop accepting connections and drain.
+    Shutdown,
+}
+
+/// A server-to-client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// An update or batch was applied; `applied` is the connection's
+    /// cumulative number of applied update operations.
+    Ack {
+        /// Updates applied on this connection so far.
+        applied: u64,
+    },
+    /// Answer to a query: the estimate wrapped in its (ε,δ) envelope.
+    Envelope(Envelope),
+    /// Answer to a stats request.
+    Stats(StatsReport),
+    /// Acknowledges a shutdown request; the connection closes after.
+    Goodbye,
+    /// The request was refused.
+    Error {
+        /// Machine-readable refusal class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const OP_UPDATE: u8 = 0x01;
+const OP_QUERY: u8 = 0x02;
+const OP_BATCH: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+const OP_ACK: u8 = 0x81;
+const OP_ENVELOPE: u8 = 0x82;
+const OP_STATS_REPLY: u8 = 0x84;
+const OP_GOODBYE: u8 = 0x85;
+const OP_ERROR: u8 = 0xEE;
+
+/// Sequential reader over a frame body with schema-error reporting.
+struct Body<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Body<'a> {
+    fn new(rest: &'a [u8]) -> Self {
+        Body { rest }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let (&b, rest) = self
+            .rest
+            .split_first()
+            .ok_or(WireError::Malformed("body shorter than its schema"))?;
+        self.rest = rest;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        if self.rest.len() < 4 {
+            return Err(WireError::Malformed("body shorter than its schema"));
+        }
+        let (head, rest) = self.rest.split_at(4);
+        self.rest = rest;
+        Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        if self.rest.len() < 8 {
+            return Err(WireError::Malformed("body shorter than its schema"));
+        }
+        let (head, rest) = self.rest.split_at(8);
+        self.rest = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after body"))
+        }
+    }
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends one whole frame (prefix + opcode + body) built by `body` to
+/// `buf`.
+fn frame(buf: &mut Vec<u8>, opcode: u8, body: impl FnOnce(&mut Vec<u8>)) {
+    let prefix_at = buf.len();
+    push_u32(buf, 0); // patched below
+    buf.push(opcode);
+    body(buf);
+    let payload_len = (buf.len() - prefix_at - 4) as u32;
+    buf[prefix_at..prefix_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+}
+
+impl Request {
+    /// Appends this request as one frame to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Update { key, weight } => frame(buf, OP_UPDATE, |b| {
+                push_u64(b, *key);
+                push_u64(b, *weight);
+            }),
+            Request::Query { key } => frame(buf, OP_QUERY, |b| push_u64(b, *key)),
+            Request::Batch(items) => frame(buf, OP_BATCH, |b| {
+                push_u32(b, items.len() as u32);
+                for (k, w) in items {
+                    push_u64(b, *k);
+                    push_u64(b, *w);
+                }
+            }),
+            Request::Stats => frame(buf, OP_STATS, |_| {}),
+            Request::Shutdown => frame(buf, OP_SHUTDOWN, |_| {}),
+        }
+    }
+
+    /// Parses a request from a frame payload (opcode + body).
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut b = Body::new(payload);
+        let req = match b.u8()? {
+            OP_UPDATE => Request::Update {
+                key: b.u64()?,
+                weight: b.u64()?,
+            },
+            OP_QUERY => Request::Query { key: b.u64()? },
+            OP_BATCH => {
+                let count = b.u32()?;
+                if count > MAX_BATCH_ITEMS {
+                    return Err(WireError::Malformed("batch exceeds MAX_BATCH_ITEMS"));
+                }
+                let mut items = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    items.push((b.u64()?, b.u64()?));
+                }
+                Request::Batch(items)
+            }
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return Err(WireError::UnknownOpcode(op)),
+        };
+        b.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Appends this response as one frame to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Ack { applied } => frame(buf, OP_ACK, |b| push_u64(b, *applied)),
+            Response::Envelope(env) => frame(buf, OP_ENVELOPE, |b| {
+                push_u64(b, env.key);
+                push_u64(b, env.estimate);
+                push_u64(b, env.epsilon);
+                push_u64(b, env.stream_len);
+                push_u64(b, env.alpha.to_bits());
+                push_u64(b, env.delta.to_bits());
+            }),
+            Response::Stats(report) => frame(buf, OP_STATS_REPLY, |b| {
+                for field in report.as_fields() {
+                    push_u64(b, field);
+                }
+            }),
+            Response::Goodbye => frame(buf, OP_GOODBYE, |_| {}),
+            Response::Error { code, message } => frame(buf, OP_ERROR, |b| {
+                b.push(code.to_u8());
+                push_u32(b, message.len() as u32);
+                b.extend_from_slice(message.as_bytes());
+            }),
+        }
+    }
+
+    /// Parses a response from a frame payload (opcode + body).
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut b = Body::new(payload);
+        let rsp = match b.u8()? {
+            OP_ACK => Response::Ack { applied: b.u64()? },
+            OP_ENVELOPE => Response::Envelope(Envelope {
+                key: b.u64()?,
+                estimate: b.u64()?,
+                epsilon: b.u64()?,
+                stream_len: b.u64()?,
+                alpha: b.f64()?,
+                delta: b.f64()?,
+            }),
+            OP_STATS_REPLY => {
+                let mut fields = [0u64; StatsReport::NUM_FIELDS];
+                for f in &mut fields {
+                    *f = b.u64()?;
+                }
+                Response::Stats(StatsReport::from_fields(fields))
+            }
+            OP_GOODBYE => Response::Goodbye,
+            OP_ERROR => {
+                let code = ErrorCode::from_u8(b.u8()?)?;
+                let len = b.u32()? as usize;
+                if b.rest.len() < len {
+                    return Err(WireError::Malformed("body shorter than its schema"));
+                }
+                let (msg, rest) = b.rest.split_at(len);
+                b.rest = rest;
+                let message = std::str::from_utf8(msg)
+                    .map_err(|_| WireError::Malformed("error message is not UTF-8"))?
+                    .to_owned();
+                Response::Error { code, message }
+            }
+            op => return Err(WireError::UnknownOpcode(op)),
+        };
+        b.finish()?;
+        Ok(rsp)
+    }
+}
+
+/// Reads one frame payload off `r`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
+/// boundary), [`WireError::Truncated`] on EOF inside a frame, and
+/// [`WireError::Oversized`] when the prefix announces more than
+/// `max_len` bytes (the caller must close the connection: the payload
+/// has not been consumed, so the stream cannot be resynchronized).
+pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Option<Vec<u8>>, WireError> {
+    let mut prefix = [0u8; 4];
+    // Distinguish clean EOF (zero bytes of the next frame) from a
+    // truncated prefix.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 {
+        return Err(WireError::Malformed("empty frame"));
+    }
+    if len > max_len {
+        return Err(WireError::Oversized { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        let payload = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        Request::decode(&payload).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        for req in [
+            Request::Update { key: 7, weight: 3 },
+            Request::Query { key: u64::MAX },
+            Request::Batch(vec![(1, 2), (3, 4)]),
+            Request::Batch(vec![]),
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(roundtrip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let env = crate::envelope::Envelope {
+            key: 5,
+            estimate: 100,
+            epsilon: 3,
+            stream_len: 500,
+            alpha: 0.005,
+            delta: 0.01,
+        };
+        for rsp in [
+            Response::Ack { applied: 9 },
+            Response::Envelope(env),
+            Response::Goodbye,
+            Response::Error {
+                code: ErrorCode::Busy,
+                message: "all shards leased".into(),
+            },
+        ] {
+            let mut buf = Vec::new();
+            rsp.encode(&mut buf);
+            let payload = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .unwrap();
+            assert_eq!(Response::decode(&payload).unwrap(), rsp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncated_prefix_is_error() {
+        assert_eq!(read_frame(&mut [].as_slice(), 64).unwrap(), None);
+        assert_eq!(
+            read_frame(&mut [3u8, 0].as_slice(), 64).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let mut buf = Vec::new();
+        Request::Query { key: 1 }.encode(&mut buf);
+        buf.truncate(buf.len() - 2);
+        assert_eq!(
+            read_frame(&mut buf.as_slice(), 64).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        push_u32(&mut buf, 1 << 30);
+        buf.push(OP_STATS);
+        assert_eq!(
+            read_frame(&mut buf.as_slice(), 64).unwrap_err(),
+            WireError::Oversized {
+                len: 1 << 30,
+                max: 64
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_and_bad_bodies_rejected() {
+        assert_eq!(
+            Request::decode(&[0x7f]).unwrap_err(),
+            WireError::UnknownOpcode(0x7f)
+        );
+        assert_eq!(
+            Request::decode(&[OP_UPDATE, 1, 2]).unwrap_err(),
+            WireError::Malformed("body shorter than its schema")
+        );
+        // Batch announcing more items than it carries.
+        let mut bad = vec![OP_BATCH];
+        bad.extend_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bad).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+        // Trailing garbage after a well-formed body.
+        let mut buf = Vec::new();
+        Request::Query { key: 1 }.encode(&mut buf);
+        let mut payload = read_frame(&mut buf.as_slice(), 64).unwrap().unwrap();
+        payload.push(0xAA);
+        assert_eq!(
+            Request::decode(&payload).unwrap_err(),
+            WireError::Malformed("trailing bytes after body")
+        );
+    }
+
+    #[test]
+    fn oversized_batch_count_rejected() {
+        let mut payload = vec![OP_BATCH];
+        payload.extend_from_slice(&(MAX_BATCH_ITEMS + 1).to_le_bytes());
+        assert_eq!(
+            Request::decode(&payload).unwrap_err(),
+            WireError::Malformed("batch exceeds MAX_BATCH_ITEMS")
+        );
+    }
+}

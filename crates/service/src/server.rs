@@ -1,0 +1,553 @@
+//! The sketch server: thread-per-connection over `std::net`.
+//!
+//! One [`ShardedPcm`] is shared by all connections. The first update a
+//! connection sends checks out a [`ShardLease`] — a single-writer
+//! sub-matrix — and keeps it until the connection closes, so the
+//! ingest hot path stays plain stores with no RMW instruction and no
+//! lock. The lease pool is also the backpressure bound: when every
+//! shard is leased, further *updating* connections get a `busy` error
+//! (queries always proceed — they only read). Stream length is
+//! tracked by an [`IvlBatchedCounter`] with one slot per shard, read
+//! IVL-style at query time to size the envelope's `ε = α·n`.
+//!
+//! Shutdown is graceful: a `SHUTDOWN` frame (or
+//! [`ServerHandle::shutdown`]) stops the accept loop; connections
+//! already open keep being served until their clients hang up, and
+//! [`ServerHandle::join`] waits for the drain before returning final
+//! stats and (optionally) the recorded history of every operation the
+//! server performed — replayable through the workspace's IVL checkers
+//! against [`WeightedCmSpec`].
+
+use crate::envelope::Envelope;
+use crate::metrics::{Metrics, StatsReport};
+use crate::protocol::{self, ErrorCode, Request, Response, WireError};
+use crate::wspec::WeightedCmSpec;
+use ivl_concurrent::ShardedPcm;
+use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::CoinFlips;
+use ivl_spec::history::{History, ObjectId, ProcessId};
+use ivl_spec::record::Recorder;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Configuration of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of sketch shards == maximum concurrent *updating*
+    /// connections.
+    pub shards: usize,
+    /// CountMin relative error (ε = α·n).
+    pub alpha: f64,
+    /// CountMin failure probability.
+    pub delta: f64,
+    /// Maximum concurrent connections; beyond it the accept gate
+    /// answers `busy` and closes.
+    pub max_connections: usize,
+    /// Largest accepted frame payload in bytes.
+    pub max_frame_len: u32,
+    /// Record every operation into an [`ivl_spec::History`] for
+    /// offline IVL checking (adds one short mutex hold per op).
+    pub record: bool,
+    /// Seed for the sketch's coin flips (hash functions).
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 8,
+            alpha: 0.005,
+            delta: 0.01,
+            max_connections: 64,
+            max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
+            record: false,
+            seed: 1,
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    cfg: ServerConfig,
+    /// Empty prototype fixing the coin flips; `sketch` shares its
+    /// hashes, and `WeightedCmSpec::new(proto.clone())` is the exact
+    /// sequential spec of this server.
+    proto: CountMin,
+    sketch: ShardedPcm,
+    /// Stream-weight counter, one single-writer slot per shard.
+    ingest: IvlBatchedCounter,
+    metrics: Metrics,
+    recorder: Option<Recorder<(u64, u64), u64, u64>>,
+    shutdown: AtomicBool,
+    /// Condvar pair signalled by [`begin_shutdown`](Self::begin_shutdown)
+    /// so [`ServerHandle::wait_for_shutdown`] can block without polling.
+    shutdown_signal: (std::sync::Mutex<bool>, std::sync::Condvar),
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            // Unblock the accept loop with a throwaway connection; it
+            // re-checks the flag before serving anything.
+            let _ = TcpStream::connect(self.addr);
+            let (lock, cv) = &self.shutdown_signal;
+            *lock.lock().expect("shutdown signal lock") = true;
+            cv.notify_all();
+        }
+    }
+
+    fn wait_for_shutdown(&self) {
+        let (lock, cv) = &self.shutdown_signal;
+        let mut requested = lock.lock().expect("shutdown signal lock");
+        while !*requested {
+            requested = cv.wait(requested).expect("shutdown signal wait");
+        }
+    }
+}
+
+/// A running server; dropping it initiates shutdown without draining.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    /// `Some` until [`join`](Self::join) consumes it (the handle has a
+    /// `Drop` impl, so fields move out via `Option::take`).
+    shared: Option<Arc<Shared>>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("cfg", &self.cfg)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything a drained server leaves behind.
+#[derive(Debug)]
+pub struct JoinedServer {
+    /// Final metrics snapshot.
+    pub stats: StatsReport,
+    /// The recorded history (when `record` was set): every update as
+    /// `(key, weight)`, every query with its served estimate, window
+    /// supersets of the true operation intervals.
+    pub history: Option<History<(u64, u64), u64, u64>>,
+    /// The sequential spec of this run (carries the sampled hashes);
+    /// feed it with `history` to `check_ivl_monotone` /
+    /// `check_ivl_exact`.
+    pub spec: WeightedCmSpec,
+}
+
+/// Binds `addr` and starts serving in background threads.
+pub fn serve(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    assert!(cfg.shards > 0, "need at least one shard");
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let mut coins = CoinFlips::from_seed(cfg.seed);
+    let params = CountMinParams::for_bounds(cfg.alpha, cfg.delta);
+    let proto = CountMin::new(params, &mut coins);
+    let shared = Arc::new(Shared {
+        sketch: ShardedPcm::from_prototype(&proto, cfg.shards),
+        ingest: IvlBatchedCounter::new(cfg.shards),
+        metrics: Metrics::new(),
+        recorder: cfg.record.then(Recorder::new),
+        shutdown: AtomicBool::new(false),
+        shutdown_signal: (std::sync::Mutex::new(false), std::sync::Condvar::new()),
+        addr: local,
+        proto,
+        cfg,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = thread::Builder::new()
+        .name("ivl-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(ServerHandle {
+        addr: local,
+        shared: Some(shared),
+        accept: Some(accept),
+    })
+}
+
+impl ServerHandle {
+    fn shared(&self) -> &Shared {
+        self.shared.as_ref().expect("present until join")
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The sketch dimensions in force.
+    pub fn params(&self) -> CountMinParams {
+        self.shared().proto.params()
+    }
+
+    /// A live metrics snapshot (same data `STATS` serves).
+    pub fn stats(&self) -> StatsReport {
+        let shared = self.shared();
+        shared.metrics.report(shared.ingest.read())
+    }
+
+    /// Stops accepting new connections; existing ones keep draining.
+    pub fn shutdown(&self) {
+        self.shared().begin_shutdown();
+    }
+
+    /// Blocks until shutdown is requested — by a client's `SHUTDOWN`
+    /// frame or [`shutdown`](Self::shutdown). [`join`](Self::join)
+    /// initiates shutdown itself; a standalone server that should run
+    /// until told to stop waits here first.
+    pub fn wait_for_shutdown(&self) {
+        self.shared().wait_for_shutdown();
+    }
+
+    /// Initiates shutdown, waits for every connection to drain, and
+    /// returns final stats plus the recorded history.
+    pub fn join(mut self) -> JoinedServer {
+        self.shared().begin_shutdown();
+        let conns = self
+            .accept
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("accept thread never panics");
+        for c in conns {
+            let _ = c.join();
+        }
+        let stats = self.stats();
+        let shared = Arc::try_unwrap(self.shared.take().expect("present until join"))
+            .unwrap_or_else(|_| panic!("all connection threads joined"));
+        JoinedServer {
+            stats,
+            history: shared.recorder.map(Recorder::finish),
+            spec: WeightedCmSpec::new(shared.proto),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let (Some(shared), Some(_)) = (&self.shared, &self.accept) {
+            shared.begin_shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut conns = Vec::new();
+    let mut next_conn: u32 = 0;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if shared.metrics.active() >= shared.cfg.max_connections {
+            shared.metrics.connection_rejected();
+            let mut buf = Vec::new();
+            Response::Error {
+                code: ErrorCode::Busy,
+                message: "connection limit reached".into(),
+            }
+            .encode(&mut buf);
+            let mut stream = stream;
+            let _ = stream.write_all(&buf);
+            continue;
+        }
+        shared.metrics.connection_accepted();
+        let conn = next_conn;
+        next_conn = next_conn.wrapping_add(1);
+        let conn_shared = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name(format!("ivl-conn-{conn}"))
+            .spawn(move || {
+                serve_connection(&conn_shared, stream, conn);
+                conn_shared.metrics.connection_closed();
+            })
+            .expect("spawn connection thread");
+        conns.push(handle);
+    }
+    conns
+}
+
+fn send(stream: &mut TcpStream, rsp: &Response) -> bool {
+    let mut buf = Vec::new();
+    rsp.encode(&mut buf);
+    stream.write_all(&buf).is_ok()
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let process = ProcessId(conn);
+    let object = ObjectId(0);
+    // The connection's shard lease, acquired lazily on first update
+    // and held (single writer) until the connection ends.
+    let mut lease = None;
+    let mut applied: u64 = 0;
+    loop {
+        let payload = match protocol::read_frame(&mut reader, shared.cfg.max_frame_len) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // clean EOF
+            Err(e @ WireError::Oversized { .. }) => {
+                // The announced payload was never consumed; the stream
+                // cannot be resynchronized. Report and close.
+                shared.metrics.record_protocol_error();
+                let _ = send(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+            Err(_) => break, // truncated or connection gone
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame was length-delimited, so the stream is
+                // still in sync: answer and keep serving.
+                shared.metrics.record_protocol_error();
+                if !send(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                ) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Update { key, weight } => apply_updates(
+                shared,
+                &mut lease,
+                &mut applied,
+                process,
+                object,
+                &[(key, weight)],
+            ),
+            Request::Batch(items) => {
+                shared.metrics.record_batch();
+                apply_updates(shared, &mut lease, &mut applied, process, object, &items)
+            }
+            Request::Query { key } => {
+                let start = Instant::now();
+                let op = shared
+                    .recorder
+                    .as_ref()
+                    .map(|r| r.invoke_query(process, object, key));
+                let estimate = shared.sketch.estimate(key);
+                let stream_len = shared.ingest.read();
+                if let (Some(r), Some(op)) = (shared.recorder.as_ref(), op) {
+                    r.respond_query(op, estimate);
+                }
+                shared.metrics.record_query(start.elapsed().as_nanos());
+                let params = shared.proto.params();
+                Response::Envelope(Envelope::new(
+                    key,
+                    estimate,
+                    stream_len,
+                    params.alpha(),
+                    params.delta(),
+                ))
+            }
+            Request::Stats => Response::Stats(shared.metrics.report(shared.ingest.read())),
+            Request::Shutdown => {
+                shared.begin_shutdown();
+                let _ = send(&mut writer, &Response::Goodbye);
+                break;
+            }
+        };
+        if !send(&mut writer, &response) {
+            break;
+        }
+    }
+    // `lease` drops here, returning the shard to the pool.
+    drop(lease);
+    // Half-close, then briefly drain the peer's in-flight bytes so the
+    // final response frame is not clobbered by a reset. The timeout
+    // bounds the wait when it is the server hanging up first — an
+    // unbounded read here would hold the socket open until the peer
+    // acted.
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let _ = reader.read(&mut [0u8; 64]);
+}
+
+/// Applies updates through the connection's lease, acquiring it on
+/// first use; answers `busy` when the shard pool is exhausted.
+fn apply_updates<'a>(
+    shared: &'a Shared,
+    lease: &mut Option<ivl_concurrent::ShardLease<'a>>,
+    applied: &mut u64,
+    process: ProcessId,
+    object: ObjectId,
+    items: &[(u64, u64)],
+) -> Response {
+    if lease.is_none() {
+        *lease = shared.sketch.lease();
+    }
+    let Some(lease) = lease.as_mut() else {
+        shared.metrics.record_busy_rejection();
+        return Response::Error {
+            code: ErrorCode::Busy,
+            message: format!("all {} shards leased", shared.sketch.num_shards()),
+        };
+    };
+    let slot = lease.shard();
+    let start = Instant::now();
+    for &(key, weight) in items {
+        let op = shared
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke_update(process, object, (key, weight)));
+        lease.update_by(key, weight);
+        shared.ingest.update_slot(slot, weight);
+        if let (Some(r), Some(op)) = (shared.recorder.as_ref(), op) {
+            r.respond_update(op);
+        }
+    }
+    shared
+        .metrics
+        .record_updates(items.len() as u64, start.elapsed().as_nanos());
+    *applied += items.len() as u64;
+    Response::Ack { applied: *applied }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn config(shards: usize, record: bool) -> ServerConfig {
+        ServerConfig {
+            shards,
+            record,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn updates_queries_and_stats_over_the_wire() {
+        let h = serve("127.0.0.1:0", config(2, false)).unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        assert_eq!(c.update(7, 3).unwrap(), 1);
+        assert_eq!(c.batch(&[(7, 2), (9, 5)]).unwrap(), 3);
+        let env = c.query(7).unwrap();
+        assert!(env.estimate >= 5, "estimate {} < true 5", env.estimate);
+        assert_eq!(env.stream_len, 10);
+        assert!(env.alpha > 0.0 && env.delta > 0.0);
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.updates, 3);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.stream_len, 10);
+        drop(c);
+        let joined = h.join();
+        assert_eq!(joined.stats.updates, 3);
+        assert!(joined.history.is_none());
+    }
+
+    #[test]
+    fn busy_when_all_shards_leased() {
+        let h = serve("127.0.0.1:0", config(1, false)).unwrap();
+        let mut a = Client::connect(h.addr()).unwrap();
+        let mut b = Client::connect(h.addr()).unwrap();
+        a.update(1, 1).unwrap();
+        let err = b.update(2, 1).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                crate::client::ClientError::Server {
+                    code: ErrorCode::Busy,
+                    ..
+                }
+            ),
+            "expected busy, got {err:?}"
+        );
+        // Queries are reads and never need a lease.
+        assert!(b.query(1).unwrap().estimate >= 1);
+        // Dropping the leasing connection frees the shard for b.
+        drop(a);
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match b.update(2, 1) {
+                Ok(_) => break,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(5))
+                }
+                Err(e) => panic!("shard never freed: {e:?}"),
+            }
+        }
+        // At least the first rejection; retries racing the lease
+        // release may add more.
+        assert!(h.stats().busy_rejections >= 1);
+    }
+
+    #[test]
+    fn malformed_frames_get_protocol_errors_not_closure() {
+        let h = serve("127.0.0.1:0", config(1, false)).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        // Unknown opcode in a well-delimited frame.
+        s.write_all(&2u32.to_le_bytes()).unwrap();
+        s.write_all(&[0x7f, 0x00]).unwrap();
+        let payload = protocol::read_frame(&mut s, protocol::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // The connection survives: a valid request still works.
+        let mut buf = Vec::new();
+        Request::Query { key: 1 }.encode(&mut buf);
+        s.write_all(&buf).unwrap();
+        let payload = protocol::read_frame(&mut s, protocol::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Envelope(_)
+        ));
+        assert_eq!(h.stats().protocol_errors, 1);
+        drop(s); // join drains: the client must hang up first
+        h.join();
+    }
+
+    #[test]
+    fn shutdown_frame_drains_and_join_returns_history() {
+        let h = serve("127.0.0.1:0", config(2, true)).unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        c.update(3, 4).unwrap();
+        c.query(3).unwrap();
+        c.shutdown().unwrap();
+        drop(c);
+        let joined = h.join();
+        let history = joined.history.expect("recording was on");
+        let ops = history.operations();
+        assert_eq!(ops.iter().filter(|o| o.op.is_update()).count(), 1);
+        assert_eq!(ops.iter().filter(|o| !o.op.is_update()).count(), 1);
+        assert!(ivl_spec::ivl::check_ivl_monotone(&joined.spec, &history).is_ivl());
+    }
+}

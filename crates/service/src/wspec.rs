@@ -1,0 +1,114 @@
+//! Sequential specification of the *served* object: a weighted
+//! CountMin.
+//!
+//! The service's update is `(key, weight)` — `weight` occurrences
+//! folded in at once (the paper's batched updates). This spec is
+//! `CM(c̄)` lifted to that argument type: replaying a recorded server
+//! history against it computes `τ` exactly, which is what
+//! [`ivl_spec::ivl::check_ivl_monotone`] and
+//! [`ivl_spec::ivl::check_ivl_exact`] need to verify a live serving
+//! run. Weights are non-negative, cells only grow and batched updates
+//! commute (they are cell additions), so the object is monotone and
+//! the interval fast path applies.
+
+use ivl_sketch::countmin::CountMin;
+use ivl_sketch::FrequencySketch;
+use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+
+/// Sequential spec `CM(c̄)` with weighted updates `(key, weight)`.
+#[derive(Clone, Debug)]
+pub struct WeightedCmSpec {
+    proto: CountMin,
+}
+
+impl WeightedCmSpec {
+    /// Wraps an (empty) prototype sketch as the sequential spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prototype has ingested updates.
+    pub fn new(proto: CountMin) -> Self {
+        assert_eq!(proto.stream_len(), 0, "prototype must be empty");
+        WeightedCmSpec { proto }
+    }
+
+    /// The prototype (empty) sketch.
+    pub fn prototype(&self) -> &CountMin {
+        &self.proto
+    }
+}
+
+impl ObjectSpec for WeightedCmSpec {
+    type Update = (u64, u64);
+    type Query = u64;
+    type Value = u64;
+    type State = CountMin;
+
+    fn initial_state(&self) -> CountMin {
+        self.proto.clone()
+    }
+
+    fn apply_update(&self, state: &mut CountMin, &(key, weight): &(u64, u64)) {
+        state.update_by(key, weight);
+    }
+
+    fn eval_query(&self, state: &CountMin, query: &u64) -> u64 {
+        state.estimate(*query)
+    }
+}
+
+impl MonotoneSpec for WeightedCmSpec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_sketch::countmin::CountMinParams;
+    use ivl_sketch::CoinFlips;
+    use ivl_spec::history::{HistoryBuilder, ObjectId, ProcessId};
+    use ivl_spec::ivl::check_ivl_monotone;
+    use ivl_spec::spec::tau;
+
+    fn spec(seed: u64) -> WeightedCmSpec {
+        let mut coins = CoinFlips::from_seed(seed);
+        WeightedCmSpec::new(CountMin::new(
+            CountMinParams {
+                width: 16,
+                depth: 2,
+            },
+            &mut coins,
+        ))
+    }
+
+    #[test]
+    fn weighted_update_equals_repeated_unit_updates() {
+        let s = spec(1);
+        let mut weighted = s.initial_state();
+        s.apply_update(&mut weighted, &(7, 5));
+        let mut unit = s.initial_state();
+        for _ in 0..5 {
+            unit.update(7);
+        }
+        assert_eq!(weighted.estimate(7), unit.estimate(7));
+        assert_eq!(weighted.stream_len(), unit.stream_len());
+    }
+
+    #[test]
+    fn sequential_weighted_history_is_ivl() {
+        let s = spec(2);
+        let mut replay = s.initial_state();
+        let mut b = HistoryBuilder::<(u64, u64), u64, u64>::new();
+        let p = ProcessId(0);
+        let x = ObjectId(0);
+        for up in [(1u64, 3u64), (2, 1), (1, 2)] {
+            let u = b.invoke_update(p, x, up);
+            b.respond_update(u);
+            replay.update_by(up.0, up.1);
+        }
+        let q = b.invoke_query(p, x, 1);
+        b.respond_query(q, replay.estimate(1));
+        let h = b.finish();
+        assert!(check_ivl_monotone(&s, &h).is_ivl());
+        let t = tau(&s, &h);
+        assert_eq!(*t.ret(q), replay.estimate(1));
+    }
+}

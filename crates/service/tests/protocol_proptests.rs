@@ -1,0 +1,166 @@
+//! Property tests for the wire protocol: encode→decode is the
+//! identity for every frame type, and malformed bytes are rejected
+//! with a protocol error — never a panic, never a bogus frame.
+
+use ivl_service::envelope::Envelope;
+use ivl_service::metrics::StatsReport;
+use ivl_service::protocol::{
+    read_frame, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, MAX_BATCH_ITEMS,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Encodes, reframes and decodes one request.
+fn request_roundtrip(req: &Request) -> Request {
+    let mut buf = Vec::new();
+    req.encode(&mut buf);
+    let payload = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN)
+        .expect("self-encoded frame reads")
+        .expect("not eof");
+    Request::decode(&payload).expect("self-encoded frame decodes")
+}
+
+fn response_roundtrip(rsp: &Response) -> Response {
+    let mut buf = Vec::new();
+    rsp.encode(&mut buf);
+    let payload = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN)
+        .expect("self-encoded frame reads")
+        .expect("not eof");
+    Response::decode(&payload).expect("self-encoded frame decodes")
+}
+
+proptest! {
+    #[test]
+    fn update_frames_roundtrip(key in any::<u64>(), weight in any::<u64>()) {
+        let req = Request::Update { key, weight };
+        prop_assert_eq!(request_roundtrip(&req), req);
+    }
+
+    #[test]
+    fn query_frames_roundtrip(key in any::<u64>()) {
+        let req = Request::Query { key };
+        prop_assert_eq!(request_roundtrip(&req), req);
+    }
+
+    #[test]
+    fn batch_frames_roundtrip(items in vec((any::<u64>(), any::<u64>()), 0..50)) {
+        let req = Request::Batch(items);
+        prop_assert_eq!(request_roundtrip(&req), req.clone());
+    }
+
+    #[test]
+    fn bodyless_frames_roundtrip(pick in 0u8..2) {
+        let req = if pick == 0 { Request::Stats } else { Request::Shutdown };
+        prop_assert_eq!(request_roundtrip(&req), req);
+    }
+
+    #[test]
+    fn ack_frames_roundtrip(applied in any::<u64>()) {
+        let rsp = Response::Ack { applied };
+        prop_assert_eq!(response_roundtrip(&rsp), rsp);
+    }
+
+    #[test]
+    fn envelope_frames_roundtrip(
+        key in any::<u64>(),
+        estimate in any::<u64>(),
+        stream_len in 0u64..1_000_000_000,
+        alpha_m in 1u64..1_000,
+        delta_m in 1u64..1_000,
+    ) {
+        let env = Envelope::new(
+            key,
+            estimate,
+            stream_len,
+            alpha_m as f64 / 1_000.0,
+            delta_m as f64 / 1_000.0,
+        );
+        let rsp = Response::Envelope(env);
+        prop_assert_eq!(response_roundtrip(&rsp), rsp);
+    }
+
+    #[test]
+    fn stats_frames_roundtrip(fields in vec(any::<u64>(), StatsReport::NUM_FIELDS)) {
+        let report = StatsReport::from_fields(
+            <[u64; StatsReport::NUM_FIELDS]>::try_from(fields).expect("fixed size"),
+        );
+        let rsp = Response::Stats(report);
+        prop_assert_eq!(response_roundtrip(&rsp), rsp);
+    }
+
+    #[test]
+    fn error_frames_roundtrip(code in 0u8..3, msg in vec(32u8..127, 0..40)) {
+        let code = [
+            ivl_service::ErrorCode::Busy,
+            ivl_service::ErrorCode::Protocol,
+            ivl_service::ErrorCode::ShuttingDown,
+        ][code as usize];
+        let message = String::from_utf8(msg).expect("ascii");
+        let rsp = Response::Error { code, message };
+        prop_assert_eq!(response_roundtrip(&rsp), rsp);
+    }
+
+    // --- malformed input: always a typed error, never a panic ---
+
+    #[test]
+    fn truncated_frames_are_truncated_errors(
+        key in any::<u64>(),
+        weight in any::<u64>(),
+        keep_num in any::<u32>(),
+    ) {
+        let mut buf = Vec::new();
+        Request::Update { key, weight }.encode(&mut buf);
+        let keep = keep_num as usize % buf.len(); // strictly shorter
+        buf.truncate(keep);
+        let got = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN);
+        if keep == 0 {
+            prop_assert_eq!(got.expect("clean eof"), None);
+        } else {
+            prop_assert_eq!(got.expect_err("mid-frame eof"), WireError::Truncated);
+        }
+    }
+
+    #[test]
+    fn oversized_prefixes_are_rejected(len in 65u32..u32::MAX) {
+        let mut buf = Vec::from(len.to_le_bytes());
+        buf.resize(16, 0);
+        prop_assert_eq!(
+            read_frame(&mut buf.as_slice(), 64).expect_err("over limit"),
+            WireError::Oversized { len, max: 64 }
+        );
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected(op in 6u8..0x81, tail in vec(0u8..=255, 0..16)) {
+        // 0x06..=0x80 are unassigned request opcodes.
+        let mut payload = vec![op];
+        payload.extend(tail);
+        prop_assert_eq!(
+            Request::decode(&payload).expect_err("unassigned opcode"),
+            WireError::UnknownOpcode(op)
+        );
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in vec(0u8..=255, 0..64)) {
+        // Any outcome is fine except a panic; a successful decode must
+        // re-encode to a frame that decodes to the same value.
+        if let Ok(req) = Request::decode(&bytes) {
+            prop_assert_eq!(request_roundtrip(&req), req);
+        }
+        if let Ok(rsp) = Response::decode(&bytes) {
+            prop_assert_eq!(response_roundtrip(&rsp), rsp);
+        }
+        let _ = read_frame(&mut bytes.as_slice(), 32);
+    }
+
+    #[test]
+    fn overlong_batches_are_rejected(extra in 1u32..1_000) {
+        let mut payload = vec![0x03];
+        payload.extend_from_slice(&(MAX_BATCH_ITEMS + extra).to_le_bytes());
+        prop_assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

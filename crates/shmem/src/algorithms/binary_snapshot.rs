@@ -55,7 +55,10 @@ impl BinarySnapshotSim {
     /// values, and flips contribute `c·2^n` overflow headroom).
     pub fn new(inner: Box<dyn SimObject>) -> Self {
         let n = inner.num_processes();
-        assert!(n <= 32, "binary snapshot encoding supports at most 32 components");
+        assert!(
+            n <= 32,
+            "binary snapshot encoding supports at most 32 components"
+        );
         BinarySnapshotSim {
             inner,
             v: vec![0; n],
@@ -179,7 +182,9 @@ mod tests {
     fn toggling_workloads(n: usize, flips: usize, scanner: usize) -> Vec<Workload> {
         let mut w: Vec<Workload> = (0..n)
             .map(|_| Workload {
-                ops: (0..flips).map(|k| SimOp::Update(((k + 1) % 2) as u64)).collect(),
+                ops: (0..flips)
+                    .map(|k| SimOp::Update(((k + 1) % 2) as u64))
+                    .collect(),
             })
             .collect();
         w[scanner] = Workload {
@@ -197,8 +202,7 @@ mod tests {
             let counter = SnapshotCounterSim::new(&mut mem, n);
             let obj = BinarySnapshotSim::new(Box::new(counter));
             let workloads = toggling_workloads(n, 2, 2);
-            let mut exec =
-                Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
+            let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
             let result = exec.run();
             let h = encode_components(&result.history);
             assert!(
@@ -265,12 +269,7 @@ mod tests {
             },
             Workload { ops: vec![] },
         ];
-        let mut exec = Executor::new(
-            mem,
-            Box::new(obj),
-            workloads,
-            FixedScheduler::new(vec![]),
-        );
+        let mut exec = Executor::new(mem, Box::new(obj), workloads, FixedScheduler::new(vec![]));
         let result = exec.run();
         let steps: Vec<u64> = result.stats.iter().map(|s| s.steps).collect();
         assert!(steps[0] > 2 * n as u64, "real flip pays the counter cost");

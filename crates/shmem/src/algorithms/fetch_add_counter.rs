@@ -98,8 +98,7 @@ mod tests {
                     ops: vec![SimOp::Update(4)],
                 },
             ];
-            let mut exec =
-                Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
+            let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
             let result = exec.run();
             assert!(
                 check_linearizable(&[SimCounterSpec], &result.history).is_linearizable(),
@@ -117,8 +116,7 @@ mod tests {
             let mut mem = Memory::new();
             let obj = FetchAddCounterSim::new(&mut mem, n);
             let workloads = vec![Workload::updates(3, 1); n];
-            let mut exec =
-                Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(1));
+            let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(1));
             let result = exec.run();
             assert_eq!(result.mean_update_steps(), 1.0, "n={n}");
         }

@@ -133,8 +133,8 @@ impl ObjectSpec for IncDecSimSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exhaustive::explore_all_schedules;
     use crate::executor::Workload;
+    use crate::exhaustive::explore_all_schedules;
     use ivl_spec::ivl::check_ivl_exact;
     use ivl_spec::linearize::check_linearizable;
 
@@ -153,7 +153,10 @@ mod tests {
         let obj = IncDecCounterSim::new(&mut mem, 2);
         let workloads = vec![
             Workload {
-                ops: vec![SimOp::Update(encode_signed(5)), SimOp::Update(encode_signed(-3))],
+                ops: vec![
+                    SimOp::Update(encode_signed(5)),
+                    SimOp::Update(encode_signed(-3)),
+                ],
             },
             Workload {
                 ops: vec![SimOp::Query(0)],
@@ -197,11 +200,7 @@ mod tests {
                     ops: vec![SimOp::Query(0)],
                 },
             ];
-            (
-                mem,
-                Box::new(obj) as Box<dyn crate::executor::SimObject>,
-                w,
-            )
+            (mem, Box::new(obj) as Box<dyn crate::executor::SimObject>, w)
         };
         let spec = IncDecSimSpec;
         let mut violations = Vec::new();
@@ -210,9 +209,7 @@ mod tests {
             if !check_ivl_exact(std::slice::from_ref(&spec), &result.history).is_ivl() {
                 violations.push(sched.to_vec());
             }
-            if check_linearizable(std::slice::from_ref(&spec), &result.history)
-                .is_linearizable()
-            {
+            if check_linearizable(std::slice::from_ref(&spec), &result.history).is_linearizable() {
                 linearizable += 1;
             }
         });
@@ -254,11 +251,7 @@ mod tests {
                     ops: vec![SimOp::Query(0)],
                 },
             ];
-            (
-                mem,
-                Box::new(obj) as Box<dyn crate::executor::SimObject>,
-                w,
-            )
+            (mem, Box::new(obj) as Box<dyn crate::executor::SimObject>, w)
         };
         let spec = IncDecSimSpec;
         let stats = explore_all_schedules(&config, 1_000_000, |sched, result| {

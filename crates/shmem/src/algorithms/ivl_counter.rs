@@ -120,12 +120,7 @@ mod tests {
         ];
         // Round-robin: p0 and p1 interleave; but each update is a
         // single step, so the final read (if last) sees everything.
-        let mut exec = Executor::new(
-            mem,
-            Box::new(obj),
-            workloads,
-            RoundRobinScheduler::new(),
-        );
+        let mut exec = Executor::new(mem, Box::new(obj), workloads, RoundRobinScheduler::new());
         let result = exec.run();
         assert!(check_ivl_monotone(&SimCounterSpec, &result.history).is_ivl());
     }
@@ -139,8 +134,12 @@ mod tests {
             workloads[0] = Workload {
                 ops: vec![SimOp::Query(0), SimOp::Query(0)],
             };
-            let mut exec =
-                Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(n as u64));
+            let mut exec = Executor::new(
+                mem,
+                Box::new(obj),
+                workloads,
+                RandomScheduler::new(n as u64),
+            );
             let result = exec.run();
             assert_eq!(result.mean_update_steps(), 1.0, "update is O(1)");
             assert_eq!(result.mean_query_steps(), n as f64, "read is O(n)");

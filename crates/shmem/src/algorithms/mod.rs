@@ -11,5 +11,7 @@ pub use binary_snapshot::BinarySnapshotSim;
 pub use fetch_add_counter::FetchAddCounterSim;
 pub use inc_dec_sim::{decode_signed, encode_signed, IncDecCounterSim, IncDecSimSpec};
 pub use ivl_counter::IvlCounterSim;
-pub use pcm_sim::{example9_hash, example9_violation_count, example9_violation_count_biased, PcmSim, TableCmSpec};
+pub use pcm_sim::{
+    example9_hash, example9_violation_count, example9_violation_count_biased, PcmSim, TableCmSpec,
+};
 pub use snapshot::SnapshotCounterSim;

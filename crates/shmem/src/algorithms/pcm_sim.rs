@@ -300,7 +300,11 @@ mod tests {
         let result = exec.run();
         let ops = result.history.operations();
         let queries: Vec<_> = ops.iter().filter(|o| o.op.is_query()).collect();
-        assert_eq!(queries[0].return_value, Some(2), "Q1 observes U's row-1 bump");
+        assert_eq!(
+            queries[0].return_value,
+            Some(2),
+            "Q1 observes U's row-1 bump"
+        );
         assert_eq!(queries[1].return_value, Some(2), "Q2 misses U's row-2 bump");
         assert!(
             !check_linearizable(std::slice::from_ref(&spec), &result.history).is_linearizable(),

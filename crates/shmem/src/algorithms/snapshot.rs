@@ -140,11 +140,7 @@ impl ScanMachine {
         }
         // A double collect just finished: compare.
         self.in_second_collect = false;
-        let clean = self
-            .first
-            .iter()
-            .zip(&self.second)
-            .all(|(a, b)| a.1 == b.1);
+        let clean = self.first.iter().zip(&self.second).all(|(a, b)| a.1 == b.1);
         if clean {
             let view = self.second.iter().map(|t| t.0).collect();
             return ScanStep::Done(view);
@@ -233,12 +229,7 @@ mod tests {
                 ops: vec![SimOp::Query(0)],
             },
         ];
-        let mut exec = Executor::new(
-            mem,
-            Box::new(obj),
-            workloads,
-            RoundRobinScheduler::new(),
-        );
+        let mut exec = Executor::new(mem, Box::new(obj), workloads, RoundRobinScheduler::new());
         let result = exec.run();
         assert!(
             check_linearizable(&[SimCounterSpec], &result.history).is_linearizable(),
@@ -266,8 +257,7 @@ mod tests {
                     ops: vec![SimOp::Query(0), SimOp::Query(0)],
                 },
             ];
-            let mut exec =
-                Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
+            let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(seed));
             let result = exec.run();
             assert!(
                 check_linearizable(&[SimCounterSpec], &result.history).is_linearizable(),
@@ -283,8 +273,7 @@ mod tests {
             let mut mem = Memory::new();
             let obj = SnapshotCounterSim::new(&mut mem, n);
             let workloads = vec![Workload::updates(2, 1); n];
-            let mut exec =
-                Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(7));
+            let mut exec = Executor::new(mem, Box::new(obj), workloads, RandomScheduler::new(7));
             let result = exec.run();
             let min_update = result
                 .stats

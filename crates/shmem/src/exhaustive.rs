@@ -205,7 +205,11 @@ mod tests {
         });
         assert!(!stats.truncated, "exploration must be complete");
         assert_eq!(stats.schedules, checked);
-        assert!(stats.schedules > 50, "non-trivial space: {}", stats.schedules);
+        assert!(
+            stats.schedules > 50,
+            "non-trivial space: {}",
+            stats.schedules
+        );
     }
 
     #[test]
@@ -281,10 +285,7 @@ mod tests {
         });
         assert!(!stats.truncated, "space too large: {}", stats.schedules);
         assert!(nonlin > 0, "Example 9 violations must exist");
-        assert!(
-            nonlin < stats.schedules,
-            "most schedules still linearize"
-        );
+        assert!(nonlin < stats.schedules, "most schedules still linearize");
         println!(
             "example9 census: {} / {} schedules non-linearizable",
             nonlin, stats.schedules

@@ -89,7 +89,11 @@ fn run_rmw(n: usize, updates_per_proc: usize, seed: u64) -> RunResult {
 /// Runs the E1/E2 sweep: for each process count in `ns`, executes an
 /// update-heavy workload with interleaved reads on both counters under
 /// a seeded random scheduler and collects per-operation step counts.
-pub fn step_complexity_sweep(ns: &[usize], updates_per_proc: usize, seed: u64) -> Vec<StepComplexityRow> {
+pub fn step_complexity_sweep(
+    ns: &[usize],
+    updates_per_proc: usize,
+    seed: u64,
+) -> Vec<StepComplexityRow> {
     ns.iter()
         .map(|&n| {
             let ivl = run_ivl(n, updates_per_proc, seed ^ n as u64);
@@ -153,7 +157,11 @@ mod tests {
         for r in &rows {
             // Theorem 11: IVL update O(1), read O(n) exactly.
             assert_eq!(r.ivl_update_max, 1, "n={}: IVL update is 1 step", r.n);
-            assert_eq!(r.ivl_read_mean, r.n as f64, "n={}: IVL read is n steps", r.n);
+            assert_eq!(
+                r.ivl_read_mean, r.n as f64,
+                "n={}: IVL read is n steps",
+                r.n
+            );
             // Theorem 14 shape: linearizable update at least 2n+1.
             assert!(
                 r.lin_update_min > 2 * r.n as u64,

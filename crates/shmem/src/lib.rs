@@ -46,4 +46,6 @@ pub use executor::{Executor, OpStat, RunResult, SimOp, Workload};
 pub use exhaustive::{count_schedules, explore_all_schedules, ExplorationStats};
 pub use machine::{MemCtx, OpMachine, StepStatus};
 pub use register::{Memory, RegValue, RegisterId};
-pub use scheduler::{BiasedScheduler, FixedScheduler, RandomScheduler, RoundRobinScheduler, Scheduler};
+pub use scheduler::{
+    BiasedScheduler, FixedScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
+};

@@ -18,13 +18,22 @@ fn workloads_from(shapes: &[Vec<(bool, u64)>]) -> Vec<Workload> {
         .map(|ops| Workload {
             ops: ops
                 .iter()
-                .map(|&(q, v)| if q { SimOp::Query(0) } else { SimOp::Update(v % 10) })
+                .map(|&(q, v)| {
+                    if q {
+                        SimOp::Query(0)
+                    } else {
+                        SimOp::Update(v % 10)
+                    }
+                })
                 .collect(),
         })
         .collect()
 }
 
-fn shape_strategy(max_procs: usize, max_ops: usize) -> impl Strategy<Value = Vec<Vec<(bool, u64)>>> {
+fn shape_strategy(
+    max_procs: usize,
+    max_ops: usize,
+) -> impl Strategy<Value = Vec<Vec<(bool, u64)>>> {
     proptest::collection::vec(
         proptest::collection::vec((any::<bool>(), 0u64..10), 0..max_ops),
         1..max_procs,

@@ -93,7 +93,10 @@ impl CountMin {
     ///
     /// Panics if either dimension is 0.
     pub fn new(params: CountMinParams, coins: &mut CoinFlips) -> Self {
-        assert!(params.width > 0 && params.depth > 0, "dimensions must be positive");
+        assert!(
+            params.width > 0 && params.depth > 0,
+            "dimensions must be positive"
+        );
         let hashes = (0..params.depth)
             .map(|_| PairwiseHash::draw(coins, params.width as u64))
             .collect();
@@ -479,7 +482,10 @@ mod tests {
 
     #[test]
     fn conservative_never_underestimates_and_beats_plain() {
-        let params = CountMinParams { width: 32, depth: 4 };
+        let params = CountMinParams {
+            width: 32,
+            depth: 4,
+        };
         let mut plain = CountMin::new(params, &mut coins(10));
         let mut cu = CountMinConservative::new(params, &mut coins(10));
         let mut truth: HashMap<u64, u64> = HashMap::new();
@@ -498,18 +504,14 @@ mod tests {
             );
         }
         // And on a skewed stream it is strictly better somewhere.
-        let strictly_better = truth
-            .keys()
-            .any(|&a| cu.estimate(a) < plain.estimate(a));
+        let strictly_better = truth.keys().any(|&a| cu.estimate(a) < plain.estimate(a));
         assert!(strictly_better, "expected CU to win on some item");
     }
 
     #[test]
     fn conservative_estimates_are_monotone_over_time() {
-        let mut cu = CountMinConservative::new(
-            CountMinParams { width: 8, depth: 2 },
-            &mut coins(11),
-        );
+        let mut cu =
+            CountMinConservative::new(CountMinParams { width: 8, depth: 2 }, &mut coins(11));
         let mut last = 0;
         for k in 0..2_000u64 {
             cu.update(k % 17);

@@ -62,7 +62,9 @@ impl CountSketch {
     /// The signed median estimate (may be negative for rare items under
     /// heavy collision noise).
     pub fn estimate_signed(&self, item: u64) -> i64 {
-        let mut ests: Vec<i64> = (0..self.depth).map(|r| self.row_estimate(r, item)).collect();
+        let mut ests: Vec<i64> = (0..self.depth)
+            .map(|r| self.row_estimate(r, item))
+            .collect();
         ests.sort_unstable();
         let mid = ests.len() / 2;
         if ests.len() % 2 == 1 {
@@ -201,7 +203,9 @@ mod tests {
         let bucket1 = cs.bucket_hashes[0].hash(1);
         let sign1 = cs.sign_hashes[0].sign(1);
         let other = (2..10_000u64)
-            .find(|&x| cs.bucket_hashes[0].hash(x) == bucket1 && cs.sign_hashes[0].sign(x) == -sign1)
+            .find(|&x| {
+                cs.bucket_hashes[0].hash(x) == bucket1 && cs.sign_hashes[0].sign(x) == -sign1
+            })
             .expect("a colliding opposite-sign item exists");
         for _ in 0..10 {
             cs.update(other);

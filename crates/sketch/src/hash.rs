@@ -122,7 +122,13 @@ mod tests {
 
     #[test]
     fn mersenne_reduction_matches_naive() {
-        for x in [0u128, 1, MERSENNE_61 as u128, u64::MAX as u128, u128::MAX >> 6] {
+        for x in [
+            0u128,
+            1,
+            MERSENNE_61 as u128,
+            u64::MAX as u128,
+            u128::MAX >> 6,
+        ] {
             assert_eq!(mod_mersenne61(x), (x % MERSENNE_61 as u128) as u64, "x={x}");
         }
     }
@@ -175,7 +181,11 @@ mod tests {
         for x in 0..64u64 {
             seen_diff |= m.hash(x) ^ m.hash(x + 1);
         }
-        assert_eq!(seen_diff.count_ones(), 64, "every bit should flip somewhere");
+        assert_eq!(
+            seen_diff.count_ones(),
+            64,
+            "every bit should flip somewhere"
+        );
     }
 
     #[test]

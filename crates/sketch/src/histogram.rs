@@ -187,7 +187,11 @@ mod tests {
             h.insert(rng.gen_range(0..10_000));
         }
         // Max bucket ≈ n/b = 500 with slack for variance.
-        assert!(h.max_bucket_load() < 2 * (n / 100), "{}", h.max_bucket_load());
+        assert!(
+            h.max_bucket_load() < 2 * (n / 100),
+            "{}",
+            h.max_bucket_load()
+        );
     }
 
     #[test]

@@ -98,11 +98,7 @@ impl HyperLogLog {
     /// Estimates the number of distinct items observed.
     pub fn estimate(&self) -> f64 {
         let m = self.registers.len() as f64;
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = self.alpha() * m * m / sum;
         if raw <= 2.5 * m {
             // Small-range (linear counting) correction.

@@ -90,14 +90,7 @@ impl GkQuantiles {
         } else {
             self.two_eps_n().saturating_sub(1)
         };
-        self.tuples.insert(
-            pos,
-            Tuple {
-                value,
-                g: 1,
-                delta,
-            },
-        );
+        self.tuples.insert(pos, Tuple { value, g: 1, delta });
         self.since_compress += 1;
         if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
             self.compress();
@@ -178,7 +171,9 @@ mod tests {
         let hi = sorted.partition_point(|&x| x <= value) as u64;
         if rank < lo {
             lo - rank
-        } else { rank.saturating_sub(hi) }
+        } else {
+            rank.saturating_sub(hi)
+        }
     }
 
     fn check_stream(values: Vec<u64>, eps: f64) {

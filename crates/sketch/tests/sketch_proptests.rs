@@ -4,9 +4,7 @@
 
 use ivl_sketch::countmin::{CountMin, CountMinConservative, CountMinParams};
 use ivl_sketch::hash::PairwiseHash;
-use ivl_sketch::{
-    CoinFlips, CountSketch, FrequencySketch, GkQuantiles, HyperLogLog, SpaceSaving,
-};
+use ivl_sketch::{CoinFlips, CountSketch, FrequencySketch, GkQuantiles, HyperLogLog, SpaceSaving};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

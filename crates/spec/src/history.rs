@@ -365,12 +365,7 @@ impl<U: Clone, Q: Clone, V: Clone> History<U, Q, V> {
     /// ids of `other` are shifted past this history's maximum id so that
     /// independently built histories never collide.
     pub fn interleave(&self, other: &History<U, Q, V>) -> History<U, Q, V> {
-        let offset = self
-            .events
-            .iter()
-            .map(|ev| ev.op.0 + 1)
-            .max()
-            .unwrap_or(0);
+        let offset = self.events.iter().map(|ev| ev.op.0 + 1).max().unwrap_or(0);
         let mut events = Vec::with_capacity(self.len() + other.len());
         let (mut i, mut j) = (0, 0);
         while i < self.events.len() || j < other.events.len() {

@@ -83,9 +83,9 @@ pub mod specs;
 
 pub use bounded::{epsilon_bounded_report, BoundedReport};
 pub use history::{History, HistoryBuilder, ObjectId, OpId, ProcessId};
+pub use ivl::{check_ivl_exact, check_ivl_monotone, IvlVerdict, QueryBounds};
+pub use linearize::{check_linearizable, LinVerdict};
 pub use record::Recorder;
 pub use relaxations::{check_regular_subset, RegularVerdict};
 pub use render::{render_events, render_timeline};
-pub use ivl::{check_ivl_exact, check_ivl_monotone, IvlVerdict, QueryBounds};
-pub use linearize::{check_linearizable, LinVerdict};
 pub use spec::{MonotoneSpec, ObjectSpec};

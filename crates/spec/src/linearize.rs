@@ -432,7 +432,9 @@ pub fn count_linearizations<S: ObjectSpec>(
     h: &History<S::Update, S::Query, S::Value>,
 ) -> u64 {
     let prep = Prep::<S>::new(h);
-    let optional: Vec<usize> = (0..prep.ops.len()).filter(|&i| !prep.mandatory[i]).collect();
+    let optional: Vec<usize> = (0..prep.ops.len())
+        .filter(|&i| !prep.mandatory[i])
+        .collect();
     assert!(
         optional.len() <= 20,
         "too many pending updates to enumerate completions"

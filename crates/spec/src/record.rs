@@ -84,10 +84,7 @@ impl<U: Clone + Debug, Q: Clone + Debug, V: Clone + Debug> Recorder<U, Q, V> {
 
     /// Extracts the recorded history.
     pub fn finish(self) -> History<U, Q, V> {
-        self.inner
-            .into_inner()
-            .expect("recorder poisoned")
-            .finish()
+        self.inner.into_inner().expect("recorder poisoned").finish()
     }
 }
 
@@ -126,10 +123,7 @@ mod tests {
         }
         let h = Arc::try_unwrap(rec).unwrap().finish();
         assert_eq!(
-            h.operations()
-                .iter()
-                .filter(|o| o.op.is_update())
-                .count(),
+            h.operations().iter().filter(|o| o.op.is_update()).count(),
             400
         );
         assert!(check_ivl_monotone(&BatchedCounterSpec, &h).is_ivl());

@@ -65,7 +65,9 @@ pub fn check_regular_subset<S: ObjectSpec>(
     let updates: Vec<_> = ops.iter().filter(|o| o.op.is_update()).collect();
 
     for q in ops.iter().filter(|o| o.op.is_query() && o.is_complete()) {
-        let Op::Query(qarg) = &q.op else { unreachable!() };
+        let Op::Query(qarg) = &q.op else {
+            unreachable!()
+        };
         let actual = q.return_value.as_ref().expect("completed query");
         let preceding: Vec<&S::Update> = updates
             .iter()

@@ -29,7 +29,12 @@ where
     let processes = h.processes();
     let width = h.len();
     let mut lanes: Vec<Vec<char>> = vec![vec!['.'; width]; processes.len()];
-    let lane_of = |p| processes.iter().position(|&x| x == p).expect("known process");
+    let lane_of = |p| {
+        processes
+            .iter()
+            .position(|&x| x == p)
+            .expect("known process")
+    };
 
     let ops = h.operations();
     for op in &ops {

@@ -115,10 +115,7 @@ impl<S: ObjectSpec> TauResult<S> {
 /// # Panics
 ///
 /// Panics if `h` is not sequential.
-pub fn tau<S: ObjectSpec>(
-    spec: &S,
-    h: &History<S::Update, S::Query, S::Value>,
-) -> TauResult<S> {
+pub fn tau<S: ObjectSpec>(spec: &S, h: &History<S::Update, S::Query, S::Value>) -> TauResult<S> {
     assert!(h.is_sequential(), "tau is defined on sequential histories");
     let mut state = spec.initial_state();
     let mut query_returns = HashMap::new();
@@ -141,8 +138,10 @@ pub fn tau<S: ObjectSpec>(
 
 /// One operation of an explicit replay order: its id and the
 /// operation (with argument).
-pub type OrderedOp<S> =
-    (OpId, Op<<S as ObjectSpec>::Update, <S as ObjectSpec>::Query>);
+pub type OrderedOp<S> = (
+    OpId,
+    Op<<S as ObjectSpec>::Update, <S as ObjectSpec>::Query>,
+);
 
 /// Replays an explicit operation order (ids refer to operations of some
 /// history) rather than an event sequence. Used by the linearization

@@ -13,14 +13,14 @@
 //! * `v_min`/`v_max` from full enumeration match the monotone bounds.
 
 use ivl_spec::gen::{
-    completed_queries, random_linearizable_history, randomize_within_ivl_bounds,
-    with_query_return, GenConfig,
+    completed_queries, random_linearizable_history, randomize_within_ivl_bounds, with_query_return,
+    GenConfig,
 };
 use ivl_spec::history::ObjectId;
+use ivl_spec::ivl::monotone_query_bounds;
 use ivl_spec::ivl::{check_ivl_by_locality, check_ivl_exact, check_ivl_monotone};
 use ivl_spec::linearize::{check_linearizable, count_linearizations, query_value_bounds};
 use ivl_spec::specs::{BatchedCounterSpec, MaxRegisterSpec};
-use ivl_spec::ivl::monotone_query_bounds;
 use proptest::prelude::*;
 use rand::Rng;
 

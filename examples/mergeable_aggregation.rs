@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example mergeable_aggregation`
 
-use ivl_core::prelude::*;
 use ivl_concurrent::{ShardedPcm, SketchHandle};
+use ivl_core::prelude::*;
 use ivl_sketch::stream::ZipfStream;
 use std::collections::HashMap;
 

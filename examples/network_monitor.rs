@@ -120,8 +120,6 @@ fn main() {
         "\nSpaceSaving guarantees {} flows above n/200 = {}; PCM agrees on all: {}",
         guaranteed.len(),
         n / 200,
-        guaranteed
-            .iter()
-            .all(|&f| pcm.estimate(f) + eps >= n / 200)
+        guaranteed.iter().all(|&f| pcm.estimate(f) + eps >= n / 200)
     );
 }

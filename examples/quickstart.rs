@@ -60,8 +60,6 @@ fn main() {
         let h = b.finish();
         let lin = check_linearizable(&[BatchedCounterSpec], &h).is_linearizable();
         let ivl = check_ivl_exact(&[BatchedCounterSpec], &h).is_ivl();
-        println!(
-            "overlapping read returned {read_value:>2}: linearizable={lin:<5} ivl={ivl}"
-        );
+        println!("overlapping read returned {read_value:>2}: linearizable={lin:<5} ivl={ivl}");
     }
 }

@@ -63,8 +63,7 @@ fn linearization_witness_is_a_valid_order() {
             // The witness must contain every completed operation
             // exactly once and respect u1 ≺ u2.
             assert_eq!(witness.len(), 3);
-            let pos =
-                |id| witness.iter().position(|&x| x == id).expect("in witness");
+            let pos = |id| witness.iter().position(|&x| x == id).expect("in witness");
             assert!(pos(u1) < pos(u2));
         }
         LinVerdict::NotLinearizable => panic!("history is linearizable"),

@@ -129,11 +129,19 @@ fn all_counters_satisfy_ivl_envelope() {
     use ivl_core::theorem6::counter_envelope_run;
     let ivl = IvlBatchedCounter::new(4);
     let r = counter_envelope_run(&ivl, 20_000, 2, 4_000);
-    assert_eq!((r.lower_violations, r.upper_violations), (0, 0), "IVL counter");
+    assert_eq!(
+        (r.lower_violations, r.upper_violations),
+        (0, 0),
+        "IVL counter"
+    );
 
     let fa = FetchAddCounter::new(4);
     let r = counter_envelope_run(&fa, 20_000, 2, 4_000);
-    assert_eq!((r.lower_violations, r.upper_violations), (0, 0), "fetch_add");
+    assert_eq!(
+        (r.lower_violations, r.upper_violations),
+        (0, 0),
+        "fetch_add"
+    );
 
     let mx = MutexBatchedCounter::new(4);
     let r = counter_envelope_run(&mx, 20_000, 2, 4_000);

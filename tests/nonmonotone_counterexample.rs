@@ -6,8 +6,8 @@
 //! per-slot inc/dec counter realizes the failure; the linearizable
 //! inc/dec counter and the monotone analogue both stay legal.
 
-use ivl_core::prelude::*;
 use ivl_concurrent::{LinearizableIncDec, RegularIncDec};
+use ivl_core::prelude::*;
 use ivl_spec::ivl::check_ivl_exact;
 use ivl_spec::specs::{BatchedCounterSpec, IncDecCounterSpec};
 use ivl_spec::IvlVerdict;

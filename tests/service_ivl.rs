@@ -1,0 +1,169 @@
+//! End-to-end check of the serving subsystem against the paper.
+//!
+//! An in-process `ivl-service` server is hammered over real TCP by
+//! four ingest connections while a fifth queries live. Two properties
+//! are asserted:
+//!
+//! 1. **Envelopes cover ground truth** (Theorem 6 instantiated at the
+//!    service boundary). For every live query the test brackets the
+//!    key's true frequency from the client side: `lo` = weight acked
+//!    before the query was sent (≤ `f_start`), `hi` = weight invoked
+//!    by the time the answer arrived (≥ `f_end`). CountMin never
+//!    underestimates, so `estimate ≥ lo` must hold *deterministically*;
+//!    `estimate ≤ hi + ε` holds per query with probability `1 − δ`,
+//!    so upper-side misses are counted against a δ budget.
+//! 2. **The recorded history is IVL**: the server's full operation
+//!    history (every `(key, weight)` update and every answered query)
+//!    replays clean through the monotone interval checker, and a
+//!    small second run through the exact (exponential) checker.
+
+use ivl_core::prelude::*;
+use ivl_core::service::server::{serve, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const KEYS: usize = 64;
+const WORKERS: usize = 4;
+const UPDATES_PER_WORKER: usize = 500;
+const LIVE_QUERIES: usize = 300;
+
+fn key_weight(worker: usize, i: usize) -> (u64, u64) {
+    (((worker * 31 + i * 7) % KEYS) as u64, 1 + (i % 3) as u64)
+}
+
+#[test]
+fn concurrent_serving_run_is_ivl_and_envelopes_cover_truth() {
+    let cfg = ServerConfig {
+        shards: WORKERS,
+        record: true,
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr();
+
+    // Client-side ground truth per key, in total weight.
+    let invoked: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
+    let completed: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
+    let upper_misses = AtomicU64::new(0);
+    let delta = handle.params().delta();
+
+    crossbeam::scope(|s| {
+        for w in 0..WORKERS {
+            let (invoked, completed) = (&invoked, &completed);
+            s.spawn(move |_| {
+                let mut client = Client::connect(addr).expect("connect ingest");
+                for i in 0..UPDATES_PER_WORKER {
+                    let (key, weight) = key_weight(w, i);
+                    invoked[key as usize].fetch_add(weight, Ordering::SeqCst);
+                    client.update(key, weight).expect("update acked");
+                    completed[key as usize].fetch_add(weight, Ordering::SeqCst);
+                }
+            });
+        }
+        let (invoked, completed, upper_misses) = (&invoked, &completed, &upper_misses);
+        s.spawn(move |_| {
+            let mut client = Client::connect(addr).expect("connect querier");
+            for q in 0..LIVE_QUERIES {
+                let key = (q % KEYS) as u64;
+                let lo = completed[key as usize].load(Ordering::SeqCst);
+                let env = client.query(key).expect("query answered");
+                let hi = invoked[key as usize].load(Ordering::SeqCst);
+                // Deterministic side: the estimate dominates every
+                // update completed before the query began.
+                assert!(
+                    env.estimate >= lo,
+                    "query {q} key {key}: estimate {} below completed weight {lo}",
+                    env.estimate
+                );
+                // Probabilistic side: within epsilon of everything
+                // invoked by the end, up to delta misses.
+                if !env.covers(lo, hi) {
+                    upper_misses.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+    })
+    .unwrap();
+
+    // Quiescent recheck: every key's envelope brackets its exact
+    // final frequency.
+    {
+        let mut client = Client::connect(addr).expect("connect recheck");
+        for key in 0..KEYS as u64 {
+            let truth = completed[key as usize].load(Ordering::SeqCst);
+            assert_eq!(truth, invoked[key as usize].load(Ordering::SeqCst));
+            let env = client.query(key).expect("query answered");
+            assert!(env.estimate >= truth, "quiescent underestimate of {key}");
+            if !env.covers(truth, truth) {
+                upper_misses.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+    let total_queries = (LIVE_QUERIES + KEYS) as f64;
+    let allowed = (3.0 * delta * total_queries).ceil().max(3.0) as u64;
+    let misses = upper_misses.load(Ordering::SeqCst);
+    assert!(
+        misses <= allowed,
+        "{misses} envelopes exceeded epsilon (delta {delta} allows ~{allowed} of {total_queries})"
+    );
+
+    // The server's own accounting matches the load it was given.
+    let total_updates = (WORKERS * UPDATES_PER_WORKER) as u64;
+    let total_weight: u64 = (0..WORKERS)
+        .flat_map(|w| (0..UPDATES_PER_WORKER).map(move |i| key_weight(w, i).1))
+        .sum();
+    let stats = handle.stats();
+    assert_eq!(stats.updates, total_updates);
+    assert_eq!(stats.stream_len, total_weight);
+    assert_eq!(stats.queries, (LIVE_QUERIES + KEYS) as u64);
+    assert_eq!(stats.accepted, (WORKERS + 2) as u64);
+    assert!(stats.update_p50_ns > 0 && stats.update_p50_ns <= stats.update_p99_ns);
+    assert!(stats.query_p50_ns > 0 && stats.query_p50_ns <= stats.query_p99_ns);
+
+    // The recorded history replays clean through the IVL checker.
+    let joined = handle.join();
+    let history = joined.history.expect("recording was on");
+    let ops = history.operations();
+    assert_eq!(
+        ops.iter().filter(|o| o.op.is_update()).count() as u64,
+        total_updates
+    );
+    assert!(
+        check_ivl_monotone(&joined.spec, &history).is_ivl(),
+        "recorded serving history is not IVL"
+    );
+}
+
+#[test]
+fn small_serving_run_passes_the_exact_checker() {
+    let cfg = ServerConfig {
+        shards: 2,
+        record: true,
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr();
+    crossbeam::scope(|s| {
+        for t in 0..2u64 {
+            s.spawn(move |_| {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..6u64 {
+                    client.update(i % 3, t + 1).expect("update acked");
+                }
+                client.query(t % 3).expect("query answered");
+                client.query((t + 1) % 3).expect("query answered");
+            });
+        }
+    })
+    .unwrap();
+    let joined = handle.join();
+    let history = joined.history.expect("recording was on");
+    let ops = history.operations().len();
+    assert!(
+        ops <= ivl_core::spec::linearize::MAX_EXACT_OPS,
+        "history too large for the exact checker: {ops} ops"
+    );
+    assert!(
+        check_ivl_exact(std::slice::from_ref(&joined.spec), &history).is_ivl(),
+        "small serving history fails the exact IVL check"
+    );
+}

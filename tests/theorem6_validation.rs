@@ -3,9 +3,9 @@
 //! the delegation-style sketch (regular-like staleness) violates the
 //! bound IVL guarantees.
 
+use ivl_concurrent::delegation::DelegatedCountMin;
 use ivl_core::prelude::*;
 use ivl_core::theorem6::{theorem6_run, Theorem6Config};
-use ivl_concurrent::delegation::DelegatedCountMin;
 use ivl_sketch::cm_spec::CountMinSpec;
 use ivl_sketch::countmin::CountMinParams;
 use ivl_spec::ivl::check_ivl_exact;

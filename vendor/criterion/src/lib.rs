@@ -1,0 +1,269 @@
+//! Offline in-tree shim for the subset of the `criterion` 0.5 API used
+//! by this workspace's benches.
+//!
+//! It is a real (if spartan) harness: each benchmark runs a short
+//! warm-up followed by `sample_size` measured samples and prints the
+//! mean time per iteration (plus element throughput when declared).
+//! There is no statistical analysis, plotting, or baseline storage —
+//! the benches exist to be runnable and comparable by eye in this
+//! offline environment.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to benchmark closures to drive the measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.measured = Some(start.elapsed());
+    }
+
+    /// Lets the closure time `iters` iterations itself and report the
+    /// total duration.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.measured = Some(f(self.iters));
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.into(), f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before measuring (approximate in this shim).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measurement budget (approximate in this shim).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        // One warm-up sample, then `sample_size` measured samples.
+        let mut warm = Bencher {
+            iters: 1,
+            measured: None,
+        };
+        f(&mut warm);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                measured: None,
+            };
+            f(&mut b);
+            total += b
+                .measured
+                .expect("bench closure must call iter/iter_custom");
+            iters += 1;
+        }
+        let per_iter = total.as_secs_f64() / iters.max(1) as f64;
+        let label = if self.name.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / per_iter / 1e6;
+                println!(
+                    "bench {label}: {:.3} ms/iter, {rate:.2} Melem/s",
+                    per_iter * 1e3
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / per_iter / 1e6;
+                println!(
+                    "bench {label}: {:.3} ms/iter, {rate:.2} MB/s",
+                    per_iter * 1e3
+                );
+            }
+            None => println!("bench {label}: {:.3} ms/iter", per_iter * 1e3),
+        }
+    }
+}
+
+/// Bundles benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut calls = 0;
+        group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            calls += 1;
+            b.iter(|| x + 1);
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                Duration::from_micros(5)
+            })
+        });
+        group.finish();
+        // warm-up + 2 samples
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline in-tree shim for the subset of the `crossbeam` 0.8 API used
+//! by this workspace: [`scope`] (scoped threads) and
+//! [`utils::CachePadded`].
+//!
+//! The scoped-thread API is implemented on top of
+//! [`std::thread::scope`], which provides the same structured
+//! guarantee (all spawned threads join before `scope` returns). As in
+//! crossbeam, the closure passed to [`Scope::spawn`] receives the
+//! scope itself, so nested spawns work unchanged.
+//!
+//! Panic handling: the first panic raised in a spawned (and not
+//! explicitly joined) thread is re-raised out of [`scope`] with its
+//! original payload, so assertion messages from worker threads reach
+//! the test harness intact (std's scope would otherwise replace them
+//! with "a scoped thread panicked").
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A scope for spawning borrowing threads (wraps
+/// [`std::thread::Scope`]).
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+    first_panic: Arc<Mutex<Option<String>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. The closure receives the
+    /// scope, allowing nested spawns (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        let first_panic = Arc::clone(&self.first_panic);
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || {
+                let nested = Scope {
+                    inner: inner_scope,
+                    first_panic: Arc::clone(&first_panic),
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(&nested))) {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        // Keep a copy of the first panic message so
+                        // `scope` can re-raise something meaningful;
+                        // the payload itself travels on to `join`.
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "a scoped thread panicked".to_owned());
+                        let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                        slot.get_or_insert(message);
+                        drop(slot);
+                        resume_unwind(payload)
+                    }
+                }
+            }),
+        }
+    }
+}
+
+/// Handle to a scoped thread (wraps [`std::thread::ScopedJoinHandle`]).
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or the
+    /// panic payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which threads may borrow non-`'static` data.
+///
+/// Returns `Ok` with the closure's result. If a spawned thread
+/// panicked (and its handle was not joined), the panic is re-raised
+/// here with the original payload.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let first_panic = Arc::new(Mutex::new(None));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                first_panic: Arc::clone(&first_panic),
+            })
+        })
+    }));
+    match result {
+        Ok(r) => Ok(r),
+        Err(outer) => {
+            let recorded = first_panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+            match recorded {
+                Some(message) => resume_unwind(Box::new(message)),
+                None => resume_unwind(outer),
+            }
+        }
+    }
+}
+
+pub mod utils {
+    //! Utility types.
+
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) one cache line to prevent
+    /// false sharing between adjacent values.
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                let c = &counter;
+                s.spawn(move |_| {
+                    for _ in 0..1_000 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4_000);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            let c = &counter;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let r = super::scope(|s| s.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn join_surfaces_child_panic() {
+        let r = super::scope(|s| s.spawn(|_| panic!("joined boom")).join()).unwrap();
+        let payload = r.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("joined boom"));
+    }
+
+    #[test]
+    #[should_panic(expected = "child boom")]
+    fn child_panic_propagates_with_payload() {
+        super::scope(|s| {
+            s.spawn(|_| panic!("child boom"));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let v = CachePadded::new(AtomicU64::new(9));
+        assert_eq!(v.load(Ordering::Relaxed), 9);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(CachePadded::new(5u64).into_inner(), 5);
+    }
+}
