@@ -1,0 +1,78 @@
+//! Repo-invariant lint runner.
+//!
+//! ```text
+//! ivl_lint [--root DIR] [--json]
+//! ```
+//!
+//! Exits 0 when every check passes, 1 when any finding is reported,
+//! 2 on usage errors. Run from anywhere inside the repository; the
+//! root defaults to the nearest ancestor containing `Cargo.toml` with
+//! a `[workspace]` table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: ivl_lint [--root DIR] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match find_workspace_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace root found; pass --root DIR");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = ivl_analyzer::run_lints(&root);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

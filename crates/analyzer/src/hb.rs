@@ -1,0 +1,487 @@
+//! Vector-clock happens-before analysis of simulator executions.
+//!
+//! The simulator records every scheduled step's shared-memory access
+//! footprint ([`StepRecord`]). This pass replays those footprints
+//! through per-process vector clocks with release/acquire semantics
+//! on atomic registers: a read of register `r` happens-after the
+//! latest prior write of `r` (reads-from), a process's steps are
+//! totally ordered (program order), and an RMW is both. On top of the
+//! resulting partial order it checks the model's discipline:
+//!
+//! * **SWMR violations** — a `Write` to a register the stepping
+//!   process does not own, or an RMW on an owned (single-writer)
+//!   register. The paper's model (§2.1) gives every register exactly
+//!   one writer; `fetch_add` is reserved for explicitly shared cells.
+//! * **Write–write races** — two writes to the same register that are
+//!   unordered by happens-before. Impossible under intact SWMR
+//!   ownership; their presence is how a planted ownership bug
+//!   manifests *behaviourally* rather than structurally.
+//! * **Non-atomic steps** — a step performing more than one shared
+//!   access, which breaks the uniform step-complexity measure (§3.1)
+//!   every theorem counts in.
+//!
+//! Unordered **read→write conflicts** (a later write unordered with
+//! an earlier read of the same register) are reported as a count, not
+//! an error: they are exactly the paper's intermediate-read pattern —
+//! a reader overlapping an updater is how IVL-but-not-linearizable
+//! histories arise (Example 9), so flagging them as errors would flag
+//! the object of study.
+//!
+//! Every finding carries a replayable schedule: the process indices
+//! of the execution's steps up to and including the offending one,
+//! feedable verbatim to [`FixedScheduler`].
+
+use crate::json_escape;
+use ivl_shmem::executor::{RunResult, SimObject, Workload};
+use ivl_shmem::{Executor, FixedScheduler, Memory, Scheduler, StepRecord};
+use ivl_spec::history::History;
+use ivl_spec::ProcessId;
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// What went wrong at a step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HbIssue {
+    /// A write by a process that does not own the register (or an RMW
+    /// on a single-writer register).
+    SwmrViolation {
+        /// Register index written.
+        reg: usize,
+        /// The register's owner, if single-writer.
+        owner: Option<usize>,
+    },
+    /// Two happens-before-unordered writes to one register.
+    WwRace {
+        /// Register index written.
+        reg: usize,
+        /// Step index of the earlier unordered write.
+        other_step: usize,
+        /// Process of the earlier unordered write.
+        other_process: usize,
+    },
+    /// A step with more than one shared-memory access.
+    NonAtomicStep {
+        /// Number of accesses the step performed.
+        accesses: usize,
+    },
+}
+
+impl HbIssue {
+    fn kind(&self) -> &'static str {
+        match self {
+            HbIssue::SwmrViolation { .. } => "swmr-violation",
+            HbIssue::WwRace { .. } => "ww-race",
+            HbIssue::NonAtomicStep { .. } => "non-atomic-step",
+        }
+    }
+}
+
+/// One error-level finding, anchored to the first offending step.
+#[derive(Clone, Debug)]
+pub struct HbFinding {
+    /// The violation.
+    pub issue: HbIssue,
+    /// Index of the offending step in the execution.
+    pub step: usize,
+    /// The process that took the offending step.
+    pub process: usize,
+    /// Process indices of steps `0..=step`: a [`FixedScheduler`]
+    /// script that replays the execution up to the violation.
+    pub schedule: Vec<usize>,
+}
+
+impl HbFinding {
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        let what = match &self.issue {
+            HbIssue::SwmrViolation { reg, owner } => match owner {
+                Some(o) => format!("wrote register r{reg} owned by process {o}"),
+                None => format!("performed an RMW on shared register r{reg} it may not write"),
+            },
+            HbIssue::WwRace {
+                reg,
+                other_step,
+                other_process,
+            } => format!(
+                "write to r{reg} races with the write at step {other_step} by process {other_process}"
+            ),
+            HbIssue::NonAtomicStep { accesses } => {
+                format!("performed {accesses} shared accesses in one step (at most 1 allowed)")
+            }
+        };
+        format!(
+            "[{}] step {} (process {}): {} — replay schedule {:?}",
+            self.issue.kind(),
+            self.step,
+            self.process,
+            what,
+            self.schedule
+        )
+    }
+}
+
+/// The first unordered read→write pair, kept for diagnostics.
+#[derive(Clone, Debug)]
+pub struct RwConflict {
+    /// Step index of the earlier read.
+    pub read_step: usize,
+    /// Process of the earlier read.
+    pub reader: usize,
+    /// Step index of the unordered later write.
+    pub write_step: usize,
+    /// Process of the later write.
+    pub writer: usize,
+    /// Register index.
+    pub reg: usize,
+    /// Replay schedule through the write step.
+    pub schedule: Vec<usize>,
+}
+
+/// Outcome of a happens-before pass over one execution.
+#[derive(Clone, Debug)]
+pub struct HbReport {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Steps analyzed.
+    pub steps: usize,
+    /// Error-level findings (empty iff the execution respects the
+    /// model's discipline).
+    pub findings: Vec<HbFinding>,
+    /// Count of unordered read→write pairs (informational: the
+    /// intermediate-read pattern IVL exists to license).
+    pub rw_conflicts: u64,
+    /// The first unordered read→write pair observed, if any.
+    pub first_rw_conflict: Option<RwConflict>,
+}
+
+impl HbReport {
+    /// Whether the execution satisfied SWMR, ordered writes and
+    /// one-access steps.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "hb: {} steps, {} processes: {} finding(s), {} unordered read->write pair(s)\n",
+            self.steps,
+            self.nprocs,
+            self.findings.len(),
+            self.rw_conflicts
+        );
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        if let Some(rw) = &self.first_rw_conflict {
+            out.push_str(&format!(
+                "[rw-conflict, informational] read of r{} at step {} (process {}) unordered with write at step {} (process {})\n",
+                rw.reg, rw.read_step, rw.reader, rw.write_step, rw.writer
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering (see README "JSON report schemas").
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let sched: Vec<String> = f.schedule.iter().map(|p| p.to_string()).collect();
+                format!(
+                    "{{\"kind\":\"{}\",\"step\":{},\"process\":{},\"detail\":\"{}\",\"schedule\":[{}]}}",
+                    f.issue.kind(),
+                    f.step,
+                    f.process,
+                    json_escape(&f.render()),
+                    sched.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"steps\":{},\"processes\":{},\"clean\":{},\"rw_conflicts\":{},\"findings\":[{}]}}",
+            self.steps,
+            self.nprocs,
+            self.is_clean(),
+            self.rw_conflicts,
+            findings.join(",")
+        )
+    }
+}
+
+fn leq(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b.iter()).all(|(x, y)| x <= y)
+}
+
+fn join(a: &mut [u64], b: &[u64]) {
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = (*x).max(*y);
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct RegState {
+    /// Latest write: (step index, process, clock at the write).
+    last_write: Option<(usize, usize, Vec<u64>)>,
+    /// Latest read per process: (step index, clock at the read).
+    last_reads: BTreeMap<usize, (usize, Vec<u64>)>,
+}
+
+/// Runs the vector-clock pass over recorded step footprints.
+///
+/// `owners` is the memory's ownership table
+/// ([`Memory::owners`]); `None` entries are shared (RMW-only)
+/// registers.
+pub fn analyze_steps(
+    nprocs: usize,
+    steps: &[StepRecord],
+    owners: &[Option<ProcessId>],
+) -> HbReport {
+    let mut clocks: Vec<Vec<u64>> = vec![vec![0; nprocs]; nprocs];
+    let mut regs: BTreeMap<usize, RegState> = BTreeMap::new();
+    let mut findings: Vec<HbFinding> = Vec::new();
+    let mut rw_conflicts = 0u64;
+    let mut first_rw: Option<RwConflict> = None;
+    let schedule_through =
+        |i: usize| -> Vec<usize> { steps[..=i].iter().map(|s| s.process).collect() };
+
+    for (i, st) in steps.iter().enumerate() {
+        let p = st.process;
+        if st.accesses.len() > 1 {
+            findings.push(HbFinding {
+                issue: HbIssue::NonAtomicStep {
+                    accesses: st.accesses.len(),
+                },
+                step: i,
+                process: p,
+                schedule: schedule_through(i),
+            });
+        }
+        // Acquire: reads synchronize with the latest write they
+        // observe (execution order = coherence order per register).
+        for a in &st.accesses {
+            if a.kind.is_read() {
+                if let Some(rs) = regs.get(&a.reg.0) {
+                    if let Some((_, _, wc)) = &rs.last_write {
+                        let wc = wc.clone();
+                        join(&mut clocks[p], &wc);
+                    }
+                }
+            }
+        }
+        clocks[p][p] += 1;
+        let now = clocks[p].clone();
+
+        for a in &st.accesses {
+            let rs = regs.entry(a.reg.0).or_default();
+            if a.kind.is_write() {
+                let owner = owners.get(a.reg.0).copied().flatten();
+                let violates = if a.kind.is_read() {
+                    // RMW: legal only on shared (ownerless) cells.
+                    owner.is_some()
+                } else {
+                    owner != Some(ProcessId(p as u32))
+                };
+                if violates {
+                    findings.push(HbFinding {
+                        issue: HbIssue::SwmrViolation {
+                            reg: a.reg.0,
+                            owner: owner.map(|o| o.0 as usize),
+                        },
+                        step: i,
+                        process: p,
+                        schedule: schedule_through(i),
+                    });
+                }
+                if let Some((ws, wp, wc)) = &rs.last_write {
+                    if *wp != p && !leq(wc, &now) {
+                        findings.push(HbFinding {
+                            issue: HbIssue::WwRace {
+                                reg: a.reg.0,
+                                other_step: *ws,
+                                other_process: *wp,
+                            },
+                            step: i,
+                            process: p,
+                            schedule: schedule_through(i),
+                        });
+                    }
+                }
+                for (&q, (ri, rc)) in rs.last_reads.iter() {
+                    if q != p && !leq(rc, &now) {
+                        rw_conflicts += 1;
+                        if first_rw.is_none() {
+                            first_rw = Some(RwConflict {
+                                read_step: *ri,
+                                reader: q,
+                                write_step: i,
+                                writer: p,
+                                reg: a.reg.0,
+                                schedule: schedule_through(i),
+                            });
+                        }
+                    }
+                }
+                rs.last_write = Some((i, p, now.clone()));
+            }
+            if a.kind.is_read() {
+                rs.last_reads.insert(p, (i, now.clone()));
+            }
+        }
+    }
+
+    HbReport {
+        nprocs,
+        steps: steps.len(),
+        findings,
+        rw_conflicts,
+        first_rw_conflict: first_rw,
+    }
+}
+
+/// Executes a configuration under `scheduler` in *detection* mode —
+/// ownership enforcement off, lenient (multi-access) steps on, step
+/// log enabled — then runs [`analyze_steps`] over what happened.
+/// This is how suspect machines are examined: a planted violation
+/// executes and is reported (with a replayable schedule) instead of
+/// panicking inside the simulator.
+pub fn analyze_config<S: Scheduler + Clone>(
+    mem: Memory,
+    object: Box<dyn SimObject>,
+    workloads: Vec<Workload>,
+    scheduler: S,
+    max_turns: u64,
+) -> (HbReport, RunResult) {
+    let nprocs = workloads.len();
+    let mut exec = Executor::new(mem, object, workloads, scheduler);
+    exec.memory_mut().set_enforce_ownership(false);
+    exec.set_lenient_steps(true);
+    exec.enable_step_log();
+    let result = exec.run_bounded(max_turns);
+    let report = analyze_steps(nprocs, exec.step_log(), exec.memory().owners());
+    (report, result)
+}
+
+/// Replays a [`FixedScheduler`] script in detection mode — the
+/// round-trip for a finding's `schedule` field.
+pub fn replay_schedule(
+    mem: Memory,
+    object: Box<dyn SimObject>,
+    workloads: Vec<Workload>,
+    schedule: &[usize],
+) -> (HbReport, RunResult) {
+    let turns = schedule.len() as u64;
+    analyze_config(
+        mem,
+        object,
+        workloads,
+        FixedScheduler::new(schedule.to_vec()),
+        turns,
+    )
+}
+
+/// Precedence-level summary of a recorded history (`ivl_check --hb`).
+///
+/// A history from [`ivl_spec::record::Recorder`] has no memory
+/// footprints, so the analysis is at operation granularity: the
+/// happens-before order is `≺_H` (response before invocation) plus
+/// per-process program order, and the summary quantifies how
+/// concurrent the run actually was — the denominators behind any
+/// IVL-vs-linearizability verdict on the same file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistoryHbSummary {
+    /// Total operations.
+    pub operations: usize,
+    /// Operations with a response.
+    pub completed: usize,
+    /// Pending operations.
+    pub pending: usize,
+    /// Distinct invoking processes.
+    pub processes: usize,
+    /// Ordered pairs `a ≺_H b`.
+    pub precedence_pairs: usize,
+    /// Unordered (concurrent) operation pairs.
+    pub concurrent_pairs: usize,
+    /// Maximum number of simultaneously in-flight operations.
+    pub max_overlap: usize,
+}
+
+impl HistoryHbSummary {
+    /// Human-readable one-liner.
+    pub fn render(&self) -> String {
+        format!(
+            "hb summary: {} ops ({} completed, {} pending) on {} processes; {} precedence pair(s), {} concurrent pair(s), max overlap {}",
+            self.operations,
+            self.completed,
+            self.pending,
+            self.processes,
+            self.precedence_pairs,
+            self.concurrent_pairs,
+            self.max_overlap
+        )
+    }
+
+    /// JSON rendering (see README "JSON report schemas").
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"operations\":{},\"completed\":{},\"pending\":{},\"processes\":{},\"precedence_pairs\":{},\"concurrent_pairs\":{},\"max_overlap\":{}}}",
+            self.operations,
+            self.completed,
+            self.pending,
+            self.processes,
+            self.precedence_pairs,
+            self.concurrent_pairs,
+            self.max_overlap
+        )
+    }
+}
+
+/// Computes the [`HistoryHbSummary`] of a history.
+pub fn history_hb_summary<U, Q, V>(h: &History<U, Q, V>) -> HistoryHbSummary
+where
+    U: Clone + Debug,
+    Q: Clone + Debug,
+    V: Clone + Debug,
+{
+    let ops = h.operations();
+    let mut s = HistoryHbSummary {
+        operations: ops.len(),
+        ..Default::default()
+    };
+    let mut procs: Vec<u32> = ops.iter().map(|o| o.process.0).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    s.processes = procs.len();
+    for o in &ops {
+        if o.is_complete() {
+            s.completed += 1;
+        } else {
+            s.pending += 1;
+        }
+    }
+    for (i, a) in ops.iter().enumerate() {
+        for (j, b) in ops.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if a.precedes(b) {
+                s.precedence_pairs += 1;
+            } else if i < j && a.concurrent_with(b) {
+                s.concurrent_pairs += 1;
+            }
+        }
+    }
+    // Max overlap: sweep invocation points, counting intervals that
+    // contain them.
+    for a in &ops {
+        let t = a.invoke_index;
+        let overlap = ops
+            .iter()
+            .filter(|b| b.invoke_index <= t && b.respond_index.map(|r| r > t).unwrap_or(true))
+            .count();
+        s.max_overlap = s.max_overlap.max(overlap);
+    }
+    s
+}

@@ -1,0 +1,55 @@
+//! Analysis layer: a happens-before/SWMR analyzer for executions and
+//! a repo-invariant lint.
+//!
+//! Two halves, sharing nothing but a reporting style:
+//!
+//! * [`hb`] — a vector-clock happens-before pass over executions of
+//!   the shared-memory simulator (and a precedence-level summary for
+//!   recorded histories). It verifies the SWMR register discipline the
+//!   paper's model assumes (§2.1), detects unordered write–write
+//!   races, flags steps performing more than one shared access
+//!   (breaking the uniform step-complexity measure of §3.1), and
+//!   reports each violation with a replayable
+//!   [`ivl_shmem::FixedScheduler`] schedule.
+//! * [`lint`] — a dependency-free source lint enforcing repository
+//!   invariants that the type system cannot: `unsafe` stays forbidden
+//!   crate-wide, every memory-`Ordering` in the concurrent crate is
+//!   accounted for in a checked-in audit table, no RMW instructions
+//!   sneak into the PCM sketch-cell update paths (the paper's
+//!   algorithms use only reads, writes and `fetch_add` on shared
+//!   cells), hot paths do not hide `thread::sleep`, and the service
+//!   wire-protocol frame tags stay unique.
+//!
+//! Both are wired into `scripts/verify.sh` and CI via the `ivl_lint`
+//! binary and the test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hb;
+pub mod lint;
+
+pub use hb::{
+    analyze_config, analyze_steps, history_hb_summary, HbFinding, HbIssue, HbReport,
+    HistoryHbSummary, RwConflict,
+};
+pub use lint::{run_lints, LintFinding, LintReport};
+
+/// Escapes a string for inclusion in a JSON document (the analyzer
+/// renders reports without a serialization dependency).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,416 @@
+//! `ivl_lint`: a hand-rolled, dependency-free repository lint.
+//!
+//! Five checks, each encoding an invariant of this repository that
+//! the compiler cannot express:
+//!
+//! 1. **crate-attrs** — every workspace crate's `src/lib.rs` carries
+//!    `#![forbid(unsafe_code)]`. The reproduction's claim to model
+//!    fidelity rests on there being no backdoor around the memory
+//!    model.
+//! 2. **ordering-audit** — every `Ordering::` occurrence in
+//!    `crates/concurrent` is accounted for in the checked-in audit
+//!    table `crates/concurrent/ORDERINGS.md` (file, occurrence count,
+//!    justification). Adding or removing an atomic ordering without
+//!    updating the audit fails the lint — the table is how reviewers
+//!    know each relaxed access was argued about, not pasted.
+//! 3. **rmw-hazard** — the PCM sketch-cell update paths (`pcm.rs`,
+//!    `sharded.rs`, `delegation.rs`, `locked.rs`) must not use
+//!    compare-and-swap style RMWs (`compare_exchange`,
+//!    `fetch_update`, `compare_and_swap`). The paper's counters are
+//!    built from reads, writes and `fetch_add` only; a CAS loop in an
+//!    update path silently changes the progress guarantee the
+//!    theorems assume (`morris_conc.rs` / `min_register.rs` use CAS
+//!    by design and are exempt).
+//! 4. **no-sleep** — no `thread::sleep` in non-test server/client
+//!    code (`crates/service`, `crates/bench`, `crates/counter`,
+//!    `crates/core`). Sleeping in a hot path hides backpressure bugs
+//!    that the IVL error envelopes would otherwise surface. A
+//!    deliberate sleep is annotated `// lint:allow sleep — <reason>`
+//!    on the same or preceding line.
+//! 5. **frame-tags** — the wire-protocol opcode bytes in
+//!    `crates/service/src/protocol.rs` are pairwise distinct.
+//!
+//! The engine is parameterized by the repository root so the test
+//! suite can point it at fixture trees with planted violations.
+
+use crate::json_escape;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The checks, in execution order.
+pub const CHECKS: [&str; 5] = [
+    "crate-attrs",
+    "ordering-audit",
+    "rmw-hazard",
+    "no-sleep",
+    "frame-tags",
+];
+
+/// Files whose update paths must stay free of CAS-style RMWs.
+const RMW_HAZARD_FILES: [&str; 4] = ["pcm.rs", "sharded.rs", "delegation.rs", "locked.rs"];
+
+/// CAS-style RMW method names flagged by the rmw-hazard check.
+const RMW_PATTERNS: [&str; 3] = ["compare_exchange", "fetch_update", "compare_and_swap"];
+
+/// Crates whose non-test sources must not sleep.
+const NO_SLEEP_CRATES: [&str; 4] = ["service", "bench", "counter", "core"];
+
+/// One lint violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LintFinding {
+    /// Which check fired.
+    pub check: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl LintFinding {
+    /// `check file:line message` single-line rendering.
+    pub fn render(&self) -> String {
+        if self.line == 0 {
+            format!("[{}] {}: {}", self.check, self.file, self.message)
+        } else {
+            format!(
+                "[{}] {}:{}: {}",
+                self.check, self.file, self.line, self.message
+            )
+        }
+    }
+}
+
+/// Outcome of a lint run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LintReport {
+    /// All violations found, in check order.
+    pub findings: Vec<LintFinding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the repository passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "ivl_lint: {} file(s) scanned, {} finding(s)\n",
+            self.files_scanned,
+            self.findings.len()
+        );
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        if self.is_clean() {
+            out.push_str("all checks passed\n");
+        }
+        out
+    }
+
+    /// JSON rendering (see README "JSON report schemas").
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"check\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                    f.check,
+                    json_escape(&f.file),
+                    f.line,
+                    json_escape(&f.message)
+                )
+            })
+            .collect();
+        let checks: Vec<String> = CHECKS.iter().map(|c| format!("\"{c}\"")).collect();
+        format!(
+            "{{\"clean\":{},\"files_scanned\":{},\"checks\":[{}],\"findings\":[{}]}}",
+            self.is_clean(),
+            self.files_scanned,
+            checks.join(","),
+            findings.join(",")
+        )
+    }
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Collects `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Number of `Ordering::` occurrences in a source text.
+fn ordering_occurrences(text: &str) -> usize {
+    text.matches("Ordering::").count()
+}
+
+/// Line number (1-based) where the file's `#[cfg(test)]` module
+/// starts, if any — by repository convention tests sit in a single
+/// trailing module, so everything after it is test code.
+fn test_module_start(text: &str) -> Option<usize> {
+    text.lines()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .map(|i| i + 1)
+}
+
+fn check_crate_attrs(root: &Path, report: &mut LintReport) {
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return;
+    };
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+    for dir in dirs.into_iter().filter(|d| d.is_dir()) {
+        let lib = dir.join("src").join("lib.rs");
+        let Ok(text) = fs::read_to_string(&lib) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        if !text.contains("#![forbid(unsafe_code)]") {
+            report.findings.push(LintFinding {
+                check: "crate-attrs",
+                file: rel(root, &lib),
+                line: 0,
+                message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+}
+
+/// Parses `ORDERINGS.md` audit rows: `| file.rs | count | justification |`.
+fn parse_audit_table(text: &str) -> Vec<(String, usize, String)> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim())
+            .collect();
+        if cells.len() < 3 || !cells[0].ends_with(".rs") {
+            continue;
+        }
+        let Ok(count) = cells[1].parse::<usize>() else {
+            continue;
+        };
+        rows.push((cells[0].to_string(), count, cells[2].to_string()));
+    }
+    rows
+}
+
+fn check_ordering_audit(root: &Path, report: &mut LintReport) {
+    let src = root.join("crates").join("concurrent").join("src");
+    let audit_path = root.join("crates").join("concurrent").join("ORDERINGS.md");
+    let files = rust_files(&src);
+    if files.is_empty() {
+        return;
+    }
+    let audit = fs::read_to_string(&audit_path).unwrap_or_default();
+    let rows = parse_audit_table(&audit);
+    let audit_rel = rel(root, &audit_path);
+
+    for path in &files {
+        let Ok(text) = fs::read_to_string(path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let count = ordering_occurrences(&text);
+        if count == 0 {
+            continue;
+        }
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        match rows.iter().find(|(f, _, _)| *f == name) {
+            None => report.findings.push(LintFinding {
+                check: "ordering-audit",
+                file: rel(root, path),
+                line: 0,
+                message: format!(
+                    "{count} Ordering:: use(s) but no audit row in {audit_rel}; add `| {name} | {count} | <justification> |`"
+                ),
+            }),
+            Some((_, audited, _)) if *audited != count => report.findings.push(LintFinding {
+                check: "ordering-audit",
+                file: rel(root, path),
+                line: 0,
+                message: format!(
+                    "{count} Ordering:: use(s) but {audit_rel} audits {audited}; re-justify and update the row"
+                ),
+            }),
+            Some((_, _, just)) if just.is_empty() => report.findings.push(LintFinding {
+                check: "ordering-audit",
+                file: rel(root, path),
+                line: 0,
+                message: format!("audit row in {audit_rel} has an empty justification"),
+            }),
+            Some(_) => {}
+        }
+    }
+    // Stale rows: audited files that no longer exist or no longer use
+    // atomics.
+    for (f, _, _) in &rows {
+        let exists = files.iter().any(|p| {
+            p.file_name().unwrap_or_default().to_string_lossy() == *f
+                && fs::read_to_string(p)
+                    .map(|t| ordering_occurrences(&t) > 0)
+                    .unwrap_or(false)
+        });
+        if !exists {
+            report.findings.push(LintFinding {
+                check: "ordering-audit",
+                file: audit_rel.clone(),
+                line: 0,
+                message: format!("stale audit row for {f}: file gone or no Ordering:: uses left"),
+            });
+        }
+    }
+}
+
+fn check_rmw_hazard(root: &Path, report: &mut LintReport) {
+    let src = root.join("crates").join("concurrent").join("src");
+    for name in RMW_HAZARD_FILES {
+        let path = src.join(name);
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        for (i, line) in text.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or(line);
+            for pat in RMW_PATTERNS {
+                if code.contains(pat) {
+                    report.findings.push(LintFinding {
+                        check: "rmw-hazard",
+                        file: rel(root, &path),
+                        line: i + 1,
+                        message: format!(
+                            "`{pat}` in a PCM update path: sketch cells take only load/store/fetch_add (model §2.1); move CAS logic to an exempt module or redesign"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_no_sleep(root: &Path, report: &mut LintReport) {
+    for krate in NO_SLEEP_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        for path in rust_files(&src) {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            report.files_scanned += 1;
+            let test_start = test_module_start(&text).unwrap_or(usize::MAX);
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                let lineno = i + 1;
+                if lineno >= test_start {
+                    break; // trailing test module
+                }
+                let code = line.split("//").next().unwrap_or(line);
+                if !code.contains("thread::sleep") {
+                    continue;
+                }
+                let allowed = line.contains("lint:allow sleep")
+                    || (i > 0 && lines[i - 1].contains("lint:allow sleep"));
+                if !allowed {
+                    report.findings.push(LintFinding {
+                        check: "no-sleep",
+                        file: rel(root, &path),
+                        line: lineno,
+                        message: "thread::sleep in a non-test hot path; use real backpressure, or annotate `// lint:allow sleep — <reason>`".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_frame_tags(root: &Path, report: &mut LintReport) {
+    let path = root
+        .join("crates")
+        .join("service")
+        .join("src")
+        .join("protocol.rs");
+    let Ok(text) = fs::read_to_string(&path) else {
+        return;
+    };
+    report.files_scanned += 1;
+    let mut seen: Vec<(String, u8, usize)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        let Some(rest) = t
+            .strip_prefix("const ")
+            .or_else(|| t.strip_prefix("pub const "))
+        else {
+            continue;
+        };
+        let Some((name, tail)) = rest.split_once(':') else {
+            continue;
+        };
+        let tail = tail.trim_start();
+        let Some(value_txt) = tail.strip_prefix("u8 =") else {
+            continue;
+        };
+        let value_txt = value_txt.trim().trim_end_matches(';').trim();
+        let value = if let Some(hex) = value_txt.strip_prefix("0x") {
+            u8::from_str_radix(hex, 16).ok()
+        } else {
+            value_txt.parse::<u8>().ok()
+        };
+        let Some(value) = value else { continue };
+        if let Some((other, _, other_line)) = seen.iter().find(|(_, v, _)| *v == value) {
+            report.findings.push(LintFinding {
+                check: "frame-tags",
+                file: rel(root, &path),
+                line: i + 1,
+                message: format!(
+                    "frame tag {name} = {value:#04x} collides with {other} (line {other_line}); every wire opcode must be unique"
+                ),
+            });
+        }
+        seen.push((name.trim().to_string(), value, i + 1));
+    }
+}
+
+/// Runs every check against the repository rooted at `root`.
+pub fn run_lints(root: &Path) -> LintReport {
+    let mut report = LintReport::default();
+    check_crate_attrs(root, &mut report);
+    check_ordering_audit(root, &mut report);
+    check_rmw_hazard(root, &mut report);
+    check_no_sleep(root, &mut report);
+    check_frame_tags(root, &mut report);
+    report
+}

@@ -1,0 +1,181 @@
+//! Lint engine tests: the real repository must pass every check, and
+//! fixture trees with planted violations must fail the right one.
+
+use ivl_analyzer::run_lints;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// A scratch repository tree under the target directory; removed on
+/// drop so reruns start clean.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("fixture root");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("dirs");
+        fs::write(path, content).expect("write fixture file");
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const CLEAN_LIB: &str = "//! Fixture crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+
+#[test]
+fn real_repository_lints_clean() {
+    let report = run_lints(&repo_root());
+    assert!(report.files_scanned > 20, "{}", report.files_scanned);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn missing_forbid_unsafe_is_flagged() {
+    let fx = Fixture::new("lint_fx_attrs");
+    fx.write("crates/good/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/bad/src/lib.rs",
+        "//! No forbid attr.\npub fn f() {}\n",
+    );
+    let report = run_lints(&fx.root);
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert_eq!(f.check, "crate-attrs");
+    assert_eq!(f.file, "crates/bad/src/lib.rs");
+}
+
+#[test]
+fn unaudited_and_drifted_orderings_are_flagged() {
+    let fx = Fixture::new("lint_fx_orderings");
+    fx.write(
+        "crates/concurrent/src/lib.rs",
+        &format!("{CLEAN_LIB}pub mod a;\npub mod b;\n"),
+    );
+    fx.write(
+        "crates/concurrent/src/a.rs",
+        "pub fn f() { let _ = (Ordering::Relaxed, Ordering::Acquire); }\n",
+    );
+    fx.write(
+        "crates/concurrent/src/b.rs",
+        "pub fn g() { let _ = Ordering::SeqCst; }\n",
+    );
+    // a.rs audited with a stale count; b.rs not audited at all; one
+    // stale row for a file that does not exist.
+    fx.write(
+        "crates/concurrent/ORDERINGS.md",
+        "| file | count | justification |\n| --- | --- | --- |\n| a.rs | 1 | stale count |\n| ghost.rs | 3 | file is gone |\n",
+    );
+    let report = run_lints(&fx.root);
+    let checks: Vec<&str> = report.findings.iter().map(|f| f.check).collect();
+    assert_eq!(checks, vec!["ordering-audit"; 3], "{}", report.render());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("a.rs") && f.message.contains("audits 1")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("b.rs") && f.message.contains("no audit row")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("stale audit row for ghost.rs")));
+}
+
+#[test]
+fn cas_in_pcm_update_path_is_flagged() {
+    let fx = Fixture::new("lint_fx_rmw");
+    fx.write("crates/concurrent/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/concurrent/src/pcm.rs",
+        "pub fn upd(c: &std::sync::atomic::AtomicU64) {\n    let _ = c.compare_exchange(0, 1, O, O);\n}\n",
+    );
+    // CAS in the exempt Morris module is fine.
+    fx.write(
+        "crates/concurrent/src/morris_conc.rs",
+        "pub fn m(c: &A) { let _ = c.compare_exchange(0, 1, O, O); }\n",
+    );
+    let report = run_lints(&fx.root);
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert_eq!(f.check, "rmw-hazard");
+    assert!(f.file.ends_with("pcm.rs"));
+    assert_eq!(f.line, 2);
+}
+
+#[test]
+fn hot_path_sleep_is_flagged_and_markers_or_tests_are_exempt() {
+    let fx = Fixture::new("lint_fx_sleep");
+    fx.write("crates/service/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/service/src/server.rs",
+        concat!(
+            "pub fn serve() {\n",
+            "    std::thread::sleep(d); // hot path: flagged\n",
+            "    // lint:allow sleep — deliberate backoff\n",
+            "    std::thread::sleep(d); // annotated: allowed\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { std::thread::sleep(d); } // test code: allowed\n",
+            "}\n",
+        ),
+    );
+    let report = run_lints(&fx.root);
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert_eq!(f.check, "no-sleep");
+    assert_eq!(f.line, 2);
+}
+
+#[test]
+fn duplicate_frame_tags_are_flagged() {
+    let fx = Fixture::new("lint_fx_tags");
+    fx.write("crates/service/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/service/src/protocol.rs",
+        concat!(
+            "const OP_UPDATE: u8 = 0x01;\n",
+            "const OP_QUERY: u8 = 0x02;\n",
+            "const OP_CLASH: u8 = 0x01;\n",
+            "pub const NOT_A_TAG: u32 = 1;\n",
+        ),
+    );
+    let report = run_lints(&fx.root);
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert_eq!(f.check, "frame-tags");
+    assert_eq!(f.line, 3);
+    assert!(f.message.contains("OP_UPDATE"));
+}
+
+#[test]
+fn json_report_shape_is_stable() {
+    let fx = Fixture::new("lint_fx_json");
+    fx.write("crates/x/src/lib.rs", "pub fn f() {}\n");
+    let report = run_lints(&fx.root);
+    let json = report.to_json();
+    assert!(json.contains("\"clean\":false"));
+    assert!(json.contains("\"check\":\"crate-attrs\""));
+    assert!(json.contains("\"checks\":[\"crate-attrs\",\"ordering-audit\""));
+}

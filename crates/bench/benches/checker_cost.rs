@@ -7,6 +7,9 @@
 //! larger.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivl_shmem::algorithms::IvlCounterSim;
+use ivl_shmem::executor::{SimObject, SimOp, Workload};
+use ivl_shmem::{count_schedules, explore_dpor, Memory};
 use ivl_spec::gen::{random_linearizable_history, GenConfig};
 use ivl_spec::ivl::{check_ivl_exact, check_ivl_monotone};
 use ivl_spec::specs::BatchedCounterSpec;
@@ -65,5 +68,63 @@ fn bench_monotone(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exact, bench_monotone);
+/// Algorithm 1 with one single-step updater and `readers` full-scan
+/// readers: the regime where partial-order reduction pays (reader
+/// steps on distinct registers commute).
+fn counter_config(readers: u32) -> impl Fn() -> (Memory, Box<dyn SimObject>, Vec<Workload>) {
+    move || {
+        let n = 1 + readers as usize;
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, n);
+        let mut workloads = vec![Workload {
+            ops: vec![SimOp::Update(3)],
+        }];
+        for _ in 0..readers {
+            workloads.push(Workload {
+                ops: vec![SimOp::Query(0)],
+            });
+        }
+        (mem, Box::new(obj) as Box<dyn SimObject>, workloads)
+    }
+}
+
+/// Exhaustive schedule exploration: naive DFS enumerating every
+/// interleaving vs DPOR enumerating one representative per trace
+/// class (DESIGN.md §8). Same configs, so the wall-clock ratio *is*
+/// the reduction.
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_exploration");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for readers in [1u32, 2] {
+        let config = counter_config(readers);
+        group.bench_with_input(
+            BenchmarkId::new("naive_dfs", format!("1w{readers}r")),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    let stats = count_schedules(cfg, u64::MAX);
+                    assert!(!stats.truncated);
+                    stats.schedules
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dpor", format!("1w{readers}r")),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    let stats = explore_dpor(cfg, u64::MAX, |_, _| {});
+                    assert!(!stats.truncated);
+                    stats.classes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_monotone, bench_exploration);
 criterion_main!(benches);

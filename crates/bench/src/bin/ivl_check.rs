@@ -1,15 +1,19 @@
 //! `ivl-check`: verdicts for externally recorded histories.
 //!
 //! ```text
-//! usage: ivl_check <file> <spec>
+//! usage: ivl_check <file> <spec> [--hb] [--json]
 //!   <file>  history in the ivl-spec text format (see ivl_spec::io)
 //!   <spec>  counter | incdec | max | min
+//!   --hb    also print the happens-before summary of the history
+//!           (precedence pairs, concurrent pairs, max overlap)
+//!   --json  render the --hb summary as JSON (see README schemas)
 //! ```
 //!
 //! Prints the timeline, the linearizability verdict, the IVL verdict
 //! and (for monotone specs) the per-query IVL intervals. Exit status:
 //! 0 if IVL, 2 if not, 1 on usage/parse errors.
 
+use ivl_analyzer::history_hb_summary;
 use ivl_spec::history::History;
 use ivl_spec::io::parse_history;
 use ivl_spec::ivl::{check_ivl_exact, monotone_query_bounds};
@@ -58,7 +62,31 @@ impl MonotoneSpec for MaxCli {}
 impl MonotoneSpec for MinCli {}
 // IncDecCli is deliberately not monotone.
 
-fn check<S>(spec: S, text: &str, monotone: bool) -> Result<bool, String>
+/// Options shared by the spec-dispatched check paths.
+#[derive(Clone, Copy, Default)]
+struct CheckOpts {
+    hb: bool,
+    json: bool,
+}
+
+fn print_hb<U, Q, V>(h: &History<U, Q, V>, opts: CheckOpts)
+where
+    U: Clone + Debug,
+    Q: Clone + Debug,
+    V: Clone + Debug,
+{
+    if !opts.hb {
+        return;
+    }
+    let summary = history_hb_summary(h);
+    if opts.json {
+        println!("{}", summary.to_json());
+    } else {
+        println!("{}", summary.render());
+    }
+}
+
+fn check<S>(spec: S, text: &str, monotone: bool, opts: CheckOpts) -> Result<bool, String>
 where
     S: MonotoneSpec + ObjectSpec<Query = u64>,
     S::Update: std::str::FromStr + Debug,
@@ -66,6 +94,7 @@ where
 {
     let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
     println!("{}", render_timeline(&h));
+    print_hb(&h, opts);
     let lin = check_linearizable(std::slice::from_ref(&spec), &h);
     println!("linearizable : {}", lin.is_linearizable());
     let ivl = check_ivl_exact(std::slice::from_ref(&spec), &h);
@@ -84,7 +113,7 @@ where
 }
 
 /// Exact check only, for the non-monotone inc/dec spec.
-fn check_exact_only<S>(spec: S, text: &str) -> Result<bool, String>
+fn check_exact_only<S>(spec: S, text: &str, opts: CheckOpts) -> Result<bool, String>
 where
     S: ObjectSpec<Query = u64>,
     S::Update: std::str::FromStr + Debug,
@@ -92,6 +121,7 @@ where
 {
     let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
     println!("{}", render_timeline(&h));
+    print_hb(&h, opts);
     let lin = check_linearizable(std::slice::from_ref(&spec), &h);
     println!("linearizable : {}", lin.is_linearizable());
     let ivl = check_ivl_exact(&[spec], &h);
@@ -100,23 +130,31 @@ where
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() != 3 {
-        eprintln!("usage: ivl_check <file> <counter|incdec|max|min>");
+    let mut opts = CheckOpts::default();
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--hb" => opts.hb = true,
+            "--json" => opts.json = true,
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!("usage: ivl_check <file> <counter|incdec|max|min> [--hb] [--json]");
         return ExitCode::from(1);
     }
-    let text = match std::fs::read_to_string(&args[1]) {
+    let text = match std::fs::read_to_string(&positional[0]) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("cannot read {}: {e}", args[1]);
+            eprintln!("cannot read {}: {e}", positional[0]);
             return ExitCode::from(1);
         }
     };
-    let outcome = match args[2].as_str() {
-        "counter" => check(CounterCli, &text, true),
-        "max" => check(MaxCli, &text, true),
-        "min" => check(MinCli, &text, true),
-        "incdec" => check_exact_only(IncDecCli, &text),
+    let outcome = match positional[1].as_str() {
+        "counter" => check(CounterCli, &text, true, opts),
+        "max" => check(MaxCli, &text, true, opts),
+        "min" => check(MinCli, &text, true, opts),
+        "incdec" => check_exact_only(IncDecCli, &text, opts),
         other => {
             eprintln!("unknown spec `{other}` (counter|incdec|max|min)");
             return ExitCode::from(1);

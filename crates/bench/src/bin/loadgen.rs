@@ -87,6 +87,7 @@ fn ingest_client(addr: std::net::SocketAddr, ops: u64, keys: usize, batch: usize
                 Err(ClientError::Server {
                     code: ErrorCode::Busy,
                     ..
+                    // lint:allow sleep — load generator backs off on server Busy by design
                 }) => std::thread::sleep(std::time::Duration::from_millis(1)),
                 Err(e) => panic!("batch failed: {e}"),
             }

@@ -32,6 +32,7 @@ use ivl_spec::ProcessId;
 
 /// The simulated Algorithm 3 object, generic over the inner batched
 /// counter (any [`SimObject`] with counter semantics).
+#[derive(Clone)]
 pub struct BinarySnapshotSim {
     inner: Box<dyn SimObject>,
     /// Each process's local component value `v_i`.
@@ -72,6 +73,10 @@ impl BinarySnapshotSim {
 }
 
 impl SimObject for BinarySnapshotSim {
+    fn box_clone(&self) -> Box<dyn SimObject> {
+        Box::new(self.clone())
+    }
+
     fn begin_op(&mut self, process: ProcessId, op: &SimOp) -> Box<dyn OpMachine> {
         let n = self.v.len();
         let pi = process.0 as usize;
@@ -105,33 +110,47 @@ impl SimObject for BinarySnapshotSim {
 }
 
 /// `update_i(v)` with `v_i == v`: returns without shared accesses.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct NoopUpdate;
 
 impl OpMachine for NoopUpdate {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, _ctx: &mut MemCtx<'_>) -> StepStatus {
         StepStatus::Done(None)
     }
 }
 
 /// `update_i(v)` delegating to the counter's update.
+#[derive(Clone)]
 struct DelegatingUpdate {
     inner: Box<dyn OpMachine>,
 }
 
 impl OpMachine for DelegatingUpdate {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         self.inner.step(ctx)
     }
 }
 
 /// `scan()`: counter read, then local bit decoding.
+#[derive(Clone)]
 struct ScanMachine {
     inner: Box<dyn OpMachine>,
     n: usize,
 }
 
 impl OpMachine for ScanMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         match self.inner.step(ctx) {
             StepStatus::Running => StepStatus::Running,

@@ -16,7 +16,7 @@ use crate::register::{Memory, RegisterId};
 use ivl_spec::ProcessId;
 
 /// The simulated fetch-add counter.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FetchAddCounterSim {
     processes: usize,
     total: RegisterId,
@@ -33,6 +33,10 @@ impl FetchAddCounterSim {
 }
 
 impl SimObject for FetchAddCounterSim {
+    fn box_clone(&self) -> Box<dyn SimObject> {
+        Box::new(self.clone())
+    }
+
     fn begin_op(&mut self, _process: ProcessId, op: &SimOp) -> Box<dyn OpMachine> {
         match op {
             SimOp::Update(v) => Box::new(UpdateMachine {
@@ -49,13 +53,17 @@ impl SimObject for FetchAddCounterSim {
 }
 
 /// `update(v)`: one `fetch_add` step.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct UpdateMachine {
     total: RegisterId,
     v: u64,
 }
 
 impl OpMachine for UpdateMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         ctx.fetch_add(self.total, self.v);
         StepStatus::Done(None)
@@ -63,12 +71,16 @@ impl OpMachine for UpdateMachine {
 }
 
 /// `read()`: one read step.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ReadMachine {
     total: RegisterId,
 }
 
 impl OpMachine for ReadMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         StepStatus::Done(Some(ctx.read(self.total).as_int()))
     }

@@ -33,7 +33,7 @@ pub fn decode_signed(v: u64) -> i64 {
 }
 
 /// The simulated per-slot inc/dec counter.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct IncDecCounterSim {
     regs: Vec<RegisterId>,
     local: Vec<i64>,
@@ -50,6 +50,10 @@ impl IncDecCounterSim {
 }
 
 impl SimObject for IncDecCounterSim {
+    fn box_clone(&self) -> Box<dyn SimObject> {
+        Box::new(self.clone())
+    }
+
     fn begin_op(&mut self, process: ProcessId, op: &SimOp) -> Box<dyn OpMachine> {
         let pi = process.0 as usize;
         match op {
@@ -73,20 +77,24 @@ impl SimObject for IncDecCounterSim {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct UpdateMachine {
     reg: RegisterId,
     value: i64,
 }
 
 impl OpMachine for UpdateMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         ctx.write(self.reg, RegValue::Int(self.value as u64));
         StepStatus::Done(None)
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ReadMachine {
     regs: Vec<RegisterId>,
     next: usize,
@@ -94,6 +102,10 @@ struct ReadMachine {
 }
 
 impl OpMachine for ReadMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         self.sum += ctx.read(self.regs[self.next]).as_int() as i64;
         self.next += 1;

@@ -23,7 +23,7 @@ use crate::register::{Memory, RegValue, RegisterId};
 use ivl_spec::ProcessId;
 
 /// The simulated Algorithm 2 object.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct IvlCounterSim {
     regs: Vec<RegisterId>,
     /// Local mirror of each process's own register (legal because each
@@ -42,6 +42,10 @@ impl IvlCounterSim {
 }
 
 impl SimObject for IvlCounterSim {
+    fn box_clone(&self) -> Box<dyn SimObject> {
+        Box::new(self.clone())
+    }
+
     fn begin_op(&mut self, process: ProcessId, op: &SimOp) -> Box<dyn OpMachine> {
         let pi = process.0 as usize;
         match op {
@@ -66,13 +70,17 @@ impl SimObject for IvlCounterSim {
 }
 
 /// `update_i(v)`: one write of the new per-process sum.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct UpdateMachine {
     reg: RegisterId,
     value: u64,
 }
 
 impl OpMachine for UpdateMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         ctx.write(self.reg, RegValue::Int(self.value));
         StepStatus::Done(None)
@@ -80,7 +88,7 @@ impl OpMachine for UpdateMachine {
 }
 
 /// `read()`: collect all registers, one per step, then return the sum.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ReadMachine {
     regs: Vec<RegisterId>,
     next: usize,
@@ -88,6 +96,10 @@ struct ReadMachine {
 }
 
 impl OpMachine for ReadMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         self.sum += ctx.read(self.regs[self.next]).as_int();
         self.next += 1;

@@ -19,7 +19,7 @@ use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
 use ivl_spec::ProcessId;
 
 /// The simulated concurrent CountMin.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PcmSim {
     processes: usize,
     /// `hash[row][item]` = column of `item` in `row`.
@@ -64,6 +64,10 @@ impl PcmSim {
 }
 
 impl SimObject for PcmSim {
+    fn box_clone(&self) -> Box<dyn SimObject> {
+        Box::new(self.clone())
+    }
+
     fn begin_op(&mut self, _process: ProcessId, op: &SimOp) -> Box<dyn OpMachine> {
         match op {
             SimOp::Update(item) => Box::new(UpdateMachine {
@@ -94,13 +98,17 @@ impl SimObject for PcmSim {
 }
 
 /// `update(a)`: one `fetch_add` per row.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct UpdateMachine {
     cells: Vec<RegisterId>,
     next: usize,
 }
 
 impl OpMachine for UpdateMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         ctx.fetch_add(self.cells[self.next], 1);
         self.next += 1;
@@ -113,7 +121,7 @@ impl OpMachine for UpdateMachine {
 }
 
 /// `query(a)`: one read per row, return the minimum.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct QueryMachine {
     cells: Vec<RegisterId>,
     next: usize,
@@ -121,6 +129,10 @@ struct QueryMachine {
 }
 
 impl OpMachine for QueryMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         let v = ctx.read(self.cells[self.next]).as_int();
         self.min = self.min.min(v);

@@ -29,7 +29,7 @@ use crate::register::{Memory, RegValue, RegisterId};
 use ivl_spec::ProcessId;
 
 /// The simulated snapshot-based linearizable batched counter.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SnapshotCounterSim {
     regs: Vec<RegisterId>,
     /// Local mirrors of own components (single-writer).
@@ -49,6 +49,10 @@ impl SnapshotCounterSim {
 }
 
 impl SimObject for SnapshotCounterSim {
+    fn box_clone(&self) -> Box<dyn SimObject> {
+        Box::new(self.clone())
+    }
+
     fn begin_op(&mut self, process: ProcessId, op: &SimOp) -> Box<dyn OpMachine> {
         let pi = process.0 as usize;
         match op {
@@ -77,7 +81,7 @@ impl SimObject for SnapshotCounterSim {
 /// Reusable scan sub-machine implementing the classic double-collect
 /// with view borrowing. Produces a linearizable view of all
 /// components.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ScanMachine {
     regs: Vec<RegisterId>,
     /// (value, seq, view) triples of the first collect of the current
@@ -162,7 +166,7 @@ impl ScanMachine {
 }
 
 /// Snapshot-object update: embedded scan then a single write.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct UpdateMachine {
     scan: ScanMachine,
     own: RegisterId,
@@ -172,6 +176,10 @@ struct UpdateMachine {
 }
 
 impl OpMachine for UpdateMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         match &self.done_scanning {
             None => {
@@ -196,12 +204,16 @@ impl OpMachine for UpdateMachine {
 }
 
 /// Counter read: scan, then return the sum of the view.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ReadMachine {
     scan: ScanMachine,
 }
 
 impl OpMachine for ReadMachine {
+    fn box_clone(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus {
         match self.scan.step(ctx) {
             ScanStep::Running => StepStatus::Running,

@@ -1,8 +1,18 @@
 //! The execution engine: drives per-process workloads against a
 //! simulated object under a scheduler, recording the history and
 //! per-operation step counts.
+//!
+//! The executor exposes two layers:
+//!
+//! * [`Executor::run`] / [`Executor::run_bounded`] — the scheduler
+//!   picks every step, as in the experiments.
+//! * [`Executor::step_once`] — one explicitly chosen step at a time,
+//!   returning the step's [`StepRecord`] (access footprint plus
+//!   invocation/response markers). The exhaustive explorers drive this
+//!   directly, and because the executor is [`Clone`], they snapshot it
+//!   at branch points instead of replaying schedule prefixes.
 
-use crate::machine::{MemCtx, OpMachine, StepStatus};
+use crate::machine::{Access, MemCtx, OpMachine, StepStatus};
 use crate::register::Memory;
 use crate::scheduler::Scheduler;
 use ivl_spec::history::{History, HistoryBuilder, ObjectId, OpId};
@@ -55,6 +65,16 @@ pub trait SimObject {
 
     /// Number of processes the object was configured for.
     fn num_processes(&self) -> usize;
+
+    /// Clones the object's state behind a fresh box (mid-execution
+    /// snapshotting for schedule exploration).
+    fn box_clone(&self) -> Box<dyn SimObject>;
+}
+
+impl Clone for Box<dyn SimObject> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
 }
 
 /// Step count and identity of one completed (or pending) operation.
@@ -73,13 +93,44 @@ pub struct OpStat {
     pub completed: bool,
 }
 
+/// What one scheduled step did: the footprint the DPOR explorer and
+/// the happens-before analyzer consume.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// The process that took the step.
+    pub process: usize,
+    /// Shared accesses performed (at most one in strict mode; possibly
+    /// more under the analyzer's lenient mode, possibly none for a
+    /// purely local step).
+    pub accesses: Vec<Access>,
+    /// The operation this step invoked, if it was an operation's first
+    /// step.
+    pub invoked: Option<OpId>,
+    /// The operation this step completed, if it was an operation's
+    /// last step.
+    pub responded: Option<OpId>,
+}
+
+impl StepRecord {
+    /// Whether this step carries an invocation event.
+    pub fn is_inv(&self) -> bool {
+        self.invoked.is_some()
+    }
+
+    /// Whether this step carries a response event.
+    pub fn is_rsp(&self) -> bool {
+        self.responded.is_some()
+    }
+}
+
 /// Outcome of an execution.
 #[derive(Clone, Debug)]
 pub struct RunResult {
     /// The recorded history (update arg, query arg, return value all
     /// `u64`).
     pub history: History<u64, u64, u64>,
-    /// Per-operation statistics, in invocation order.
+    /// Per-operation statistics: completed operations in completion
+    /// order, then any operations still pending at the cutoff.
     pub stats: Vec<OpStat>,
 }
 
@@ -118,6 +169,7 @@ impl RunResult {
     }
 }
 
+#[derive(Clone)]
 struct InFlight {
     id: OpId,
     machine: Box<dyn OpMachine>,
@@ -129,6 +181,7 @@ struct InFlight {
     turns: u64,
 }
 
+#[derive(Clone)]
 struct ProcState {
     workload: Vec<SimOp>,
     next_op: usize,
@@ -141,9 +194,33 @@ pub struct Executor<S: Scheduler> {
     object: Box<dyn SimObject>,
     procs: Vec<ProcState>,
     scheduler: S,
+    builder: HistoryBuilder<u64, u64, u64>,
+    finished: Vec<OpStat>,
+    /// When enabled, every executed step's [`StepRecord`] is appended
+    /// to an internal log (off by default: experiment runs are long).
+    step_log: Option<Vec<StepRecord>>,
+    /// Lenient step contexts (analyzer mode): extra shared accesses in
+    /// one step are recorded rather than fatal.
+    lenient_steps: bool,
     /// Hard cap on steps per operation — a backstop against
     /// wait-freedom violations in algorithm implementations.
     pub max_steps_per_op: u64,
+}
+
+impl<S: Scheduler + Clone> Clone for Executor<S> {
+    fn clone(&self) -> Self {
+        Executor {
+            mem: self.mem.clone(),
+            object: self.object.clone(),
+            procs: self.procs.clone(),
+            scheduler: self.scheduler.clone(),
+            builder: self.builder.clone(),
+            finished: self.finished.clone(),
+            step_log: self.step_log.clone(),
+            lenient_steps: self.lenient_steps,
+            max_steps_per_op: self.max_steps_per_op,
+        }
+    }
 }
 
 impl<S: Scheduler> std::fmt::Debug for Executor<S> {
@@ -189,6 +266,10 @@ impl<S: Scheduler> Executor<S> {
             object,
             procs,
             scheduler,
+            builder: HistoryBuilder::new(),
+            finished: Vec::new(),
+            step_log: None,
+            lenient_steps: false,
             max_steps_per_op,
         }
     }
@@ -215,74 +296,109 @@ impl<S: Scheduler> Executor<S> {
     ///
     /// Panics on wait-freedom violations, as [`Executor::run`].
     pub fn run_bounded(&mut self, max_turns: u64) -> RunResult {
-        let mut builder = HistoryBuilder::<u64, u64, u64>::new();
-        let mut stats: Vec<OpStat> = Vec::new();
-        let obj = ObjectId(0);
         let mut turns = 0u64;
-
-        loop {
-            if turns >= max_turns {
-                break;
-            }
+        while turns < max_turns {
             turns += 1;
             let runnable = self.runnable();
             if runnable.is_empty() {
                 break;
             }
             let pi = self.scheduler.next(&runnable);
-            let p = ProcessId(pi as u32);
+            self.step_once(pi);
+        }
+        self.result()
+    }
 
-            // Invoke a new operation if idle.
-            if self.procs[pi].current.is_none() {
-                let op = self.procs[pi].workload[self.procs[pi].next_op];
-                self.procs[pi].next_op += 1;
-                let id = match op {
-                    SimOp::Update(v) => builder.invoke_update(p, obj, v),
-                    SimOp::Query(a) => builder.invoke_query(p, obj, a),
-                };
-                let machine = self.object.begin_op(p, &op);
-                self.procs[pi].current = Some(InFlight {
-                    id,
-                    machine,
-                    op,
-                    steps: 0,
-                    turns: 0,
-                });
-            }
+    /// Executes exactly one step of process `pi`: invokes its next
+    /// operation if idle, steps the machine, records the history
+    /// events, and returns the step's footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is not runnable, or on wait-freedom violations.
+    pub fn step_once(&mut self, pi: usize) -> StepRecord {
+        let p = ProcessId(pi as u32);
+        let obj = ObjectId(0);
 
-            // One step.
-            let fl = self.procs[pi].current.as_mut().expect("op in flight");
-            let mut ctx = MemCtx::new(&mut self.mem, p);
-            let status = fl.machine.step(&mut ctx);
-            if ctx.access_used() {
-                fl.steps += 1;
-            }
-            fl.turns += 1;
+        // Invoke a new operation if idle.
+        let mut invoked = None;
+        if self.procs[pi].current.is_none() {
             assert!(
-                fl.turns <= self.max_steps_per_op,
-                "operation {} of {p} exceeded {} turns: wait-freedom violated",
-                fl.id,
-                self.max_steps_per_op
+                self.procs[pi].next_op < self.procs[pi].workload.len(),
+                "process {pi} has no runnable work"
             );
-            if let StepStatus::Done(ret) = status {
-                match (fl.op, ret) {
-                    (SimOp::Update(_), None) => builder.respond_update(fl.id),
-                    (SimOp::Query(_), Some(v)) => builder.respond_query(fl.id, v),
-                    (SimOp::Update(_), Some(_)) => panic!("update returned a value"),
-                    (SimOp::Query(_), None) => panic!("query returned no value"),
-                }
-                stats.push(OpStat {
-                    id: fl.id,
-                    process: p,
-                    op: fl.op,
-                    steps: fl.steps,
-                    completed: true,
-                });
-                self.procs[pi].current = None;
-            }
+            let op = self.procs[pi].workload[self.procs[pi].next_op];
+            self.procs[pi].next_op += 1;
+            let id = match op {
+                SimOp::Update(v) => self.builder.invoke_update(p, obj, v),
+                SimOp::Query(a) => self.builder.invoke_query(p, obj, a),
+            };
+            let machine = self.object.begin_op(p, &op);
+            self.procs[pi].current = Some(InFlight {
+                id,
+                machine,
+                op,
+                steps: 0,
+                turns: 0,
+            });
+            invoked = Some(id);
         }
 
-        // Report operations still in flight at the cutoff.
+        // One step.
+        let fl = self.procs[pi].current.as_mut().expect("op in flight");
+        let mut ctx = if self.lenient_steps {
+            MemCtx::new_lenient(&mut self.mem, p)
+        } else {
+            MemCtx::new(&mut self.mem, p)
+        };
+        let status = fl.machine.step(&mut ctx);
+        let accesses = ctx.into_accesses();
+        if !accesses.is_empty() {
+            fl.steps += 1;
+        }
+        fl.turns += 1;
+        assert!(
+            fl.turns <= self.max_steps_per_op,
+            "operation {} of {p} exceeded {} turns: wait-freedom violated",
+            fl.id,
+            self.max_steps_per_op
+        );
+        let mut responded = None;
+        if let StepStatus::Done(ret) = status {
+            match (fl.op, ret) {
+                (SimOp::Update(_), None) => self.builder.respond_update(fl.id),
+                (SimOp::Query(_), Some(v)) => self.builder.respond_query(fl.id, v),
+                (SimOp::Update(_), Some(_)) => panic!("update returned a value"),
+                (SimOp::Query(_), None) => panic!("query returned no value"),
+            }
+            responded = Some(fl.id);
+            self.finished.push(OpStat {
+                id: fl.id,
+                process: p,
+                op: fl.op,
+                steps: fl.steps,
+                completed: true,
+            });
+            self.procs[pi].current = None;
+        }
+
+        let record = StepRecord {
+            process: pi,
+            accesses,
+            invoked,
+            responded,
+        };
+        if let Some(log) = &mut self.step_log {
+            log.push(record.clone());
+        }
+        record
+    }
+
+    /// Snapshot of the execution so far: the recorded history plus
+    /// per-operation statistics (operations still in flight are
+    /// reported pending).
+    pub fn result(&self) -> RunResult {
+        let mut stats = self.finished.clone();
         for (pi, p) in self.procs.iter().enumerate() {
             if let Some(fl) = &p.current {
                 stats.push(OpStat {
@@ -294,9 +410,8 @@ impl<S: Scheduler> Executor<S> {
                 });
             }
         }
-
         RunResult {
-            history: builder.finish(),
+            history: self.builder.clone().finish(),
             stats,
         }
     }
@@ -304,6 +419,38 @@ impl<S: Scheduler> Executor<S> {
     /// Read access to the memory (for post-run inspection).
     pub fn memory(&self) -> &Memory {
         &self.mem
+    }
+
+    /// Mutable access to the memory (the analyzer uses this to disable
+    /// ownership enforcement before executing a suspect machine).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Read access to the scheduler (e.g. to retrieve a
+    /// [`crate::scheduler::RecordingScheduler`]'s captured script).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Starts appending every step's [`StepRecord`] to an internal log.
+    pub fn enable_step_log(&mut self) {
+        if self.step_log.is_none() {
+            self.step_log = Some(Vec::new());
+        }
+    }
+
+    /// The step log recorded so far (empty unless
+    /// [`Executor::enable_step_log`] was called).
+    pub fn step_log(&self) -> &[StepRecord] {
+        self.step_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Switches step contexts to lenient mode: a machine performing
+    /// more than one shared access per step is recorded (for the
+    /// happens-before analyzer to flag) instead of panicking.
+    pub fn set_lenient_steps(&mut self, lenient: bool) {
+        self.lenient_steps = lenient;
     }
 
     /// The processes that can take a step right now (mid-operation or

@@ -7,7 +7,8 @@
 //! pays at least `2n + 1` steps per update.
 
 use crate::algorithms::{FetchAddCounterSim, IvlCounterSim, SnapshotCounterSim};
-use crate::executor::{Executor, RunResult, SimOp, Workload};
+use crate::executor::{Executor, RunResult, SimObject, SimOp, Workload};
+use crate::exhaustive::{count_schedules, explore_dpor};
 use crate::register::Memory;
 use crate::scheduler::RandomScheduler;
 
@@ -147,6 +148,94 @@ pub fn render_table(rows: &[StepComplexityRow]) -> String {
     out
 }
 
+/// One row of the E7-exact exploration census: the same configuration
+/// explored by the naive DFS (every interleaving) and by DPOR (one
+/// representative per Mazurkiewicz trace class, DESIGN.md §8).
+#[derive(Clone, Copy, Debug)]
+pub struct ExplorationCensusRow {
+    /// Configuration description.
+    pub label: &'static str,
+    /// Interleavings the naive DFS enumerated (a floor if truncated).
+    pub naive_schedules: u64,
+    /// Whether the naive DFS hit its schedule cap before finishing.
+    pub naive_truncated: bool,
+    /// Trace classes DPOR closed — each one a verdict-distinct
+    /// representative, together covering every naive interleaving.
+    pub dpor_classes: u64,
+    /// Steps DPOR executed (including re-executed backtrack prefixes).
+    pub dpor_steps: u64,
+}
+
+/// Algorithm 1 with `updaters` single-step updates and `readers`
+/// full-scan queries over `n` total processes (extra processes are
+/// idle but widen the reader's scan — long reads are where the
+/// reduction lives).
+fn census_config(
+    n: usize,
+    updaters: usize,
+    readers: usize,
+) -> impl Fn() -> (Memory, Box<dyn SimObject>, Vec<Workload>) {
+    move || {
+        let mut mem = Memory::new();
+        let obj = IvlCounterSim::new(&mut mem, n);
+        let mut workloads = vec![Workload::default(); n];
+        for (i, w) in workloads.iter_mut().take(updaters).enumerate() {
+            w.ops = vec![SimOp::Update(2 * i as u64 + 3)];
+        }
+        for w in workloads.iter_mut().skip(updaters).take(readers) {
+            w.ops = vec![SimOp::Query(0)];
+        }
+        (mem, Box::new(obj) as Box<dyn SimObject>, workloads)
+    }
+}
+
+/// Runs the exploration census: naive DFS (capped at `naive_cap`
+/// schedules) vs uncapped DPOR on a ladder of counter configurations,
+/// ending with one past the naive ceiling.
+pub fn exploration_census(naive_cap: u64) -> Vec<ExplorationCensusRow> {
+    let configs: [(&'static str, usize, usize, usize); 3] = [
+        ("counter n=3, 2 upd + 1 scan", 3, 2, 1),
+        ("counter n=4, 2 upd + 2 scans", 4, 2, 2),
+        ("counter n=10, 2 upd + 2 scans", 10, 2, 2),
+    ];
+    configs
+        .iter()
+        .map(|&(label, n, updaters, readers)| {
+            let config = census_config(n, updaters, readers);
+            let naive = count_schedules(&config, naive_cap);
+            let dpor = explore_dpor(&config, u64::MAX, |_, _| {});
+            assert!(!dpor.truncated, "{label}: DPOR must close the space");
+            ExplorationCensusRow {
+                label,
+                naive_schedules: naive.schedules,
+                naive_truncated: naive.truncated,
+                dpor_classes: dpor.classes,
+                dpor_steps: dpor.steps_executed,
+            }
+        })
+        .collect()
+}
+
+/// Renders the census as an aligned text table (the EXPERIMENTS.md
+/// artifact for E7-exact).
+pub fn render_census(rows: &[ExplorationCensusRow]) -> String {
+    let mut out = String::new();
+    out.push_str("configuration                  | naive schedules | DPOR classes | DPOR steps\n");
+    out.push_str("-------------------------------+-----------------+--------------+-----------\n");
+    for r in rows {
+        let naive = if r.naive_truncated {
+            format!(">{} (cap)", r.naive_schedules)
+        } else {
+            r.naive_schedules.to_string()
+        };
+        out.push_str(&format!(
+            "{:<30} | {:>15} | {:>12} | {:>10}\n",
+            r.label, naive, r.dpor_classes, r.dpor_steps,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +275,25 @@ mod tests {
         let t = render_table(&rows);
         assert!(t.contains("IVL upd mean"));
         assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn census_shows_reduction_and_beyond_ceiling_closure() {
+        let rows = exploration_census(10_000);
+        assert_eq!(rows.len(), 3);
+        // Small configs: naive finishes and DPOR explores no more
+        // classes than there are schedules.
+        for r in &rows[..2] {
+            assert!(!r.naive_truncated, "{}", r.label);
+            assert!(r.dpor_classes <= r.naive_schedules, "{}", r.label);
+        }
+        // The last config is past the naive ceiling, yet DPOR closes
+        // it (the call itself asserts !truncated).
+        let beyond = &rows[2];
+        assert!(beyond.naive_truncated);
+        assert!(beyond.dpor_classes < beyond.naive_schedules);
+        let t = render_census(&rows);
+        assert_eq!(t.lines().count(), 5);
+        assert!(t.contains("(cap)"));
     }
 }

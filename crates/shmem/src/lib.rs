@@ -42,10 +42,14 @@ pub mod machine;
 pub mod register;
 pub mod scheduler;
 
-pub use executor::{Executor, OpStat, RunResult, SimOp, Workload};
-pub use exhaustive::{count_schedules, explore_all_schedules, ExplorationStats};
-pub use machine::{MemCtx, OpMachine, StepStatus};
+pub use executor::{Executor, OpStat, RunResult, SimOp, StepRecord, Workload};
+pub use exhaustive::{
+    count_schedules, explore_all_schedules, explore_dpor, history_fingerprint, DporStats,
+    ExplorationStats,
+};
+pub use machine::{Access, AccessKind, MemCtx, OpMachine, StepStatus};
 pub use register::{Memory, RegValue, RegisterId};
 pub use scheduler::{
-    BiasedScheduler, FixedScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
+    BiasedScheduler, FixedScheduler, RandomScheduler, RecordingScheduler, RoundRobinScheduler,
+    Scheduler,
 };

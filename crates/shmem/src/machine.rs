@@ -7,39 +7,112 @@
 //! per scheduled step, handing it a [`MemCtx`] that permits **at most
 //! one** shared access — a second access within the same step panics,
 //! so the step accounting cannot silently drift from the model.
+//!
+//! Every access is additionally recorded as an [`Access`] footprint
+//! (register + kind). The footprints are what make steps *analyzable*:
+//! the DPOR explorer derives its independence relation from them (two
+//! steps commute unless they touch the same register with a write
+//! involved), and the happens-before analyzer in `ivl-analyzer` runs
+//! its vector-clock pass over them.
 
 use crate::register::{Memory, RegValue, RegisterId};
 use ivl_spec::ProcessId;
 
+/// How a step touched a register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// An atomic read.
+    Read,
+    /// An atomic write.
+    Write,
+    /// An atomic read-modify-write (`fetch_add`), which both reads and
+    /// writes in one step.
+    Rmw,
+}
+
+impl AccessKind {
+    /// Whether the access mutates the register.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Rmw)
+    }
+
+    /// Whether the access observes the register's prior value.
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::Rmw)
+    }
+}
+
+/// One shared-memory access performed by a step: the footprint the
+/// explorer and analyzer reason about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// The register touched.
+    pub reg: RegisterId,
+    /// Read, write, or RMW.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Whether two accesses conflict: same register with at least one
+    /// writer. Conflicting accesses do not commute; this is the memory
+    /// half of the DPOR dependence relation.
+    pub fn conflicts_with(&self, other: &Access) -> bool {
+        self.reg == other.reg && (self.kind.is_write() || other.kind.is_write())
+    }
+}
+
 /// Per-step capability to access shared memory at most once.
+///
+/// In the default *strict* mode a second access within one step panics
+/// (the model's uniform-step-complexity discipline). The analyzer runs
+/// machines in *lenient* mode instead, where extra accesses are
+/// recorded rather than fatal, so a deliberately broken machine can be
+/// executed to completion and its violation *reported* with a
+/// replayable schedule (see `ivl-analyzer`).
 #[derive(Debug)]
 pub struct MemCtx<'a> {
     mem: &'a mut Memory,
     process: ProcessId,
-    accessed: bool,
+    accesses: Vec<Access>,
+    strict: bool,
 }
 
 impl<'a> MemCtx<'a> {
-    /// Creates a context for one step of `process`.
+    /// Creates a strict context for one step of `process`.
     pub fn new(mem: &'a mut Memory, process: ProcessId) -> Self {
         MemCtx {
             mem,
             process,
-            accessed: false,
+            accesses: Vec::new(),
+            strict: true,
         }
     }
 
-    fn claim_access(&mut self) {
+    /// Creates a lenient context: extra accesses within the step are
+    /// recorded in the footprint instead of panicking.
+    pub fn new_lenient(mem: &'a mut Memory, process: ProcessId) -> Self {
+        MemCtx {
+            mem,
+            process,
+            accesses: Vec::new(),
+            strict: false,
+        }
+    }
+
+    fn claim_access(&mut self, access: Access) {
         assert!(
-            !self.accessed,
+            !self.strict || self.accesses.is_empty(),
             "a step may perform at most one shared-memory access"
         );
-        self.accessed = true;
+        self.accesses.push(access);
     }
 
     /// Atomically reads register `r` (consumes this step's access).
     pub fn read(&mut self, r: RegisterId) -> RegValue {
-        self.claim_access();
+        self.claim_access(Access {
+            reg: r,
+            kind: AccessKind::Read,
+        });
         self.mem.read(r)
     }
 
@@ -47,9 +120,13 @@ impl<'a> MemCtx<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on SWMR ownership violation.
+    /// Panics on SWMR ownership violation, unless the memory's
+    /// ownership enforcement is disabled (analyzer mode).
     pub fn write(&mut self, r: RegisterId, value: RegValue) {
-        self.claim_access();
+        self.claim_access(Access {
+            reg: r,
+            kind: AccessKind::Write,
+        });
         self.mem.write(r, self.process, value);
     }
 
@@ -59,9 +136,13 @@ impl<'a> MemCtx<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on SWMR registers or non-`Int` contents.
+    /// Panics on SWMR registers (unless enforcement is disabled) or
+    /// non-`Int` contents.
     pub fn fetch_add(&mut self, r: RegisterId, delta: u64) -> u64 {
-        self.claim_access();
+        self.claim_access(Access {
+            reg: r,
+            kind: AccessKind::Rmw,
+        });
         self.mem.fetch_add(r, delta)
     }
 
@@ -72,7 +153,18 @@ impl<'a> MemCtx<'a> {
 
     /// Whether this step performed its shared access.
     pub fn access_used(&self) -> bool {
-        self.accessed
+        !self.accesses.is_empty()
+    }
+
+    /// The accesses performed so far in this step (at most one in
+    /// strict mode).
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Consumes the context, yielding the step's access footprint.
+    pub fn into_accesses(self) -> Vec<Access> {
+        self.accesses
     }
 }
 
@@ -93,10 +185,24 @@ pub enum StepStatus {
 /// processes' progress (the paper assumes bounded wait-freedom
 /// throughout, §3.1). The executor enforces a generous hard cap as a
 /// backstop.
+///
+/// Machines must also be cloneable via [`OpMachine::box_clone`]: the
+/// exhaustive explorers snapshot mid-operation machine state to branch
+/// the schedule tree without replaying prefixes from scratch.
 pub trait OpMachine {
     /// Executes one step: at most one shared access via `ctx`, plus
     /// local computation.
     fn step(&mut self, ctx: &mut MemCtx<'_>) -> StepStatus;
+
+    /// Clones the machine's state behind a fresh box (mid-operation
+    /// snapshotting for schedule exploration).
+    fn box_clone(&self) -> Box<dyn OpMachine>;
+}
+
+impl Clone for Box<dyn OpMachine> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +226,34 @@ mod tests {
         let mut ctx = MemCtx::new(&mut mem, ProcessId(0));
         ctx.write(r, RegValue::Int(3));
         assert!(ctx.access_used());
+        assert_eq!(
+            ctx.accesses(),
+            &[Access {
+                reg: r,
+                kind: AccessKind::Write
+            }]
+        );
+    }
+
+    #[test]
+    fn lenient_context_records_double_access() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(Some(ProcessId(0)));
+        let mut ctx = MemCtx::new_lenient(&mut mem, ProcessId(0));
+        let _ = ctx.read(r);
+        let _ = ctx.read(r);
+        assert_eq!(ctx.accesses().len(), 2);
+    }
+
+    #[test]
+    fn conflict_relation_is_write_centric() {
+        let a = |reg, kind| Access {
+            reg: RegisterId(reg),
+            kind,
+        };
+        assert!(!a(0, AccessKind::Read).conflicts_with(&a(0, AccessKind::Read)));
+        assert!(a(0, AccessKind::Read).conflicts_with(&a(0, AccessKind::Write)));
+        assert!(a(0, AccessKind::Rmw).conflicts_with(&a(0, AccessKind::Rmw)));
+        assert!(!a(0, AccessKind::Write).conflicts_with(&a(1, AccessKind::Write)));
     }
 }

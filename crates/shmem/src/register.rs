@@ -81,12 +81,32 @@ impl RegValue {
 
 /// A bank of atomic registers with ownership metadata and access
 /// counters.
-#[derive(Debug, Default)]
+///
+/// `Memory` is `Clone` so the exhaustive explorers can snapshot shared
+/// state at a branch point instead of replaying the whole prefix.
+#[derive(Clone, Debug)]
 pub struct Memory {
     cells: Vec<RegValue>,
     owners: Vec<Option<ProcessId>>,
     reads: u64,
     writes: u64,
+    /// When `false`, ownership violations are *permitted* instead of
+    /// fatal, so the happens-before analyzer can execute a broken
+    /// machine to completion and report the violation with a replayable
+    /// schedule. Defaults to `true` (the model's discipline).
+    enforce_ownership: bool,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            cells: Vec::new(),
+            owners: Vec::new(),
+            reads: 0,
+            writes: 0,
+            enforce_ownership: true,
+        }
+    }
 }
 
 impl Memory {
@@ -122,13 +142,16 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if `writer` is not the register's owner (SWMR
-    /// violation).
+    /// violation), unless enforcement was disabled via
+    /// [`Memory::set_enforce_ownership`].
     pub fn write(&mut self, r: RegisterId, writer: ProcessId, value: RegValue) {
-        if let Some(owner) = self.owners[r.0] {
-            assert_eq!(
-                owner, writer,
-                "SWMR violation: {writer} wrote register {r} owned by {owner}"
-            );
+        if self.enforce_ownership {
+            if let Some(owner) = self.owners[r.0] {
+                assert_eq!(
+                    owner, writer,
+                    "SWMR violation: {writer} wrote register {r} owned by {owner}"
+                );
+            }
         }
         self.writes += 1;
         self.cells[r.0] = value;
@@ -143,10 +166,11 @@ impl Memory {
     /// # Panics
     ///
     /// Panics on SWMR-owned registers (RMW is a multi-writer
-    /// primitive here) or non-`Int` contents.
+    /// primitive here; suppressed when enforcement is disabled) or
+    /// non-`Int` contents.
     pub fn fetch_add(&mut self, r: RegisterId, delta: u64) -> u64 {
         assert!(
-            self.owners[r.0].is_none(),
+            !self.enforce_ownership || self.owners[r.0].is_none(),
             "fetch_add is a multi-writer primitive; register {r} is SWMR"
         );
         self.reads += 1;
@@ -154,6 +178,23 @@ impl Memory {
         let old = self.cells[r.0].as_int();
         self.cells[r.0] = RegValue::Int(old + delta);
         old
+    }
+
+    /// The declared owner of register `r` (`None` for multi-writer).
+    pub fn owner(&self, r: RegisterId) -> Option<ProcessId> {
+        self.owners[r.0]
+    }
+
+    /// The full ownership table, indexed by register id — the
+    /// happens-before analyzer checks write footprints against it.
+    pub fn owners(&self) -> &[Option<ProcessId>] {
+        &self.owners
+    }
+
+    /// Enables or disables SWMR ownership enforcement (see the field
+    /// docs; analyzer-only — leave enabled everywhere else).
+    pub fn set_enforce_ownership(&mut self, enforce: bool) {
+        self.enforce_ownership = enforce;
     }
 
     /// Number of registers allocated.
@@ -225,6 +266,16 @@ mod tests {
         m.read(r);
         assert_eq!(m.total_writes(), 1);
         assert_eq!(m.total_reads(), 2);
+    }
+
+    #[test]
+    fn unenforced_memory_permits_foreign_writes() {
+        let mut m = Memory::new();
+        let r = m.alloc(Some(ProcessId(0)));
+        m.set_enforce_ownership(false);
+        m.write(r, ProcessId(1), RegValue::Int(7));
+        assert_eq!(m.read(r).as_int(), 7);
+        assert_eq!(m.owner(r), Some(ProcessId(0)));
     }
 
     #[test]

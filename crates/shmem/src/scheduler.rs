@@ -139,6 +139,40 @@ impl Scheduler for FixedScheduler {
     }
 }
 
+/// Wraps any scheduler and records the sequence of choices it made,
+/// so a random or biased run can be replayed deterministically with a
+/// [`FixedScheduler`] — the happens-before analyzer reports violations
+/// as replayable schedule prefixes captured this way.
+#[derive(Clone, Debug)]
+pub struct RecordingScheduler<S> {
+    inner: S,
+    script: Vec<usize>,
+}
+
+impl<S: Scheduler> RecordingScheduler<S> {
+    /// Wraps `inner`, recording every choice.
+    pub fn new(inner: S) -> Self {
+        RecordingScheduler {
+            inner,
+            script: Vec::new(),
+        }
+    }
+
+    /// The choices made so far, in order — feed to
+    /// [`FixedScheduler::new`] to replay.
+    pub fn script(&self) -> &[usize] {
+        &self.script
+    }
+}
+
+impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
+    fn next(&mut self, runnable: &[usize]) -> usize {
+        let pick = self.inner.next(runnable);
+        self.script.push(pick);
+        pick
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +235,18 @@ mod tests {
     fn biased_zero_weight_process_still_runs_alone() {
         let mut s = BiasedScheduler::new(vec![0, 1], 3);
         assert_eq!(s.next(&[0]), 0);
+    }
+
+    #[test]
+    fn recording_captures_inner_choices() {
+        let runnable = [0, 1, 2];
+        let mut rec = RecordingScheduler::new(RandomScheduler::new(9));
+        let picks: Vec<usize> = (0..10).map(|_| rec.next(&runnable)).collect();
+        assert_eq!(rec.script(), picks.as_slice());
+        // Replaying the script reproduces the choices exactly.
+        let mut replay = FixedScheduler::new(rec.script().to_vec());
+        let replayed: Vec<usize> = (0..10).map(|_| replay.next(&runnable)).collect();
+        assert_eq!(replayed, picks);
     }
 
     #[test]

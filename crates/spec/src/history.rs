@@ -389,7 +389,7 @@ impl<U: Clone, Q: Clone, V: Clone> History<U, Q, V> {
 /// Operation ids are assigned automatically; the builder panics on
 /// ill-formed usage (a process invoking while pending, responding to an
 /// unknown or already-completed operation), making misuse loud in tests.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct HistoryBuilder<U, Q, V> {
     events: Vec<Event<U, Q, V>>,
     next_op: u64,

@@ -86,6 +86,19 @@ impl<U: Clone + Debug, Q: Clone + Debug, V: Clone + Debug> Recorder<U, Q, V> {
     pub fn finish(self) -> History<U, Q, V> {
         self.inner.into_inner().expect("recorder poisoned").finish()
     }
+
+    /// A consistent copy of the history recorded *so far*, without
+    /// consuming the recorder — operations still running appear as
+    /// pending. This is what online analysis (the happens-before
+    /// summary behind `ivl_check --hb`, periodic monitoring) reads
+    /// while the workload keeps going.
+    pub fn snapshot(&self) -> History<U, Q, V> {
+        self.inner
+            .lock()
+            .expect("recorder poisoned")
+            .clone()
+            .finish()
+    }
 }
 
 #[cfg(test)]

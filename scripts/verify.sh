@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Full verification gate: tier-1 (release build + tests) plus style
 # and lint. CI runs exactly this script; run it locally before pushing.
+#
+# Opt-in extras:
+#   IVL_MIRI=1  also run `cargo miri test -p ivl-concurrent` (needs a
+#               nightly toolchain with the miri component; best-effort
+#               in CI, never required locally).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,10 +15,18 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> ivl_lint (repo invariants)"
+cargo run -q -p ivl-analyzer --bin ivl_lint
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${IVL_MIRI:-0}" == "1" ]]; then
+    echo "==> cargo miri test -p ivl-concurrent (opt-in)"
+    cargo miri test -p ivl-concurrent
+fi
 
 echo "verify: OK"
