@@ -10,14 +10,18 @@
 //! ```
 //!
 //! Prints the timeline, the linearizability verdict, the IVL verdict
-//! and (for monotone specs) the per-query IVL intervals. Exit status:
-//! 0 if IVL, 2 if not, 1 on usage/parse errors.
+//! and (for monotone specs) the per-query IVL intervals. Histories
+//! larger than the exact search bound skip the timeline and the
+//! exponential checks: monotone specs fall back to the linear-time
+//! monotone interval checker (printing only violating intervals), the
+//! non-monotone `incdec` spec is rejected. Exit status: 0 if IVL, 2
+//! if not, 1 on usage/parse errors.
 
 use ivl_analyzer::history_hb_summary;
 use ivl_spec::history::History;
 use ivl_spec::io::parse_history;
-use ivl_spec::ivl::{check_ivl_exact, monotone_query_bounds};
-use ivl_spec::linearize::check_linearizable;
+use ivl_spec::ivl::{check_ivl_exact, check_ivl_monotone, monotone_query_bounds};
+use ivl_spec::linearize::{check_linearizable, MAX_EXACT_OPS};
 use ivl_spec::render::render_timeline;
 use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
 use ivl_spec::specs::{BatchedCounterSpec, IncDecCounterSpec, MaxRegisterSpec, MinRegisterSpec};
@@ -93,6 +97,25 @@ where
     S::Value: std::str::FromStr + Debug + std::fmt::Display,
 {
     let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
+    let ops = h.operations().len();
+    if ops > MAX_EXACT_OPS {
+        print_hb(&h, opts);
+        println!(
+            "{ops} ops exceeds the exact search bound ({MAX_EXACT_OPS}); \
+             using the linear-time monotone interval checker"
+        );
+        let ivl = check_ivl_monotone(&spec, &h);
+        println!("IVL (monotone): {}", ivl.is_ivl());
+        for qb in monotone_query_bounds(&spec, &h) {
+            if !qb.in_bounds() {
+                println!(
+                    "  {:>5}: {} <= {} <= {}  VIOLATION",
+                    qb.id, qb.lower, qb.actual, qb.upper
+                );
+            }
+        }
+        return Ok(ivl.is_ivl());
+    }
     println!("{}", render_timeline(&h));
     print_hb(&h, opts);
     let lin = check_linearizable(std::slice::from_ref(&spec), &h);
@@ -120,6 +143,13 @@ where
     S::Value: std::str::FromStr + Debug,
 {
     let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
+    let ops = h.operations().len();
+    if ops > MAX_EXACT_OPS {
+        return Err(format!(
+            "{ops} ops exceeds the exact search bound ({MAX_EXACT_OPS}) and \
+             this spec is not monotone; record a smaller history"
+        ));
+    }
     println!("{}", render_timeline(&h));
     print_hb(&h, opts);
     let lin = check_linearizable(std::slice::from_ref(&spec), &h);

@@ -1,28 +1,63 @@
 //! `loadgen`: multi-threaded load generator for `ivl-service`.
 //!
 //! ```text
-//! usage: loadgen [--threads N] [--ops N] [--keys N] [--queries N]
-//!                [--batch N] [--shards N] [--no-check]
+//! usage: loadgen [--backend threaded|event-loop|both] [--threads N]
+//!                [--ops N] [--keys N] [--queries N] [--batch N]
+//!                [--shards N] [--addr HOST:PORT] [--json FILE]
+//!                [--history-out FILE] [--shutdown] [--no-check]
 //! ```
 //!
-//! Boots an in-process recording server, hammers it over real TCP with
-//! `--threads` ingest connections (Zipf keys, batched frames) plus one
-//! querying connection, prints throughput and the server's own STATS
-//! view, then drains and replays the recorded history through the IVL
-//! checkers: the monotone interval checker over the full run, and the
-//! exact (exponential) checker over a second, small run that fits
-//! under its operation limit. Exit status 2 if any check fails.
+//! By default boots an in-process recording server, hammers it over
+//! real TCP with `--threads` ingest connections (Zipf keys, batched
+//! frames) plus one querying connection, prints throughput and
+//! client-side p50/p95/p99 latencies, then drains and replays the
+//! recorded history through the IVL checkers (monotone over the full
+//! run, exact over a second tiny run). Exit status 2 if a check fails.
+//!
+//! `--backend both` runs the same total load twice — once per serving
+//! backend, both times with 4x `--threads` ingest connections on the
+//! same shard budget. That connection count is beyond what the
+//! threaded backend's lease pool sustains (its surplus connections
+//! busy-bounce against the shard budget), while the event loop
+//! multiplexes all of them over its reactors without a single `busy`,
+//! so the comparison shows what serving 4x the provisioned
+//! concurrency costs each backend at the tail.
+//!
+//! `--addr` drives an external server (e.g. a separately launched
+//! `ivl_serve`) instead of booting one; server-side history checks are
+//! skipped, but `--history-out` still records a *client-side* counter
+//! history — each batch is a counter update of its total weight, each
+//! query a counter read returning the envelope's stream length — in
+//! the `ivl_spec::io` text format, replayable with
+//! `ivl_check <file> counter`. `--shutdown` sends a SHUTDOWN frame
+//! when the load finishes.
 
 use ivl_bench::{mops, timed_scope, Worker};
-use ivl_service::server::{serve, ServerConfig};
-use ivl_service::{Client, ClientError, ErrorCode};
+use ivl_service::server::{serve, Backend, ServerConfig};
+use ivl_service::{Client, ClientError, ErrorCode, StatsReport};
 use ivl_sketch::stream::ZipfStream;
+use ivl_spec::history::{History, HistoryBuilder, ObjectId, ProcessId};
+use ivl_spec::io::write_history;
 use ivl_spec::ivl::{check_ivl_exact, check_ivl_monotone};
 use ivl_spec::linearize::MAX_EXACT_OPS;
+use std::net::SocketAddr;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many times more ingest connections than `--threads` the
+/// `--backend both` comparison offers each backend (same shard
+/// budget, same total ops).
+const COMPARE_CONN_MULTIPLIER: usize = 4;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Single(Backend),
+    Both,
+}
 
 struct Opts {
+    mode: Mode,
     threads: usize,
     ops: u64,
     keys: usize,
@@ -30,11 +65,16 @@ struct Opts {
     batch: usize,
     shards: usize,
     check: bool,
+    addr: Option<String>,
+    json: Option<String>,
+    history_out: Option<String>,
+    shutdown: bool,
 }
 
 impl Default for Opts {
     fn default() -> Self {
         Opts {
+            mode: Mode::Single(Backend::Threaded),
             threads: 4,
             ops: 20_000,
             keys: 512,
@@ -42,6 +82,10 @@ impl Default for Opts {
             batch: 32,
             shards: 8,
             check: true,
+            addr: None,
+            json: None,
+            history_out: None,
+            shutdown: false,
         }
     }
 }
@@ -50,29 +94,155 @@ fn parse() -> Option<Opts> {
     let mut o = Opts::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut val = || args.next()?.parse::<u64>().ok();
+        let mut num = || args.next()?.parse::<u64>().ok();
         match arg.as_str() {
-            "--threads" => o.threads = val()? as usize,
-            "--ops" => o.ops = val()?,
-            "--keys" => o.keys = (val()? as usize).max(2),
-            "--queries" => o.queries = val()?,
-            "--batch" => o.batch = (val()? as usize).clamp(1, 4096),
-            "--shards" => o.shards = val()? as usize,
+            "--threads" => o.threads = (num()? as usize).max(1),
+            "--ops" => o.ops = num()?,
+            "--keys" => o.keys = (num()? as usize).max(2),
+            "--queries" => o.queries = num()?,
+            "--batch" => o.batch = (num()? as usize).clamp(1, 4096),
+            "--shards" => o.shards = num()? as usize,
             "--no-check" => o.check = false,
+            "--shutdown" => o.shutdown = true,
+            "--backend" => {
+                o.mode = match args.next()?.as_str() {
+                    "both" => Mode::Both,
+                    one => Mode::Single(one.parse().ok()?),
+                }
+            }
+            "--addr" => o.addr = Some(args.next()?),
+            "--json" => o.json = Some(args.next()?),
+            "--history-out" => o.history_out = Some(args.next()?),
             _ => return None,
         }
     }
     Some(o)
 }
 
+/// Client-side latency samples, merged across workers.
+#[derive(Default)]
+struct Samples(Mutex<Vec<u64>>);
+
+impl Samples {
+    fn push_all(&self, mut local: Vec<u64>) {
+        self.0.lock().unwrap().append(&mut local);
+    }
+
+    /// Sorted samples; consumes the accumulator.
+    fn sorted(self) -> Vec<u64> {
+        let mut v = self.0.into_inner().unwrap();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted slice.
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Clone, Copy)]
+struct Tail {
+    p50: u64,
+    p95: u64,
+    p99: u64,
+}
+
+impl Tail {
+    fn of(sorted: &[u64]) -> Tail {
+        Tail {
+            p50: pct(sorted, 0.50),
+            p95: pct(sorted, 0.95),
+            p99: pct(sorted, 0.99),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            self.p50, self.p95, self.p99
+        )
+    }
+}
+
+/// A client-side counter history of the run: batches become counter
+/// updates of their total weight, queries become counter reads of the
+/// envelope's stream length. Replayable with `ivl_check <file>
+/// counter`.
+struct ClientRecorder {
+    builder: Mutex<HistoryBuilder<u64, u64, u64>>,
+}
+
+impl ClientRecorder {
+    fn new() -> Self {
+        ClientRecorder {
+            builder: Mutex::new(HistoryBuilder::new()),
+        }
+    }
+
+    fn finish(self) -> History<u64, u64, u64> {
+        self.builder.into_inner().unwrap().finish()
+    }
+}
+
+struct RunOutcome {
+    backend: String,
+    ingest_conns: usize,
+    total_updates: u64,
+    wall: Duration,
+    batch_ns: Tail,
+    query_ns: Tail,
+    stats: StatsReport,
+}
+
+impl RunOutcome {
+    fn json(&self, queries: u64) -> String {
+        format!(
+            "    {{\n      \"backend\": \"{}\",\n      \"ingest_conns\": {},\n      \
+             \"total_updates\": {},\n      \"queries\": {},\n      \"wall_s\": {:.6},\n      \
+             \"throughput_mops\": {:.4},\n      \"batch_ns\": {},\n      \"query_ns\": {},\n      \
+             \"server\": {{\"busy_rejections\": {}, \"frames\": {}, \"wakeups\": {}, \
+             \"ready_peak\": {}}}\n    }}",
+            self.backend,
+            self.ingest_conns,
+            self.total_updates,
+            queries,
+            self.wall.as_secs_f64(),
+            mops(self.total_updates + queries, self.wall),
+            self.batch_ns.json(),
+            self.query_ns.json(),
+            self.stats.busy_rejections,
+            self.stats.frames,
+            self.stats.wakeups,
+            self.stats.ready_peak,
+        )
+    }
+}
+
 /// One ingest connection: `ops` weighted updates in `batch`-sized
-/// frames over Zipf-distributed keys. A `busy` answer (more ingest
-/// connections than shards) is backpressure, not failure: back off and
-/// retry until a peer hangs up and frees its shard lease.
-fn ingest_client(addr: std::net::SocketAddr, ops: u64, keys: usize, batch: usize, seed: u64) {
+/// frames over Zipf-distributed keys, timing each batch roundtrip. A
+/// `busy` answer (more ingest connections than threaded-backend
+/// shards) is backpressure, not failure: back off and retry until a
+/// peer hangs up and frees its shard lease.
+#[allow(clippy::too_many_arguments)]
+fn ingest_client(
+    addr: SocketAddr,
+    ops: u64,
+    keys: usize,
+    batch: usize,
+    seed: u64,
+    lat: &Samples,
+    recorder: Option<&ClientRecorder>,
+    process: ProcessId,
+) {
     let mut client = Client::connect(addr).expect("connect ingest");
     let mut stream = ZipfStream::new(keys, 1.1, seed);
     let mut pending = Vec::with_capacity(batch);
+    let mut local = Vec::with_capacity((ops as usize).div_ceil(batch));
     let mut sent = 0u64;
     while sent < ops {
         pending.clear();
@@ -81,6 +251,14 @@ fn ingest_client(addr: std::net::SocketAddr, ops: u64, keys: usize, batch: usize
             pending.push((key, 1 + key % 3));
             sent += 1;
         }
+        let weight: u64 = pending.iter().map(|&(_, w)| w).sum();
+        let op = recorder.map(|r| {
+            r.builder
+                .lock()
+                .unwrap()
+                .invoke_update(process, ObjectId(0), weight)
+        });
+        let t0 = Instant::now();
         loop {
             match client.batch(&pending) {
                 Ok(_) => break,
@@ -88,15 +266,106 @@ fn ingest_client(addr: std::net::SocketAddr, ops: u64, keys: usize, batch: usize
                     code: ErrorCode::Busy,
                     ..
                     // lint:allow sleep — load generator backs off on server Busy by design
-                }) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                }) => std::thread::sleep(Duration::from_millis(1)),
                 Err(e) => panic!("batch failed: {e}"),
             }
         }
+        local.push(t0.elapsed().as_nanos() as u64);
+        if let (Some(r), Some(op)) = (recorder, op) {
+            r.builder.lock().unwrap().respond_update(op);
+        }
     }
+    lat.push_all(local);
 }
 
-fn run_load(o: &Opts) -> Result<(), String> {
+/// The querying connection: `queries` Zipf point queries, each checked
+/// for envelope consistency and timed.
+fn query_client(
+    addr: SocketAddr,
+    queries: u64,
+    keys: usize,
+    lat: &Samples,
+    recorder: Option<&ClientRecorder>,
+    process: ProcessId,
+) {
+    let mut client = Client::connect(addr).expect("connect querier");
+    let mut stream = ZipfStream::new(keys, 1.1, 0xbeef);
+    let mut local = Vec::with_capacity(queries as usize);
+    for _ in 0..queries {
+        let key = stream.next_item();
+        let op = recorder.map(|r| {
+            r.builder
+                .lock()
+                .unwrap()
+                .invoke_query(process, ObjectId(0), 0)
+        });
+        let t0 = Instant::now();
+        let env = client.query(key).expect("query answered");
+        local.push(t0.elapsed().as_nanos() as u64);
+        if let (Some(r), Some(op)) = (recorder, op) {
+            r.builder.lock().unwrap().respond_query(op, env.stream_len);
+        }
+        assert!(
+            env.estimate >= env.lower_bound(),
+            "inconsistent envelope: {env:?}"
+        );
+    }
+    lat.push_all(local);
+}
+
+/// Drives one full load against `addr`: `conns` ingest connections
+/// splitting `total_ops` updates, plus one querying connection.
+fn drive(
+    addr: SocketAddr,
+    o: &Opts,
+    conns: usize,
+    total_ops: u64,
+    recorder: Option<&ClientRecorder>,
+) -> (Duration, Tail, Tail, u64) {
+    let batch_lat = Samples::default();
+    let query_lat = Samples::default();
+    let per_conn = total_ops / conns as u64;
+    let total_updates = per_conn * conns as u64;
+    let mut workers: Vec<Worker<'_>> = (0..conns)
+        .map(|t| -> Worker<'_> {
+            let (keys, batch) = (o.keys, o.batch);
+            let (lat, rec) = (&batch_lat, recorder);
+            Box::new(move || {
+                ingest_client(
+                    addr,
+                    per_conn,
+                    keys,
+                    batch,
+                    0x10ad ^ t as u64,
+                    lat,
+                    rec,
+                    ProcessId(t as u32),
+                )
+            })
+        })
+        .collect();
+    let (queries, keys) = (o.queries, o.keys);
+    let (lat, rec) = (&query_lat, recorder);
+    workers.push(Box::new(move || {
+        query_client(addr, queries, keys, lat, rec, ProcessId(conns as u32));
+    }));
+    let wall = timed_scope(workers);
+    let batches = batch_lat.sorted();
+    let queries_sorted = query_lat.sorted();
+    (
+        wall,
+        Tail::of(&batches),
+        Tail::of(&queries_sorted),
+        total_updates,
+    )
+}
+
+/// One in-process run against the given backend; returns the outcome
+/// for the JSON report, or an error string if a sanity or IVL check
+/// fails.
+fn run_in_process(o: &Opts, backend: Backend, conns: usize) -> Result<RunOutcome, String> {
     let cfg = ServerConfig {
+        backend,
         shards: o.shards,
         record: o.check,
         ..ServerConfig::default()
@@ -105,7 +374,8 @@ fn run_load(o: &Opts) -> Result<(), String> {
     let addr = handle.addr();
     let params = handle.params();
     println!(
-        "server on {addr} — {} shards, width {}, depth {} (alpha {:.4}, delta {:.4})",
+        "server on {addr} [{backend} backend] — {} shards, width {}, depth {} \
+         (alpha {:.4}, delta {:.4})",
         o.shards,
         params.width,
         params.depth,
@@ -113,52 +383,40 @@ fn run_load(o: &Opts) -> Result<(), String> {
         params.delta()
     );
 
-    let mut workers: Vec<Worker<'_>> = (0..o.threads)
-        .map(|t| -> Worker<'_> {
-            let (ops, keys, batch) = (o.ops, o.keys, o.batch);
-            Box::new(move || ingest_client(addr, ops, keys, batch, 0x10ad ^ t as u64))
-        })
-        .collect();
-    let (queries, keys) = (o.queries, o.keys);
-    workers.push(Box::new(move || {
-        let mut client = Client::connect(addr).expect("connect querier");
-        let mut stream = ZipfStream::new(keys, 1.1, 0xbeef);
-        for _ in 0..queries {
-            let env = client.query(stream.next_item()).expect("query answered");
-            assert!(
-                env.estimate >= env.lower_bound(),
-                "inconsistent envelope: {env:?}"
-            );
-        }
-    }));
-    let wall = timed_scope(workers);
-
-    let total_updates = o.ops * o.threads as u64;
-    println!(
-        "load: {} updates + {} queries over {} conns in {:.3}s — {:.2} Mops/s end-to-end",
+    let recorder = o.history_out.as_ref().map(|_| ClientRecorder::new());
+    let total_ops = o.ops * o.threads as u64;
+    let (wall, batch_ns, query_ns, total_updates) =
+        drive(addr, o, conns, total_ops, recorder.as_ref());
+    report(
+        backend,
+        conns,
         total_updates,
         o.queries,
-        o.threads + 1,
-        wall.as_secs_f64(),
-        mops(total_updates + o.queries, wall)
+        wall,
+        batch_ns,
+        query_ns,
     );
-    let s = handle.stats();
+
+    let stats = handle.stats();
     println!(
-        "stats: {} updates, {} queries, {} batches, stream {}, \
-         update p50/p99 {}/{} ns, query p50/p99 {}/{} ns",
-        s.updates,
-        s.queries,
-        s.batches,
-        s.stream_len,
-        s.update_p50_ns,
-        s.update_p99_ns,
-        s.query_p50_ns,
-        s.query_p99_ns
+        "stats: {} updates, {} queries, {} batches, {} frames, {} wakeups \
+         (ready peak {}), stream {}, update p50/p99 {}/{} ns, query p50/p99 {}/{} ns",
+        stats.updates,
+        stats.queries,
+        stats.batches,
+        stats.frames,
+        stats.wakeups,
+        stats.ready_peak,
+        stats.stream_len,
+        stats.update_p50_ns,
+        stats.update_p99_ns,
+        stats.query_p50_ns,
+        stats.query_p99_ns
     );
-    if s.updates != total_updates {
+    if stats.updates != total_updates {
         return Err(format!(
             "server counted {} updates, loadgen sent {total_updates}",
-            s.updates
+            stats.updates
         ));
     }
 
@@ -174,15 +432,121 @@ fn run_load(o: &Opts) -> Result<(), String> {
             t0.elapsed().as_secs_f64()
         );
         if !verdict.is_ivl() {
-            return Err("recorded serving history is not IVL".into());
+            return Err(format!("recorded {backend} serving history is not IVL"));
         }
     }
+    if let (Some(path), Some(rec)) = (&o.history_out, recorder) {
+        write_client_history(path, rec)?;
+    }
+    Ok(RunOutcome {
+        backend: backend.to_string(),
+        ingest_conns: conns,
+        total_updates,
+        wall,
+        batch_ns,
+        query_ns,
+        stats,
+    })
+}
+
+/// Drives an already-running external server (`--addr`): no in-process
+/// recording, but the client-side history and STATS are available.
+fn run_external(o: &Opts, addr_text: &str) -> Result<RunOutcome, String> {
+    let addr: SocketAddr = addr_text
+        .parse()
+        .map_err(|e| format!("bad --addr {addr_text}: {e}"))?;
+    println!("driving external server on {addr}");
+    let recorder = o.history_out.as_ref().map(|_| ClientRecorder::new());
+    let total_ops = o.ops * o.threads as u64;
+    let (wall, batch_ns, query_ns, total_updates) =
+        drive(addr, o, o.threads, total_ops, recorder.as_ref());
+
+    let mut probe = Client::connect(addr).map_err(|e| e.to_string())?;
+    let stats = probe.stats().map_err(|e| e.to_string())?;
+    let backend = format!("external({addr_text})");
+    report_named(
+        &backend,
+        o.threads,
+        total_updates,
+        o.queries,
+        wall,
+        batch_ns,
+        query_ns,
+    );
+    if o.shutdown {
+        probe.shutdown().map_err(|e| e.to_string())?;
+        println!("sent SHUTDOWN");
+    }
+    if let (Some(path), Some(rec)) = (&o.history_out, recorder) {
+        write_client_history(path, rec)?;
+    }
+    Ok(RunOutcome {
+        backend,
+        ingest_conns: o.threads,
+        total_updates,
+        wall,
+        batch_ns,
+        query_ns,
+        stats,
+    })
+}
+
+fn report(
+    backend: Backend,
+    conns: usize,
+    updates: u64,
+    queries: u64,
+    wall: Duration,
+    batch_ns: Tail,
+    query_ns: Tail,
+) {
+    report_named(
+        &backend.to_string(),
+        conns,
+        updates,
+        queries,
+        wall,
+        batch_ns,
+        query_ns,
+    );
+}
+
+fn report_named(
+    backend: &str,
+    conns: usize,
+    updates: u64,
+    queries: u64,
+    wall: Duration,
+    batch_ns: Tail,
+    query_ns: Tail,
+) {
+    println!(
+        "[{backend}] {updates} updates + {queries} queries over {} conns in {:.3}s \
+         — {:.2} Mops/s end-to-end",
+        conns + 1,
+        wall.as_secs_f64(),
+        mops(updates + queries, wall)
+    );
+    println!(
+        "[{backend}] batch p50/p95/p99 {}/{}/{} ns, query p50/p95/p99 {}/{}/{} ns",
+        batch_ns.p50, batch_ns.p95, batch_ns.p99, query_ns.p50, query_ns.p95, query_ns.p99
+    );
+}
+
+/// Serializes the client-side counter history for `ivl_check`.
+fn write_client_history(path: &str, rec: ClientRecorder) -> Result<(), String> {
+    let history = rec.finish();
+    let ops = history.operations().len();
+    std::fs::write(path, write_history(&history))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("client-side counter history: {ops} ops -> {path}");
     Ok(())
 }
 
 /// A second, tiny run whose history fits the exact checker's bound.
-fn run_exact_check() -> Result<(), String> {
+fn run_exact_check(backend: Backend) -> Result<(), String> {
     let cfg = ServerConfig {
+        backend,
         shards: 2,
         record: true,
         ..ServerConfig::default()
@@ -208,30 +572,93 @@ fn run_exact_check() -> Result<(), String> {
     let ops = history.operations().len();
     assert!(ops <= MAX_EXACT_OPS, "exact-check run too large: {ops} ops");
     let verdict = check_ivl_exact(std::slice::from_ref(&joined.spec), &history);
-    println!("IVL (exact checker): {} over {ops} ops", verdict.is_ivl());
+    println!(
+        "IVL (exact checker, {backend}): {} over {ops} ops",
+        verdict.is_ivl()
+    );
     if verdict.is_ivl() {
         Ok(())
     } else {
-        Err("small serving history fails the exact IVL check".into())
+        Err(format!(
+            "small {backend} serving history fails the exact IVL check"
+        ))
     }
+}
+
+fn write_json(o: &Opts, runs: &[RunOutcome]) -> Result<(), String> {
+    let Some(path) = &o.json else { return Ok(()) };
+    let body: Vec<String> = runs.iter().map(|r| r.json(o.queries)).collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"ivl-service loadgen\",\n  \"keys\": {},\n  \"batch\": {},\n  \
+         \"shards\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        o.keys,
+        o.batch,
+        o.shards,
+        body.join(",\n")
+    );
+    std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn run(o: &Opts) -> Result<(), String> {
+    let mut runs = Vec::new();
+    if let Some(addr) = &o.addr {
+        runs.push(run_external(o, addr)?);
+    } else {
+        match o.mode {
+            Mode::Single(backend) => {
+                runs.push(run_in_process(o, backend, o.threads)?);
+                if o.check {
+                    run_exact_check(backend)?;
+                }
+            }
+            Mode::Both => {
+                let conns = o.threads * COMPARE_CONN_MULTIPLIER;
+                runs.push(run_in_process(o, Backend::Threaded, conns)?);
+                runs.push(run_in_process(o, Backend::EventLoop, conns)?);
+                let (t, e) = (&runs[0], &runs[1]);
+                println!(
+                    "compare at {conns} conns on {} shards: \
+                     batch p99 {} ns (event-loop) vs {} ns (threaded, {} busy \
+                     bounces); query p99 {} ns vs {} ns; event-loop busy \
+                     rejections: {}",
+                    o.shards,
+                    e.batch_ns.p99,
+                    t.batch_ns.p99,
+                    t.stats.busy_rejections,
+                    e.query_ns.p99,
+                    t.query_ns.p99,
+                    e.stats.busy_rejections,
+                );
+                if e.stats.busy_rejections == 0 && e.batch_ns.p99 <= t.batch_ns.p99 {
+                    println!(
+                        "compare: event-loop sustained {}x the lease-budget \
+                         connections at equal or better ingest p99",
+                        conns / o.shards.max(1)
+                    );
+                }
+                if o.check {
+                    run_exact_check(Backend::Threaded)?;
+                    run_exact_check(Backend::EventLoop)?;
+                }
+            }
+        }
+    }
+    write_json(o, &runs)
 }
 
 fn main() -> ExitCode {
     let Some(opts) = parse() else {
         eprintln!(
-            "usage: loadgen [--threads N] [--ops N] [--keys N] [--queries N] \
-             [--batch N] [--shards N] [--no-check]"
+            "usage: loadgen [--backend threaded|event-loop|both] [--threads N] \
+             [--ops N] [--keys N] [--queries N] [--batch N] [--shards N] \
+             [--addr HOST:PORT] [--json FILE] [--history-out FILE] \
+             [--shutdown] [--no-check]"
         );
         return ExitCode::from(1);
     };
-    let outcome = run_load(&opts).and_then(|()| {
-        if opts.check {
-            run_exact_check()
-        } else {
-            Ok(())
-        }
-    });
-    match outcome {
+    match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("FAILED: {e}");

@@ -105,11 +105,6 @@ impl Pcm {
         self.params
     }
 
-    #[inline]
-    fn cell_index(&self, row: usize, item: u64) -> usize {
-        row * self.params.width + self.hashes[row].hash(item)
-    }
-
     /// Atomically increments `item`'s cell in every row (Algorithm 1
     /// line 5, concurrent version).
     pub fn update(&self, item: u64) {
@@ -120,9 +115,13 @@ impl Pcm {
     /// atomic add per row (the paper's batched updates — exactly the
     /// case where intermediate values appear: a concurrent query may
     /// observe some rows bumped and others not).
+    ///
+    /// The `mod p` reduction of `item` happens once, not per row
+    /// (see [`PairwiseHash::reduce`]).
     pub fn update_by(&self, item: u64, count: u64) {
-        for row in 0..self.params.depth {
-            let idx = self.cell_index(row, item);
+        let xr = PairwiseHash::reduce(item);
+        for (row, h) in self.hashes.iter().enumerate() {
+            let idx = row * self.params.width + h.hash_reduced(xr);
             self.cells[idx].fetch_add(count, Ordering::Relaxed);
         }
     }
@@ -130,8 +129,13 @@ impl Pcm {
     /// Reads `item`'s cell in every row and returns the minimum
     /// (Algorithm 1 lines 6–11, concurrent version).
     pub fn estimate(&self, item: u64) -> u64 {
-        (0..self.params.depth)
-            .map(|row| self.cells[self.cell_index(row, item)].load(Ordering::Relaxed))
+        let xr = PairwiseHash::reduce(item);
+        self.hashes
+            .iter()
+            .enumerate()
+            .map(|(row, h)| {
+                self.cells[row * self.params.width + h.hash_reduced(xr)].load(Ordering::Relaxed)
+            })
             .min()
             .expect("depth >= 1")
     }

@@ -121,6 +121,16 @@ impl ShardedPcm {
         self.shards.len()
     }
 
+    /// Number of currently unleased shards. A snapshot — another
+    /// thread may win the shard before the caller leases it, so use
+    /// it as a wakeup hint, not a reservation.
+    pub fn free_shards(&self) -> usize {
+        self.in_use
+            .iter()
+            .filter(|flag| !flag.load(Ordering::Acquire))
+            .count()
+    }
+
     /// The sketch dimensions.
     pub fn params(&self) -> CountMinParams {
         self.params
@@ -144,20 +154,20 @@ impl ShardedPcm {
         self.acquire_free_shard().map(|shard| ShardLease {
             parent: self,
             shard,
+            scratch: Vec::with_capacity(self.params.depth),
         })
     }
 
-    #[inline]
-    fn cell_offset(&self, row: usize, item: u64) -> usize {
-        row * self.params.width + self.hashes[row].hash(item)
-    }
-
     /// Estimates `item`'s frequency: per row, sum the cell across all
-    /// shards; return the row minimum.
+    /// shards; return the row minimum. The `mod p` reduction of
+    /// `item` happens once, not per row.
     pub fn estimate(&self, item: u64) -> u64 {
-        (0..self.params.depth)
-            .map(|row| {
-                let off = self.cell_offset(row, item);
+        let xr = PairwiseHash::reduce(item);
+        self.hashes
+            .iter()
+            .enumerate()
+            .map(|(row, h)| {
+                let off = row * self.params.width + h.hash_reduced(xr);
                 self.shards
                     .iter()
                     .map(|m| m[off].load(Ordering::Acquire))
@@ -173,6 +183,9 @@ impl ShardedPcm {
 pub struct ShardHandle<'a> {
     parent: &'a ShardedPcm,
     shard: usize,
+    /// Reusable row-index buffer for [`PairwiseHash::hash_row_batch`];
+    /// lives on the handle so a stream of updates allocates once.
+    scratch: Vec<usize>,
 }
 
 impl ShardHandle<'_> {
@@ -183,11 +196,14 @@ impl ShardHandle<'_> {
 
     /// Batched update: `count` occurrences at once (the paper's
     /// batched updates; one store per row regardless of `count`).
+    /// Row indices come from one [`PairwiseHash::hash_row_batch`]
+    /// pass into the handle's scratch buffer.
     pub fn update_by(&mut self, item: u64, count: u64) {
+        PairwiseHash::hash_row_batch(&self.parent.hashes, item, &mut self.scratch);
         let m = &self.parent.shards[self.shard];
-        for row in 0..self.parent.params.depth {
-            let off = self.parent.cell_offset(row, item);
-            let cell = &m[off];
+        let width = self.parent.params.width;
+        for (row, &col) in self.scratch.iter().enumerate() {
+            let cell = &m[row * width + col];
             let cur = cell.load(Ordering::Relaxed);
             cell.store(cur + count, Ordering::Release);
         }
@@ -206,6 +222,8 @@ impl SketchHandle for ShardHandle<'_> {
 pub struct ShardLease<'a> {
     parent: &'a ShardedPcm,
     shard: usize,
+    /// Reusable row-index buffer (see [`ShardHandle`]).
+    scratch: Vec<usize>,
 }
 
 impl ShardLease<'_> {
@@ -215,12 +233,15 @@ impl ShardLease<'_> {
     }
 
     /// Batched update: `count` occurrences at once (one store per row
-    /// regardless of `count`).
+    /// regardless of `count`). Row indices come from one
+    /// [`PairwiseHash::hash_row_batch`] pass into the lease's scratch
+    /// buffer.
     pub fn update_by(&mut self, item: u64, count: u64) {
+        PairwiseHash::hash_row_batch(&self.parent.hashes, item, &mut self.scratch);
         let m = &self.parent.shards[self.shard];
-        for row in 0..self.parent.params.depth {
-            let off = self.parent.cell_offset(row, item);
-            let cell = &m[off];
+        let width = self.parent.params.width;
+        for (row, &col) in self.scratch.iter().enumerate() {
+            let cell = &m[row * width + col];
             let cur = cell.load(Ordering::Relaxed);
             cell.store(cur + count, Ordering::Release);
         }
@@ -255,6 +276,7 @@ impl ConcurrentSketch for ShardedPcm {
         ShardHandle {
             parent: self,
             shard,
+            scratch: Vec::with_capacity(self.params.depth),
         }
     }
 

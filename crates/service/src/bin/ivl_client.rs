@@ -67,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "connections: {} accepted, {} rejected, {} active\n\
                  operations : {} updates, {} queries, {} batches, \
                  {} protocol errors, {} busy rejections\n\
+                 transport  : {} frames, {} wakeups (ready peak {})\n\
                  stream     : {} total weight\n\
                  latency    : update p50/p99 {}/{} ns, query p50/p99 {}/{} ns",
                 s.accepted,
@@ -77,6 +78,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 s.batches,
                 s.protocol_errors,
                 s.busy_rejections,
+                s.frames,
+                s.wakeups,
+                s.ready_peak,
                 s.stream_len,
                 s.update_p50_ns,
                 s.update_p99_ns,

@@ -1,10 +1,13 @@
 //! `ivl_serve`: run a sketch server until a client sends `SHUTDOWN`.
 //!
 //! ```text
-//! usage: ivl_serve [addr] [--shards N] [--alpha A] [--delta D]
-//!                  [--max-conns N] [--record]
+//! usage: ivl_serve [addr] [--backend threaded|event-loop] [--shards N]
+//!                  [--alpha A] [--delta D] [--max-conns N] [--record]
 //!   addr         listen address (default 127.0.0.1:7070; port 0 picks one)
-//!   --shards     sketch shards == max concurrent ingest connections (8)
+//!   --backend    serving backend: "threaded" (default, one thread per
+//!                connection) or "event-loop" (epoll reactor shards)
+//!   --shards     sketch shards == max concurrent ingest connections
+//!                (threaded) or reactor threads (event-loop) (8)
 //!   --alpha      CountMin relative error (0.005)
 //!   --delta      CountMin failure probability (0.01)
 //!   --max-conns  connection limit (64)
@@ -17,8 +20,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ivl_serve [addr] [--shards N] [--alpha A] [--delta D] \
-         [--max-conns N] [--record]"
+        "usage: ivl_serve [addr] [--backend threaded|event-loop] [--shards N] \
+         [--alpha A] [--delta D] [--max-conns N] [--record]"
     );
     ExitCode::from(1)
 }
@@ -36,6 +39,10 @@ fn main() -> ExitCode {
             v
         };
         match arg.as_str() {
+            "--backend" => match take("--backend").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.backend = v,
+                None => return usage(),
+            },
             "--shards" => match take("--shards").and_then(|v| v.parse().ok()) {
                 Some(v) => cfg.shards = v,
                 None => return usage(),
@@ -58,6 +65,7 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    let backend = cfg.backend;
     let handle = match serve(&addr, cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -67,8 +75,9 @@ fn main() -> ExitCode {
     };
     let params = handle.params();
     println!(
-        "ivl_serve listening on {} (width {}, depth {}, alpha {:.4}, delta {:.4})",
+        "ivl_serve listening on {} [{} backend] (width {}, depth {}, alpha {:.4}, delta {:.4})",
         handle.addr(),
+        backend,
         params.width,
         params.depth,
         params.alpha(),

@@ -6,9 +6,9 @@
 
 use crate::envelope::Envelope;
 use crate::metrics::StatsReport;
-use crate::protocol::{self, ErrorCode, Request, Response, WireError};
+use crate::protocol::{self, ErrorCode, FrameDecoder, Request, Response, WireError};
 use std::fmt;
-use std::io::{self, BufReader, Write};
+use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Errors a client call can produce.
@@ -57,10 +57,15 @@ impl From<WireError> for ClientError {
 }
 
 /// A blocking connection to an `ivl-service` server.
+///
+/// Reads go through the same resumable [`FrameDecoder`] the server's
+/// event-loop backend uses: response frames are parsed zero-copy from
+/// a reusable buffer, so a long-lived client allocates nothing per
+/// roundtrip in the steady state.
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: TcpStream,
+    decoder: FrameDecoder,
     buf: Vec<u8>,
 }
 
@@ -69,10 +74,9 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
         Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
+            stream,
+            decoder: FrameDecoder::new(protocol::DEFAULT_MAX_FRAME_LEN),
             buf: Vec::new(),
         })
     }
@@ -80,10 +84,18 @@ impl Client {
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.buf.clear();
         req.encode(&mut self.buf);
-        self.writer.write_all(&self.buf)?;
-        let payload = protocol::read_frame(&mut self.reader, protocol::DEFAULT_MAX_FRAME_LEN)?
-            .ok_or(ClientError::Wire(WireError::Truncated))?;
-        let rsp = Response::decode(&payload)?;
+        self.stream.write_all(&self.buf)?;
+        let rsp = loop {
+            if let Some(payload) = self.decoder.next_frame()? {
+                break Response::decode(payload)?;
+            }
+            match self.decoder.read_from(&mut self.stream) {
+                Ok(0) => return Err(ClientError::Wire(WireError::Truncated)),
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        };
         if let Response::Error { code, message } = rsp {
             return Err(ClientError::Server { code, message });
         }

@@ -4,10 +4,15 @@
 //! This crate turns the workspace's concurrent IVL machinery into a
 //! small sharded subsystem:
 //!
-//! * [`server`] — a thread-per-connection TCP server over a single
-//!   [`ivl_concurrent::ShardedPcm`]. Each updating connection leases
-//!   one single-writer shard, so ingest is plain atomic stores — no
-//!   RMW, no lock — and the lease pool doubles as backpressure.
+//! * [`server`] — a TCP server over a single
+//!   [`ivl_concurrent::ShardedPcm`], with two interchangeable
+//!   backends ([`server::Backend`]): thread-per-connection blocking
+//!   I/O, or a hand-rolled epoll event loop (`shards` reactor
+//!   threads, edge-triggered nonblocking sockets, resumable frame
+//!   decoding, vectored backpressure-aware writes). Either way each
+//!   single-writer shard has exactly one writing thread, so ingest is
+//!   plain atomic stores — no RMW, no lock — and the lease pool
+//!   doubles as backpressure.
 //! * [`protocol`] — a compact length-prefixed binary wire format
 //!   (`UPDATE`/`QUERY`/`BATCH`/`STATS`/`SHUTDOWN`).
 //! * [`envelope`] — every query answer carries an **IVL error
@@ -45,5 +50,5 @@ pub use client::{Client, ClientError};
 pub use envelope::Envelope;
 pub use metrics::{Metrics, StatsReport};
 pub use protocol::{ErrorCode, Request, Response, WireError};
-pub use server::{serve, JoinedServer, ServerConfig, ServerHandle};
+pub use server::{serve, Backend, JoinedServer, ServerConfig, ServerHandle};
 pub use wspec::WeightedCmSpec;

@@ -25,6 +25,9 @@ pub struct Metrics {
     batches: AtomicU64,
     protocol_errors: AtomicU64,
     busy_rejections: AtomicU64,
+    frames: AtomicU64,
+    wakeups: AtomicU64,
+    ready_peak: AtomicU64,
     update_lat: ConcurrentHistogram,
     query_lat: ConcurrentHistogram,
 }
@@ -53,6 +56,9 @@ impl Metrics {
             batches: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            ready_peak: AtomicU64::new(0),
             update_lat: ConcurrentHistogram::new(LAT_BUCKETS as u64, LAT_BUCKETS),
             query_lat: ConcurrentHistogram::new(LAT_BUCKETS as u64, LAT_BUCKETS),
         }
@@ -107,6 +113,19 @@ impl Metrics {
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one decoded request frame (any opcode, either backend).
+    pub fn record_frame(&self) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one reactor wakeup that delivered `ready` ready events
+    /// (event-loop backend only; the ready-queue depth gauge keeps the
+    /// high-water mark).
+    pub fn record_wakeup(&self, ready: u64) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.ready_peak.fetch_max(ready, Ordering::Relaxed);
+    }
+
     /// Snapshots everything into a [`StatsReport`]; `stream_len` is
     /// supplied by the caller (the ingest counter's IVL read).
     pub fn report(&self, stream_len: u64) -> StatsReport {
@@ -129,6 +148,9 @@ impl Metrics {
             batches: self.batches.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            ready_peak: self.ready_peak.load(Ordering::Relaxed),
             stream_len,
             update_p50_ns,
             update_p99_ns,
@@ -160,6 +182,12 @@ pub struct StatsReport {
     pub protocol_errors: u64,
     /// Updates refused because every shard was leased.
     pub busy_rejections: u64,
+    /// Request frames decoded (all opcodes, both backends).
+    pub frames: u64,
+    /// Reactor `epoll_wait` returns (event-loop backend; 0 threaded).
+    pub wakeups: u64,
+    /// Most ready events delivered by a single wakeup (gauge).
+    pub ready_peak: u64,
     /// Total stream weight ingested (IVL read).
     pub stream_len: u64,
     /// Median applied-update latency, rounded up to a power of two ns.
@@ -174,7 +202,7 @@ pub struct StatsReport {
 
 impl StatsReport {
     /// Number of `u64` fields on the wire.
-    pub const NUM_FIELDS: usize = 13;
+    pub const NUM_FIELDS: usize = 16;
 
     /// The fields in wire order.
     pub fn as_fields(&self) -> [u64; Self::NUM_FIELDS] {
@@ -187,6 +215,9 @@ impl StatsReport {
             self.batches,
             self.protocol_errors,
             self.busy_rejections,
+            self.frames,
+            self.wakeups,
+            self.ready_peak,
             self.stream_len,
             self.update_p50_ns,
             self.update_p99_ns,
@@ -206,11 +237,14 @@ impl StatsReport {
             batches: f[5],
             protocol_errors: f[6],
             busy_rejections: f[7],
-            stream_len: f[8],
-            update_p50_ns: f[9],
-            update_p99_ns: f[10],
-            query_p50_ns: f[11],
-            query_p99_ns: f[12],
+            frames: f[8],
+            wakeups: f[9],
+            ready_peak: f[10],
+            stream_len: f[11],
+            update_p50_ns: f[12],
+            update_p99_ns: f[13],
+            query_p50_ns: f[14],
+            query_p99_ns: f[15],
         }
     }
 }
@@ -257,6 +291,20 @@ mod tests {
         let r = Metrics::new().report(0);
         assert_eq!(r.update_p50_ns, 0);
         assert_eq!(r.query_p99_ns, 0);
+    }
+
+    #[test]
+    fn wakeup_gauge_keeps_the_peak() {
+        let m = Metrics::new();
+        m.record_wakeup(3);
+        m.record_wakeup(17);
+        m.record_wakeup(5);
+        m.record_frame();
+        m.record_frame();
+        let r = m.report(0);
+        assert_eq!(r.wakeups, 3);
+        assert_eq!(r.ready_peak, 17);
+        assert_eq!(r.frames, 2);
     }
 
     #[test]

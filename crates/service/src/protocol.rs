@@ -360,6 +360,140 @@ impl Response {
     }
 }
 
+/// A resumable, incremental frame decoder over a reusable buffer.
+///
+/// [`read_frame`] blocks in `read_exact` until a whole frame is
+/// present — fine for one thread per connection, useless for an event
+/// loop where a readiness notification may deliver half a header.
+/// `FrameDecoder` instead accumulates whatever bytes the socket has
+/// ([`read_from`] / [`feed`]) and hands out complete payloads
+/// ([`next_frame`]) as zero-copy slices into its buffer; partial
+/// prefixes and partial payloads simply stay buffered until more
+/// bytes arrive. Feeding a stream byte-by-byte yields exactly the
+/// frames of one-shot decoding (property-tested against
+/// [`read_frame`]).
+///
+/// The buffer is reused ring-style: consumed bytes are reclaimed by
+/// sliding the live window to the front once the read cursor passes
+/// half the buffer, so steady-state decoding allocates nothing.
+///
+/// [`read_from`]: FrameDecoder::read_from
+/// [`feed`]: FrameDecoder::feed
+/// [`next_frame`]: FrameDecoder::next_frame
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes before `head` are consumed frames awaiting reclamation.
+    head: usize,
+    max_len: u32,
+}
+
+/// How many bytes [`FrameDecoder::read_from`] asks the socket for at
+/// a time (grown to the announced frame length when one is pending).
+const READ_CHUNK: usize = 16 * 1024;
+
+impl FrameDecoder {
+    /// Creates a decoder enforcing `max_len` (see [`read_frame`]).
+    pub fn new(max_len: u32) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            head: 0,
+            max_len,
+        }
+    }
+
+    /// Appends raw stream bytes to the buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.reclaim();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Performs **one** `read` into the buffer's tail, returning how
+    /// many bytes arrived (`Ok(0)` is end-of-stream). `WouldBlock`
+    /// and `Interrupted` are the caller's to handle — an edge-driven
+    /// caller loops until `WouldBlock`.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        self.reclaim();
+        let len = self.buf.len();
+        // If a frame header is already buffered, size the read to
+        // finish that frame; otherwise read a chunk.
+        let want = READ_CHUNK.max(self.pending_frame_len().saturating_sub(len - self.head));
+        self.buf.resize(len + want, 0);
+        let got = match r.read(&mut self.buf[len..]) {
+            Ok(n) => n,
+            Err(e) => {
+                self.buf.truncate(len);
+                return Err(e);
+            }
+        };
+        self.buf.truncate(len + got);
+        Ok(got)
+    }
+
+    /// Total length (prefix + payload) of the frame announced by a
+    /// buffered header, or 0 when no complete header is buffered.
+    fn pending_frame_len(&self) -> usize {
+        match self.buf[self.head..] {
+            [a, b, c, d, ..] => 4 + u32::from_le_bytes([a, b, c, d]) as usize,
+            _ => 0,
+        }
+    }
+
+    /// Extracts the next complete frame payload, or `None` when more
+    /// bytes are needed. Errors ([`WireError::Oversized`], empty
+    /// frames) are unrecoverable: the prefix cannot be trusted, so
+    /// the connection must close.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        let avail = self.buf.len() - self.head;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.head..self.head + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if len == 0 {
+            return Err(WireError::Malformed("empty frame"));
+        }
+        if len > self.max_len {
+            return Err(WireError::Oversized {
+                len,
+                max: self.max_len,
+            });
+        }
+        if avail < 4 + len as usize {
+            return Ok(None);
+        }
+        let start = self.head + 4;
+        self.head = start + len as usize;
+        Ok(Some(&self.buf[start..self.head]))
+    }
+
+    /// Whether bytes of an incomplete frame are buffered — EOF now
+    /// means [`WireError::Truncated`], not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.head < self.buf.len()
+    }
+
+    /// Number of not-yet-consumed buffered bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Slides the live window back to the buffer's front once the
+    /// consumed prefix dominates, bounding memory without reallocating.
+    fn reclaim(&mut self) {
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= READ_CHUNK.max(self.buf.len() / 2) {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
 /// Reads one frame payload off `r`.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame

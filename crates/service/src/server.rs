@@ -1,9 +1,17 @@
-//! The sketch server: thread-per-connection over `std::net`.
+//! The sketch server, with two interchangeable backends: blocking
+//! thread-per-connection over `std::net` ([`Backend::Threaded`]) and
+//! a hand-rolled epoll reactor ([`Backend::EventLoop`], see the
+//! `reactor` submodule). Both speak the same wire protocol against
+//! the same sketch state and funnel every request through the same
+//! execution path, so IVL verdicts and envelopes cannot depend on
+//! the backend.
 //!
-//! One [`ShardedPcm`] is shared by all connections. The first update a
-//! connection sends checks out a [`ShardLease`] — a single-writer
-//! sub-matrix — and keeps it until the connection closes, so the
-//! ingest hot path stays plain stores with no RMW instruction and no
+//! One [`ShardedPcm`] is shared by all connections. In the threaded
+//! backend, the first update a connection sends checks out a
+//! [`ShardLease`] — a single-writer sub-matrix — and keeps it until
+//! the connection closes; in the event-loop backend each reactor
+//! thread leases once for all its connections. Either way the ingest
+//! hot path stays plain stores with no RMW instruction and no
 //! lock. The lease pool is also the backpressure bound: when every
 //! shard is leased, further *updating* connections get a `busy` error
 //! (queries always proceed — they only read). Stream length is
@@ -28,18 +36,64 @@ use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::CoinFlips;
 use ivl_spec::history::{History, ObjectId, ProcessId};
 use ivl_spec::record::Recorder;
+use polling::Poller;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+mod reactor;
+
+/// Which serving backend executes connections. Both speak the same
+/// wire protocol against the same sketch state; the choice is purely a
+/// scheduling/perf decision, so IVL verdicts and envelopes are
+/// identical across backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// One OS thread per connection, blocking I/O (the original
+    /// backend; robust, but threads cap concurrent connections).
+    #[default]
+    Threaded,
+    /// `shards` reactor threads over a hand-rolled epoll event loop:
+    /// nonblocking sockets, edge-triggered readiness, resumable frame
+    /// decoding, vectored writes. Each reactor owns one shard lease
+    /// for all its connections.
+    EventLoop,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(Backend::Threaded),
+            "event-loop" | "event_loop" | "eventloop" => Ok(Backend::EventLoop),
+            other => Err(format!(
+                "unknown backend {other:?} (want \"threaded\" or \"event-loop\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Threaded => "threaded",
+            Backend::EventLoop => "event-loop",
+        })
+    }
+}
 
 /// Configuration of one server instance.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
+    /// Serving backend (see [`Backend`]).
+    pub backend: Backend,
     /// Number of sketch shards == maximum concurrent *updating*
-    /// connections.
+    /// connections (threaded backend) or reactor threads (event-loop
+    /// backend).
     pub shards: usize,
     /// CountMin relative error (ε = α·n).
     pub alpha: f64,
@@ -60,6 +114,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            backend: Backend::Threaded,
             shards: 8,
             alpha: 0.005,
             delta: 0.01,
@@ -86,16 +141,34 @@ struct Shared {
     shutdown: AtomicBool,
     /// Condvar pair signalled by [`begin_shutdown`](Self::begin_shutdown)
     /// so [`ServerHandle::wait_for_shutdown`] can block without polling.
-    shutdown_signal: (std::sync::Mutex<bool>, std::sync::Condvar),
+    shutdown_signal: (Mutex<bool>, Condvar),
+    /// Pollers to wake on shutdown (event-loop backend; empty when
+    /// threaded).
+    wakers: Mutex<Vec<Arc<Poller>>>,
+    /// Generation counter bumped whenever a shard lease returns to the
+    /// pool, so [`ServerHandle::wait_for_free_shard`] can block on a
+    /// condvar instead of sleep-polling the pool.
+    lease_returned: (Mutex<u64>, Condvar),
     addr: SocketAddr,
 }
 
 impl Shared {
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::AcqRel) {
-            // Unblock the accept loop with a throwaway connection; it
-            // re-checks the flag before serving anything.
-            let _ = TcpStream::connect(self.addr);
+            let wakers = self.wakers.lock().expect("wakers lock");
+            if wakers.is_empty() {
+                // Threaded backend: unblock the blocking accept loop
+                // with a throwaway connection; it re-checks the flag
+                // before serving anything.
+                let _ = TcpStream::connect(self.addr);
+            } else {
+                // Event-loop backend: wake every poller; accept loop
+                // and reactors re-check the flag and drain.
+                for poller in wakers.iter() {
+                    let _ = poller.notify();
+                }
+            }
+            drop(wakers);
             let (lock, cv) = &self.shutdown_signal;
             *lock.lock().expect("shutdown signal lock") = true;
             cv.notify_all();
@@ -108,6 +181,21 @@ impl Shared {
         while !*requested {
             requested = cv.wait(requested).expect("shutdown signal wait");
         }
+    }
+
+    /// Registers a poller to be notified by [`begin_shutdown`]
+    /// (event-loop backend startup).
+    ///
+    /// [`begin_shutdown`]: Self::begin_shutdown
+    fn register_waker(&self, poller: Arc<Poller>) {
+        self.wakers.lock().expect("wakers lock").push(poller);
+    }
+
+    /// Announces that a shard lease went back to the pool.
+    fn note_lease_returned(&self) {
+        let (lock, cv) = &self.lease_returned;
+        *lock.lock().expect("lease signal lock") += 1;
+        cv.notify_all();
     }
 }
 
@@ -159,15 +247,20 @@ pub fn serve(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<ServerHa
         metrics: Metrics::new(),
         recorder: cfg.record.then(Recorder::new),
         shutdown: AtomicBool::new(false),
-        shutdown_signal: (std::sync::Mutex::new(false), std::sync::Condvar::new()),
+        shutdown_signal: (Mutex::new(false), Condvar::new()),
+        wakers: Mutex::new(Vec::new()),
+        lease_returned: (Mutex::new(0), Condvar::new()),
         addr: local,
         proto,
         cfg,
     });
     let accept_shared = Arc::clone(&shared);
-    let accept = thread::Builder::new()
-        .name("ivl-accept".into())
-        .spawn(move || accept_loop(listener, accept_shared))?;
+    let accept = match shared.cfg.backend {
+        Backend::Threaded => thread::Builder::new()
+            .name("ivl-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?,
+        Backend::EventLoop => reactor::spawn(listener, accept_shared)?,
+    };
     Ok(ServerHandle {
         addr: local,
         shared: Some(shared),
@@ -207,6 +300,30 @@ impl ServerHandle {
     /// until told to stop waits here first.
     pub fn wait_for_shutdown(&self) {
         self.shared().wait_for_shutdown();
+    }
+
+    /// Blocks (condvar wakeup, no polling) until at least one shard is
+    /// free to lease or `timeout` elapses; returns whether a shard was
+    /// free when it woke. The answer is advisory — another client may
+    /// win the shard first — so callers retry their update on `busy`.
+    pub fn wait_for_free_shard(&self, timeout: Duration) -> bool {
+        let shared = self.shared();
+        let deadline = Instant::now() + timeout;
+        let (lock, cv) = &shared.lease_returned;
+        let mut generation = lock.lock().expect("lease signal lock");
+        loop {
+            if shared.sketch.free_shards() > 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _timed_out) = cv
+                .wait_timeout(generation, deadline - now)
+                .expect("lease signal wait");
+            generation = next;
+        }
     }
 
     /// Initiates shutdown, waits for every connection to drain, and
@@ -318,6 +435,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
             }
             Err(_) => break, // truncated or connection gone
         };
+        shared.metrics.record_frame();
         let request = match Request::decode(&payload) {
             Ok(r) => r,
             Err(e) => {
@@ -336,53 +454,18 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
                 continue;
             }
         };
-        let response = match request {
-            Request::Update { key, weight } => apply_updates(
-                shared,
-                &mut lease,
-                &mut applied,
-                process,
-                object,
-                &[(key, weight)],
-            ),
-            Request::Batch(items) => {
-                shared.metrics.record_batch();
-                apply_updates(shared, &mut lease, &mut applied, process, object, &items)
-            }
-            Request::Query { key } => {
-                let start = Instant::now();
-                let op = shared
-                    .recorder
-                    .as_ref()
-                    .map(|r| r.invoke_query(process, object, key));
-                let estimate = shared.sketch.estimate(key);
-                let stream_len = shared.ingest.read();
-                if let (Some(r), Some(op)) = (shared.recorder.as_ref(), op) {
-                    r.respond_query(op, estimate);
-                }
-                shared.metrics.record_query(start.elapsed().as_nanos());
-                let params = shared.proto.params();
-                Response::Envelope(Envelope::new(
-                    key,
-                    estimate,
-                    stream_len,
-                    params.alpha(),
-                    params.delta(),
-                ))
-            }
-            Request::Stats => Response::Stats(shared.metrics.report(shared.ingest.read())),
-            Request::Shutdown => {
-                shared.begin_shutdown();
-                let _ = send(&mut writer, &Response::Goodbye);
-                break;
-            }
-        };
-        if !send(&mut writer, &response) {
+        let (response, close) =
+            execute_request(shared, &mut lease, &mut applied, process, object, request);
+        if !send(&mut writer, &response) || close {
             break;
         }
     }
     // `lease` drops here, returning the shard to the pool.
+    let had_lease = lease.is_some();
     drop(lease);
+    if had_lease {
+        shared.note_lease_returned();
+    }
     // Half-close, then briefly drain the peer's in-flight bytes so the
     // final response frame is not clobbered by a reset. The timeout
     // bounds the wait when it is the server hanging up first — an
@@ -393,6 +476,66 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
         .get_ref()
         .set_read_timeout(Some(std::time::Duration::from_millis(50)));
     let _ = reader.read(&mut [0u8; 64]);
+}
+
+/// Executes one decoded request against the shared sketch state and
+/// returns `(response, close_after_send)`. Both backends funnel every
+/// request through here, which is what makes IVL semantics
+/// backend-invariant: the recorder calls, the lease discipline, and
+/// the envelope construction are literally the same code.
+fn execute_request<'a>(
+    shared: &'a Shared,
+    lease: &mut Option<ivl_concurrent::ShardLease<'a>>,
+    applied: &mut u64,
+    process: ProcessId,
+    object: ObjectId,
+    request: Request,
+) -> (Response, bool) {
+    match request {
+        Request::Update { key, weight } => (
+            apply_updates(shared, lease, applied, process, object, &[(key, weight)]),
+            false,
+        ),
+        Request::Batch(items) => {
+            shared.metrics.record_batch();
+            (
+                apply_updates(shared, lease, applied, process, object, &items),
+                false,
+            )
+        }
+        Request::Query { key } => {
+            let start = Instant::now();
+            let op = shared
+                .recorder
+                .as_ref()
+                .map(|r| r.invoke_query(process, object, key));
+            let estimate = shared.sketch.estimate(key);
+            let stream_len = shared.ingest.read();
+            if let (Some(r), Some(op)) = (shared.recorder.as_ref(), op) {
+                r.respond_query(op, estimate);
+            }
+            shared.metrics.record_query(start.elapsed().as_nanos());
+            let params = shared.proto.params();
+            (
+                Response::Envelope(Envelope::new(
+                    key,
+                    estimate,
+                    stream_len,
+                    params.alpha(),
+                    params.delta(),
+                )),
+                false,
+            )
+        }
+        Request::Stats => (
+            Response::Stats(shared.metrics.report(shared.ingest.read())),
+            false,
+        ),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            (Response::Goodbye, true)
+        }
+    }
 }
 
 /// Applies updates through the connection's lease, acquiring it on
@@ -441,7 +584,12 @@ mod tests {
     use crate::client::Client;
 
     fn config(shards: usize, record: bool) -> ServerConfig {
+        config_with(Backend::Threaded, shards, record)
+    }
+
+    fn config_with(backend: Backend, shards: usize, record: bool) -> ServerConfig {
         ServerConfig {
+            backend,
             shards,
             record,
             ..ServerConfig::default()
@@ -488,21 +636,25 @@ mod tests {
         );
         // Queries are reads and never need a lease.
         assert!(b.query(1).unwrap().estimate >= 1);
-        // Dropping the leasing connection frees the shard for b.
+        // Dropping the leasing connection frees the shard for b; the
+        // condvar wakes us without polling.
         drop(a);
-        let deadline = Instant::now() + std::time::Duration::from_secs(5);
-        loop {
-            match b.update(2, 1) {
-                Ok(_) => break,
-                Err(_) if Instant::now() < deadline => {
-                    std::thread::sleep(std::time::Duration::from_millis(5))
-                }
-                Err(e) => panic!("shard never freed: {e:?}"),
-            }
-        }
-        // At least the first rejection; retries racing the lease
-        // release may add more.
-        assert!(h.stats().busy_rejections >= 1);
+        assert!(
+            h.wait_for_free_shard(Duration::from_secs(5)),
+            "shard never freed"
+        );
+        b.update(2, 1).unwrap();
+        assert_eq!(h.stats().busy_rejections, 1);
+    }
+
+    #[test]
+    fn wait_for_free_shard_times_out_while_leased() {
+        let h = serve("127.0.0.1:0", config(1, false)).unwrap();
+        let mut a = Client::connect(h.addr()).unwrap();
+        a.update(1, 1).unwrap();
+        assert!(!h.wait_for_free_shard(Duration::from_millis(50)));
+        drop(a);
+        assert!(h.wait_for_free_shard(Duration::from_secs(5)));
     }
 
     #[test]
@@ -533,6 +685,187 @@ mod tests {
         assert_eq!(h.stats().protocol_errors, 1);
         drop(s); // join drains: the client must hang up first
         h.join();
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("threaded".parse::<Backend>().unwrap(), Backend::Threaded);
+        assert_eq!("event-loop".parse::<Backend>().unwrap(), Backend::EventLoop);
+        assert_eq!("event_loop".parse::<Backend>().unwrap(), Backend::EventLoop);
+        assert!("fibers".parse::<Backend>().is_err());
+        assert_eq!(Backend::EventLoop.to_string(), "event-loop");
+        assert_eq!(Backend::default(), Backend::Threaded);
+    }
+
+    #[test]
+    fn event_loop_updates_queries_and_stats_over_the_wire() {
+        let h = serve("127.0.0.1:0", config_with(Backend::EventLoop, 2, false)).unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        assert_eq!(c.update(7, 3).unwrap(), 1);
+        assert_eq!(c.batch(&[(7, 2), (9, 5)]).unwrap(), 3);
+        let env = c.query(7).unwrap();
+        assert!(env.estimate >= 5, "estimate {} < true 5", env.estimate);
+        assert_eq!(env.stream_len, 10);
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.updates, 3);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.stream_len, 10);
+        assert!(stats.wakeups > 0, "reactor served without waking?");
+        assert!(stats.frames >= 4);
+        drop(c);
+        let joined = h.join();
+        assert_eq!(joined.stats.updates, 3);
+    }
+
+    #[test]
+    fn event_loop_multiplexes_more_connections_than_reactors() {
+        // 2 reactors, 12 concurrent updating clients: every client
+        // gets served (no busy — reactors share their lease across
+        // connections), and the quiescent totals add up.
+        let h = serve("127.0.0.1:0", config_with(Backend::EventLoop, 2, false)).unwrap();
+        let addr = h.addr();
+        let clients = 12u64;
+        let per_client = 50u64;
+        let threads: Vec<_> = (0..clients)
+            .map(|t| {
+                thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for k in 0..per_client {
+                        c.update(t, 1).unwrap();
+                        if k % 10 == 0 {
+                            let env = c.query(t).unwrap();
+                            assert!(env.estimate <= env.stream_len);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = h.stats();
+        assert_eq!(stats.updates, clients * per_client);
+        assert_eq!(stats.stream_len, clients * per_client);
+        assert_eq!(stats.accepted, clients);
+        assert_eq!(stats.busy_rejections, 0);
+        for t in 0..clients {
+            let mut c = Client::connect(addr).unwrap();
+            assert!(c.query(t).unwrap().estimate >= per_client, "key {t}");
+        }
+        h.join();
+    }
+
+    #[test]
+    fn event_loop_pipelined_burst_exercises_write_backpressure() {
+        // One client pipelines far more queries than the reactor's
+        // write watermark holds, reading concurrently: the reactor
+        // must pause decoding, flush, resume, and answer every frame
+        // in order.
+        let h = serve("127.0.0.1:0", config_with(Backend::EventLoop, 1, false)).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        let mut reader = s.try_clone().unwrap();
+        const BURST: usize = 10_000;
+        let writer = thread::spawn(move || {
+            let mut buf = Vec::new();
+            for key in 0..BURST as u64 {
+                buf.clear();
+                Request::Query { key }.encode(&mut buf);
+                s.write_all(&buf).unwrap();
+            }
+            s // keep the socket open until responses are drained
+        });
+        for key in 0..BURST as u64 {
+            let payload = protocol::read_frame(&mut reader, protocol::DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .expect("response per request");
+            match Response::decode(&payload).unwrap() {
+                Response::Envelope(env) => assert_eq!(env.key, key, "responses in order"),
+                other => panic!("expected envelope, got {other:?}"),
+            }
+        }
+        drop(writer.join().unwrap());
+        drop(reader);
+        assert_eq!(h.stats().queries, BURST as u64);
+        h.join();
+    }
+
+    #[test]
+    fn event_loop_malformed_frames_get_protocol_errors_not_closure() {
+        let h = serve("127.0.0.1:0", config_with(Backend::EventLoop, 1, false)).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        // Unknown opcode in a well-delimited frame.
+        s.write_all(&2u32.to_le_bytes()).unwrap();
+        s.write_all(&[0x7f, 0x00]).unwrap();
+        let payload = protocol::read_frame(&mut s, protocol::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // The connection survives: a valid request still works.
+        let mut buf = Vec::new();
+        Request::Query { key: 1 }.encode(&mut buf);
+        s.write_all(&buf).unwrap();
+        let payload = protocol::read_frame(&mut s, protocol::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Envelope(_)
+        ));
+        assert_eq!(h.stats().protocol_errors, 1);
+        drop(s);
+        h.join();
+    }
+
+    #[test]
+    fn event_loop_oversized_frame_answers_then_closes() {
+        let cfg = ServerConfig {
+            max_frame_len: 64,
+            ..config_with(Backend::EventLoop, 1, false)
+        };
+        let h = serve("127.0.0.1:0", cfg).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(&1_000u32.to_le_bytes()).unwrap();
+        let payload = protocol::read_frame(&mut s, protocol::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // The server half-closed after the error: reads hit EOF.
+        assert_eq!(
+            protocol::read_frame(&mut s, protocol::DEFAULT_MAX_FRAME_LEN).unwrap(),
+            None
+        );
+        drop(s);
+        h.join();
+    }
+
+    #[test]
+    fn event_loop_shutdown_frame_drains_and_join_returns_history() {
+        let h = serve("127.0.0.1:0", config_with(Backend::EventLoop, 2, true)).unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        c.update(3, 4).unwrap();
+        c.query(3).unwrap();
+        c.shutdown().unwrap();
+        drop(c);
+        let joined = h.join();
+        let history = joined.history.expect("recording was on");
+        let ops = history.operations();
+        assert_eq!(ops.iter().filter(|o| o.op.is_update()).count(), 1);
+        assert_eq!(ops.iter().filter(|o| !o.op.is_update()).count(), 1);
+        assert!(ivl_spec::ivl::check_ivl_monotone(&joined.spec, &history).is_ivl());
+    }
+
+    #[test]
+    fn event_loop_join_without_connections_returns() {
+        let h = serve("127.0.0.1:0", config_with(Backend::EventLoop, 4, false)).unwrap();
+        let joined = h.join();
+        assert_eq!(joined.stats.accepted, 0);
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! The event-loop serving backend: a hand-rolled epoll reactor.
+//!
+//! Layout: one nonblocking accept thread plus `shards` reactor
+//! threads, all driven by the vendored [`polling`] shim
+//! (edge-triggered epoll + an eventfd waker). The accept thread
+//! drains `accept` until `WouldBlock`, applies the connection-limit
+//! gate, and hands sockets round-robin to reactor mailboxes. Each
+//! reactor owns a slice of connections as explicit state machines:
+//! reads go through the resumable [`FrameDecoder`] (so frames split
+//! across arbitrary packet boundaries decode incrementally, zero-copy
+//! from a reusable ring buffer), writes drain a backpressure-aware
+//! queue with vectored writes.
+//!
+//! IVL semantics are backend-invariant by construction: every request
+//! executes through [`super::execute_request`] — the same code the
+//! threaded backend runs — against the same `ShardedPcm` and ingest
+//! counter. The single-writer shard invariant holds because a reactor
+//! thread is the sole writer of its (lazily acquired) [`ShardLease`]:
+//! where the threaded backend has one lease per updating connection,
+//! the reactor multiplexes all its connections over one lease, which
+//! is sound for exactly the reason Lemma 7 allows batching — shard
+//! cells only ever see single-threaded read-modify-write-back.
+
+use super::{execute_request, Shared};
+use crate::protocol::{ErrorCode, FrameDecoder, Request, Response};
+use ivl_concurrent::ShardLease;
+use ivl_spec::history::{ObjectId, ProcessId};
+use polling::{Event, PollMode, Poller};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Stop decoding a connection's requests once this many response
+/// bytes are queued; the flush path resumes it as the queue drains.
+/// Reads stop too, so the kernel receive window — not server memory —
+/// absorbs a peer that outpaces its reads.
+const HIGH_WATERMARK: usize = 256 * 1024;
+
+/// Buffers per vectored write.
+const MAX_IOVS: usize = 16;
+
+/// The listener's key in the accept thread's poller.
+const LISTENER_KEY: usize = 0;
+
+/// One reactor's cross-thread handoff point.
+struct Mailbox {
+    poller: Arc<Poller>,
+    /// Sockets handed over by the accept thread, with their global
+    /// connection ids (= recording `ProcessId`s).
+    inbox: Mutex<Vec<(TcpStream, u32)>>,
+}
+
+/// Starts the event-loop backend: reactor threads first, then the
+/// accept thread, whose join handle yields the reactor handles (the
+/// same shape the threaded backend's accept loop returns for its
+/// connection threads, so `ServerHandle::join` is backend-agnostic).
+pub(super) fn spawn(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+) -> io::Result<JoinHandle<Vec<JoinHandle<()>>>> {
+    listener.set_nonblocking(true)?;
+    let accept_poller = Arc::new(Poller::new()?);
+    accept_poller.add(&listener, Event::readable(LISTENER_KEY), PollMode::Edge)?;
+    shared.register_waker(Arc::clone(&accept_poller));
+    let reactors = shared.cfg.shards.max(1);
+    let mut mailboxes = Vec::with_capacity(reactors);
+    let mut threads = Vec::with_capacity(reactors);
+    for id in 0..reactors {
+        let poller = Arc::new(Poller::new()?);
+        shared.register_waker(Arc::clone(&poller));
+        let mailbox = Arc::new(Mailbox {
+            poller,
+            inbox: Mutex::new(Vec::new()),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread_mailbox = Arc::clone(&mailbox);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("ivl-reactor-{id}"))
+                .spawn(move || reactor_loop(&thread_shared, &thread_mailbox))?,
+        );
+        mailboxes.push(mailbox);
+    }
+    thread::Builder::new()
+        .name("ivl-accept".into())
+        .spawn(move || accept_loop(listener, &shared, &accept_poller, &mailboxes, threads))
+}
+
+/// Edge-triggered accept: wait for listener readiness, then accept
+/// until `WouldBlock`.
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Shared,
+    poller: &Poller,
+    mailboxes: &[Arc<Mailbox>],
+    threads: Vec<JoinHandle<()>>,
+) -> Vec<JoinHandle<()>> {
+    let mut events = Vec::new();
+    let mut next_reactor = 0usize;
+    let mut next_conn: u32 = 0;
+    'serve: while !shared.shutdown.load(Ordering::Acquire) {
+        events.clear();
+        if poller.wait(&mut events, None).is_err() {
+            break;
+        }
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break 'serve;
+            }
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => continue,
+            };
+            if shared.metrics.active() >= shared.cfg.max_connections {
+                reject(stream, shared);
+                continue;
+            }
+            shared.metrics.connection_accepted();
+            let conn = next_conn;
+            next_conn = next_conn.wrapping_add(1);
+            let mailbox = &mailboxes[next_reactor % mailboxes.len()];
+            next_reactor = next_reactor.wrapping_add(1);
+            mailbox
+                .inbox
+                .lock()
+                .expect("reactor inbox")
+                .push((stream, conn));
+            let _ = mailbox.poller.notify();
+        }
+    }
+    threads
+}
+
+/// Turns a connection away at the accept gate (accepted sockets do
+/// not inherit the listener's nonblocking mode, so this small write
+/// is a plain blocking send).
+fn reject(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.connection_rejected();
+    let mut buf = Vec::new();
+    Response::Error {
+        code: ErrorCode::Busy,
+        message: "connection limit reached".into(),
+    }
+    .encode(&mut buf);
+    let _ = stream.write_all(&buf);
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded responses awaiting the socket, oldest first.
+    outbox: VecDeque<Vec<u8>>,
+    /// Bytes of `outbox.front()` already written.
+    cursor: usize,
+    /// Total queued bytes (the backpressure watermark input).
+    queued: usize,
+    /// Cumulative applied updates (the `ACK` payload).
+    applied: u64,
+    process: ProcessId,
+    /// Edge-triggered read readiness: set by an event, cleared only
+    /// when a read returns `WouldBlock`.
+    read_ready: bool,
+    /// Edge-triggered write readiness, same discipline.
+    write_ready: bool,
+    /// The peer's write side reached EOF.
+    peer_closed: bool,
+    /// Stop decoding requests; close once the outbox flushes.
+    closing: bool,
+    /// Our write side is shut down; discarding peer bytes until EOF
+    /// so the final frames are not clobbered by a reset.
+    draining: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, conn: u32, max_frame_len: u32) -> Self {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(max_frame_len),
+            outbox: VecDeque::new(),
+            cursor: 0,
+            queued: 0,
+            applied: 0,
+            process: ProcessId(conn),
+            // Bytes (or EOF) may predate registration; the first pump
+            // probes both directions and lets `WouldBlock` say no.
+            read_ready: true,
+            write_ready: true,
+            peer_closed: false,
+            closing: false,
+            draining: false,
+        }
+    }
+
+    fn enqueue(&mut self, rsp: &Response) {
+        let mut buf = Vec::new();
+        rsp.encode(&mut buf);
+        self.queued += buf.len();
+        self.outbox.push_back(buf);
+    }
+
+    /// Vectored write until the outbox empties or the socket blocks;
+    /// returns whether any bytes moved.
+    fn flush(&mut self) -> io::Result<bool> {
+        let mut wrote = false;
+        while !self.outbox.is_empty() && self.write_ready {
+            let mut iovs: Vec<IoSlice<'_>> = Vec::with_capacity(self.outbox.len().min(MAX_IOVS));
+            for (i, buf) in self.outbox.iter().take(MAX_IOVS).enumerate() {
+                let skip = if i == 0 { self.cursor } else { 0 };
+                iovs.push(IoSlice::new(&buf[skip..]));
+            }
+            match self.stream.write_vectored(&iovs) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.consume(n);
+                    wrote = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.write_ready = false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(wrote)
+    }
+
+    /// Advances the outbox cursor past `n` written bytes.
+    fn consume(&mut self, mut n: usize) {
+        self.queued -= n;
+        while n > 0 {
+            let front_left = self
+                .outbox
+                .front()
+                .expect("written bytes were queued")
+                .len()
+                - self.cursor;
+            if n >= front_left {
+                n -= front_left;
+                self.cursor = 0;
+                self.outbox.pop_front();
+            } else {
+                self.cursor += n;
+                n = 0;
+            }
+        }
+    }
+}
+
+/// One reactor: adopts mailbox connections, then runs each ready
+/// connection's state machine until it makes no further progress.
+fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
+    let object = ObjectId(0);
+    // The reactor's shard lease: lazily acquired on the first update
+    // any of its connections sends, held until the reactor drains.
+    let mut lease: Option<ShardLease<'_>> = None;
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key = LISTENER_KEY + 1;
+    let mut events: Vec<Event> = Vec::new();
+    let mut run: Vec<usize> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire)
+            && conns.is_empty()
+            && mailbox.inbox.lock().expect("reactor inbox").is_empty()
+        {
+            break;
+        }
+        events.clear();
+        let ready = match mailbox.poller.wait(&mut events, None) {
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        shared.metrics.record_wakeup(ready as u64);
+        run.clear();
+        let adopted = std::mem::take(&mut *mailbox.inbox.lock().expect("reactor inbox"));
+        for (stream, conn) in adopted {
+            let key = next_key;
+            next_key += 1;
+            if stream.set_nonblocking(true).is_err()
+                || mailbox
+                    .poller
+                    .add(&stream, Event::all(key), PollMode::Edge)
+                    .is_err()
+            {
+                shared.metrics.connection_closed();
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            conns.insert(key, Conn::new(stream, conn, shared.cfg.max_frame_len));
+            run.push(key);
+        }
+        for ev in &events {
+            if let Some(conn) = conns.get_mut(&ev.key) {
+                if ev.readable {
+                    conn.read_ready = true;
+                }
+                if ev.writable {
+                    conn.write_ready = true;
+                }
+                run.push(ev.key);
+            }
+        }
+        for &key in &run {
+            let alive = match conns.get_mut(&key) {
+                Some(conn) => pump(shared, &mut lease, object, conn),
+                None => continue,
+            };
+            if !alive {
+                let conn = conns.remove(&key).expect("pumped above");
+                let _ = mailbox.poller.delete(&conn.stream);
+                shared.metrics.connection_closed();
+            }
+        }
+    }
+    if lease.take().is_some() {
+        shared.note_lease_returned();
+    }
+}
+
+/// Drives one connection until it makes no further progress; returns
+/// whether it stays alive. The cycle is flush → decode/execute →
+/// read, repeated, so a response generated this pass still reaches
+/// the wire this pass when the socket allows.
+fn pump<'a>(
+    shared: &'a Shared,
+    lease: &mut Option<ShardLease<'a>>,
+    object: ObjectId,
+    conn: &mut Conn,
+) -> bool {
+    loop {
+        let mut progressed = match conn.flush() {
+            Ok(wrote) => wrote,
+            Err(_) => return false,
+        };
+        // Decode and execute buffered frames while under the write
+        // watermark.
+        while !conn.closing && conn.queued < HIGH_WATERMARK {
+            let decoded = match conn.decoder.next_frame() {
+                Ok(Some(payload)) => Request::decode(payload),
+                Ok(None) => break,
+                Err(e) => {
+                    // Oversized or empty prefix: the stream cannot be
+                    // resynchronized. Report and close, exactly like
+                    // the threaded backend.
+                    shared.metrics.record_protocol_error();
+                    conn.enqueue(&Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    });
+                    conn.closing = true;
+                    progressed = true;
+                    break;
+                }
+            };
+            shared.metrics.record_frame();
+            progressed = true;
+            match decoded {
+                Ok(request) => {
+                    let (response, close) = execute_request(
+                        shared,
+                        lease,
+                        &mut conn.applied,
+                        conn.process,
+                        object,
+                        request,
+                    );
+                    conn.enqueue(&response);
+                    if close {
+                        conn.closing = true;
+                    }
+                }
+                Err(e) => {
+                    // Length-delimited, so still in sync: answer and
+                    // keep serving.
+                    shared.metrics.record_protocol_error();
+                    conn.enqueue(&Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        // Pull more bytes when the watermark allows.
+        if !conn.closing && !conn.peer_closed && conn.read_ready && conn.queued < HIGH_WATERMARK {
+            match conn.decoder.read_from(&mut conn.stream) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    conn.read_ready = false;
+                    progressed = true;
+                }
+                Ok(_) => progressed = true,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => conn.read_ready = false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => progressed = true,
+                Err(_) => return false,
+            }
+        }
+        // After a server-initiated half-close, discard peer bytes
+        // until its EOF confirms the final frames were received.
+        if conn.draining && conn.read_ready && !conn.peer_closed {
+            let mut sink = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut sink) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        conn.read_ready = false;
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if conn.closing && conn.outbox.is_empty() && !conn.draining {
+        // Everything (including the final GOODBYE or protocol error)
+        // is on the wire: half-close and wait for the peer's EOF.
+        let _ = conn.stream.shutdown(Shutdown::Write);
+        conn.draining = true;
+    }
+    !(conn.peer_closed && conn.outbox.is_empty())
+}

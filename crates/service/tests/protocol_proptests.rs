@@ -5,7 +5,7 @@
 use ivl_service::envelope::Envelope;
 use ivl_service::metrics::StatsReport;
 use ivl_service::protocol::{
-    read_frame, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, MAX_BATCH_ITEMS,
+    read_frame, FrameDecoder, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, MAX_BATCH_ITEMS,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -162,5 +162,122 @@ proptest! {
             Request::decode(&payload),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    // --- resumable FrameDecoder vs. one-shot read_frame ---
+
+    #[test]
+    fn decoder_agrees_with_one_shot_under_arbitrary_splits(
+        reqs in vec(arb_request(), 1..12),
+        cuts in vec(1usize..64, 0..24),
+    ) {
+        let stream = encode_all(&reqs);
+        let expected = one_shot_frames(&stream);
+        // Feed the stream in chunks of the given (arbitrary, possibly
+        // mid-header / mid-payload) sizes, the remainder at the end.
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut got = Vec::new();
+        let mut at = 0;
+        for cut in cuts {
+            let next = (at + cut).min(stream.len());
+            decoder.feed(&stream[at..next]);
+            at = next;
+            drain(&mut decoder, &mut got);
+        }
+        decoder.feed(&stream[at..]);
+        drain(&mut decoder, &mut got);
+        prop_assert_eq!(got, expected);
+        prop_assert!(!decoder.mid_frame(), "whole stream consumed");
+    }
+
+    #[test]
+    fn decoder_agrees_with_one_shot_byte_at_a_time(reqs in vec(arb_request(), 1..8)) {
+        let stream = encode_all(&reqs);
+        let expected = one_shot_frames(&stream);
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut got = Vec::new();
+        for &b in &stream {
+            decoder.feed(std::slice::from_ref(&b));
+            drain(&mut decoder, &mut got);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn decoder_reports_oversized_exactly_like_read_frame(
+        len in 65u32..u32::MAX,
+        split in 0usize..8,
+    ) {
+        let mut stream = Vec::from(len.to_le_bytes());
+        stream.resize(16, 0);
+        let split = split.min(stream.len());
+        let mut decoder = FrameDecoder::new(64);
+        decoder.feed(&stream[..split]);
+        // Possibly mid-prefix: no verdict yet, never a wrong one.
+        if split >= 4 {
+            prop_assert_eq!(
+                decoder.next_frame().expect_err("over limit"),
+                WireError::Oversized { len, max: 64 }
+            );
+        } else {
+            prop_assert_eq!(decoder.next_frame().expect("no header yet"), None);
+            decoder.feed(&stream[split..]);
+            prop_assert_eq!(
+                decoder.next_frame().expect_err("over limit"),
+                WireError::Oversized { len, max: 64 }
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_mid_frame_tracks_truncation(
+        key in any::<u64>(),
+        weight in any::<u64>(),
+        keep_num in any::<u32>(),
+    ) {
+        let mut stream = Vec::new();
+        Request::Update { key, weight }.encode(&mut stream);
+        let keep = keep_num as usize % stream.len(); // strictly shorter
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        decoder.feed(&stream[..keep]);
+        prop_assert_eq!(decoder.next_frame().expect("incomplete, no error"), None);
+        // EOF here would be WireError::Truncated iff bytes are pending
+        // — exactly read_frame's clean-EOF/truncation split.
+        prop_assert_eq!(decoder.mid_frame(), keep > 0);
+    }
+}
+
+/// Strategy over all request variants (small batches keep cases fast).
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(key, weight)| Request::Update { key, weight }),
+        any::<u64>().prop_map(|key| Request::Query { key }),
+        vec((any::<u64>(), any::<u64>()), 0..5).prop_map(Request::Batch),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn encode_all(reqs: &[Request]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for r in reqs {
+        r.encode(&mut buf);
+    }
+    buf
+}
+
+/// Reference decoding: repeated one-shot `read_frame` over the stream.
+fn one_shot_frames(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut r = stream;
+    let mut frames = Vec::new();
+    while let Some(payload) = read_frame(&mut r, DEFAULT_MAX_FRAME_LEN).expect("well-formed") {
+        frames.push(payload);
+    }
+    frames
+}
+
+fn drain(decoder: &mut FrameDecoder, out: &mut Vec<Vec<u8>>) {
+    while let Some(payload) = decoder.next_frame().expect("well-formed") {
+        out.push(payload.to_vec());
     }
 }

@@ -54,8 +54,34 @@ impl PairwiseHash {
     /// Hashes `x` into `[0, w)`.
     #[inline]
     pub fn hash(&self, x: u64) -> usize {
-        let ax = (self.a as u128) * ((x % MERSENNE_61) as u128) + self.b as u128;
+        self.hash_reduced(Self::reduce(x))
+    }
+
+    /// Reduces an input modulo the prime, once, for reuse across many
+    /// rows via [`hash_reduced`](Self::hash_reduced).
+    #[inline]
+    pub fn reduce(x: u64) -> u64 {
+        x % MERSENNE_61
+    }
+
+    /// Hashes an already-reduced input (`xr = x mod p`, from
+    /// [`reduce`](Self::reduce)) into `[0, w)`. Equal to
+    /// `self.hash(x)` for every `x` with `x mod p == xr`.
+    #[inline]
+    pub fn hash_reduced(&self, xr: u64) -> usize {
+        debug_assert!(xr < MERSENNE_61, "input must be pre-reduced");
+        let ax = (self.a as u128) * (xr as u128) + self.b as u128;
         (mod_mersenne61(ax) % self.w) as usize
+    }
+
+    /// Computes every row's bucket for `x` in one pass: the `mod p`
+    /// reduction of `x` happens once instead of once per row. Clears
+    /// and refills `out`, so callers can reuse one scratch buffer
+    /// across a whole batch of items without reallocating.
+    pub fn hash_row_batch(hashes: &[PairwiseHash], x: u64, out: &mut Vec<usize>) {
+        let xr = Self::reduce(x);
+        out.clear();
+        out.extend(hashes.iter().map(|h| h.hash_reduced(xr)));
     }
 
     /// The range bound `w`.
@@ -186,6 +212,28 @@ mod tests {
             64,
             "every bit should flip somewhere"
         );
+    }
+
+    #[test]
+    fn row_batch_matches_per_row_hashing() {
+        let mut coins = CoinFlips::from_seed(6);
+        let hashes: Vec<PairwiseHash> =
+            (0..5).map(|_| PairwiseHash::draw(&mut coins, 64)).collect();
+        let mut scratch = Vec::new();
+        for x in [0, 1, 12345, MERSENNE_61 - 1, MERSENNE_61, u64::MAX] {
+            PairwiseHash::hash_row_batch(&hashes, x, &mut scratch);
+            let per_row: Vec<usize> = hashes.iter().map(|h| h.hash(x)).collect();
+            assert_eq!(scratch, per_row, "x={x}");
+        }
+    }
+
+    #[test]
+    fn reduced_hash_matches_full_hash() {
+        let mut coins = CoinFlips::from_seed(7);
+        let h = PairwiseHash::draw(&mut coins, 100);
+        for x in [0u64, 5, MERSENNE_61 - 1, MERSENNE_61 + 3, u64::MAX] {
+            assert_eq!(h.hash_reduced(PairwiseHash::reduce(x)), h.hash(x), "x={x}");
+        }
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! End-to-end check of the serving subsystem against the paper.
 //!
 //! An in-process `ivl-service` server is hammered over real TCP by
-//! four ingest connections while a fifth queries live. Two properties
+//! four ingest connections while a fifth queries live. Every check
+//! runs twice — once against each serving backend (thread-per-
+//! connection and epoll event loop) — asserting the exact same IVL
+//! and envelope verdicts: the backend is an implementation choice,
+//! not a semantic one, because both funnel every frame through the
+//! same request executor over the same sharded sketch. Two properties
 //! are asserted:
 //!
 //! 1. **Envelopes cover ground truth** (Theorem 6 instantiated at the
@@ -18,7 +23,7 @@
 //!    small second run through the exact (exponential) checker.
 
 use ivl_core::prelude::*;
-use ivl_core::service::server::{serve, ServerConfig};
+use ivl_core::service::server::{serve, Backend, ServerConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const KEYS: usize = 64;
@@ -30,9 +35,9 @@ fn key_weight(worker: usize, i: usize) -> (u64, u64) {
     (((worker * 31 + i * 7) % KEYS) as u64, 1 + (i % 3) as u64)
 }
 
-#[test]
-fn concurrent_serving_run_is_ivl_and_envelopes_cover_truth() {
+fn concurrent_serving_run_is_ivl_and_envelopes_cover_truth(backend: Backend) {
     let cfg = ServerConfig {
+        backend,
         shards: WORKERS,
         record: true,
         ..ServerConfig::default()
@@ -133,9 +138,9 @@ fn concurrent_serving_run_is_ivl_and_envelopes_cover_truth() {
     );
 }
 
-#[test]
-fn small_serving_run_passes_the_exact_checker() {
+fn small_serving_run_passes_the_exact_checker(backend: Backend) {
     let cfg = ServerConfig {
+        backend,
         shards: 2,
         record: true,
         ..ServerConfig::default()
@@ -166,4 +171,24 @@ fn small_serving_run_passes_the_exact_checker() {
         check_ivl_exact(std::slice::from_ref(&joined.spec), &history).is_ivl(),
         "small serving history fails the exact IVL check"
     );
+}
+
+#[test]
+fn threaded_serving_run_is_ivl_and_envelopes_cover_truth() {
+    concurrent_serving_run_is_ivl_and_envelopes_cover_truth(Backend::Threaded);
+}
+
+#[test]
+fn event_loop_serving_run_is_ivl_and_envelopes_cover_truth() {
+    concurrent_serving_run_is_ivl_and_envelopes_cover_truth(Backend::EventLoop);
+}
+
+#[test]
+fn threaded_small_run_passes_the_exact_checker() {
+    small_serving_run_passes_the_exact_checker(Backend::Threaded);
+}
+
+#[test]
+fn event_loop_small_run_passes_the_exact_checker() {
+    small_serving_run_passes_the_exact_checker(Backend::EventLoop);
 }

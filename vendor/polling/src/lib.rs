@@ -1,0 +1,422 @@
+//! Offline in-tree shim for the subset of the `polling` 3.x API used
+//! by this workspace: a Linux epoll reactor handle with an eventfd
+//! waker.
+//!
+//! The build environment has no network access and no vendored
+//! registry, so the workspace ships tiny API-compatible stand-ins for
+//! its external dependencies (see `vendor/README.md`). Like the real
+//! crate, this shim is the *only* place the serving layer touches the
+//! OS readiness API; everything above it works with
+//! [`std::os::fd::AsRawFd`] sources and safe Rust (`ivl-service` keeps
+//! `#![forbid(unsafe_code)]`).
+//!
+//! Differences from the real `polling` crate, kept deliberately small:
+//!
+//! * Linux-only (`epoll` + `eventfd`); the workspace targets Linux.
+//! * No oneshot mode: [`PollMode::Level`] and [`PollMode::Edge`] map
+//!   directly to level-/edge-triggered epoll registrations and stay
+//!   armed until [`Poller::delete`].
+//! * [`Poller::add`] is a safe method taking `&impl AsRawFd`; the
+//!   caller must keep the source alive until `delete` (the same
+//!   I/O-safety contract the real crate spells via `unsafe`). The
+//!   poller never reads or writes through registered descriptors, so
+//!   a violated contract yields spurious or missing events, not
+//!   memory unsafety.
+//!
+//! The `unsafe` here is confined to four `extern "C"` libc calls
+//! (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `eventfd`) plus
+//! adopting their returned descriptors into [`OwnedFd`]; descriptor
+//! reads/writes go through [`std::fs::File`].
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+use std::os::raw::{c_int, c_uint};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+/// The registration key the poller reserves for its internal eventfd
+/// waker; [`Poller::wait`] filters it out of delivered events.
+const NOTIFY_KEY: u64 = u64::MAX;
+
+// `struct epoll_event` is packed on x86-64 (`__EPOLL_PACKED`): 12
+// bytes, no padding between `events` and the 64-bit user data.
+#[repr(C, packed)]
+#[derive(Clone, Copy, Debug)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// How a registration stays armed after delivering an event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PollMode {
+    /// Level-triggered: the event is re-delivered on every wait while
+    /// the condition holds.
+    #[default]
+    Level,
+    /// Edge-triggered (`EPOLLET`): delivered once per readiness
+    /// transition; the consumer must drain until `WouldBlock`.
+    Edge,
+}
+
+/// Readiness interest in / readiness state of one registered source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Caller-chosen registration key, echoed back in delivered
+    /// events. `usize::MAX` is reserved for the poller's waker.
+    pub key: usize,
+    /// Interested in / ready for reading. Delivered events also set
+    /// this for peer hang-up and error conditions, so a consumer that
+    /// reacts to `readable` by reading observes the EOF or the error.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in both readability and writability.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    fn to_epoll(self, mode: PollMode) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if self.readable {
+            bits |= EPOLLIN;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        if mode == PollMode::Edge {
+            bits |= EPOLLET;
+        }
+        bits
+    }
+}
+
+/// A Linux epoll instance plus an eventfd waker.
+///
+/// `wait` may be called from one thread while other threads `add`,
+/// `modify`, `delete` or `notify` (epoll is thread-safe); this shim
+/// serializes nothing except the delivered-events translation.
+#[derive(Debug)]
+pub struct Poller {
+    epoll: OwnedFd,
+    /// Non-blocking eventfd registered level-triggered under
+    /// [`NOTIFY_KEY`]; `notify` bumps it, `wait` drains it.
+    waker: File,
+    /// Guards the raw `epoll_wait` output buffer so `wait` is `&self`.
+    scratch: Mutex<Vec<EpollEvent>>,
+}
+
+impl Poller {
+    /// Creates an epoll instance and its waker eventfd.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1/eventfd allocate fresh descriptors we
+        // immediately adopt into owned handles; flags are the
+        // documented CLOEXEC/NONBLOCK constants.
+        let epoll = unsafe {
+            let fd = cvt(epoll_create1(EPOLL_CLOEXEC))?;
+            OwnedFd::from_raw_fd(fd)
+        };
+        let waker = unsafe {
+            let fd = cvt(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK))?;
+            File::from(OwnedFd::from_raw_fd(fd))
+        };
+        let poller = Poller {
+            epoll,
+            waker,
+            scratch: Mutex::new(Vec::new()),
+        };
+        poller.ctl(
+            EPOLL_CTL_ADD,
+            poller.waker.as_raw_fd(),
+            Some((EPOLLIN, NOTIFY_KEY)),
+        )?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: c_int, fd: i32, ev: Option<(u32, u64)>) -> io::Result<()> {
+        let mut raw = ev.map(|(events, data)| EpollEvent { events, data });
+        let ptr = raw
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        // SAFETY: `ptr` is null only for EPOLL_CTL_DEL (where the
+        // kernel ignores it) and otherwise points at a live, properly
+        // laid out `EpollEvent` on this stack frame.
+        cvt(unsafe { epoll_ctl(self.epoll.as_raw_fd(), op, fd, ptr) })?;
+        Ok(())
+    }
+
+    /// Registers `source` with the given interest and trigger mode.
+    ///
+    /// The caller must keep `source` open until [`delete`]
+    /// (I/O-safety contract; a closed-then-reused descriptor produces
+    /// events under the stale key).
+    ///
+    /// [`delete`]: Poller::delete
+    pub fn add(&self, source: &impl AsRawFd, interest: Event, mode: PollMode) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            source.as_raw_fd(),
+            Some((interest.to_epoll(mode), interest.key as u64)),
+        )
+    }
+
+    /// Changes the interest or trigger mode of a registered source.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event, mode: PollMode) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            source.as_raw_fd(),
+            Some((interest.to_epoll(mode), interest.key as u64)),
+        )
+    }
+
+    /// Deregisters a source.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Blocks until at least one registered source is ready or the
+    /// timeout elapses (`None` blocks indefinitely), appending
+    /// delivered events to `events` and returning how many were
+    /// appended. Waker wakeups are drained and filtered out, so a
+    /// return of `0` with no timeout means [`notify`] was called.
+    ///
+    /// [`notify`]: Poller::notify
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a nonzero timeout never busy-spins.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(c_int::MAX as u128) as c_int,
+        };
+        let mut raw = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        raw.resize(1024, EpollEvent { events: 0, data: 0 });
+        let n = loop {
+            // SAFETY: the buffer outlives the call and its length is
+            // passed as maxevents.
+            let ret = unsafe {
+                epoll_wait(
+                    self.epoll.as_raw_fd(),
+                    raw.as_mut_ptr(),
+                    raw.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            match cvt(ret) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    if timeout.is_some() {
+                        break 0; // treat EINTR under a timeout as a timeout
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let mut appended = 0;
+        for ev in &raw[..n] {
+            let (bits, key) = (ev.events, ev.data);
+            if key == NOTIFY_KEY {
+                // Drain the eventfd counter so level-triggering stops.
+                let _ = (&self.waker).read(&mut [0u8; 8]);
+                continue;
+            }
+            events.push(Event {
+                key: key as usize,
+                readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                writable: bits & (EPOLLOUT | EPOLLERR) != 0,
+            });
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    /// Wakes a concurrent [`wait`](Poller::wait) call from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        match (&self.waker).write(&1u64.to_ne_bytes()) {
+            Ok(_) => Ok(()),
+            // Counter saturated: a wakeup is already pending.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_delivered_level() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(7), PollMode::Level).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+        // Level-triggered: still pending until consumed.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn edge_event_fires_once_per_transition() {
+        let (mut a, mut b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(3), PollMode::Edge).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        // Without consuming, no further edge.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty());
+        // Consume, write again: a new edge arrives.
+        let mut buf = [0u8; 8];
+        let _ = b.read(&mut buf);
+        a.write_all(b"y").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn notify_wakes_and_is_filtered() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = std::sync::Arc::clone(&poller);
+        let waker = std::thread::spawn(move || p2.notify().unwrap());
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        waker.join().unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn modify_and_delete_change_interest() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::writable(1), PollMode::Level).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().all(|e| !e.readable));
+        poller
+            .modify(&b, Event::readable(1), PollMode::Level)
+            .unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events[0].readable);
+        poller.delete(&b).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_reports_readable() {
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(9), PollMode::Edge).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 9 && e.readable));
+    }
+}

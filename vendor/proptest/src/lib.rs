@@ -27,6 +27,70 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`,
+        /// without shrinking).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter mapping another strategy's values through a
+    /// function (see [`Strategy::prop_map`]).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternative strategies — the
+    /// engine behind [`prop_oneof!`](crate::prop_oneof) (unweighted;
+    /// the real crate's weights are not supported).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} options)", self.options.len())
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Creates an empty union; populate with [`or`](Union::or).
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds one alternative.
+        pub fn or(mut self, strategy: impl Strategy<Value = T> + 'static) -> Self {
+            self.options.push(Box::new(strategy));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.options.is_empty(), "prop_oneof! needs an arm");
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].generate(rng)
+        }
     }
 
     /// Forwarding impl so `&strategy` works where a strategy is
@@ -268,9 +332,11 @@ pub mod test_runner {
 pub mod prelude {
     //! Everything a `proptest!` user needs in scope.
 
-    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::strategy::{any, Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn` runs its body for every generated
@@ -367,6 +433,16 @@ macro_rules! prop_assert_ne {
     }};
 }
 
+/// Picks uniformly among alternative strategies with a common value
+/// type (the real crate's per-arm weights are not supported — arms are
+/// equally likely).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strat))+
+    };
+}
+
 /// Skips the current case when its inputs don't satisfy a premise.
 #[macro_export]
 macro_rules! prop_assume {
@@ -403,6 +479,31 @@ mod tests {
         fn assume_skips(n in 0u64..10) {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn prop_map_transforms(s in (0u64..10).prop_map(|n| n.to_string())) {
+            let n: u64 = s.parse().expect("decimal");
+            prop_assert!(n < 10);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm_domain(
+            picks in crate::collection::vec(
+                prop_oneof![
+                    (0u64..10).prop_map(|n| n * 2),
+                    Just(100u64),
+                    11u64..20,
+                ],
+                64,
+            ),
+        ) {
+            for p in picks {
+                prop_assert!(
+                    p == 100 || (11..20).contains(&p) || (p < 20 && p % 2 == 0),
+                    "value outside every arm: {p}"
+                );
+            }
         }
     }
 
