@@ -1,0 +1,338 @@
+//! E19: single-writer ingest hot path — strict `Pcm` vs `ShardedPcm`
+//! vs `BufferedPcm` across the batch-bound sweep b ∈ {1, 8, 64, 256}.
+//!
+//! One thread ingests a pre-generated Zipf stream; only the ingest
+//! loop (plus, for the buffered sketch, the final flush) is timed, so
+//! the numbers isolate the update path: hash + d atomic `fetch_add`s
+//! for strict/sharded, coalescing-table insert + amortized propagation
+//! for buffered. Committed results live in `BENCH_core.json`.
+//!
+//! Beyond the usual criterion CLI, this bench accepts:
+//!
+//! ```text
+//!   --quick       smaller stream + 3 samples (CI smoke)
+//!   --json FILE   write the measured table as JSON (BENCH_core.json)
+//!   --enforce     exit 1 if buffered b=64 ingests slower than strict
+//! ```
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use ivl_concurrent::{BufferedPcm, ConcurrentSketch, Pcm, ShardedPcm, SketchHandle, UpdateBuffer};
+use ivl_sketch::countmin::CountMinParams;
+use ivl_sketch::stream::ZipfStream;
+use ivl_sketch::CoinFlips;
+use std::time::{Duration, Instant};
+
+const ALPHABET: usize = 10_000;
+const ZIPF_S: f64 = 1.1;
+const SHARDS: usize = 4;
+const BATCHES: [u64; 4] = [1, 8, 64, 256];
+
+fn params() -> CountMinParams {
+    // α ≈ 0.1%, δ ≈ 1%: the dimensions a production deployment uses.
+    CountMinParams::for_bounds(0.001, 0.01)
+}
+
+fn stream(n: usize, seed: u64) -> Vec<u64> {
+    skewed_stream(n, ZIPF_S, seed)
+}
+
+fn skewed_stream(n: usize, s: f64, seed: u64) -> Vec<u64> {
+    ZipfStream::new(ALPHABET, s, seed).take(n).collect()
+}
+
+/// Times `iters` fresh-sketch ingest passes over `items`, timing only
+/// what `ingest` does (construction and stream generation excluded).
+fn timed_passes(
+    iters: u64,
+    items: &[u64],
+    mut ingest: impl FnMut(&mut CoinFlips, &[u64]) -> Duration,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for k in 0..iters {
+        let mut coins = CoinFlips::from_seed(k);
+        total += ingest(&mut coins, items);
+    }
+    total
+}
+
+fn bench_hot_path(c: &mut Criterion, n: usize) {
+    let items = stream(n, 42);
+    let mut group = c.benchmark_group("sketch_hot_path");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("strict", |b| {
+        b.iter_custom(|iters| {
+            timed_passes(iters, &items, |coins, items| {
+                let pcm = Pcm::new(params(), coins);
+                let start = Instant::now();
+                for &i in items {
+                    pcm.update(i);
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("sharded", format!("s={SHARDS}")), |b| {
+        b.iter_custom(|iters| {
+            timed_passes(iters, &items, |coins, items| {
+                let sketch = ShardedPcm::new(params(), SHARDS, coins);
+                let mut h = sketch.handle();
+                let start = Instant::now();
+                for &i in items {
+                    h.update(i);
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    for batch in BATCHES {
+        group.bench_function(BenchmarkId::new("buffered", format!("b={batch}")), |b| {
+            b.iter_custom(|iters| {
+                timed_passes(iters, &items, |coins, items| {
+                    let sketch = BufferedPcm::new(params(), batch, coins);
+                    let mut h = sketch.handle();
+                    let start = Instant::now();
+                    for &i in items {
+                        h.update(i);
+                    }
+                    // The final propagation is part of the ingest
+                    // cost: queries must be able to see the stream.
+                    h.flush();
+                    start.elapsed()
+                })
+            });
+        });
+    }
+
+    // The service's actual write path: an `UpdateBuffer` draining into
+    // a shard lease, whose SWMR cells take a plain load+store instead
+    // of a lock-prefixed `fetch_add`.
+    for batch in BATCHES {
+        group.bench_function(
+            BenchmarkId::new("buffered_lease", format!("b={batch}")),
+            |b| {
+                b.iter_custom(|iters| {
+                    timed_passes(iters, &items, |coins, items| {
+                        let sketch = ShardedPcm::new(params(), SHARDS, coins);
+                        let mut lease = sketch.lease().expect("fresh sketch has free shards");
+                        let mut buf = UpdateBuffer::new(params().depth, batch);
+                        let start = Instant::now();
+                        for &i in items {
+                            if buf.push(sketch.hashes(), i, 1) {
+                                buf.drain(|cols, count| lease.apply_rows(cols, count));
+                            }
+                        }
+                        buf.drain(|cols, count| lease.apply_rows(cols, count));
+                        start.elapsed()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Skew sensitivity: the buffered win is proportional to the
+/// coalescing hit rate, which a Zipf exponent of 1.5 makes visible —
+/// repeats inside a b=64 window collapse to one table hit, skipping
+/// both the row hashing and the shared-cell traffic.
+fn bench_skew(c: &mut Criterion, n: usize) {
+    let hot = skewed_stream(n, 1.5, 44);
+    let mut group = c.benchmark_group("sketch_hot_path_skew");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("strict/z=1.5", |b| {
+        b.iter_custom(|iters| {
+            timed_passes(iters, &hot, |coins, items| {
+                let pcm = Pcm::new(params(), coins);
+                let start = Instant::now();
+                for &i in items {
+                    pcm.update(i);
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    group.bench_function("buffered/z=1.5,b=64", |b| {
+        b.iter_custom(|iters| {
+            timed_passes(iters, &hot, |coins, items| {
+                let sketch = BufferedPcm::new(params(), 64, coins);
+                let mut h = sketch.handle();
+                let start = Instant::now();
+                for &i in items {
+                    h.update(i);
+                }
+                h.flush();
+                start.elapsed()
+            })
+        });
+    });
+    group.finish();
+}
+
+/// The contended shape of the same comparison: `T` writers ingest
+/// disjoint slices of the stream concurrently. Strict `Pcm` writers
+/// bounce the hot rows' cache lines on every `fetch_add`; buffered
+/// lease writers touch only private cells plus a thread-local buffer,
+/// so this is where the batched construction's O(1)-update claim
+/// (Lemma 10) shows up as wall clock.
+fn bench_contended(c: &mut Criterion, n: usize) {
+    const THREADS: usize = 4;
+    let items = stream(n, 43);
+    let chunk = items.len() / THREADS;
+    let mut group = c.benchmark_group("sketch_hot_path_contended");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("strict", format!("t={THREADS}")), |b| {
+        b.iter_custom(|iters| {
+            timed_passes(iters, &items, |coins, items| {
+                let pcm = Pcm::new(params(), coins);
+                let start = Instant::now();
+                std::thread::scope(|s| {
+                    for slice in items.chunks(chunk) {
+                        let pcm = &pcm;
+                        s.spawn(move || {
+                            for &i in slice {
+                                pcm.update(i);
+                            }
+                        });
+                    }
+                });
+                start.elapsed()
+            })
+        });
+    });
+
+    group.bench_function(
+        BenchmarkId::new("buffered_lease", format!("t={THREADS},b=64")),
+        |b| {
+            b.iter_custom(|iters| {
+                timed_passes(iters, &items, |coins, items| {
+                    let sketch = ShardedPcm::new(params(), THREADS, coins);
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for slice in items.chunks(chunk) {
+                            let sketch = &sketch;
+                            s.spawn(move || {
+                                let mut lease = sketch.lease().expect("one shard per writer");
+                                let mut buf = UpdateBuffer::new(params().depth, 64);
+                                for &i in slice {
+                                    if buf.push(sketch.hashes(), i, 1) {
+                                        buf.drain(|cols, count| lease.apply_rows(cols, count));
+                                    }
+                                }
+                                buf.drain(|cols, count| lease.apply_rows(cols, count));
+                            });
+                        }
+                    });
+                    start.elapsed()
+                })
+            });
+        },
+    );
+    group.finish();
+}
+
+/// Melem/s of the result whose label ends in `suffix`.
+fn rate_of(c: &Criterion, suffix: &str) -> Option<f64> {
+    c.results()
+        .iter()
+        .find(|r| r.label.ends_with(suffix))
+        .and_then(|r| r.elems_per_sec)
+}
+
+fn write_json(c: &Criterion, path: &str, n: usize, quick: bool) -> std::io::Result<()> {
+    let mut rows = String::new();
+    for r in c.results() {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let rate = r.elems_per_sec.unwrap_or(0.0);
+        rows.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"ns_per_pass\": {:.0}, \"melem_per_s\": {:.3}}}",
+            r.label,
+            r.ns_per_iter,
+            rate / 1e6
+        ));
+    }
+    let ratio = match (rate_of(c, "buffered/b=64"), rate_of(c, "strict")) {
+        (Some(b), Some(s)) if s > 0.0 => b / s,
+        _ => 0.0,
+    };
+    let doc = format!(
+        "{{\n  \"bench\": \"sketch_hot_path\",\n  \"items\": {n},\n  \
+         \"alphabet\": {ALPHABET},\n  \"zipf_s\": {ZIPF_S},\n  \
+         \"shards\": {SHARDS},\n  \"quick\": {quick},\n  \
+         \"buffered_b64_vs_strict\": {ratio:.3},\n  \"runs\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(path, doc)
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut enforce = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            "--enforce" => enforce = true,
+            // --quick is read by the criterion shim; cargo bench
+            // passes --bench and filter strings — ignore both.
+            _ => {}
+        }
+    }
+
+    let mut c = Criterion::default();
+    let n = if c.is_quick() { 20_000 } else { 200_000 };
+    bench_hot_path(&mut c, n);
+    bench_skew(&mut c, n);
+    bench_contended(&mut c, n);
+
+    if let Some(path) = &json_path {
+        if let Err(e) = write_json(&c, path, n, c.is_quick()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if enforce {
+        // Generous threshold: on a noisy shared runner single-writer
+        // buffered b=64 sits around parity with strict, so the gate
+        // only trips on a genuine pathology (coalescing or flush
+        // regressed into multiplying work), not on scheduler jitter.
+        const FLOOR: f64 = 0.6;
+        let (b64, strict) = (rate_of(&c, "buffered/b=64"), rate_of(&c, "strict"));
+        match (b64, strict) {
+            (Some(b64), Some(strict)) if b64 >= strict * FLOOR => {
+                println!("enforce: buffered b=64 at {:.2}x strict — ok", b64 / strict);
+            }
+            (Some(b64), Some(strict)) => {
+                eprintln!(
+                    "enforce: buffered b=64 ingests at {:.2}x strict (< {FLOOR}) — \
+                     the buffer is multiplying work instead of amortizing it",
+                    b64 / strict
+                );
+                std::process::exit(1);
+            }
+            _ => {
+                eprintln!("enforce: missing strict or buffered b=64 measurement");
+                std::process::exit(1);
+            }
+        }
+    }
+}

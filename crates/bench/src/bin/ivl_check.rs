@@ -6,7 +6,10 @@
 //!   <spec>  counter | incdec | max | min
 //!   --hb    also print the happens-before summary of the history
 //!           (precedence pairs, concurrent pairs, max overlap)
-//!   --json  render the --hb summary as JSON (see README schemas)
+//!   --json  render the --hb summary as JSON, and append a verdict
+//!           object `{"checker": "exact"|"monotone", "ops": N,
+//!           "ivl": bool, "linearizable": bool|null}` (see README
+//!           schemas)
 //! ```
 //!
 //! Prints the timeline, the linearizability verdict, the IVL verdict
@@ -14,7 +17,11 @@
 //! larger than the exact search bound skip the timeline and the
 //! exponential checks: monotone specs fall back to the linear-time
 //! monotone interval checker (printing only violating intervals), the
-//! non-monotone `incdec` spec is rejected. Exit status: 0 if IVL, 2
+//! non-monotone `incdec` spec is rejected. Which checker produced the
+//! verdict is always surfaced: a stderr note in human mode, the
+//! `"checker"` field with `--json` — the two checkers prove different
+//! statements (exact search vs. monotone interval bounds), so a
+//! consumer must know which one it got. Exit status: 0 if IVL, 2
 //! if not, 1 on usage/parse errors.
 
 use ivl_analyzer::history_hb_summary;
@@ -90,6 +97,21 @@ where
     }
 }
 
+/// Surfaces which checker produced the verdict: a JSON verdict object
+/// on stdout with `--json`, a stderr note in human mode (stderr so
+/// scripts scraping stdout see only the documented output).
+fn report_checker(opts: CheckOpts, checker: &str, ops: usize, ivl: bool, lin: Option<bool>) {
+    if opts.json {
+        let lin = lin.map_or_else(|| "null".to_owned(), |l| l.to_string());
+        println!(
+            "{{\"checker\": \"{checker}\", \"ops\": {ops}, \"ivl\": {ivl}, \
+             \"linearizable\": {lin}}}"
+        );
+    } else {
+        eprintln!("note: verdict produced by the {checker} checker");
+    }
+}
+
 fn check<S>(spec: S, text: &str, monotone: bool, opts: CheckOpts) -> Result<bool, String>
 where
     S: MonotoneSpec + ObjectSpec<Query = u64>,
@@ -114,6 +136,7 @@ where
                 );
             }
         }
+        report_checker(opts, "monotone", ops, ivl.is_ivl(), None);
         return Ok(ivl.is_ivl());
     }
     println!("{}", render_timeline(&h));
@@ -132,6 +155,13 @@ where
             );
         }
     }
+    report_checker(
+        opts,
+        "exact",
+        ops,
+        ivl.is_ivl(),
+        Some(lin.is_linearizable()),
+    );
     Ok(ivl.is_ivl())
 }
 
@@ -156,6 +186,13 @@ where
     println!("linearizable : {}", lin.is_linearizable());
     let ivl = check_ivl_exact(&[spec], &h);
     println!("IVL          : {ivl:?}");
+    report_checker(
+        opts,
+        "exact",
+        ops,
+        ivl.is_ivl(),
+        Some(lin.is_linearizable()),
+    );
     Ok(ivl.is_ivl())
 }
 

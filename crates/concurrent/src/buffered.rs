@@ -1,0 +1,466 @@
+//! A buffered IVL CountMin: thread-local update buffers propagated to
+//! the shared matrix every `b` updates — the sketch analogue of the
+//! paper's *batched counter* (Algorithm 2, Lemma 10).
+//!
+//! Each writer accumulates updates in a private [`UpdateBuffer`]: the
+//! first occurrence of an item memoizes its per-row columns with one
+//! [`PairwiseHash::hash_row_batch`] pass, repeat occurrences coalesce
+//! into the existing entry without re-hashing or touching shared
+//! memory. Once the buffered weight reaches the batch bound `b`, the
+//! buffer *propagates*: each entry's count is added to the shared
+//! [`CellArena`] with one `fetch_add` per row (the `PCM` write path —
+//! commutative, so flush order across threads is irrelevant). Queries
+//! read the shared matrix directly, exactly like [`Pcm`](crate::Pcm).
+//!
+//! **Correctness (Lemma 10 analogue).** After any prefix of a run, a
+//! handle holds strictly less than `b` buffered weight (reaching `b`
+//! triggers a flush before `update` returns). A query's cell read
+//! therefore sees every update except at most `n·b` weight of
+//! *completed-but-buffered* updates across the `n` live handles, and
+//! never sees weight that was not added. Per cell, the value read lies
+//! in `[v_applied, v_applied + in-flight]` where `v_applied ≥ v_all −
+//! n·b`, so the returned minimum `f̂_a` satisfies `f_a^start − n·b ≤
+//! f̂_a ≤ f_a^end + ε·len` — the `PCM` IVL envelope of Corollary 8
+//! widened on the low side by `n·b`, mirroring Lemma 10's
+//! `x − n·b ≤ read ≤ X`. The deferred-visibility history itself is
+//! *not* IVL (a completed update may be invisible, like
+//! [`delegation`](crate::delegation)); the point of the batched
+//! construction is that the *quantitative relaxation* stays tight and
+//! explicit: widen the envelope by `n·b` and every answer is covered.
+//! The service layer does exactly that (`Envelope::lag`).
+//!
+//! The proptest in `crates/concurrent/tests/buffered_props.rs` checks
+//! the bound per key over arbitrary interleavings; DESIGN.md §9 gives
+//! the argument in full.
+
+use crate::arena::CellArena;
+use crate::{ConcurrentSketch, SketchHandle};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::hash::PairwiseHash;
+use ivl_sketch::CoinFlips;
+use std::sync::atomic::Ordering;
+
+/// Cap on distinct buffered items per buffer. Past this the buffer
+/// flushes early (always safe — the `n·b` bound only shrinks), keeping
+/// memory and flush latency bounded for huge `b`.
+const MAX_ENTRIES: usize = 1024;
+
+/// SplitMix64 finalizer: spreads item bits for the coalescing table.
+/// Only placement in the *local* table depends on it, never sketch
+/// contents, so it needs no drawn randomness.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A thread-local coalescing buffer of pending sketch updates with
+/// memoized row columns.
+///
+/// Standalone so serving layers can buffer on top of a
+/// [`ShardLease`](crate::ShardLease) (via
+/// [`apply_rows`](crate::ShardLease::apply_rows)) with the same
+/// accounting [`BufferedPcm`] uses internally.
+#[derive(Debug)]
+pub struct UpdateBuffer {
+    depth: usize,
+    /// The batch bound `b` (in update weight).
+    capacity: u64,
+    /// Open-addressed item → entry index table (`entry + 1`; 0 empty).
+    slots: Vec<u32>,
+    mask: usize,
+    items: Vec<u64>,
+    counts: Vec<u64>,
+    /// `cols[e * depth..][..depth]`: entry `e`'s memoized row columns.
+    cols: Vec<u32>,
+    pending: u64,
+    flushes: u64,
+    scratch: Vec<usize>,
+}
+
+impl UpdateBuffer {
+    /// Creates a buffer for a depth-`depth` sketch that signals a
+    /// flush every `batch` buffered weight (`batch` 0 behaves as 1:
+    /// every push is immediately due).
+    pub fn new(depth: usize, batch: u64) -> Self {
+        let max_entries = (batch.max(1) as usize).min(MAX_ENTRIES);
+        let slots = max_entries.next_power_of_two() * 2;
+        UpdateBuffer {
+            depth,
+            capacity: batch.max(1),
+            slots: vec![0; slots],
+            mask: slots - 1,
+            items: Vec::with_capacity(max_entries),
+            counts: Vec::with_capacity(max_entries),
+            cols: Vec::with_capacity(max_entries * depth),
+            pending: 0,
+            flushes: 0,
+            scratch: Vec::with_capacity(depth),
+        }
+    }
+
+    /// Buffers `count` occurrences of `item`, memoizing its row
+    /// columns (drawn from `hashes` via one
+    /// [`PairwiseHash::hash_row_batch`] pass) on first sight and
+    /// coalescing repeats. Returns `true` when the buffer is due for
+    /// draining (buffered weight reached the batch bound, or the
+    /// entry table is full); the owner must then call [`drain`].
+    ///
+    /// Weight-0 updates still count 1 toward the bound so degenerate
+    /// streams cannot grow the buffer unboundedly.
+    ///
+    /// [`drain`]: UpdateBuffer::drain
+    pub fn push(&mut self, hashes: &[PairwiseHash], item: u64, count: u64) -> bool {
+        debug_assert_eq!(hashes.len(), self.depth);
+        let mut i = mix(item) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                PairwiseHash::hash_row_batch(hashes, item, &mut self.scratch);
+                self.items.push(item);
+                self.counts.push(count);
+                self.cols.extend(self.scratch.iter().map(|&c| c as u32));
+                self.slots[i] = self.items.len() as u32;
+                break;
+            }
+            let e = (s - 1) as usize;
+            if self.items[e] == item {
+                self.counts[e] += count;
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.pending = self.pending.saturating_add(count.max(1));
+        self.pending >= self.capacity || self.items.len() * 2 > self.slots.len()
+    }
+
+    /// Currently buffered (invisible) weight.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// Number of non-empty drains performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Propagates and clears the buffer: calls `apply(cols, count)`
+    /// once per distinct buffered item, where `cols` holds its
+    /// memoized column per row. Returns the weight drained.
+    pub fn drain(&mut self, mut apply: impl FnMut(&[u32], u64)) -> u64 {
+        if self.items.is_empty() {
+            return 0;
+        }
+        for (e, &count) in self.counts.iter().enumerate() {
+            apply(&self.cols[e * self.depth..(e + 1) * self.depth], count);
+        }
+        self.slots.fill(0);
+        self.items.clear();
+        self.counts.clear();
+        self.cols.clear();
+        self.flushes += 1;
+        std::mem::take(&mut self.pending)
+    }
+}
+
+/// The buffered concurrent CountMin (batched-counter construction).
+///
+/// # Examples
+///
+/// ```
+/// use ivl_concurrent::{BufferedPcm, ConcurrentSketch, SketchHandle};
+/// use ivl_sketch::countmin::CountMinParams;
+/// use ivl_sketch::CoinFlips;
+///
+/// let mut coins = CoinFlips::from_seed(3);
+/// let sketch = BufferedPcm::new(CountMinParams { width: 64, depth: 4 }, 8, &mut coins);
+/// let mut h = sketch.handle();
+/// for _ in 0..20 {
+///     h.update(5);
+/// }
+/// // Up to b−1 = 7 updates may still be buffered…
+/// assert!(sketch.estimate(5) >= 20 - 7);
+/// h.flush();
+/// // …and flush publishes the rest.
+/// assert_eq!(sketch.estimate(5), 20);
+/// ```
+#[derive(Debug)]
+pub struct BufferedPcm {
+    params: CountMinParams,
+    hashes: Vec<PairwiseHash>,
+    cells: CellArena,
+    batch: u64,
+}
+
+impl BufferedPcm {
+    /// Creates a buffered CountMin with batch bound `batch`, drawing
+    /// hashes from `coins` (same coins ⇒ same `c̄` as
+    /// [`CountMin::new`]).
+    pub fn new(params: CountMinParams, batch: u64, coins: &mut CoinFlips) -> Self {
+        let proto = CountMin::new(params, coins);
+        Self::from_prototype(&proto, batch)
+    }
+
+    /// Creates a buffered CountMin sharing the hashes of an (empty)
+    /// prototype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prototype has already ingested updates.
+    pub fn from_prototype(proto: &CountMin, batch: u64) -> Self {
+        assert_eq!(
+            ivl_sketch::FrequencySketch::stream_len(proto),
+            0,
+            "prototype must be empty"
+        );
+        let params = proto.params();
+        BufferedPcm {
+            params,
+            hashes: proto.hashes().to_vec(),
+            cells: CellArena::new(params.depth, params.width),
+            batch: batch.max(1),
+        }
+    }
+
+    /// The sketch dimensions.
+    pub fn params(&self) -> CountMinParams {
+        self.params
+    }
+
+    /// The batch bound `b`: a handle holds strictly less than `b`
+    /// buffered weight between updates.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Estimates `item`'s frequency from the shared matrix (the `PCM`
+    /// read path — buffered weight is invisible until propagated).
+    pub fn estimate(&self, item: u64) -> u64 {
+        let xr = PairwiseHash::reduce(item);
+        self.hashes
+            .iter()
+            .enumerate()
+            .map(|(row, h)| {
+                self.cells
+                    .cell(row, h.hash_reduced(xr))
+                    .load(Ordering::Relaxed)
+            })
+            .min()
+            .expect("depth >= 1")
+    }
+}
+
+/// A writer handle owning one [`UpdateBuffer`]; drops flush, so a
+/// finished writer never strands weight.
+#[derive(Debug)]
+pub struct BufferedHandle<'a> {
+    parent: &'a BufferedPcm,
+    buf: UpdateBuffer,
+}
+
+impl BufferedHandle<'_> {
+    /// Buffers `count` occurrences of `item`, propagating the whole
+    /// buffer when its weight reaches the batch bound.
+    pub fn update_by(&mut self, item: u64, count: u64) {
+        if self.buf.push(&self.parent.hashes, item, count) {
+            self.propagate();
+        }
+    }
+
+    /// Weight buffered but not yet visible to queries.
+    pub fn pending(&self) -> u64 {
+        self.buf.pending()
+    }
+
+    /// Number of propagations performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.buf.flushes()
+    }
+
+    fn propagate(&mut self) {
+        let cells = &self.parent.cells;
+        self.buf.drain(|cols, count| {
+            for (row, &col) in cols.iter().enumerate() {
+                cells
+                    .cell(row, col as usize)
+                    .fetch_add(count, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+impl SketchHandle for BufferedHandle<'_> {
+    fn update(&mut self, item: u64) {
+        self.update_by(item, 1);
+    }
+
+    fn flush(&mut self) {
+        self.propagate();
+    }
+}
+
+impl Drop for BufferedHandle<'_> {
+    fn drop(&mut self) {
+        self.propagate();
+    }
+}
+
+impl ConcurrentSketch for BufferedPcm {
+    type Handle<'a> = BufferedHandle<'a>;
+
+    fn handle(&self) -> BufferedHandle<'_> {
+        BufferedHandle {
+            parent: self,
+            buf: UpdateBuffer::new(self.params.depth, self.batch),
+        }
+    }
+
+    fn query(&self, item: u64) -> u64 {
+        self.estimate(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_sketch::FrequencySketch;
+
+    fn params() -> CountMinParams {
+        CountMinParams {
+            width: 64,
+            depth: 4,
+        }
+    }
+
+    #[test]
+    fn flushed_state_equals_sequential_sketch() {
+        let mut coins = CoinFlips::from_seed(1);
+        let mut cm = CountMin::new(params(), &mut coins);
+        let buffered = BufferedPcm::from_prototype(&cm, 64);
+        {
+            let mut h = buffered.handle();
+            for x in 0..5_000u64 {
+                cm.update(x % 97);
+                h.update(x % 97);
+            }
+        } // drop flushes
+        for item in 0..97u64 {
+            assert_eq!(buffered.estimate(item), cm.estimate(item), "item {item}");
+        }
+    }
+
+    #[test]
+    fn estimate_lags_by_less_than_b_per_handle() {
+        let buffered = BufferedPcm::new(params(), 16, &mut CoinFlips::from_seed(2));
+        let mut h = buffered.handle();
+        for i in 0..100u64 {
+            h.update(7);
+            let est = buffered.estimate(7);
+            assert!(est <= i + 1, "overcounts: {est} > {}", i + 1);
+            assert!(est + 16 > i + 1, "lags by >= b: {est} after {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn weighted_updates_trigger_flush_at_weight_bound() {
+        let buffered = BufferedPcm::new(params(), 10, &mut CoinFlips::from_seed(3));
+        let mut h = buffered.handle();
+        h.update_by(4, 9);
+        assert_eq!(buffered.estimate(4), 0, "under the bound: still buffered");
+        assert_eq!(h.pending(), 9);
+        h.update_by(4, 1);
+        assert_eq!(buffered.estimate(4), 10, "bound reached: propagated");
+        assert_eq!(h.pending(), 0);
+        assert_eq!(h.flushes(), 1);
+    }
+
+    #[test]
+    fn coalescing_keeps_one_entry_per_item() {
+        let mut buf = UpdateBuffer::new(3, 1_000);
+        let hashes: Vec<PairwiseHash> = {
+            let mut coins = CoinFlips::from_seed(4);
+            (0..3).map(|_| PairwiseHash::draw(&mut coins, 32)).collect()
+        };
+        for _ in 0..50 {
+            for item in [1u64, 2, 3] {
+                buf.push(&hashes, item, 1);
+            }
+        }
+        let mut applied = Vec::new();
+        let drained = buf.drain(|cols, count| applied.push((cols.to_vec(), count)));
+        assert_eq!(drained, 150);
+        assert_eq!(applied.len(), 3, "one drain call per distinct item");
+        for (cols, count) in &applied {
+            assert_eq!(*count, 50);
+            assert_eq!(cols.len(), 3);
+        }
+        assert!(buf.is_empty());
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn memoized_columns_match_direct_hashing() {
+        let mut coins = CoinFlips::from_seed(5);
+        let hashes: Vec<PairwiseHash> =
+            (0..4).map(|_| PairwiseHash::draw(&mut coins, 64)).collect();
+        let mut buf = UpdateBuffer::new(4, 100);
+        for item in [0u64, 42, u64::MAX, 7, 42] {
+            buf.push(&hashes, item, 1);
+        }
+        buf.drain(|cols, _| {
+            // Recover which item this entry is by matching columns.
+            let direct: Vec<Vec<u32>> = [0u64, 42, u64::MAX, 7]
+                .iter()
+                .map(|&x| hashes.iter().map(|h| h.hash(x) as u32).collect())
+                .collect();
+            assert!(
+                direct.iter().any(|d| d == cols),
+                "memoized columns {cols:?} match no direct hash"
+            );
+        });
+    }
+
+    #[test]
+    fn entry_table_overflow_forces_early_drain() {
+        // b far above MAX_ENTRIES: distinct items must still flush
+        // once the table fills, long before the weight bound.
+        let buffered = BufferedPcm::new(params(), u64::MAX / 2, &mut CoinFlips::from_seed(6));
+        let mut h = buffered.handle();
+        for item in 0..10_000u64 {
+            h.update(item);
+        }
+        assert!(h.flushes() >= 1, "table never flushed");
+    }
+
+    #[test]
+    fn many_handles_propagate_commutatively() {
+        let mut coins = CoinFlips::from_seed(7);
+        let mut cm = CountMin::new(params(), &mut coins);
+        let buffered = BufferedPcm::from_prototype(&cm, 8);
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let mut h = buffered.handle();
+                s.spawn(move |_| {
+                    for k in 0..10_000u64 {
+                        h.update((t * 13 + k) % 101);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for t in 0..4u64 {
+            for k in 0..10_000u64 {
+                cm.update((t * 13 + k) % 101);
+            }
+        }
+        for item in 0..101u64 {
+            assert_eq!(buffered.estimate(item), cm.estimate(item), "item {item}");
+        }
+    }
+}

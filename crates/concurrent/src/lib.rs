@@ -10,12 +10,20 @@
 //!   a snapshot CountMin (queries exclude updates and read a quiescent
 //!   matrix — the "take a snapshot of the matrix" cost the paper
 //!   attributes to the framework of Rinberg et al. \[32\]).
+//! * [`buffered`] — the batched-counter construction (Algorithm 2,
+//!   Lemma 10) applied to CountMin: thread-local coalescing buffers
+//!   with memoized row hashes, propagated every `b` updates into a
+//!   shared padded [`arena`]. Deferred visibility is bounded — the
+//!   IVL envelope widens by at most `n·b` — and the serving layer
+//!   reports exactly that widening.
 //! * [`delegation`] — a buffered, delegation-style sketch in the
 //!   spirit of Stylianopoulos et al. \[33\]: updates park in
 //!   thread-local buffers and flush in batches. Fast, but an update
-//!   can *complete* while still invisible, so its histories violate
-//!   even IVL's lower linearization — the workspace's concrete
-//!   instance of "regular-like semantics do not imply IVL" (§3.4).
+//!   can *complete* while still invisible **with no advertised
+//!   bound**, so its histories violate even IVL's lower linearization
+//!   — the workspace's concrete instance of "regular-like semantics
+//!   do not imply IVL" (§3.4). [`buffered`] is the honest version of
+//!   the same trick.
 //! * [`inc_dec`] — the §3.4 non-monotone counterexample object
 //!   (increment/decrement counter) with a per-slot "regular-like"
 //!   implementation that violates IVL and a fetch-add implementation
@@ -31,6 +39,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
+pub mod buffered;
 pub mod delegation;
 pub mod hll_conc;
 pub mod inc_dec;
@@ -42,6 +52,8 @@ pub mod rank_conc;
 pub mod recorded;
 pub mod sharded;
 
+pub use arena::CellArena;
+pub use buffered::{BufferedPcm, UpdateBuffer};
 pub use delegation::DelegatedCountMin;
 pub use hll_conc::ConcurrentHll;
 pub use inc_dec::{LinearizableIncDec, RegularIncDec};

@@ -23,11 +23,12 @@
 //! `1 − δ` — validated empirically by the Theorem-6 harness in
 //! `ivl-core`.
 
+use crate::arena::CellArena;
 use crate::{ConcurrentSketch, SketchHandle};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hash::PairwiseHash;
 use ivl_sketch::CoinFlips;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 /// The concurrent CountMin sketch `PCM(c̄)`.
 ///
@@ -58,7 +59,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct Pcm {
     params: CountMinParams,
     hashes: Vec<PairwiseHash>,
-    cells: Vec<AtomicU64>,
+    cells: CellArena,
 }
 
 impl Pcm {
@@ -88,9 +89,7 @@ impl Pcm {
         Pcm {
             params,
             hashes: proto.hashes().to_vec(),
-            cells: (0..params.width * params.depth)
-                .map(|_| AtomicU64::new(0))
-                .collect(),
+            cells: CellArena::new(params.depth, params.width),
         }
     }
 
@@ -121,8 +120,9 @@ impl Pcm {
     pub fn update_by(&self, item: u64, count: u64) {
         let xr = PairwiseHash::reduce(item);
         for (row, h) in self.hashes.iter().enumerate() {
-            let idx = row * self.params.width + h.hash_reduced(xr);
-            self.cells[idx].fetch_add(count, Ordering::Relaxed);
+            self.cells
+                .cell(row, h.hash_reduced(xr))
+                .fetch_add(count, Ordering::Relaxed);
         }
     }
 
@@ -134,7 +134,9 @@ impl Pcm {
             .iter()
             .enumerate()
             .map(|(row, h)| {
-                self.cells[row * self.params.width + h.hash_reduced(xr)].load(Ordering::Relaxed)
+                self.cells
+                    .cell(row, h.hash_reduced(xr))
+                    .load(Ordering::Relaxed)
             })
             .min()
             .expect("depth >= 1")
@@ -144,17 +146,14 @@ impl Pcm {
     /// increments exactly one cell of row 0, so row 0's sum equals the
     /// number of (visible) updates. O(width), no extra update cost.
     pub fn stream_len_estimate(&self) -> u64 {
-        self.cells[..self.params.width]
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum()
+        self.cells.row(0).map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
     /// Copies the matrix into a sequential [`CountMin`]-shaped vector
     /// (row-major), for diagnostics.
     pub fn cells_snapshot(&self) -> Vec<u64> {
         self.cells
-            .iter()
+            .cells()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }

@@ -19,11 +19,12 @@
 //! `shards × depth` cell reads instead of `depth` — the CountMin
 //! analogue of the paper's O(1)-update / O(n)-read batched counter.
 
+use crate::arena::CellArena;
 use crate::{ConcurrentSketch, SketchHandle};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hash::PairwiseHash;
 use ivl_sketch::CoinFlips;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A sharded concurrent CountMin (one sub-matrix per handle).
 ///
@@ -53,8 +54,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 pub struct ShardedPcm {
     params: CountMinParams,
     hashes: Vec<PairwiseHash>,
-    /// `shards[s][row * width + col]`.
-    shards: Vec<Vec<AtomicU64>>,
+    /// One padded [`CellArena`] per shard.
+    shards: Vec<CellArena>,
     /// Single-writer ownership flags, one per shard. [`handle`]
     /// acquires a shard permanently; [`ShardedPcm::lease`] returns it
     /// on drop so serving layers can recycle shards across
@@ -72,20 +73,8 @@ impl ShardedPcm {
     ///
     /// Panics if `shards` is 0.
     pub fn new(params: CountMinParams, shards: usize, coins: &mut CoinFlips) -> Self {
-        assert!(shards > 0, "need at least one shard");
         let proto = CountMin::new(params, coins);
-        ShardedPcm {
-            params,
-            hashes: proto.hashes().to_vec(),
-            shards: (0..shards)
-                .map(|_| {
-                    (0..params.width * params.depth)
-                        .map(|_| AtomicU64::new(0))
-                        .collect()
-                })
-                .collect(),
-            in_use: (0..shards).map(|_| AtomicBool::new(false)).collect(),
-        }
+        Self::from_prototype(&proto, shards)
     }
 
     /// Creates a sharded sketch sharing the hashes of an (empty)
@@ -106,14 +95,18 @@ impl ShardedPcm {
             params,
             hashes: proto.hashes().to_vec(),
             shards: (0..shards)
-                .map(|_| {
-                    (0..params.width * params.depth)
-                        .map(|_| AtomicU64::new(0))
-                        .collect()
-                })
+                .map(|_| CellArena::new(params.depth, params.width))
                 .collect(),
             in_use: (0..shards).map(|_| AtomicBool::new(false)).collect(),
         }
+    }
+
+    /// The per-row hash functions (`c̄`), shared with the sequential
+    /// prototype. Exposed so a buffered ingest layer can memoize row
+    /// columns via [`PairwiseHash::hash_row_batch`] and later apply
+    /// them through [`ShardLease::apply_rows`].
+    pub fn hashes(&self) -> &[PairwiseHash] {
+        &self.hashes
     }
 
     /// Number of shards.
@@ -167,14 +160,38 @@ impl ShardedPcm {
             .iter()
             .enumerate()
             .map(|(row, h)| {
-                let off = row * self.params.width + h.hash_reduced(xr);
+                let col = h.hash_reduced(xr);
                 self.shards
                     .iter()
-                    .map(|m| m[off].load(Ordering::Acquire))
+                    .map(|m| m.cell(row, col).load(Ordering::Acquire))
                     .sum::<u64>()
             })
             .min()
             .expect("depth >= 1")
+    }
+
+    /// Total stream weight visible in the sketch: every update adds
+    /// its count to exactly one cell of row 0 per shard, so the sum of
+    /// row 0 across shards is the applied weight — an IVL read, like
+    /// [`Pcm::stream_len_estimate`](crate::Pcm::stream_len_estimate).
+    pub fn stream_len_estimate(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|m| m.row(0))
+            .map(|cell| cell.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+/// Single-writer add of `count` at one pre-hashed column per row:
+/// plain load + `Release` store per cell — no RMW, the shard has
+/// exactly one writer. The shared body of [`ShardHandle::update_by`],
+/// [`ShardLease::update_by`] and [`ShardLease::apply_rows`].
+fn add_at_cols(arena: &CellArena, cols: impl Iterator<Item = usize>, count: u64) {
+    for (row, col) in cols.enumerate() {
+        let cell = arena.cell(row, col);
+        let cur = cell.load(Ordering::Relaxed);
+        cell.store(cur + count, Ordering::Release);
     }
 }
 
@@ -201,12 +218,7 @@ impl ShardHandle<'_> {
     pub fn update_by(&mut self, item: u64, count: u64) {
         PairwiseHash::hash_row_batch(&self.parent.hashes, item, &mut self.scratch);
         let m = &self.parent.shards[self.shard];
-        let width = self.parent.params.width;
-        for (row, &col) in self.scratch.iter().enumerate() {
-            let cell = &m[row * width + col];
-            let cur = cell.load(Ordering::Relaxed);
-            cell.store(cur + count, Ordering::Release);
-        }
+        add_at_cols(m, self.scratch.iter().copied(), count);
     }
 }
 
@@ -239,12 +251,23 @@ impl ShardLease<'_> {
     pub fn update_by(&mut self, item: u64, count: u64) {
         PairwiseHash::hash_row_batch(&self.parent.hashes, item, &mut self.scratch);
         let m = &self.parent.shards[self.shard];
-        let width = self.parent.params.width;
-        for (row, &col) in self.scratch.iter().enumerate() {
-            let cell = &m[row * width + col];
-            let cur = cell.load(Ordering::Relaxed);
-            cell.store(cur + count, Ordering::Release);
-        }
+        add_at_cols(m, self.scratch.iter().copied(), count);
+    }
+
+    /// Adds `count` at pre-hashed per-row columns (`cols[row]`, one
+    /// per row, as memoized by
+    /// [`UpdateBuffer`](crate::buffered::UpdateBuffer)): the buffered
+    /// flush path, which skips re-hashing entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `cols` has the wrong length or a
+    /// column is out of range — callers must memoize with the parent's
+    /// [`ShardedPcm::hashes`].
+    pub fn apply_rows(&mut self, cols: &[u32], count: u64) {
+        debug_assert_eq!(cols.len(), self.parent.params.depth);
+        let m = &self.parent.shards[self.shard];
+        add_at_cols(m, cols.iter().map(|&c| c as usize), count);
     }
 }
 

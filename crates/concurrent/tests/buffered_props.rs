@@ -1,0 +1,61 @@
+//! Property test of the buffered CountMin's quantitative bound
+//! (Lemma 10 analogue, DESIGN §9): for *any* interleaving of updates
+//! and flushes across `n` handles, every key's buffered estimate
+//! stays within `n·b` of the strict (all-updates-applied) estimate —
+//! below it by at most the buffered weight, never above it.
+
+use ivl_concurrent::{BufferedPcm, ConcurrentSketch, SketchHandle};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::{CoinFlips, FrequencySketch};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drive `n = 3` handles through an arbitrary single-threaded
+    /// interleaving (an adversarial schedule: any concurrent
+    /// execution's visibility states are a subset of these) and check
+    /// after every step, per key:
+    /// `strict − n·b ≤ buffered_estimate ≤ strict`, i.e. the strict
+    /// estimate lies in `[buffered, buffered + n·b]`.
+    #[test]
+    fn buffered_estimate_within_nb_of_strict(
+        // (handle, item, op): op 0 flushes the handle, 1..=7 is an
+        // update of that weight.
+        ops in proptest::collection::vec((0usize..3, 0u64..16, 0u64..8), 1..120),
+        b in 1u64..20,
+        seed in 0u64..10_000,
+    ) {
+        let params = CountMinParams { width: 16, depth: 3 };
+        let mut strict = CountMin::new(params, &mut CoinFlips::from_seed(seed));
+        let buffered = BufferedPcm::from_prototype(&strict, b);
+        let n = 3u64;
+        let mut handles: Vec<_> = (0..n).map(|_| buffered.handle()).collect();
+        for &(h, item, op) in &ops {
+            if op == 0 {
+                handles[h].flush();
+            } else {
+                handles[h].update_by(item, op);
+                strict.update_by(item, op);
+            }
+            for key in 0..16u64 {
+                let be = buffered.estimate(key);
+                let se = strict.estimate(key);
+                prop_assert!(be <= se, "key {key}: buffered {be} > strict {se}");
+                prop_assert!(
+                    se <= be + n * b,
+                    "key {key}: strict {se} outside [buffered, buffered + n*b] \
+                     = [{be}, {}]", be + n * b
+                );
+            }
+        }
+        // Quiescence: flushing everything recovers the strict sketch
+        // exactly (same hashes, commutative cell adds).
+        for h in &mut handles {
+            h.flush();
+        }
+        for key in 0..16u64 {
+            prop_assert_eq!(buffered.estimate(key), strict.estimate(key));
+        }
+    }
+}

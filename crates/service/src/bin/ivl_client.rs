@@ -38,7 +38,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             println!(
                 "key {}: estimate {} (true frequency in [{}, {}] w.p. >= {:.3}; \
-                 epsilon {} = ceil({:.4} * {}))",
+                 epsilon {} = ceil({:.4} * {}), write-buffer lag {})",
                 env.key,
                 env.estimate,
                 env.lower_bound(),
@@ -46,7 +46,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 1.0 - env.delta,
                 env.epsilon,
                 env.alpha,
-                env.stream_len
+                env.stream_len,
+                env.lag
             );
         }
         ("batch", items) if !items.is_empty() => {
@@ -69,6 +70,7 @@ fn run(args: &[String]) -> Result<(), String> {
                  {} protocol errors, {} busy rejections\n\
                  transport  : {} frames, {} wakeups (ready peak {})\n\
                  stream     : {} total weight\n\
+                 buffering  : {} weight pending in writer buffers, {} flushes\n\
                  latency    : update p50/p99 {}/{} ns, query p50/p99 {}/{} ns",
                 s.accepted,
                 s.rejected,
@@ -82,6 +84,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 s.wakeups,
                 s.ready_peak,
                 s.stream_len,
+                s.buffered_pending,
+                s.flushes,
                 s.update_p50_ns,
                 s.update_p99_ns,
                 s.query_p50_ns,

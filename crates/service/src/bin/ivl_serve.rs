@@ -3,15 +3,19 @@
 //! ```text
 //! usage: ivl_serve [addr] [--backend threaded|event-loop] [--shards N]
 //!                  [--alpha A] [--delta D] [--max-conns N] [--record]
-//!   addr         listen address (default 127.0.0.1:7070; port 0 picks one)
-//!   --backend    serving backend: "threaded" (default, one thread per
-//!                connection) or "event-loop" (epoll reactor shards)
-//!   --shards     sketch shards == max concurrent ingest connections
-//!                (threaded) or reactor threads (event-loop) (8)
-//!   --alpha      CountMin relative error (0.005)
-//!   --delta      CountMin failure probability (0.01)
-//!   --max-conns  connection limit (64)
-//!   --record     record the full history and check it IVL on drain
+//!                  [--write-buffer B]
+//!   addr           listen address (default 127.0.0.1:7070; port 0 picks one)
+//!   --backend      serving backend: "threaded" (default, one thread per
+//!                  connection) or "event-loop" (epoll reactor shards)
+//!   --shards       sketch shards == max concurrent ingest connections
+//!                  (threaded) or reactor threads (event-loop) (8)
+//!   --alpha        CountMin relative error (0.005)
+//!   --delta        CountMin failure probability (0.01)
+//!   --max-conns    connection limit (64)
+//!   --record       record the full history and check it IVL on drain
+//!   --write-buffer writer-local batch size b (0 = off): coalesce up to
+//!                  b update weight per writer before touching the
+//!                  shared sketch; envelopes widen by lag = shards*b
 //! ```
 
 use ivl_service::server::{serve, ServerConfig};
@@ -21,7 +25,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ivl_serve [addr] [--backend threaded|event-loop] [--shards N] \
-         [--alpha A] [--delta D] [--max-conns N] [--record]"
+         [--alpha A] [--delta D] [--max-conns N] [--record] [--write-buffer B]"
     );
     ExitCode::from(1)
 }
@@ -59,6 +63,10 @@ fn main() -> ExitCode {
                 Some(v) => cfg.max_connections = v,
                 None => return usage(),
             },
+            "--write-buffer" => match take("--write-buffer").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.write_buffer = v,
+                None => return usage(),
+            },
             "--record" => cfg.record = true,
             "--help" | "-h" => return usage(),
             other if !other.starts_with('-') => addr = other.to_owned(),
@@ -66,6 +74,7 @@ fn main() -> ExitCode {
         }
     }
     let backend = cfg.backend;
+    let write_buffer = cfg.write_buffer;
     let handle = match serve(&addr, cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -75,13 +84,15 @@ fn main() -> ExitCode {
     };
     let params = handle.params();
     println!(
-        "ivl_serve listening on {} [{} backend] (width {}, depth {}, alpha {:.4}, delta {:.4})",
+        "ivl_serve listening on {} [{} backend] (width {}, depth {}, alpha {:.4}, delta {:.4}, \
+         write-buffer {})",
         handle.addr(),
         backend,
         params.width,
         params.depth,
         params.alpha(),
-        params.delta()
+        params.delta(),
+        write_buffer
     );
     handle.wait_for_shutdown();
     let joined = handle.join();
@@ -108,7 +119,18 @@ fn main() -> ExitCode {
             verdict.is_ivl()
         );
         if !verdict.is_ivl() {
-            return ExitCode::from(2);
+            if write_buffer > 0 {
+                // Buffered servers acknowledge updates before they are
+                // visible, so the strict IVL check can legitimately
+                // fail; the envelope's lag = shards*b is the advertised
+                // relaxation (DESIGN §9). Informational, not an error.
+                println!(
+                    "note: strict IVL violation is expected with --write-buffer {write_buffer}; \
+                     deferred visibility is bounded by the served envelope lag"
+                );
+            } else {
+                return ExitCode::from(2);
+            }
         }
     }
     ExitCode::SUCCESS

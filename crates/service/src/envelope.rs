@@ -15,11 +15,21 @@
 //! * `estimate ≤ f_end + ε` with probability at least `1 − δ`, where
 //!   `ε = α·n` and `n` is the total stream weight at the query's end.
 //!
-//! The envelope ships `(estimate, ε, δ, n)` so the client can
+//! With write buffering enabled (Lemma 10's batched-counter
+//! construction, DESIGN §9) the server additionally widens the
+//! envelope by a deterministic `lag ≤ n_writers·b`: an acknowledged
+//! update may sit invisible in a writer's local buffer, so the lower
+//! guarantee relaxes to `estimate ≥ f_start − lag`, equivalently
+//! `f_start ≤ estimate + lag`. Queries on an unbuffered server carry
+//! `lag = 0` and recover the strict envelope exactly.
+//!
+//! The envelope ships `(estimate, ε, δ, n, lag)` so the client can
 //! reconstruct exactly that guarantee without knowing the sketch's
 //! dimensions.
 
-/// A frequency estimate together with its Theorem 6 (ε,δ) bound.
+/// A frequency estimate together with its Theorem 6 (ε,δ) bound,
+/// widened by the deferred-visibility `lag` when write buffering is
+/// enabled (Lemma 10, DESIGN §9).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Envelope {
     /// The queried item.
@@ -35,12 +45,18 @@ pub struct Envelope {
     pub stream_len: u64,
     /// The sketch's relative-error parameter `α` (`ε = α·n`).
     pub alpha: f64,
+    /// Deferred-visibility bound: at most this much acknowledged
+    /// weight may still be invisible in writer-local buffers
+    /// (`n_writers·b`; 0 when write buffering is off).
+    pub lag: u64,
 }
 
 impl Envelope {
     /// Builds the envelope for `estimate` of `key` at stream length
-    /// `stream_len`, under sketch parameters `(alpha, delta)`.
-    pub fn new(key: u64, estimate: u64, stream_len: u64, alpha: f64, delta: f64) -> Self {
+    /// `stream_len`, under sketch parameters `(alpha, delta)`, with a
+    /// deferred-visibility bound of `lag` (0 when the server applies
+    /// every update before acknowledging it).
+    pub fn new(key: u64, estimate: u64, stream_len: u64, alpha: f64, delta: f64, lag: u64) -> Self {
         Envelope {
             key,
             estimate,
@@ -48,6 +64,7 @@ impl Envelope {
             delta,
             stream_len,
             alpha,
+            lag,
         }
     }
 
@@ -57,20 +74,24 @@ impl Envelope {
         self.estimate.saturating_sub(self.epsilon)
     }
 
-    /// The estimate itself — CountMin never underestimates, so the
-    /// true frequency at the query's start is at most this.
+    /// Largest completed frequency compatible with the envelope:
+    /// `estimate + lag`. Without buffering this is the estimate itself
+    /// — CountMin never underestimates; with buffering, up to `lag`
+    /// acknowledged weight may still be pending in writer buffers.
     pub fn upper_bound(&self) -> u64 {
-        self.estimate
+        self.estimate + self.lag
     }
 
     /// The Theorem 6 check for a concurrent query: `f_start` is the
     /// key's true frequency over updates *completed* before the query
     /// was invoked, `f_end` over updates *invoked* before it returned.
-    /// Deterministically `estimate ≥ f_start`; with probability
-    /// `1 − δ`, `estimate ≤ f_end + ε`. Returns whether the served
-    /// envelope satisfies both.
+    /// Deterministically `estimate ≥ f_start − lag` (Lemma 10 widens
+    /// the lower guarantee by the buffered weight; `lag = 0` recovers
+    /// `estimate ≥ f_start`); with probability `1 − δ`,
+    /// `estimate ≤ f_end + ε`. Returns whether the served envelope
+    /// satisfies both.
     pub fn covers(&self, f_start: u64, f_end: u64) -> bool {
-        self.estimate >= f_start && self.estimate <= f_end + self.epsilon
+        f_start <= self.estimate + self.lag && self.estimate <= f_end + self.epsilon
     }
 }
 
@@ -80,17 +101,17 @@ mod tests {
 
     #[test]
     fn epsilon_is_ceil_alpha_n() {
-        let e = Envelope::new(1, 10, 1_000, 0.005, 0.01);
+        let e = Envelope::new(1, 10, 1_000, 0.005, 0.01, 0);
         assert_eq!(e.epsilon, 5);
-        let e = Envelope::new(1, 10, 1_001, 0.005, 0.01);
+        let e = Envelope::new(1, 10, 1_001, 0.005, 0.01, 0);
         assert_eq!(e.epsilon, 6); // 5.005 rounds up
-        let e = Envelope::new(1, 10, 0, 0.005, 0.01);
+        let e = Envelope::new(1, 10, 0, 0.005, 0.01, 0);
         assert_eq!(e.epsilon, 0);
     }
 
     #[test]
     fn covers_matches_theorem6_window() {
-        let e = Envelope::new(1, 10, 1_000, 0.005, 0.01); // epsilon 5
+        let e = Envelope::new(1, 10, 1_000, 0.005, 0.01, 0); // epsilon 5
         assert!(e.covers(10, 10)); // exact
         assert!(e.covers(5, 5)); // within +epsilon of f_end
         assert!(e.covers(10, 20)); // concurrent updates still arriving
@@ -99,8 +120,26 @@ mod tests {
     }
 
     #[test]
+    fn lag_widens_only_the_lower_guarantee() {
+        // Same parameters as above but lag 4: a completed update may
+        // still be buffered, so f_start up to estimate + lag is fine.
+        let e = Envelope::new(1, 10, 1_000, 0.005, 0.01, 4); // epsilon 5
+        assert!(e.covers(14, 14)); // within the widened window
+        assert!(!e.covers(15, 20)); // beyond estimate + lag
+        assert!(!e.covers(0, 4)); // epsilon side is unchanged
+        assert_eq!(e.upper_bound(), 14);
+        assert_eq!(e.lower_bound(), 5); // lower bound is lag-independent
+    }
+
+    #[test]
+    fn zero_lag_recovers_strict_upper_bound() {
+        let strict = Envelope::new(1, 10, 1_000, 0.005, 0.01, 0);
+        assert_eq!(strict.upper_bound(), strict.estimate);
+    }
+
+    #[test]
     fn bounds_are_ordered_and_saturating() {
-        let e = Envelope::new(1, 3, 10_000, 0.005, 0.01); // epsilon 50 > estimate
+        let e = Envelope::new(1, 3, 10_000, 0.005, 0.01, 0); // epsilon 50 > estimate
         assert_eq!(e.lower_bound(), 0);
         assert!(e.lower_bound() <= e.upper_bound());
     }

@@ -28,6 +28,9 @@ pub struct Metrics {
     frames: AtomicU64,
     wakeups: AtomicU64,
     ready_peak: AtomicU64,
+    buffered_total: AtomicU64,
+    flushed_total: AtomicU64,
+    flushes: AtomicU64,
     update_lat: ConcurrentHistogram,
     query_lat: ConcurrentHistogram,
 }
@@ -59,6 +62,9 @@ impl Metrics {
             frames: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
             ready_peak: AtomicU64::new(0),
+            buffered_total: AtomicU64::new(0),
+            flushed_total: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
             update_lat: ConcurrentHistogram::new(LAT_BUCKETS as u64, LAT_BUCKETS),
             query_lat: ConcurrentHistogram::new(LAT_BUCKETS as u64, LAT_BUCKETS),
         }
@@ -126,6 +132,24 @@ impl Metrics {
         self.ready_peak.fetch_max(ready, Ordering::Relaxed);
     }
 
+    /// Records `weight` update weight acknowledged into a writer-local
+    /// buffer without yet touching the shared sketch (write-buffered
+    /// servers only).
+    pub fn record_buffered(&self, weight: u64) {
+        self.buffered_total.fetch_add(weight, Ordering::Relaxed);
+    }
+
+    /// Records one buffer flush that propagated `weight` buffered
+    /// weight into the shared sketch. Each recorded buffered weight is
+    /// flushed exactly once, so `buffered_total − flushed_total` is the
+    /// weight currently parked in writer buffers (the `buffered_pending`
+    /// gauge — an IVL read: both counters are monotone, so the
+    /// difference never exceeds any instantaneous pending total).
+    pub fn record_flush(&self, weight: u64) {
+        self.flushed_total.fetch_add(weight, Ordering::Relaxed);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshots everything into a [`StatsReport`]; `stream_len` is
     /// supplied by the caller (the ingest counter's IVL read).
     pub fn report(&self, stream_len: u64) -> StatsReport {
@@ -152,6 +176,11 @@ impl Metrics {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             ready_peak: self.ready_peak.load(Ordering::Relaxed),
             stream_len,
+            buffered_pending: self
+                .buffered_total
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.flushed_total.load(Ordering::Relaxed)),
+            flushes: self.flushes.load(Ordering::Relaxed),
             update_p50_ns,
             update_p99_ns,
             query_p50_ns,
@@ -190,6 +219,12 @@ pub struct StatsReport {
     pub ready_peak: u64,
     /// Total stream weight ingested (IVL read).
     pub stream_len: u64,
+    /// Acknowledged update weight still parked in writer-local buffers
+    /// (write-buffered servers; 0 when buffering is off). Bounded by
+    /// `n_writers·b` — the envelope's `lag`.
+    pub buffered_pending: u64,
+    /// Buffer flushes propagated into the shared sketch.
+    pub flushes: u64,
     /// Median applied-update latency, rounded up to a power of two ns.
     pub update_p50_ns: u64,
     /// 99th-percentile applied-update latency (power-of-two ns).
@@ -201,8 +236,12 @@ pub struct StatsReport {
 }
 
 impl StatsReport {
-    /// Number of `u64` fields on the wire.
-    pub const NUM_FIELDS: usize = 16;
+    /// Number of `u64` fields on the wire. Encode/decode and the
+    /// stats-reply frame all derive from this constant, so growing the
+    /// report means appending to [`as_fields`](Self::as_fields) /
+    /// [`from_fields`](Self::from_fields) and bumping it — every other
+    /// layer follows.
+    pub const NUM_FIELDS: usize = 18;
 
     /// The fields in wire order.
     pub fn as_fields(&self) -> [u64; Self::NUM_FIELDS] {
@@ -219,6 +258,8 @@ impl StatsReport {
             self.wakeups,
             self.ready_peak,
             self.stream_len,
+            self.buffered_pending,
+            self.flushes,
             self.update_p50_ns,
             self.update_p99_ns,
             self.query_p50_ns,
@@ -241,10 +282,12 @@ impl StatsReport {
             wakeups: f[9],
             ready_peak: f[10],
             stream_len: f[11],
-            update_p50_ns: f[12],
-            update_p99_ns: f[13],
-            query_p50_ns: f[14],
-            query_p99_ns: f[15],
+            buffered_pending: f[12],
+            flushes: f[13],
+            update_p50_ns: f[14],
+            update_p99_ns: f[15],
+            query_p50_ns: f[16],
+            query_p99_ns: f[17],
         }
     }
 }
@@ -305,6 +348,21 @@ mod tests {
         assert_eq!(r.wakeups, 3);
         assert_eq!(r.ready_peak, 17);
         assert_eq!(r.frames, 2);
+    }
+
+    #[test]
+    fn buffered_gauge_is_total_minus_flushed() {
+        let m = Metrics::new();
+        m.record_buffered(10);
+        m.record_buffered(7);
+        m.record_flush(10);
+        let r = m.report(0);
+        assert_eq!(r.buffered_pending, 7);
+        assert_eq!(r.flushes, 1);
+        m.record_flush(7);
+        let r = m.report(0);
+        assert_eq!(r.buffered_pending, 0);
+        assert_eq!(r.flushes, 2);
     }
 
     #[test]

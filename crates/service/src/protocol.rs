@@ -304,6 +304,7 @@ impl Response {
                 push_u64(b, env.stream_len);
                 push_u64(b, env.alpha.to_bits());
                 push_u64(b, env.delta.to_bits());
+                push_u64(b, env.lag);
             }),
             Response::Stats(report) => frame(buf, OP_STATS_REPLY, |b| {
                 for field in report.as_fields() {
@@ -331,6 +332,7 @@ impl Response {
                 stream_len: b.u64()?,
                 alpha: b.f64()?,
                 delta: b.f64()?,
+                lag: b.u64()?,
             }),
             OP_STATS_REPLY => {
                 let mut fields = [0u64; StatsReport::NUM_FIELDS];
@@ -568,6 +570,7 @@ mod tests {
             stream_len: 500,
             alpha: 0.005,
             delta: 0.01,
+            lag: 128,
         };
         for rsp in [
             Response::Ack { applied: 9 },

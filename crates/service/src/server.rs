@@ -30,7 +30,7 @@ use crate::envelope::Envelope;
 use crate::metrics::{Metrics, StatsReport};
 use crate::protocol::{self, ErrorCode, Request, Response, WireError};
 use crate::wspec::WeightedCmSpec;
-use ivl_concurrent::ShardedPcm;
+use ivl_concurrent::{ShardLease, ShardedPcm, UpdateBuffer};
 use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::CoinFlips;
@@ -109,6 +109,19 @@ pub struct ServerConfig {
     pub record: bool,
     /// Seed for the sketch's coin flips (hash functions).
     pub seed: u64,
+    /// Write-buffer batch size `b` (0 disables buffering). When set,
+    /// each writer (connection thread / reactor) coalesces updates in
+    /// a local [`UpdateBuffer`] and propagates to the shared sketch
+    /// every `b` acknowledged weight — the paper's batched-counter
+    /// construction (Lemma 10, DESIGN §9). Queries stay direct reads;
+    /// the served envelope carries `lag = shards·b` so clients see the
+    /// widened bound. Buffers flush when a writer's lease returns
+    /// (connection close / reactor drain), so a graceful shutdown
+    /// loses nothing. Note: with buffering on, a *recorded* history is
+    /// generally **not** IVL — an update is acknowledged before it is
+    /// visible — which is exactly the `n·b` relaxation the envelope
+    /// advertises; strict history checks only apply at `b = 0`.
+    pub write_buffer: u64,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +135,7 @@ impl Default for ServerConfig {
             max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
             record: false,
             seed: 1,
+            write_buffer: 0,
         }
     }
 }
@@ -197,6 +211,57 @@ impl Shared {
         *lock.lock().expect("lease signal lock") += 1;
         cv.notify_all();
     }
+
+    /// The deferred-visibility bound advertised in every envelope:
+    /// at most `shards` writers each holding `< write_buffer` weight.
+    fn lag_bound(&self) -> u64 {
+        self.cfg.write_buffer.saturating_mul(self.cfg.shards as u64)
+    }
+}
+
+/// One writer's update state: the lazily-acquired shard lease plus
+/// (write-buffered servers) the local coalescing buffer. A connection
+/// thread is one writer in the threaded backend; a reactor thread is
+/// one writer for all its connections in the event-loop backend —
+/// either way at most `shards` writers exist, which is what makes
+/// [`Shared::lag_bound`]'s `shards·b` a sound Lemma 10 bound.
+struct Writer<'a> {
+    lease: Option<ShardLease<'a>>,
+    buffer: Option<UpdateBuffer>,
+}
+
+impl<'a> Writer<'a> {
+    fn new(shared: &Shared) -> Self {
+        Writer {
+            lease: None,
+            buffer: (shared.cfg.write_buffer > 0)
+                .then(|| UpdateBuffer::new(shared.proto.params().depth, shared.cfg.write_buffer)),
+        }
+    }
+
+    /// Propagates any buffered weight into the leased shard. Buffered
+    /// weight only exists after a lease was acquired (updates buffer
+    /// *behind* the lease gate), so `lease` is `Some` whenever there
+    /// is anything to flush.
+    fn flush(&mut self, shared: &Shared) {
+        if let (Some(buf), Some(lease)) = (self.buffer.as_mut(), self.lease.as_mut()) {
+            if !buf.is_empty() {
+                let flushed = buf.drain(|cols, count| lease.apply_rows(cols, count));
+                shared.metrics.record_flush(flushed);
+            }
+        }
+    }
+
+    /// Flushes, returns the lease to the pool, and wakes lease
+    /// waiters. The flush-before-release order is the flush-on-drain
+    /// guarantee: once a writer's lease is back in the pool, none of
+    /// its acknowledged updates are still invisible.
+    fn release(mut self, shared: &Shared) {
+        self.flush(shared);
+        if self.lease.take().is_some() {
+            shared.note_lease_returned();
+        }
+    }
 }
 
 /// A running server; dropping it initiates shutdown without draining.
@@ -231,6 +296,11 @@ pub struct JoinedServer {
     /// feed it with `history` to `check_ivl_monotone` /
     /// `check_ivl_exact`.
     pub spec: WeightedCmSpec,
+    /// The drained sketch itself. Every writer flushed before its
+    /// lease returned, so this reflects *all* acknowledged updates —
+    /// the flush-on-drain guarantee, testable even with `write_buffer`
+    /// so large that no buffer ever filled.
+    pub sketch: ShardedPcm,
 }
 
 /// Binds `addr` and starts serving in background threads.
@@ -346,6 +416,7 @@ impl ServerHandle {
             stats,
             history: shared.recorder.map(Recorder::finish),
             spec: WeightedCmSpec::new(shared.proto),
+            sketch: shared.sketch,
         }
     }
 }
@@ -412,9 +483,10 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
     let mut reader = BufReader::new(stream);
     let process = ProcessId(conn);
     let object = ObjectId(0);
-    // The connection's shard lease, acquired lazily on first update
-    // and held (single writer) until the connection ends.
-    let mut lease = None;
+    // The connection's writer state: a shard lease acquired lazily on
+    // first update and held (single writer) until the connection ends,
+    // plus the local update buffer when write buffering is on.
+    let mut updater = Writer::new(shared);
     let mut applied: u64 = 0;
     loop {
         let payload = match protocol::read_frame(&mut reader, shared.cfg.max_frame_len) {
@@ -455,17 +527,13 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
             }
         };
         let (response, close) =
-            execute_request(shared, &mut lease, &mut applied, process, object, request);
+            execute_request(shared, &mut updater, &mut applied, process, object, request);
         if !send(&mut writer, &response) || close {
             break;
         }
     }
-    // `lease` drops here, returning the shard to the pool.
-    let had_lease = lease.is_some();
-    drop(lease);
-    if had_lease {
-        shared.note_lease_returned();
-    }
+    // Flush any buffered updates, then return the shard to the pool.
+    updater.release(shared);
     // Half-close, then briefly drain the peer's in-flight bytes so the
     // final response frame is not clobbered by a reset. The timeout
     // bounds the wait when it is the server hanging up first — an
@@ -485,7 +553,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
 /// the envelope construction are literally the same code.
 fn execute_request<'a>(
     shared: &'a Shared,
-    lease: &mut Option<ivl_concurrent::ShardLease<'a>>,
+    writer: &mut Writer<'a>,
     applied: &mut u64,
     process: ProcessId,
     object: ObjectId,
@@ -493,13 +561,13 @@ fn execute_request<'a>(
 ) -> (Response, bool) {
     match request {
         Request::Update { key, weight } => (
-            apply_updates(shared, lease, applied, process, object, &[(key, weight)]),
+            apply_updates(shared, writer, applied, process, object, &[(key, weight)]),
             false,
         ),
         Request::Batch(items) => {
             shared.metrics.record_batch();
             (
-                apply_updates(shared, lease, applied, process, object, &items),
+                apply_updates(shared, writer, applied, process, object, &items),
                 false,
             )
         }
@@ -523,6 +591,7 @@ fn execute_request<'a>(
                     stream_len,
                     params.alpha(),
                     params.delta(),
+                    shared.lag_bound(),
                 )),
                 false,
             )
@@ -538,20 +607,27 @@ fn execute_request<'a>(
     }
 }
 
-/// Applies updates through the connection's lease, acquiring it on
-/// first use; answers `busy` when the shard pool is exhausted.
+/// Applies updates through the writer's lease, acquiring it on first
+/// use; answers `busy` when the shard pool is exhausted. With write
+/// buffering on, updates coalesce into the writer's local buffer and
+/// propagate via [`ShardLease::apply_rows`] every `b` weight — the
+/// acknowledgement (and recorded response) happens while the update
+/// may still be invisible, which is the deferred visibility the
+/// envelope's `lag` advertises. The ingest counter is bumped
+/// immediately either way: stream length counts *acknowledged* weight,
+/// keeping `ε = α·n` conservative.
 fn apply_updates<'a>(
     shared: &'a Shared,
-    lease: &mut Option<ivl_concurrent::ShardLease<'a>>,
+    writer: &mut Writer<'a>,
     applied: &mut u64,
     process: ProcessId,
     object: ObjectId,
     items: &[(u64, u64)],
 ) -> Response {
-    if lease.is_none() {
-        *lease = shared.sketch.lease();
+    if writer.lease.is_none() {
+        writer.lease = shared.sketch.lease();
     }
-    let Some(lease) = lease.as_mut() else {
+    let Some(lease) = writer.lease.as_mut() else {
         shared.metrics.record_busy_rejection();
         return Response::Error {
             code: ErrorCode::Busy,
@@ -560,16 +636,28 @@ fn apply_updates<'a>(
     };
     let slot = lease.shard();
     let start = Instant::now();
+    let mut buffered_weight = 0u64;
     for &(key, weight) in items {
         let op = shared
             .recorder
             .as_ref()
             .map(|r| r.invoke_update(process, object, (key, weight)));
-        lease.update_by(key, weight);
+        if let Some(buf) = writer.buffer.as_mut() {
+            buffered_weight += weight.max(1);
+            if buf.push(shared.sketch.hashes(), key, weight) {
+                let flushed = buf.drain(|cols, count| lease.apply_rows(cols, count));
+                shared.metrics.record_flush(flushed);
+            }
+        } else {
+            lease.update_by(key, weight);
+        }
         shared.ingest.update_slot(slot, weight);
         if let (Some(r), Some(op)) = (shared.recorder.as_ref(), op) {
             r.respond_update(op);
         }
+    }
+    if buffered_weight > 0 {
+        shared.metrics.record_buffered(buffered_weight);
     }
     shared
         .metrics
@@ -882,5 +970,95 @@ mod tests {
         assert_eq!(ops.iter().filter(|o| o.op.is_update()).count(), 1);
         assert_eq!(ops.iter().filter(|o| !o.op.is_update()).count(), 1);
         assert!(ivl_spec::ivl::check_ivl_monotone(&joined.spec, &history).is_ivl());
+    }
+
+    #[test]
+    fn buffered_envelope_carries_lag_and_auto_flushes() {
+        let cfg = ServerConfig {
+            write_buffer: 4,
+            ..config(2, false)
+        };
+        let h = serve("127.0.0.1:0", cfg).unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        for _ in 0..20 {
+            c.update(9, 1).unwrap();
+        }
+        let env = c.query(9).unwrap();
+        // lag = shards * b, independent of what is actually pending.
+        assert_eq!(env.lag, 8);
+        assert_eq!(env.upper_bound(), env.estimate + 8);
+        // One writer holds < 4 weight, so at least 17 of 20 are visible.
+        assert!(env.estimate >= 17, "estimate {} too stale", env.estimate);
+        assert_eq!(env.stream_len, 20, "stream counts acknowledged weight");
+        let stats = c.stats().unwrap();
+        assert!(
+            stats.flushes >= 5,
+            "20 updates at b=4: {} flushes",
+            stats.flushes
+        );
+        assert!(stats.buffered_pending < 4);
+        drop(c);
+        let joined = h.join();
+        // Connection close flushed the remainder.
+        assert_eq!(joined.stats.buffered_pending, 0);
+        assert_eq!(joined.sketch.estimate(9), 20);
+    }
+
+    /// The flush-on-drain guarantee, end to end: a write buffer so
+    /// large no auto-flush ever fires, concurrent clients, a graceful
+    /// SHUTDOWN — and every acknowledged update is visible in the
+    /// drained sketch.
+    fn flush_on_drain_loses_nothing(backend: Backend) {
+        let cfg = ServerConfig {
+            write_buffer: 1 << 40,
+            ..config_with(backend, 4, false)
+        };
+        let h = serve("127.0.0.1:0", cfg).unwrap();
+        let addr = h.addr();
+        let clients = 4u64;
+        let per_client = 25u64;
+        let threads: Vec<_> = (0..clients)
+            .map(|t| {
+                thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for _ in 0..per_client {
+                        c.update(t, 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut c = Client::connect(addr).unwrap();
+        c.shutdown().unwrap();
+        drop(c);
+        let joined = h.join();
+        assert_eq!(
+            joined.stats.buffered_pending, 0,
+            "drain must flush every writer buffer"
+        );
+        assert!(joined.stats.flushes >= 1);
+        assert_eq!(
+            joined.sketch.stream_len_estimate(),
+            clients * per_client,
+            "acknowledged weight lost through shutdown"
+        );
+        for t in 0..clients {
+            assert!(
+                joined.sketch.estimate(t) >= per_client,
+                "key {t}: updates lost through shutdown"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_on_drain_loses_nothing_threaded() {
+        flush_on_drain_loses_nothing(Backend::Threaded);
+    }
+
+    #[test]
+    fn flush_on_drain_loses_nothing_event_loop() {
+        flush_on_drain_loses_nothing(Backend::EventLoop);
     }
 }

@@ -19,11 +19,14 @@
 //! where the threaded backend has one lease per updating connection,
 //! the reactor multiplexes all its connections over one lease, which
 //! is sound for exactly the reason Lemma 7 allows batching — shard
-//! cells only ever see single-threaded read-modify-write-back.
+//! cells only ever see single-threaded read-modify-write-back. With
+//! write buffering on, the reactor thread is likewise one *writer*:
+//! its local update buffer serves all its connections and is flushed
+//! before the lease returns at drain, so graceful shutdown loses no
+//! acknowledged update.
 
-use super::{execute_request, Shared};
+use super::{execute_request, Shared, Writer};
 use crate::protocol::{ErrorCode, FrameDecoder, Request, Response};
-use ivl_concurrent::ShardLease;
 use ivl_spec::history::{ObjectId, ProcessId};
 use polling::{Event, PollMode, Poller};
 use std::collections::{HashMap, VecDeque};
@@ -168,6 +171,13 @@ struct Conn {
     read_ready: bool,
     /// Edge-triggered write readiness, same discipline.
     write_ready: bool,
+    /// Whether the poller registration currently includes writable
+    /// interest. Kept readable-only while the outbox is empty: a
+    /// request/response server's sockets are writable almost always,
+    /// so standing writable interest turns every peer ACK into a
+    /// spurious edge wakeup; interest is added only after a write
+    /// actually blocks with bytes still queued.
+    write_interest: bool,
     /// The peer's write side reached EOF.
     peer_closed: bool,
     /// Stop decoding requests; close once the outbox flushes.
@@ -191,6 +201,7 @@ impl Conn {
             // probes both directions and lets `WouldBlock` say no.
             read_ready: true,
             write_ready: true,
+            write_interest: false,
             peer_closed: false,
             closing: false,
             draining: false,
@@ -254,9 +265,11 @@ impl Conn {
 /// connection's state machine until it makes no further progress.
 fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
     let object = ObjectId(0);
-    // The reactor's shard lease: lazily acquired on the first update
-    // any of its connections sends, held until the reactor drains.
-    let mut lease: Option<ShardLease<'_>> = None;
+    // The reactor's writer state: a shard lease lazily acquired on the
+    // first update any of its connections sends, plus the local update
+    // buffer when write buffering is on — held until the reactor
+    // drains.
+    let mut writer = Writer::new(shared);
     let mut conns: HashMap<usize, Conn> = HashMap::new();
     let mut next_key = LISTENER_KEY + 1;
     let mut events: Vec<Event> = Vec::new();
@@ -282,7 +295,7 @@ fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
             if stream.set_nonblocking(true).is_err()
                 || mailbox
                     .poller
-                    .add(&stream, Event::all(key), PollMode::Edge)
+                    .add(&stream, Event::readable(key), PollMode::Edge)
                     .is_err()
             {
                 shared.metrics.connection_closed();
@@ -305,19 +318,38 @@ fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
         }
         for &key in &run {
             let alive = match conns.get_mut(&key) {
-                Some(conn) => pump(shared, &mut lease, object, conn),
+                Some(conn) => pump(shared, &mut writer, object, conn),
                 None => continue,
             };
             if !alive {
                 let conn = conns.remove(&key).expect("pumped above");
                 let _ = mailbox.poller.delete(&conn.stream);
                 shared.metrics.connection_closed();
+                continue;
+            }
+            // Writable interest tracks the outbox: subscribe when a
+            // blocked write left bytes queued (an edge will resume
+            // the flush), drop back to readable-only once drained.
+            // `EPOLL_CTL_MOD` re-arms, so readiness gained between
+            // the failed write and this modify is still delivered.
+            let conn = conns.get_mut(&key).expect("alive above");
+            let want = !conn.outbox.is_empty() && !conn.write_ready;
+            if want != conn.write_interest {
+                conn.write_interest = want;
+                let interest = if want {
+                    Event::all(key)
+                } else {
+                    Event::readable(key)
+                };
+                let _ = mailbox
+                    .poller
+                    .modify(&conn.stream, interest, PollMode::Edge);
             }
         }
     }
-    if lease.take().is_some() {
-        shared.note_lease_returned();
-    }
+    // Flush any buffered updates, then return the lease to the pool —
+    // the event-loop half of the flush-on-drain guarantee.
+    writer.release(shared);
 }
 
 /// Drives one connection until it makes no further progress; returns
@@ -326,7 +358,7 @@ fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
 /// the wire this pass when the socket allows.
 fn pump<'a>(
     shared: &'a Shared,
-    lease: &mut Option<ShardLease<'a>>,
+    writer: &mut Writer<'a>,
     object: ObjectId,
     conn: &mut Conn,
 ) -> bool {
@@ -361,7 +393,7 @@ fn pump<'a>(
                 Ok(request) => {
                     let (response, close) = execute_request(
                         shared,
-                        lease,
+                        writer,
                         &mut conn.applied,
                         conn.process,
                         object,

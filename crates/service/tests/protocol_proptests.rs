@@ -67,6 +67,7 @@ proptest! {
         stream_len in 0u64..1_000_000_000,
         alpha_m in 1u64..1_000,
         delta_m in 1u64..1_000,
+        lag in any::<u64>(),
     ) {
         let env = Envelope::new(
             key,
@@ -74,6 +75,7 @@ proptest! {
             stream_len,
             alpha_m as f64 / 1_000.0,
             delta_m as f64 / 1_000.0,
+            lag,
         );
         let rsp = Response::Envelope(env);
         prop_assert_eq!(response_roundtrip(&rsp), rsp);

@@ -82,17 +82,55 @@ impl Bencher {
     }
 }
 
+/// One finished measurement, retained for programmatic consumers
+/// (JSON emission, CI threshold checks) alongside the printed line.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/benchmark` label as printed.
+    pub label: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Element rate, when the group declared `Throughput::Elements`.
+    pub elems_per_sec: Option<f64>,
+}
+
 /// The benchmark harness entry point.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    quick: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion accepts `--quick` on the bench binary's
+        // command line; honor the same spelling so CI smoke runs can
+        // shrink sample counts without a shim-specific flag.
+        Criterion {
+            quick: std::env::args().any(|a| a == "--quick"),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// True when `--quick` was passed: samples are clamped to 3 and
+    /// benches may shrink their workloads.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Measurements recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
 }
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.into(),
             sample_size: 10,
             warm_up_time: Duration::from_millis(100),
@@ -117,7 +155,7 @@ impl Criterion {
 /// A group of benchmarks sharing configuration.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
     warm_up_time: Duration,
@@ -175,8 +213,14 @@ impl BenchmarkGroup<'_> {
     /// Ends the group (reporting is per-benchmark; nothing to flush).
     pub fn finish(&mut self) {}
 
-    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
-        // One warm-up sample, then `sample_size` measured samples.
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        // One warm-up sample, then `sample_size` measured samples
+        // (clamped to 3 under `--quick`).
+        let samples = if self.parent.quick {
+            self.sample_size.min(3)
+        } else {
+            self.sample_size
+        };
         let mut warm = Bencher {
             iters: 1,
             measured: None,
@@ -184,7 +228,7 @@ impl BenchmarkGroup<'_> {
         f(&mut warm);
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
-        for _ in 0..self.sample_size {
+        for _ in 0..samples {
             let mut b = Bencher {
                 iters: 1,
                 measured: None,
@@ -201,12 +245,15 @@ impl BenchmarkGroup<'_> {
         } else {
             format!("{}/{}", self.name, id)
         };
+        let mut elems_per_sec = None;
         match self.throughput {
             Some(Throughput::Elements(n)) => {
-                let rate = n as f64 / per_iter / 1e6;
+                let rate = n as f64 / per_iter;
+                elems_per_sec = Some(rate);
                 println!(
-                    "bench {label}: {:.3} ms/iter, {rate:.2} Melem/s",
-                    per_iter * 1e3
+                    "bench {label}: {:.3} ms/iter, {:.2} Melem/s",
+                    per_iter * 1e3,
+                    rate / 1e6
                 );
             }
             Some(Throughput::Bytes(n)) => {
@@ -218,6 +265,11 @@ impl BenchmarkGroup<'_> {
             }
             None => println!("bench {label}: {:.3} ms/iter", per_iter * 1e3),
         }
+        self.parent.results.push(BenchResult {
+            label,
+            ns_per_iter: per_iter * 1e9,
+            elems_per_sec,
+        });
     }
 }
 
@@ -263,7 +315,15 @@ mod tests {
             })
         });
         group.finish();
+        drop(group);
         // warm-up + 2 samples
         assert_eq!(calls, 3);
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "shim/add/1");
+        assert!(results[0].ns_per_iter >= 0.0);
+        assert!(results[0].elems_per_sec.is_some());
+        // iter_custom reported 5µs for 1 iter.
+        assert!((results[1].ns_per_iter - 5_000.0).abs() < 1.0);
     }
 }
