@@ -1,6 +1,6 @@
 //! `ivl_lint`: a hand-rolled, dependency-free repository lint.
 //!
-//! Five checks, each encoding an invariant of this repository that
+//! Six checks, each encoding an invariant of this repository that
 //! the compiler cannot express:
 //!
 //! 1. **crate-attrs** — every workspace crate's `src/lib.rs` carries
@@ -29,8 +29,18 @@
 //!    that the IVL error envelopes would otherwise surface. A
 //!    deliberate sleep is annotated `// lint:allow sleep — <reason>`
 //!    on the same or preceding line.
-//! 5. **frame-tags** — the wire-protocol opcode bytes in
-//!    `crates/service/src/protocol.rs` are pairwise distinct.
+//! 5. **frame-tags** — the wire-protocol tag bytes in
+//!    `crates/service/src/protocol.rs` are pairwise distinct within
+//!    each namespace (the constant's name prefix: `OP_*` frame
+//!    opcodes, `ENV_*` envelope kind tags, ...).
+//! 6. **served-objects** — every `impl ServedObject for <Type>` in
+//!    `crates/service` has a row in the "Served objects" table of
+//!    `crates/concurrent/ORDERINGS.md` naming the concurrent
+//!    structure it serves and arguing why its recorded projection is
+//!    checkable. Registering a new object kind without writing down
+//!    its verdict argument fails the lint — the per-object IVL
+//!    verdicts are only as trustworthy as the functional each object
+//!    chooses to record.
 //!
 //! The engine is parameterized by the repository root so the test
 //! suite can point it at fixture trees with planted violations.
@@ -40,12 +50,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The checks, in execution order.
-pub const CHECKS: [&str; 5] = [
+pub const CHECKS: [&str; 6] = [
     "crate-attrs",
     "ordering-audit",
     "rmw-hazard",
     "no-sleep",
     "frame-tags",
+    "served-objects",
 ];
 
 /// Files whose update paths must stay free of CAS-style RMWs. The
@@ -379,7 +390,12 @@ fn check_frame_tags(root: &Path, report: &mut LintReport) {
         return;
     };
     report.files_scanned += 1;
-    let mut seen: Vec<(String, u8, usize)> = Vec::new();
+    // (namespace, name, value, line): a tag byte must be unique within
+    // its namespace — the constant's name prefix up to the first `_`.
+    // `OP_*` bytes share the frame-opcode position; `ENV_*` bytes tag
+    // envelope kinds inside an ENVELOPE2 body and may reuse the same
+    // small integers without ambiguity.
+    let mut seen: Vec<(String, String, u8, usize)> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let t = line.trim();
         let Some(rest) = t
@@ -391,6 +407,7 @@ fn check_frame_tags(root: &Path, report: &mut LintReport) {
         let Some((name, tail)) = rest.split_once(':') else {
             continue;
         };
+        let namespace = name.split('_').next().unwrap_or(name).to_string();
         let tail = tail.trim_start();
         let Some(value_txt) = tail.strip_prefix("u8 =") else {
             continue;
@@ -402,7 +419,10 @@ fn check_frame_tags(root: &Path, report: &mut LintReport) {
             value_txt.parse::<u8>().ok()
         };
         let Some(value) = value else { continue };
-        if let Some((other, _, other_line)) = seen.iter().find(|(_, v, _)| *v == value) {
+        if let Some((_, other, _, other_line)) = seen
+            .iter()
+            .find(|(ns, _, v, _)| *ns == namespace && *v == value)
+        {
             report.findings.push(LintFinding {
                 check: "frame-tags",
                 file: rel(root, &path),
@@ -412,7 +432,101 @@ fn check_frame_tags(root: &Path, report: &mut LintReport) {
                 ),
             });
         }
-        seen.push((name.trim().to_string(), value, i + 1));
+        seen.push((namespace, name.trim().to_string(), value, i + 1));
+    }
+}
+
+/// Parses "Served objects" rows from `ORDERINGS.md`:
+/// `| TypeName | kind | argument |` — distinguished from the ordering
+/// audit rows by the first cell being a bare CamelCase type name
+/// rather than a `.rs` file name.
+fn parse_served_table(text: &str) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim())
+            .collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let name = cells[0];
+        let is_type_name = name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && name.chars().all(|c| c.is_alphanumeric() || c == '_');
+        if !is_type_name {
+            continue;
+        }
+        rows.push((name.to_string(), cells[2].to_string()));
+    }
+    rows
+}
+
+fn check_served_objects(root: &Path, report: &mut LintReport) {
+    let src = root.join("crates").join("service").join("src");
+    let audit_path = root.join("crates").join("concurrent").join("ORDERINGS.md");
+    // Every `impl ServedObject for <Type>` in the service crate.
+    let mut impls: Vec<(String, PathBuf, usize)> = Vec::new();
+    for path in rust_files(&src) {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        for (i, line) in text.lines().enumerate() {
+            let Some(rest) = line.trim().strip_prefix("impl ServedObject for ") else {
+                continue;
+            };
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                impls.push((name, path.clone(), i + 1));
+            }
+        }
+    }
+    if impls.is_empty() {
+        return;
+    }
+    let audit = fs::read_to_string(&audit_path).unwrap_or_default();
+    let rows = parse_served_table(&audit);
+    let audit_rel = rel(root, &audit_path);
+    for (name, path, line) in &impls {
+        match rows.iter().find(|(t, _)| t == name) {
+            None => report.findings.push(LintFinding {
+                check: "served-objects",
+                file: rel(root, path),
+                line: *line,
+                message: format!(
+                    "`{name}` implements ServedObject but the {audit_rel} \"Served objects\" table has no row for it; add `| {name} | <kind> | <recorded functional & verdict argument> |`"
+                ),
+            }),
+            Some((_, arg)) if arg.is_empty() => report.findings.push(LintFinding {
+                check: "served-objects",
+                file: rel(root, path),
+                line: *line,
+                message: format!(
+                    "served-objects row for {name} in {audit_rel} has an empty verdict argument"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (t, _) in &rows {
+        if !impls.iter().any(|(n, _, _)| n == t) {
+            report.findings.push(LintFinding {
+                check: "served-objects",
+                file: audit_rel.clone(),
+                line: 0,
+                message: format!(
+                    "stale served-objects row for {t}: no `impl ServedObject for {t}` left in crates/service"
+                ),
+            });
+        }
     }
 }
 
@@ -424,5 +538,6 @@ pub fn run_lints(root: &Path) -> LintReport {
     check_rmw_hazard(root, &mut report);
     check_no_sleep(root, &mut report);
     check_frame_tags(root, &mut report);
+    check_served_objects(root, &mut report);
     report
 }

@@ -170,6 +170,43 @@ fn duplicate_frame_tags_are_flagged() {
 }
 
 #[test]
+fn unlisted_served_objects_are_flagged() {
+    let fx = Fixture::new("lint_fx_served");
+    fx.write("crates/service/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/service/src/objects.rs",
+        concat!(
+            "impl ServedObject for ServedListed {\n}\n",
+            "impl ServedObject for ServedUnlisted {\n}\n",
+        ),
+    );
+    // ServedListed has a row; ServedUnlisted does not; ServedGhost is
+    // a stale row with no implementation left.
+    fx.write(
+        "crates/concurrent/ORDERINGS.md",
+        concat!(
+            "| served object | kind | recorded functional & verdict argument |\n",
+            "| --- | --- | --- |\n",
+            "| ServedListed | cm | records the estimate, monotone |\n",
+            "| ServedGhost | hll | implementation was removed |\n",
+        ),
+    );
+    let report = run_lints(&fx.root);
+    let served: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.check == "served-objects")
+        .collect();
+    assert_eq!(served.len(), 2, "{}", report.render());
+    assert!(served.iter().any(|f| f.file.ends_with("objects.rs")
+        && f.line == 3
+        && f.message.contains("no row for it")));
+    assert!(served.iter().any(|f| f.file.ends_with("ORDERINGS.md")
+        && f.message
+            .contains("stale served-objects row for ServedGhost")));
+}
+
+#[test]
 fn json_report_shape_is_stable() {
     let fx = Fixture::new("lint_fx_json");
     fx.write("crates/x/src/lib.rs", "pub fn f() {}\n");

@@ -1,15 +1,21 @@
 //! `ivl-check`: verdicts for externally recorded histories.
 //!
 //! ```text
-//! usage: ivl_check <file> <spec> [--hb] [--json]
+//! usage: ivl_check <file> <spec> [--per-object] [--hb] [--json]
 //!   <file>  history in the ivl-spec text format (see ivl_spec::io)
 //!   <spec>  counter | incdec | max | min
+//!   --per-object  project the history per object id and check each
+//!           projection separately against <spec>, printing one
+//!           verdict row per object — Theorem 1's locality,
+//!           operationally: the history is IVL iff every row is
 //!   --hb    also print the happens-before summary of the history
 //!           (precedence pairs, concurrent pairs, max overlap)
 //!   --json  render the --hb summary as JSON, and append a verdict
 //!           object `{"checker": "exact"|"monotone", "ops": N,
-//!           "ivl": bool, "linearizable": bool|null}` (see README
-//!           schemas)
+//!           "ivl": bool, "linearizable": bool|null}` — or, with
+//!           --per-object, `{"objects": [{"object": ID, "ops": N,
+//!           "checker": ..., "ivl": bool, "linearizable": bool|null},
+//!           ...], "ivl": bool}` (see README schemas)
 //! ```
 //!
 //! Prints the timeline, the linearizability verdict, the IVL verdict
@@ -21,8 +27,10 @@
 //! verdict is always surfaced: a stderr note in human mode, the
 //! `"checker"` field with `--json` — the two checkers prove different
 //! statements (exact search vs. monotone interval bounds), so a
-//! consumer must know which one it got. Exit status: 0 if IVL, 2
-//! if not, 1 on usage/parse errors.
+//! consumer must know which one it got. A history mentioning several
+//! object ids is rejected by the whole-history paths (they would mix
+//! objects' values) and must be checked with `--per-object`. Exit
+//! status: 0 if IVL, 2 if not, 1 on usage/parse errors.
 
 use ivl_analyzer::history_hb_summary;
 use ivl_spec::history::History;
@@ -78,6 +86,7 @@ impl MonotoneSpec for MinCli {}
 struct CheckOpts {
     hb: bool,
     json: bool,
+    per_object: bool,
 }
 
 fn print_hb<U, Q, V>(h: &History<U, Q, V>, opts: CheckOpts)
@@ -112,13 +121,121 @@ fn report_checker(opts: CheckOpts, checker: &str, ops: usize, ivl: bool, lin: Op
     }
 }
 
-fn check<S>(spec: S, text: &str, monotone: bool, opts: CheckOpts) -> Result<bool, String>
+/// One `--per-object` verdict row.
+struct ObjectRow {
+    object: u32,
+    ops: usize,
+    checker: &'static str,
+    ivl: bool,
+    linearizable: Option<bool>,
+}
+
+/// Prints the per-object verdict table (or its JSON form) and returns
+/// the Theorem 1 conjunction: the history is IVL iff every projection
+/// is.
+fn report_objects(opts: CheckOpts, rows: &[ObjectRow]) -> bool {
+    let all = rows.iter().all(|r| r.ivl);
+    if opts.json {
+        let objects: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let lin = r
+                    .linearizable
+                    .map_or_else(|| "null".to_owned(), |l| l.to_string());
+                format!(
+                    "{{\"object\": {}, \"ops\": {}, \"checker\": \"{}\", \
+                     \"ivl\": {}, \"linearizable\": {lin}}}",
+                    r.object, r.ops, r.checker, r.ivl
+                )
+            })
+            .collect();
+        println!("{{\"objects\": [{}], \"ivl\": {all}}}", objects.join(", "));
+    } else {
+        println!("per-object verdicts (Theorem 1 locality):");
+        for r in rows {
+            let shown = if r.ivl { "IVL" } else { "VIOLATION" };
+            println!(
+                "  object {:>3}: {:>6} ops  {:9}  ({} checker)",
+                r.object, r.ops, shown, r.checker
+            );
+        }
+        println!("history IVL iff every projection is (Theorem 1): {all}");
+    }
+    all
+}
+
+/// `--per-object`: check each object's projection separately against
+/// the one CLI spec. Projections small enough for the exact search get
+/// it (plus a linearizability verdict); larger ones fall back to the
+/// linear-time monotone interval checker.
+fn check_per_object<S>(spec: S, text: &str, opts: CheckOpts) -> Result<bool, String>
 where
-    S: MonotoneSpec + ObjectSpec<Query = u64>,
+    S: MonotoneSpec + ObjectSpec<Query = u64> + Clone,
     S::Update: std::str::FromStr + Debug,
     S::Value: std::str::FromStr + Debug + std::fmt::Display,
 {
     let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
+    print_hb(&h, opts);
+    let mut objects = h.objects();
+    objects.sort_by_key(|o| o.0);
+    if objects.is_empty() {
+        return Err("history mentions no objects".into());
+    }
+    let mut rows = Vec::new();
+    for object in objects {
+        let proj = h.project(object);
+        let ops = proj.operations().len();
+        let row = if ops > MAX_EXACT_OPS {
+            ObjectRow {
+                object: object.0,
+                ops,
+                checker: "monotone",
+                ivl: check_ivl_monotone(&spec, &proj).is_ivl(),
+                linearizable: None,
+            }
+        } else {
+            // The exact checkers index their spec slice by object id,
+            // and a projection keeps the id it had in the full
+            // history — pad the roster out to reach it.
+            let specs = vec![spec.clone(); object.0 as usize + 1];
+            ObjectRow {
+                object: object.0,
+                ops,
+                checker: "exact",
+                ivl: check_ivl_exact(&specs, &proj).is_ivl(),
+                linearizable: Some(check_linearizable(&specs, &proj).is_linearizable()),
+            }
+        };
+        rows.push(row);
+    }
+    Ok(report_objects(opts, &rows))
+}
+
+/// Guard for the whole-history paths: they check one object at a
+/// time, so a multi-object history must be projected via
+/// `--per-object` instead of silently mixing objects. Returns the
+/// spec-roster length the exact checkers need (they index specs by
+/// object id, which need not be 0 in a projection file).
+fn single_object_pad<U: Clone, Q: Clone, V: Clone>(h: &History<U, Q, V>) -> Result<usize, String> {
+    let objects = h.objects();
+    if objects.len() > 1 {
+        return Err(format!(
+            "history mentions {} objects; check each projection with --per-object \
+             (Theorem 1: the history is IVL iff every projection is)",
+            objects.len()
+        ));
+    }
+    Ok(objects.first().map_or(0, |o| o.0 as usize) + 1)
+}
+
+fn check<S>(spec: S, text: &str, monotone: bool, opts: CheckOpts) -> Result<bool, String>
+where
+    S: MonotoneSpec + ObjectSpec<Query = u64> + Clone,
+    S::Update: std::str::FromStr + Debug,
+    S::Value: std::str::FromStr + Debug + std::fmt::Display,
+{
+    let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
+    let pad = single_object_pad(&h)?;
     let ops = h.operations().len();
     if ops > MAX_EXACT_OPS {
         print_hb(&h, opts);
@@ -141,9 +258,10 @@ where
     }
     println!("{}", render_timeline(&h));
     print_hb(&h, opts);
-    let lin = check_linearizable(std::slice::from_ref(&spec), &h);
+    let specs = vec![spec.clone(); pad];
+    let lin = check_linearizable(&specs, &h);
     println!("linearizable : {}", lin.is_linearizable());
-    let ivl = check_ivl_exact(std::slice::from_ref(&spec), &h);
+    let ivl = check_ivl_exact(&specs, &h);
     println!("IVL          : {ivl:?}");
     if monotone {
         println!("\nper-query IVL intervals:");
@@ -168,11 +286,12 @@ where
 /// Exact check only, for the non-monotone inc/dec spec.
 fn check_exact_only<S>(spec: S, text: &str, opts: CheckOpts) -> Result<bool, String>
 where
-    S: ObjectSpec<Query = u64>,
+    S: ObjectSpec<Query = u64> + Clone,
     S::Update: std::str::FromStr + Debug,
     S::Value: std::str::FromStr + Debug,
 {
     let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
+    let pad = single_object_pad(&h)?;
     let ops = h.operations().len();
     if ops > MAX_EXACT_OPS {
         return Err(format!(
@@ -182,9 +301,10 @@ where
     }
     println!("{}", render_timeline(&h));
     print_hb(&h, opts);
-    let lin = check_linearizable(std::slice::from_ref(&spec), &h);
+    let specs = vec![spec.clone(); pad];
+    let lin = check_linearizable(&specs, &h);
     println!("linearizable : {}", lin.is_linearizable());
-    let ivl = check_ivl_exact(&[spec], &h);
+    let ivl = check_ivl_exact(&specs, &h);
     println!("IVL          : {ivl:?}");
     report_checker(
         opts,
@@ -203,11 +323,14 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--hb" => opts.hb = true,
             "--json" => opts.json = true,
+            "--per-object" => opts.per_object = true,
             _ => positional.push(arg),
         }
     }
     if positional.len() != 2 {
-        eprintln!("usage: ivl_check <file> <counter|incdec|max|min> [--hb] [--json]");
+        eprintln!(
+            "usage: ivl_check <file> <counter|incdec|max|min> [--per-object] [--hb] [--json]"
+        );
         return ExitCode::from(1);
     }
     let text = match std::fs::read_to_string(&positional[0]) {
@@ -217,12 +340,19 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let outcome = match positional[1].as_str() {
-        "counter" => check(CounterCli, &text, true, opts),
-        "max" => check(MaxCli, &text, true, opts),
-        "min" => check(MinCli, &text, true, opts),
-        "incdec" => check_exact_only(IncDecCli, &text, opts),
-        other => {
+    let outcome = match (positional[1].as_str(), opts.per_object) {
+        ("counter", false) => check(CounterCli, &text, true, opts),
+        ("max", false) => check(MaxCli, &text, true, opts),
+        ("min", false) => check(MinCli, &text, true, opts),
+        ("counter", true) => check_per_object(CounterCli, &text, opts),
+        ("max", true) => check_per_object(MaxCli, &text, opts),
+        ("min", true) => check_per_object(MinCli, &text, opts),
+        ("incdec", false) => check_exact_only(IncDecCli, &text, opts),
+        ("incdec", true) => {
+            eprintln!("--per-object needs a monotone spec (counter|max|min), not incdec");
+            return ExitCode::from(1);
+        }
+        (other, _) => {
             eprintln!("unknown spec `{other}` (counter|incdec|max|min)");
             return ExitCode::from(1);
         }

@@ -3,17 +3,26 @@
 //! ```text
 //! usage: loadgen [--backend threaded|event-loop|both] [--threads N]
 //!                [--ops N] [--keys N] [--queries N] [--batch N]
-//!                [--shards N] [--write-buffer B] [--addr HOST:PORT]
-//!                [--json FILE] [--history-out FILE] [--shutdown]
-//!                [--no-check]
+//!                [--shards N] [--write-buffer B] [--mix SPEC]
+//!                [--addr HOST:PORT] [--json FILE] [--history-out FILE]
+//!                [--shutdown] [--no-check]
 //! ```
 //!
 //! By default boots an in-process recording server, hammers it over
 //! real TCP with `--threads` ingest connections (Zipf keys, batched
 //! frames) plus one querying connection, prints throughput and
 //! client-side p50/p95/p99 latencies, then drains and replays the
-//! recorded history through the IVL checkers (monotone over the full
-//! run, exact over a second tiny run). Exit status 2 if a check fails.
+//! recorded history through the IVL checkers (one monotone verdict per
+//! registered object — Theorem 1 locality — plus an exact check over a
+//! second tiny run). Exit status 2 if a check fails.
+//!
+//! `--mix cm=8,hll=1,morris=1` spreads the load over several
+//! registered objects by weight (names double as object kinds; a
+//! `name:kind` entry such as `hits:hll=1` drives an object whose name
+//! differs from its kind, e.g. one registered on an external server
+//! with `ivl_serve --object hits=hll`; the CountMin always serves as
+//! object 0). Latency tails are reported per object, both in text and
+//! under `"objects"` in `--json`.
 //!
 //! `--backend both` runs the same total load twice — once per serving
 //! backend, both times with 4x `--threads` ingest connections on the
@@ -34,12 +43,13 @@
 //! when the load finishes.
 
 use ivl_bench::{mops, timed_scope, Worker};
+use ivl_service::objects::{ObjectConfig, ObjectKind};
 use ivl_service::server::{serve, Backend, ServerConfig};
-use ivl_service::{Client, ClientError, ErrorCode, StatsReport};
+use ivl_service::{Client, ClientError, ErrorCode, ErrorEnvelope, StatsReport};
 use ivl_sketch::stream::ZipfStream;
 use ivl_spec::history::{History, HistoryBuilder, ObjectId, ProcessId};
 use ivl_spec::io::write_history;
-use ivl_spec::ivl::{check_ivl_exact, check_ivl_monotone};
+use ivl_spec::ivl::check_ivl_exact;
 use ivl_spec::linearize::MAX_EXACT_OPS;
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -57,6 +67,98 @@ enum Mode {
     Both,
 }
 
+/// One `--mix` component: a named object and its share of the load.
+#[derive(Clone)]
+struct MixEntry {
+    name: String,
+    kind: ObjectKind,
+    weight: u64,
+}
+
+/// Parses `cm=8,hll=1,morris=1` (weight defaults to 1).
+fn parse_mix(spec: &str) -> Option<Vec<MixEntry>> {
+    let mut entries = Vec::new();
+    for part in spec.split(',') {
+        let (label, weight) = match part.split_once('=') {
+            Some((n, w)) => (n, w.parse::<u64>().ok().filter(|&w| w > 0)?),
+            None => (part, 1),
+        };
+        // `name:kind` names an object whose name is not a kind string
+        // (e.g. `hits:hll`); a bare label doubles as both.
+        let (name, kind) = match label.split_once(':') {
+            Some((n, k)) => (n, k),
+            None => (label, label),
+        };
+        entries.push(MixEntry {
+            name: name.to_owned(),
+            kind: kind.parse().ok()?,
+            weight,
+        });
+    }
+    // The CountMin anchors object 0 (v1 compatibility): move it to the
+    // front, or prepend a zero-traffic one if the mix has none.
+    if let Some(pos) = entries.iter().position(|e| e.kind == ObjectKind::CountMin) {
+        let cm = entries.remove(pos);
+        entries.insert(0, cm);
+    } else {
+        entries.insert(
+            0,
+            MixEntry {
+                name: "cm".to_owned(),
+                kind: ObjectKind::CountMin,
+                weight: 0,
+            },
+        );
+    }
+    Some(entries)
+}
+
+/// The resolved traffic plan: object roster, wire ids, and cumulative
+/// weight buckets for deterministic weighted selection.
+struct MixPlan {
+    entries: Vec<MixEntry>,
+    ids: Vec<u32>,
+    total_weight: u64,
+}
+
+impl MixPlan {
+    fn resolve(entries: &[MixEntry], ids: Vec<u32>) -> Self {
+        assert_eq!(entries.len(), ids.len());
+        let total_weight = entries.iter().map(|e| e.weight).sum::<u64>().max(1);
+        MixPlan {
+            entries: entries.to_vec(),
+            ids,
+            total_weight,
+        }
+    }
+
+    /// In-process plan: object id == roster index.
+    fn in_process(entries: &[MixEntry]) -> Self {
+        MixPlan::resolve(entries, (0..entries.len() as u32).collect())
+    }
+
+    fn object_configs(&self) -> Vec<ObjectConfig> {
+        self.entries
+            .iter()
+            .map(|e| ObjectConfig::new(&e.name, e.kind))
+            .collect()
+    }
+
+    /// Deterministic weighted pick: maps `seq` into the cumulative
+    /// weight buckets, so every `total_weight` consecutive picks hit
+    /// each entry exactly `weight` times.
+    fn pick(&self, seq: u64) -> usize {
+        let mut slot = seq % self.total_weight;
+        for (idx, e) in self.entries.iter().enumerate() {
+            if slot < e.weight {
+                return idx;
+            }
+            slot -= e.weight;
+        }
+        0
+    }
+}
+
 struct Opts {
     mode: Mode,
     threads: usize,
@@ -66,6 +168,7 @@ struct Opts {
     batch: usize,
     shards: usize,
     write_buffer: u64,
+    mix: Vec<MixEntry>,
     check: bool,
     addr: Option<String>,
     json: Option<String>,
@@ -84,6 +187,7 @@ impl Default for Opts {
             batch: 32,
             shards: 8,
             write_buffer: 0,
+            mix: parse_mix("cm").expect("default mix parses"),
             check: true,
             addr: None,
             json: None,
@@ -106,6 +210,7 @@ fn parse() -> Option<Opts> {
             "--batch" => o.batch = (num()? as usize).clamp(1, 4096),
             "--shards" => o.shards = num()? as usize,
             "--write-buffer" => o.write_buffer = num()?,
+            "--mix" => o.mix = parse_mix(&args.next()?)?,
             "--no-check" => o.check = false,
             "--shutdown" => o.shutdown = true,
             "--backend" => {
@@ -193,6 +298,13 @@ impl ClientRecorder {
     }
 }
 
+/// Per-object latency tails for the report.
+struct ObjLat {
+    name: String,
+    batch_ns: Tail,
+    query_ns: Tail,
+}
+
 struct RunOutcome {
     backend: String,
     ingest_conns: usize,
@@ -200,15 +312,29 @@ struct RunOutcome {
     wall: Duration,
     batch_ns: Tail,
     query_ns: Tail,
+    objects: Vec<ObjLat>,
     stats: StatsReport,
 }
 
 impl RunOutcome {
     fn json(&self, queries: u64) -> String {
+        let objects: Vec<String> = self
+            .objects
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"name\": \"{}\", \"batch_ns\": {}, \"query_ns\": {}}}",
+                    o.name,
+                    o.batch_ns.json(),
+                    o.query_ns.json()
+                )
+            })
+            .collect();
         format!(
             "    {{\n      \"backend\": \"{}\",\n      \"ingest_conns\": {},\n      \
              \"total_updates\": {},\n      \"queries\": {},\n      \"wall_s\": {:.6},\n      \
              \"throughput_mops\": {:.4},\n      \"batch_ns\": {},\n      \"query_ns\": {},\n      \
+             \"objects\": [{}],\n      \
              \"server\": {{\"busy_rejections\": {}, \"frames\": {}, \"wakeups\": {}, \
              \"ready_peak\": {}}}\n    }}",
             self.backend,
@@ -219,6 +345,7 @@ impl RunOutcome {
             mops(self.total_updates + queries, self.wall),
             self.batch_ns.json(),
             self.query_ns.json(),
+            objects.join(", "),
             self.stats.busy_rejections,
             self.stats.frames,
             self.stats.wakeups,
@@ -228,10 +355,11 @@ impl RunOutcome {
 }
 
 /// One ingest connection: `ops` weighted updates in `batch`-sized
-/// frames over Zipf-distributed keys, timing each batch roundtrip. A
-/// `busy` answer (more ingest connections than threaded-backend
-/// shards) is backpressure, not failure: back off and retry until a
-/// peer hangs up and frees its shard lease.
+/// frames over Zipf-distributed keys, each batch routed to a mix
+/// object by weighted round-robin and timed per object. A `busy`
+/// answer (more ingest connections than threaded-backend shards) is
+/// backpressure, not failure: back off and retry until a peer hangs
+/// up and frees its shard lease.
 #[allow(clippy::too_many_arguments)]
 fn ingest_client(
     addr: SocketAddr,
@@ -239,15 +367,17 @@ fn ingest_client(
     keys: usize,
     batch: usize,
     seed: u64,
-    lat: &Samples,
+    plan: &MixPlan,
+    lats: &[Samples],
     recorder: Option<&ClientRecorder>,
     process: ProcessId,
 ) {
     let mut client = Client::connect(addr).expect("connect ingest");
     let mut stream = ZipfStream::new(keys, 1.1, seed);
     let mut pending = Vec::with_capacity(batch);
-    let mut local = Vec::with_capacity((ops as usize).div_ceil(batch));
+    let mut locals: Vec<Vec<u64>> = vec![Vec::new(); plan.entries.len()];
     let mut sent = 0u64;
+    let mut seq = 0u64;
     while sent < ops {
         pending.clear();
         while pending.len() < batch && sent < ops {
@@ -255,16 +385,21 @@ fn ingest_client(
             pending.push((key, 1 + key % 3));
             sent += 1;
         }
+        // Offset each connection's rotation so the mix interleaves
+        // across connections instead of synchronizing on one object.
+        let obj_idx = plan.pick(seq.wrapping_add(seed));
+        seq += 1;
+        let object = plan.ids[obj_idx];
         let weight: u64 = pending.iter().map(|&(_, w)| w).sum();
         let op = recorder.map(|r| {
             r.builder
                 .lock()
                 .unwrap()
-                .invoke_update(process, ObjectId(0), weight)
+                .invoke_update(process, ObjectId(object), weight)
         });
         let t0 = Instant::now();
         loop {
-            match client.batch(&pending) {
+            match client.object_id(object).batch(&pending) {
                 Ok(_) => break,
                 Err(ClientError::Server {
                     code: ErrorCode::Busy,
@@ -274,60 +409,78 @@ fn ingest_client(
                 Err(e) => panic!("batch failed: {e}"),
             }
         }
-        local.push(t0.elapsed().as_nanos() as u64);
+        locals[obj_idx].push(t0.elapsed().as_nanos() as u64);
         if let (Some(r), Some(op)) = (recorder, op) {
             r.builder.lock().unwrap().respond_update(op);
         }
     }
-    lat.push_all(local);
+    for (lat, local) in lats.iter().zip(locals) {
+        lat.push_all(local);
+    }
 }
 
-/// The querying connection: `queries` Zipf point queries, each checked
-/// for envelope consistency and timed.
+/// The querying connection: `queries` Zipf point queries spread over
+/// the mix objects, each checked for envelope consistency and timed.
 fn query_client(
     addr: SocketAddr,
     queries: u64,
     keys: usize,
-    lat: &Samples,
+    plan: &MixPlan,
+    lats: &[Samples],
     recorder: Option<&ClientRecorder>,
     process: ProcessId,
 ) {
     let mut client = Client::connect(addr).expect("connect querier");
     let mut stream = ZipfStream::new(keys, 1.1, 0xbeef);
-    let mut local = Vec::with_capacity(queries as usize);
-    for _ in 0..queries {
+    let mut locals: Vec<Vec<u64>> = vec![Vec::new(); plan.entries.len()];
+    for i in 0..queries {
         let key = stream.next_item();
+        let obj_idx = plan.pick(i);
+        let object = plan.ids[obj_idx];
         let op = recorder.map(|r| {
             r.builder
                 .lock()
                 .unwrap()
-                .invoke_query(process, ObjectId(0), 0)
+                .invoke_query(process, ObjectId(object), 0)
         });
         let t0 = Instant::now();
-        let env = client.query(key).expect("query answered");
-        local.push(t0.elapsed().as_nanos() as u64);
+        let env = client.object_id(object).query(key).expect("query answered");
+        locals[obj_idx].push(t0.elapsed().as_nanos() as u64);
         if let (Some(r), Some(op)) = (recorder, op) {
-            r.builder.lock().unwrap().respond_query(op, env.stream_len);
+            // Every envelope kind exposes `observed` (acknowledged
+            // update weight), so each projection replays as a counter.
+            r.builder.lock().unwrap().respond_query(op, env.observed());
         }
-        assert!(
-            env.estimate >= env.lower_bound(),
-            "inconsistent envelope: {env:?}"
-        );
+        if let ErrorEnvelope::Frequency(env) = &env {
+            assert!(
+                env.estimate >= env.lower_bound(),
+                "inconsistent envelope: {env:?}"
+            );
+        }
     }
-    lat.push_all(local);
+    for (lat, local) in lats.iter().zip(locals) {
+        lat.push_all(local);
+    }
 }
 
 /// Drives one full load against `addr`: `conns` ingest connections
 /// splitting `total_ops` updates, plus one querying connection.
+/// Returns wall time, overall batch/query tails, per-object latency
+/// rows, and the update count actually sent.
 fn drive(
     addr: SocketAddr,
     o: &Opts,
     conns: usize,
     total_ops: u64,
+    plan: &MixPlan,
     recorder: Option<&ClientRecorder>,
-) -> (Duration, Tail, Tail, u64) {
-    let batch_lat = Samples::default();
-    let query_lat = Samples::default();
+) -> (Duration, Tail, Tail, Vec<ObjLat>, u64) {
+    let batch_lat: Vec<Samples> = (0..plan.entries.len())
+        .map(|_| Samples::default())
+        .collect();
+    let query_lat: Vec<Samples> = (0..plan.entries.len())
+        .map(|_| Samples::default())
+        .collect();
     let per_conn = total_ops / conns as u64;
     let total_updates = per_conn * conns as u64;
     let mut workers: Vec<Worker<'_>> = (0..conns)
@@ -341,6 +494,7 @@ fn drive(
                     keys,
                     batch,
                     0x10ad ^ t as u64,
+                    plan,
                     lat,
                     rec,
                     ProcessId(t as u32),
@@ -351,15 +505,30 @@ fn drive(
     let (queries, keys) = (o.queries, o.keys);
     let (lat, rec) = (&query_lat, recorder);
     workers.push(Box::new(move || {
-        query_client(addr, queries, keys, lat, rec, ProcessId(conns as u32));
+        query_client(addr, queries, keys, plan, lat, rec, ProcessId(conns as u32));
     }));
     let wall = timed_scope(workers);
-    let batches = batch_lat.sorted();
-    let queries_sorted = query_lat.sorted();
+    let mut all_batches = Vec::new();
+    let mut all_queries = Vec::new();
+    let mut objects = Vec::with_capacity(plan.entries.len());
+    for ((entry, b), q) in plan.entries.iter().zip(batch_lat).zip(query_lat) {
+        let b = b.sorted();
+        let q = q.sorted();
+        objects.push(ObjLat {
+            name: entry.name.clone(),
+            batch_ns: Tail::of(&b),
+            query_ns: Tail::of(&q),
+        });
+        all_batches.extend(b);
+        all_queries.extend(q);
+    }
+    all_batches.sort_unstable();
+    all_queries.sort_unstable();
     (
         wall,
-        Tail::of(&batches),
-        Tail::of(&queries_sorted),
+        Tail::of(&all_batches),
+        Tail::of(&all_queries),
+        objects,
         total_updates,
     )
 }
@@ -372,31 +541,39 @@ fn run_in_process(o: &Opts, backend: Backend, conns: usize) -> Result<RunOutcome
     // buffering, acknowledged updates may be briefly invisible (the
     // envelope's lag), so the recorded-history check is skipped.
     let strict = o.write_buffer == 0;
+    let plan = MixPlan::in_process(&o.mix);
     let cfg = ServerConfig {
         backend,
         shards: o.shards,
         record: o.check && strict,
         write_buffer: o.write_buffer,
+        objects: plan.object_configs(),
         ..ServerConfig::default()
     };
     let handle = serve("127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
     let addr = handle.addr();
     let params = handle.params();
+    let roster: Vec<String> = plan
+        .entries
+        .iter()
+        .map(|e| format!("{}x{}", e.name, e.weight))
+        .collect();
     println!(
         "server on {addr} [{backend} backend] — {} shards, width {}, depth {} \
-         (alpha {:.4}, delta {:.4}, write-buffer {})",
+         (alpha {:.4}, delta {:.4}, write-buffer {}), mix [{}]",
         o.shards,
         params.width,
         params.depth,
         params.alpha(),
         params.delta(),
-        o.write_buffer
+        o.write_buffer,
+        roster.join(", ")
     );
 
     let recorder = o.history_out.as_ref().map(|_| ClientRecorder::new());
     let total_ops = o.ops * o.threads as u64;
-    let (wall, batch_ns, query_ns, total_updates) =
-        drive(addr, o, conns, total_ops, recorder.as_ref());
+    let (wall, batch_ns, query_ns, objects, total_updates) =
+        drive(addr, o, conns, total_ops, &plan, recorder.as_ref());
     report(
         backend,
         conns,
@@ -406,6 +583,7 @@ fn run_in_process(o: &Opts, backend: Backend, conns: usize) -> Result<RunOutcome
         batch_ns,
         query_ns,
     );
+    report_objects(&backend.to_string(), &objects);
 
     let stats = handle.stats();
     println!(
@@ -436,14 +614,14 @@ fn run_in_process(o: &Opts, backend: Backend, conns: usize) -> Result<RunOutcome
     let joined = handle.join();
     if o.check && !strict {
         // Flush-on-drain sanity in lieu of the history check: after
-        // join, every acknowledged update must be visible in the
-        // drained sketch's stream estimate.
-        let visible = joined.sketch.stream_len_estimate();
-        if visible != stats.stream_len {
+        // join, every acknowledged CountMin update must be visible in
+        // the drained sketch's stream estimate.
+        let visible = joined.sketch().stream_len_estimate();
+        let acknowledged = joined.registry.cm(0).expect("object 0").stream_len();
+        if visible != acknowledged {
             return Err(format!(
-                "drained sketch shows {visible} weight but {} was acknowledged \
-                 — flush-on-drain lost updates",
-                stats.stream_len
+                "drained sketch shows {visible} weight but {acknowledged} was acknowledged \
+                 — flush-on-drain lost updates"
             ));
         }
         println!(
@@ -453,17 +631,32 @@ fn run_in_process(o: &Opts, backend: Backend, conns: usize) -> Result<RunOutcome
         );
     }
     if o.check && strict {
-        let history = joined.history.expect("recording was on");
-        let events = history.events().len();
+        let events = joined
+            .history
+            .as_ref()
+            .map(|h| h.events().len())
+            .unwrap_or(0);
         let t0 = Instant::now();
-        let verdict = check_ivl_monotone(&joined.spec, &history);
+        let verdicts = joined.verdicts().expect("recording was on");
         println!(
-            "IVL (monotone interval checker): {} over {events} events in {:.3}s",
-            verdict.is_ivl(),
+            "IVL (monotone interval checker, per object) over {events} events in {:.3}s:",
             t0.elapsed().as_secs_f64()
         );
-        if !verdict.is_ivl() {
-            return Err(format!("recorded {backend} serving history is not IVL"));
+        for v in &verdicts {
+            let shown = match v.ivl {
+                Some(ok) => ok.to_string(),
+                None => "waived".to_owned(),
+            };
+            println!(
+                "  object {} {} [{}]: {} over {} ops",
+                v.id, v.name, v.kind, shown, v.ops
+            );
+            if v.ivl == Some(false) {
+                return Err(format!(
+                    "recorded {backend} projection for object {} ({}) is not IVL",
+                    v.id, v.name
+                ));
+            }
         }
     }
     if let (Some(path), Some(rec)) = (&o.history_out, recorder) {
@@ -476,6 +669,7 @@ fn run_in_process(o: &Opts, backend: Backend, conns: usize) -> Result<RunOutcome
         wall,
         batch_ns,
         query_ns,
+        objects,
         stats,
     })
 }
@@ -487,12 +681,27 @@ fn run_external(o: &Opts, addr_text: &str) -> Result<RunOutcome, String> {
         .parse()
         .map_err(|e| format!("bad --addr {addr_text}: {e}"))?;
     println!("driving external server on {addr}");
+    let mut probe = Client::connect(addr).map_err(|e| e.to_string())?;
+    // Resolve mix names against the external server's roster: the
+    // wire ids are whatever the server registered, not our indices.
+    let infos = probe.objects().map_err(|e| e.to_string())?;
+    let ids: Vec<u32> = o
+        .mix
+        .iter()
+        .map(|e| {
+            infos
+                .iter()
+                .find(|i| i.name == e.name)
+                .map(|i| i.id)
+                .ok_or_else(|| format!("external server has no object named {:?}", e.name))
+        })
+        .collect::<Result<_, _>>()?;
+    let plan = MixPlan::resolve(&o.mix, ids);
     let recorder = o.history_out.as_ref().map(|_| ClientRecorder::new());
     let total_ops = o.ops * o.threads as u64;
-    let (wall, batch_ns, query_ns, total_updates) =
-        drive(addr, o, o.threads, total_ops, recorder.as_ref());
+    let (wall, batch_ns, query_ns, objects, total_updates) =
+        drive(addr, o, o.threads, total_ops, &plan, recorder.as_ref());
 
-    let mut probe = Client::connect(addr).map_err(|e| e.to_string())?;
     let stats = probe.stats().map_err(|e| e.to_string())?;
     let backend = format!("external({addr_text})");
     report_named(
@@ -504,6 +713,7 @@ fn run_external(o: &Opts, addr_text: &str) -> Result<RunOutcome, String> {
         batch_ns,
         query_ns,
     );
+    report_objects(&backend, &objects);
     if o.shutdown {
         probe.shutdown().map_err(|e| e.to_string())?;
         println!("sent SHUTDOWN");
@@ -518,6 +728,7 @@ fn run_external(o: &Opts, addr_text: &str) -> Result<RunOutcome, String> {
         wall,
         batch_ns,
         query_ns,
+        objects,
         stats,
     })
 }
@@ -564,6 +775,26 @@ fn report_named(
     );
 }
 
+/// Per-object latency rows (printed only when the mix has more than
+/// one object — a single-object run's rows equal the overall tails).
+fn report_objects(backend: &str, objects: &[ObjLat]) {
+    if objects.len() < 2 {
+        return;
+    }
+    for o in objects {
+        println!(
+            "[{backend}] {:8} batch p50/p95/p99 {}/{}/{} ns, query p50/p95/p99 {}/{}/{} ns",
+            o.name,
+            o.batch_ns.p50,
+            o.batch_ns.p95,
+            o.batch_ns.p99,
+            o.query_ns.p50,
+            o.query_ns.p95,
+            o.query_ns.p99
+        );
+    }
+}
+
 /// Serializes the client-side counter history for `ivl_check`.
 fn write_client_history(path: &str, rec: ClientRecorder) -> Result<(), String> {
     let history = rec.finish();
@@ -599,10 +830,11 @@ fn run_exact_check(backend: Backend) -> Result<(), String> {
         .collect();
     timed_scope(workers);
     let joined = handle.join();
+    let spec = joined.spec();
     let history = joined.history.expect("recording was on");
     let ops = history.operations().len();
     assert!(ops <= MAX_EXACT_OPS, "exact-check run too large: {ops} ops");
-    let verdict = check_ivl_exact(std::slice::from_ref(&joined.spec), &history);
+    let verdict = check_ivl_exact(std::slice::from_ref(&spec), &history);
     println!(
         "IVL (exact checker, {backend}): {} over {ops} ops",
         verdict.is_ivl()
@@ -619,13 +851,19 @@ fn run_exact_check(backend: Backend) -> Result<(), String> {
 fn write_json(o: &Opts, runs: &[RunOutcome]) -> Result<(), String> {
     let Some(path) = &o.json else { return Ok(()) };
     let body: Vec<String> = runs.iter().map(|r| r.json(o.queries)).collect();
+    let mix: Vec<String> = o
+        .mix
+        .iter()
+        .map(|e| format!("\"{}={}\"", e.name, e.weight))
+        .collect();
     let doc = format!(
         "{{\n  \"bench\": \"ivl-service loadgen\",\n  \"keys\": {},\n  \"batch\": {},\n  \
-         \"shards\": {},\n  \"write_buffer\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"shards\": {},\n  \"write_buffer\": {},\n  \"mix\": [{}],\n  \"runs\": [\n{}\n  ]\n}}\n",
         o.keys,
         o.batch,
         o.shards,
         o.write_buffer,
+        mix.join(", "),
         body.join(",\n")
     );
     std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -685,8 +923,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: loadgen [--backend threaded|event-loop|both] [--threads N] \
              [--ops N] [--keys N] [--queries N] [--batch N] [--shards N] \
-             [--write-buffer B] [--addr HOST:PORT] [--json FILE] \
-             [--history-out FILE] [--shutdown] [--no-check]"
+             [--write-buffer B] [--mix cm=8,hll=1,morris=1] [--addr HOST:PORT] \
+             [--json FILE] [--history-out FILE] [--shutdown] [--no-check]"
         );
         return ExitCode::from(1);
     };

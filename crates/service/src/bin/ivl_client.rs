@@ -1,54 +1,112 @@
 //! `ivl_client`: one-shot commands against a running `ivl_serve`.
 //!
 //! ```text
-//! usage: ivl_client <addr> <command> [args]
+//! usage: ivl_client <addr> [--object NAME] <command> [args]
 //!   update <key> <weight>     ingest weight occurrences of key
 //!   query <key>               estimate + IVL error envelope
 //!   batch <key:weight> ...    many updates in one frame
-//!   stats                     server counters and latency quantiles
+//!   objects                   list the server's registered objects
+//!   stats                     server counters, latency quantiles, and
+//!                             per-object operation rows
 //!   shutdown                  drain the server
+//!
+//! --object NAME routes update/query/batch to a named registered
+//! object (default: object 0, the v1-compatible CountMin).
 //! ```
 
 use ivl_service::client::Client;
+use ivl_service::envelope::ErrorEnvelope;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ivl_client <addr> <update <key> <weight> | query <key> | \
-         batch <key:weight>... | stats | shutdown>"
+        "usage: ivl_client <addr> [--object NAME] <update <key> <weight> | query <key> | \
+         batch <key:weight>... | objects | stats | shutdown>"
     );
     ExitCode::from(1)
 }
 
+fn print_envelope(key: u64, env: &ErrorEnvelope) {
+    match env {
+        ErrorEnvelope::Frequency(env) => println!(
+            "key {}: estimate {} (true frequency in [{}, {}] w.p. >= {:.3}; \
+             epsilon {} = ceil({:.4} * {}), write-buffer lag {})",
+            env.key,
+            env.estimate,
+            env.lower_bound(),
+            env.upper_bound(),
+            1.0 - env.delta,
+            env.epsilon,
+            env.alpha,
+            env.stream_len,
+            env.lag
+        ),
+        ErrorEnvelope::Cardinality {
+            estimate,
+            rel_std_err,
+            registers,
+            register_sum,
+            observed,
+        } => println!(
+            "cardinality: estimate {estimate:.1} (rel std err {rel_std_err:.4}, \
+             {registers} registers, register sum {register_sum}, observed weight {observed})"
+        ),
+        ErrorEnvelope::ApproxCount {
+            estimate,
+            a,
+            exponent,
+            observed,
+        } => println!(
+            "approximate count: estimate {estimate:.1} (a {a}, exponent {exponent}, \
+             acknowledged weight {observed})"
+        ),
+        ErrorEnvelope::Minimum { minimum, observed } => {
+            if *minimum == u64::MAX {
+                println!("minimum: empty (observed weight {observed}); queried key {key}");
+            } else {
+                println!("minimum: {minimum} (observed weight {observed}); queried key {key}");
+            }
+        }
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut client = Client::connect(&args[0]).map_err(|e| e.to_string())?;
-    match (args[1].as_str(), &args[2..]) {
+    let mut rest = &args[1..];
+    let mut object: Option<&str> = None;
+    if let [flag, name, tail @ ..] = rest {
+        if flag == "--object" {
+            object = Some(name.as_str());
+            rest = tail;
+        }
+    }
+    let Some((command, cmd_args)) = rest.split_first() else {
+        return Err("missing command".into());
+    };
+    // Resolve the object roster once; --object addresses by wire id
+    // from then on, so the lookup costs one extra roundtrip total.
+    let object = match object {
+        Some(name) => Some(client.object(name).map_err(|e| e.to_string())?.id()),
+        None => None,
+    };
+    match (command.as_str(), cmd_args) {
         ("update", [key, weight]) => {
-            let applied = client
-                .update(
-                    key.parse().map_err(|_| "bad key")?,
-                    weight.parse().map_err(|_| "bad weight")?,
-                )
-                .map_err(|e| e.to_string())?;
+            let key = key.parse().map_err(|_| "bad key")?;
+            let weight = weight.parse().map_err(|_| "bad weight")?;
+            let applied = match object {
+                Some(id) => client.object_id(id).update(key, weight),
+                None => client.update(key, weight),
+            }
+            .map_err(|e| e.to_string())?;
             println!("ack: {applied} updates applied on this connection");
         }
         ("query", [key]) => {
+            let key = key.parse().map_err(|_| "bad key")?;
             let env = client
-                .query(key.parse().map_err(|_| "bad key")?)
+                .object_id(object.unwrap_or(0))
+                .query(key)
                 .map_err(|e| e.to_string())?;
-            println!(
-                "key {}: estimate {} (true frequency in [{}, {}] w.p. >= {:.3}; \
-                 epsilon {} = ceil({:.4} * {}), write-buffer lag {})",
-                env.key,
-                env.estimate,
-                env.lower_bound(),
-                env.upper_bound(),
-                1.0 - env.delta,
-                env.epsilon,
-                env.alpha,
-                env.stream_len,
-                env.lag
-            );
+            print_envelope(key, &env);
         }
         ("batch", items) if !items.is_empty() => {
             let mut pairs = Vec::with_capacity(items.len());
@@ -59,8 +117,19 @@ fn run(args: &[String]) -> Result<(), String> {
                     w.parse().map_err(|_| "bad weight")?,
                 ));
             }
-            let applied = client.batch(&pairs).map_err(|e| e.to_string())?;
+            let applied = match object {
+                Some(id) => client.object_id(id).batch(&pairs),
+                None => client.batch(&pairs),
+            }
+            .map_err(|e| e.to_string())?;
             println!("ack: {applied} updates applied on this connection");
+        }
+        ("objects", []) => {
+            let infos = client.objects().map_err(|e| e.to_string())?;
+            println!("{} registered objects:", infos.len());
+            for info in infos {
+                println!("  {} {} [{}]", info.id, info.name, info.kind);
+            }
         }
         ("stats", []) => {
             let s = client.stats().map_err(|e| e.to_string())?;
@@ -91,6 +160,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 s.query_p50_ns,
                 s.query_p99_ns
             );
+            for row in &s.objects {
+                println!(
+                    "object {}  : {} updates, {} queries, {} observed weight",
+                    row.id, row.updates, row.queries, row.observed
+                );
+            }
         }
         ("shutdown", []) => {
             client.shutdown().map_err(|e| e.to_string())?;

@@ -3,7 +3,7 @@
 //! ```text
 //! usage: ivl_serve [addr] [--backend threaded|event-loop] [--shards N]
 //!                  [--alpha A] [--delta D] [--max-conns N] [--record]
-//!                  [--write-buffer B]
+//!                  [--write-buffer B] [--object NAME=KIND]...
 //!   addr           listen address (default 127.0.0.1:7070; port 0 picks one)
 //!   --backend      serving backend: "threaded" (default, one thread per
 //!                  connection) or "event-loop" (epoll reactor shards)
@@ -12,20 +12,26 @@
 //!   --alpha        CountMin relative error (0.005)
 //!   --delta        CountMin failure probability (0.01)
 //!   --max-conns    connection limit (64)
-//!   --record       record the full history and check it IVL on drain
+//!   --record       record the full history; on drain, check each
+//!                  object's projection IVL against its own spec
 //!   --write-buffer writer-local batch size b (0 = off): coalesce up to
 //!                  b update weight per writer before touching the
-//!                  shared sketch; envelopes widen by lag = shards*b
+//!                  shared CountMin; envelopes widen by lag = shards*b
+//!   --object       register a named object (repeatable). KIND is one
+//!                  of cm|hll|morris|min; object 0 must be a cm (the
+//!                  default "cm=cm" if the first --object is not one).
+//!                  v1 clients always address object 0.
 //! ```
 
+use ivl_service::objects::ObjectConfig;
 use ivl_service::server::{serve, ServerConfig};
-use ivl_spec::ivl::check_ivl_monotone;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ivl_serve [addr] [--backend threaded|event-loop] [--shards N] \
-         [--alpha A] [--delta D] [--max-conns N] [--record] [--write-buffer B]"
+         [--alpha A] [--delta D] [--max-conns N] [--record] [--write-buffer B] \
+         [--object NAME=KIND]..."
     );
     ExitCode::from(1)
 }
@@ -33,6 +39,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7070".to_owned();
     let mut cfg = ServerConfig::default();
+    let mut objects: Vec<ObjectConfig> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |what: &str| -> Option<String> {
@@ -67,14 +74,36 @@ fn main() -> ExitCode {
                 Some(v) => cfg.write_buffer = v,
                 None => return usage(),
             },
+            "--object" => match take("--object").map(|v| v.parse()) {
+                Some(Ok(v)) => objects.push(v),
+                Some(Err(e)) => {
+                    eprintln!("--object: {e}");
+                    return usage();
+                }
+                None => return usage(),
+            },
             "--record" => cfg.record = true,
             "--help" | "-h" => return usage(),
             other if !other.starts_with('-') => addr = other.to_owned(),
             _ => return usage(),
         }
     }
+    if !objects.is_empty() {
+        if objects[0].kind != ivl_service::objects::ObjectKind::CountMin {
+            // Object 0 anchors v1 compatibility; keep the default
+            // CountMin in front when the user leads with another kind.
+            objects.insert(0, ObjectConfig::default());
+        }
+        cfg.objects = objects;
+    }
     let backend = cfg.backend;
     let write_buffer = cfg.write_buffer;
+    let roster: Vec<String> = cfg
+        .objects
+        .iter()
+        .enumerate()
+        .map(|(id, o)| format!("{id}:{}={}", o.name, o.kind))
+        .collect();
     let handle = match serve(&addr, cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -85,18 +114,19 @@ fn main() -> ExitCode {
     let params = handle.params();
     println!(
         "ivl_serve listening on {} [{} backend] (width {}, depth {}, alpha {:.4}, delta {:.4}, \
-         write-buffer {})",
+         write-buffer {}) objects [{}]",
         handle.addr(),
         backend,
         params.width,
         params.depth,
         params.alpha(),
         params.delta(),
-        write_buffer
+        write_buffer,
+        roster.join(", ")
     );
     handle.wait_for_shutdown();
     let joined = handle.join();
-    let s = joined.stats;
+    let s = &joined.stats;
     println!(
         "drained: {} conns ({} rejected), {} updates, {} queries, {} batches, \
          stream {}, update p50/p99 {}/{} ns, query p50/p99 {}/{} ns",
@@ -111,26 +141,30 @@ fn main() -> ExitCode {
         s.query_p50_ns,
         s.query_p99_ns
     );
-    if let Some(history) = joined.history {
-        let verdict = check_ivl_monotone(&joined.spec, &history);
-        println!(
-            "recorded history: {} events, IVL: {}",
-            history.events().len(),
-            verdict.is_ivl()
-        );
-        if !verdict.is_ivl() {
-            if write_buffer > 0 {
-                // Buffered servers acknowledge updates before they are
-                // visible, so the strict IVL check can legitimately
-                // fail; the envelope's lag = shards*b is the advertised
-                // relaxation (DESIGN §9). Informational, not an error.
-                println!(
-                    "note: strict IVL violation is expected with --write-buffer {write_buffer}; \
-                     deferred visibility is bounded by the served envelope lag"
-                );
-            } else {
-                return ExitCode::from(2);
-            }
+    if let Some(verdicts) = joined.verdicts() {
+        let events = joined
+            .history
+            .as_ref()
+            .map(|h| h.events().len())
+            .unwrap_or(0);
+        println!("recorded history: {events} events; per-object verdicts (Theorem 1 locality):");
+        let mut failed = false;
+        for v in &verdicts {
+            let shown = match v.ivl {
+                Some(true) => "IVL",
+                Some(false) => {
+                    failed = true;
+                    "VIOLATION"
+                }
+                None => "waived",
+            };
+            println!(
+                "  object {} {:10} [{:6}] {:4} ops: {:9}  ({})",
+                v.id, v.name, v.kind, v.ops, shown, v.note
+            );
+        }
+        if failed {
+            return ExitCode::from(2);
         }
     }
     ExitCode::SUCCESS

@@ -3,9 +3,18 @@
 //! One request in flight at a time (lockstep request/response); use
 //! [`Client::batch`] to amortize round trips, or several clients for
 //! concurrency — the server shards per connection.
+//!
+//! The v1-era methods ([`Client::update`], [`Client::batch`],
+//! [`Client::query`]) address object 0 — always the default CountMin
+//! — and emit byte-identical v1 frames, so they interoperate with v1
+//! servers unchanged. To reach other registered objects, resolve a
+//! handle by name with [`Client::object`] (or by id with
+//! [`Client::object_id`]) and issue requests through it; handles
+//! share the connection, so only one may be in flight at a time.
 
-use crate::envelope::Envelope;
+use crate::envelope::{Envelope, ErrorEnvelope};
 use crate::metrics::StatsReport;
+use crate::objects::ObjectInfo;
 use crate::protocol::{self, ErrorCode, FrameDecoder, Request, Response, WireError};
 use std::fmt;
 use std::io::{self, Write};
@@ -102,31 +111,85 @@ impl Client {
         Ok(rsp)
     }
 
-    /// Ingests `weight` occurrences of `key`; returns the connection's
-    /// cumulative applied-update count.
-    pub fn update(&mut self, key: u64, weight: u64) -> Result<u64, ClientError> {
-        match self.roundtrip(&Request::Update { key, weight })? {
+    fn update_object(&mut self, object: u32, key: u64, weight: u64) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Update {
+            object,
+            key,
+            weight,
+        })? {
             Response::Ack { applied } => Ok(applied),
             _ => Err(ClientError::Unexpected("wanted ACK")),
         }
+    }
+
+    fn batch_object(&mut self, object: u32, items: &[(u64, u64)]) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Batch {
+            object,
+            items: items.to_vec(),
+        })? {
+            Response::Ack { applied } => Ok(applied),
+            _ => Err(ClientError::Unexpected("wanted ACK")),
+        }
+    }
+
+    fn query_object(&mut self, object: u32, key: u64) -> Result<ErrorEnvelope, ClientError> {
+        match self.roundtrip(&Request::Query { object, key })? {
+            Response::Envelope(env) => Ok(env),
+            _ => Err(ClientError::Unexpected("wanted ENVELOPE")),
+        }
+    }
+
+    /// Ingests `weight` occurrences of `key` into object 0 (the
+    /// default CountMin); returns the connection's cumulative
+    /// applied-update count.
+    pub fn update(&mut self, key: u64, weight: u64) -> Result<u64, ClientError> {
+        self.update_object(0, key, weight)
     }
 
     /// Ingests many pairs under one frame (at most
-    /// [`protocol::MAX_BATCH_ITEMS`]); returns the cumulative
-    /// applied-update count.
+    /// [`protocol::MAX_BATCH_ITEMS`]) into object 0; returns the
+    /// cumulative applied-update count.
     pub fn batch(&mut self, items: &[(u64, u64)]) -> Result<u64, ClientError> {
-        match self.roundtrip(&Request::Batch(items.to_vec()))? {
-            Response::Ack { applied } => Ok(applied),
-            _ => Err(ClientError::Unexpected("wanted ACK")),
+        self.batch_object(0, items)
+    }
+
+    /// Queries `key`'s frequency on object 0; returns the estimate
+    /// inside its IVL error envelope.
+    pub fn query(&mut self, key: u64) -> Result<Envelope, ClientError> {
+        match self.query_object(0, key)? {
+            ErrorEnvelope::Frequency(env) => Ok(env),
+            _ => Err(ClientError::Unexpected("wanted a frequency envelope")),
         }
     }
 
-    /// Queries `key`'s frequency; returns the estimate inside its IVL
-    /// error envelope.
-    pub fn query(&mut self, key: u64) -> Result<Envelope, ClientError> {
-        match self.roundtrip(&Request::Query { key })? {
-            Response::Envelope(env) => Ok(env),
-            _ => Err(ClientError::Unexpected("wanted ENVELOPE")),
+    /// Lists the server's registered objects.
+    pub fn objects(&mut self) -> Result<Vec<ObjectInfo>, ClientError> {
+        match self.roundtrip(&Request::Objects)? {
+            Response::Objects(infos) => Ok(infos),
+            _ => Err(ClientError::Unexpected("wanted OBJECTS_REPLY")),
+        }
+    }
+
+    /// Resolves a registered object by name into a request handle.
+    pub fn object(&mut self, name: &str) -> Result<ObjectHandle<'_>, ClientError> {
+        let infos = self.objects()?;
+        match infos.iter().find(|info| info.name == name) {
+            Some(info) => Ok(ObjectHandle {
+                object: info.id,
+                client: self,
+            }),
+            None => Err(ClientError::Server {
+                code: ErrorCode::UnknownObject,
+                message: format!("no object named {name:?} on this server"),
+            }),
+        }
+    }
+
+    /// Addresses a registered object by id without a lookup roundtrip.
+    pub fn object_id(&mut self, id: u32) -> ObjectHandle<'_> {
+        ObjectHandle {
+            object: id,
+            client: self,
         }
     }
 
@@ -144,5 +207,43 @@ impl Client {
             Response::Goodbye => Ok(()),
             _ => Err(ClientError::Unexpected("wanted GOODBYE")),
         }
+    }
+}
+
+/// A request handle bound to one registered object on a [`Client`].
+///
+/// Borrows the client, so requests remain lockstep: drop the handle
+/// (or let it fall out of scope) before issuing object-0 calls on the
+/// client directly. Handles for object 0 emit the same v1 frames the
+/// bare client methods do.
+#[derive(Debug)]
+pub struct ObjectHandle<'a> {
+    client: &'a mut Client,
+    object: u32,
+}
+
+impl ObjectHandle<'_> {
+    /// The wire object id this handle addresses.
+    pub fn id(&self) -> u32 {
+        self.object
+    }
+
+    /// Ingests `weight` occurrences of `key` into this object;
+    /// returns the connection's cumulative applied-update count.
+    pub fn update(&mut self, key: u64, weight: u64) -> Result<u64, ClientError> {
+        self.client.update_object(self.object, key, weight)
+    }
+
+    /// Ingests many pairs under one frame (at most
+    /// [`protocol::MAX_BATCH_ITEMS`]); returns the cumulative
+    /// applied-update count.
+    pub fn batch(&mut self, items: &[(u64, u64)]) -> Result<u64, ClientError> {
+        self.client.batch_object(self.object, items)
+    }
+
+    /// Queries `key` on this object; returns the object's own error
+    /// envelope form.
+    pub fn query(&mut self, key: u64) -> Result<ErrorEnvelope, ClientError> {
+        self.client.query_object(self.object, key)
     }
 }

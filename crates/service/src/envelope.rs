@@ -95,6 +95,96 @@ impl Envelope {
     }
 }
 
+/// The per-kind error envelope attached to every query response.
+///
+/// Each registered object kind answers queries with its own guarantee
+/// form: the CountMin keeps the Theorem 6 [`Envelope`] unchanged; the
+/// HLL, Morris, and min-register objects carry the bound shapes their
+/// estimators actually admit. Every variant exposes `observed` — the
+/// object's acknowledged update weight, itself an IVL read — and a
+/// monotone `value()` used when recording histories, so each
+/// projection stays checkable against a sequential spec (Theorem 1
+/// locality, per object).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ErrorEnvelope {
+    /// CountMin frequency estimate with the (ε,δ) Theorem 6 bound.
+    Frequency(Envelope),
+    /// HLL cardinality estimate. `rel_std_err` is the estimator's
+    /// relative standard error (`≈ 1.04/√registers`); `register_sum`
+    /// is the monotone register-sum indicator the verdict checks.
+    Cardinality {
+        /// Bias-corrected cardinality estimate.
+        estimate: f64,
+        /// Relative standard error of the estimator.
+        rel_std_err: f64,
+        /// Number of registers backing the estimate.
+        registers: u64,
+        /// Sum of all register values at the served snapshot — the
+        /// monotone functional recorded for IVL checking.
+        register_sum: u64,
+        /// Acknowledged update weight at the served snapshot.
+        observed: u64,
+    },
+    /// Morris approximate count. The estimate derives from the
+    /// monotone `exponent` via `((1+a)^x − 1)/a`; the coin flips live
+    /// server-side, so the recorded checkable value is `observed`.
+    ApproxCount {
+        /// Unbiased count estimate derived from the exponent.
+        estimate: f64,
+        /// The counter's accuracy parameter `a`.
+        a: f64,
+        /// The monotone Morris exponent at the served snapshot.
+        exponent: u32,
+        /// Acknowledged update weight at the served snapshot.
+        observed: u64,
+    },
+    /// Minimum key inserted so far (`u64::MAX` when empty) — exact
+    /// but antitone, checked by the endpoint-sorting interval checker.
+    Minimum {
+        /// Smallest inserted key, `u64::MAX` when none.
+        minimum: u64,
+        /// Acknowledged update weight at the served snapshot.
+        observed: u64,
+    },
+}
+
+impl ErrorEnvelope {
+    /// The object's acknowledged update weight at the served snapshot
+    /// (the CountMin's `stream_len`).
+    pub fn observed(&self) -> u64 {
+        match self {
+            ErrorEnvelope::Frequency(env) => env.stream_len,
+            ErrorEnvelope::Cardinality { observed, .. }
+            | ErrorEnvelope::ApproxCount { observed, .. }
+            | ErrorEnvelope::Minimum { observed, .. } => *observed,
+        }
+    }
+
+    /// The value recorded into query histories: a monotone (or, for
+    /// the min register, antitone) integer functional of the object's
+    /// update set, so every projection is checkable by the interval
+    /// checker. Frequency → estimate, cardinality → register sum,
+    /// approximate count → acknowledged weight (the exponent's coin
+    /// flips live server-side, so the weight counter is the checkable
+    /// functional), minimum → the minimum.
+    pub fn value(&self) -> u64 {
+        match self {
+            ErrorEnvelope::Frequency(env) => env.estimate,
+            ErrorEnvelope::Cardinality { register_sum, .. } => *register_sum,
+            ErrorEnvelope::ApproxCount { observed, .. } => *observed,
+            ErrorEnvelope::Minimum { minimum, .. } => *minimum,
+        }
+    }
+
+    /// The Theorem 6 frequency envelope, when this is one.
+    pub fn frequency(&self) -> Option<&Envelope> {
+        match self {
+            ErrorEnvelope::Frequency(env) => Some(env),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +232,37 @@ mod tests {
         let e = Envelope::new(1, 3, 10_000, 0.005, 0.01, 0); // epsilon 50 > estimate
         assert_eq!(e.lower_bound(), 0);
         assert!(e.lower_bound() <= e.upper_bound());
+    }
+
+    #[test]
+    fn error_envelope_exposes_observed_value_and_frequency() {
+        let freq = ErrorEnvelope::Frequency(Envelope::new(7, 12, 1_000, 0.005, 0.01, 0));
+        assert_eq!(freq.observed(), 1_000);
+        assert_eq!(freq.value(), 12);
+        assert_eq!(freq.frequency().unwrap().key, 7);
+
+        let card = ErrorEnvelope::Cardinality {
+            estimate: 99.5,
+            rel_std_err: 0.016,
+            registers: 4096,
+            register_sum: 88,
+            observed: 120,
+        };
+        assert_eq!((card.observed(), card.value()), (120, 88));
+        assert!(card.frequency().is_none());
+
+        let approx = ErrorEnvelope::ApproxCount {
+            estimate: 30.0,
+            a: 0.5,
+            exponent: 9,
+            observed: 31,
+        };
+        assert_eq!((approx.observed(), approx.value()), (31, 31));
+
+        let min = ErrorEnvelope::Minimum {
+            minimum: 4,
+            observed: 17,
+        };
+        assert_eq!((min.observed(), min.value()), (17, 4));
     }
 }

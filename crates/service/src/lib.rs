@@ -4,36 +4,50 @@
 //! This crate turns the workspace's concurrent IVL machinery into a
 //! small sharded subsystem:
 //!
-//! * [`server`] — a TCP server over a single
-//!   [`ivl_concurrent::ShardedPcm`], with two interchangeable
-//!   backends ([`server::Backend`]): thread-per-connection blocking
-//!   I/O, or a hand-rolled epoll event loop (`shards` reactor
-//!   threads, edge-triggered nonblocking sockets, resumable frame
-//!   decoding, vectored backpressure-aware writes). Either way each
-//!   single-writer shard has exactly one writing thread, so ingest is
-//!   plain atomic stores — no RMW, no lock — and the lease pool
-//!   doubles as backpressure.
-//! * [`protocol`] — a compact length-prefixed binary wire format
-//!   (`UPDATE`/`QUERY`/`BATCH`/`STATS`/`SHUTDOWN`).
+//! * [`objects`] — the served-object layer: an [`ObjectRegistry`] of
+//!   named quantitative objects (CountMin, HyperLogLog, Morris,
+//!   min-register), each implementing the [`ServedObject`] trait —
+//!   its own write path, its own error-envelope form, its own
+//!   per-projection IVL verdict.
+//! * [`server`] — a TCP server routing requests through the registry,
+//!   with two interchangeable backends ([`server::Backend`]):
+//!   thread-per-connection blocking I/O, or a hand-rolled epoll event
+//!   loop (`shards` reactor threads, edge-triggered nonblocking
+//!   sockets, resumable frame decoding, vectored backpressure-aware
+//!   writes). Either way each single-writer CountMin shard has
+//!   exactly one writing thread, so ingest is plain atomic stores —
+//!   no RMW, no lock — and the lease pool doubles as backpressure.
+//! * [`protocol`] — a compact length-prefixed binary wire format.
+//!   v1 frames (`UPDATE`/`QUERY`/`BATCH`/`STATS`/`SHUTDOWN`) address
+//!   object 0; v2 frames (`UPDATE2`/`QUERY2`/`BATCH2`/`OBJECTS`)
+//!   carry an explicit object id, and object-0 requests still encode
+//!   in v1 form byte for byte, so old clients and servers interoperate.
 //! * [`envelope`] — every query answer carries an **IVL error
-//!   envelope**: `(estimate, ε, δ, n)` with `ε = α·n`, the Theorem 6
-//!   transfer of CountMin's sequential (ε,δ) bound to the concurrent
-//!   serving setting.
+//!   envelope** ([`ErrorEnvelope`]): for the CountMin,
+//!   `(estimate, ε, δ, n, lag)` with `ε = α·n`, the Theorem 6
+//!   transfer of the sequential (ε,δ) bound to the concurrent serving
+//!   setting; the other kinds carry the bound shapes their estimators
+//!   admit.
 //! * [`metrics`] — wait-free op counters and `log₂` latency
-//!   histograms, themselves read IVL-style by `STATS`.
-//! * [`wspec`] — the sequential specification of the served object
-//!   (weighted CountMin), so a recorded serving run can be replayed
-//!   through [`ivl_spec`]'s IVL checkers.
+//!   histograms, themselves read IVL-style by `STATS`, now with
+//!   per-object operation rows.
+//! * [`wspec`] — the sequential specification of the default served
+//!   object (weighted CountMin), so a recorded serving run can be
+//!   replayed through [`ivl_spec`]'s IVL checkers.
 //! * [`client`] — a blocking client library used by the `ivl_client`
-//!   binary and the load generator in `ivl-bench`.
+//!   binary and the load generator in `ivl-bench`;
+//!   [`Client::object`] resolves named handles to non-default
+//!   objects.
 //!
 //! The point of the subsystem is the paper's thesis made operational:
-//! because the backing sketch is IVL (not linearizable — no
+//! because the backing sketches are IVL (not linearizable — no
 //! synchronization on the update path), the server can promise clients
 //! a *quantitative* bound instead of an ordering guarantee, and that
 //! promise is mechanically checkable: run with
-//! [`ServerConfig::record`], then feed the returned history and spec
-//! to [`ivl_spec::ivl::check_ivl_monotone`].
+//! [`ServerConfig::record`], then project the returned history per
+//! [`ivl_spec::history::ObjectId`] and check each projection against
+//! its own spec ([`JoinedServer::verdicts`]) — Theorem 1's locality,
+//! operationally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,13 +56,17 @@
 pub mod client;
 pub mod envelope;
 pub mod metrics;
+pub mod objects;
 pub mod protocol;
 pub mod server;
 pub mod wspec;
 
-pub use client::{Client, ClientError};
-pub use envelope::Envelope;
-pub use metrics::{Metrics, StatsReport};
+pub use client::{Client, ClientError, ObjectHandle};
+pub use envelope::{Envelope, ErrorEnvelope};
+pub use metrics::{Metrics, ObjectStats, StatsReport};
+pub use objects::{
+    ObjectConfig, ObjectInfo, ObjectKind, ObjectRegistry, ObjectVerdict, ServedObject,
+};
 pub use protocol::{ErrorCode, Request, Response, WireError};
 pub use server::{serve, Backend, JoinedServer, ServerConfig, ServerHandle};
 pub use wspec::WeightedCmSpec;

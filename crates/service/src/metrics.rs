@@ -151,8 +151,9 @@ impl Metrics {
     }
 
     /// Snapshots everything into a [`StatsReport`]; `stream_len` is
-    /// supplied by the caller (the ingest counter's IVL read).
-    pub fn report(&self, stream_len: u64) -> StatsReport {
+    /// supplied by the caller (the registry's total acknowledged
+    /// weight, an IVL read), as are the per-object rows.
+    pub fn report(&self, stream_len: u64, objects: Vec<ObjectStats>) -> StatsReport {
         let quantiles = |h: &ConcurrentHistogram| {
             let snap = h.snapshot();
             if snap.count() == 0 {
@@ -185,15 +186,32 @@ impl Metrics {
             update_p99_ns,
             query_p50_ns,
             query_p99_ns,
+            objects,
         }
     }
+}
+
+/// Per-object operation counters: one `STATS` row per registered
+/// object, ordered by object id.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObjectStats {
+    /// Object id (registry index).
+    pub id: u32,
+    /// Update operations applied to this object (batch items count
+    /// individually).
+    pub updates: u64,
+    /// Queries answered by this object.
+    pub queries: u64,
+    /// Acknowledged update weight (the object's stream length — an
+    /// IVL read of its ingest counter).
+    pub observed: u64,
 }
 
 /// A point-in-time snapshot of a server's [`Metrics`], as served by
 /// `STATS`. Latency quantiles are upper edges of `log₂` buckets, so
 /// they are ~2× approximations — enough to see orders of magnitude,
 /// cheap enough to never perturb the hot path.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsReport {
     /// Connections accepted over the server's lifetime.
     pub accepted: u64,
@@ -233,10 +251,14 @@ pub struct StatsReport {
     pub query_p50_ns: u64,
     /// 99th-percentile query latency (power-of-two ns).
     pub query_p99_ns: u64,
+    /// Per-object counters, one row per registered object, ordered by
+    /// object id (travels after the fixed fields on the wire).
+    pub objects: Vec<ObjectStats>,
 }
 
 impl StatsReport {
-    /// Number of `u64` fields on the wire. Encode/decode and the
+    /// Number of fixed `u64` fields on the wire (the per-object rows
+    /// travel after them, length-prefixed). Encode/decode and the
     /// stats-reply frame all derive from this constant, so growing the
     /// report means appending to [`as_fields`](Self::as_fields) /
     /// [`from_fields`](Self::from_fields) and bumping it — every other
@@ -288,6 +310,7 @@ impl StatsReport {
             update_p99_ns: f[15],
             query_p50_ns: f[16],
             query_p99_ns: f[17],
+            objects: Vec::new(),
         }
     }
 }
@@ -318,7 +341,7 @@ mod tests {
         m.record_updates(3, 1_000);
         m.record_query(2_000);
         m.record_query(4_000);
-        let r = m.report(42);
+        let r = m.report(42, Vec::new());
         assert_eq!(r.accepted, 1);
         assert_eq!(r.active, 1);
         assert_eq!(r.updates, 3);
@@ -331,7 +354,7 @@ mod tests {
 
     #[test]
     fn empty_histograms_report_zero_quantiles() {
-        let r = Metrics::new().report(0);
+        let r = Metrics::new().report(0, Vec::new());
         assert_eq!(r.update_p50_ns, 0);
         assert_eq!(r.query_p99_ns, 0);
     }
@@ -344,7 +367,7 @@ mod tests {
         m.record_wakeup(5);
         m.record_frame();
         m.record_frame();
-        let r = m.report(0);
+        let r = m.report(0, Vec::new());
         assert_eq!(r.wakeups, 3);
         assert_eq!(r.ready_peak, 17);
         assert_eq!(r.frames, 2);
@@ -356,11 +379,11 @@ mod tests {
         m.record_buffered(10);
         m.record_buffered(7);
         m.record_flush(10);
-        let r = m.report(0);
+        let r = m.report(0, Vec::new());
         assert_eq!(r.buffered_pending, 7);
         assert_eq!(r.flushes, 1);
         m.record_flush(7);
-        let r = m.report(0);
+        let r = m.report(0, Vec::new());
         assert_eq!(r.buffered_pending, 0);
         assert_eq!(r.flushes, 2);
     }
@@ -370,7 +393,7 @@ mod tests {
         let m = Metrics::new();
         m.record_updates(7, 123);
         m.record_batch();
-        let r = m.report(9);
+        let r = m.report(9, Vec::new());
         assert_eq!(StatsReport::from_fields(r.as_fields()), r);
     }
 }

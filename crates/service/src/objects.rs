@@ -1,0 +1,1229 @@
+//! The served-object layer: one trait, many quantitative objects.
+//!
+//! The paper's Theorem 1 (locality) says a multi-object history is IVL
+//! iff every per-object projection is IVL. This module is that theorem
+//! made operational for the service: a [`ServedObject`] is any
+//! quantitative object the server can route wire requests to, an
+//! [`ObjectRegistry`] holds the named instances (object ids are
+//! registry indices, carried in every protocol-v2 frame), and each
+//! object supplies its own error-envelope form
+//! ([`crate::envelope::ErrorEnvelope`]) plus a sequential spec for
+//! verifying *its own projection* of a recorded run. The server checks
+//! (and `ivl_check` reports) one verdict per object — the history as a
+//! whole is IVL exactly when every row of that table is.
+//!
+//! Four kinds ship ([`ObjectKind`]):
+//!
+//! * `cm` — the sharded CountMin ([`ServedCountMin`]): single-writer
+//!   shard leases, optional write buffering, the Theorem 6 frequency
+//!   envelope. Object 0 is always a CountMin so protocol-v1 frames
+//!   (which carry no object id) keep their exact old meaning.
+//! * `hll` — [`ivl_concurrent::ConcurrentHll`]: `fetch_max` registers,
+//!   cardinality envelope with the standard-error bound, and the
+//!   monotone register-sum indicator as the checkable query value.
+//! * `morris` — [`ivl_concurrent::ConcurrentMorris`]: CAS'd exponent.
+//!   Its coin flips live server-side, so a recorded run is not
+//!   deterministically replayable against the estimator; the verdict
+//!   instead checks the object's acknowledged-weight counter
+//!   projection, which *is* deterministic (and exactly the guarantee
+//!   the envelope's `observed` field serves).
+//! * `min` — [`ivl_concurrent::ConcurrentMinRegister`]: `fetch_min`,
+//!   an antitone object; the generalized (endpoint-sorting) interval
+//!   checker verifies it directly.
+//!
+//! Writers are per-(object, writer-thread): each connection thread
+//! (threaded backend) or reactor thread (event-loop backend) holds a
+//! lazily created [`ObjectWriter`] per object it updates, so the
+//! CountMin's per-(object, shard) lease discipline and the lock-free
+//! objects' wait-free updates coexist behind one interface.
+
+use crate::envelope::{Envelope, ErrorEnvelope};
+use crate::metrics::{Metrics, ObjectStats};
+use crate::wspec::WeightedCmSpec;
+use ivl_concurrent::{
+    ConcurrentHll, ConcurrentMinRegister, ConcurrentMorris, ShardLease, ShardedPcm, UpdateBuffer,
+};
+use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::hll::HyperLogLog;
+use ivl_sketch::CoinFlips;
+use ivl_spec::history::History;
+use ivl_spec::ivl::check_ivl_monotone;
+use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Register precision of served HLL objects (`2^12` registers, ~1.6%
+/// standard error) — a fixed serving choice, like the CountMin taking
+/// its `(α, δ)` from the server config.
+pub const HLL_PRECISION: u32 = 12;
+
+/// Accuracy parameter `a` of served Morris counters.
+pub const MORRIS_A: f64 = 0.5;
+
+/// A single update may apply at most this many Morris estimator
+/// events; larger weights are acknowledged in full (the `observed`
+/// counter always gets the whole weight) but clamp the estimator work,
+/// bounding per-frame service time against hostile weights.
+pub const MORRIS_MAX_EVENTS_PER_UPDATE: u64 = 1 << 16;
+
+/// The kinds of quantitative objects the server can register. The
+/// discriminant is the wire tag used by kind-tagged envelope frames
+/// and the `OBJECTS` listing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// Sharded CountMin frequency sketch (the original served object).
+    CountMin,
+    /// Concurrent HyperLogLog cardinality sketch.
+    Hll,
+    /// Concurrent Morris approximate counter.
+    Morris,
+    /// Concurrent min register (antitone).
+    MinRegister,
+}
+
+impl ObjectKind {
+    /// Wire tag of this kind.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ObjectKind::CountMin => 0,
+            ObjectKind::Hll => 1,
+            ObjectKind::Morris => 2,
+            ObjectKind::MinRegister => 3,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(ObjectKind::CountMin),
+            1 => Some(ObjectKind::Hll),
+            2 => Some(ObjectKind::Morris),
+            3 => Some(ObjectKind::MinRegister),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ObjectKind::CountMin => "cm",
+            ObjectKind::Hll => "hll",
+            ObjectKind::Morris => "morris",
+            ObjectKind::MinRegister => "min",
+        })
+    }
+}
+
+impl std::str::FromStr for ObjectKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cm" | "countmin" | "count-min" => Ok(ObjectKind::CountMin),
+            "hll" => Ok(ObjectKind::Hll),
+            "morris" => Ok(ObjectKind::Morris),
+            "min" | "min-register" => Ok(ObjectKind::MinRegister),
+            other => Err(format!(
+                "unknown object kind {other:?} (want cm|hll|morris|min)"
+            )),
+        }
+    }
+}
+
+/// One named object to register at server start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectConfig {
+    /// Registry name (resolved by `Client::object`).
+    pub name: String,
+    /// Which object kind to instantiate.
+    pub kind: ObjectKind,
+}
+
+impl ObjectConfig {
+    /// A named object of `kind`.
+    pub fn new(name: impl Into<String>, kind: ObjectKind) -> Self {
+        ObjectConfig {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+impl Default for ObjectConfig {
+    /// The default v1-compatible roster entry: a CountMin named "cm".
+    fn default() -> Self {
+        ObjectConfig::new("cm", ObjectKind::CountMin)
+    }
+}
+
+impl std::str::FromStr for ObjectConfig {
+    type Err = String;
+
+    /// Parses `name=kind`, or a bare `kind` (the kind string doubles
+    /// as the name).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, kind) = match s.split_once('=') {
+            Some((n, k)) => (n, k),
+            None => (s, s),
+        };
+        if name.is_empty() {
+            return Err("object name is empty".into());
+        }
+        Ok(ObjectConfig::new(name, kind.parse::<ObjectKind>()?))
+    }
+}
+
+/// A registry row as listed over the wire by `OBJECTS`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// Object id (the registry index carried in v2 frames).
+    pub id: u32,
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// Registry name.
+    pub name: String,
+}
+
+/// An update refused by an object's writer (the CountMin's shard pool
+/// is exhausted); maps to the protocol's `busy` error.
+#[derive(Clone, Debug)]
+pub struct ObjectBusy {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+/// One writer thread's per-object update state. A connection thread
+/// (threaded backend) or reactor thread (event-loop backend) holds at
+/// most one writer per object, created lazily on the object's first
+/// update — for the CountMin that writer owns the per-(object, shard)
+/// lease and the local write buffer; for the lock-free objects it is
+/// stateless.
+pub trait ObjectWriter: fmt::Debug {
+    /// Acquires whatever the writer needs before updates can apply
+    /// (the CountMin's shard lease); wait-free objects always succeed.
+    /// Called before every update batch so a previously `busy` writer
+    /// retries acquisition.
+    fn ensure_ready(&mut self) -> Result<(), ObjectBusy>;
+
+    /// Applies one `(key, weight)` update. Only called after
+    /// [`ensure_ready`](Self::ensure_ready) succeeded.
+    fn apply(&mut self, key: u64, weight: u64);
+
+    /// Propagates any locally buffered weight into the shared object.
+    fn flush(&mut self);
+
+    /// Flushes and drops any held shard lease; returns whether a lease
+    /// went back to its pool (so the server can wake lease waiters).
+    fn release(&mut self) -> bool;
+}
+
+/// A quantitative object the server can route requests to.
+///
+/// Implementations own their shared concurrent state, their per-object
+/// operation counters, and their envelope form; the server stays
+/// object-agnostic and just routes by id. Every impl must have a row
+/// in the "Served objects" table of `crates/concurrent/ORDERINGS.md`
+/// (enforced by `ivl_lint`) naming the concurrent core it serves and
+/// its verdict discipline.
+pub trait ServedObject: Send + Sync + fmt::Debug {
+    /// Which kind this object is.
+    fn kind(&self) -> ObjectKind;
+
+    /// Creates this object's per-writer update state.
+    fn writer<'a>(&'a self, metrics: &'a Metrics) -> Box<dyn ObjectWriter + 'a>;
+
+    /// Answers a query with this object's error envelope.
+    fn query(&self, key: u64) -> ErrorEnvelope;
+
+    /// Per-object operation counters (the `STATS` rows).
+    fn op_stats(&self) -> ObjectStats;
+
+    /// Free shard-lease slots, for lease-pooled objects (`None` when
+    /// the object's updates are wait-free and never refuse).
+    fn free_shards(&self) -> Option<usize> {
+        None
+    }
+
+    /// Downcast hook for the CountMin (tests and the v1 compatibility
+    /// surface reach its sketch and spec through this).
+    fn as_count_min(&self) -> Option<&ServedCountMin> {
+        None
+    }
+
+    /// Checks this object's projection of a recorded history against
+    /// its sequential spec. Returns the verdict (`None` when the
+    /// object has no deterministic strict check) and a note naming
+    /// what was checked.
+    fn check_projection(
+        &self,
+        projection: &History<(u64, u64), u64, u64>,
+    ) -> (Option<bool>, &'static str);
+}
+
+/// The per-object verdict row — Theorem 1 (locality) operationally: a
+/// recorded multi-object run is IVL iff every row's `ivl` is not
+/// `false`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectVerdict {
+    /// Object id.
+    pub id: u32,
+    /// Registry name.
+    pub name: String,
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// Operations in this object's projection.
+    pub ops: usize,
+    /// Projection verdict; `None` when no deterministic strict check
+    /// exists (see `note`).
+    pub ivl: Option<bool>,
+    /// What the verdict checked.
+    pub note: &'static str,
+}
+
+/// The named objects one server instance routes to. Object ids are
+/// indices into this registry and appear verbatim in v2 frames;
+/// object 0 is always a CountMin so v1 (object-id-less) frames keep
+/// their original meaning.
+pub struct ObjectRegistry {
+    entries: Vec<(String, Box<dyn ServedObject>)>,
+}
+
+impl fmt::Debug for ObjectRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.entries.iter().map(|(n, o)| (n, o.kind())))
+            .finish()
+    }
+}
+
+impl ObjectRegistry {
+    /// Builds a registry from object configs. `seed` feeds each
+    /// object's coin flips (perturbed per index so same-kind objects
+    /// hash independently); CountMin objects take `(alpha, delta)`,
+    /// `shards` and `write_buffer` from the server config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects` is empty, if object 0 is not a CountMin, or
+    /// if two objects share a name.
+    pub fn build(
+        objects: &[ObjectConfig],
+        alpha: f64,
+        delta: f64,
+        shards: usize,
+        write_buffer: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(!objects.is_empty(), "need at least one served object");
+        assert_eq!(
+            objects[0].kind,
+            ObjectKind::CountMin,
+            "object 0 must be a CountMin (the v1 frame target)"
+        );
+        let mut entries: Vec<(String, Box<dyn ServedObject>)> = Vec::with_capacity(objects.len());
+        for (idx, oc) in objects.iter().enumerate() {
+            assert!(
+                entries.iter().all(|(n, _)| n != &oc.name),
+                "duplicate object name {:?}",
+                oc.name
+            );
+            // Distinct streams per registry slot, so two `hll` objects
+            // do not share hash functions.
+            let mut coins = CoinFlips::from_seed(seed ^ ((idx as u64) << 32 | 0x0b1ec7));
+            let object: Box<dyn ServedObject> = match oc.kind {
+                ObjectKind::CountMin => Box::new(ServedCountMin::new(
+                    alpha,
+                    delta,
+                    shards,
+                    write_buffer,
+                    &mut coins,
+                )),
+                ObjectKind::Hll => Box::new(ServedHll::new(HLL_PRECISION, &mut coins)),
+                ObjectKind::Morris => Box::new(ServedMorris::new(MORRIS_A, coins)),
+                ObjectKind::MinRegister => Box::new(ServedMinRegister::new()),
+            };
+            entries.push((oc.name.clone(), object));
+        }
+        ObjectRegistry { entries }
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty (never true for a built registry).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The object with id `id`.
+    pub fn get(&self, id: u32) -> Option<&dyn ServedObject> {
+        self.entries.get(id as usize).map(|(_, o)| o.as_ref())
+    }
+
+    /// The object named `name`, with its id.
+    pub fn by_name(&self, name: &str) -> Option<(u32, &dyn ServedObject)> {
+        self.entries
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| (i as u32, self.entries[i].1.as_ref()))
+    }
+
+    /// The CountMin with id `id`, if that object is one.
+    pub fn cm(&self, id: u32) -> Option<&ServedCountMin> {
+        self.get(id).and_then(ServedObject::as_count_min)
+    }
+
+    /// The wire listing served by `OBJECTS`.
+    pub fn infos(&self) -> Vec<ObjectInfo> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (name, o))| ObjectInfo {
+                id: i as u32,
+                kind: o.kind(),
+                name: name.clone(),
+            })
+            .collect()
+    }
+
+    /// Per-object operation counters, ordered by id (the `STATS` rows).
+    pub fn stats_rows(&self) -> Vec<ObjectStats> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, o))| ObjectStats {
+                id: i as u32,
+                ..o.op_stats()
+            })
+            .collect()
+    }
+
+    /// Total acknowledged update weight across all objects (the
+    /// server-wide `stream_len`).
+    pub fn total_observed(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(_, o)| o.op_stats().observed)
+            .sum()
+    }
+
+    /// Free shard-lease slots summed over lease-pooled objects.
+    pub fn free_shards(&self) -> usize {
+        self.entries
+            .iter()
+            .filter_map(|(_, o)| o.free_shards())
+            .sum()
+    }
+
+    /// Checks every object's projection of `history` against its own
+    /// sequential spec — one [`ObjectVerdict`] per registered object
+    /// (Theorem 1's locality, per row).
+    pub fn verdicts(&self, history: &History<(u64, u64), u64, u64>) -> Vec<ObjectVerdict> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (name, o))| {
+                let projection = history.project(ivl_spec::history::ObjectId(i as u32));
+                let ops = projection.operations().len();
+                let (ivl, note) = o.check_projection(&projection);
+                ObjectVerdict {
+                    id: i as u32,
+                    name: name.clone(),
+                    kind: o.kind(),
+                    ops,
+                    ivl,
+                    note,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-object operation counters shared by every [`ServedObject`]
+/// implementation.
+#[derive(Debug, Default)]
+struct OpCounters {
+    updates: AtomicU64,
+    queries: AtomicU64,
+    observed: AtomicU64,
+}
+
+impl OpCounters {
+    fn note_update(&self, weight: u64) {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        self.observed.fetch_add(weight, Ordering::Relaxed);
+    }
+
+    fn note_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> ObjectStats {
+        ObjectStats {
+            id: 0, // filled by the registry
+            updates: self.updates.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            observed: self.observed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CountMin
+// ---------------------------------------------------------------------
+
+/// The sharded CountMin as a served object: everything the pre-registry
+/// server kept inline — prototype, [`ShardedPcm`], ingest counter, and
+/// the write-buffer discipline — behind the [`ServedObject`] interface.
+#[derive(Debug)]
+pub struct ServedCountMin {
+    /// Empty prototype fixing the coin flips; `sketch` shares its
+    /// hashes, and `WeightedCmSpec::new(proto.clone())` is the exact
+    /// sequential spec of this object.
+    proto: CountMin,
+    sketch: ShardedPcm,
+    /// Stream-weight counter, one single-writer slot per shard.
+    ingest: IvlBatchedCounter,
+    write_buffer: u64,
+    ops: OpCounters,
+}
+
+impl ServedCountMin {
+    /// Creates a sharded CountMin for `(alpha, delta)` with `shards`
+    /// single-writer shards and write-buffer batch `write_buffer`
+    /// (0 = strict).
+    pub fn new(
+        alpha: f64,
+        delta: f64,
+        shards: usize,
+        write_buffer: u64,
+        coins: &mut CoinFlips,
+    ) -> Self {
+        let params = CountMinParams::for_bounds(alpha, delta);
+        let proto = CountMin::new(params, coins);
+        ServedCountMin {
+            sketch: ShardedPcm::from_prototype(&proto, shards),
+            ingest: IvlBatchedCounter::new(shards),
+            write_buffer,
+            ops: OpCounters::default(),
+            proto,
+        }
+    }
+
+    /// The sketch dimensions in force.
+    pub fn params(&self) -> CountMinParams {
+        self.proto.params()
+    }
+
+    /// The shared sharded sketch (reads are always allowed).
+    pub fn sketch(&self) -> &ShardedPcm {
+        &self.sketch
+    }
+
+    /// This object's acknowledged stream weight (an IVL read).
+    pub fn stream_len(&self) -> u64 {
+        self.ingest.read()
+    }
+
+    /// The exact sequential spec of this object (clones the empty
+    /// prototype, so the spec carries the same sampled hashes).
+    pub fn spec(&self) -> WeightedCmSpec {
+        WeightedCmSpec::new(self.proto.clone())
+    }
+
+    /// The deferred-visibility bound advertised in every envelope: at
+    /// most `shards` writers each holding `< write_buffer` weight.
+    pub fn lag_bound(&self) -> u64 {
+        self.write_buffer
+            .saturating_mul(self.sketch.num_shards() as u64)
+    }
+}
+
+impl ServedObject for ServedCountMin {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::CountMin
+    }
+
+    fn writer<'a>(&'a self, metrics: &'a Metrics) -> Box<dyn ObjectWriter + 'a> {
+        Box::new(CmWriter {
+            obj: self,
+            metrics,
+            lease: None,
+            buffer: (self.write_buffer > 0)
+                .then(|| UpdateBuffer::new(self.proto.params().depth, self.write_buffer)),
+        })
+    }
+
+    fn query(&self, key: u64) -> ErrorEnvelope {
+        self.ops.note_query();
+        let estimate = self.sketch.estimate(key);
+        let stream_len = self.ingest.read();
+        let params = self.proto.params();
+        ErrorEnvelope::Frequency(Envelope::new(
+            key,
+            estimate,
+            stream_len,
+            params.alpha(),
+            params.delta(),
+            self.lag_bound(),
+        ))
+    }
+
+    fn op_stats(&self) -> ObjectStats {
+        ObjectStats {
+            observed: self.ingest.read(),
+            ..self.ops.stats()
+        }
+    }
+
+    fn free_shards(&self) -> Option<usize> {
+        Some(self.sketch.free_shards())
+    }
+
+    fn as_count_min(&self) -> Option<&ServedCountMin> {
+        Some(self)
+    }
+
+    fn check_projection(
+        &self,
+        projection: &History<(u64, u64), u64, u64>,
+    ) -> (Option<bool>, &'static str) {
+        if self.write_buffer > 0 {
+            // Acknowledged-before-visible is the advertised relaxation
+            // (envelope lag); the strict check would fail by design.
+            return (
+                None,
+                "write-buffered: strict check waived, bound is the envelope lag",
+            );
+        }
+        (
+            Some(check_ivl_monotone(&self.spec(), projection).is_ivl()),
+            "frequency estimates vs the weighted CountMin spec",
+        )
+    }
+}
+
+/// CountMin per-writer state: the per-(object, shard) lease plus the
+/// local coalescing buffer.
+struct CmWriter<'a> {
+    obj: &'a ServedCountMin,
+    metrics: &'a Metrics,
+    lease: Option<ShardLease<'a>>,
+    buffer: Option<UpdateBuffer>,
+}
+
+impl fmt::Debug for CmWriter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CmWriter")
+            .field("leased", &self.lease.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObjectWriter for CmWriter<'_> {
+    fn ensure_ready(&mut self) -> Result<(), ObjectBusy> {
+        if self.lease.is_none() {
+            self.lease = self.obj.sketch.lease();
+        }
+        if self.lease.is_some() {
+            Ok(())
+        } else {
+            Err(ObjectBusy {
+                message: format!("all {} shards leased", self.obj.sketch.num_shards()),
+            })
+        }
+    }
+
+    fn apply(&mut self, key: u64, weight: u64) {
+        let lease = self.lease.as_mut().expect("ensure_ready acquired a lease");
+        if let Some(buf) = self.buffer.as_mut() {
+            self.metrics.record_buffered(weight.max(1));
+            if buf.push(self.obj.sketch.hashes(), key, weight) {
+                let flushed = buf.drain(|cols, count| lease.apply_rows(cols, count));
+                self.metrics.record_flush(flushed);
+            }
+        } else {
+            lease.update_by(key, weight);
+        }
+        self.obj.ingest.update_slot(lease.shard(), weight);
+        self.obj.ops.note_update(0); // observed comes from `ingest`
+    }
+
+    fn flush(&mut self) {
+        if let (Some(buf), Some(lease)) = (self.buffer.as_mut(), self.lease.as_mut()) {
+            if !buf.is_empty() {
+                let flushed = buf.drain(|cols, count| lease.apply_rows(cols, count));
+                self.metrics.record_flush(flushed);
+            }
+        }
+    }
+
+    fn release(&mut self) -> bool {
+        self.flush();
+        self.lease.take().is_some()
+    }
+}
+
+// ---------------------------------------------------------------------
+// HyperLogLog
+// ---------------------------------------------------------------------
+
+/// Sequential spec of the served HLL, with the **register sum** as the
+/// query value: registers are max-registers, so the sum is a monotone,
+/// commutative functional of the update set — exactly the shape the
+/// interval checker needs (the corrected float estimate is monotone
+/// too, but piecewise; the integer sum is the checkable projection).
+#[derive(Clone, Debug)]
+pub struct HllSumSpec {
+    proto: HyperLogLog,
+}
+
+impl ObjectSpec for HllSumSpec {
+    type Update = (u64, u64);
+    type Query = u64;
+    type Value = u64;
+    type State = HyperLogLog;
+
+    fn initial_state(&self) -> HyperLogLog {
+        self.proto.clone()
+    }
+
+    fn apply_update(&self, state: &mut HyperLogLog, &(key, _weight): &(u64, u64)) {
+        state.update(key);
+    }
+
+    fn eval_query(&self, state: &HyperLogLog, _q: &u64) -> u64 {
+        state.registers().iter().map(|&r| r as u64).sum()
+    }
+}
+
+impl MonotoneSpec for HllSumSpec {}
+
+/// A concurrent HLL as a served object.
+#[derive(Debug)]
+pub struct ServedHll {
+    hll: ConcurrentHll,
+    ops: OpCounters,
+}
+
+impl ServedHll {
+    /// Creates an HLL with `2^precision` registers.
+    pub fn new(precision: u32, coins: &mut CoinFlips) -> Self {
+        ServedHll {
+            hll: ConcurrentHll::new(precision, coins),
+            ops: OpCounters::default(),
+        }
+    }
+
+    /// The exact sequential spec of this object's register sum.
+    pub fn spec(&self) -> HllSumSpec {
+        HllSumSpec {
+            proto: self.hll.prototype().clone(),
+        }
+    }
+}
+
+impl ServedObject for ServedHll {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Hll
+    }
+
+    fn writer<'a>(&'a self, _metrics: &'a Metrics) -> Box<dyn ObjectWriter + 'a> {
+        Box::new(AtomicWriter { obj: self })
+    }
+
+    fn query(&self, _key: u64) -> ErrorEnvelope {
+        self.ops.note_query();
+        // One snapshot feeds both the estimate and the checkable sum,
+        // so the recorded query value matches the served envelope.
+        let snap = self.hll.registers_snapshot();
+        let register_sum = snap.iter().map(|&r| r as u64).sum();
+        let mut seq = self.hll.prototype().clone();
+        seq.merge_registers(&snap);
+        ErrorEnvelope::Cardinality {
+            estimate: seq.estimate(),
+            rel_std_err: seq.standard_error(),
+            registers: snap.len() as u64,
+            register_sum,
+            observed: self.ops.observed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn op_stats(&self) -> ObjectStats {
+        self.ops.stats()
+    }
+
+    fn check_projection(
+        &self,
+        projection: &History<(u64, u64), u64, u64>,
+    ) -> (Option<bool>, &'static str) {
+        (
+            Some(check_ivl_monotone(&self.spec(), projection).is_ivl()),
+            "register sums vs the sequential HLL replay",
+        )
+    }
+}
+
+impl AtomicApply for ServedHll {
+    fn apply_one(&self, key: u64, weight: u64) {
+        // Set semantics: the item is observed once; `weight` only
+        // feeds the acknowledged-weight counter.
+        self.hll.update(key);
+        self.ops.note_update(weight);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Morris
+// ---------------------------------------------------------------------
+
+/// Sequential spec of an object's acknowledged-weight counter: updates
+/// add their weight, queries read the total. This is the deterministic
+/// projection every served object exposes through its envelope's
+/// `observed` field; it is the whole strict story for Morris, whose
+/// estimator coins live server-side.
+#[derive(Clone, Debug, Default)]
+pub struct AckCounterSpec;
+
+impl ObjectSpec for AckCounterSpec {
+    type Update = (u64, u64);
+    type Query = u64;
+    type Value = u64;
+    type State = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn apply_update(&self, state: &mut u64, &(_key, weight): &(u64, u64)) {
+        *state += weight;
+    }
+
+    fn eval_query(&self, state: &u64, _q: &u64) -> u64 {
+        *state
+    }
+}
+
+impl MonotoneSpec for AckCounterSpec {}
+
+/// A concurrent Morris counter as a served object.
+#[derive(Debug)]
+pub struct ServedMorris {
+    morris: ConcurrentMorris,
+    a: f64,
+    ops: OpCounters,
+}
+
+impl ServedMorris {
+    /// Creates a Morris counter with accuracy parameter `a`.
+    pub fn new(a: f64, coins: CoinFlips) -> Self {
+        ServedMorris {
+            morris: ConcurrentMorris::new(a, coins),
+            a,
+            ops: OpCounters::default(),
+        }
+    }
+}
+
+impl ServedObject for ServedMorris {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Morris
+    }
+
+    fn writer<'a>(&'a self, _metrics: &'a Metrics) -> Box<dyn ObjectWriter + 'a> {
+        Box::new(AtomicWriter { obj: self })
+    }
+
+    fn query(&self, _key: u64) -> ErrorEnvelope {
+        self.ops.note_query();
+        // Exponent before estimate: the estimate is derived from the
+        // exponent, and reading the monotone value first keeps the
+        // recorded value a lower bound of what the envelope shows.
+        let exponent = self.morris.exponent();
+        ErrorEnvelope::ApproxCount {
+            estimate: ((1.0 + self.a).powi(exponent as i32) - 1.0) / self.a,
+            a: self.a,
+            exponent,
+            observed: self.ops.observed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn op_stats(&self) -> ObjectStats {
+        self.ops.stats()
+    }
+
+    fn check_projection(
+        &self,
+        projection: &History<(u64, u64), u64, u64>,
+    ) -> (Option<bool>, &'static str) {
+        (
+            Some(check_ivl_monotone(&AckCounterSpec, projection).is_ivl()),
+            "acknowledged-weight counter (estimator coins are server-side)",
+        )
+    }
+}
+
+impl AtomicApply for ServedMorris {
+    fn apply_one(&self, _key: u64, weight: u64) {
+        // `weight` events, clamped against hostile frame weights; the
+        // acknowledged counter always gets the full weight.
+        for _ in 0..weight.min(MORRIS_MAX_EVENTS_PER_UPDATE) {
+            self.morris.update();
+        }
+        self.ops.note_update(weight);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Min register
+// ---------------------------------------------------------------------
+
+/// Sequential spec of the served min register: updates lower the
+/// minimum to at most their key (weights ignored), queries read it.
+/// Antitone; the endpoint-sorting interval checker handles it.
+#[derive(Clone, Debug, Default)]
+pub struct ServedMinSpec;
+
+impl ObjectSpec for ServedMinSpec {
+    type Update = (u64, u64);
+    type Query = u64;
+    type Value = u64;
+    type State = u64;
+
+    fn initial_state(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn apply_update(&self, state: &mut u64, &(key, _weight): &(u64, u64)) {
+        *state = (*state).min(key);
+    }
+
+    fn eval_query(&self, state: &u64, _q: &u64) -> u64 {
+        *state
+    }
+}
+
+impl MonotoneSpec for ServedMinSpec {}
+
+/// A concurrent min register as a served object.
+#[derive(Debug, Default)]
+pub struct ServedMinRegister {
+    reg: ConcurrentMinRegister,
+    ops: OpCounters,
+}
+
+impl ServedMinRegister {
+    /// Creates an empty min register.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ServedObject for ServedMinRegister {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::MinRegister
+    }
+
+    fn writer<'a>(&'a self, _metrics: &'a Metrics) -> Box<dyn ObjectWriter + 'a> {
+        Box::new(AtomicWriter { obj: self })
+    }
+
+    fn query(&self, _key: u64) -> ErrorEnvelope {
+        self.ops.note_query();
+        ErrorEnvelope::Minimum {
+            minimum: self.reg.min(),
+            observed: self.ops.observed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn op_stats(&self) -> ObjectStats {
+        self.ops.stats()
+    }
+
+    fn check_projection(
+        &self,
+        projection: &History<(u64, u64), u64, u64>,
+    ) -> (Option<bool>, &'static str) {
+        (
+            Some(check_ivl_monotone(&ServedMinSpec, projection).is_ivl()),
+            "minima vs the antitone min-register spec",
+        )
+    }
+}
+
+impl AtomicApply for ServedMinRegister {
+    fn apply_one(&self, key: u64, weight: u64) {
+        self.reg.insert(key);
+        self.ops.note_update(weight);
+    }
+}
+
+/// Shared writer shape for the wait-free objects: updates go straight
+/// to the shared atomics, no lease, no buffer, never busy.
+trait AtomicApply: ServedObject {
+    /// Applies one update to the shared object.
+    fn apply_one(&self, key: u64, weight: u64);
+}
+
+struct AtomicWriter<'a, T: AtomicApply + ?Sized> {
+    obj: &'a T,
+}
+
+impl<T: AtomicApply + ?Sized> fmt::Debug for AtomicWriter<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicWriter").finish_non_exhaustive()
+    }
+}
+
+impl<T: AtomicApply + ?Sized> ObjectWriter for AtomicWriter<'_, T> {
+    fn ensure_ready(&mut self) -> Result<(), ObjectBusy> {
+        Ok(())
+    }
+
+    fn apply(&mut self, key: u64, weight: u64) {
+        self.obj.apply_one(key, weight);
+    }
+
+    fn flush(&mut self) {}
+
+    fn release(&mut self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_spec::history::{HistoryBuilder, ObjectId, ProcessId};
+
+    fn registry() -> ObjectRegistry {
+        ObjectRegistry::build(
+            &[
+                ObjectConfig::new("cm", ObjectKind::CountMin),
+                ObjectConfig::new("hll", ObjectKind::Hll),
+                ObjectConfig::new("morris", ObjectKind::Morris),
+                ObjectConfig::new("low", ObjectKind::MinRegister),
+            ],
+            0.005,
+            0.01,
+            2,
+            0,
+            7,
+        )
+    }
+
+    #[test]
+    fn kinds_roundtrip_through_wire_tags_and_strings() {
+        for kind in [
+            ObjectKind::CountMin,
+            ObjectKind::Hll,
+            ObjectKind::Morris,
+            ObjectKind::MinRegister,
+        ] {
+            assert_eq!(ObjectKind::from_u8(kind.to_u8()), Some(kind));
+            assert_eq!(kind.to_string().parse::<ObjectKind>().unwrap(), kind);
+        }
+        assert_eq!(ObjectKind::from_u8(9), None);
+        assert!("quartz".parse::<ObjectKind>().is_err());
+    }
+
+    #[test]
+    fn object_config_parses_named_and_bare_forms() {
+        let oc: ObjectConfig = "heavy=cm".parse().unwrap();
+        assert_eq!(oc, ObjectConfig::new("heavy", ObjectKind::CountMin));
+        let oc: ObjectConfig = "hll".parse().unwrap();
+        assert_eq!(oc, ObjectConfig::new("hll", ObjectKind::Hll));
+        assert!("=cm".parse::<ObjectConfig>().is_err());
+        assert!("x=warp".parse::<ObjectConfig>().is_err());
+    }
+
+    #[test]
+    fn registry_routes_by_id_and_name() {
+        let r = registry();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.get(1).unwrap().kind(), ObjectKind::Hll);
+        assert_eq!(r.get(9).map(|o| o.kind()), None);
+        let (id, obj) = r.by_name("low").unwrap();
+        assert_eq!((id, obj.kind()), (3, ObjectKind::MinRegister));
+        assert!(r.by_name("nope").is_none());
+        assert!(r.cm(0).is_some());
+        assert!(r.cm(1).is_none());
+        let infos = r.infos();
+        assert_eq!(infos[2].name, "morris");
+        assert_eq!(infos[2].id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "object 0 must be a CountMin")]
+    fn registry_rejects_non_cm_object_zero() {
+        ObjectRegistry::build(
+            &[ObjectConfig::new("h", ObjectKind::Hll)],
+            0.005,
+            0.01,
+            1,
+            0,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate object name")]
+    fn registry_rejects_duplicate_names() {
+        ObjectRegistry::build(
+            &[
+                ObjectConfig::new("x", ObjectKind::CountMin),
+                ObjectConfig::new("x", ObjectKind::Hll),
+            ],
+            0.005,
+            0.01,
+            1,
+            0,
+            1,
+        );
+    }
+
+    #[test]
+    fn writers_update_and_envelopes_reflect_state() {
+        let metrics = Metrics::new();
+        let r = registry();
+        for id in 0..4u32 {
+            let obj = r.get(id).unwrap();
+            let mut w = obj.writer(&metrics);
+            w.ensure_ready().unwrap();
+            w.apply(41, 3);
+            w.apply(100, 2);
+            w.release();
+        }
+        match r.get(0).unwrap().query(41) {
+            ErrorEnvelope::Frequency(env) => {
+                assert_eq!(env.estimate, 3);
+                assert_eq!(env.stream_len, 5);
+            }
+            other => panic!("wanted frequency envelope, got {other:?}"),
+        }
+        match r.get(1).unwrap().query(0) {
+            ErrorEnvelope::Cardinality {
+                register_sum,
+                observed,
+                registers,
+                ..
+            } => {
+                assert!(register_sum > 0);
+                assert_eq!(observed, 5);
+                assert_eq!(registers, 1 << HLL_PRECISION);
+            }
+            other => panic!("wanted cardinality envelope, got {other:?}"),
+        }
+        match r.get(2).unwrap().query(0) {
+            ErrorEnvelope::ApproxCount {
+                observed, estimate, ..
+            } => {
+                assert_eq!(observed, 5);
+                assert!(estimate >= 0.0);
+            }
+            other => panic!("wanted approx-count envelope, got {other:?}"),
+        }
+        match r.get(3).unwrap().query(0) {
+            ErrorEnvelope::Minimum { minimum, observed } => {
+                assert_eq!(minimum, 41);
+                assert_eq!(observed, 5);
+            }
+            other => panic!("wanted minimum envelope, got {other:?}"),
+        }
+        assert_eq!(r.total_observed(), 20);
+        let rows = r.stats_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|row| row.updates == 2));
+        assert!(rows.iter().all(|row| row.queries == 1));
+    }
+
+    #[test]
+    fn cm_writer_reports_busy_when_pool_exhausted() {
+        let metrics = Metrics::new();
+        let r = ObjectRegistry::build(
+            &[ObjectConfig::new("cm", ObjectKind::CountMin)],
+            0.005,
+            0.01,
+            1,
+            0,
+            1,
+        );
+        let obj = r.get(0).unwrap();
+        let mut a = obj.writer(&metrics);
+        a.ensure_ready().unwrap();
+        let mut b = obj.writer(&metrics);
+        assert!(b.ensure_ready().is_err());
+        assert_eq!(r.free_shards(), 0);
+        assert!(a.release());
+        assert!(b.ensure_ready().is_ok());
+    }
+
+    #[test]
+    fn per_object_verdicts_accept_a_clean_multi_object_history() {
+        let r = registry();
+        let metrics = Metrics::new();
+        let mut b = HistoryBuilder::<(u64, u64), u64, u64>::new();
+        let p = ProcessId(0);
+        // Drive the real objects and record what they actually served,
+        // sequentially — every projection must then be IVL.
+        for id in 0..4u32 {
+            let obj = r.get(id).unwrap();
+            let mut w = obj.writer(&metrics);
+            w.ensure_ready().unwrap();
+            for k in [5u64, 9, 5] {
+                let u = b.invoke_update(p, ObjectId(id), (k, 2));
+                w.apply(k, 2);
+                b.respond_update(u);
+            }
+            w.release();
+            let q = b.invoke_query(p, ObjectId(id), 5);
+            b.respond_query(q, r.get(id).unwrap().query(5).value());
+        }
+        let h = b.finish();
+        let verdicts = r.verdicts(&h);
+        assert_eq!(verdicts.len(), 4);
+        for v in &verdicts {
+            assert_eq!(v.ops, 4, "{}: {} ops", v.name, v.ops);
+            assert_eq!(
+                v.ivl,
+                Some(true),
+                "{} projection not IVL: {}",
+                v.name,
+                v.note
+            );
+        }
+    }
+
+    #[test]
+    fn write_buffered_cm_waives_the_strict_check() {
+        let r = ObjectRegistry::build(
+            &[ObjectConfig::new("cm", ObjectKind::CountMin)],
+            0.005,
+            0.01,
+            1,
+            8,
+            1,
+        );
+        let h = HistoryBuilder::<(u64, u64), u64, u64>::new().finish();
+        let v = &r.verdicts(&h)[0];
+        assert_eq!(v.ivl, None);
+        assert!(v.note.contains("write-buffered"));
+    }
+
+    #[test]
+    fn morris_clamps_estimator_events_but_acknowledges_all_weight() {
+        let metrics = Metrics::new();
+        let obj = ServedMorris::new(MORRIS_A, CoinFlips::from_seed(5));
+        let mut w = obj.writer(&metrics);
+        w.ensure_ready().unwrap();
+        w.apply(0, u64::MAX); // must terminate quickly
+        match obj.query(0) {
+            ErrorEnvelope::ApproxCount { observed, .. } => assert_eq!(observed, u64::MAX),
+            other => panic!("wanted approx-count envelope, got {other:?}"),
+        }
+    }
+}

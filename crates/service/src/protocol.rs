@@ -9,12 +9,22 @@
 //! at the next frame boundary. Only a corrupted length prefix
 //! (truncated or oversized) forces the connection closed.
 //!
-//! Request opcodes: `UPDATE` 0x01, `QUERY` 0x02, `BATCH` 0x03, `STATS`
-//! 0x04, `SHUTDOWN` 0x05. Response opcodes: `ACK` 0x81, `ENVELOPE`
-//! 0x82, `STATS` 0x84, `GOODBYE` 0x85, `ERROR` 0xEE.
+//! Two request generations share the stream (see README for the frame
+//! tables). **v1** opcodes carry no object id and always address
+//! object 0: `UPDATE` 0x01, `QUERY` 0x02, `BATCH` 0x03, `STATS` 0x04,
+//! `SHUTDOWN` 0x05. **v2** opcodes lead their body with a `u32` object
+//! id (a registry index): `OBJECTS` 0x06, `UPDATE2` 0x11, `QUERY2`
+//! 0x12, `BATCH2` 0x13. Encoding picks the generation by object id —
+//! object 0 emits the v1 form byte-for-byte, so a registry-unaware
+//! peer sees exactly the old protocol; decoding accepts both.
+//! Response opcodes: `ACK` 0x81, `ENVELOPE` 0x82 (the legacy CountMin
+//! frequency body), `ENVELOPE2` 0x83 (object-kind-tagged envelope
+//! bodies for the other kinds), `STATS` 0x84, `GOODBYE` 0x85,
+//! `OBJECTS` 0x86, `ERROR` 0xEE.
 
-use crate::envelope::Envelope;
-use crate::metrics::StatsReport;
+use crate::envelope::{Envelope, ErrorEnvelope};
+use crate::metrics::{ObjectStats, StatsReport};
+use crate::objects::{ObjectInfo, ObjectKind};
 use std::fmt;
 use std::io::{self, Read};
 
@@ -82,6 +92,8 @@ pub enum ErrorCode {
     Protocol,
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// The frame's object id names no registered object.
+    UnknownObject,
 }
 
 impl ErrorCode {
@@ -90,6 +102,7 @@ impl ErrorCode {
             ErrorCode::Busy => 1,
             ErrorCode::Protocol => 2,
             ErrorCode::ShuttingDown => 3,
+            ErrorCode::UnknownObject => 4,
         }
     }
 
@@ -98,6 +111,7 @@ impl ErrorCode {
             1 => Ok(ErrorCode::Busy),
             2 => Ok(ErrorCode::Protocol),
             3 => Ok(ErrorCode::ShuttingDown),
+            4 => Ok(ErrorCode::UnknownObject),
             _ => Err(WireError::Malformed("unknown error code")),
         }
     }
@@ -109,31 +123,44 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Busy => write!(f, "busy"),
             ErrorCode::Protocol => write!(f, "protocol"),
             ErrorCode::ShuttingDown => write!(f, "shutting-down"),
+            ErrorCode::UnknownObject => write!(f, "unknown-object"),
         }
     }
 }
 
-/// A client-to-server frame.
+/// A client-to-server frame. Update, query, and batch requests address
+/// one registered object by id; id 0 (always a CountMin) is the v1
+/// compatibility target and encodes in the object-id-less v1 form.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
-    /// Ingest `weight` occurrences of `key` (the sketch's batched
-    /// update).
+    /// Ingest `weight` occurrences of `key` into `object`.
     Update {
+        /// Target object id (registry index).
+        object: u32,
         /// Item to count.
         key: u64,
         /// Occurrence count folded in by this update.
         weight: u64,
     },
-    /// Ask for `key`'s frequency estimate with its IVL error envelope.
+    /// Ask `object` for `key`'s estimate with its IVL error envelope.
     Query {
+        /// Target object id (registry index).
+        object: u32,
         /// Item to estimate.
         key: u64,
     },
-    /// Ingest many `(key, weight)` pairs under one frame (at most
-    /// [`MAX_BATCH_ITEMS`]).
-    Batch(Vec<(u64, u64)>),
+    /// Ingest many `(key, weight)` pairs into `object` under one frame
+    /// (at most [`MAX_BATCH_ITEMS`]).
+    Batch {
+        /// Target object id (registry index).
+        object: u32,
+        /// The `(key, weight)` pairs to ingest, in order.
+        items: Vec<(u64, u64)>,
+    },
     /// Ask for the server's operation counters and latency quantiles.
     Stats,
+    /// Ask for the registry listing (id, kind, name per object).
+    Objects,
     /// Stop accepting connections and drain.
     Shutdown,
 }
@@ -147,10 +174,14 @@ pub enum Response {
         /// Updates applied on this connection so far.
         applied: u64,
     },
-    /// Answer to a query: the estimate wrapped in its (ε,δ) envelope.
-    Envelope(Envelope),
+    /// Answer to a query: the estimate wrapped in the queried object's
+    /// error envelope (frequency envelopes travel in the legacy v1
+    /// frame, other kinds in the kind-tagged v2 frame).
+    Envelope(ErrorEnvelope),
     /// Answer to a stats request.
     Stats(StatsReport),
+    /// Answer to an objects request: the registry listing.
+    Objects(Vec<ObjectInfo>),
     /// Acknowledges a shutdown request; the connection closes after.
     Goodbye,
     /// The request was refused.
@@ -167,11 +198,23 @@ const OP_QUERY: u8 = 0x02;
 const OP_BATCH: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_OBJECTS: u8 = 0x06;
+const OP_UPDATE2: u8 = 0x11;
+const OP_QUERY2: u8 = 0x12;
+const OP_BATCH2: u8 = 0x13;
 const OP_ACK: u8 = 0x81;
 const OP_ENVELOPE: u8 = 0x82;
+const OP_ENVELOPE2: u8 = 0x83;
 const OP_STATS_REPLY: u8 = 0x84;
 const OP_GOODBYE: u8 = 0x85;
+const OP_OBJECTS_REPLY: u8 = 0x86;
 const OP_ERROR: u8 = 0xEE;
+
+/// Kind tags inside an `ENVELOPE2` body (one per non-frequency
+/// [`ErrorEnvelope`] variant; frequency rides the legacy `ENVELOPE`).
+const ENV_CARDINALITY: u8 = 1;
+const ENV_APPROX_COUNT: u8 = 2;
+const ENV_MINIMUM: u8 = 3;
 
 /// Sequential reader over a frame body with schema-error reporting.
 struct Body<'a> {
@@ -243,36 +286,82 @@ fn frame(buf: &mut Vec<u8>, opcode: u8, body: impl FnOnce(&mut Vec<u8>)) {
 }
 
 impl Request {
-    /// Appends this request as one frame to `buf`.
+    /// Appends this request as one frame to `buf`. Requests addressing
+    /// object 0 emit the v1 (object-id-less) opcodes byte-for-byte;
+    /// any other object id emits the v2 opcode with the id leading the
+    /// body.
     pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Request::Update { key, weight } => frame(buf, OP_UPDATE, |b| {
+            Request::Update {
+                object: 0,
+                key,
+                weight,
+            } => frame(buf, OP_UPDATE, |b| {
                 push_u64(b, *key);
                 push_u64(b, *weight);
             }),
-            Request::Query { key } => frame(buf, OP_QUERY, |b| push_u64(b, *key)),
-            Request::Batch(items) => frame(buf, OP_BATCH, |b| {
-                push_u32(b, items.len() as u32);
-                for (k, w) in items {
-                    push_u64(b, *k);
-                    push_u64(b, *w);
-                }
+            Request::Update {
+                object,
+                key,
+                weight,
+            } => frame(buf, OP_UPDATE2, |b| {
+                push_u32(b, *object);
+                push_u64(b, *key);
+                push_u64(b, *weight);
             }),
+            Request::Query { object: 0, key } => frame(buf, OP_QUERY, |b| push_u64(b, *key)),
+            Request::Query { object, key } => frame(buf, OP_QUERY2, |b| {
+                push_u32(b, *object);
+                push_u64(b, *key);
+            }),
+            Request::Batch { object, items } => {
+                let (op, object) = if *object == 0 {
+                    (OP_BATCH, None)
+                } else {
+                    (OP_BATCH2, Some(*object))
+                };
+                frame(buf, op, |b| {
+                    if let Some(id) = object {
+                        push_u32(b, id);
+                    }
+                    push_u32(b, items.len() as u32);
+                    for (k, w) in items {
+                        push_u64(b, *k);
+                        push_u64(b, *w);
+                    }
+                })
+            }
             Request::Stats => frame(buf, OP_STATS, |_| {}),
+            Request::Objects => frame(buf, OP_OBJECTS, |_| {}),
             Request::Shutdown => frame(buf, OP_SHUTDOWN, |_| {}),
         }
     }
 
-    /// Parses a request from a frame payload (opcode + body).
+    /// Parses a request from a frame payload (opcode + body). v1
+    /// opcodes decode with `object: 0`.
     pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
         let mut b = Body::new(payload);
         let req = match b.u8()? {
             OP_UPDATE => Request::Update {
+                object: 0,
                 key: b.u64()?,
                 weight: b.u64()?,
             },
-            OP_QUERY => Request::Query { key: b.u64()? },
-            OP_BATCH => {
+            OP_UPDATE2 => Request::Update {
+                object: b.u32()?,
+                key: b.u64()?,
+                weight: b.u64()?,
+            },
+            OP_QUERY => Request::Query {
+                object: 0,
+                key: b.u64()?,
+            },
+            OP_QUERY2 => Request::Query {
+                object: b.u32()?,
+                key: b.u64()?,
+            },
+            op @ (OP_BATCH | OP_BATCH2) => {
+                let object = if op == OP_BATCH2 { b.u32()? } else { 0 };
                 let count = b.u32()?;
                 if count > MAX_BATCH_ITEMS {
                     return Err(WireError::Malformed("batch exceeds MAX_BATCH_ITEMS"));
@@ -281,14 +370,25 @@ impl Request {
                 for _ in 0..count {
                     items.push((b.u64()?, b.u64()?));
                 }
-                Request::Batch(items)
+                Request::Batch { object, items }
             }
             OP_STATS => Request::Stats,
+            OP_OBJECTS => Request::Objects,
             OP_SHUTDOWN => Request::Shutdown,
             op => return Err(WireError::UnknownOpcode(op)),
         };
         b.finish()?;
         Ok(req)
+    }
+
+    /// The object id this request addresses, when it addresses one.
+    pub fn object(&self) -> Option<u32> {
+        match self {
+            Request::Update { object, .. }
+            | Request::Query { object, .. }
+            | Request::Batch { object, .. } => Some(*object),
+            Request::Stats | Request::Objects | Request::Shutdown => None,
+        }
     }
 }
 
@@ -297,7 +397,7 @@ impl Response {
     pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Response::Ack { applied } => frame(buf, OP_ACK, |b| push_u64(b, *applied)),
-            Response::Envelope(env) => frame(buf, OP_ENVELOPE, |b| {
+            Response::Envelope(ErrorEnvelope::Frequency(env)) => frame(buf, OP_ENVELOPE, |b| {
                 push_u64(b, env.key);
                 push_u64(b, env.estimate);
                 push_u64(b, env.epsilon);
@@ -306,9 +406,58 @@ impl Response {
                 push_u64(b, env.delta.to_bits());
                 push_u64(b, env.lag);
             }),
+            Response::Envelope(ErrorEnvelope::Cardinality {
+                estimate,
+                rel_std_err,
+                registers,
+                register_sum,
+                observed,
+            }) => frame(buf, OP_ENVELOPE2, |b| {
+                b.push(ENV_CARDINALITY);
+                push_u64(b, estimate.to_bits());
+                push_u64(b, rel_std_err.to_bits());
+                push_u64(b, *registers);
+                push_u64(b, *register_sum);
+                push_u64(b, *observed);
+            }),
+            Response::Envelope(ErrorEnvelope::ApproxCount {
+                estimate,
+                a,
+                exponent,
+                observed,
+            }) => frame(buf, OP_ENVELOPE2, |b| {
+                b.push(ENV_APPROX_COUNT);
+                push_u64(b, estimate.to_bits());
+                push_u64(b, a.to_bits());
+                push_u32(b, *exponent);
+                push_u64(b, *observed);
+            }),
+            Response::Envelope(ErrorEnvelope::Minimum { minimum, observed }) => {
+                frame(buf, OP_ENVELOPE2, |b| {
+                    b.push(ENV_MINIMUM);
+                    push_u64(b, *minimum);
+                    push_u64(b, *observed);
+                })
+            }
             Response::Stats(report) => frame(buf, OP_STATS_REPLY, |b| {
                 for field in report.as_fields() {
                     push_u64(b, field);
+                }
+                push_u32(b, report.objects.len() as u32);
+                for row in &report.objects {
+                    push_u32(b, row.id);
+                    push_u64(b, row.updates);
+                    push_u64(b, row.queries);
+                    push_u64(b, row.observed);
+                }
+            }),
+            Response::Objects(infos) => frame(buf, OP_OBJECTS_REPLY, |b| {
+                push_u32(b, infos.len() as u32);
+                for info in infos {
+                    push_u32(b, info.id);
+                    b.push(info.kind.to_u8());
+                    push_u32(b, info.name.len() as u32);
+                    b.extend_from_slice(info.name.as_bytes());
                 }
             }),
             Response::Goodbye => frame(buf, OP_GOODBYE, |_| {}),
@@ -325,7 +474,7 @@ impl Response {
         let mut b = Body::new(payload);
         let rsp = match b.u8()? {
             OP_ACK => Response::Ack { applied: b.u64()? },
-            OP_ENVELOPE => Response::Envelope(Envelope {
+            OP_ENVELOPE => Response::Envelope(ErrorEnvelope::Frequency(Envelope {
                 key: b.u64()?,
                 estimate: b.u64()?,
                 epsilon: b.u64()?,
@@ -333,13 +482,63 @@ impl Response {
                 alpha: b.f64()?,
                 delta: b.f64()?,
                 lag: b.u64()?,
+            })),
+            OP_ENVELOPE2 => Response::Envelope(match b.u8()? {
+                ENV_CARDINALITY => ErrorEnvelope::Cardinality {
+                    estimate: b.f64()?,
+                    rel_std_err: b.f64()?,
+                    registers: b.u64()?,
+                    register_sum: b.u64()?,
+                    observed: b.u64()?,
+                },
+                ENV_APPROX_COUNT => ErrorEnvelope::ApproxCount {
+                    estimate: b.f64()?,
+                    a: b.f64()?,
+                    exponent: b.u32()?,
+                    observed: b.u64()?,
+                },
+                ENV_MINIMUM => ErrorEnvelope::Minimum {
+                    minimum: b.u64()?,
+                    observed: b.u64()?,
+                },
+                _ => return Err(WireError::Malformed("unknown envelope kind tag")),
             }),
             OP_STATS_REPLY => {
                 let mut fields = [0u64; StatsReport::NUM_FIELDS];
                 for f in &mut fields {
                     *f = b.u64()?;
                 }
-                Response::Stats(StatsReport::from_fields(fields))
+                let mut report = StatsReport::from_fields(fields);
+                let rows = b.u32()?;
+                for _ in 0..rows {
+                    report.objects.push(ObjectStats {
+                        id: b.u32()?,
+                        updates: b.u64()?,
+                        queries: b.u64()?,
+                        observed: b.u64()?,
+                    });
+                }
+                Response::Stats(report)
+            }
+            OP_OBJECTS_REPLY => {
+                let count = b.u32()?;
+                let mut infos = Vec::with_capacity(count.min(1024) as usize);
+                for _ in 0..count {
+                    let id = b.u32()?;
+                    let kind = ObjectKind::from_u8(b.u8()?)
+                        .ok_or(WireError::Malformed("unknown object kind tag"))?;
+                    let len = b.u32()? as usize;
+                    if b.rest.len() < len {
+                        return Err(WireError::Malformed("body shorter than its schema"));
+                    }
+                    let (raw, rest) = b.rest.split_at(len);
+                    b.rest = rest;
+                    let name = std::str::from_utf8(raw)
+                        .map_err(|_| WireError::Malformed("object name is not UTF-8"))?
+                        .to_owned();
+                    infos.push(ObjectInfo { id, kind, name });
+                }
+                Response::Objects(infos)
             }
             OP_GOODBYE => Response::Goodbye,
             OP_ERROR => {
@@ -550,15 +749,79 @@ mod tests {
     #[test]
     fn request_roundtrips() {
         for req in [
-            Request::Update { key: 7, weight: 3 },
-            Request::Query { key: u64::MAX },
-            Request::Batch(vec![(1, 2), (3, 4)]),
-            Request::Batch(vec![]),
+            Request::Update {
+                object: 0,
+                key: 7,
+                weight: 3,
+            },
+            Request::Update {
+                object: 3,
+                key: 7,
+                weight: 3,
+            },
+            Request::Query {
+                object: 0,
+                key: u64::MAX,
+            },
+            Request::Query {
+                object: u32::MAX,
+                key: 4,
+            },
+            Request::Batch {
+                object: 0,
+                items: vec![(1, 2), (3, 4)],
+            },
+            Request::Batch {
+                object: 2,
+                items: vec![],
+            },
             Request::Stats,
+            Request::Objects,
             Request::Shutdown,
         ] {
             assert_eq!(roundtrip_request(&req), req);
         }
+    }
+
+    #[test]
+    fn object_zero_requests_emit_v1_frames() {
+        // Byte-for-byte the pre-registry encoding: v1 opcode, no
+        // object id in the body.
+        let mut buf = Vec::new();
+        Request::Update {
+            object: 0,
+            key: 7,
+            weight: 3,
+        }
+        .encode(&mut buf);
+        let mut expect = Vec::new();
+        push_u32(&mut expect, 17);
+        expect.push(OP_UPDATE);
+        push_u64(&mut expect, 7);
+        push_u64(&mut expect, 3);
+        assert_eq!(buf, expect);
+
+        buf.clear();
+        Request::Query { object: 0, key: 9 }.encode(&mut buf);
+        assert_eq!(buf[4], OP_QUERY);
+        assert_eq!(buf.len(), 4 + 1 + 8);
+
+        buf.clear();
+        Request::Batch {
+            object: 0,
+            items: vec![(1, 1)],
+        }
+        .encode(&mut buf);
+        assert_eq!(buf[4], OP_BATCH);
+
+        buf.clear();
+        Request::Update {
+            object: 1,
+            key: 7,
+            weight: 3,
+        }
+        .encode(&mut buf);
+        assert_eq!(buf[4], OP_UPDATE2);
     }
 
     #[test]
@@ -572,13 +835,54 @@ mod tests {
             delta: 0.01,
             lag: 128,
         };
+        let mut stats = StatsReport::default();
+        stats.objects.push(ObjectStats {
+            id: 1,
+            updates: 10,
+            queries: 2,
+            observed: 30,
+        });
         for rsp in [
             Response::Ack { applied: 9 },
-            Response::Envelope(env),
+            Response::Envelope(ErrorEnvelope::Frequency(env)),
+            Response::Envelope(ErrorEnvelope::Cardinality {
+                estimate: 812.5,
+                rel_std_err: 0.016,
+                registers: 4096,
+                register_sum: 777,
+                observed: 900,
+            }),
+            Response::Envelope(ErrorEnvelope::ApproxCount {
+                estimate: 14.0,
+                a: 0.5,
+                exponent: 4,
+                observed: 15,
+            }),
+            Response::Envelope(ErrorEnvelope::Minimum {
+                minimum: 3,
+                observed: 44,
+            }),
+            Response::Stats(stats),
+            Response::Objects(vec![
+                ObjectInfo {
+                    id: 0,
+                    kind: ObjectKind::CountMin,
+                    name: "cm".into(),
+                },
+                ObjectInfo {
+                    id: 1,
+                    kind: ObjectKind::Hll,
+                    name: "uniques".into(),
+                },
+            ]),
             Response::Goodbye,
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "all shards leased".into(),
+            },
+            Response::Error {
+                code: ErrorCode::UnknownObject,
+                message: "no object 9".into(),
             },
         ] {
             let mut buf = Vec::new();
@@ -588,6 +892,15 @@ mod tests {
                 .unwrap();
             assert_eq!(Response::decode(&payload).unwrap(), rsp);
         }
+    }
+
+    #[test]
+    fn envelope2_with_unknown_kind_tag_rejected() {
+        let payload = [OP_ENVELOPE2, 0x7u8];
+        assert_eq!(
+            Response::decode(&payload).unwrap_err(),
+            WireError::Malformed("unknown envelope kind tag")
+        );
     }
 
     #[test]
@@ -602,7 +915,7 @@ mod tests {
     #[test]
     fn truncated_payload_is_error() {
         let mut buf = Vec::new();
-        Request::Query { key: 1 }.encode(&mut buf);
+        Request::Query { object: 0, key: 1 }.encode(&mut buf);
         buf.truncate(buf.len() - 2);
         assert_eq!(
             read_frame(&mut buf.as_slice(), 64).unwrap_err(),
@@ -643,7 +956,7 @@ mod tests {
         ));
         // Trailing garbage after a well-formed body.
         let mut buf = Vec::new();
-        Request::Query { key: 1 }.encode(&mut buf);
+        Request::Query { object: 0, key: 1 }.encode(&mut buf);
         let mut payload = read_frame(&mut buf.as_slice(), 64).unwrap().unwrap();
         payload.push(0xAA);
         assert_eq!(
@@ -655,6 +968,14 @@ mod tests {
     #[test]
     fn oversized_batch_count_rejected() {
         let mut payload = vec![OP_BATCH];
+        payload.extend_from_slice(&(MAX_BATCH_ITEMS + 1).to_le_bytes());
+        assert_eq!(
+            Request::decode(&payload).unwrap_err(),
+            WireError::Malformed("batch exceeds MAX_BATCH_ITEMS")
+        );
+        // The bound binds v2 batches identically.
+        let mut payload = vec![OP_BATCH2];
+        payload.extend_from_slice(&1u32.to_le_bytes());
         payload.extend_from_slice(&(MAX_BATCH_ITEMS + 1).to_le_bytes());
         assert_eq!(
             Request::decode(&payload).unwrap_err(),

@@ -6,34 +6,38 @@
 //! execution path, so IVL verdicts and envelopes cannot depend on
 //! the backend.
 //!
-//! One [`ShardedPcm`] is shared by all connections. In the threaded
+//! An [`ObjectRegistry`] is shared by all connections: every update,
+//! query, or batch frame names one registered object by id (v1 frames
+//! implicitly name object 0, always a CountMin), and both backends
+//! route it through the object's [`ServedObject`] interface. For the
+//! CountMin that preserves the original discipline — in the threaded
 //! backend, the first update a connection sends checks out a
-//! [`ShardLease`] — a single-writer sub-matrix — and keeps it until
-//! the connection closes; in the event-loop backend each reactor
+//! per-(object, shard) lease (a single-writer sub-matrix) and keeps it
+//! until the connection closes; in the event-loop backend each reactor
 //! thread leases once for all its connections. Either way the ingest
-//! hot path stays plain stores with no RMW instruction and no
-//! lock. The lease pool is also the backpressure bound: when every
-//! shard is leased, further *updating* connections get a `busy` error
-//! (queries always proceed — they only read). Stream length is
-//! tracked by an [`IvlBatchedCounter`] with one slot per shard, read
-//! IVL-style at query time to size the envelope's `ε = α·n`.
+//! hot path stays plain stores with no RMW instruction and no lock,
+//! and the lease pool is the backpressure bound: when every shard of
+//! the target CountMin is leased, further *updating* connections get a
+//! `busy` error (queries always proceed — they only read). The
+//! lock-free objects (HLL, Morris, min register) are wait-free and
+//! never refuse. Each object tracks its own acknowledged stream
+//! weight, read IVL-style at query time to size its envelope.
 //!
 //! Shutdown is graceful: a `SHUTDOWN` frame (or
 //! [`ServerHandle::shutdown`]) stops the accept loop; connections
 //! already open keep being served until their clients hang up, and
 //! [`ServerHandle::join`] waits for the drain before returning final
 //! stats and (optionally) the recorded history of every operation the
-//! server performed — replayable through the workspace's IVL checkers
-//! against [`WeightedCmSpec`].
+//! server performed — replayable per object projection through the
+//! workspace's IVL checkers ([`JoinedServer::verdicts`], Theorem 1's
+//! locality made operational).
 
-use crate::envelope::Envelope;
 use crate::metrics::{Metrics, StatsReport};
+use crate::objects::{ObjectConfig, ObjectKind, ObjectRegistry, ObjectVerdict, ObjectWriter};
 use crate::protocol::{self, ErrorCode, Request, Response, WireError};
 use crate::wspec::WeightedCmSpec;
-use ivl_concurrent::{ShardLease, ShardedPcm, UpdateBuffer};
-use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter};
-use ivl_sketch::countmin::{CountMin, CountMinParams};
-use ivl_sketch::CoinFlips;
+use ivl_concurrent::ShardedPcm;
+use ivl_sketch::countmin::CountMinParams;
 use ivl_spec::history::{History, ObjectId, ProcessId};
 use ivl_spec::record::Recorder;
 use polling::Poller;
@@ -107,8 +111,13 @@ pub struct ServerConfig {
     /// Record every operation into an [`ivl_spec::History`] for
     /// offline IVL checking (adds one short mutex hold per op).
     pub record: bool,
-    /// Seed for the sketch's coin flips (hash functions).
+    /// Seed for the objects' coin flips (hash functions).
     pub seed: u64,
+    /// The objects to register, in id order. Object 0 must be a
+    /// CountMin (the target of v1, object-id-less frames); CountMin
+    /// entries take their `(alpha, delta)`, `shards`, and
+    /// `write_buffer` from this config.
+    pub objects: Vec<ObjectConfig>,
     /// Write-buffer batch size `b` (0 disables buffering). When set,
     /// each writer (connection thread / reactor) coalesces updates in
     /// a local [`UpdateBuffer`] and propagates to the shared sketch
@@ -136,6 +145,7 @@ impl Default for ServerConfig {
             record: false,
             seed: 1,
             write_buffer: 0,
+            objects: vec![ObjectConfig::new("cm", ObjectKind::CountMin)],
         }
     }
 }
@@ -143,13 +153,8 @@ impl Default for ServerConfig {
 /// State shared by the accept loop and every connection thread.
 struct Shared {
     cfg: ServerConfig,
-    /// Empty prototype fixing the coin flips; `sketch` shares its
-    /// hashes, and `WeightedCmSpec::new(proto.clone())` is the exact
-    /// sequential spec of this server.
-    proto: CountMin,
-    sketch: ShardedPcm,
-    /// Stream-weight counter, one single-writer slot per shard.
-    ingest: IvlBatchedCounter,
+    /// The served objects, routed by the object id in each frame.
+    registry: ObjectRegistry,
     metrics: Metrics,
     recorder: Option<Recorder<(u64, u64), u64, u64>>,
     shutdown: AtomicBool,
@@ -211,56 +216,63 @@ impl Shared {
         *lock.lock().expect("lease signal lock") += 1;
         cv.notify_all();
     }
-
-    /// The deferred-visibility bound advertised in every envelope:
-    /// at most `shards` writers each holding `< write_buffer` weight.
-    fn lag_bound(&self) -> u64 {
-        self.cfg.write_buffer.saturating_mul(self.cfg.shards as u64)
-    }
 }
 
-/// One writer's update state: the lazily-acquired shard lease plus
-/// (write-buffered servers) the local coalescing buffer. A connection
-/// thread is one writer in the threaded backend; a reactor thread is
-/// one writer for all its connections in the event-loop backend —
-/// either way at most `shards` writers exist, which is what makes
-/// [`Shared::lag_bound`]'s `shards·b` a sound Lemma 10 bound.
-struct Writer<'a> {
-    lease: Option<ShardLease<'a>>,
-    buffer: Option<UpdateBuffer>,
+/// One writer thread's update state across every registered object:
+/// per-object [`ObjectWriter`]s created lazily on the object's first
+/// update. A connection thread is one writer in the threaded backend;
+/// a reactor thread is one writer for all its connections in the
+/// event-loop backend — either way at most `shards` concurrent writers
+/// exist per CountMin (the lease pool gates them), which is what makes
+/// the advertised `shards·b` lag a sound Lemma 10 bound.
+struct WriterSet<'a> {
+    shared: &'a Shared,
+    writers: Vec<Option<Box<dyn ObjectWriter + 'a>>>,
 }
 
-impl<'a> Writer<'a> {
-    fn new(shared: &Shared) -> Self {
-        Writer {
-            lease: None,
-            buffer: (shared.cfg.write_buffer > 0)
-                .then(|| UpdateBuffer::new(shared.proto.params().depth, shared.cfg.write_buffer)),
+impl<'a> WriterSet<'a> {
+    fn new(shared: &'a Shared) -> Self {
+        WriterSet {
+            shared,
+            writers: (0..shared.registry.len()).map(|_| None).collect(),
         }
     }
 
-    /// Propagates any buffered weight into the leased shard. Buffered
-    /// weight only exists after a lease was acquired (updates buffer
-    /// *behind* the lease gate), so `lease` is `Some` whenever there
-    /// is anything to flush.
-    fn flush(&mut self, shared: &Shared) {
-        if let (Some(buf), Some(lease)) = (self.buffer.as_mut(), self.lease.as_mut()) {
-            if !buf.is_empty() {
-                let flushed = buf.drain(|cols, count| lease.apply_rows(cols, count));
-                shared.metrics.record_flush(flushed);
+    /// This thread's writer for `object` (a validated registry index),
+    /// created on first use.
+    fn writer(&mut self, object: u32) -> &mut (dyn ObjectWriter + 'a) {
+        let shared = self.shared;
+        self.writers[object as usize]
+            .get_or_insert_with(|| {
+                shared
+                    .registry
+                    .get(object)
+                    .expect("object id validated by caller")
+                    .writer(&shared.metrics)
+            })
+            .as_mut()
+    }
+
+    /// Flushes every writer, returns leases to their pools, and wakes
+    /// lease waiters. The flush-before-release order is the
+    /// flush-on-drain guarantee: once a writer's lease is back in the
+    /// pool, none of its acknowledged updates are still invisible.
+    fn release(&mut self) {
+        for slot in &mut self.writers {
+            if let Some(mut w) = slot.take() {
+                if w.release() {
+                    self.shared.note_lease_returned();
+                }
             }
         }
     }
+}
 
-    /// Flushes, returns the lease to the pool, and wakes lease
-    /// waiters. The flush-before-release order is the flush-on-drain
-    /// guarantee: once a writer's lease is back in the pool, none of
-    /// its acknowledged updates are still invisible.
-    fn release(mut self, shared: &Shared) {
-        self.flush(shared);
-        if self.lease.take().is_some() {
-            shared.note_lease_returned();
-        }
+impl std::fmt::Debug for WriterSet<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterSet")
+            .field("objects", &self.writers.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -286,21 +298,41 @@ impl std::fmt::Debug for Shared {
 /// Everything a drained server leaves behind.
 #[derive(Debug)]
 pub struct JoinedServer {
-    /// Final metrics snapshot.
+    /// Final metrics snapshot (including per-object rows).
     pub stats: StatsReport,
     /// The recorded history (when `record` was set): every update as
-    /// `(key, weight)`, every query with its served estimate, window
-    /// supersets of the true operation intervals.
+    /// `(key, weight)`, every query with its served envelope's
+    /// checkable value, tagged with the object id it addressed —
+    /// window supersets of the true operation intervals.
     pub history: Option<History<(u64, u64), u64, u64>>,
-    /// The sequential spec of this run (carries the sampled hashes);
-    /// feed it with `history` to `check_ivl_monotone` /
+    /// The drained registry: every served object with its final state
+    /// (every writer flushed before its lease returned — the
+    /// flush-on-drain guarantee).
+    pub registry: ObjectRegistry,
+}
+
+impl JoinedServer {
+    /// The sequential spec of object 0's CountMin (carries the sampled
+    /// hashes); feed it with `history` to `check_ivl_monotone` /
     /// `check_ivl_exact`.
-    pub spec: WeightedCmSpec,
-    /// The drained sketch itself. Every writer flushed before its
-    /// lease returned, so this reflects *all* acknowledged updates —
-    /// the flush-on-drain guarantee, testable even with `write_buffer`
-    /// so large that no buffer ever filled.
-    pub sketch: ShardedPcm,
+    pub fn spec(&self) -> WeightedCmSpec {
+        self.cm0().spec()
+    }
+
+    /// Object 0's drained sharded sketch.
+    pub fn sketch(&self) -> &ShardedPcm {
+        self.cm0().sketch()
+    }
+
+    fn cm0(&self) -> &crate::objects::ServedCountMin {
+        self.registry.cm(0).expect("object 0 is always a CountMin")
+    }
+
+    /// Per-object verdicts for the recorded history (Theorem 1's
+    /// locality as a table); `None` when recording was off.
+    pub fn verdicts(&self) -> Option<Vec<ObjectVerdict>> {
+        self.history.as_ref().map(|h| self.registry.verdicts(h))
+    }
 }
 
 /// Binds `addr` and starts serving in background threads.
@@ -308,12 +340,16 @@ pub fn serve(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<ServerHa
     assert!(cfg.shards > 0, "need at least one shard");
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    let mut coins = CoinFlips::from_seed(cfg.seed);
-    let params = CountMinParams::for_bounds(cfg.alpha, cfg.delta);
-    let proto = CountMin::new(params, &mut coins);
+    let registry = ObjectRegistry::build(
+        &cfg.objects,
+        cfg.alpha,
+        cfg.delta,
+        cfg.shards,
+        cfg.write_buffer,
+        cfg.seed,
+    );
     let shared = Arc::new(Shared {
-        sketch: ShardedPcm::from_prototype(&proto, cfg.shards),
-        ingest: IvlBatchedCounter::new(cfg.shards),
+        registry,
         metrics: Metrics::new(),
         recorder: cfg.record.then(Recorder::new),
         shutdown: AtomicBool::new(false),
@@ -321,7 +357,6 @@ pub fn serve(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<ServerHa
         wakers: Mutex::new(Vec::new()),
         lease_returned: (Mutex::new(0), Condvar::new()),
         addr: local,
-        proto,
         cfg,
     });
     let accept_shared = Arc::clone(&shared);
@@ -348,15 +383,22 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The sketch dimensions in force.
+    /// The sketch dimensions of object 0's CountMin.
     pub fn params(&self) -> CountMinParams {
-        self.shared().proto.params()
+        self.shared()
+            .registry
+            .cm(0)
+            .expect("object 0 is always a CountMin")
+            .params()
     }
 
     /// A live metrics snapshot (same data `STATS` serves).
     pub fn stats(&self) -> StatsReport {
         let shared = self.shared();
-        shared.metrics.report(shared.ingest.read())
+        shared.metrics.report(
+            shared.registry.total_observed(),
+            shared.registry.stats_rows(),
+        )
     }
 
     /// Stops accepting new connections; existing ones keep draining.
@@ -382,7 +424,7 @@ impl ServerHandle {
         let (lock, cv) = &shared.lease_returned;
         let mut generation = lock.lock().expect("lease signal lock");
         loop {
-            if shared.sketch.free_shards() > 0 {
+            if shared.registry.free_shards() > 0 {
                 return true;
             }
             let now = Instant::now();
@@ -415,8 +457,7 @@ impl ServerHandle {
         JoinedServer {
             stats,
             history: shared.recorder.map(Recorder::finish),
-            spec: WeightedCmSpec::new(shared.proto),
-            sketch: shared.sketch,
+            registry: shared.registry,
         }
     }
 }
@@ -482,11 +523,11 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
     };
     let mut reader = BufReader::new(stream);
     let process = ProcessId(conn);
-    let object = ObjectId(0);
-    // The connection's writer state: a shard lease acquired lazily on
-    // first update and held (single writer) until the connection ends,
-    // plus the local update buffer when write buffering is on.
-    let mut updater = Writer::new(shared);
+    // The connection's writer state, per object: for a CountMin, a
+    // shard lease acquired lazily on first update and held (single
+    // writer) until the connection ends, plus the local update buffer
+    // when write buffering is on.
+    let mut updater = WriterSet::new(shared);
     let mut applied: u64 = 0;
     loop {
         let payload = match protocol::read_frame(&mut reader, shared.cfg.max_frame_len) {
@@ -527,13 +568,13 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
             }
         };
         let (response, close) =
-            execute_request(shared, &mut updater, &mut applied, process, object, request);
+            execute_request(shared, &mut updater, &mut applied, process, request);
         if !send(&mut writer, &response) || close {
             break;
         }
     }
-    // Flush any buffered updates, then return the shard to the pool.
-    updater.release(shared);
+    // Flush any buffered updates, then return leases to their pools.
+    updater.release();
     // Half-close, then briefly drain the peer's in-flight bytes so the
     // final response frame is not clobbered by a reset. The timeout
     // bounds the wait when it is the server hanging up first — an
@@ -546,60 +587,71 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
     let _ = reader.read(&mut [0u8; 64]);
 }
 
-/// Executes one decoded request against the shared sketch state and
+/// The refusal for a frame naming no registered object.
+fn unknown_object(shared: &Shared, object: u32) -> Response {
+    shared.metrics.record_protocol_error();
+    Response::Error {
+        code: ErrorCode::UnknownObject,
+        message: format!(
+            "no object {object} (registry has {})",
+            shared.registry.len()
+        ),
+    }
+}
+
+/// Executes one decoded request against the shared registry and
 /// returns `(response, close_after_send)`. Both backends funnel every
 /// request through here, which is what makes IVL semantics
-/// backend-invariant: the recorder calls, the lease discipline, and
-/// the envelope construction are literally the same code.
+/// backend-invariant: the recorder calls, the per-object writer
+/// discipline, and the envelope construction are literally the same
+/// code.
 fn execute_request<'a>(
     shared: &'a Shared,
-    writer: &mut Writer<'a>,
+    writers: &mut WriterSet<'a>,
     applied: &mut u64,
     process: ProcessId,
-    object: ObjectId,
     request: Request,
 ) -> (Response, bool) {
     match request {
-        Request::Update { key, weight } => (
-            apply_updates(shared, writer, applied, process, object, &[(key, weight)]),
+        Request::Update {
+            object,
+            key,
+            weight,
+        } => (
+            apply_updates(shared, writers, applied, process, object, &[(key, weight)]),
             false,
         ),
-        Request::Batch(items) => {
+        Request::Batch { object, items } => {
             shared.metrics.record_batch();
             (
-                apply_updates(shared, writer, applied, process, object, &items),
+                apply_updates(shared, writers, applied, process, object, &items),
                 false,
             )
         }
-        Request::Query { key } => {
+        Request::Query { object, key } => {
+            let Some(obj) = shared.registry.get(object) else {
+                return (unknown_object(shared, object), false);
+            };
             let start = Instant::now();
             let op = shared
                 .recorder
                 .as_ref()
-                .map(|r| r.invoke_query(process, object, key));
-            let estimate = shared.sketch.estimate(key);
-            let stream_len = shared.ingest.read();
+                .map(|r| r.invoke_query(process, ObjectId(object), key));
+            let envelope = obj.query(key);
             if let (Some(r), Some(op)) = (shared.recorder.as_ref(), op) {
-                r.respond_query(op, estimate);
+                r.respond_query(op, envelope.value());
             }
             shared.metrics.record_query(start.elapsed().as_nanos());
-            let params = shared.proto.params();
-            (
-                Response::Envelope(Envelope::new(
-                    key,
-                    estimate,
-                    stream_len,
-                    params.alpha(),
-                    params.delta(),
-                    shared.lag_bound(),
-                )),
-                false,
-            )
+            (Response::Envelope(envelope), false)
         }
         Request::Stats => (
-            Response::Stats(shared.metrics.report(shared.ingest.read())),
+            Response::Stats(shared.metrics.report(
+                shared.registry.total_observed(),
+                shared.registry.stats_rows(),
+            )),
             false,
         ),
+        Request::Objects => (Response::Objects(shared.registry.infos()), false),
         Request::Shutdown => {
             shared.begin_shutdown();
             (Response::Goodbye, true)
@@ -607,57 +659,45 @@ fn execute_request<'a>(
     }
 }
 
-/// Applies updates through the writer's lease, acquiring it on first
-/// use; answers `busy` when the shard pool is exhausted. With write
-/// buffering on, updates coalesce into the writer's local buffer and
-/// propagate via [`ShardLease::apply_rows`] every `b` weight — the
+/// Applies updates through this thread's writer for the target object,
+/// readying it (for a CountMin: acquiring the shard lease) on first
+/// use; answers `busy` when the object's writer pool is exhausted,
+/// `unknown-object` when the id names nothing. With write buffering
+/// on, CountMin updates coalesce into the writer's local buffer — the
 /// acknowledgement (and recorded response) happens while the update
 /// may still be invisible, which is the deferred visibility the
-/// envelope's `lag` advertises. The ingest counter is bumped
+/// envelope's `lag` advertises. Each object's ingest counter is bumped
 /// immediately either way: stream length counts *acknowledged* weight,
-/// keeping `ε = α·n` conservative.
+/// keeping error bounds conservative.
 fn apply_updates<'a>(
     shared: &'a Shared,
-    writer: &mut Writer<'a>,
+    writers: &mut WriterSet<'a>,
     applied: &mut u64,
     process: ProcessId,
-    object: ObjectId,
+    object: u32,
     items: &[(u64, u64)],
 ) -> Response {
-    if writer.lease.is_none() {
-        writer.lease = shared.sketch.lease();
+    if shared.registry.get(object).is_none() {
+        return unknown_object(shared, object);
     }
-    let Some(lease) = writer.lease.as_mut() else {
+    let writer = writers.writer(object);
+    if let Err(busy) = writer.ensure_ready() {
         shared.metrics.record_busy_rejection();
         return Response::Error {
             code: ErrorCode::Busy,
-            message: format!("all {} shards leased", shared.sketch.num_shards()),
+            message: busy.message,
         };
-    };
-    let slot = lease.shard();
+    }
     let start = Instant::now();
-    let mut buffered_weight = 0u64;
     for &(key, weight) in items {
         let op = shared
             .recorder
             .as_ref()
-            .map(|r| r.invoke_update(process, object, (key, weight)));
-        if let Some(buf) = writer.buffer.as_mut() {
-            buffered_weight += weight.max(1);
-            if buf.push(shared.sketch.hashes(), key, weight) {
-                let flushed = buf.drain(|cols, count| lease.apply_rows(cols, count));
-                shared.metrics.record_flush(flushed);
-            }
-        } else {
-            lease.update_by(key, weight);
-        }
-        shared.ingest.update_slot(slot, weight);
+            .map(|r| r.invoke_update(process, ObjectId(object), (key, weight)));
+        writer.apply(key, weight);
         if let (Some(r), Some(op)) = (shared.recorder.as_ref(), op) {
             r.respond_update(op);
         }
-    }
-    if buffered_weight > 0 {
-        shared.metrics.record_buffered(buffered_weight);
     }
     shared
         .metrics
@@ -761,7 +801,7 @@ mod tests {
         }
         // The connection survives: a valid request still works.
         let mut buf = Vec::new();
-        Request::Query { key: 1 }.encode(&mut buf);
+        Request::Query { object: 0, key: 1 }.encode(&mut buf);
         s.write_all(&buf).unwrap();
         let payload = protocol::read_frame(&mut s, protocol::DEFAULT_MAX_FRAME_LEN)
             .unwrap()
@@ -858,7 +898,7 @@ mod tests {
             let mut buf = Vec::new();
             for key in 0..BURST as u64 {
                 buf.clear();
-                Request::Query { key }.encode(&mut buf);
+                Request::Query { object: 0, key }.encode(&mut buf);
                 s.write_all(&buf).unwrap();
             }
             s // keep the socket open until responses are drained
@@ -868,7 +908,9 @@ mod tests {
                 .unwrap()
                 .expect("response per request");
             match Response::decode(&payload).unwrap() {
-                Response::Envelope(env) => assert_eq!(env.key, key, "responses in order"),
+                Response::Envelope(env) => {
+                    assert_eq!(env.frequency().unwrap().key, key, "responses in order")
+                }
                 other => panic!("expected envelope, got {other:?}"),
             }
         }
@@ -894,7 +936,7 @@ mod tests {
         }
         // The connection survives: a valid request still works.
         let mut buf = Vec::new();
-        Request::Query { key: 1 }.encode(&mut buf);
+        Request::Query { object: 0, key: 1 }.encode(&mut buf);
         s.write_all(&buf).unwrap();
         let payload = protocol::read_frame(&mut s, protocol::DEFAULT_MAX_FRAME_LEN)
             .unwrap()
@@ -942,11 +984,12 @@ mod tests {
         c.shutdown().unwrap();
         drop(c);
         let joined = h.join();
+        let spec = joined.spec();
         let history = joined.history.expect("recording was on");
         let ops = history.operations();
         assert_eq!(ops.iter().filter(|o| o.op.is_update()).count(), 1);
         assert_eq!(ops.iter().filter(|o| !o.op.is_update()).count(), 1);
-        assert!(ivl_spec::ivl::check_ivl_monotone(&joined.spec, &history).is_ivl());
+        assert!(ivl_spec::ivl::check_ivl_monotone(&spec, &history).is_ivl());
     }
 
     #[test]
@@ -965,11 +1008,12 @@ mod tests {
         c.shutdown().unwrap();
         drop(c);
         let joined = h.join();
+        let spec = joined.spec();
         let history = joined.history.expect("recording was on");
         let ops = history.operations();
         assert_eq!(ops.iter().filter(|o| o.op.is_update()).count(), 1);
         assert_eq!(ops.iter().filter(|o| !o.op.is_update()).count(), 1);
-        assert!(ivl_spec::ivl::check_ivl_monotone(&joined.spec, &history).is_ivl());
+        assert!(ivl_spec::ivl::check_ivl_monotone(&spec, &history).is_ivl());
     }
 
     #[test]
@@ -1001,7 +1045,7 @@ mod tests {
         let joined = h.join();
         // Connection close flushed the remainder.
         assert_eq!(joined.stats.buffered_pending, 0);
-        assert_eq!(joined.sketch.estimate(9), 20);
+        assert_eq!(joined.sketch().estimate(9), 20);
     }
 
     /// The flush-on-drain guarantee, end to end: a write buffer so
@@ -1040,13 +1084,13 @@ mod tests {
         );
         assert!(joined.stats.flushes >= 1);
         assert_eq!(
-            joined.sketch.stream_len_estimate(),
+            joined.sketch().stream_len_estimate(),
             clients * per_client,
             "acknowledged weight lost through shutdown"
         );
         for t in 0..clients {
             assert!(
-                joined.sketch.estimate(t) >= per_client,
+                joined.sketch().estimate(t) >= per_client,
                 "key {t}: updates lost through shutdown"
             );
         }

@@ -13,21 +13,21 @@
 //!
 //! IVL semantics are backend-invariant by construction: every request
 //! executes through [`super::execute_request`] — the same code the
-//! threaded backend runs — against the same `ShardedPcm` and ingest
-//! counter. The single-writer shard invariant holds because a reactor
-//! thread is the sole writer of its (lazily acquired) [`ShardLease`]:
-//! where the threaded backend has one lease per updating connection,
-//! the reactor multiplexes all its connections over one lease, which
-//! is sound for exactly the reason Lemma 7 allows batching — shard
-//! cells only ever see single-threaded read-modify-write-back. With
-//! write buffering on, the reactor thread is likewise one *writer*:
-//! its local update buffer serves all its connections and is flushed
-//! before the lease returns at drain, so graceful shutdown loses no
-//! acknowledged update.
+//! threaded backend runs — against the same object registry. The
+//! single-writer shard invariant holds because a reactor thread is the
+//! sole owner of its (lazily acquired) per-object writers: where the
+//! threaded backend has one CountMin lease per updating connection,
+//! the reactor multiplexes all its connections over one lease per
+//! CountMin, which is sound for exactly the reason Lemma 7 allows
+//! batching — shard cells only ever see single-threaded
+//! read-modify-write-back. With write buffering on, the reactor
+//! thread is likewise one *writer*: its local update buffer serves
+//! all its connections and is flushed before the lease returns at
+//! drain, so graceful shutdown loses no acknowledged update.
 
-use super::{execute_request, Shared, Writer};
+use super::{execute_request, Shared, WriterSet};
 use crate::protocol::{ErrorCode, FrameDecoder, Request, Response};
-use ivl_spec::history::{ObjectId, ProcessId};
+use ivl_spec::history::ProcessId;
 use polling::{Event, PollMode, Poller};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
@@ -264,12 +264,11 @@ impl Conn {
 /// One reactor: adopts mailbox connections, then runs each ready
 /// connection's state machine until it makes no further progress.
 fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
-    let object = ObjectId(0);
-    // The reactor's writer state: a shard lease lazily acquired on the
-    // first update any of its connections sends, plus the local update
-    // buffer when write buffering is on — held until the reactor
-    // drains.
-    let mut writer = Writer::new(shared);
+    // The reactor's writer state: one lazily created writer per
+    // registered object (for the CountMin, a shard lease plus the
+    // local update buffer when write buffering is on) — held until
+    // the reactor drains.
+    let mut writer = WriterSet::new(shared);
     let mut conns: HashMap<usize, Conn> = HashMap::new();
     let mut next_key = LISTENER_KEY + 1;
     let mut events: Vec<Event> = Vec::new();
@@ -318,7 +317,7 @@ fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
         }
         for &key in &run {
             let alive = match conns.get_mut(&key) {
-                Some(conn) => pump(shared, &mut writer, object, conn),
+                Some(conn) => pump(shared, &mut writer, conn),
                 None => continue,
             };
             if !alive {
@@ -347,21 +346,16 @@ fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
             }
         }
     }
-    // Flush any buffered updates, then return the lease to the pool —
-    // the event-loop half of the flush-on-drain guarantee.
-    writer.release(shared);
+    // Flush any buffered updates, then return the leases to their
+    // pools — the event-loop half of the flush-on-drain guarantee.
+    writer.release();
 }
 
 /// Drives one connection until it makes no further progress; returns
 /// whether it stays alive. The cycle is flush → decode/execute →
 /// read, repeated, so a response generated this pass still reaches
 /// the wire this pass when the socket allows.
-fn pump<'a>(
-    shared: &'a Shared,
-    writer: &mut Writer<'a>,
-    object: ObjectId,
-    conn: &mut Conn,
-) -> bool {
+fn pump<'a>(shared: &'a Shared, writer: &mut WriterSet<'a>, conn: &mut Conn) -> bool {
     loop {
         let mut progressed = match conn.flush() {
             Ok(wrote) => wrote,
@@ -391,14 +385,8 @@ fn pump<'a>(
             progressed = true;
             match decoded {
                 Ok(request) => {
-                    let (response, close) = execute_request(
-                        shared,
-                        writer,
-                        &mut conn.applied,
-                        conn.process,
-                        object,
-                        request,
-                    );
+                    let (response, close) =
+                        execute_request(shared, writer, &mut conn.applied, conn.process, request);
                     conn.enqueue(&response);
                     if close {
                         conn.closing = true;

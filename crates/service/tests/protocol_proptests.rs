@@ -1,9 +1,12 @@
 //! Property tests for the wire protocol: encode→decode is the
-//! identity for every frame type, and malformed bytes are rejected
-//! with a protocol error — never a panic, never a bogus frame.
+//! identity for every frame type — across both frame generations (v1
+//! object-0 frames and v2 object-addressed frames) — and malformed
+//! bytes are rejected with a protocol error — never a panic, never a
+//! bogus frame.
 
-use ivl_service::envelope::Envelope;
-use ivl_service::metrics::StatsReport;
+use ivl_service::envelope::{Envelope, ErrorEnvelope};
+use ivl_service::metrics::{ObjectStats, StatsReport};
+use ivl_service::objects::{ObjectInfo, ObjectKind};
 use ivl_service::protocol::{
     read_frame, FrameDecoder, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, MAX_BATCH_ITEMS,
 };
@@ -31,27 +34,66 @@ fn response_roundtrip(rsp: &Response) -> Response {
 
 proptest! {
     #[test]
-    fn update_frames_roundtrip(key in any::<u64>(), weight in any::<u64>()) {
-        let req = Request::Update { key, weight };
+    fn update_frames_roundtrip(object in any::<u32>(), key in any::<u64>(), weight in any::<u64>()) {
+        let req = Request::Update { object, key, weight };
         prop_assert_eq!(request_roundtrip(&req), req);
     }
 
     #[test]
-    fn query_frames_roundtrip(key in any::<u64>()) {
-        let req = Request::Query { key };
+    fn query_frames_roundtrip(object in any::<u32>(), key in any::<u64>()) {
+        let req = Request::Query { object, key };
         prop_assert_eq!(request_roundtrip(&req), req);
     }
 
     #[test]
-    fn batch_frames_roundtrip(items in vec((any::<u64>(), any::<u64>()), 0..50)) {
-        let req = Request::Batch(items);
+    fn batch_frames_roundtrip(object in any::<u32>(), items in vec((any::<u64>(), any::<u64>()), 0..50)) {
+        let req = Request::Batch { object, items };
         prop_assert_eq!(request_roundtrip(&req), req.clone());
     }
 
     #[test]
-    fn bodyless_frames_roundtrip(pick in 0u8..2) {
-        let req = if pick == 0 { Request::Stats } else { Request::Shutdown };
+    fn bodyless_frames_roundtrip(pick in 0u8..3) {
+        let req = match pick {
+            0 => Request::Stats,
+            1 => Request::Shutdown,
+            _ => Request::Objects,
+        };
         prop_assert_eq!(request_roundtrip(&req), req);
+    }
+
+    // --- v1 ↔ v2 interop: object 0 always travels as a v1 frame ---
+
+    #[test]
+    fn object_zero_updates_encode_as_v1(key in any::<u64>(), weight in any::<u64>()) {
+        let mut buf = Vec::new();
+        Request::Update { object: 0, key, weight }.encode(&mut buf);
+        // 4-byte length prefix + opcode 0x01 + key + weight: exactly
+        // the v1 layout, no object id on the wire.
+        prop_assert_eq!(buf.len(), 4 + 1 + 8 + 8);
+        prop_assert_eq!(buf[4], 0x01);
+        let mut v2 = Vec::new();
+        Request::Update { object: 1, key, weight }.encode(&mut v2);
+        prop_assert_eq!(v2.len(), buf.len() + 4, "v2 adds exactly the object id");
+        prop_assert_eq!(v2[4], 0x11);
+    }
+
+    #[test]
+    fn object_zero_queries_and_batches_encode_as_v1(
+        key in any::<u64>(),
+        items in vec((any::<u64>(), any::<u64>()), 0..8),
+    ) {
+        let mut buf = Vec::new();
+        Request::Query { object: 0, key }.encode(&mut buf);
+        prop_assert_eq!(buf[4], 0x02);
+        prop_assert_eq!(buf.len(), 4 + 1 + 8);
+        let mut buf = Vec::new();
+        Request::Batch { object: 0, items: items.clone() }.encode(&mut buf);
+        prop_assert_eq!(buf[4], 0x03);
+        prop_assert_eq!(buf.len(), 4 + 1 + 4 + 16 * items.len());
+        let mut v2 = Vec::new();
+        Request::Batch { object: 7, items }.encode(&mut v2);
+        prop_assert_eq!(v2[4], 0x13);
+        prop_assert_eq!(v2.len(), buf.len() + 4);
     }
 
     #[test]
@@ -77,25 +119,76 @@ proptest! {
             delta_m as f64 / 1_000.0,
             lag,
         );
+        let rsp = Response::Envelope(ErrorEnvelope::Frequency(env));
+        prop_assert_eq!(response_roundtrip(&rsp), rsp);
+    }
+
+    #[test]
+    fn typed_envelope_frames_roundtrip(
+        kind in 0u8..3,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in 0u32..1_000_000,
+        obs in any::<u64>(),
+        num in 1u64..1_000,
+    ) {
+        let env = match kind {
+            0 => ErrorEnvelope::Cardinality {
+                estimate: a as f64,
+                rel_std_err: num as f64 / 1_000.0,
+                registers: b,
+                register_sum: c as u64,
+                observed: obs,
+            },
+            1 => ErrorEnvelope::ApproxCount {
+                estimate: a as f64,
+                a: num as f64 / 1_000.0,
+                exponent: c,
+                observed: obs,
+            },
+            _ => ErrorEnvelope::Minimum { minimum: a, observed: obs },
+        };
         let rsp = Response::Envelope(env);
         prop_assert_eq!(response_roundtrip(&rsp), rsp);
     }
 
     #[test]
-    fn stats_frames_roundtrip(fields in vec(any::<u64>(), StatsReport::NUM_FIELDS)) {
-        let report = StatsReport::from_fields(
+    fn stats_frames_roundtrip(
+        fields in vec(any::<u64>(), StatsReport::NUM_FIELDS),
+        rows in vec((any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..6),
+    ) {
+        let mut report = StatsReport::from_fields(
             <[u64; StatsReport::NUM_FIELDS]>::try_from(fields).expect("fixed size"),
         );
+        report.objects = rows
+            .into_iter()
+            .map(|(id, updates, queries, observed)| ObjectStats { id, updates, queries, observed })
+            .collect();
         let rsp = Response::Stats(report);
         prop_assert_eq!(response_roundtrip(&rsp), rsp);
     }
 
     #[test]
-    fn error_frames_roundtrip(code in 0u8..3, msg in vec(32u8..127, 0..40)) {
+    fn objects_frames_roundtrip(entries in vec((any::<u32>(), 0u8..4, vec(97u8..123, 1..13)), 0..6)) {
+        let infos = entries
+            .into_iter()
+            .map(|(id, kind, name)| ObjectInfo {
+                id,
+                kind: ObjectKind::from_u8(kind).expect("kind tag in range"),
+                name: String::from_utf8(name).expect("ascii lowercase"),
+            })
+            .collect();
+        let rsp = Response::Objects(infos);
+        prop_assert_eq!(response_roundtrip(&rsp), rsp);
+    }
+
+    #[test]
+    fn error_frames_roundtrip(code in 0u8..4, msg in vec(32u8..127, 0..40)) {
         let code = [
             ivl_service::ErrorCode::Busy,
             ivl_service::ErrorCode::Protocol,
             ivl_service::ErrorCode::ShuttingDown,
+            ivl_service::ErrorCode::UnknownObject,
         ][code as usize];
         let message = String::from_utf8(msg).expect("ascii");
         let rsp = Response::Error { code, message };
@@ -111,7 +204,7 @@ proptest! {
         keep_num in any::<u32>(),
     ) {
         let mut buf = Vec::new();
-        Request::Update { key, weight }.encode(&mut buf);
+        Request::Update { object: 0, key, weight }.encode(&mut buf);
         let keep = keep_num as usize % buf.len(); // strictly shorter
         buf.truncate(keep);
         let got = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN);
@@ -133,8 +226,18 @@ proptest! {
     }
 
     #[test]
-    fn unknown_opcodes_are_rejected(op in 6u8..0x81, tail in vec(0u8..=255, 0..16)) {
-        // 0x06..=0x80 are unassigned request opcodes.
+    fn unknown_opcodes_are_rejected(
+        // 0x07..=0x10 and 0x14..=0x80 are unassigned request opcodes
+        // (v1 claims 0x01..=0x05, v2 adds 0x06 and 0x11..=0x13); the
+        // map folds the three assigned v2 opcodes onto the range top.
+        op in (0x07u8..0x7e).prop_map(|op| match op {
+            0x11 => 0x7e,
+            0x12 => 0x7f,
+            0x13 => 0x80,
+            other => other,
+        }),
+        tail in vec(0u8..=255, 0..16),
+    ) {
         let mut payload = vec![op];
         payload.extend(tail);
         prop_assert_eq!(
@@ -157,8 +260,15 @@ proptest! {
     }
 
     #[test]
-    fn overlong_batches_are_rejected(extra in 1u32..1_000) {
-        let mut payload = vec![0x03];
+    fn overlong_batches_are_rejected(extra in 1u32..1_000, object in any::<u32>(), v2 in any::<bool>()) {
+        // Both batch generations enforce the same item cap.
+        let mut payload = if v2 {
+            let mut p = vec![0x13];
+            p.extend_from_slice(&object.to_le_bytes());
+            p
+        } else {
+            vec![0x03]
+        };
         payload.extend_from_slice(&(MAX_BATCH_ITEMS + extra).to_le_bytes());
         prop_assert!(matches!(
             Request::decode(&payload),
@@ -238,7 +348,7 @@ proptest! {
         keep_num in any::<u32>(),
     ) {
         let mut stream = Vec::new();
-        Request::Update { key, weight }.encode(&mut stream);
+        Request::Update { object: 0, key, weight }.encode(&mut stream);
         let keep = keep_num as usize % stream.len(); // strictly shorter
         let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
         decoder.feed(&stream[..keep]);
@@ -249,13 +359,24 @@ proptest! {
     }
 }
 
-/// Strategy over all request variants (small batches keep cases fast).
+/// Strategy over all request variants and both frame generations
+/// (object 0 encodes v1, anything else v2; small batches keep cases
+/// fast).
 fn arb_request() -> impl Strategy<Value = Request> {
+    let object = 0u32..4;
     prop_oneof![
-        (any::<u64>(), any::<u64>()).prop_map(|(key, weight)| Request::Update { key, weight }),
-        any::<u64>().prop_map(|key| Request::Query { key }),
-        vec((any::<u64>(), any::<u64>()), 0..5).prop_map(Request::Batch),
+        (object.clone(), any::<u64>(), any::<u64>()).prop_map(|(object, key, weight)| {
+            Request::Update {
+                object,
+                key,
+                weight,
+            }
+        }),
+        (object.clone(), any::<u64>()).prop_map(|(object, key)| Request::Query { object, key }),
+        (object, vec((any::<u64>(), any::<u64>()), 0..5))
+            .prop_map(|(object, items)| Request::Batch { object, items }),
         Just(Request::Stats),
+        Just(Request::Objects),
         Just(Request::Shutdown),
     ]
 }

@@ -126,6 +126,7 @@ fn concurrent_serving_run_is_ivl_and_envelopes_cover_truth(backend: Backend) {
 
     // The recorded history replays clean through the IVL checker.
     let joined = handle.join();
+    let spec = joined.spec();
     let history = joined.history.expect("recording was on");
     let ops = history.operations();
     assert_eq!(
@@ -133,7 +134,7 @@ fn concurrent_serving_run_is_ivl_and_envelopes_cover_truth(backend: Backend) {
         total_updates
     );
     assert!(
-        check_ivl_monotone(&joined.spec, &history).is_ivl(),
+        check_ivl_monotone(&spec, &history).is_ivl(),
         "recorded serving history is not IVL"
     );
 }
@@ -161,6 +162,7 @@ fn small_serving_run_passes_the_exact_checker(backend: Backend) {
     })
     .unwrap();
     let joined = handle.join();
+    let spec = joined.spec();
     let history = joined.history.expect("recording was on");
     let ops = history.operations().len();
     assert!(
@@ -168,8 +170,121 @@ fn small_serving_run_passes_the_exact_checker(backend: Backend) {
         "history too large for the exact checker: {ops} ops"
     );
     assert!(
-        check_ivl_exact(std::slice::from_ref(&joined.spec), &history).is_ivl(),
+        check_ivl_exact(std::slice::from_ref(&spec), &history).is_ivl(),
         "small serving history fails the exact IVL check"
+    );
+}
+
+/// What one multi-object run produced, for cross-backend comparison:
+/// the per-object verdict table plus each object's quiescent envelope.
+#[derive(Debug, PartialEq)]
+struct MultiObjectOutcome {
+    verdicts: Vec<(u32, String, String, usize, Option<bool>)>,
+    envelopes: Vec<(String, ivl_core::service::envelope::ErrorEnvelope)>,
+}
+
+/// Serves a CountMin, an HLL, a Morris counter, and a min register
+/// through the registry on the given backend: one ingest connection
+/// per object (updates within an object stay sequential, so the
+/// drained state is a deterministic function of the update multiset
+/// and the server seed), live cross-object concurrency on the wire,
+/// and a per-object IVL verdict on drain — Theorem 1's locality,
+/// operationally.
+fn multi_object_run(backend: Backend) -> MultiObjectOutcome {
+    use ivl_core::service::objects::{ObjectConfig, ObjectKind};
+
+    const NAMES: [(&str, ObjectKind); 4] = [
+        ("cm", ObjectKind::CountMin),
+        ("hits", ObjectKind::Hll),
+        ("approx", ObjectKind::Morris),
+        ("low", ObjectKind::MinRegister),
+    ];
+    let cfg = ServerConfig {
+        backend,
+        shards: 4,
+        record: true,
+        objects: NAMES
+            .iter()
+            .map(|&(name, kind)| ObjectConfig::new(name, kind))
+            .collect(),
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr();
+    crossbeam::scope(|s| {
+        for (w, &(name, _)) in NAMES.iter().enumerate() {
+            s.spawn(move |_| {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut handle = client.object(name).expect("resolve object");
+                for i in 0..120u64 {
+                    let key = (w as u64 * 17 + i * 13) % 97 + 1;
+                    handle.update(key, 1 + i % 3).expect("update acked");
+                    if i % 10 == 9 {
+                        let env = handle.query(key).expect("query answered");
+                        assert!(env.observed() > 0, "{name}: no weight acknowledged");
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Quiescent envelopes, one per object, before drain.
+    let mut client = Client::connect(addr).expect("connect recheck");
+    let infos = client.objects().expect("objects listed");
+    assert_eq!(infos.len(), NAMES.len());
+    let mut envelopes = Vec::new();
+    for info in &infos {
+        let env = client.object_id(info.id).query(18).expect("query answered");
+        assert_eq!(env.observed(), 240, "{}: acknowledged weight", info.name);
+        envelopes.push((info.name.clone(), env));
+    }
+    // Addressing past the roster answers a typed UNKNOWN_OBJECT error
+    // and leaves the connection serviceable.
+    match client.object_id(99).query(1) {
+        Err(ivl_core::service::client::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ivl_core::service::protocol::ErrorCode::UnknownObject);
+        }
+        other => panic!("expected unknown-object error, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats answered");
+    assert_eq!(stats.objects.len(), NAMES.len());
+    for row in &stats.objects {
+        assert_eq!(row.updates, 120, "object {} update count", row.id);
+        assert_eq!(row.observed, 240, "object {} observed weight", row.id);
+    }
+    drop(client);
+
+    handle.shutdown();
+    let joined = handle.join();
+    let verdicts = joined.verdicts().expect("recording was on");
+    assert_eq!(verdicts.len(), NAMES.len());
+    for v in &verdicts {
+        assert_ne!(
+            v.ivl,
+            Some(false),
+            "object {} ({}) projection is not IVL on {backend}",
+            v.id,
+            v.name
+        );
+        assert!(v.ops > 0, "object {} projection is empty", v.id);
+    }
+    MultiObjectOutcome {
+        verdicts: verdicts
+            .into_iter()
+            .map(|v| (v.id, v.name, v.kind.to_string(), v.ops, v.ivl))
+            .collect(),
+        envelopes,
+    }
+}
+
+#[test]
+fn multi_object_verdicts_are_identical_across_backends() {
+    let threaded = multi_object_run(Backend::Threaded);
+    let event_loop = multi_object_run(Backend::EventLoop);
+    assert_eq!(
+        threaded, event_loop,
+        "per-object verdicts and quiescent envelopes must not depend on the backend"
     );
 }
 
