@@ -1,6 +1,6 @@
 //! `ivl_lint`: a hand-rolled, dependency-free repository lint.
 //!
-//! Six checks, each encoding an invariant of this repository that
+//! Seven checks, each encoding an invariant of this repository that
 //! the compiler cannot express:
 //!
 //! 1. **crate-attrs** — every workspace crate's `src/lib.rs` carries
@@ -25,10 +25,10 @@
 //!    by design and are exempt).
 //! 4. **no-sleep** — no `thread::sleep` in non-test server/client
 //!    code (`crates/service`, `crates/bench`, `crates/counter`,
-//!    `crates/core`). Sleeping in a hot path hides backpressure bugs
-//!    that the IVL error envelopes would otherwise surface. A
-//!    deliberate sleep is annotated `// lint:allow sleep — <reason>`
-//!    on the same or preceding line.
+//!    `crates/core`, `crates/replica`). Sleeping in a hot path hides
+//!    backpressure bugs that the IVL error envelopes would otherwise
+//!    surface. A deliberate sleep is annotated
+//!    `// lint:allow sleep — <reason>` on the same or preceding line.
 //! 5. **frame-tags** — the wire-protocol tag bytes in
 //!    `crates/service/src/protocol.rs` are pairwise distinct within
 //!    each namespace (the constant's name prefix: `OP_*` frame
@@ -41,6 +41,14 @@
 //!    its verdict argument fails the lint — the per-object IVL
 //!    verdicts are only as trustworthy as the functional each object
 //!    chooses to record.
+//! 7. **envelope-compose** — every `ErrorEnvelope` variant declared in
+//!    `crates/service/src/envelope.rs` appears in the body of
+//!    `ErrorEnvelope::compose`. The replication layer ships composed
+//!    envelopes for merged reads; an envelope kind added without a
+//!    composition rule would make `compose` refuse (or worse,
+//!    mis-bound) that kind's merged reads, so the arm — and its
+//!    soundness argument in the compose doc — must land with the
+//!    variant.
 //!
 //! The engine is parameterized by the repository root so the test
 //! suite can point it at fixture trees with planted violations.
@@ -50,13 +58,14 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The checks, in execution order.
-pub const CHECKS: [&str; 6] = [
+pub const CHECKS: [&str; 7] = [
     "crate-attrs",
     "ordering-audit",
     "rmw-hazard",
     "no-sleep",
     "frame-tags",
     "served-objects",
+    "envelope-compose",
 ];
 
 /// Files whose update paths must stay free of CAS-style RMWs. The
@@ -76,7 +85,7 @@ const RMW_HAZARD_FILES: [&str; 6] = [
 const RMW_PATTERNS: [&str; 3] = ["compare_exchange", "fetch_update", "compare_and_swap"];
 
 /// Crates whose non-test sources must not sleep.
-const NO_SLEEP_CRATES: [&str; 4] = ["service", "bench", "counter", "core"];
+const NO_SLEEP_CRATES: [&str; 5] = ["service", "bench", "counter", "core", "replica"];
 
 /// One lint violation.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -530,6 +539,90 @@ fn check_served_objects(root: &Path, report: &mut LintReport) {
     }
 }
 
+/// The variant names of `pub enum ErrorEnvelope` and their 1-based
+/// declaration lines, parsed from the envelope source text.
+fn envelope_variants(text: &str) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut in_enum = false;
+    let mut depth = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if !in_enum {
+            if t.starts_with("pub enum ErrorEnvelope") {
+                in_enum = true;
+                depth = 0;
+            }
+            continue;
+        }
+        // Only top-level lines of the enum body declare variants;
+        // struct-variant fields sit one brace deeper.
+        if depth == 0 {
+            if t == "}" {
+                break;
+            }
+            if !t.starts_with("///") && !t.starts_with("#[") {
+                let name: String = t
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    variants.push((name, i + 1));
+                }
+            }
+        }
+        depth += t.matches('{').count();
+        depth = depth.saturating_sub(t.matches('}').count());
+    }
+    variants
+}
+
+fn check_envelope_compose(root: &Path, report: &mut LintReport) {
+    let path = root
+        .join("crates")
+        .join("service")
+        .join("src")
+        .join("envelope.rs");
+    let Ok(text) = fs::read_to_string(&path) else {
+        return;
+    };
+    report.files_scanned += 1;
+    let variants = envelope_variants(&text);
+    if variants.is_empty() {
+        return;
+    }
+    let Some(compose_at) = text.find("fn compose") else {
+        report.findings.push(LintFinding {
+            check: "envelope-compose",
+            file: rel(root, &path),
+            line: 0,
+            message: "ErrorEnvelope declares variants but has no compose() — merged \
+                      replica reads need a composition rule per envelope kind"
+                .to_string(),
+        });
+        return;
+    };
+    // The compose body: from the fn to the next fn (or end of file).
+    let after = &text[compose_at..];
+    let body = match after["fn compose".len()..].find("fn ") {
+        Some(next) => &after[..next + "fn compose".len()],
+        None => after,
+    };
+    for (name, line) in variants {
+        if !body.contains(&name) {
+            report.findings.push(LintFinding {
+                check: "envelope-compose",
+                file: rel(root, &path),
+                line,
+                message: format!(
+                    "`ErrorEnvelope::{name}` has no arm in compose(); every envelope kind \
+                     needs a composition rule (and its soundness note in the compose doc) \
+                     or replicated merges of this kind cannot be bounded"
+                ),
+            });
+        }
+    }
+}
+
 /// Runs every check against the repository rooted at `root`.
 pub fn run_lints(root: &Path) -> LintReport {
     let mut report = LintReport::default();
@@ -539,5 +632,6 @@ pub fn run_lints(root: &Path) -> LintReport {
     check_no_sleep(root, &mut report);
     check_frame_tags(root, &mut report);
     check_served_objects(root, &mut report);
+    check_envelope_compose(root, &mut report);
     report
 }

@@ -207,6 +207,47 @@ fn unlisted_served_objects_are_flagged() {
 }
 
 #[test]
+fn envelope_variant_missing_from_compose_is_flagged() {
+    let fx = Fixture::new("lint_fx_compose");
+    fx.write("crates/service/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/service/src/envelope.rs",
+        concat!(
+            "pub enum ErrorEnvelope {\n",
+            "    /// Handled below.\n",
+            "    Frequency(Envelope),\n",
+            "    Cardinality {\n",
+            "        estimate: f64,\n",
+            "        observed: u64,\n",
+            "    },\n",
+            "}\n",
+            "impl ErrorEnvelope {\n",
+            "    pub fn compose(parts: &[Self]) -> Result<Self, ComposeError> {\n",
+            "        match parts {\n",
+            "            [ErrorEnvelope::Frequency(head), ..] => todo!(),\n",
+            "            _ => Err(ComposeError::KindMismatch),\n",
+            "        }\n",
+            "    }\n",
+            "    pub fn observed(&self) -> u64 {\n",
+            "        0\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let report = run_lints(&fx.root);
+    let compose: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.check == "envelope-compose")
+        .collect();
+    assert_eq!(compose.len(), 1, "{}", report.render());
+    let f = compose[0];
+    assert!(f.file.ends_with("envelope.rs"));
+    assert_eq!(f.line, 4);
+    assert!(f.message.contains("ErrorEnvelope::Cardinality"));
+}
+
+#[test]
 fn json_report_shape_is_stable() {
     let fx = Fixture::new("lint_fx_json");
     fx.write("crates/x/src/lib.rs", "pub fn f() {}\n");

@@ -2,12 +2,21 @@
 //!
 //! ```text
 //! usage: ivl_check <file> <spec> [--per-object] [--hb] [--json]
+//!        ivl_check --replicated <file>... <spec> [--hb] [--json]
 //!   <file>  history in the ivl-spec text format (see ivl_spec::io)
 //!   <spec>  counter | incdec | max | min
 //!   --per-object  project the history per object id and check each
 //!           projection separately against <spec>, printing one
 //!           verdict row per object — Theorem 1's locality,
 //!           operationally: the history is IVL iff every row is
+//!   --replicated  treat each <file> as one replica's client-side
+//!           history of the same replicated run (the loadgen
+//!           `--history-out FILE.replicaK` files) and check every
+//!           replica's per-object projection; the composed verdict is
+//!           their conjunction — Theorem 1's locality applied across
+//!           replicas, which is exactly what makes the merged read's
+//!           composed envelope sound: `ErrorEnvelope::compose` only
+//!           widens bounds, so the merge is IVL iff its parts are
 //!   --hb    also print the happens-before summary of the history
 //!           (precedence pairs, concurrent pairs, max overlap)
 //!   --json  render the --hb summary as JSON, and append a verdict
@@ -15,7 +24,9 @@
 //!           "ivl": bool, "linearizable": bool|null}` — or, with
 //!           --per-object, `{"objects": [{"object": ID, "ops": N,
 //!           "checker": ..., "ivl": bool, "linearizable": bool|null},
-//!           ...], "ivl": bool}` (see README schemas)
+//!           ...], "ivl": bool}`, or, with --replicated,
+//!           `{"replicas": [{"file": PATH, "objects": [...],
+//!           "ivl": bool}, ...], "ivl": bool}` (see README schemas)
 //! ```
 //!
 //! Prints the timeline, the linearizability verdict, the IVL verdict
@@ -87,6 +98,7 @@ struct CheckOpts {
     hb: bool,
     json: bool,
     per_object: bool,
+    replicated: bool,
 }
 
 fn print_hb<U, Q, V>(h: &History<U, Q, V>, opts: CheckOpts)
@@ -130,35 +142,45 @@ struct ObjectRow {
     linearizable: Option<bool>,
 }
 
+/// The `"objects"` array body of a per-object JSON verdict.
+fn rows_json(rows: &[ObjectRow]) -> String {
+    let objects: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let lin = r
+                .linearizable
+                .map_or_else(|| "null".to_owned(), |l| l.to_string());
+            format!(
+                "{{\"object\": {}, \"ops\": {}, \"checker\": \"{}\", \
+                 \"ivl\": {}, \"linearizable\": {lin}}}",
+                r.object, r.ops, r.checker, r.ivl
+            )
+        })
+        .collect();
+    objects.join(", ")
+}
+
+/// The human-readable per-object verdict rows.
+fn print_rows(rows: &[ObjectRow]) {
+    for r in rows {
+        let shown = if r.ivl { "IVL" } else { "VIOLATION" };
+        println!(
+            "  object {:>3}: {:>6} ops  {:9}  ({} checker)",
+            r.object, r.ops, shown, r.checker
+        );
+    }
+}
+
 /// Prints the per-object verdict table (or its JSON form) and returns
 /// the Theorem 1 conjunction: the history is IVL iff every projection
 /// is.
 fn report_objects(opts: CheckOpts, rows: &[ObjectRow]) -> bool {
     let all = rows.iter().all(|r| r.ivl);
     if opts.json {
-        let objects: Vec<String> = rows
-            .iter()
-            .map(|r| {
-                let lin = r
-                    .linearizable
-                    .map_or_else(|| "null".to_owned(), |l| l.to_string());
-                format!(
-                    "{{\"object\": {}, \"ops\": {}, \"checker\": \"{}\", \
-                     \"ivl\": {}, \"linearizable\": {lin}}}",
-                    r.object, r.ops, r.checker, r.ivl
-                )
-            })
-            .collect();
-        println!("{{\"objects\": [{}], \"ivl\": {all}}}", objects.join(", "));
+        println!("{{\"objects\": [{}], \"ivl\": {all}}}", rows_json(rows));
     } else {
         println!("per-object verdicts (Theorem 1 locality):");
-        for r in rows {
-            let shown = if r.ivl { "IVL" } else { "VIOLATION" };
-            println!(
-                "  object {:>3}: {:>6} ops  {:9}  ({} checker)",
-                r.object, r.ops, shown, r.checker
-            );
-        }
+        print_rows(rows);
         println!("history IVL iff every projection is (Theorem 1): {all}");
     }
     all
@@ -176,6 +198,18 @@ where
 {
     let h: History<S::Update, u64, S::Value> = parse_history(text).map_err(|e| e.to_string())?;
     print_hb(&h, opts);
+    let rows = object_rows(&spec, &h)?;
+    Ok(report_objects(opts, &rows))
+}
+
+/// One verdict row per object id in the history, each projection
+/// checked separately (exact when small enough, monotone otherwise).
+fn object_rows<S>(spec: &S, h: &History<S::Update, u64, S::Value>) -> Result<Vec<ObjectRow>, String>
+where
+    S: MonotoneSpec + ObjectSpec<Query = u64> + Clone,
+    S::Update: Debug,
+    S::Value: Debug + std::fmt::Display,
+{
     let mut objects = h.objects();
     objects.sort_by_key(|o| o.0);
     if objects.is_empty() {
@@ -190,7 +224,7 @@ where
                 object: object.0,
                 ops,
                 checker: "monotone",
-                ivl: check_ivl_monotone(&spec, &proj).is_ivl(),
+                ivl: check_ivl_monotone(spec, &proj).is_ivl(),
                 linearizable: None,
             }
         } else {
@@ -208,7 +242,51 @@ where
         };
         rows.push(row);
     }
-    Ok(report_objects(opts, &rows))
+    Ok(rows)
+}
+
+/// `--replicated`: each file is one replica's client-side history of
+/// the same run. Every replica's per-object projection must be IVL on
+/// its own — that is the precondition under which the replication
+/// layer's merged read is sound: `ErrorEnvelope::compose` only widens
+/// part envelopes, so a merged read can only violate IVL if some part
+/// already did. The composed verdict is the conjunction (Theorem 1's
+/// locality, applied across objects *and* replicas).
+fn check_replicated<S>(spec: S, files: &[String], opts: CheckOpts) -> Result<bool, String>
+where
+    S: MonotoneSpec + ObjectSpec<Query = u64> + Clone,
+    S::Update: std::str::FromStr + Debug,
+    S::Value: std::str::FromStr + Debug + std::fmt::Display,
+{
+    let mut parts = Vec::new();
+    let mut all = true;
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let h: History<S::Update, u64, S::Value> =
+            parse_history(&text).map_err(|e| format!("{path}: {e}"))?;
+        print_hb(&h, opts);
+        let rows = object_rows(&spec, &h).map_err(|e| format!("{path}: {e}"))?;
+        let ok = rows.iter().all(|r| r.ivl);
+        all &= ok;
+        if opts.json {
+            parts.push(format!(
+                "{{\"file\": \"{path}\", \"objects\": [{}], \"ivl\": {ok}}}",
+                rows_json(&rows)
+            ));
+        } else {
+            println!("replica history {path}:");
+            print_rows(&rows);
+        }
+    }
+    if opts.json {
+        println!("{{\"replicas\": [{}], \"ivl\": {all}}}", parts.join(", "));
+    } else {
+        println!(
+            "merged reads IVL iff every replica projection is \
+             (Theorem 1 across replicas; compose only widens): {all}"
+        );
+    }
+    Ok(all)
 }
 
 /// Guard for the whole-history paths: they check one object at a
@@ -324,12 +402,41 @@ fn main() -> ExitCode {
             "--hb" => opts.hb = true,
             "--json" => opts.json = true,
             "--per-object" => opts.per_object = true,
+            "--replicated" => opts.replicated = true,
             _ => positional.push(arg),
         }
     }
+    if opts.replicated {
+        // One history per replica, spec last: the file list is open
+        // ended, so the two-positional gate does not apply.
+        if positional.len() < 2 {
+            eprintln!("usage: ivl_check --replicated <file>... <counter|max|min> [--hb] [--json]");
+            return ExitCode::from(1);
+        }
+        let spec_name = positional.last().expect("gated above").clone();
+        let files = &positional[..positional.len() - 1];
+        let outcome = match spec_name.as_str() {
+            "counter" => check_replicated(CounterCli, files, opts),
+            "max" => check_replicated(MaxCli, files, opts),
+            "min" => check_replicated(MinCli, files, opts),
+            other => {
+                eprintln!("--replicated needs a monotone spec (counter|max|min), not `{other}`");
+                return ExitCode::from(1);
+            }
+        };
+        return match outcome {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(2),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
     if positional.len() != 2 {
         eprintln!(
-            "usage: ivl_check <file> <counter|incdec|max|min> [--per-object] [--hb] [--json]"
+            "usage: ivl_check <file> <counter|incdec|max|min> [--per-object] [--hb] [--json]\n\
+             \x20      ivl_check --replicated <file>... <counter|max|min> [--hb] [--json]"
         );
         return ExitCode::from(1);
     }

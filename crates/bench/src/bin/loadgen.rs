@@ -4,6 +4,7 @@
 //! usage: loadgen [--backend threaded|event-loop|both] [--threads N]
 //!                [--ops N] [--keys N] [--queries N] [--batch N]
 //!                [--shards N] [--write-buffer B] [--mix SPEC]
+//!                [--replicas N] [--mode partition|mirror]
 //!                [--addr HOST:PORT] [--json FILE] [--history-out FILE]
 //!                [--shutdown] [--no-check]
 //! ```
@@ -41,8 +42,23 @@
 //! the `ivl_spec::io` text format, replayable with
 //! `ivl_check <file> counter`. `--shutdown` sends a SHUTDOWN frame
 //! when the load finishes.
+//!
+//! `--replicas N` appends replicated runs after the normal ones: N
+//! in-process servers sharing a seed, every ingest worker driving its
+//! own `ReplicaGroup` in `--mode partition` (default) or `mirror`,
+//! plus the `N == 1` degenerate group as a baseline when `N > 1`.
+//! Reported tails are the *merged* batch/query latencies (the group's
+//! route-split sends and merge-on-query reads), with per-replica rows:
+//! partition-mode batch tails per routed replica, and direct
+//! single-replica query tails for the merge-on-query overhead
+//! comparison. `--history-out` writes one client-side counter history
+//! per replica (`FILE.replicaK`) — partition attributes each routed
+//! sub-batch to its replica, mirror attributes every batch to every
+//! replica, and queries respond with the merged read's per-part
+//! observed weights — replayable with `ivl_check --replicated`.
 
 use ivl_bench::{mops, timed_scope, Worker};
+use ivl_replica::{ReplicaError, ReplicaGroup, ReplicaMode};
 use ivl_service::objects::{ObjectConfig, ObjectKind};
 use ivl_service::server::{serve, Backend, ServerConfig};
 use ivl_service::{Client, ClientError, ErrorCode, ErrorEnvelope, StatsReport};
@@ -169,6 +185,8 @@ struct Opts {
     shards: usize,
     write_buffer: u64,
     mix: Vec<MixEntry>,
+    replicas: usize,
+    replica_mode: ReplicaMode,
     check: bool,
     addr: Option<String>,
     json: Option<String>,
@@ -188,6 +206,8 @@ impl Default for Opts {
             shards: 8,
             write_buffer: 0,
             mix: parse_mix("cm").expect("default mix parses"),
+            replicas: 0,
+            replica_mode: ReplicaMode::Partition,
             check: true,
             addr: None,
             json: None,
@@ -211,6 +231,8 @@ fn parse() -> Option<Opts> {
             "--shards" => o.shards = num()? as usize,
             "--write-buffer" => o.write_buffer = num()?,
             "--mix" => o.mix = parse_mix(&args.next()?)?,
+            "--replicas" => o.replicas = num()? as usize,
+            "--mode" => o.replica_mode = args.next()?.parse().ok()?,
             "--no-check" => o.check = false,
             "--shutdown" => o.shutdown = true,
             "--backend" => {
@@ -805,6 +827,342 @@ fn write_client_history(path: &str, rec: ClientRecorder) -> Result<(), String> {
     Ok(())
 }
 
+/// Retries a group write for as long as the refusal is backpressure
+/// (a replica's `busy` shard budget), like the single-server path.
+fn group_batch_retrying(
+    group: &mut ReplicaGroup,
+    object: u32,
+    items: &[(u64, u64)],
+) -> Result<(), String> {
+    loop {
+        match group.batch(object, items) {
+            Ok(_) => return Ok(()),
+            Err(ReplicaError::Client(ClientError::Server {
+                code: ErrorCode::Busy,
+                ..
+                // lint:allow sleep — load generator backs off on replica Busy by design
+            })) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) => return Err(format!("replicated batch failed: {e}")),
+        }
+    }
+}
+
+/// One replicated ingest worker: its own [`ReplicaGroup`] over the
+/// shared roster. Partition mode pre-splits each batch by the group's
+/// key route so the send latency of each sub-batch is attributable to
+/// one replica; mirror mode fans the whole batch and only the merged
+/// latency is meaningful.
+#[allow(clippy::too_many_arguments)]
+fn replicated_ingest(
+    addrs: &[String],
+    mode: ReplicaMode,
+    seed_group: u64,
+    ops: u64,
+    keys: usize,
+    batch: usize,
+    seed: u64,
+    plan: &MixPlan,
+    merged_lat: &Samples,
+    replica_lat: &[Samples],
+    recorders: Option<&Vec<ClientRecorder>>,
+    process: ProcessId,
+) {
+    let n = addrs.len();
+    let mut group =
+        ReplicaGroup::new(addrs.to_vec(), mode, seed_group).expect("non-empty replica group");
+    let mut stream = ZipfStream::new(keys, 1.1, seed);
+    let mut pending = Vec::with_capacity(batch);
+    let mut merged_local = Vec::new();
+    let mut replica_local: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut sent = 0u64;
+    let mut seq = 0u64;
+    while sent < ops {
+        pending.clear();
+        while pending.len() < batch && sent < ops {
+            let key = stream.next_item();
+            pending.push((key, 1 + key % 3));
+            sent += 1;
+        }
+        let object = plan.ids[plan.pick(seq.wrapping_add(seed))];
+        seq += 1;
+        match mode {
+            ReplicaMode::Partition => {
+                let mut subs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+                for &(k, w) in &pending {
+                    subs[group.route(k)].push((k, w));
+                }
+                for (r, sub) in subs.iter().enumerate() {
+                    if sub.is_empty() {
+                        continue;
+                    }
+                    let weight: u64 = sub.iter().map(|&(_, w)| w).sum();
+                    let op = recorders.map(|rec| {
+                        rec[r].builder.lock().unwrap().invoke_update(
+                            process,
+                            ObjectId(object),
+                            weight,
+                        )
+                    });
+                    let t0 = Instant::now();
+                    group_batch_retrying(&mut group, object, sub).expect("partitioned batch");
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    merged_local.push(ns);
+                    replica_local[r].push(ns);
+                    if let (Some(rec), Some(op)) = (recorders, op) {
+                        rec[r].builder.lock().unwrap().respond_update(op);
+                    }
+                }
+            }
+            ReplicaMode::Mirror => {
+                let weight: u64 = pending.iter().map(|&(_, w)| w).sum();
+                let ops_per_replica: Option<Vec<_>> = recorders.map(|rec| {
+                    rec.iter()
+                        .map(|r| {
+                            r.builder.lock().unwrap().invoke_update(
+                                process,
+                                ObjectId(object),
+                                weight,
+                            )
+                        })
+                        .collect()
+                });
+                let t0 = Instant::now();
+                group_batch_retrying(&mut group, object, &pending).expect("mirrored batch");
+                merged_local.push(t0.elapsed().as_nanos() as u64);
+                if let (Some(rec), Some(ops)) = (recorders, ops_per_replica) {
+                    for (r, op) in rec.iter().zip(ops) {
+                        r.builder.lock().unwrap().respond_update(op);
+                    }
+                }
+            }
+        }
+    }
+    merged_lat.push_all(merged_local);
+    for (lat, local) in replica_lat.iter().zip(replica_local) {
+        lat.push_all(local);
+    }
+}
+
+/// The replicated querier: merged reads through the group (timed as
+/// the merged tail, recorded per replica with the read's per-part
+/// observed weights) interleaved with direct single-replica queries
+/// for the per-replica baseline the merge overhead is judged against.
+#[allow(clippy::too_many_arguments)]
+fn replicated_query(
+    addrs: &[String],
+    mode: ReplicaMode,
+    seed_group: u64,
+    queries: u64,
+    keys: usize,
+    plan: &MixPlan,
+    merged_lat: &Samples,
+    replica_lat: &[Samples],
+    recorders: Option<&Vec<ClientRecorder>>,
+    process: ProcessId,
+) {
+    let n = addrs.len();
+    let mut group =
+        ReplicaGroup::new(addrs.to_vec(), mode, seed_group).expect("non-empty replica group");
+    let mut direct: Vec<Client> = addrs
+        .iter()
+        .map(|a| Client::connect(a.parse::<SocketAddr>().expect("replica addr")))
+        .collect::<Result<_, _>>()
+        .expect("connect direct queriers");
+    let mut stream = ZipfStream::new(keys, 1.1, 0xbeef);
+    let mut merged_local = Vec::new();
+    let mut replica_local: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for i in 0..queries {
+        let key = stream.next_item();
+        let object = plan.ids[plan.pick(i)];
+        let ops_per_replica: Option<Vec<_>> = recorders.map(|rec| {
+            rec.iter()
+                .map(|r| {
+                    r.builder
+                        .lock()
+                        .unwrap()
+                        .invoke_query(process, ObjectId(object), 0)
+                })
+                .collect()
+        });
+        let t0 = Instant::now();
+        let read = group.query(object, key).expect("merged query answered");
+        merged_local.push(t0.elapsed().as_nanos() as u64);
+        if let (Some(rec), Some(ops)) = (recorders, ops_per_replica) {
+            for ((r, op), part) in rec.iter().zip(ops).zip(&read.parts) {
+                let observed = part.expect("all replicas reachable in-process");
+                r.builder.lock().unwrap().respond_query(op, observed);
+            }
+        }
+        if let ErrorEnvelope::Frequency(env) = &read.envelope {
+            assert!(
+                env.estimate >= env.lower_bound(),
+                "inconsistent merged envelope: {env:?}"
+            );
+        }
+        let r = (i % n as u64) as usize;
+        let t0 = Instant::now();
+        direct[r]
+            .object_id(object)
+            .query(key)
+            .expect("direct query answered");
+        replica_local[r].push(t0.elapsed().as_nanos() as u64);
+    }
+    merged_lat.push_all(merged_local);
+    for (lat, local) in replica_lat.iter().zip(replica_local) {
+        lat.push_all(local);
+    }
+}
+
+/// Boots `n` in-process replicas sharing a seed and drives them
+/// through per-worker [`ReplicaGroup`]s. Overall tails are the merged
+/// group latencies; the per-"object" rows are per-replica tails.
+fn run_replicated(o: &Opts, backend: Backend, n: usize) -> Result<RunOutcome, String> {
+    let mode = o.replica_mode;
+    let plan = MixPlan::in_process(&o.mix);
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            serve(
+                "127.0.0.1:0",
+                ServerConfig {
+                    backend,
+                    shards: o.shards,
+                    write_buffer: o.write_buffer,
+                    objects: plan.object_configs(),
+                    ..ServerConfig::default()
+                },
+            )
+        })
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let seed_group = ServerConfig::default().seed;
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    println!(
+        "replicated: {n} replicas [{}] in {mode} mode ({backend} backend, seed {seed_group})",
+        addrs.join(", ")
+    );
+
+    let merged_batch = Samples::default();
+    let merged_query = Samples::default();
+    let replica_batch: Vec<Samples> = (0..n).map(|_| Samples::default()).collect();
+    let replica_query: Vec<Samples> = (0..n).map(|_| Samples::default()).collect();
+    let recorders: Option<Vec<ClientRecorder>> = o
+        .history_out
+        .as_ref()
+        .map(|_| (0..n).map(|_| ClientRecorder::new()).collect());
+
+    let per_conn = o.ops;
+    let total_updates = per_conn * o.threads as u64;
+    let mut workers: Vec<Worker<'_>> = (0..o.threads)
+        .map(|t| -> Worker<'_> {
+            let (keys, batch) = (o.keys, o.batch);
+            let (addrs, plan) = (&addrs, &plan);
+            let (mlat, rlat, rec) = (&merged_batch, &replica_batch, recorders.as_ref());
+            Box::new(move || {
+                replicated_ingest(
+                    addrs,
+                    mode,
+                    seed_group,
+                    per_conn,
+                    keys,
+                    batch,
+                    0x10ad ^ t as u64,
+                    plan,
+                    mlat,
+                    rlat,
+                    rec,
+                    ProcessId(t as u32),
+                )
+            })
+        })
+        .collect();
+    let (queries, keys, threads) = (o.queries, o.keys, o.threads);
+    {
+        let (addrs, plan) = (&addrs, &plan);
+        let (mlat, rlat, rec) = (&merged_query, &replica_query, recorders.as_ref());
+        workers.push(Box::new(move || {
+            replicated_query(
+                addrs,
+                mode,
+                seed_group,
+                queries,
+                keys,
+                plan,
+                mlat,
+                rlat,
+                rec,
+                ProcessId(threads as u32),
+            );
+        }));
+    }
+    let wall = timed_scope(workers);
+
+    let batch_ns = Tail::of(&merged_batch.sorted());
+    let query_ns = Tail::of(&merged_query.sorted());
+    let mut objects = Vec::with_capacity(n);
+    for (r, (b, q)) in replica_batch.into_iter().zip(replica_query).enumerate() {
+        objects.push(ObjLat {
+            name: format!("replica{r}"),
+            batch_ns: Tail::of(&b.sorted()),
+            query_ns: Tail::of(&q.sorted()),
+        });
+    }
+
+    let label = format!("replicated-{mode}-x{n}");
+    report_named(
+        &label,
+        o.threads,
+        total_updates,
+        o.queries,
+        wall,
+        batch_ns,
+        query_ns,
+    );
+    report_objects(&label, &objects);
+
+    // Aggregate server-side counters across the replicas; keep the
+    // first replica's latency histograms (they are not summable).
+    let mut stats = handles[0].stats();
+    for h in &handles[1..] {
+        let s = h.stats();
+        stats.updates += s.updates;
+        stats.queries += s.queries;
+        stats.batches += s.batches;
+        stats.frames += s.frames;
+        stats.wakeups += s.wakeups;
+        stats.busy_rejections += s.busy_rejections;
+        stats.stream_len += s.stream_len;
+        stats.ready_peak = stats.ready_peak.max(s.ready_peak);
+    }
+    let expected = match mode {
+        ReplicaMode::Partition => total_updates,
+        ReplicaMode::Mirror => total_updates * n as u64,
+    };
+    if stats.updates != expected {
+        return Err(format!(
+            "replicas counted {} updates, expected {expected} ({mode} mode)",
+            stats.updates
+        ));
+    }
+    for h in handles {
+        h.join();
+    }
+    if let (Some(path), Some(recs)) = (&o.history_out, recorders) {
+        for (r, rec) in recs.into_iter().enumerate() {
+            write_client_history(&format!("{path}.replica{r}"), rec)?;
+        }
+    }
+    Ok(RunOutcome {
+        backend: label,
+        ingest_conns: o.threads,
+        total_updates,
+        wall,
+        batch_ns,
+        query_ns,
+        objects,
+        stats,
+    })
+}
+
 /// A second, tiny run whose history fits the exact checker's bound.
 fn run_exact_check(backend: Backend) -> Result<(), String> {
     let cfg = ServerConfig {
@@ -874,6 +1232,9 @@ fn write_json(o: &Opts, runs: &[RunOutcome]) -> Result<(), String> {
 fn run(o: &Opts) -> Result<(), String> {
     let mut runs = Vec::new();
     if let Some(addr) = &o.addr {
+        if o.replicas > 0 {
+            return Err("--replicas boots its own in-process replicas; drop --addr".into());
+        }
         runs.push(run_external(o, addr)?);
     } else {
         match o.mode {
@@ -914,6 +1275,33 @@ fn run(o: &Opts) -> Result<(), String> {
                 }
             }
         }
+        if o.replicas > 0 {
+            let backend = match o.mode {
+                Mode::Single(backend) => backend,
+                Mode::Both => Backend::Threaded,
+            };
+            // The N == 1 degenerate group isolates the replication
+            // layer's own overhead from the fan-out/merge cost.
+            let first = runs.len();
+            if o.replicas > 1 {
+                runs.push(run_replicated(o, backend, 1)?);
+            }
+            runs.push(run_replicated(o, backend, o.replicas)?);
+            if o.replicas > 1 {
+                let (one, many) = (&runs[first], &runs[first + 1]);
+                println!(
+                    "compare 1 vs {} replicas ({}): batch p99 {} ns -> {} ns, \
+                     query p99 {} ns -> {} ns (merge-on-query over {} snapshots)",
+                    o.replicas,
+                    o.replica_mode,
+                    one.batch_ns.p99,
+                    many.batch_ns.p99,
+                    one.query_ns.p99,
+                    many.query_ns.p99,
+                    o.replicas,
+                );
+            }
+        }
     }
     write_json(o, &runs)
 }
@@ -923,8 +1311,9 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: loadgen [--backend threaded|event-loop|both] [--threads N] \
              [--ops N] [--keys N] [--queries N] [--batch N] [--shards N] \
-             [--write-buffer B] [--mix cm=8,hll=1,morris=1] [--addr HOST:PORT] \
-             [--json FILE] [--history-out FILE] [--shutdown] [--no-check]"
+             [--write-buffer B] [--mix cm=8,hll=1,morris=1] [--replicas N] \
+             [--mode partition|mirror] [--addr HOST:PORT] [--json FILE] \
+             [--history-out FILE] [--shutdown] [--no-check]"
         );
         return ExitCode::from(1);
     };

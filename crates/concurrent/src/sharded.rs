@@ -181,6 +181,26 @@ impl ShardedPcm {
             .map(|cell| cell.load(Ordering::Acquire))
             .sum()
     }
+
+    /// Row-major snapshot of the summed cell matrix (`depth × width`
+    /// values, each the per-(row, col) sum across shards). Because
+    /// cells are additive and only grow, the returned matrix equals a
+    /// single-matrix CountMin over some intermediate mix of the
+    /// concurrent streams — an IVL read per cell, exactly what a
+    /// replication layer may merge cell-wise into a peer's snapshot
+    /// (concatenated-stream semantics of `CountMin::merge`).
+    pub fn cells_snapshot(&self) -> Vec<u64> {
+        let (depth, width) = (self.params.depth, self.params.width);
+        let mut out = vec![0u64; depth * width];
+        for shard in &self.shards {
+            for row in 0..depth {
+                for (col, cell) in shard.row(row).enumerate() {
+                    out[row * width + col] += cell.load(Ordering::Acquire);
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Single-writer add of `count` at one pre-hashed column per row:
@@ -421,6 +441,26 @@ mod tests {
         drop(l);
         // The handle's shard is permanent; the lease's shard returns.
         assert_eq!(sharded.lease().expect("lease shard free").shard(), 1);
+    }
+
+    #[test]
+    fn cells_snapshot_matches_sequential_sketch() {
+        let mut coins = CoinFlips::from_seed(8);
+        let mut cm = CountMin::new(params(), &mut coins);
+        let sharded = ShardedPcm::from_prototype(&cm, 3);
+        {
+            let mut a = sharded.lease().expect("shard free");
+            let mut b = sharded.lease().expect("shard free");
+            for k in 0..500u64 {
+                a.update_by(k % 17, 2);
+                b.update_by(k % 5, 1);
+            }
+        }
+        for k in 0..500u64 {
+            cm.update_by(k % 17, 2);
+            cm.update_by(k % 5, 1);
+        }
+        assert_eq!(sharded.cells_snapshot(), cm.cells());
     }
 
     #[test]

@@ -1,0 +1,1121 @@
+//! `ivl-replica`: N-replica serving with merge-on-query and composed
+//! IVL error envelopes.
+//!
+//! The paper's objects are *mergeable summaries*: CountMin cells add
+//! cell-wise, HLL registers max register-wise, Morris exponents and
+//! min registers are scalars with obvious joins. This crate is the
+//! distributed layer that cashes that property in: a [`ReplicaGroup`]
+//! fans updates out to N independent `ivl_serve` backends and answers
+//! reads by pulling each replica's `SNAPSHOT` (its mergeable state
+//! plus the [`ErrorEnvelope`] in force), merging the states, and
+//! shipping one composed envelope ([`ErrorEnvelope::compose`]) instead
+//! of inventing a bound.
+//!
+//! Two placement modes ([`ReplicaMode`]):
+//!
+//! * **partition** — each update goes to exactly one replica (routed
+//!   by key hash, with failover); replicas hold disjoint substreams
+//!   and merged state is the *sum* (CountMin cells add, estimates
+//!   add). The composed envelope sums `ε`, `lag`, `stream_len` and
+//!   union-bounds `δ` — exactly the sequential merge theorem, read
+//!   through Theorem 6.
+//! * **mirror** — each update goes to every reachable replica;
+//!   replicas hold the same stream and merged state is the cell-wise
+//!   *max* (sound because cells are monotone counters of one stream;
+//!   HLL/min merges are idempotent, so mirror and partition coincide
+//!   for them).
+//!
+//! **Health and degradation.** Each replica has a ledger: connect
+//! failures are retried a bounded number of times with backoff; a
+//! replica that stays unreachable is dropped from the merge and the
+//! group degrades to the reachable quorum rather than erroring. The
+//! merged frequency envelope *widens* to account for what the merge
+//! can no longer see: the missing replica's recorded update weight
+//! (its last observed count) is added to `lag` — acknowledged weight
+//! that may be invisible to this read is precisely what `lag` bounds
+//! (Lemma 10's shape, at replica granularity). Partition-mode updates
+//! whose connection died mid-roundtrip are *never silently resent* to
+//! the same replica (they could double-apply); they fail over to the
+//! next replica and their weight is recorded as in-doubt, widening
+//! both envelope sides (`ε` for a possible double count, `lag` for a
+//! possible miss).
+//!
+//! **Merge safety.** Replicas may only be merged if they sampled the
+//! same hash functions — the same `--seed` and object roster. Every
+//! snapshot carries a probe fingerprint of its hashes; the group
+//! rebuilds the prototype from [`slot_coins`]`(seed, object)` and
+//! refuses mismatches with a typed [`ReplicaError::MergeMismatch`]
+//! (surfaced on the wire as `ErrorCode::MergeMismatch` by the
+//! `ivl_replicate` frontend) instead of a panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use ivl_service::{
+    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, Client, ClientError, ComposeError,
+    Envelope, ErrorEnvelope, ObjectInfo, ObjectKind, ObjectSnapshot, SnapshotState, WireError,
+};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::hll::HyperLogLog;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// How a [`ReplicaGroup`] places updates across its replicas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaMode {
+    /// Each update goes to one replica (routed by key hash, failover
+    /// to the next reachable); merged state is the cell-wise sum over
+    /// disjoint substreams.
+    Partition,
+    /// Each update goes to every reachable replica; merged state is
+    /// the cell-wise max over copies of the same stream.
+    Mirror,
+}
+
+impl fmt::Display for ReplicaMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplicaMode::Partition => "partition",
+            ReplicaMode::Mirror => "mirror",
+        })
+    }
+}
+
+impl std::str::FromStr for ReplicaMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "partition" | "part" => Ok(ReplicaMode::Partition),
+            "mirror" | "mirrored" => Ok(ReplicaMode::Mirror),
+            other => Err(format!(
+                "unknown replica mode {other:?} (want partition|mirror)"
+            )),
+        }
+    }
+}
+
+/// Errors a replica-group operation can produce.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// The group was built with no replica addresses.
+    NoReplicas,
+    /// No replica could be reached (after bounded retries) for the
+    /// named operation — nothing to degrade to.
+    AllUnreachable {
+        /// What was being attempted.
+        what: &'static str,
+    },
+    /// Replica states cannot be merged: kinds, dimensions, or hash
+    /// coins disagree (different `--seed` or roster). Typed, not a
+    /// panic — the frontend maps it to `ErrorCode::MergeMismatch`.
+    MergeMismatch {
+        /// Human-readable mismatch description.
+        why: String,
+    },
+    /// Envelope composition refused the parts.
+    Compose(ComposeError),
+    /// A replica answered with a non-transient error (server refusal,
+    /// protocol violation).
+    Client(ClientError),
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaError::NoReplicas => write!(f, "replica group has no replicas"),
+            ReplicaError::AllUnreachable { what } => {
+                write!(f, "no replica reachable for {what}")
+            }
+            ReplicaError::MergeMismatch { why } => write!(f, "merge mismatch: {why}"),
+            ReplicaError::Compose(e) => write!(f, "compose: {e}"),
+            ReplicaError::Client(e) => write!(f, "replica: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+impl From<ComposeError> for ReplicaError {
+    fn from(e: ComposeError) -> Self {
+        ReplicaError::Compose(e)
+    }
+}
+
+impl From<ClientError> for ReplicaError {
+    fn from(e: ClientError) -> Self {
+        ReplicaError::Client(e)
+    }
+}
+
+/// One replica's health row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// The replica's address as configured.
+    pub addr: String,
+    /// Whether a connection is currently held.
+    pub connected: bool,
+    /// Connection failures seen so far (connects and mid-roundtrip
+    /// deaths, across all objects).
+    pub failures: u64,
+}
+
+/// A merged read: one composed envelope over the reachable replicas,
+/// plus per-replica accounting for degradation-aware callers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergedRead {
+    /// The composed envelope (estimate re-derived from merged state
+    /// for CountMin and HLL).
+    pub envelope: ErrorEnvelope,
+    /// Per-replica acknowledged update weight at its snapshot
+    /// (`None` = unreachable, excluded from the merge).
+    pub parts: Vec<Option<u64>>,
+    /// Replicas included in the merge.
+    pub reached: usize,
+    /// Replicas configured.
+    pub total: usize,
+    /// Recorded update weight of the unreachable replicas — the
+    /// amount the frequency envelope's `lag` was widened by.
+    pub missing_observed: u64,
+}
+
+/// A merged snapshot: the merged mergeable state itself, with the
+/// composed envelope — what the `ivl_replicate` frontend serves for
+/// `SNAPSHOT` so groups stack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergedSnapshot {
+    /// Object id (same on every replica by construction).
+    pub object: u32,
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// The merged state (sum or max of the parts, per mode).
+    pub state: SnapshotState,
+    /// The composed envelope (frequency `key`/`estimate` are the
+    /// snapshot-form zero sentinels).
+    pub envelope: ErrorEnvelope,
+    /// Per-replica acknowledged weight (`None` = unreachable).
+    pub parts: Vec<Option<u64>>,
+    /// Recorded update weight of the unreachable replicas.
+    pub missing_observed: u64,
+}
+
+/// Per-replica ledger: health plus the degradation accounting.
+#[derive(Debug, Default)]
+struct Ledger {
+    /// Connection failures (connects and mid-roundtrip deaths).
+    failures: u64,
+    /// Update weight this group routed here and saw acknowledged,
+    /// per object.
+    acked: HashMap<u32, u64>,
+    /// Observed weight from the replica's last successful snapshot,
+    /// per object (covers writes by other clients).
+    last_seen: HashMap<u32, u64>,
+    /// Partition mode: weight of updates whose connection died
+    /// mid-roundtrip here — possibly applied, possibly not — before
+    /// failing over. Widens both envelope sides.
+    in_doubt: HashMap<u32, u64>,
+    /// Mirror mode: weight acknowledged by the group that this
+    /// replica did not receive (it was unreachable).
+    missed: HashMap<u32, u64>,
+}
+
+impl Ledger {
+    fn bump(map: &mut HashMap<u32, u64>, object: u32, weight: u64) {
+        *map.entry(object).or_insert(0) += weight;
+    }
+
+    fn get(map: &HashMap<u32, u64>, object: u32) -> u64 {
+        map.get(&object).copied().unwrap_or(0)
+    }
+}
+
+/// The prototype rebuilt from the group seed, cached per object — the
+/// hash functions every replica must share for its state to merge.
+#[derive(Debug)]
+enum Proto {
+    Cm(CountMin),
+    Hll(HyperLogLog),
+}
+
+/// Why a single-replica write did not succeed.
+enum SendFailure {
+    /// No connection could be established (nothing was sent — safe to
+    /// route the update elsewhere).
+    Unreached,
+    /// The connection died mid-roundtrip (the update may or may not
+    /// have applied — ambiguous, never resent to the same replica).
+    Ambiguous,
+    /// The replica answered with a refusal; surfaced to the caller.
+    Fatal(ClientError),
+}
+
+/// A client-side replica group: N backends speaking the ordinary
+/// `ivl-service` protocol, one merged answer.
+#[derive(Debug)]
+pub struct ReplicaGroup {
+    addrs: Vec<String>,
+    mode: ReplicaMode,
+    seed: u64,
+    retry_limit: u32,
+    backoff: Duration,
+    clients: Vec<Option<Client>>,
+    ledgers: Vec<Ledger>,
+    protos: HashMap<u32, Proto>,
+}
+
+/// splitmix64 finalizer — scrambles keys before the `% n` partition
+/// route so consecutive keys spread across replicas.
+fn mix64(v: u64) -> u64 {
+    let mut x = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Whether a client error means the connection died (vs the server
+/// answering something) — the only failures health tracking treats as
+/// transient.
+fn transient(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(_) | ClientError::Wire(WireError::Truncated | WireError::Io(_))
+    )
+}
+
+impl ReplicaGroup {
+    /// Builds a group over `addrs` (each `host:port`). Connections are
+    /// opened lazily per replica; an unreachable replica is retried on
+    /// every later operation, so a replica that comes up after the
+    /// group does is picked up automatically.
+    ///
+    /// `seed` must equal the replicas' `--seed`: it rebuilds the hash
+    /// prototypes used to re-derive estimates from merged state, and
+    /// snapshots whose fingerprints disagree with it are refused.
+    pub fn new(addrs: Vec<String>, mode: ReplicaMode, seed: u64) -> Result<Self, ReplicaError> {
+        if addrs.is_empty() {
+            return Err(ReplicaError::NoReplicas);
+        }
+        let n = addrs.len();
+        Ok(ReplicaGroup {
+            addrs,
+            mode,
+            seed,
+            retry_limit: 2,
+            backoff: Duration::from_millis(20),
+            clients: (0..n).map(|_| None).collect(),
+            ledgers: (0..n).map(|_| Ledger::default()).collect(),
+            protos: HashMap::new(),
+        })
+    }
+
+    /// The placement mode.
+    pub fn mode(&self) -> ReplicaMode {
+        self.mode
+    }
+
+    /// Number of configured replicas.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the group has no replicas (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Sets how many reconnect attempts (with backoff between them) an
+    /// operation may spend per replica before degrading (default 2).
+    pub fn set_retry_limit(&mut self, limit: u32) {
+        self.retry_limit = limit;
+    }
+
+    /// Sets the pause between reconnect attempts (default 20ms).
+    pub fn set_backoff(&mut self, backoff: Duration) {
+        self.backoff = backoff;
+    }
+
+    /// Drops the held connection to replica `i` (if any). The next
+    /// operation reconnects; useful for operators cycling a replica
+    /// and for tests simulating one dying mid-run.
+    pub fn disconnect(&mut self, i: usize) {
+        self.clients[i] = None;
+    }
+
+    /// Per-replica health rows.
+    pub fn health(&self) -> Vec<ReplicaHealth> {
+        self.addrs
+            .iter()
+            .zip(&self.clients)
+            .zip(&self.ledgers)
+            .map(|((addr, client), ledger)| ReplicaHealth {
+                addr: addr.clone(),
+                connected: client.is_some(),
+                failures: ledger.failures,
+            })
+            .collect()
+    }
+
+    /// The partition route of `key`: which replica its substream
+    /// lives on (before failover).
+    pub fn route(&self, key: u64) -> usize {
+        (mix64(key) % self.addrs.len() as u64) as usize
+    }
+
+    /// Ensures a connection to replica `i`, retrying a bounded number
+    /// of times with backoff; `None` when it stays unreachable.
+    fn ensure_client(&mut self, i: usize) -> Option<&mut Client> {
+        if self.clients[i].is_none() {
+            let mut attempts_left = self.retry_limit;
+            loop {
+                match Client::connect(self.addrs[i].as_str()) {
+                    Ok(c) => {
+                        self.clients[i] = Some(c);
+                        break;
+                    }
+                    Err(_) if attempts_left > 0 => {
+                        attempts_left -= 1;
+                        self.ledgers[i].failures += 1;
+                        // lint:allow sleep — bounded backoff between reconnects to a down replica
+                        std::thread::sleep(self.backoff);
+                    }
+                    Err(_) => {
+                        self.ledgers[i].failures += 1;
+                        return None;
+                    }
+                }
+            }
+        }
+        self.clients[i].as_mut()
+    }
+
+    /// Runs an idempotent request against replica `i` with bounded
+    /// reconnect retries. `Ok(None)` = unreachable (degrade);
+    /// `Err` = the replica answered a refusal (do not degrade —
+    /// surfacing a config mismatch matters more than availability).
+    fn read_on<T>(
+        &mut self,
+        i: usize,
+        f: impl Fn(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<Option<T>, ReplicaError> {
+        let mut attempts_left = self.retry_limit;
+        loop {
+            let Some(client) = self.ensure_client(i) else {
+                return Ok(None);
+            };
+            match f(client) {
+                Ok(v) => return Ok(Some(v)),
+                Err(e) if transient(&e) => {
+                    self.clients[i] = None;
+                    self.ledgers[i].failures += 1;
+                    if attempts_left == 0 {
+                        return Ok(None);
+                    }
+                    attempts_left -= 1;
+                    // lint:allow sleep — bounded backoff before retrying an idempotent read
+                    std::thread::sleep(self.backoff);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Sends one write (update or batch) to replica `i`, exactly once:
+    /// a mid-roundtrip death is reported as [`SendFailure::Ambiguous`],
+    /// never resent here.
+    fn send_write(
+        &mut self,
+        i: usize,
+        object: u32,
+        items: &[(u64, u64)],
+    ) -> Result<(), SendFailure> {
+        let weight: u64 = items.iter().map(|&(_, w)| w).sum();
+        let Some(client) = self.ensure_client(i) else {
+            return Err(SendFailure::Unreached);
+        };
+        let sent = if let [(key, w)] = items {
+            client.object_id(object).update(*key, *w)
+        } else {
+            client.object_id(object).batch(items)
+        };
+        match sent {
+            Ok(_) => {
+                Ledger::bump(&mut self.ledgers[i].acked, object, weight);
+                Ok(())
+            }
+            Err(e) if transient(&e) => {
+                self.clients[i] = None;
+                self.ledgers[i].failures += 1;
+                Err(SendFailure::Ambiguous)
+            }
+            Err(e) => Err(SendFailure::Fatal(e)),
+        }
+    }
+
+    /// Partition-mode write of a sub-batch whose primary is
+    /// `route(items[0].0)`: tries the primary, then fails over to the
+    /// next replicas in ring order. Returns the replica that applied.
+    fn write_partitioned(
+        &mut self,
+        object: u32,
+        items: &[(u64, u64)],
+    ) -> Result<usize, ReplicaError> {
+        let n = self.addrs.len();
+        let primary = self.route(items[0].0);
+        let weight: u64 = items.iter().map(|&(_, w)| w).sum();
+        for off in 0..n {
+            let i = (primary + off) % n;
+            match self.send_write(i, object, items) {
+                Ok(()) => return Ok(i),
+                Err(SendFailure::Unreached) => {}
+                Err(SendFailure::Ambiguous) => {
+                    // Possibly applied at i; the failover may double
+                    // it, or it may be lost — both sides of the merged
+                    // envelope widen by this weight.
+                    Ledger::bump(&mut self.ledgers[i].in_doubt, object, weight);
+                }
+                Err(SendFailure::Fatal(e)) => return Err(e.into()),
+            }
+        }
+        Err(ReplicaError::AllUnreachable { what: "update" })
+    }
+
+    /// Mirror-mode write: fans `items` to every replica; succeeds if
+    /// at least one acknowledged. Replicas that missed it are debited
+    /// in their ledger so merged reads widen accordingly.
+    fn write_mirrored(
+        &mut self,
+        object: u32,
+        items: &[(u64, u64)],
+    ) -> Result<Vec<usize>, ReplicaError> {
+        let weight: u64 = items.iter().map(|&(_, w)| w).sum();
+        let mut applied = Vec::new();
+        for i in 0..self.addrs.len() {
+            match self.send_write(i, object, items) {
+                Ok(()) => applied.push(i),
+                Err(SendFailure::Unreached) | Err(SendFailure::Ambiguous) => {
+                    // Max-merge cannot double-count, so ambiguity just
+                    // means "treat as missed" (conservative).
+                    Ledger::bump(&mut self.ledgers[i].missed, object, weight);
+                }
+                Err(SendFailure::Fatal(e)) => return Err(e.into()),
+            }
+        }
+        if applied.is_empty() {
+            return Err(ReplicaError::AllUnreachable { what: "update" });
+        }
+        Ok(applied)
+    }
+
+    /// Ingests `weight` occurrences of `key` into object `object`.
+    /// Returns the replica indices that acknowledged (one in partition
+    /// mode, every reachable replica in mirror mode).
+    pub fn update(
+        &mut self,
+        object: u32,
+        key: u64,
+        weight: u64,
+    ) -> Result<Vec<usize>, ReplicaError> {
+        self.batch(object, &[(key, weight)])
+    }
+
+    /// Ingests many `(key, weight)` pairs. Partition mode splits the
+    /// batch by key route and sends one sub-batch per replica; mirror
+    /// mode fans the whole batch to every reachable replica.
+    pub fn batch(&mut self, object: u32, items: &[(u64, u64)]) -> Result<Vec<usize>, ReplicaError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.mode {
+            ReplicaMode::Mirror => self.write_mirrored(object, items),
+            ReplicaMode::Partition => {
+                let n = self.addrs.len();
+                let mut routed: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+                for &(key, weight) in items {
+                    routed[self.route(key)].push((key, weight));
+                }
+                let mut applied = Vec::new();
+                for sub in routed.iter().filter(|sub| !sub.is_empty()) {
+                    let i = self.write_partitioned(object, sub)?;
+                    if !applied.contains(&i) {
+                        applied.push(i);
+                    }
+                }
+                Ok(applied)
+            }
+        }
+    }
+
+    /// Pulls every reachable replica's snapshot of `object`; `None`
+    /// entries are replicas that stayed unreachable after retries.
+    fn gather(&mut self, object: u32) -> Result<Vec<Option<ObjectSnapshot>>, ReplicaError> {
+        let mut parts = Vec::with_capacity(self.addrs.len());
+        for i in 0..self.addrs.len() {
+            let snap = self.read_on(i, |c| c.snapshot(object))?;
+            if let Some(s) = &snap {
+                self.ledgers[i]
+                    .last_seen
+                    .insert(object, s.envelope.observed());
+            }
+            parts.push(snap);
+        }
+        if parts.iter().all(Option::is_none) {
+            return Err(ReplicaError::AllUnreachable { what: "snapshot" });
+        }
+        Ok(parts)
+    }
+
+    /// The weight the merge cannot see: each unreachable replica's
+    /// recorded update count — the larger of what this group routed to
+    /// it and what its last snapshot reported.
+    fn missing_observed(&self, object: u32, parts: &[Option<ObjectSnapshot>]) -> u64 {
+        parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| {
+                Ledger::get(&self.ledgers[i].acked, object)
+                    .max(Ledger::get(&self.ledgers[i].last_seen, object))
+            })
+            .sum()
+    }
+
+    /// Total in-doubt weight for `object` (partition failovers whose
+    /// first attempt died mid-roundtrip).
+    fn doubt(&self, object: u32) -> u64 {
+        self.ledgers
+            .iter()
+            .map(|l| Ledger::get(&l.in_doubt, object))
+            .sum()
+    }
+
+    /// Mirror-mode under-count bound: every included replica saw all
+    /// acknowledged weight except what it missed, so the max-merge
+    /// undershoots by at most the *smallest* miss among them.
+    fn mirror_missed(&self, object: u32, parts: &[Option<ObjectSnapshot>]) -> u64 {
+        parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| Ledger::get(&self.ledgers[i].missed, object))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The CountMin prototype for `object`, rebuilt from the group
+    /// seed and checked against the snapshot fingerprint.
+    fn cm_proto(
+        &mut self,
+        object: u32,
+        width: u32,
+        depth: u32,
+        hash_fp: u64,
+    ) -> Result<&CountMin, ReplicaError> {
+        if !self.protos.contains_key(&object) {
+            let params = CountMinParams {
+                width: width as usize,
+                depth: depth as usize,
+            };
+            let mut coins = slot_coins(self.seed, object);
+            self.protos
+                .insert(object, Proto::Cm(CountMin::new(params, &mut coins)));
+        }
+        match self.protos.get(&object) {
+            Some(Proto::Cm(proto)) => {
+                if cm_hash_fingerprint(proto.hashes()) != hash_fp {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica CountMin coins do not match group seed {}",
+                            self.seed
+                        ),
+                    });
+                }
+                Ok(proto)
+            }
+            _ => Err(ReplicaError::MergeMismatch {
+                why: format!("object {object} changed kind across reads"),
+            }),
+        }
+    }
+
+    /// The HLL prototype for `object`, rebuilt from the group seed and
+    /// checked against the snapshot fingerprint.
+    fn hll_proto(
+        &mut self,
+        object: u32,
+        registers: usize,
+        hash_fp: u64,
+    ) -> Result<&HyperLogLog, ReplicaError> {
+        if !self.protos.contains_key(&object) {
+            let precision = registers.trailing_zeros();
+            let mut coins = slot_coins(self.seed, object);
+            self.protos
+                .insert(object, Proto::Hll(HyperLogLog::new(precision, &mut coins)));
+        }
+        match self.protos.get(&object) {
+            Some(Proto::Hll(proto)) => {
+                if hll_hash_fingerprint(proto) != hash_fp {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica HLL coins do not match group seed {}",
+                            self.seed
+                        ),
+                    });
+                }
+                Ok(proto)
+            }
+            _ => Err(ReplicaError::MergeMismatch {
+                why: format!("object {object} changed kind across reads"),
+            }),
+        }
+    }
+
+    /// Merges gathered snapshots into one state + composed envelope.
+    /// `key` picks the frequency point estimate; `None` keeps the
+    /// snapshot-form zero sentinels.
+    fn merge_parts(
+        &mut self,
+        object: u32,
+        key: Option<u64>,
+        parts: Vec<Option<ObjectSnapshot>>,
+    ) -> Result<MergedSnapshot, ReplicaError> {
+        let included: Vec<&ObjectSnapshot> = parts.iter().flatten().collect();
+        let kind = included[0].kind;
+        if included.iter().any(|s| s.kind != kind) {
+            return Err(ReplicaError::MergeMismatch {
+                why: format!("object {object}: replicas disagree on object kind"),
+            });
+        }
+        let missing = self.missing_observed(object, &parts);
+        let doubt = self.doubt(object);
+        let mirror_missed = self.mirror_missed(object, &parts);
+        let envelopes: Vec<ErrorEnvelope> = included.iter().map(|s| s.envelope.clone()).collect();
+
+        let (state, envelope) = match kind {
+            ObjectKind::CountMin => self.merge_count_min(
+                object,
+                key,
+                &included,
+                &envelopes,
+                missing,
+                doubt,
+                mirror_missed,
+            )?,
+            ObjectKind::Hll => self.merge_hll(object, &included, &envelopes)?,
+            ObjectKind::Morris => merge_morris(object, &included, &envelopes, self.mode)?,
+            ObjectKind::MinRegister => merge_min(object, &included, &envelopes, self.mode)?,
+        };
+        Ok(MergedSnapshot {
+            object,
+            kind,
+            state,
+            envelope,
+            parts: parts
+                .iter()
+                .map(|p| p.as_ref().map(|s| s.envelope.observed()))
+                .collect(),
+            missing_observed: missing,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn merge_count_min(
+        &mut self,
+        object: u32,
+        key: Option<u64>,
+        included: &[&ObjectSnapshot],
+        envelopes: &[ErrorEnvelope],
+        missing: u64,
+        doubt: u64,
+        mirror_missed: u64,
+    ) -> Result<(SnapshotState, ErrorEnvelope), ReplicaError> {
+        let mut dims: Option<(u32, u32, u64)> = None;
+        let mut merged: Vec<u64> = Vec::new();
+        for snap in included {
+            let SnapshotState::CountMin {
+                width,
+                depth,
+                hash_fp,
+                cells,
+            } = &snap.state
+            else {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!("object {object}: kind tag and state disagree"),
+                });
+            };
+            match dims {
+                None => {
+                    dims = Some((*width, *depth, *hash_fp));
+                    merged = cells.clone();
+                }
+                Some(d) if d != (*width, *depth, *hash_fp) => {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica CountMin dimensions or coins disagree"
+                        ),
+                    });
+                }
+                Some(_) => {
+                    for (a, b) in merged.iter_mut().zip(cells) {
+                        match self.mode {
+                            ReplicaMode::Partition => *a += b,
+                            ReplicaMode::Mirror => *a = (*a).max(*b),
+                        }
+                    }
+                }
+            }
+        }
+        let (width, depth, hash_fp) = dims.expect("at least one included snapshot");
+        let mode = self.mode;
+        let proto = self.cm_proto(object, width, depth, hash_fp)?;
+        let estimate = key
+            .map(|k| {
+                (0..depth as usize)
+                    .map(|row| merged[proto.cell_index(row, k)])
+                    .min()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        let envelope = match mode {
+            ReplicaMode::Partition => {
+                // Compose the parts' (ε, δ, n, lag), then install the
+                // estimate derived from the merged (summed) cells and
+                // widen for what the merge cannot see.
+                let keyed: Vec<ErrorEnvelope> = envelopes
+                    .iter()
+                    .map(|e| match e {
+                        ErrorEnvelope::Frequency(env) => {
+                            let mut env = *env;
+                            env.key = key.unwrap_or(0);
+                            env.estimate = 0;
+                            ErrorEnvelope::Frequency(env)
+                        }
+                        other => other.clone(),
+                    })
+                    .collect();
+                let ErrorEnvelope::Frequency(mut acc) = ErrorEnvelope::compose(&keyed)? else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: kind tag and envelope disagree"),
+                    });
+                };
+                acc.estimate = estimate;
+                // Missing substream: acknowledged weight invisible to
+                // this read — exactly what `lag` bounds. In-doubt
+                // weight may be missing *or* doubled, so it widens
+                // both sides.
+                acc.lag += missing + doubt;
+                acc.epsilon += doubt;
+                ErrorEnvelope::Frequency(acc)
+            }
+            ReplicaMode::Mirror => {
+                let freqs: Vec<&Envelope> = envelopes
+                    .iter()
+                    .filter_map(ErrorEnvelope::frequency)
+                    .collect();
+                if freqs.len() != envelopes.len() {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: kind tag and envelope disagree"),
+                    });
+                }
+                let head = freqs[0];
+                if freqs.iter().any(|e| e.alpha != head.alpha) {
+                    return Err(ReplicaError::Compose(ComposeError::ParamMismatch("alpha")));
+                }
+                let stream_len = freqs.iter().map(|e| e.stream_len).max().unwrap_or(0);
+                let lag = freqs.iter().map(|e| e.lag).max().unwrap_or(0);
+                let mut env = Envelope::new(
+                    key.unwrap_or(0),
+                    estimate,
+                    stream_len,
+                    head.alpha,
+                    head.delta,
+                    lag,
+                );
+                // Every included replica missed at most `missed`
+                // acknowledged weight; the max-merge undershoots by at
+                // most the smallest such miss.
+                env.lag += mirror_missed;
+                ErrorEnvelope::Frequency(env)
+            }
+        };
+        let state = SnapshotState::CountMin {
+            width,
+            depth,
+            hash_fp,
+            cells: merged,
+        };
+        Ok((state, envelope))
+    }
+
+    fn merge_hll(
+        &mut self,
+        object: u32,
+        included: &[&ObjectSnapshot],
+        envelopes: &[ErrorEnvelope],
+    ) -> Result<(SnapshotState, ErrorEnvelope), ReplicaError> {
+        let mut fp: Option<u64> = None;
+        let mut merged: Vec<u8> = Vec::new();
+        for snap in included {
+            let SnapshotState::Hll { hash_fp, registers } = &snap.state else {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!("object {object}: kind tag and state disagree"),
+                });
+            };
+            match fp {
+                None => {
+                    fp = Some(*hash_fp);
+                    merged = registers.clone();
+                }
+                Some(f) if f != *hash_fp || merged.len() != registers.len() => {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: replica HLL precision or coins disagree"),
+                    });
+                }
+                Some(_) => {
+                    // Register-wise max is the HLL merge in both
+                    // modes (idempotent, commutative).
+                    for (a, &b) in merged.iter_mut().zip(registers) {
+                        *a = (*a).max(b);
+                    }
+                }
+            }
+        }
+        let hash_fp = fp.expect("at least one included snapshot");
+        let mode = self.mode;
+        let proto = self.hll_proto(object, merged.len(), hash_fp)?;
+        let mut seq = proto.clone();
+        seq.merge_registers(&merged);
+        let register_sum: u64 = merged.iter().map(|&b| b as u64).sum();
+        let observed =
+            envelopes
+                .iter()
+                .map(ErrorEnvelope::observed)
+                .fold(0u64, |acc, o| match mode {
+                    ReplicaMode::Partition => acc + o,
+                    ReplicaMode::Mirror => acc.max(o),
+                });
+        let envelope = ErrorEnvelope::Cardinality {
+            estimate: seq.estimate(),
+            rel_std_err: seq.standard_error(),
+            registers: merged.len() as u64,
+            register_sum,
+            observed,
+        };
+        Ok((
+            SnapshotState::Hll {
+                hash_fp,
+                registers: merged,
+            },
+            envelope,
+        ))
+    }
+
+    /// A merged snapshot of `object` over the reachable replicas.
+    pub fn snapshot_merged(&mut self, object: u32) -> Result<MergedSnapshot, ReplicaError> {
+        let parts = self.gather(object)?;
+        self.merge_parts(object, None, parts)
+    }
+
+    /// Answers a query for `key` on `object` by merging the reachable
+    /// replicas' snapshots — the group's read primitive.
+    pub fn query(&mut self, object: u32, key: u64) -> Result<MergedRead, ReplicaError> {
+        let parts = self.gather(object)?;
+        let total = parts.len();
+        let merged = self.merge_parts(object, Some(key), parts)?;
+        Ok(MergedRead {
+            reached: merged.parts.iter().flatten().count(),
+            total,
+            envelope: merged.envelope,
+            parts: merged.parts,
+            missing_observed: merged.missing_observed,
+        })
+    }
+
+    /// The object roster, from the first reachable replica (rosters
+    /// must agree for the group to be meaningful).
+    pub fn objects(&mut self) -> Result<Vec<ObjectInfo>, ReplicaError> {
+        for i in 0..self.addrs.len() {
+            if let Some(infos) = self.read_on(i, |c| c.objects())? {
+                return Ok(infos);
+            }
+        }
+        Err(ReplicaError::AllUnreachable { what: "objects" })
+    }
+
+    /// Asks every reachable replica to shut down; returns how many
+    /// acknowledged.
+    pub fn shutdown(&mut self) -> usize {
+        let mut acked = 0;
+        for i in 0..self.addrs.len() {
+            if let Some(client) = self.ensure_client(i) {
+                if client.shutdown().is_ok() {
+                    acked += 1;
+                }
+                self.clients[i] = None;
+            }
+        }
+        acked
+    }
+}
+
+/// Morris merge: envelope-level (the exponent is the state). Partition
+/// sums the unbiased estimates over disjoint substreams; mirror keeps
+/// the max. The merged state keeps the max exponent as the monotone
+/// indicator in both modes.
+fn merge_morris(
+    object: u32,
+    included: &[&ObjectSnapshot],
+    envelopes: &[ErrorEnvelope],
+    mode: ReplicaMode,
+) -> Result<(SnapshotState, ErrorEnvelope), ReplicaError> {
+    let mut exp_max = 0u32;
+    for snap in included {
+        let SnapshotState::Morris { exponent } = &snap.state else {
+            return Err(ReplicaError::MergeMismatch {
+                why: format!("object {object}: kind tag and state disagree"),
+            });
+        };
+        exp_max = exp_max.max(*exponent);
+    }
+    let envelope = match mode {
+        ReplicaMode::Partition => ErrorEnvelope::compose(envelopes)?,
+        ReplicaMode::Mirror => {
+            let (mut est, mut a_param, mut obs) = (0.0f64, None, 0u64);
+            for env in envelopes {
+                let ErrorEnvelope::ApproxCount {
+                    estimate,
+                    a,
+                    observed,
+                    ..
+                } = env
+                else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: kind tag and envelope disagree"),
+                    });
+                };
+                match a_param {
+                    None => a_param = Some(*a),
+                    Some(p) if p != *a => {
+                        return Err(ReplicaError::Compose(ComposeError::ParamMismatch("a")))
+                    }
+                    Some(_) => {}
+                }
+                est = est.max(*estimate);
+                obs = obs.max(*observed);
+            }
+            ErrorEnvelope::ApproxCount {
+                estimate: est,
+                a: a_param.expect("at least one envelope"),
+                exponent: exp_max,
+                observed: obs,
+            }
+        }
+    };
+    Ok((SnapshotState::Morris { exponent: exp_max }, envelope))
+}
+
+/// Min-register merge: the union minimum is the min of part minima in
+/// both modes; `observed` sums over disjoint substreams and maxes over
+/// mirrored copies.
+fn merge_min(
+    object: u32,
+    included: &[&ObjectSnapshot],
+    envelopes: &[ErrorEnvelope],
+    mode: ReplicaMode,
+) -> Result<(SnapshotState, ErrorEnvelope), ReplicaError> {
+    let mut min = u64::MAX;
+    for snap in included {
+        let SnapshotState::MinRegister { minimum } = &snap.state else {
+            return Err(ReplicaError::MergeMismatch {
+                why: format!("object {object}: kind tag and state disagree"),
+            });
+        };
+        min = min.min(*minimum);
+    }
+    let envelope = match mode {
+        ReplicaMode::Partition => ErrorEnvelope::compose(envelopes)?,
+        ReplicaMode::Mirror => {
+            let mut obs = 0u64;
+            for env in envelopes {
+                let ErrorEnvelope::Minimum { observed, .. } = env else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: kind tag and envelope disagree"),
+                    });
+                };
+                obs = obs.max(*observed);
+            }
+            ErrorEnvelope::Minimum {
+                minimum: min,
+                observed: obs,
+            }
+        }
+    };
+    Ok((SnapshotState::MinRegister { minimum: min }, envelope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_parse_and_display() {
+        assert_eq!(
+            "partition".parse::<ReplicaMode>(),
+            Ok(ReplicaMode::Partition)
+        );
+        assert_eq!("mirror".parse::<ReplicaMode>(), Ok(ReplicaMode::Mirror));
+        assert!("primary".parse::<ReplicaMode>().is_err());
+        assert_eq!(ReplicaMode::Partition.to_string(), "partition");
+        assert_eq!(ReplicaMode::Mirror.to_string(), "mirror");
+    }
+
+    #[test]
+    fn empty_group_is_refused() {
+        assert!(matches!(
+            ReplicaGroup::new(Vec::new(), ReplicaMode::Partition, 1),
+            Err(ReplicaError::NoReplicas)
+        ));
+    }
+
+    #[test]
+    fn route_spreads_and_is_stable() {
+        let g = ReplicaGroup::new(
+            vec!["a:1".into(), "b:1".into(), "c:1".into()],
+            ReplicaMode::Partition,
+            1,
+        )
+        .unwrap();
+        let mut hit = [false; 3];
+        for key in 0..64u64 {
+            let r = g.route(key);
+            assert_eq!(r, g.route(key), "route must be deterministic");
+            hit[r] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "64 keys should touch all 3 replicas"
+        );
+    }
+
+    #[test]
+    fn unreachable_group_degrades_to_error_not_panic() {
+        // Port 1 on localhost refuses immediately; with zero retries
+        // the group reports AllUnreachable instead of hanging.
+        let mut g =
+            ReplicaGroup::new(vec!["127.0.0.1:1".into()], ReplicaMode::Partition, 1).unwrap();
+        g.set_retry_limit(0);
+        assert!(matches!(
+            g.update(0, 5, 1),
+            Err(ReplicaError::AllUnreachable { .. })
+        ));
+        assert!(matches!(
+            g.query(0, 5),
+            Err(ReplicaError::AllUnreachable { .. })
+        ));
+        let health = g.health();
+        assert_eq!(health.len(), 1);
+        assert!(!health[0].connected);
+        assert!(health[0].failures >= 2);
+    }
+}

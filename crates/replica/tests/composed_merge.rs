@@ -1,0 +1,198 @@
+//! Property tests of the composed-merge algebra the replication layer
+//! rests on: partitioning a stream across replicas and merging their
+//! mergeable states reproduces the single-stream sketch *exactly*, and
+//! the composed [`ErrorEnvelope`] still covers the union stream's true
+//! frequencies. Mismatched coins or parameters are refused with typed
+//! errors — never a panic, never a silently wrong merge.
+
+use ivl_service::{
+    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, ComposeError, Envelope, ErrorEnvelope,
+};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::{FrequencySketch, HyperLogLog};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CM_OBJECT: u32 = 0;
+const HLL_OBJECT: u32 = 1;
+
+/// The group's prototype build: dimensions fixed, coins from the
+/// shared `(seed, object)` slot — what makes replica states mergeable.
+fn fresh_cm(seed: u64) -> CountMin {
+    CountMin::new(
+        CountMinParams {
+            width: 128,
+            depth: 6,
+        },
+        &mut slot_coins(seed, CM_OBJECT),
+    )
+}
+
+fn fresh_hll(seed: u64) -> HyperLogLog {
+    HyperLogLog::new(8, &mut slot_coins(seed, HLL_OBJECT))
+}
+
+fn truth_of(stream: &[(u64, u64)]) -> HashMap<u64, u64> {
+    let mut t = HashMap::new();
+    for &(k, w) in stream {
+        *t.entry(k).or_default() += w;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partitioned CountMin: cell-wise merging the parts reproduces
+    /// the single-stream sketch exactly, and the merged estimate sits
+    /// inside the envelope composed from the parts' own envelopes —
+    /// the replication layer's served bound is the sequential merge
+    /// theorem read through Theorem 6, not an invention.
+    #[test]
+    fn partitioned_countmin_merge_is_exact_and_covered(
+        stream in proptest::collection::vec((0u64..40, 1u64..4), 1..200),
+        parts in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut full = fresh_cm(seed);
+        let mut shards: Vec<CountMin> = (0..parts).map(|_| fresh_cm(seed)).collect();
+        for (i, &(k, w)) in stream.iter().enumerate() {
+            full.update_by(k, w);
+            shards[i % parts].update_by(k, w);
+        }
+
+        let mut merged = fresh_cm(seed);
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(merged.cells(), full.cells());
+
+        let alpha = merged.params().alpha();
+        let delta = merged.params().delta();
+        for (&k, &f) in &truth_of(&stream) {
+            // Each part's envelope bounds its own substream; compose
+            // them as the group does, then install the merged-cells
+            // estimate in place of the (over-counting) estimate sum.
+            let part_envs: Vec<ErrorEnvelope> = shards
+                .iter()
+                .map(|s| {
+                    ErrorEnvelope::Frequency(Envelope::new(
+                        k,
+                        s.estimate(k),
+                        s.stream_len(),
+                        alpha,
+                        delta,
+                        0,
+                    ))
+                })
+                .collect();
+            let composed = match ErrorEnvelope::compose(&part_envs) {
+                Ok(env) => env,
+                Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                    format!("same-coin parts must compose: {e}"),
+                )),
+            };
+            let Some(env) = composed.frequency() else {
+                return Err(proptest::test_runner::TestCaseError::fail(
+                    "composed frequency envelope changed kind",
+                ));
+            };
+            prop_assert_eq!(env.stream_len, full.stream_len());
+            let est = merged.estimate(k);
+            prop_assert!(
+                est <= env.estimate,
+                "merged estimate above the sum of part estimates"
+            );
+            let mut installed = *env;
+            installed.estimate = est;
+            prop_assert!(
+                installed.covers(f, f),
+                "merged estimate outside the composed envelope"
+            );
+        }
+    }
+
+    /// Partitioned HLL: register-wise max merging the parts reproduces
+    /// the single-stream registers exactly (the merge is idempotent
+    /// and commutative), so the merged estimate equals the full
+    /// stream's and dominates every part's.
+    #[test]
+    fn partitioned_hll_merge_equals_single_stream(
+        stream in proptest::collection::vec(0u64..10_000, 1..300),
+        parts in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut full = fresh_hll(seed);
+        let mut shards: Vec<HyperLogLog> = (0..parts).map(|_| fresh_hll(seed)).collect();
+        for (i, &k) in stream.iter().enumerate() {
+            full.update(k);
+            shards[i % parts].update(k);
+        }
+        let mut merged = fresh_hll(seed);
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(merged.registers(), full.registers());
+        for s in &shards {
+            prop_assert!(merged.estimate() >= s.estimate());
+        }
+        // Mirroring (merging the same part twice) changes nothing.
+        let before = merged.registers().to_vec();
+        merged.merge(&shards[0]);
+        prop_assert_eq!(merged.registers(), &before[..]);
+    }
+
+    /// The probe fingerprints carried in snapshots: equal for replicas
+    /// sharing a seed slot, different across seeds — the mechanism
+    /// that turns a mis-seeded merge into a typed refusal.
+    #[test]
+    fn coin_fingerprints_detect_seed_mismatch(
+        seed in 0u64..5000,
+        skew in 1u64..5000,
+    ) {
+        let a = fresh_cm(seed);
+        let b = fresh_cm(seed);
+        let c = fresh_cm(seed + skew);
+        prop_assert_eq!(cm_hash_fingerprint(a.hashes()), cm_hash_fingerprint(b.hashes()));
+        prop_assert_ne!(cm_hash_fingerprint(a.hashes()), cm_hash_fingerprint(c.hashes()));
+
+        let ha = fresh_hll(seed);
+        let hb = fresh_hll(seed);
+        let hc = fresh_hll(seed + skew);
+        prop_assert_eq!(hll_hash_fingerprint(&ha), hll_hash_fingerprint(&hb));
+        prop_assert_ne!(hll_hash_fingerprint(&ha), hll_hash_fingerprint(&hc));
+    }
+
+    /// Composition refuses parts that cannot soundly merge — different
+    /// kinds, or shared parameters that disagree — with typed errors.
+    #[test]
+    fn compose_refuses_mismatched_parts_with_typed_errors(
+        key in 0u64..100,
+        n in 1u64..1000,
+        est in 0u64..50,
+    ) {
+        let freq = ErrorEnvelope::Frequency(Envelope::new(key, est, n, 0.01, 0.01, 0));
+        let other_alpha = ErrorEnvelope::Frequency(Envelope::new(key, est, n, 0.02, 0.01, 0));
+        prop_assert!(matches!(
+            ErrorEnvelope::compose(&[freq.clone(), other_alpha]),
+            Err(ComposeError::ParamMismatch("alpha"))
+        ));
+        let other_key = ErrorEnvelope::Frequency(Envelope::new(key + 1, est, n, 0.01, 0.01, 0));
+        prop_assert!(matches!(
+            ErrorEnvelope::compose(&[freq.clone(), other_key]),
+            Err(ComposeError::ParamMismatch("key"))
+        ));
+        let minimum = ErrorEnvelope::Minimum {
+            minimum: key,
+            observed: n,
+        };
+        prop_assert!(matches!(
+            ErrorEnvelope::compose(&[freq, minimum]),
+            Err(ComposeError::KindMismatch)
+        ));
+        prop_assert!(matches!(
+            ErrorEnvelope::compose(&[]),
+            Err(ComposeError::Empty)
+        ));
+    }
+}

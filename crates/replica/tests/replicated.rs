@@ -1,0 +1,294 @@
+//! End-to-end replicated serving: 3 real `ivl_serve` backends, a
+//! [`ReplicaGroup`] merging their snapshots, and the ISSUE's
+//! acceptance scenario — killing one replica mid-run *degrades* the
+//! merged answer (widened envelope, fewer reached parts, no wrong
+//! values) instead of erroring. Exercised on both serving backends.
+
+use ivl_replica::{ReplicaError, ReplicaGroup, ReplicaMode};
+use ivl_service::{
+    objects::{ObjectConfig, ObjectKind},
+    Backend, ErrorEnvelope, ServerConfig, ServerHandle,
+};
+use std::time::Duration;
+
+const SEED: u64 = 11;
+
+fn spawn_replica(backend: Backend, seed: u64) -> ServerHandle {
+    let cfg = ServerConfig {
+        backend,
+        shards: 2,
+        seed,
+        objects: vec![
+            ObjectConfig::new("cm", ObjectKind::CountMin),
+            ObjectConfig::new("hll", ObjectKind::Hll),
+            ObjectConfig::new("morris", ObjectKind::Morris),
+            ObjectConfig::new("low", ObjectKind::MinRegister),
+        ],
+        ..ServerConfig::default()
+    };
+    ivl_service::serve("127.0.0.1:0", cfg).expect("bind a replica")
+}
+
+fn group_over(replicas: &[ServerHandle], mode: ReplicaMode) -> ReplicaGroup {
+    let addrs = replicas.iter().map(|r| r.addr().to_string()).collect();
+    let mut group = ReplicaGroup::new(addrs, mode, SEED).expect("non-empty group");
+    // Keep degradation prompt in tests: one reconnect attempt, tiny
+    // backoff.
+    group.set_retry_limit(1);
+    group.set_backoff(Duration::from_millis(1));
+    group
+}
+
+/// The true (exact) frequency of `key` must be consistent with the
+/// merged frequency envelope: estimate never under the true count by
+/// more than `lag`, never over it by more than `epsilon`.
+fn assert_freq_within(env: &ErrorEnvelope, truth: u64) {
+    let env = env.frequency().expect("frequency envelope");
+    assert!(
+        env.covers(truth, truth),
+        "merged estimate {} (eps {}, lag {}) does not cover true frequency {}",
+        env.estimate,
+        env.epsilon,
+        env.lag,
+        truth
+    );
+}
+
+fn partitioned_run(backend: Backend) {
+    let mut replicas: Vec<ServerHandle> = (0..3).map(|_| spawn_replica(backend, SEED)).collect();
+    let mut group = group_over(&replicas, ReplicaMode::Partition);
+
+    // A skewed stream: key k appears k+1 times, fanned across the
+    // replicas by the group's key route.
+    let mut truth = [0u64; 16];
+    for k in 0..16u64 {
+        group.update(0, k, k + 1).expect("partitioned update");
+        group.update(1, k, 1).expect("hll update");
+        group.update(3, k + 100, 1).expect("min update");
+        truth[k as usize] += k + 1;
+    }
+
+    // Every replica took a share of the substream.
+    let read = group.query(0, 7).expect("merged query");
+    assert_eq!((read.reached, read.total), (3, 3));
+    assert_eq!(read.missing_observed, 0);
+    let total: u64 = read.parts.iter().flatten().sum();
+    assert_eq!(total, truth.iter().sum::<u64>(), "parts cover the stream");
+    assert!(read.parts.iter().all(|p| p.unwrap() > 0));
+    for k in [0u64, 7, 15] {
+        let read = group.query(0, k).expect("merged query");
+        assert_freq_within(&read.envelope, truth[k as usize]);
+    }
+
+    // Merged HLL: 16 distinct keys, estimate in the right ballpark
+    // and the merged register sum at least every part's.
+    let read = group.query(1, 0).expect("merged hll query");
+    match &read.envelope {
+        ErrorEnvelope::Cardinality {
+            estimate, observed, ..
+        } => {
+            assert_eq!(*observed, 16);
+            assert!(
+                (1.0..64.0).contains(estimate),
+                "16 distinct keys estimated as {estimate}"
+            );
+        }
+        other => panic!("wanted cardinality envelope, got {other:?}"),
+    }
+
+    // Merged min register: the union minimum.
+    let read = group.query(3, 0).expect("merged min query");
+    assert_eq!(
+        read.envelope,
+        ErrorEnvelope::Minimum {
+            minimum: 100,
+            observed: 16,
+        }
+    );
+
+    // Kill one replica mid-run: merged reads degrade — fewer parts, a
+    // lag-widened envelope accounting for its recorded weight — but
+    // never error and never contradict the surviving substreams.
+    let victim = replicas.remove(0);
+    let victim_observed = victim.stats().objects[0].observed;
+    // Close our side first: the threaded backend's connection threads
+    // only exit at client EOF, so joining while we hold a live socket
+    // to the victim would wait on us.
+    group.disconnect(0);
+    drop(victim.join());
+
+    let read = group.query(0, 7).expect("degraded query still answers");
+    assert_eq!((read.reached, read.total), (2, 3));
+    assert_eq!(read.parts.iter().filter(|p| p.is_none()).count(), 1);
+    assert_eq!(
+        read.missing_observed, victim_observed,
+        "envelope widened by the dead replica's recorded update count"
+    );
+    let env = read.envelope.frequency().expect("frequency envelope");
+    assert!(
+        env.lag >= victim_observed,
+        "lag {} must cover the missing replica's {} observed weight",
+        env.lag,
+        victim_observed
+    );
+    // The surviving parts' substream frequencies stay covered.
+    assert_freq_within(&read.envelope, truth[7]);
+
+    // Updates keep flowing: the dead replica's share fails over.
+    for k in 0..16u64 {
+        group.update(0, k, 1).expect("failover update");
+        truth[k as usize] += 1;
+    }
+    let read = group.query(0, 7).expect("post-failover query");
+    assert_eq!((read.reached, read.total), (2, 3));
+    assert_freq_within(&read.envelope, truth[7]);
+
+    // Release our connections before joining the survivors.
+    drop(group);
+    for r in replicas {
+        drop(r.join());
+    }
+}
+
+#[test]
+fn partitioned_three_replicas_threaded() {
+    partitioned_run(Backend::Threaded);
+}
+
+#[test]
+fn partitioned_three_replicas_event_loop() {
+    partitioned_run(Backend::EventLoop);
+}
+
+fn mirrored_run(backend: Backend) {
+    let mut replicas: Vec<ServerHandle> = (0..3).map(|_| spawn_replica(backend, SEED)).collect();
+    let mut group = group_over(&replicas, ReplicaMode::Mirror);
+
+    for k in 0..8u64 {
+        let applied = group.update(0, k, 2).expect("mirrored update");
+        assert_eq!(applied.len(), 3, "mirror fans to every replica");
+        group.update(1, k, 1).expect("mirrored hll update");
+    }
+
+    // Every replica saw the whole stream; the merged (max) estimate
+    // equals the per-replica one and observes the single stream once.
+    let read = group.query(0, 3).expect("merged mirror query");
+    assert_eq!((read.reached, read.total), (3, 3));
+    assert!(read.parts.iter().all(|p| *p == Some(16)));
+    let env = read.envelope.frequency().expect("frequency envelope");
+    assert_eq!(
+        env.stream_len, 16,
+        "mirror does not double-count the stream"
+    );
+    assert_freq_within(&read.envelope, 2);
+
+    let read = group.query(1, 0).expect("merged mirror hll query");
+    match &read.envelope {
+        ErrorEnvelope::Cardinality { observed, .. } => assert_eq!(*observed, 8),
+        other => panic!("wanted cardinality envelope, got {other:?}"),
+    }
+
+    // Kill a replica: mirrored reads keep the full stream (the
+    // survivors each hold a complete copy) with no widening needed.
+    let victim = replicas.remove(0);
+    group.disconnect(0);
+    drop(victim.join());
+    let read = group.query(0, 3).expect("degraded mirror query");
+    assert_eq!((read.reached, read.total), (2, 3));
+    let env = read.envelope.frequency().expect("frequency envelope");
+    assert_eq!(env.stream_len, 16);
+    assert_freq_within(&read.envelope, 2);
+
+    // Updates missed by the dead replica while it is down are debited:
+    // if it never returns, survivors still hold everything, so the
+    // merged envelope stays tight (min missed over included = 0).
+    for k in 0..8u64 {
+        group.update(0, k, 1).expect("mirror update after death");
+    }
+    let read = group.query(0, 3).expect("mirror query after death");
+    let env = read.envelope.frequency().expect("frequency envelope");
+    assert_eq!(env.lag, 0, "survivors saw every update; no widening");
+    assert_freq_within(&read.envelope, 3);
+
+    drop(group);
+    for r in replicas {
+        drop(r.join());
+    }
+}
+
+#[test]
+fn mirrored_three_replicas_threaded() {
+    mirrored_run(Backend::Threaded);
+}
+
+#[test]
+fn mirrored_three_replicas_event_loop() {
+    mirrored_run(Backend::EventLoop);
+}
+
+#[test]
+fn mismatched_seeds_are_a_typed_merge_error() {
+    // Two replicas with different seeds sampled different hash
+    // functions; merging their snapshots must be refused with the
+    // typed MergeMismatch, not a panic or a silent wrong answer.
+    let a = spawn_replica(Backend::Threaded, SEED);
+    let b = spawn_replica(Backend::Threaded, SEED + 1);
+    let addrs = vec![a.addr().to_string(), b.addr().to_string()];
+    let mut group = ReplicaGroup::new(addrs, ReplicaMode::Partition, SEED).expect("group");
+    group
+        .update(0, 1, 1)
+        .expect("updates do not merge, they route");
+    match group.query(0, 1) {
+        Err(ReplicaError::MergeMismatch { why }) => {
+            assert!(why.contains("coins") || why.contains("disagree"), "{why}");
+        }
+        other => panic!("wanted MergeMismatch, got {other:?}"),
+    }
+    drop(group);
+    drop(a.join());
+    drop(b.join());
+}
+
+#[test]
+fn group_seed_must_match_the_replicas() {
+    // Replicas agree with each other but not with the group's seed:
+    // the rebuilt prototype's fingerprint exposes it.
+    let a = spawn_replica(Backend::Threaded, SEED);
+    let b = spawn_replica(Backend::Threaded, SEED);
+    let addrs = vec![a.addr().to_string(), b.addr().to_string()];
+    let mut group = ReplicaGroup::new(addrs, ReplicaMode::Partition, SEED + 7).expect("group");
+    match group.query(0, 1) {
+        Err(ReplicaError::MergeMismatch { why }) => {
+            assert!(why.contains("seed"), "{why}");
+        }
+        other => panic!("wanted MergeMismatch, got {other:?}"),
+    }
+    drop(group);
+    drop(a.join());
+    drop(b.join());
+}
+
+#[test]
+fn morris_merges_at_the_envelope_level() {
+    let replicas: Vec<ServerHandle> = (0..2)
+        .map(|_| spawn_replica(Backend::Threaded, SEED))
+        .collect();
+    let mut group = group_over(&replicas, ReplicaMode::Partition);
+    for k in 0..32u64 {
+        group.update(2, k, 1).expect("morris update");
+    }
+    let read = group.query(2, 0).expect("merged morris query");
+    match &read.envelope {
+        ErrorEnvelope::ApproxCount {
+            estimate, observed, ..
+        } => {
+            assert_eq!(*observed, 32, "acknowledged weight sums over substreams");
+            assert!(*estimate > 0.0);
+        }
+        other => panic!("wanted approx-count envelope, got {other:?}"),
+    }
+    drop(group);
+    for r in replicas {
+        drop(r.join());
+    }
+}

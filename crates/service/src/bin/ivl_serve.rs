@@ -3,7 +3,7 @@
 //! ```text
 //! usage: ivl_serve [addr] [--backend threaded|event-loop] [--shards N]
 //!                  [--alpha A] [--delta D] [--max-conns N] [--record]
-//!                  [--write-buffer B] [--object NAME=KIND]...
+//!                  [--write-buffer B] [--seed N] [--object NAME=KIND]...
 //!   addr           listen address (default 127.0.0.1:7070; port 0 picks one)
 //!   --backend      serving backend: "threaded" (default, one thread per
 //!                  connection) or "event-loop" (epoll reactor shards)
@@ -17,6 +17,9 @@
 //!   --write-buffer writer-local batch size b (0 = off): coalesce up to
 //!                  b update weight per writer before touching the
 //!                  shared CountMin; envelopes widen by lag = shards*b
+//!   --seed         coin-flip seed for the objects' hash functions (1).
+//!                  Replicas that should merge (ivl_replicate) must
+//!                  share a seed and an object roster.
 //!   --object       register a named object (repeatable). KIND is one
 //!                  of cm|hll|morris|min; object 0 must be a cm (the
 //!                  default "cm=cm" if the first --object is not one).
@@ -31,7 +34,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ivl_serve [addr] [--backend threaded|event-loop] [--shards N] \
          [--alpha A] [--delta D] [--max-conns N] [--record] [--write-buffer B] \
-         [--object NAME=KIND]..."
+         [--seed N] [--object NAME=KIND]..."
     );
     ExitCode::from(1)
 }
@@ -72,6 +75,10 @@ fn main() -> ExitCode {
             },
             "--write-buffer" => match take("--write-buffer").and_then(|v| v.parse().ok()) {
                 Some(v) => cfg.write_buffer = v,
+                None => return usage(),
+            },
+            "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
                 None => return usage(),
             },
             "--object" => match take("--object").map(|v| v.parse()) {

@@ -14,11 +14,11 @@
 
 use crate::envelope::{Envelope, ErrorEnvelope};
 use crate::metrics::StatsReport;
-use crate::objects::ObjectInfo;
+use crate::objects::{ObjectInfo, ObjectSnapshot};
 use crate::protocol::{self, ErrorCode, FrameDecoder, Request, Response, WireError};
 use std::fmt;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 /// Errors a client call can produce.
 #[derive(Debug)]
@@ -71,11 +71,24 @@ impl From<WireError> for ClientError {
 /// event-loop backend uses: response frames are parsed zero-copy from
 /// a reusable buffer, so a long-lived client allocates nothing per
 /// roundtrip in the steady state.
+///
+/// **Reconnection.** Read-only requests (query, snapshot, stats,
+/// objects) are idempotent, so when the connection dies mid-roundtrip
+/// the client transparently reconnects and resends, up to
+/// [`reconnect_limit`](Self::set_reconnect_limit) times per call.
+/// Updates, batches, and shutdown are **never** silently retried: an
+/// update whose connection died may or may not have been applied, and
+/// resending it could double-count — the caller gets the error and
+/// owns the retry decision.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The peer address, kept for reconnects.
+    addr: SocketAddr,
     decoder: FrameDecoder,
     buf: Vec<u8>,
+    /// Reconnect-and-resend attempts allowed per idempotent call.
+    reconnect_limit: u32,
 }
 
 impl Client {
@@ -83,11 +96,45 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
         Ok(Client {
             stream,
+            addr,
             decoder: FrameDecoder::new(protocol::DEFAULT_MAX_FRAME_LEN),
             buf: Vec::new(),
+            reconnect_limit: 1,
         })
+    }
+
+    /// The server address this client (re)connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sets how many reconnect-and-resend attempts an idempotent call
+    /// may make after a dead connection (default 1; 0 disables).
+    pub fn set_reconnect_limit(&mut self, limit: u32) {
+        self.reconnect_limit = limit;
+    }
+
+    /// Replaces the dead connection with a fresh one; any buffered
+    /// half-read response bytes are dropped with the old stream.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.decoder = FrameDecoder::new(protocol::DEFAULT_MAX_FRAME_LEN);
+        Ok(())
+    }
+
+    /// Whether an error means the connection died (as opposed to the
+    /// server answering something) — the only case a resend of an
+    /// idempotent request can be correct.
+    fn connection_died(e: &ClientError) -> bool {
+        matches!(
+            e,
+            ClientError::Io(_) | ClientError::Wire(WireError::Truncated | WireError::Io(_))
+        )
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
@@ -109,6 +156,21 @@ impl Client {
             return Err(ClientError::Server { code, message });
         }
         Ok(rsp)
+    }
+
+    /// [`roundtrip`](Self::roundtrip) with bounded reconnect-and-resend
+    /// — only for requests that are safe to send twice.
+    fn roundtrip_idempotent(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut attempts_left = self.reconnect_limit;
+        loop {
+            match self.roundtrip(req) {
+                Err(e) if Self::connection_died(&e) && attempts_left > 0 => {
+                    attempts_left -= 1;
+                    self.reconnect()?;
+                }
+                other => return other,
+            }
+        }
     }
 
     fn update_object(&mut self, object: u32, key: u64, weight: u64) -> Result<u64, ClientError> {
@@ -133,9 +195,16 @@ impl Client {
     }
 
     fn query_object(&mut self, object: u32, key: u64) -> Result<ErrorEnvelope, ClientError> {
-        match self.roundtrip(&Request::Query { object, key })? {
+        match self.roundtrip_idempotent(&Request::Query { object, key })? {
             Response::Envelope(env) => Ok(env),
             _ => Err(ClientError::Unexpected("wanted ENVELOPE")),
+        }
+    }
+
+    fn snapshot_object(&mut self, object: u32) -> Result<ObjectSnapshot, ClientError> {
+        match self.roundtrip_idempotent(&Request::Snapshot { object })? {
+            Response::Snapshot(snap) => Ok(snap),
+            _ => Err(ClientError::Unexpected("wanted SNAPSHOT_REPLY")),
         }
     }
 
@@ -162,9 +231,15 @@ impl Client {
         }
     }
 
+    /// Pulls a mergeable snapshot of object `object`'s state plus its
+    /// current envelope — the replication layer's read primitive.
+    pub fn snapshot(&mut self, object: u32) -> Result<ObjectSnapshot, ClientError> {
+        self.snapshot_object(object)
+    }
+
     /// Lists the server's registered objects.
     pub fn objects(&mut self) -> Result<Vec<ObjectInfo>, ClientError> {
-        match self.roundtrip(&Request::Objects)? {
+        match self.roundtrip_idempotent(&Request::Objects)? {
             Response::Objects(infos) => Ok(infos),
             _ => Err(ClientError::Unexpected("wanted OBJECTS_REPLY")),
         }
@@ -195,7 +270,7 @@ impl Client {
 
     /// Fetches the server's metrics snapshot.
     pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
-        match self.roundtrip(&Request::Stats)? {
+        match self.roundtrip_idempotent(&Request::Stats)? {
             Response::Stats(report) => Ok(report),
             _ => Err(ClientError::Unexpected("wanted STATS")),
         }
@@ -245,5 +320,106 @@ impl ObjectHandle<'_> {
     /// envelope form.
     pub fn query(&mut self, key: u64) -> Result<ErrorEnvelope, ClientError> {
         self.client.query_object(self.object, key)
+    }
+
+    /// Pulls a mergeable snapshot of this object's state.
+    pub fn snapshot(&mut self) -> Result<ObjectSnapshot, ClientError> {
+        self.client.snapshot_object(self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    /// A half-close fixture: each accepted connection reads exactly
+    /// one request frame (counting it), then hangs up without
+    /// answering. From the `answer_after` -th connection on, requests
+    /// are served properly instead.
+    fn half_close_fixture(answer_after: u64) -> (SocketAddr, Arc<AtomicU64>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let frames = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&frames);
+        thread::spawn(move || {
+            let mut conns = 0u64;
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                conns += 1;
+                while let Ok(Some(payload)) =
+                    protocol::read_frame(&mut stream, protocol::DEFAULT_MAX_FRAME_LEN)
+                {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    if conns < answer_after {
+                        // Half-close without answering: the client's
+                        // pending read sees EOF mid-roundtrip.
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        break;
+                    }
+                    let rsp = match Request::decode(&payload).unwrap() {
+                        Request::Query { key, .. } => {
+                            Response::Envelope(ErrorEnvelope::Frequency(Envelope {
+                                key,
+                                estimate: 7,
+                                epsilon: 1,
+                                stream_len: 9,
+                                alpha: 0.1,
+                                delta: 0.1,
+                                lag: 0,
+                            }))
+                        }
+                        Request::Update { .. } => Response::Ack { applied: 1 },
+                        other => panic!("fixture got {other:?}"),
+                    };
+                    let mut buf = Vec::new();
+                    rsp.encode(&mut buf);
+                    stream.write_all(&buf).unwrap();
+                }
+            }
+        });
+        (addr, frames)
+    }
+
+    #[test]
+    fn idempotent_query_survives_a_half_closed_connection() {
+        let (addr, frames) = half_close_fixture(2);
+        let mut c = Client::connect(addr).unwrap();
+        // First attempt dies mid-roundtrip; the client reconnects and
+        // resends — two frames reach the fixture, one answer returns.
+        let env = c.query(5).unwrap();
+        assert_eq!((env.key, env.estimate), (5, 7));
+        assert_eq!(frames.load(Ordering::SeqCst), 2);
+        // The reconnected stream keeps working without further drops.
+        let env = c.query(6).unwrap();
+        assert_eq!(env.key, 6);
+        assert_eq!(frames.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn updates_are_never_silently_resent() {
+        let (addr, frames) = half_close_fixture(u64::MAX);
+        let mut c = Client::connect(addr).unwrap();
+        let err = c.update(5, 1).unwrap_err();
+        assert!(
+            Client::connection_died(&err),
+            "wanted a dead-connection error, got {err:?}"
+        );
+        // Exactly one frame ever reached the wire: the failed update
+        // was not resent on a fresh connection.
+        assert_eq!(frames.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reconnect_limit_zero_disables_resend() {
+        let (addr, frames) = half_close_fixture(u64::MAX);
+        let mut c = Client::connect(addr).unwrap();
+        c.set_reconnect_limit(0);
+        let err = c.query(5).unwrap_err();
+        assert!(Client::connection_died(&err), "got {err:?}");
+        assert_eq!(frames.load(Ordering::SeqCst), 1);
     }
 }

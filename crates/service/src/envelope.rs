@@ -183,7 +183,179 @@ impl ErrorEnvelope {
             _ => None,
         }
     }
+
+    /// Composes per-replica envelopes of *partitioned* substreams into
+    /// one envelope covering their union — the replication layer's
+    /// merged answer ships this instead of inventing a bound.
+    ///
+    /// Soundness per kind, with every part's guarantee over its own
+    /// substream:
+    ///
+    /// * **Frequency** — merged CountMin cells are cell-wise sums, so
+    ///   the merged estimate is at most the sum of part estimates and
+    ///   at least the union frequency. Summing `epsilon` terms is the
+    ///   union bound over the parts' (ε,δ) events
+    ///   (`⌈αΣnᵢ⌉ ≤ Σ⌈αnᵢ⌉`), `delta` adds (capped at 1), and
+    ///   `stream_len`/`lag` add because the substreams and writer sets
+    ///   are disjoint. Parts must agree on `key` and `alpha`.
+    /// * **Cardinality** — register-wise max merging only grows
+    ///   registers, so the max of part `register_sum`s (and of the
+    ///   monotone-in-registers raw estimates) lower-bounds the merged
+    ///   sketch; the caller re-estimates from merged registers for the
+    ///   served value. Parts must agree on `registers` (same
+    ///   precision) and `rel_std_err`.
+    /// * **ApproxCount** — estimates add (each part counted a disjoint
+    ///   substream); the composed `exponent` keeps the max as the
+    ///   monotone indicator. Parts must agree on `a`.
+    /// * **Minimum** — the union minimum is the min of part minima,
+    ///   exactly.
+    ///
+    /// `observed` always sums: acknowledged weight over disjoint
+    /// substreams is additive.
+    ///
+    /// # Errors
+    ///
+    /// [`ComposeError::Empty`] on an empty slice,
+    /// [`ComposeError::KindMismatch`] when parts are different
+    /// envelope kinds, [`ComposeError::ParamMismatch`] when parts
+    /// disagree on a parameter that must be shared (key, alpha,
+    /// register count, `a`).
+    pub fn compose(parts: &[ErrorEnvelope]) -> Result<ErrorEnvelope, ComposeError> {
+        let (first, rest) = parts.split_first().ok_or(ComposeError::Empty)?;
+        match first {
+            ErrorEnvelope::Frequency(head) => {
+                let mut acc = *head;
+                for part in rest {
+                    let env = match part {
+                        ErrorEnvelope::Frequency(env) => env,
+                        _ => return Err(ComposeError::KindMismatch),
+                    };
+                    if env.key != acc.key {
+                        return Err(ComposeError::ParamMismatch("key"));
+                    }
+                    if env.alpha != acc.alpha {
+                        return Err(ComposeError::ParamMismatch("alpha"));
+                    }
+                    acc.estimate += env.estimate;
+                    acc.epsilon += env.epsilon;
+                    acc.delta = (acc.delta + env.delta).min(1.0);
+                    acc.stream_len += env.stream_len;
+                    acc.lag += env.lag;
+                }
+                Ok(ErrorEnvelope::Frequency(acc))
+            }
+            ErrorEnvelope::Cardinality {
+                estimate,
+                rel_std_err,
+                registers,
+                register_sum,
+                observed,
+            } => {
+                let (mut est, mut sum, mut obs) = (*estimate, *register_sum, *observed);
+                for part in rest {
+                    let ErrorEnvelope::Cardinality {
+                        estimate,
+                        rel_std_err: rse,
+                        registers: regs,
+                        register_sum,
+                        observed,
+                    } = part
+                    else {
+                        return Err(ComposeError::KindMismatch);
+                    };
+                    if regs != registers {
+                        return Err(ComposeError::ParamMismatch("registers"));
+                    }
+                    if rse != rel_std_err {
+                        return Err(ComposeError::ParamMismatch("rel_std_err"));
+                    }
+                    est = est.max(*estimate);
+                    sum = sum.max(*register_sum);
+                    obs += observed;
+                }
+                Ok(ErrorEnvelope::Cardinality {
+                    estimate: est,
+                    rel_std_err: *rel_std_err,
+                    registers: *registers,
+                    register_sum: sum,
+                    observed: obs,
+                })
+            }
+            ErrorEnvelope::ApproxCount {
+                estimate,
+                a,
+                exponent,
+                observed,
+            } => {
+                let (mut est, mut exp, mut obs) = (*estimate, *exponent, *observed);
+                for part in rest {
+                    let ErrorEnvelope::ApproxCount {
+                        estimate,
+                        a: part_a,
+                        exponent,
+                        observed,
+                    } = part
+                    else {
+                        return Err(ComposeError::KindMismatch);
+                    };
+                    if part_a != a {
+                        return Err(ComposeError::ParamMismatch("a"));
+                    }
+                    est += estimate;
+                    exp = exp.max(*exponent);
+                    obs += observed;
+                }
+                Ok(ErrorEnvelope::ApproxCount {
+                    estimate: est,
+                    a: *a,
+                    exponent: exp,
+                    observed: obs,
+                })
+            }
+            ErrorEnvelope::Minimum { minimum, observed } => {
+                let (mut min, mut obs) = (*minimum, *observed);
+                for part in rest {
+                    let ErrorEnvelope::Minimum { minimum, observed } = part else {
+                        return Err(ComposeError::KindMismatch);
+                    };
+                    min = min.min(*minimum);
+                    obs += observed;
+                }
+                Ok(ErrorEnvelope::Minimum {
+                    minimum: min,
+                    observed: obs,
+                })
+            }
+        }
+    }
 }
+
+/// Why [`ErrorEnvelope::compose`] refused a part list.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ComposeError {
+    /// No parts were given; there is no neutral envelope to return.
+    Empty,
+    /// Parts are different envelope kinds — their guarantees do not
+    /// share a value domain.
+    KindMismatch,
+    /// Parts disagree on the named parameter that composition needs
+    /// shared (same key, same sketch coins/dimensions).
+    ParamMismatch(&'static str),
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeError::Empty => write!(f, "cannot compose an empty envelope list"),
+            ComposeError::KindMismatch => write!(f, "cannot compose envelopes of different kinds"),
+            ComposeError::ParamMismatch(which) => {
+                write!(f, "cannot compose envelopes with mismatched {which}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
 
 #[cfg(test)]
 mod tests {
@@ -264,5 +436,140 @@ mod tests {
             observed: 17,
         };
         assert_eq!((min.observed(), min.value()), (17, 4));
+    }
+
+    #[test]
+    fn compose_frequency_sums_terms_and_caps_delta() {
+        let a = ErrorEnvelope::Frequency(Envelope::new(7, 12, 1_000, 0.005, 0.6, 2));
+        let b = ErrorEnvelope::Frequency(Envelope::new(7, 5, 401, 0.005, 0.6, 1));
+        let ErrorEnvelope::Frequency(c) = ErrorEnvelope::compose(&[a, b]).unwrap() else {
+            panic!("kind preserved");
+        };
+        assert_eq!(c.key, 7);
+        assert_eq!(c.estimate, 17);
+        assert_eq!(c.epsilon, 5 + 3); // ⌈0.005·1000⌉ + ⌈0.005·401⌉
+        assert_eq!(c.stream_len, 1_401);
+        assert_eq!(c.lag, 3);
+        assert_eq!(c.delta, 1.0); // union bound capped
+    }
+
+    #[test]
+    fn compose_of_one_is_identity() {
+        let env = ErrorEnvelope::Frequency(Envelope::new(3, 9, 100, 0.01, 0.05, 0));
+        assert_eq!(
+            ErrorEnvelope::compose(std::slice::from_ref(&env)).unwrap(),
+            env
+        );
+    }
+
+    #[test]
+    fn compose_cardinality_maxes_monotone_parts_and_sums_observed() {
+        let a = ErrorEnvelope::Cardinality {
+            estimate: 90.0,
+            rel_std_err: 0.016,
+            registers: 4096,
+            register_sum: 80,
+            observed: 100,
+        };
+        let b = ErrorEnvelope::Cardinality {
+            estimate: 120.0,
+            rel_std_err: 0.016,
+            registers: 4096,
+            register_sum: 95,
+            observed: 140,
+        };
+        let c = ErrorEnvelope::compose(&[a, b]).unwrap();
+        let ErrorEnvelope::Cardinality {
+            estimate,
+            register_sum,
+            observed,
+            ..
+        } = c
+        else {
+            panic!("kind preserved");
+        };
+        assert_eq!(estimate, 120.0);
+        assert_eq!(register_sum, 95);
+        assert_eq!(observed, 240);
+    }
+
+    #[test]
+    fn compose_approx_count_sums_estimates() {
+        let a = ErrorEnvelope::ApproxCount {
+            estimate: 30.0,
+            a: 0.5,
+            exponent: 9,
+            observed: 31,
+        };
+        let b = ErrorEnvelope::ApproxCount {
+            estimate: 12.0,
+            a: 0.5,
+            exponent: 7,
+            observed: 13,
+        };
+        let c = ErrorEnvelope::compose(&[a, b]).unwrap();
+        assert_eq!(
+            c,
+            ErrorEnvelope::ApproxCount {
+                estimate: 42.0,
+                a: 0.5,
+                exponent: 9,
+                observed: 44,
+            }
+        );
+    }
+
+    #[test]
+    fn compose_minimum_takes_the_min() {
+        let a = ErrorEnvelope::Minimum {
+            minimum: 9,
+            observed: 4,
+        };
+        let b = ErrorEnvelope::Minimum {
+            minimum: 3,
+            observed: 6,
+        };
+        assert_eq!(
+            ErrorEnvelope::compose(&[a, b]).unwrap(),
+            ErrorEnvelope::Minimum {
+                minimum: 3,
+                observed: 10,
+            }
+        );
+    }
+
+    #[test]
+    fn compose_rejects_empty_mixed_kinds_and_mismatched_params() {
+        assert_eq!(ErrorEnvelope::compose(&[]), Err(ComposeError::Empty));
+        let freq = ErrorEnvelope::Frequency(Envelope::new(1, 1, 10, 0.005, 0.01, 0));
+        let min = ErrorEnvelope::Minimum {
+            minimum: 1,
+            observed: 1,
+        };
+        assert_eq!(
+            ErrorEnvelope::compose(&[freq.clone(), min]),
+            Err(ComposeError::KindMismatch)
+        );
+        let other_key = ErrorEnvelope::Frequency(Envelope::new(2, 1, 10, 0.005, 0.01, 0));
+        assert_eq!(
+            ErrorEnvelope::compose(&[freq.clone(), other_key]),
+            Err(ComposeError::ParamMismatch("key"))
+        );
+        let other_alpha = ErrorEnvelope::Frequency(Envelope::new(1, 1, 10, 0.01, 0.01, 0));
+        assert_eq!(
+            ErrorEnvelope::compose(&[freq, other_alpha]),
+            Err(ComposeError::ParamMismatch("alpha"))
+        );
+        let card = |regs: u64| ErrorEnvelope::Cardinality {
+            estimate: 1.0,
+            rel_std_err: 1.04 / (regs as f64).sqrt(),
+            registers: regs,
+            register_sum: 1,
+            observed: 1,
+        };
+        assert_eq!(
+            ErrorEnvelope::compose(&[card(4096), card(1024)]),
+            Err(ComposeError::ParamMismatch("registers"))
+        );
     }
 }

@@ -19,9 +19,11 @@
 //!   no RMW, no lock — and the lease pool doubles as backpressure.
 //! * [`protocol`] — a compact length-prefixed binary wire format.
 //!   v1 frames (`UPDATE`/`QUERY`/`BATCH`/`STATS`/`SHUTDOWN`) address
-//!   object 0; v2 frames (`UPDATE2`/`QUERY2`/`BATCH2`/`OBJECTS`)
-//!   carry an explicit object id, and object-0 requests still encode
-//!   in v1 form byte for byte, so old clients and servers interoperate.
+//!   object 0; v2 frames (`UPDATE2`/`QUERY2`/`BATCH2`/`OBJECTS`/
+//!   `SNAPSHOT`) carry an explicit object id, and object-0 requests
+//!   still encode in v1 form byte for byte, so old clients and
+//!   servers interoperate. `SNAPSHOT` serializes an object's
+//!   mergeable state for the replication layer (`ivl-replica`).
 //! * [`envelope`] — every query answer carries an **IVL error
 //!   envelope** ([`ErrorEnvelope`]): for the CountMin,
 //!   `(estimate, ε, δ, n, lag)` with `ε = α·n`, the Theorem 6
@@ -62,10 +64,11 @@ pub mod server;
 pub mod wspec;
 
 pub use client::{Client, ClientError, ObjectHandle};
-pub use envelope::{Envelope, ErrorEnvelope};
+pub use envelope::{ComposeError, Envelope, ErrorEnvelope};
 pub use metrics::{Metrics, ObjectStats, StatsReport};
 pub use objects::{
-    ObjectConfig, ObjectInfo, ObjectKind, ObjectRegistry, ObjectVerdict, ServedObject,
+    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, ObjectConfig, ObjectInfo, ObjectKind,
+    ObjectRegistry, ObjectSnapshot, ObjectVerdict, ServedObject, SnapshotState,
 };
 pub use protocol::{ErrorCode, Request, Response, WireError};
 pub use server::{serve, Backend, JoinedServer, ServerConfig, ServerHandle};

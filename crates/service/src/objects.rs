@@ -45,6 +45,7 @@ use ivl_concurrent::{
 };
 use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::hash::PairwiseHash;
 use ivl_sketch::hll::HyperLogLog;
 use ivl_sketch::CoinFlips;
 use ivl_spec::history::History;
@@ -186,6 +187,131 @@ pub struct ObjectInfo {
     pub name: String,
 }
 
+/// The kind-specific mergeable state carried by a `SNAPSHOT` reply.
+///
+/// Each variant is the raw material of that kind's merge operator
+/// (CountMin cells add cell-wise, HLL registers max register-wise,
+/// Morris exponents and min registers are scalars), so a replication
+/// layer can combine any number of snapshots into one summary over
+/// the union (partition) or the common stream (mirror) — the
+/// "mergeable summaries" property the full paper builds on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotState {
+    /// A CountMin cell matrix, row-major (`depth × width` sums).
+    CountMin {
+        /// Matrix width (columns per row).
+        width: u32,
+        /// Matrix depth (rows).
+        depth: u32,
+        /// Probe fingerprint of the row hash functions (see
+        /// [`cm_hash_fingerprint`]); peers whose fingerprints differ
+        /// sampled different coins and must not be merged.
+        hash_fp: u64,
+        /// The `depth * width` cell sums.
+        cells: Vec<u64>,
+    },
+    /// HLL registers (one max-rank byte per bucket).
+    Hll {
+        /// Probe fingerprint of the routing hash (see
+        /// [`hll_hash_fingerprint`]).
+        hash_fp: u64,
+        /// The `2^precision` register bytes.
+        registers: Vec<u8>,
+    },
+    /// A Morris counter's exponent.
+    Morris {
+        /// Current exponent.
+        exponent: u32,
+    },
+    /// A min register's current minimum.
+    MinRegister {
+        /// Current minimum (`u64::MAX` when empty).
+        minimum: u64,
+    },
+}
+
+/// One object's `SNAPSHOT` reply: its mergeable state plus the error
+/// envelope in force at snapshot time.
+///
+/// The envelope carries the object's error *parameters* and observed
+/// update weight; for frequency envelopes the `key`/`estimate` fields
+/// are zero sentinels — a snapshot is not a point query, and the
+/// consumer re-derives point estimates from the (merged) state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectSnapshot {
+    /// Object id on the serving replica.
+    pub object: u32,
+    /// Object kind (decides how `state` decodes on the wire).
+    pub kind: ObjectKind,
+    /// The mergeable state.
+    pub state: SnapshotState,
+    /// The envelope at snapshot time.
+    pub envelope: ErrorEnvelope,
+}
+
+/// Fixed probe keys hashed by the fingerprint helpers. Two hash
+/// functions that agree on all probes are overwhelmingly likely the
+/// same sampled function; replicas built from the same seed (see
+/// [`slot_coins`]) always agree exactly.
+const FP_PROBES: [u64; 8] = [
+    0,
+    1,
+    0x5bd1_e995,
+    0x0b1e_c7ed,
+    u64::MAX / 3,
+    u64::MAX / 2,
+    u64::MAX - 1,
+    u64::MAX,
+];
+
+fn fp_mix(acc: u64, v: u64) -> u64 {
+    // splitmix64-style finalizer: order-sensitive, avalanching.
+    let mut x = acc.wrapping_add(v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 27)
+}
+
+/// A u64 fingerprint of a CountMin's row hash functions, computed by
+/// hashing [`FP_PROBES`] through every row. Snapshots carry it so a
+/// merging peer can refuse mismatched coins with a typed error
+/// instead of silently adding cells that count different things.
+pub fn cm_hash_fingerprint(hashes: &[PairwiseHash]) -> u64 {
+    let mut acc = fp_mix(0x1dea_c0de, hashes.len() as u64);
+    for h in hashes {
+        for probe in FP_PROBES {
+            acc = fp_mix(acc, h.hash(probe) as u64);
+        }
+    }
+    acc
+}
+
+/// A u64 fingerprint of an HLL's routing hash (bucket and rank of
+/// every [`FP_PROBES`] key) — the HLL counterpart of
+/// [`cm_hash_fingerprint`].
+pub fn hll_hash_fingerprint(hll: &HyperLogLog) -> u64 {
+    let mut acc = fp_mix(0xca8d_117a, hll.num_registers() as u64);
+    for probe in FP_PROBES {
+        let (bucket, rank) = hll.route(probe);
+        acc = fp_mix(acc, ((bucket as u64) << 8) | rank as u64);
+    }
+    acc
+}
+
+/// The coin-flip stream for registry slot `idx` under `seed`.
+///
+/// Exposed (and kept deliberately simple) because replication depends
+/// on it: replicas started with the same `--seed` and the same object
+/// roster sample identical hash functions per slot, which is exactly
+/// the precondition for merging their snapshots. A replica-group
+/// client rebuilds prototypes with this same function to re-derive
+/// estimates from merged state.
+pub fn slot_coins(seed: u64, idx: u32) -> CoinFlips {
+    // Distinct streams per registry slot, so two `hll` objects do not
+    // share hash functions.
+    CoinFlips::from_seed(seed ^ ((idx as u64) << 32 | 0x0b1ec7))
+}
+
 /// An update refused by an object's writer (the CountMin's shard pool
 /// is exhausted); maps to the protocol's `busy` error.
 #[derive(Clone, Debug)]
@@ -236,6 +362,13 @@ pub trait ServedObject: Send + Sync + fmt::Debug {
 
     /// Answers a query with this object's error envelope.
     fn query(&self, key: u64) -> ErrorEnvelope;
+
+    /// This object's mergeable state plus its current envelope — the
+    /// `SNAPSHOT` read primitive of the replication layer. Each piece
+    /// of the returned state is an IVL read (an intermediate mix of
+    /// the concurrent updates), so merging snapshots composes exactly
+    /// like merging sequential summaries.
+    fn snapshot(&self) -> (SnapshotState, ErrorEnvelope);
 
     /// Per-object operation counters (the `STATS` rows).
     fn op_stats(&self) -> ObjectStats;
@@ -329,9 +462,7 @@ impl ObjectRegistry {
                 "duplicate object name {:?}",
                 oc.name
             );
-            // Distinct streams per registry slot, so two `hll` objects
-            // do not share hash functions.
-            let mut coins = CoinFlips::from_seed(seed ^ ((idx as u64) << 32 | 0x0b1ec7));
+            let mut coins = slot_coins(seed, idx as u32);
             let object: Box<dyn ServedObject> = match oc.kind {
                 ObjectKind::CountMin => Box::new(ServedCountMin::new(
                     alpha,
@@ -375,6 +506,19 @@ impl ObjectRegistry {
     /// The CountMin with id `id`, if that object is one.
     pub fn cm(&self, id: u32) -> Option<&ServedCountMin> {
         self.get(id).and_then(ServedObject::as_count_min)
+    }
+
+    /// A `SNAPSHOT` reply for object `id` (`None` for unknown ids).
+    pub fn snapshot(&self, id: u32) -> Option<ObjectSnapshot> {
+        self.get(id).map(|o| {
+            let (state, envelope) = o.snapshot();
+            ObjectSnapshot {
+                object: id,
+                kind: o.kind(),
+                state,
+                envelope,
+            }
+        })
     }
 
     /// The wire listing served by `OBJECTS`.
@@ -573,6 +717,30 @@ impl ServedObject for ServedCountMin {
         ))
     }
 
+    fn snapshot(&self) -> (SnapshotState, ErrorEnvelope) {
+        self.ops.note_query();
+        let params = self.proto.params();
+        // Cells before stream length, the same read discipline as
+        // `query` (cells lead the ingest counter on the write side).
+        let cells = self.sketch.cells_snapshot();
+        let stream_len = self.ingest.read();
+        let state = SnapshotState::CountMin {
+            width: params.width as u32,
+            depth: params.depth as u32,
+            hash_fp: cm_hash_fingerprint(self.proto.hashes()),
+            cells,
+        };
+        let envelope = ErrorEnvelope::Frequency(Envelope::new(
+            0,
+            0,
+            stream_len,
+            params.alpha(),
+            params.delta(),
+            self.lag_bound(),
+        ));
+        (state, envelope)
+    }
+
     fn op_stats(&self) -> ObjectStats {
         ObjectStats {
             observed: self.ingest.read(),
@@ -753,6 +921,28 @@ impl ServedObject for ServedHll {
         }
     }
 
+    fn snapshot(&self) -> (SnapshotState, ErrorEnvelope) {
+        self.ops.note_query();
+        // One register snapshot feeds both the shipped state and the
+        // envelope, so they describe the same intermediate mix.
+        let snap = self.hll.registers_snapshot();
+        let register_sum = snap.iter().map(|&r| r as u64).sum();
+        let mut seq = self.hll.prototype().clone();
+        seq.merge_registers(&snap);
+        let envelope = ErrorEnvelope::Cardinality {
+            estimate: seq.estimate(),
+            rel_std_err: seq.standard_error(),
+            registers: snap.len() as u64,
+            register_sum,
+            observed: self.ops.observed.load(Ordering::Relaxed),
+        };
+        let state = SnapshotState::Hll {
+            hash_fp: hll_hash_fingerprint(self.hll.prototype()),
+            registers: snap,
+        };
+        (state, envelope)
+    }
+
     fn op_stats(&self) -> ObjectStats {
         self.ops.stats()
     }
@@ -852,6 +1042,18 @@ impl ServedObject for ServedMorris {
         }
     }
 
+    fn snapshot(&self) -> (SnapshotState, ErrorEnvelope) {
+        self.ops.note_query();
+        let exponent = self.morris.exponent();
+        let envelope = ErrorEnvelope::ApproxCount {
+            estimate: ((1.0 + self.a).powi(exponent as i32) - 1.0) / self.a,
+            a: self.a,
+            exponent,
+            observed: self.ops.observed.load(Ordering::Relaxed),
+        };
+        (SnapshotState::Morris { exponent }, envelope)
+    }
+
     fn op_stats(&self) -> ObjectStats {
         self.ops.stats()
     }
@@ -938,6 +1140,16 @@ impl ServedObject for ServedMinRegister {
             minimum: self.reg.min(),
             observed: self.ops.observed.load(Ordering::Relaxed),
         }
+    }
+
+    fn snapshot(&self) -> (SnapshotState, ErrorEnvelope) {
+        self.ops.note_query();
+        let minimum = self.reg.min();
+        let envelope = ErrorEnvelope::Minimum {
+            minimum,
+            observed: self.ops.observed.load(Ordering::Relaxed),
+        };
+        (SnapshotState::MinRegister { minimum }, envelope)
     }
 
     fn op_stats(&self) -> ObjectStats {
@@ -1212,6 +1424,99 @@ mod tests {
         let v = &r.verdicts(&h)[0];
         assert_eq!(v.ivl, None);
         assert!(v.note.contains("write-buffered"));
+    }
+
+    #[test]
+    fn snapshots_carry_mergeable_state_matching_served_queries() {
+        let metrics = Metrics::new();
+        let r = registry();
+        for id in 0..4u32 {
+            let obj = r.get(id).unwrap();
+            let mut w = obj.writer(&metrics);
+            w.ensure_ready().unwrap();
+            w.apply(41, 3);
+            w.apply(100, 2);
+            w.release();
+        }
+        let snap = r.snapshot(0).unwrap();
+        assert_eq!((snap.object, snap.kind), (0, ObjectKind::CountMin));
+        let cm = r.cm(0).unwrap();
+        match &snap.state {
+            SnapshotState::CountMin {
+                width,
+                depth,
+                hash_fp,
+                cells,
+            } => {
+                let params = cm.params();
+                assert_eq!(*width as usize, params.width);
+                assert_eq!(*depth as usize, params.depth);
+                assert_eq!(*hash_fp, cm_hash_fingerprint(cm.proto.hashes()));
+                assert_eq!(cells.len(), params.width * params.depth);
+                // Row 0 holds the whole stream weight.
+                let row0: u64 = cells[..params.width].iter().sum();
+                assert_eq!(row0, 5);
+            }
+            other => panic!("wanted CountMin state, got {other:?}"),
+        }
+        match snap.envelope {
+            ErrorEnvelope::Frequency(env) => {
+                assert_eq!(env.stream_len, 5);
+                assert_eq!((env.key, env.estimate), (0, 0));
+            }
+            other => panic!("wanted frequency envelope, got {other:?}"),
+        }
+
+        let snap = r.snapshot(1).unwrap();
+        match (&snap.state, &snap.envelope) {
+            (
+                SnapshotState::Hll { registers, .. },
+                ErrorEnvelope::Cardinality { register_sum, .. },
+            ) => {
+                let sum: u64 = registers.iter().map(|&b| b as u64).sum();
+                assert_eq!(sum, *register_sum);
+                assert!(sum > 0);
+            }
+            other => panic!("wanted hll state + cardinality envelope, got {other:?}"),
+        }
+
+        match r.snapshot(2).unwrap().state {
+            SnapshotState::Morris { .. } => {}
+            other => panic!("wanted morris state, got {other:?}"),
+        }
+        match r.snapshot(3).unwrap().state {
+            SnapshotState::MinRegister { minimum } => assert_eq!(minimum, 41),
+            other => panic!("wanted min-register state, got {other:?}"),
+        }
+        assert!(r.snapshot(9).is_none());
+    }
+
+    #[test]
+    fn same_seed_same_slot_gives_equal_fingerprints() {
+        // The replication precondition: two registries built from the
+        // same seed sample the same coins per slot; different seeds
+        // (or different slots) fingerprint differently.
+        let a = registry();
+        let b = registry();
+        let fp = |r: &ObjectRegistry, id: u32| match r.snapshot(id).unwrap().state {
+            SnapshotState::CountMin { hash_fp, .. } | SnapshotState::Hll { hash_fp, .. } => hash_fp,
+            other => panic!("no fingerprint in {other:?}"),
+        };
+        assert_eq!(fp(&a, 0), fp(&b, 0));
+        assert_eq!(fp(&a, 1), fp(&b, 1));
+        let other = ObjectRegistry::build(
+            &[
+                ObjectConfig::new("cm", ObjectKind::CountMin),
+                ObjectConfig::new("hll", ObjectKind::Hll),
+            ],
+            0.005,
+            0.01,
+            2,
+            0,
+            8,
+        );
+        assert_ne!(fp(&a, 0), fp(&other, 0));
+        assert_ne!(fp(&a, 1), fp(&other, 1));
     }
 
     #[test]

@@ -14,17 +14,21 @@
 //! object 0: `UPDATE` 0x01, `QUERY` 0x02, `BATCH` 0x03, `STATS` 0x04,
 //! `SHUTDOWN` 0x05. **v2** opcodes lead their body with a `u32` object
 //! id (a registry index): `OBJECTS` 0x06, `UPDATE2` 0x11, `QUERY2`
-//! 0x12, `BATCH2` 0x13. Encoding picks the generation by object id —
-//! object 0 emits the v1 form byte-for-byte, so a registry-unaware
-//! peer sees exactly the old protocol; decoding accepts both.
+//! 0x12, `BATCH2` 0x13, `SNAPSHOT` 0x14. Encoding picks the generation
+//! by object id — object 0 emits the v1 form byte-for-byte, so a
+//! registry-unaware peer sees exactly the old protocol; decoding
+//! accepts both. (`SNAPSHOT` is v2-only: the replication layer that
+//! needs it always speaks v2.)
 //! Response opcodes: `ACK` 0x81, `ENVELOPE` 0x82 (the legacy CountMin
 //! frequency body), `ENVELOPE2` 0x83 (object-kind-tagged envelope
 //! bodies for the other kinds), `STATS` 0x84, `GOODBYE` 0x85,
-//! `OBJECTS` 0x86, `ERROR` 0xEE.
+//! `OBJECTS` 0x86, `SNAPSHOT` 0x87 (an object's mergeable state — a
+//! kind-tagged body carrying the raw cells/registers plus the object's
+//! current envelope), `ERROR` 0xEE.
 
 use crate::envelope::{Envelope, ErrorEnvelope};
 use crate::metrics::{ObjectStats, StatsReport};
-use crate::objects::{ObjectInfo, ObjectKind};
+use crate::objects::{ObjectInfo, ObjectKind, ObjectSnapshot, SnapshotState};
 use std::fmt;
 use std::io::{self, Read};
 
@@ -94,6 +98,10 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The frame's object id names no registered object.
     UnknownObject,
+    /// Replica states cannot be merged: the peers disagree on sketch
+    /// dimensions or hash coins (merging such sketches would be
+    /// meaningless, so the refusal is typed instead of a panic).
+    MergeMismatch,
 }
 
 impl ErrorCode {
@@ -103,6 +111,7 @@ impl ErrorCode {
             ErrorCode::Protocol => 2,
             ErrorCode::ShuttingDown => 3,
             ErrorCode::UnknownObject => 4,
+            ErrorCode::MergeMismatch => 5,
         }
     }
 
@@ -112,6 +121,7 @@ impl ErrorCode {
             2 => Ok(ErrorCode::Protocol),
             3 => Ok(ErrorCode::ShuttingDown),
             4 => Ok(ErrorCode::UnknownObject),
+            5 => Ok(ErrorCode::MergeMismatch),
             _ => Err(WireError::Malformed("unknown error code")),
         }
     }
@@ -124,6 +134,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Protocol => write!(f, "protocol"),
             ErrorCode::ShuttingDown => write!(f, "shutting-down"),
             ErrorCode::UnknownObject => write!(f, "unknown-object"),
+            ErrorCode::MergeMismatch => write!(f, "merge-mismatch"),
         }
     }
 }
@@ -157,6 +168,13 @@ pub enum Request {
         /// The `(key, weight)` pairs to ingest, in order.
         items: Vec<(u64, u64)>,
     },
+    /// Ask `object` for a mergeable snapshot of its state (raw
+    /// cells/registers) together with its current error envelope —
+    /// the replication layer's read primitive.
+    Snapshot {
+        /// Target object id (registry index).
+        object: u32,
+    },
     /// Ask for the server's operation counters and latency quantiles.
     Stats,
     /// Ask for the registry listing (id, kind, name per object).
@@ -178,6 +196,9 @@ pub enum Response {
     /// error envelope (frequency envelopes travel in the legacy v1
     /// frame, other kinds in the kind-tagged v2 frame).
     Envelope(ErrorEnvelope),
+    /// Answer to a snapshot request: the object's mergeable state
+    /// plus its current envelope.
+    Snapshot(ObjectSnapshot),
     /// Answer to a stats request.
     Stats(StatsReport),
     /// Answer to an objects request: the registry listing.
@@ -202,16 +223,22 @@ const OP_OBJECTS: u8 = 0x06;
 const OP_UPDATE2: u8 = 0x11;
 const OP_QUERY2: u8 = 0x12;
 const OP_BATCH2: u8 = 0x13;
+const OP_SNAPSHOT: u8 = 0x14;
 const OP_ACK: u8 = 0x81;
 const OP_ENVELOPE: u8 = 0x82;
 const OP_ENVELOPE2: u8 = 0x83;
 const OP_STATS_REPLY: u8 = 0x84;
 const OP_GOODBYE: u8 = 0x85;
 const OP_OBJECTS_REPLY: u8 = 0x86;
+const OP_SNAPSHOT_REPLY: u8 = 0x87;
 const OP_ERROR: u8 = 0xEE;
 
-/// Kind tags inside an `ENVELOPE2` body (one per non-frequency
-/// [`ErrorEnvelope`] variant; frequency rides the legacy `ENVELOPE`).
+/// Kind tags of the kind-tagged envelope body shared by `ENVELOPE2`
+/// and the `SNAPSHOT` reply (one per [`ErrorEnvelope`] variant; an
+/// *encoded* `ENVELOPE2` never carries `ENV_FREQUENCY` — frequency
+/// rides the legacy `ENVELOPE` — but decoding accepts it anywhere the
+/// tagged body appears).
+const ENV_FREQUENCY: u8 = 0;
 const ENV_CARDINALITY: u8 = 1;
 const ENV_APPROX_COUNT: u8 = 2;
 const ENV_MINIMUM: u8 = 3;
@@ -274,6 +301,97 @@ fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// The legacy `ENVELOPE` body field order (also the `ENV_FREQUENCY`
+/// tagged-body payload).
+fn push_frequency_body(buf: &mut Vec<u8>, env: &Envelope) {
+    push_u64(buf, env.key);
+    push_u64(buf, env.estimate);
+    push_u64(buf, env.epsilon);
+    push_u64(buf, env.stream_len);
+    push_u64(buf, env.alpha.to_bits());
+    push_u64(buf, env.delta.to_bits());
+    push_u64(buf, env.lag);
+}
+
+fn read_frequency_body(b: &mut Body<'_>) -> Result<Envelope, WireError> {
+    Ok(Envelope {
+        key: b.u64()?,
+        estimate: b.u64()?,
+        epsilon: b.u64()?,
+        stream_len: b.u64()?,
+        alpha: b.f64()?,
+        delta: b.f64()?,
+        lag: b.u64()?,
+    })
+}
+
+/// Appends a kind-tagged envelope body (`ENV_*` tag byte + fields) —
+/// the shared sub-encoding of `ENVELOPE2` and the `SNAPSHOT` reply.
+fn push_envelope(buf: &mut Vec<u8>, env: &ErrorEnvelope) {
+    match env {
+        ErrorEnvelope::Frequency(env) => {
+            buf.push(ENV_FREQUENCY);
+            push_frequency_body(buf, env);
+        }
+        ErrorEnvelope::Cardinality {
+            estimate,
+            rel_std_err,
+            registers,
+            register_sum,
+            observed,
+        } => {
+            buf.push(ENV_CARDINALITY);
+            push_u64(buf, estimate.to_bits());
+            push_u64(buf, rel_std_err.to_bits());
+            push_u64(buf, *registers);
+            push_u64(buf, *register_sum);
+            push_u64(buf, *observed);
+        }
+        ErrorEnvelope::ApproxCount {
+            estimate,
+            a,
+            exponent,
+            observed,
+        } => {
+            buf.push(ENV_APPROX_COUNT);
+            push_u64(buf, estimate.to_bits());
+            push_u64(buf, a.to_bits());
+            push_u32(buf, *exponent);
+            push_u64(buf, *observed);
+        }
+        ErrorEnvelope::Minimum { minimum, observed } => {
+            buf.push(ENV_MINIMUM);
+            push_u64(buf, *minimum);
+            push_u64(buf, *observed);
+        }
+    }
+}
+
+/// Reads a kind-tagged envelope body written by [`push_envelope`].
+fn read_envelope(b: &mut Body<'_>) -> Result<ErrorEnvelope, WireError> {
+    Ok(match b.u8()? {
+        ENV_FREQUENCY => ErrorEnvelope::Frequency(read_frequency_body(b)?),
+        ENV_CARDINALITY => ErrorEnvelope::Cardinality {
+            estimate: b.f64()?,
+            rel_std_err: b.f64()?,
+            registers: b.u64()?,
+            register_sum: b.u64()?,
+            observed: b.u64()?,
+        },
+        ENV_APPROX_COUNT => ErrorEnvelope::ApproxCount {
+            estimate: b.f64()?,
+            a: b.f64()?,
+            exponent: b.u32()?,
+            observed: b.u64()?,
+        },
+        ENV_MINIMUM => ErrorEnvelope::Minimum {
+            minimum: b.u64()?,
+            observed: b.u64()?,
+        },
+        _ => return Err(WireError::Malformed("unknown envelope kind tag")),
+    })
+}
+
 /// Appends one whole frame (prefix + opcode + body) built by `body` to
 /// `buf`.
 fn frame(buf: &mut Vec<u8>, opcode: u8, body: impl FnOnce(&mut Vec<u8>)) {
@@ -331,6 +449,7 @@ impl Request {
                     }
                 })
             }
+            Request::Snapshot { object } => frame(buf, OP_SNAPSHOT, |b| push_u32(b, *object)),
             Request::Stats => frame(buf, OP_STATS, |_| {}),
             Request::Objects => frame(buf, OP_OBJECTS, |_| {}),
             Request::Shutdown => frame(buf, OP_SHUTDOWN, |_| {}),
@@ -372,6 +491,7 @@ impl Request {
                 }
                 Request::Batch { object, items }
             }
+            OP_SNAPSHOT => Request::Snapshot { object: b.u32()? },
             OP_STATS => Request::Stats,
             OP_OBJECTS => Request::Objects,
             OP_SHUTDOWN => Request::Shutdown,
@@ -386,7 +506,8 @@ impl Request {
         match self {
             Request::Update { object, .. }
             | Request::Query { object, .. }
-            | Request::Batch { object, .. } => Some(*object),
+            | Request::Batch { object, .. }
+            | Request::Snapshot { object } => Some(*object),
             Request::Stats | Request::Objects | Request::Shutdown => None,
         }
     }
@@ -397,48 +518,40 @@ impl Response {
     pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Response::Ack { applied } => frame(buf, OP_ACK, |b| push_u64(b, *applied)),
-            Response::Envelope(ErrorEnvelope::Frequency(env)) => frame(buf, OP_ENVELOPE, |b| {
-                push_u64(b, env.key);
-                push_u64(b, env.estimate);
-                push_u64(b, env.epsilon);
-                push_u64(b, env.stream_len);
-                push_u64(b, env.alpha.to_bits());
-                push_u64(b, env.delta.to_bits());
-                push_u64(b, env.lag);
-            }),
-            Response::Envelope(ErrorEnvelope::Cardinality {
-                estimate,
-                rel_std_err,
-                registers,
-                register_sum,
-                observed,
-            }) => frame(buf, OP_ENVELOPE2, |b| {
-                b.push(ENV_CARDINALITY);
-                push_u64(b, estimate.to_bits());
-                push_u64(b, rel_std_err.to_bits());
-                push_u64(b, *registers);
-                push_u64(b, *register_sum);
-                push_u64(b, *observed);
-            }),
-            Response::Envelope(ErrorEnvelope::ApproxCount {
-                estimate,
-                a,
-                exponent,
-                observed,
-            }) => frame(buf, OP_ENVELOPE2, |b| {
-                b.push(ENV_APPROX_COUNT);
-                push_u64(b, estimate.to_bits());
-                push_u64(b, a.to_bits());
-                push_u32(b, *exponent);
-                push_u64(b, *observed);
-            }),
-            Response::Envelope(ErrorEnvelope::Minimum { minimum, observed }) => {
-                frame(buf, OP_ENVELOPE2, |b| {
-                    b.push(ENV_MINIMUM);
-                    push_u64(b, *minimum);
-                    push_u64(b, *observed);
-                })
+            // Frequency keeps the legacy untagged `ENVELOPE` frame so
+            // v1 peers see byte-identical responses; every other kind
+            // (and the snapshot reply) uses the kind-tagged body.
+            Response::Envelope(ErrorEnvelope::Frequency(env)) => {
+                frame(buf, OP_ENVELOPE, |b| push_frequency_body(b, env))
             }
+            Response::Envelope(env) => frame(buf, OP_ENVELOPE2, |b| push_envelope(b, env)),
+            Response::Snapshot(snap) => frame(buf, OP_SNAPSHOT_REPLY, |b| {
+                push_u32(b, snap.object);
+                b.push(snap.kind.to_u8());
+                match &snap.state {
+                    SnapshotState::CountMin {
+                        width,
+                        depth,
+                        hash_fp,
+                        cells,
+                    } => {
+                        push_u32(b, *width);
+                        push_u32(b, *depth);
+                        push_u64(b, *hash_fp);
+                        for cell in cells {
+                            push_u64(b, *cell);
+                        }
+                    }
+                    SnapshotState::Hll { hash_fp, registers } => {
+                        push_u64(b, *hash_fp);
+                        push_u32(b, registers.len() as u32);
+                        b.extend_from_slice(registers);
+                    }
+                    SnapshotState::Morris { exponent } => push_u32(b, *exponent),
+                    SnapshotState::MinRegister { minimum } => push_u64(b, *minimum),
+                }
+                push_envelope(b, &snap.envelope);
+            }),
             Response::Stats(report) => frame(buf, OP_STATS_REPLY, |b| {
                 for field in report.as_fields() {
                     push_u64(b, field);
@@ -474,35 +587,60 @@ impl Response {
         let mut b = Body::new(payload);
         let rsp = match b.u8()? {
             OP_ACK => Response::Ack { applied: b.u64()? },
-            OP_ENVELOPE => Response::Envelope(ErrorEnvelope::Frequency(Envelope {
-                key: b.u64()?,
-                estimate: b.u64()?,
-                epsilon: b.u64()?,
-                stream_len: b.u64()?,
-                alpha: b.f64()?,
-                delta: b.f64()?,
-                lag: b.u64()?,
-            })),
-            OP_ENVELOPE2 => Response::Envelope(match b.u8()? {
-                ENV_CARDINALITY => ErrorEnvelope::Cardinality {
-                    estimate: b.f64()?,
-                    rel_std_err: b.f64()?,
-                    registers: b.u64()?,
-                    register_sum: b.u64()?,
-                    observed: b.u64()?,
-                },
-                ENV_APPROX_COUNT => ErrorEnvelope::ApproxCount {
-                    estimate: b.f64()?,
-                    a: b.f64()?,
-                    exponent: b.u32()?,
-                    observed: b.u64()?,
-                },
-                ENV_MINIMUM => ErrorEnvelope::Minimum {
-                    minimum: b.u64()?,
-                    observed: b.u64()?,
-                },
-                _ => return Err(WireError::Malformed("unknown envelope kind tag")),
-            }),
+            OP_ENVELOPE => {
+                Response::Envelope(ErrorEnvelope::Frequency(read_frequency_body(&mut b)?))
+            }
+            OP_ENVELOPE2 => Response::Envelope(read_envelope(&mut b)?),
+            OP_SNAPSHOT_REPLY => {
+                let object = b.u32()?;
+                let kind = ObjectKind::from_u8(b.u8()?)
+                    .ok_or(WireError::Malformed("unknown object kind tag"))?;
+                let state = match kind {
+                    ObjectKind::CountMin => {
+                        let width = b.u32()?;
+                        let depth = b.u32()?;
+                        let hash_fp = b.u64()?;
+                        let cells_len = width as u64 * depth as u64;
+                        // Guard the allocation against a lying header:
+                        // the cells must already be buffered.
+                        if cells_len > (b.rest.len() / 8) as u64 {
+                            return Err(WireError::Malformed("body shorter than its schema"));
+                        }
+                        let mut cells = Vec::with_capacity(cells_len as usize);
+                        for _ in 0..cells_len {
+                            cells.push(b.u64()?);
+                        }
+                        SnapshotState::CountMin {
+                            width,
+                            depth,
+                            hash_fp,
+                            cells,
+                        }
+                    }
+                    ObjectKind::Hll => {
+                        let hash_fp = b.u64()?;
+                        let len = b.u32()? as usize;
+                        if b.rest.len() < len {
+                            return Err(WireError::Malformed("body shorter than its schema"));
+                        }
+                        let (raw, rest) = b.rest.split_at(len);
+                        b.rest = rest;
+                        SnapshotState::Hll {
+                            hash_fp,
+                            registers: raw.to_vec(),
+                        }
+                    }
+                    ObjectKind::Morris => SnapshotState::Morris { exponent: b.u32()? },
+                    ObjectKind::MinRegister => SnapshotState::MinRegister { minimum: b.u64()? },
+                };
+                let envelope = read_envelope(&mut b)?;
+                Response::Snapshot(ObjectSnapshot {
+                    object,
+                    kind,
+                    state,
+                    envelope,
+                })
+            }
             OP_STATS_REPLY => {
                 let mut fields = [0u64; StatsReport::NUM_FIELDS];
                 for f in &mut fields {
@@ -775,12 +913,24 @@ mod tests {
                 object: 2,
                 items: vec![],
             },
+            Request::Snapshot { object: 0 },
+            Request::Snapshot { object: 5 },
             Request::Stats,
             Request::Objects,
             Request::Shutdown,
         ] {
             assert_eq!(roundtrip_request(&req), req);
         }
+    }
+
+    #[test]
+    fn snapshot_request_is_v2_even_for_object_zero() {
+        // Unlike update/query/batch there is no v1 form to fall back
+        // to: the body always leads with the object id.
+        let mut buf = Vec::new();
+        Request::Snapshot { object: 0 }.encode(&mut buf);
+        assert_eq!(buf[4], OP_SNAPSHOT);
+        assert_eq!(buf.len(), 4 + 1 + 4);
     }
 
     #[test]
@@ -892,6 +1042,97 @@ mod tests {
                 .unwrap();
             assert_eq!(Response::decode(&payload).unwrap(), rsp);
         }
+    }
+
+    #[test]
+    fn snapshot_responses_roundtrip() {
+        let freq = ErrorEnvelope::Frequency(crate::envelope::Envelope {
+            key: 5,
+            estimate: 100,
+            epsilon: 3,
+            stream_len: 500,
+            alpha: 0.005,
+            delta: 0.01,
+            lag: 128,
+        });
+        for rsp in [
+            Response::Snapshot(ObjectSnapshot {
+                object: 0,
+                kind: ObjectKind::CountMin,
+                state: SnapshotState::CountMin {
+                    width: 3,
+                    depth: 2,
+                    hash_fp: 0xDEAD_BEEF,
+                    cells: vec![1, 2, 3, 4, 5, 6],
+                },
+                envelope: freq,
+            }),
+            Response::Snapshot(ObjectSnapshot {
+                object: 1,
+                kind: ObjectKind::Hll,
+                state: SnapshotState::Hll {
+                    hash_fp: 42,
+                    registers: vec![0, 7, 1, 0],
+                },
+                envelope: ErrorEnvelope::Cardinality {
+                    estimate: 812.5,
+                    rel_std_err: 0.016,
+                    registers: 4,
+                    register_sum: 8,
+                    observed: 900,
+                },
+            }),
+            Response::Snapshot(ObjectSnapshot {
+                object: 2,
+                kind: ObjectKind::Morris,
+                state: SnapshotState::Morris { exponent: 9 },
+                envelope: ErrorEnvelope::ApproxCount {
+                    estimate: 14.0,
+                    a: 0.5,
+                    exponent: 9,
+                    observed: 15,
+                },
+            }),
+            Response::Snapshot(ObjectSnapshot {
+                object: 3,
+                kind: ObjectKind::MinRegister,
+                state: SnapshotState::MinRegister { minimum: 3 },
+                envelope: ErrorEnvelope::Minimum {
+                    minimum: 3,
+                    observed: 44,
+                },
+            }),
+        ] {
+            let mut buf = Vec::new();
+            rsp.encode(&mut buf);
+            let payload = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .unwrap();
+            assert_eq!(Response::decode(&payload).unwrap(), rsp);
+        }
+    }
+
+    #[test]
+    fn snapshot_reply_with_lying_dimensions_rejected() {
+        // A CountMin snapshot header announcing more cells than the
+        // body carries must fail cleanly before allocating.
+        let mut payload = vec![OP_SNAPSHOT_REPLY];
+        payload.extend_from_slice(&0u32.to_le_bytes()); // object
+        payload.push(ObjectKind::CountMin.to_u8());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // width
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // depth
+        payload.extend_from_slice(&7u64.to_le_bytes()); // hash_fp
+        assert_eq!(
+            Response::decode(&payload).unwrap_err(),
+            WireError::Malformed("body shorter than its schema")
+        );
+
+        // Unknown kind tag in the snapshot reply.
+        let payload = [OP_SNAPSHOT_REPLY, 0, 0, 0, 0, 0x7f];
+        assert_eq!(
+            Response::decode(&payload).unwrap_err(),
+            WireError::Malformed("unknown object kind tag")
+        );
     }
 
     #[test]

@@ -644,6 +644,19 @@ fn execute_request<'a>(
             shared.metrics.record_query(start.elapsed().as_nanos());
             (Response::Envelope(envelope), false)
         }
+        Request::Snapshot { object } => {
+            // A snapshot is a read like a query (metrics count it as
+            // one); it is not recorded into the history — the state it
+            // returns is matrix-valued, and the replicated checker
+            // works from per-replica histories plus merged projections
+            // instead.
+            let start = Instant::now();
+            let Some(snap) = shared.registry.snapshot(object) else {
+                return (unknown_object(shared, object), false);
+            };
+            shared.metrics.record_query(start.elapsed().as_nanos());
+            (Response::Snapshot(snap), false)
+        }
         Request::Stats => (
             Response::Stats(shared.metrics.report(
                 shared.registry.total_observed(),
@@ -813,6 +826,58 @@ mod tests {
         assert_eq!(h.stats().protocol_errors, 1);
         drop(s); // join drains: the client must hang up first
         h.join();
+    }
+
+    fn snapshots_serve_mergeable_state(backend: Backend) {
+        use crate::objects::SnapshotState;
+        let cfg = ServerConfig {
+            objects: vec![
+                ObjectConfig::new("cm", ObjectKind::CountMin),
+                ObjectConfig::new("hll", ObjectKind::Hll),
+            ],
+            ..config_with(backend, 2, false)
+        };
+        let h = serve("127.0.0.1:0", cfg).unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        c.batch(&[(7, 2), (9, 5)]).unwrap();
+        let snap = c.snapshot(0).unwrap();
+        assert_eq!((snap.object, snap.kind), (0, ObjectKind::CountMin));
+        match &snap.state {
+            SnapshotState::CountMin { width, cells, .. } => {
+                let row0: u64 = cells[..*width as usize].iter().sum();
+                assert_eq!(row0, 7, "row 0 holds the whole stream weight");
+            }
+            other => panic!("wanted CountMin state, got {other:?}"),
+        }
+        match snap.envelope {
+            crate::envelope::ErrorEnvelope::Frequency(env) => assert_eq!(env.stream_len, 7),
+            other => panic!("wanted frequency envelope, got {other:?}"),
+        }
+        let snap = c.snapshot(1).unwrap();
+        assert!(matches!(snap.state, SnapshotState::Hll { .. }));
+        let err = c.snapshot(9).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                crate::client::ClientError::Server {
+                    code: ErrorCode::UnknownObject,
+                    ..
+                }
+            ),
+            "expected unknown-object, got {err:?}"
+        );
+        drop(c);
+        h.join();
+    }
+
+    #[test]
+    fn snapshots_serve_mergeable_state_threaded() {
+        snapshots_serve_mergeable_state(Backend::Threaded);
+    }
+
+    #[test]
+    fn snapshots_serve_mergeable_state_event_loop() {
+        snapshots_serve_mergeable_state(Backend::EventLoop);
     }
 
     #[test]
