@@ -1,0 +1,764 @@
+//! Site-level atomics conformance: every atomic access in
+//! `crates/concurrent`, checked against a per-site discipline table.
+//!
+//! The scanner walks the [`crate::syn`] token stream of each source
+//! file and extracts every atomic access **site**: the enclosing
+//! `fn`, the receiver expression, the method (`load`, `store`,
+//! `fetch_add`, `compare_exchange`, ...) and the literal `Ordering::`
+//! argument(s). Comments, string literals and the trailing
+//! `#[cfg(test)]` module are invisible to it — the regex era's false
+//! positives (doc examples, prose mentioning `Ordering::Relaxed`)
+//! cannot occur.
+//!
+//! Each site must be matched by a row of the "Atomic access sites"
+//! table in `crates/concurrent/ORDERINGS.md`, and each row is tagged
+//! with a **discipline** — a named access protocol from the paper's
+//! correctness arguments:
+//!
+//! | discipline | allowed shapes | argument |
+//! |---|---|---|
+//! | `pcm-cell` | `fetch_add(Relaxed)`, `load(Relaxed)`, `load(Acquire)` | commutative accumulation on shared sketch cells; Lemma 7 bounds every intermediate mix a reader can combine, so no fencing is needed (an `Acquire` read is permitted where a reader wants no-older-than guarantees, but correctness never rests on it) |
+//! | `swmr-slot` | `load(Relaxed)`, `store(Release)`, `load(Acquire)` | single-writer cells: the owner's unfenced read-modify-write-back pairs its `Release` store with readers' `Acquire` loads (the simulator's SWMR register model) |
+//! | `lease-flag` | `swap(AcqRel)`, `store(Release)`, `load(Acquire)` | shard-ownership handoff: the `Release` on lease return pairs with the next holder's `AcqRel` swap, ordering lease generations (weakening this is what the mutation harness demonstrates the HB analyzer catches) |
+//! | `cas-loop` | `load(Acquire)`, `compare_exchange(AcqRel, Acquire)` | at-most-once probabilistic transitions; only legal in the exempt files (`morris_conc.rs`) — everywhere else `rmw-hazard` also fires |
+//! | `monotone-merge` | `fetch_max(AcqRel)`, `fetch_min(AcqRel)`, `fetch_add(AcqRel)`, `load(Acquire)` | commutative monotone merges whose `AcqRel` publishes the merged value to `Acquire` readers |
+//! | `id-alloc` | `fetch_add(Relaxed)` | unique-id allocation: only uniqueness matters, never order |
+//!
+//! Conformance is two-layered: the **site ↔ row match** (exact
+//! method + orderings, so `Release → Relaxed` at one site is a
+//! finding even when some other site legally uses `Relaxed`), and
+//! **row legality** (a row's shape must be allowed by its claimed
+//! discipline, so mis-tagging a CAS as `pcm-cell` is also a finding).
+//! `Ordering::` values that appear in code *outside* a recognized
+//! call site (e.g. bound to a variable and passed indirectly) are
+//! findings too — orderings must be literal at the access, or the
+//! audit cannot see them.
+
+use crate::lint::{LintFinding, LintReport};
+use crate::syn::{matching_close, matching_open, ScannedFile, TokKind};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Atomic RMW methods that identify a site even without a literal
+/// `Ordering::` argument (their names are unambiguous).
+const RMW_METHODS: [&str; 12] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+];
+
+/// Methods that are atomic accesses only when a literal `Ordering::`
+/// appears among the arguments (`load`/`store`/`swap` exist on plenty
+/// of non-atomic types).
+const ORDERED_METHODS: [&str; 3] = ["load", "store", "swap"];
+
+/// Number of `Ordering` arguments the method signature takes.
+fn expected_orderings(method: &str) -> usize {
+    match method {
+        "compare_exchange" | "compare_exchange_weak" | "fetch_update" => 2,
+        _ => 1,
+    }
+}
+
+/// One atomic access site in non-test code.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AtomicSite {
+    /// Path relative to the scanned source root (e.g. `sharded.rs`).
+    pub file: String,
+    /// 1-based line of the method identifier.
+    pub line: u32,
+    /// Innermost enclosing `fn`, or `-` at module level.
+    pub func: String,
+    /// Receiver expression, whitespace-normalized (e.g.
+    /// `self.in_use[self.shard]`), or `?` when not recoverable.
+    pub receiver: String,
+    /// Method name (`load`, `store`, `swap`, `fetch_add`, ...).
+    pub method: String,
+    /// Literal `Ordering::` arguments, in argument order.
+    pub orderings: Vec<String>,
+    /// Byte span of each ordering identifier in the source (used by
+    /// the mutation harness to rewrite exactly one literal).
+    pub ordering_spans: Vec<(usize, usize)>,
+    /// Byte span of the method identifier (used to inject a CAS).
+    pub method_span: (usize, usize),
+}
+
+impl AtomicSite {
+    /// The orderings cell as rendered in the audit table.
+    pub fn orderings_cell(&self) -> String {
+        self.orderings.join(", ")
+    }
+
+    /// `fn/receiver.method(orderings)` one-liner for messages.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}:{} fn {}: {}.{}({})",
+            self.file,
+            self.line,
+            self.func,
+            self.receiver,
+            self.method,
+            self.orderings_cell()
+        )
+    }
+}
+
+/// Scan result for one file.
+#[derive(Clone, Debug)]
+pub struct FileSites {
+    /// Path relative to the source root.
+    pub rel: String,
+    /// Absolute path.
+    pub path: PathBuf,
+    /// The source text the spans index into.
+    pub src: String,
+    /// Non-test atomic access sites, in source order.
+    pub sites: Vec<AtomicSite>,
+    /// Non-test code `Ordering::X` mentions *outside* any site's
+    /// argument list: `(line, ordering name)`.
+    pub strays: Vec<(u32, String)>,
+}
+
+/// Scans one source text for atomic access sites and stray ordering
+/// mentions. Test code (at or after the trailing `#[cfg(test)]`) is
+/// skipped entirely.
+pub fn scan_source(rel: &str, src: &str) -> (Vec<AtomicSite>, Vec<(u32, String)>) {
+    let file = ScannedFile::new(src);
+    let mut sites = Vec::new();
+    // Code positions of `Ordering`-path tokens consumed by a site.
+    let mut consumed = vec![false; file.code.len()];
+
+    for ci in 0..file.code.len() {
+        let t = file.code_tok(ci);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let method = t.text;
+        let is_rmw = RMW_METHODS.contains(&method);
+        if !is_rmw && !ORDERED_METHODS.contains(&method) {
+            continue;
+        }
+        if ci == 0 || !file.code_tok(ci - 1).is_punct('.') {
+            continue;
+        }
+        let Some(open) = file
+            .code
+            .get(ci + 1)
+            .filter(|_| file.code_tok(ci + 1).is_punct('('))
+            .map(|_| ci + 1)
+        else {
+            continue;
+        };
+        let Some(close) = matching_close(&file, open) else {
+            continue;
+        };
+        // Literal orderings inside the argument list.
+        let mut orderings = Vec::new();
+        let mut spans = Vec::new();
+        let mut arg_consumed = Vec::new();
+        let mut j = open + 1;
+        while j + 3 <= close {
+            if file.code_tok(j).is_ident("Ordering")
+                && file.code_tok(j + 1).is_punct(':')
+                && file.code_tok(j + 2).is_punct(':')
+                && file.code_tok(j + 3).kind == TokKind::Ident
+            {
+                let ord = file.code_tok(j + 3);
+                orderings.push(ord.text.to_string());
+                spans.push((ord.lo, ord.hi()));
+                arg_consumed.extend([j, j + 1, j + 2, j + 3]);
+                j += 4;
+            } else {
+                j += 1;
+            }
+        }
+        if !is_rmw && orderings.is_empty() {
+            continue; // load/store/swap on some non-atomic type
+        }
+        if file.in_test(ci) {
+            // Test code is out of audit scope, but mark its ordering
+            // tokens consumed so they are not reported as strays.
+            for p in arg_consumed {
+                consumed[p] = true;
+            }
+            continue;
+        }
+        for p in arg_consumed {
+            consumed[p] = true;
+        }
+        let receiver = receiver_text(&file, ci - 1).unwrap_or_else(|| "?".to_string());
+        sites.push(AtomicSite {
+            file: rel.to_string(),
+            line: t.line,
+            func: file.enclosing_fn[ci].unwrap_or("-").to_string(),
+            receiver,
+            method: method.to_string(),
+            orderings,
+            ordering_spans: spans,
+            method_span: (t.lo, t.hi()),
+        });
+    }
+
+    // Stray mentions: code, non-test `Ordering::X` outside any site.
+    let mut strays = Vec::new();
+    for (ci, &used) in consumed
+        .iter()
+        .enumerate()
+        .take(file.code.len().saturating_sub(3))
+    {
+        if used || file.in_test(ci) {
+            continue;
+        }
+        if file.code_tok(ci).is_ident("Ordering")
+            && file.code_tok(ci + 1).is_punct(':')
+            && file.code_tok(ci + 2).is_punct(':')
+            && file.code_tok(ci + 3).kind == TokKind::Ident
+        {
+            strays.push((
+                file.code_tok(ci).line,
+                file.code_tok(ci + 3).text.to_string(),
+            ));
+        }
+    }
+    (sites, strays)
+}
+
+/// Receiver expression ending at the `.` at code-position `dot`:
+/// walks back through `ident`/`self` segments, `.`/`::` separators
+/// and balanced `(...)`/`[...]` suffixes, then joins the code tokens
+/// (whitespace and comments drop out).
+fn receiver_text(file: &ScannedFile<'_>, dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let mut j = dot - 1;
+    let start;
+    loop {
+        let t = file.code_tok(j);
+        if t.is_punct(')') || t.is_punct(']') {
+            j = matching_open(file, j)?;
+            if j == 0 {
+                start = j;
+                break;
+            }
+            let p = file.code_tok(j - 1);
+            if p.kind == TokKind::Ident || p.is_punct(')') || p.is_punct(']') {
+                j -= 1;
+                continue;
+            }
+            start = j;
+            break;
+        }
+        if t.kind == TokKind::Ident || t.kind == TokKind::Number {
+            if j == 0 {
+                start = j;
+                break;
+            }
+            let p = file.code_tok(j - 1);
+            // A member-access dot continues the receiver; the second
+            // dot of a range (`0..c.load(...)`) does not.
+            if p.is_punct('.') && j >= 2 && !file.code_tok(j - 2).is_punct('.') {
+                j -= 2;
+                continue;
+            }
+            if p.is_punct(':') && j >= 2 && file.code_tok(j - 2).is_punct(':') && j >= 3 {
+                j -= 3;
+                continue;
+            }
+            start = j;
+            break;
+        }
+        return None;
+    }
+    Some((start..dot).map(|k| file.code_tok(k).text).collect())
+}
+
+/// Collects per-file scan results for every `.rs` file under `src_dir`
+/// (recursively, sorted), with paths relative to `src_dir`.
+pub fn collect_file_sites(src_dir: &Path) -> Vec<FileSites> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    walk(src_dir, &mut files);
+    files
+        .into_iter()
+        .filter_map(|path| {
+            let src = fs::read_to_string(&path).ok()?;
+            let rel = path
+                .strip_prefix(src_dir)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let (sites, strays) = scan_source(&rel, &src);
+            Some(FileSites {
+                rel,
+                path,
+                src,
+                sites,
+                strays,
+            })
+        })
+        .collect()
+}
+
+/// One row of the "Atomic access sites" table in `ORDERINGS.md`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SiteRow {
+    /// Source file, relative to `crates/concurrent/src`.
+    pub file: String,
+    /// Enclosing `fn` (or `-`).
+    pub func: String,
+    /// Receiver expression (whitespace-normalized).
+    pub receiver: String,
+    /// Method name.
+    pub method: String,
+    /// Orderings, in argument order.
+    pub orderings: Vec<String>,
+    /// Claimed discipline tag.
+    pub discipline: String,
+    /// Free-text justification.
+    pub justification: String,
+}
+
+/// Parses "Atomic access sites" rows:
+/// `| file.rs | fn | receiver | method | orderings | discipline | justification |`.
+/// Rows are recognized by a `.rs` first cell and ≥ 7 cells, so they
+/// coexist with the "Served objects" table in the same document.
+pub fn parse_site_table(text: &str) -> Vec<SiteRow> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim())
+            .collect();
+        if cells.len() < 7 || !cells[0].ends_with(".rs") {
+            continue;
+        }
+        rows.push(SiteRow {
+            file: cells[0].to_string(),
+            func: cells[1].to_string(),
+            receiver: cells[2].replace('`', ""),
+            method: cells[3].to_string(),
+            orderings: cells[4]
+                .split(',')
+                .map(|o| o.trim().to_string())
+                .filter(|o| !o.is_empty())
+                .collect(),
+            discipline: cells[5].to_string(),
+            justification: cells[6].to_string(),
+        });
+    }
+    rows
+}
+
+/// One `(method, orderings)` shape a discipline permits.
+pub type DisciplineShape = (&'static str, &'static [&'static str]);
+
+/// The allowed `(method, orderings)` shapes per discipline, plus the
+/// file allowlist for `cas-loop`.
+pub const DISCIPLINES: [(&str, &[DisciplineShape]); 6] = [
+    (
+        "pcm-cell",
+        &[
+            ("fetch_add", &["Relaxed"]),
+            ("load", &["Relaxed"]),
+            ("load", &["Acquire"]),
+        ],
+    ),
+    (
+        "swmr-slot",
+        &[
+            ("load", &["Relaxed"]),
+            ("store", &["Release"]),
+            ("load", &["Acquire"]),
+        ],
+    ),
+    (
+        "lease-flag",
+        &[
+            ("swap", &["AcqRel"]),
+            ("store", &["Release"]),
+            ("load", &["Acquire"]),
+        ],
+    ),
+    (
+        "cas-loop",
+        &[
+            ("load", &["Acquire"]),
+            ("compare_exchange", &["AcqRel", "Acquire"]),
+        ],
+    ),
+    (
+        "monotone-merge",
+        &[
+            ("fetch_max", &["AcqRel"]),
+            ("fetch_min", &["AcqRel"]),
+            ("fetch_add", &["AcqRel"]),
+            ("load", &["Acquire"]),
+        ],
+    ),
+    ("id-alloc", &[("fetch_add", &["Relaxed"])]),
+];
+
+/// Files in which `cas-loop` rows are legal (mirrors the `rmw-hazard`
+/// exemption: probabilistic at-most-once transitions need CAS).
+pub const CAS_EXEMPT_FILES: [&str; 2] = ["morris_conc.rs", "min_register.rs"];
+
+/// Whether `(method, orderings)` is an allowed shape of `discipline`.
+/// `None` when the discipline name is unknown.
+pub fn discipline_allows(discipline: &str, method: &str, orderings: &[String]) -> Option<bool> {
+    let (_, shapes) = DISCIPLINES.iter().find(|(n, _)| *n == discipline)?;
+    Some(shapes.iter().any(|(m, ords)| {
+        *m == method
+            && ords.len() == orderings.len()
+            && ords.iter().zip(orderings).all(|(a, b)| a == b)
+    }))
+}
+
+/// Best-guess discipline for a site shape (used by `ivl_lint --sites`
+/// to prefill new rows; ambiguous shapes get the first match in
+/// [`DISCIPLINES`] order).
+pub fn guess_discipline(file: &str, method: &str, orderings: &[String]) -> Option<&'static str> {
+    DISCIPLINES
+        .iter()
+        .filter(|(name, _)| *name != "cas-loop" || CAS_EXEMPT_FILES.contains(&file))
+        .find(|(name, _)| discipline_allows(name, method, orderings) == Some(true))
+        .map(|(name, _)| *name)
+}
+
+/// Renders the current tree's sites as audit-table rows, reusing the
+/// discipline and justification of any existing matching row so the
+/// table can be regenerated without losing its arguments.
+pub fn render_site_rows(files: &[FileSites], existing: &[SiteRow]) -> String {
+    let mut used = vec![false; existing.len()];
+    let mut out = String::from(
+        "| file | fn | receiver | method | orderings | discipline | justification |\n\
+         | --- | --- | --- | --- | --- | --- | --- |\n",
+    );
+    for f in files {
+        for s in &f.sites {
+            let row = existing.iter().enumerate().find(|(i, r)| {
+                !used[*i]
+                    && r.file == s.file
+                    && r.func == s.func
+                    && r.receiver == s.receiver
+                    && r.method == s.method
+                    && r.orderings == s.orderings
+            });
+            let (discipline, justification) = match row {
+                Some((i, r)) => {
+                    used[i] = true;
+                    (r.discipline.clone(), r.justification.clone())
+                }
+                None => (
+                    guess_discipline(&s.file, &s.method, &s.orderings)
+                        .unwrap_or("?")
+                        .to_string(),
+                    "TODO: justify this access".to_string(),
+                ),
+            };
+            out.push_str(&format!(
+                "| {} | {} | `{}` | {} | {} | {} | {} |\n",
+                s.file,
+                s.func,
+                s.receiver,
+                s.method,
+                s.orderings_cell(),
+                discipline,
+                justification
+            ));
+        }
+    }
+    out
+}
+
+/// Check name used for every finding this pass reports.
+pub const CHECK: &str = "atomics-conformance";
+
+fn rel_of(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs the site-level conformance pass over
+/// `root/crates/concurrent`, appending findings to `report`.
+pub fn check_conformance(root: &Path, report: &mut LintReport) {
+    let src_dir = root.join("crates").join("concurrent").join("src");
+    let audit_path = root.join("crates").join("concurrent").join("ORDERINGS.md");
+    let files = collect_file_sites(&src_dir);
+    if files.is_empty() {
+        return;
+    }
+    report.files_scanned += files.len();
+    let audit = fs::read_to_string(&audit_path).unwrap_or_default();
+    let rows = parse_site_table(&audit);
+    let audit_rel = rel_of(root, &audit_path);
+    let mut row_used = vec![false; rows.len()];
+
+    for f in &files {
+        let file_rel = rel_of(root, &f.path);
+        for (line, ord) in &f.strays {
+            report.findings.push(LintFinding {
+                check: CHECK,
+                file: file_rel.clone(),
+                line: *line as usize,
+                message: format!(
+                    "`Ordering::{ord}` outside a recognized atomic access site; pass orderings \
+                     literally at the access so the audit can see them"
+                ),
+            });
+        }
+        for s in &f.sites {
+            if s.orderings.len() < expected_orderings(&s.method) {
+                report.findings.push(LintFinding {
+                    check: CHECK,
+                    file: file_rel.clone(),
+                    line: s.line as usize,
+                    message: format!(
+                        "`{}.{}` takes {} Ordering argument(s) but only {} literal(s) found; \
+                         orderings must be literal at the access site",
+                        s.receiver,
+                        s.method,
+                        expected_orderings(&s.method),
+                        s.orderings.len()
+                    ),
+                });
+                continue;
+            }
+            // Exact match first; then a same-site row with different
+            // orderings (drift); then unaudited.
+            let exact = rows.iter().enumerate().find(|(i, r)| {
+                !row_used[*i]
+                    && r.file == s.file
+                    && r.func == s.func
+                    && r.receiver == s.receiver
+                    && r.method == s.method
+                    && r.orderings == s.orderings
+            });
+            if let Some((i, _)) = exact {
+                row_used[i] = true;
+                continue;
+            }
+            let drift = rows.iter().enumerate().find(|(i, r)| {
+                !row_used[*i]
+                    && r.file == s.file
+                    && r.func == s.func
+                    && r.receiver == s.receiver
+                    && r.method == s.method
+            });
+            match drift {
+                Some((i, r)) => {
+                    row_used[i] = true;
+                    report.findings.push(LintFinding {
+                        check: CHECK,
+                        file: file_rel.clone(),
+                        line: s.line as usize,
+                        message: format!(
+                            "ordering drift at `{}` in fn {}: code uses `{}.{}({})` but {} \
+                             audits `{}` under discipline {}; re-argue the access and update the row",
+                            s.receiver,
+                            s.func,
+                            s.receiver,
+                            s.method,
+                            s.orderings_cell(),
+                            audit_rel,
+                            r.orderings.join(", "),
+                            r.discipline
+                        ),
+                    });
+                }
+                None => {
+                    report.findings.push(LintFinding {
+                        check: CHECK,
+                        file: file_rel.clone(),
+                        line: s.line as usize,
+                        message: format!(
+                            "unaudited atomic access site {}; add `| {} | {} | `{}` | {} | {} | \
+                             <discipline> | <justification> |` to {}",
+                            s.describe(),
+                            s.file,
+                            s.func,
+                            s.receiver,
+                            s.method,
+                            s.orderings_cell(),
+                            audit_rel
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Stale rows: audited sites no longer present in the code.
+    for (i, r) in rows.iter().enumerate() {
+        if !row_used[i] {
+            report.findings.push(LintFinding {
+                check: CHECK,
+                file: audit_rel.clone(),
+                line: 0,
+                message: format!(
+                    "stale site row `{} fn {}: {}.{}({})`: no matching atomic access left",
+                    r.file,
+                    r.func,
+                    r.receiver,
+                    r.method,
+                    r.orderings.join(", ")
+                ),
+            });
+        }
+    }
+
+    // Row legality: the claimed discipline must allow the shape.
+    for r in &rows {
+        match discipline_allows(&r.discipline, &r.method, &r.orderings) {
+            None => report.findings.push(LintFinding {
+                check: CHECK,
+                file: audit_rel.clone(),
+                line: 0,
+                message: format!(
+                    "unknown discipline `{}` on site row `{} fn {}`; known: {}",
+                    r.discipline,
+                    r.file,
+                    r.func,
+                    DISCIPLINES
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            }),
+            Some(false) => report.findings.push(LintFinding {
+                check: CHECK,
+                file: audit_rel.clone(),
+                line: 0,
+                message: format!(
+                    "site row `{} fn {}: {}.{}({})` is not a legal `{}` shape; either the \
+                     discipline tag or the access is wrong",
+                    r.file,
+                    r.func,
+                    r.receiver,
+                    r.method,
+                    r.orderings.join(", "),
+                    r.discipline
+                ),
+            }),
+            Some(true) => {}
+        }
+        if r.discipline == "cas-loop" && !CAS_EXEMPT_FILES.contains(&r.file.as_str()) {
+            report.findings.push(LintFinding {
+                check: CHECK,
+                file: audit_rel.clone(),
+                line: 0,
+                message: format!(
+                    "cas-loop discipline claimed for `{}`, which is not an exempt file ({})",
+                    r.file,
+                    CAS_EXEMPT_FILES.join(", ")
+                ),
+            });
+        }
+        if r.justification.is_empty() || r.justification.starts_with("TODO") {
+            report.findings.push(LintFinding {
+                check: CHECK,
+                file: audit_rel.clone(),
+                line: 0,
+                message: format!(
+                    "site row `{} fn {}: {}.{}` has no justification — every audited access \
+                     carries its argument",
+                    r.file, r.func, r.receiver, r.method
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_extracts_sites_with_receivers_and_orderings() {
+        let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn upd(cells: &[AtomicU64], i: usize) {
+    cells[i].fetch_add(1, Ordering::Relaxed);
+}
+pub fn cas(x: &AtomicU64) {
+    let _ = x.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+}
+"#;
+        let (sites, strays) = scan_source("t.rs", src);
+        assert!(strays.is_empty(), "{strays:?}");
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].func, "upd");
+        assert_eq!(sites[0].receiver, "cells[i]");
+        assert_eq!(sites[0].method, "fetch_add");
+        assert_eq!(sites[0].orderings, vec!["Relaxed"]);
+        assert_eq!(sites[1].orderings, vec!["AcqRel", "Acquire"]);
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_invisible() {
+        let src = r#"
+// Ordering::SeqCst in a comment
+pub fn f() {
+    let _ = "Ordering::Relaxed in a string";
+}
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    fn t(x: &AtomicU64) { x.load(Ordering::Relaxed); }
+}
+"#;
+        let (sites, strays) = scan_source("t.rs", src);
+        assert!(sites.is_empty(), "{sites:?}");
+        assert!(strays.is_empty(), "{strays:?}");
+    }
+
+    #[test]
+    fn indirect_orderings_are_strays() {
+        let src = "pub fn f(x: &A) { let o = Ordering::Relaxed; x.load(o); }\n";
+        let (sites, strays) = scan_source("t.rs", src);
+        assert!(sites.is_empty());
+        assert_eq!(strays, vec![(1, "Relaxed".to_string())]);
+    }
+
+    #[test]
+    fn discipline_shapes() {
+        let ok = |d: &str, m: &str, o: &[&str]| {
+            discipline_allows(d, m, &o.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        assert_eq!(ok("pcm-cell", "fetch_add", &["Relaxed"]), Some(true));
+        assert_eq!(ok("pcm-cell", "fetch_add", &["AcqRel"]), Some(false));
+        assert_eq!(ok("swmr-slot", "store", &["Relaxed"]), Some(false));
+        assert_eq!(ok("lease-flag", "swap", &["AcqRel"]), Some(true));
+        assert_eq!(ok("nope", "load", &["Relaxed"]), None);
+    }
+}

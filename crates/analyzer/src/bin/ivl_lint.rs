@@ -1,13 +1,25 @@
 //! Repo-invariant lint runner.
 //!
 //! ```text
-//! ivl_lint [--root DIR] [--json]
+//! ivl_lint [--root DIR] [--json]            # run all checks
+//! ivl_lint [--root DIR] --sites             # print the atomic-site audit rows
+//! ivl_lint [--root DIR] [--json] --mutate   # mutation self-validation
 //! ```
 //!
-//! Exits 0 when every check passes, 1 when any finding is reported,
-//! 2 on usage errors. Run from anywhere inside the repository; the
-//! root defaults to the nearest ancestor containing `Cargo.toml` with
-//! a `[workspace]` table.
+//! `--sites` regenerates the "Atomic access sites" table rows for
+//! `crates/concurrent/ORDERINGS.md` from the code, reusing the
+//! discipline tag and justification of every row that still matches —
+//! paste the output into the audit table after changing an access.
+//!
+//! `--mutate` plants weakened-ordering mutants (and one injected CAS)
+//! in a scratch tree and verifies the conformance + hazard passes
+//! catch every one; see `crates/analyzer/src/mutate.rs`.
+//!
+//! Exits 0 when every check passes (or every mutant is caught), 1 on
+//! findings (or an escaped mutant / dirty baseline), 2 on usage
+//! errors. Run from anywhere inside the repository; the root defaults
+//! to the nearest ancestor containing `Cargo.toml` with a
+//! `[workspace]` table.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +42,8 @@ fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut sites = false;
+    let mut mutate = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,8 +55,10 @@ fn main() -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--sites" => sites = true,
+            "--mutate" => mutate = true,
             "--help" | "-h" => {
-                println!("usage: ivl_lint [--root DIR] [--json]");
+                println!("usage: ivl_lint [--root DIR] [--json] [--sites | --mutate]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -50,6 +66,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if sites && mutate {
+        eprintln!("--sites and --mutate are mutually exclusive");
+        return ExitCode::from(2);
     }
     let root = match root {
         Some(r) => r,
@@ -64,6 +84,44 @@ fn main() -> ExitCode {
             }
         }
     };
+    if sites {
+        let src_dir = root.join("crates").join("concurrent").join("src");
+        let audit_path = root.join("crates").join("concurrent").join("ORDERINGS.md");
+        let files = ivl_analyzer::atomics::collect_file_sites(&src_dir);
+        if files.is_empty() {
+            eprintln!("no sources under {}", src_dir.display());
+            return ExitCode::from(2);
+        }
+        let audit = std::fs::read_to_string(&audit_path).unwrap_or_default();
+        let existing = ivl_analyzer::atomics::parse_site_table(&audit);
+        print!(
+            "{}",
+            ivl_analyzer::atomics::render_site_rows(&files, &existing)
+        );
+        return ExitCode::SUCCESS;
+    }
+    if mutate {
+        let scratch = std::env::temp_dir().join(format!("ivl_lint_mutate_{}", std::process::id()));
+        let report = match ivl_analyzer::run_mutations(&root, &scratch) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mutation harness I/O failure: {e}");
+                std::fs::remove_dir_all(&scratch).ok();
+                return ExitCode::from(2);
+            }
+        };
+        std::fs::remove_dir_all(&scratch).ok();
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render());
+        }
+        return if report.is_valid() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     let report = ivl_analyzer::run_lints(&root);
     if json {
         println!("{}", report.to_json());

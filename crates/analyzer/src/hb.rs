@@ -382,6 +382,55 @@ pub fn replay_schedule(
     )
 }
 
+/// Step-model of the `sharded.rs` lease handoff, for the mutation
+/// harness: does the happens-before pass detect the lease-pair
+/// ordering being weakened?
+///
+/// Register 0 is the shard's `in_use` flag, register 1 stands for the
+/// shard's cells (the exclusive write access the lease protects).
+/// The correct protocol (`weakened = false`):
+///
+/// 1. p0 writes the shard under its lease,
+/// 2. p0 returns the lease — the `store(Release)` of the flag,
+/// 3. p1 acquires the lease — the `swap(AcqRel)`, modeled as an RMW
+///    whose read half synchronizes with p0's release store,
+/// 4. p1 writes the shard under its new lease.
+///
+/// The reads-from edge at step 3 orders the two shard writes, so the
+/// report has no write–write race. With `weakened = true` the swap's
+/// acquire half is dropped (a `Relaxed` swap, modeled as a plain
+/// write to the flag): no synchronization edge forms and both the
+/// flag and the shard exhibit WW races — the behavioural signature of
+/// the weakened handoff. Callers should assert on
+/// [`HbIssue::WwRace`] findings only: lease-recycled cells have no
+/// static owner, so the structural SWMR check does not apply (the
+/// model passes ownerless registers and plain writes trip
+/// `SwmrViolation` rows that carry no information here).
+pub fn lease_handoff_step_model(weakened: bool) -> HbReport {
+    use ivl_shmem::{Access, AccessKind, RegisterId};
+    let step = |process: usize, reg: usize, kind: AccessKind| StepRecord {
+        process,
+        accesses: vec![Access {
+            reg: RegisterId(reg),
+            kind,
+        }],
+        invoked: None,
+        responded: None,
+    };
+    let acquire_kind = if weakened {
+        AccessKind::Write
+    } else {
+        AccessKind::Rmw
+    };
+    let steps = [
+        step(0, 1, AccessKind::Write), // p0: shard write under lease
+        step(0, 0, AccessKind::Write), // p0: lease return (Release)
+        step(1, 0, acquire_kind),      // p1: lease acquire (AcqRel swap)
+        step(1, 1, AccessKind::Write), // p1: shard write under lease
+    ];
+    analyze_steps(2, &steps, &[None, None])
+}
+
 /// Precedence-level summary of a recorded history (`ivl_check --hb`).
 ///
 /// A history from [`ivl_spec::record::Recorder`] has no memory

@@ -12,29 +12,43 @@
 //!   reports each violation with a replayable
 //!   [`ivl_shmem::FixedScheduler`] schedule.
 //! * [`lint`] — a dependency-free source lint enforcing repository
-//!   invariants that the type system cannot: `unsafe` stays forbidden
-//!   crate-wide, every memory-`Ordering` in the concurrent crate is
-//!   accounted for in a checked-in audit table, no RMW instructions
-//!   sneak into the PCM sketch-cell update paths (the paper's
-//!   algorithms use only reads, writes and `fetch_add` on shared
-//!   cells), hot paths do not hide `thread::sleep`, and the service
-//!   wire-protocol frame tags stay unique.
+//!   invariants that the type system cannot. Since PR 7 it runs on a
+//!   real token stream ([`syn`]) rather than regexes: `unsafe` stays
+//!   forbidden crate-wide, every atomic access *site* in the
+//!   concurrent crate (enclosing `fn`, receiver, method, literal
+//!   `Ordering::` arguments) conforms to a per-site discipline table
+//!   ([`atomics`]), no CAS-style RMW instructions sneak into the PCM
+//!   sketch-cell update paths (the paper's algorithms use only reads,
+//!   writes and `fetch_add` on shared cells), hot paths do not hide
+//!   `thread::sleep` (and dead `lint:allow` annotations are findings),
+//!   and the service wire-protocol frame tags stay unique and
+//!   documented.
+//! * [`mutate`] — the lint's self-validation harness: mechanically
+//!   weakens one ordering at a time in a scratch copy of the
+//!   concurrent crate (Release→Relaxed store, Acquire→Relaxed load,
+//!   an injected CAS in a PCM update path) and asserts the
+//!   conformance pass catches every mutant.
 //!
-//! Both are wired into `scripts/verify.sh` and CI via the `ivl_lint`
-//! binary and the test suite.
+//! All of it is wired into `scripts/verify.sh` and CI via the
+//! `ivl_lint` binary (`--json`, `--sites`, `--mutate`) and the test
+//! suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod atomics;
 pub mod hb;
 pub mod lint;
+pub mod mutate;
+pub mod syn;
 
 pub use hb::{
-    analyze_config, analyze_steps, history_hb_summary, HbFinding, HbIssue, HbReport,
-    HistoryHbSummary, RwConflict,
+    analyze_config, analyze_steps, history_hb_summary, lease_handoff_step_model, HbFinding,
+    HbIssue, HbReport, HistoryHbSummary, RwConflict,
 };
 pub use lint::{run_lints, LintFinding, LintReport};
+pub use mutate::{run_mutations, MutationOutcome, MutationReport};
 
 /// Escapes a string for inclusion in a JSON document (the analyzer
 /// renders reports without a serialization dependency).

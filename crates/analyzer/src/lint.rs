@@ -1,69 +1,77 @@
 //! `ivl_lint`: a hand-rolled, dependency-free repository lint.
 //!
-//! Seven checks, each encoding an invariant of this repository that
+//! Since PR 7 the engine parses the code, not the text: every pass
+//! that inspects Rust sources runs over the [`crate::syn`] token
+//! stream, so comments, string literals and the trailing
+//! `#[cfg(test)]` module can never trip (or hide) a finding.
+//!
+//! Nine checks, each encoding an invariant of this repository that
 //! the compiler cannot express:
 //!
 //! 1. **crate-attrs** — every workspace crate's `src/lib.rs` carries
 //!    `#![forbid(unsafe_code)]`. The reproduction's claim to model
 //!    fidelity rests on there being no backdoor around the memory
 //!    model.
-//! 2. **ordering-audit** — every `Ordering::` occurrence in
-//!    `crates/concurrent` is accounted for in the checked-in audit
-//!    table `crates/concurrent/ORDERINGS.md` (file, occurrence count,
-//!    justification). Adding or removing an atomic ordering without
-//!    updating the audit fails the lint — the table is how reviewers
-//!    know each relaxed access was argued about, not pasted.
-//! 3. **rmw-hazard** — the PCM sketch-cell update paths (`pcm.rs`,
-//!    `sharded.rs`, `buffered.rs`, `arena.rs`, `delegation.rs`,
-//!    `locked.rs`) must not use compare-and-swap style RMWs
-//!    (`compare_exchange`, `fetch_update`, `compare_and_swap`). The
-//!    paper's counters are built from reads, writes and `fetch_add`
-//!    only; a CAS loop in an update path silently changes the
-//!    progress guarantee the theorems assume. The buffered flush is
-//!    covered, not exempted: propagation is pure `fetch_add`, which
-//!    the check permits (`morris_conc.rs` / `min_register.rs` use CAS
-//!    by design and are exempt).
+//! 2. **atomics-conformance** — the site-level ordering audit (see
+//!    [`crate::atomics`]): every atomic access site in
+//!    `crates/concurrent` (enclosing `fn`, receiver, method, literal
+//!    `Ordering::` arguments) must match a row of the "Atomic access
+//!    sites" table in `crates/concurrent/ORDERINGS.md`, each row
+//!    tagged with a discipline (`pcm-cell`, `swmr-slot`,
+//!    `lease-flag`, `cas-loop`, `monotone-merge`, `id-alloc`) whose
+//!    shape rules the row must satisfy. Weakening one ordering at one
+//!    site is a finding even when the weaker ordering is legal
+//!    elsewhere — `ivl_lint --mutate` proves this has teeth.
+//! 3. **rmw-hazard** — the PCM sketch-cell update paths must not use
+//!    compare-and-swap style RMWs (`compare_exchange`,
+//!    `compare_exchange_weak`, `fetch_update`, `compare_and_swap`).
+//!    The paper's counters are built from reads, writes and
+//!    `fetch_add` only; a CAS loop in an update path silently changes
+//!    the progress guarantee the theorems assume. (`morris_conc.rs` /
+//!    `min_register.rs` use CAS-style RMWs by design and are exempt.)
 //! 4. **no-sleep** — no `thread::sleep` in non-test server/client
-//!    code (`crates/service`, `crates/bench`, `crates/counter`,
-//!    `crates/core`, `crates/replica`). Sleeping in a hot path hides
-//!    backpressure bugs that the IVL error envelopes would otherwise
-//!    surface. A deliberate sleep is annotated
-//!    `// lint:allow sleep — <reason>` on the same or preceding line.
-//! 5. **frame-tags** — the wire-protocol tag bytes in
+//!    code. Sleeping in a hot path hides backpressure bugs that the
+//!    IVL error envelopes would otherwise surface. A deliberate sleep
+//!    is annotated `// lint:allow sleep — <reason>` on the same or
+//!    preceding line.
+//! 5. **stale-allow** — a `lint:allow sleep` annotation with no
+//!    `thread::sleep` on its own or the following line is a finding:
+//!    dead allows silently widen the exemption surface.
+//! 6. **frame-tags** — the wire-protocol tag bytes in
 //!    `crates/service/src/protocol.rs` are pairwise distinct within
 //!    each namespace (the constant's name prefix: `OP_*` frame
 //!    opcodes, `ENV_*` envelope kind tags, ...).
-//! 6. **served-objects** — every `impl ServedObject for <Type>` in
+//! 7. **frame-docs** — every `OP_*` opcode constant appears (by its
+//!    byte, e.g. `0x14`) in the README's frame table, so adding an
+//!    opcode without documenting it fails the lint.
+//! 8. **served-objects** — every `impl ServedObject for <Type>` in
 //!    `crates/service` has a row in the "Served objects" table of
 //!    `crates/concurrent/ORDERINGS.md` naming the concurrent
 //!    structure it serves and arguing why its recorded projection is
-//!    checkable. Registering a new object kind without writing down
-//!    its verdict argument fails the lint — the per-object IVL
-//!    verdicts are only as trustworthy as the functional each object
-//!    chooses to record.
-//! 7. **envelope-compose** — every `ErrorEnvelope` variant declared in
+//!    checkable.
+//! 9. **envelope-compose** — every `ErrorEnvelope` variant declared in
 //!    `crates/service/src/envelope.rs` appears in the body of
-//!    `ErrorEnvelope::compose`. The replication layer ships composed
-//!    envelopes for merged reads; an envelope kind added without a
-//!    composition rule would make `compose` refuse (or worse,
-//!    mis-bound) that kind's merged reads, so the arm — and its
-//!    soundness argument in the compose doc — must land with the
-//!    variant.
+//!    `ErrorEnvelope::compose`, so replicated merges of every kind
+//!    stay boundable.
 //!
 //! The engine is parameterized by the repository root so the test
-//! suite can point it at fixture trees with planted violations.
+//! suite (and the mutation harness) can point it at fixture trees
+//! with planted violations.
 
 use crate::json_escape;
+use crate::syn::{ScannedFile, TokKind, Token};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The checks, in execution order.
-pub const CHECKS: [&str; 7] = [
+pub const CHECKS: [&str; 9] = [
     "crate-attrs",
-    "ordering-audit",
+    "atomics-conformance",
     "rmw-hazard",
     "no-sleep",
+    "stale-allow",
     "frame-tags",
+    "frame-docs",
     "served-objects",
     "envelope-compose",
 ];
@@ -72,7 +80,7 @@ pub const CHECKS: [&str; 7] = [
 /// buffered path's flush (`buffered.rs` draining into `arena.rs`
 /// cells) is deliberately in scope: batching may defer visibility but
 /// must never smuggle in a CAS loop.
-const RMW_HAZARD_FILES: [&str; 6] = [
+pub const RMW_HAZARD_FILES: [&str; 6] = [
     "pcm.rs",
     "sharded.rs",
     "buffered.rs",
@@ -82,7 +90,12 @@ const RMW_HAZARD_FILES: [&str; 6] = [
 ];
 
 /// CAS-style RMW method names flagged by the rmw-hazard check.
-const RMW_PATTERNS: [&str; 3] = ["compare_exchange", "fetch_update", "compare_and_swap"];
+const RMW_PATTERNS: [&str; 4] = [
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+    "compare_and_swap",
+];
 
 /// Crates whose non-test sources must not sleep.
 const NO_SLEEP_CRATES: [&str; 5] = ["service", "bench", "counter", "core", "replica"];
@@ -200,21 +213,18 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
-/// Number of `Ordering::` occurrences in a source text.
-fn ordering_occurrences(text: &str) -> usize {
-    text.matches("Ordering::").count()
-}
-
-/// Line number (1-based) where the file's `#[cfg(test)]` module
-/// starts, if any — by repository convention tests sit in a single
-/// trailing module, so everything after it is test code.
-fn test_module_start(text: &str) -> Option<usize> {
-    text.lines()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .map(|i| i + 1)
+/// Whether the code-token subsequence starting at code-position `ci`
+/// spells out `want` exactly.
+fn code_seq_at(file: &ScannedFile<'_>, ci: usize, want: &[&str]) -> bool {
+    want.len() <= file.code.len() - ci
+        && want
+            .iter()
+            .enumerate()
+            .all(|(k, w)| file.code_tok(ci + k).text == *w)
 }
 
 fn check_crate_attrs(root: &Path, report: &mut LintReport) {
+    const FORBID: [&str; 8] = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
     let crates_dir = root.join("crates");
     let Ok(entries) = fs::read_dir(&crates_dir) else {
         return;
@@ -227,7 +237,9 @@ fn check_crate_attrs(root: &Path, report: &mut LintReport) {
             continue;
         };
         report.files_scanned += 1;
-        if !text.contains("#![forbid(unsafe_code)]") {
+        let file = ScannedFile::new(&text);
+        let found = (0..file.code.len()).any(|ci| code_seq_at(&file, ci, &FORBID));
+        if !found {
             report.findings.push(LintFinding {
                 check: "crate-attrs",
                 file: rel(root, &lib),
@@ -238,98 +250,7 @@ fn check_crate_attrs(root: &Path, report: &mut LintReport) {
     }
 }
 
-/// Parses `ORDERINGS.md` audit rows: `| file.rs | count | justification |`.
-fn parse_audit_table(text: &str) -> Vec<(String, usize, String)> {
-    let mut rows = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if !line.starts_with('|') {
-            continue;
-        }
-        let cells: Vec<&str> = line
-            .trim_matches('|')
-            .split('|')
-            .map(|c| c.trim())
-            .collect();
-        if cells.len() < 3 || !cells[0].ends_with(".rs") {
-            continue;
-        }
-        let Ok(count) = cells[1].parse::<usize>() else {
-            continue;
-        };
-        rows.push((cells[0].to_string(), count, cells[2].to_string()));
-    }
-    rows
-}
-
-fn check_ordering_audit(root: &Path, report: &mut LintReport) {
-    let src = root.join("crates").join("concurrent").join("src");
-    let audit_path = root.join("crates").join("concurrent").join("ORDERINGS.md");
-    let files = rust_files(&src);
-    if files.is_empty() {
-        return;
-    }
-    let audit = fs::read_to_string(&audit_path).unwrap_or_default();
-    let rows = parse_audit_table(&audit);
-    let audit_rel = rel(root, &audit_path);
-
-    for path in &files {
-        let Ok(text) = fs::read_to_string(path) else {
-            continue;
-        };
-        report.files_scanned += 1;
-        let count = ordering_occurrences(&text);
-        if count == 0 {
-            continue;
-        }
-        let name = path.file_name().unwrap_or_default().to_string_lossy();
-        match rows.iter().find(|(f, _, _)| *f == name) {
-            None => report.findings.push(LintFinding {
-                check: "ordering-audit",
-                file: rel(root, path),
-                line: 0,
-                message: format!(
-                    "{count} Ordering:: use(s) but no audit row in {audit_rel}; add `| {name} | {count} | <justification> |`"
-                ),
-            }),
-            Some((_, audited, _)) if *audited != count => report.findings.push(LintFinding {
-                check: "ordering-audit",
-                file: rel(root, path),
-                line: 0,
-                message: format!(
-                    "{count} Ordering:: use(s) but {audit_rel} audits {audited}; re-justify and update the row"
-                ),
-            }),
-            Some((_, _, just)) if just.is_empty() => report.findings.push(LintFinding {
-                check: "ordering-audit",
-                file: rel(root, path),
-                line: 0,
-                message: format!("audit row in {audit_rel} has an empty justification"),
-            }),
-            Some(_) => {}
-        }
-    }
-    // Stale rows: audited files that no longer exist or no longer use
-    // atomics.
-    for (f, _, _) in &rows {
-        let exists = files.iter().any(|p| {
-            p.file_name().unwrap_or_default().to_string_lossy() == *f
-                && fs::read_to_string(p)
-                    .map(|t| ordering_occurrences(&t) > 0)
-                    .unwrap_or(false)
-        });
-        if !exists {
-            report.findings.push(LintFinding {
-                check: "ordering-audit",
-                file: audit_rel.clone(),
-                line: 0,
-                message: format!("stale audit row for {f}: file gone or no Ordering:: uses left"),
-            });
-        }
-    }
-}
-
-fn check_rmw_hazard(root: &Path, report: &mut LintReport) {
+pub(crate) fn check_rmw_hazard(root: &Path, report: &mut LintReport) {
     let src = root.join("crates").join("concurrent").join("src");
     for name in RMW_HAZARD_FILES {
         let path = src.join(name);
@@ -337,22 +258,54 @@ fn check_rmw_hazard(root: &Path, report: &mut LintReport) {
             continue;
         };
         report.files_scanned += 1;
-        for (i, line) in text.lines().enumerate() {
-            let code = line.split("//").next().unwrap_or(line);
-            for pat in RMW_PATTERNS {
-                if code.contains(pat) {
-                    report.findings.push(LintFinding {
-                        check: "rmw-hazard",
-                        file: rel(root, &path),
-                        line: i + 1,
-                        message: format!(
-                            "`{pat}` in a PCM update path: sketch cells take only load/store/fetch_add (model §2.1); move CAS logic to an exempt module or redesign"
-                        ),
-                    });
-                }
+        let file = ScannedFile::new(&text);
+        for ci in 1..file.code.len() {
+            let t = file.code_tok(ci);
+            if t.kind != TokKind::Ident || !RMW_PATTERNS.contains(&t.text) {
+                continue;
             }
+            if !file.code_tok(ci - 1).is_punct('.') || file.in_test(ci) {
+                continue;
+            }
+            report.findings.push(LintFinding {
+                check: "rmw-hazard",
+                file: rel(root, &path),
+                line: t.line as usize,
+                message: format!(
+                    "`{}` in a PCM update path: sketch cells take only load/store/fetch_add (model §2.1); move CAS logic to an exempt module or redesign",
+                    t.text
+                ),
+            });
         }
     }
+}
+
+/// `thread::sleep` call lines (token pattern `thread` `::` `sleep`) in
+/// non-test code, and `lint:allow sleep` comment lines in non-test
+/// code, for one source file.
+fn sleep_sites(file: &ScannedFile<'_>) -> (Vec<u32>, Vec<u32>) {
+    let mut sleeps = Vec::new();
+    for ci in 0..file.code.len().saturating_sub(3) {
+        if file.code_tok(ci).is_ident("thread")
+            && file.code_tok(ci + 1).is_punct(':')
+            && file.code_tok(ci + 2).is_punct(':')
+            && file.code_tok(ci + 3).is_ident("sleep")
+            && !file.in_test(ci)
+        {
+            sleeps.push(file.code_tok(ci + 3).line);
+        }
+    }
+    let allows: Vec<u32> = file
+        .tokens
+        .iter()
+        .filter(|t| {
+            matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+                && t.text.contains("lint:allow sleep")
+                && t.line < file.test_start_line
+        })
+        .map(|t: &Token<'_>| t.line)
+        .collect();
+    (sleeps, allows)
 }
 
 fn check_no_sleep(root: &Path, report: &mut LintReport) {
@@ -363,30 +316,68 @@ fn check_no_sleep(root: &Path, report: &mut LintReport) {
                 continue;
             };
             report.files_scanned += 1;
-            let test_start = test_module_start(&text).unwrap_or(usize::MAX);
-            let lines: Vec<&str> = text.lines().collect();
-            for (i, line) in lines.iter().enumerate() {
-                let lineno = i + 1;
-                if lineno >= test_start {
-                    break; // trailing test module
-                }
-                let code = line.split("//").next().unwrap_or(line);
-                if !code.contains("thread::sleep") {
-                    continue;
-                }
-                let allowed = line.contains("lint:allow sleep")
-                    || (i > 0 && lines[i - 1].contains("lint:allow sleep"));
+            let file = ScannedFile::new(&text);
+            let (sleeps, allows) = sleep_sites(&file);
+            for line in &sleeps {
+                let allowed = allows.iter().any(|a| *a == *line || *a + 1 == *line);
                 if !allowed {
                     report.findings.push(LintFinding {
                         check: "no-sleep",
                         file: rel(root, &path),
-                        line: lineno,
+                        line: *line as usize,
                         message: "thread::sleep in a non-test hot path; use real backpressure, or annotate `// lint:allow sleep — <reason>`".to_string(),
+                    });
+                }
+            }
+            for a in &allows {
+                let live = sleeps.iter().any(|l| *l == *a || *l == *a + 1);
+                if !live {
+                    report.findings.push(LintFinding {
+                        check: "stale-allow",
+                        file: rel(root, &path),
+                        line: *a as usize,
+                        message: "`lint:allow sleep` with no thread::sleep on this or the next line; dead allows widen the exemption surface — delete it".to_string(),
                     });
                 }
             }
         }
     }
+}
+
+/// `const NAME: u8 = VALUE;` declarations (token-level), as
+/// `(name, value, line)`.
+fn parse_u8_consts(file: &ScannedFile<'_>) -> Vec<(String, u8, u32)> {
+    let mut out = Vec::new();
+    for ci in 0..file.code.len() {
+        if !file.code_tok(ci).is_ident("const") || file.code.len() - ci < 6 {
+            continue;
+        }
+        let name_t = file.code_tok(ci + 1);
+        if name_t.kind != TokKind::Ident
+            || !file.code_tok(ci + 2).is_punct(':')
+            || !file.code_tok(ci + 3).is_ident("u8")
+            || !file.code_tok(ci + 4).is_punct('=')
+        {
+            continue;
+        }
+        let value_t = file.code_tok(ci + 5);
+        if value_t.kind != TokKind::Number {
+            continue;
+        }
+        let digits = value_t.text.replace('_', "");
+        let value = if let Some(hex) = digits
+            .strip_prefix("0x")
+            .or_else(|| digits.strip_prefix("0X"))
+        {
+            u8::from_str_radix(hex, 16).ok()
+        } else {
+            digits.parse::<u8>().ok()
+        };
+        if let Some(value) = value {
+            out.push((name_t.text.to_string(), value, name_t.line));
+        }
+    }
+    out
 }
 
 fn check_frame_tags(root: &Path, report: &mut LintReport) {
@@ -399,35 +390,15 @@ fn check_frame_tags(root: &Path, report: &mut LintReport) {
         return;
     };
     report.files_scanned += 1;
-    // (namespace, name, value, line): a tag byte must be unique within
-    // its namespace — the constant's name prefix up to the first `_`.
-    // `OP_*` bytes share the frame-opcode position; `ENV_*` bytes tag
-    // envelope kinds inside an ENVELOPE2 body and may reuse the same
-    // small integers without ambiguity.
-    let mut seen: Vec<(String, String, u8, usize)> = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let t = line.trim();
-        let Some(rest) = t
-            .strip_prefix("const ")
-            .or_else(|| t.strip_prefix("pub const "))
-        else {
-            continue;
-        };
-        let Some((name, tail)) = rest.split_once(':') else {
-            continue;
-        };
-        let namespace = name.split('_').next().unwrap_or(name).to_string();
-        let tail = tail.trim_start();
-        let Some(value_txt) = tail.strip_prefix("u8 =") else {
-            continue;
-        };
-        let value_txt = value_txt.trim().trim_end_matches(';').trim();
-        let value = if let Some(hex) = value_txt.strip_prefix("0x") {
-            u8::from_str_radix(hex, 16).ok()
-        } else {
-            value_txt.parse::<u8>().ok()
-        };
-        let Some(value) = value else { continue };
+    let file = ScannedFile::new(&text);
+    // A tag byte must be unique within its namespace — the constant's
+    // name prefix up to the first `_`. `OP_*` bytes share the frame
+    // opcode position; `ENV_*` bytes tag envelope kinds inside an
+    // ENVELOPE2 body and may reuse the same small integers without
+    // ambiguity.
+    let mut seen: Vec<(String, String, u8, u32)> = Vec::new();
+    for (name, value, line) in parse_u8_consts(&file) {
+        let namespace = name.split('_').next().unwrap_or(&name).to_string();
         if let Some((_, other, _, other_line)) = seen
             .iter()
             .find(|(ns, _, v, _)| *ns == namespace && *v == value)
@@ -435,19 +406,78 @@ fn check_frame_tags(root: &Path, report: &mut LintReport) {
             report.findings.push(LintFinding {
                 check: "frame-tags",
                 file: rel(root, &path),
-                line: i + 1,
+                line: line as usize,
                 message: format!(
                     "frame tag {name} = {value:#04x} collides with {other} (line {other_line}); every wire opcode must be unique"
                 ),
             });
         }
-        seen.push((namespace, name.trim().to_string(), value, i + 1));
+        seen.push((namespace, name, value, line));
+    }
+}
+
+/// Cross-checks the `OP_*` opcode constants against the README frame
+/// table: every opcode byte must appear (as `0xNN`) in a table line
+/// (a README line starting with `|`), so a new frame cannot land
+/// undocumented.
+fn check_frame_docs(root: &Path, report: &mut LintReport) {
+    let path = root
+        .join("crates")
+        .join("service")
+        .join("src")
+        .join("protocol.rs");
+    let Ok(text) = fs::read_to_string(&path) else {
+        return;
+    };
+    let readme_path = root.join("README.md");
+    let readme = fs::read_to_string(&readme_path).unwrap_or_default();
+    let file = ScannedFile::new(&text);
+    let ops: Vec<(String, u8, u32)> = parse_u8_consts(&file)
+        .into_iter()
+        .filter(|(name, _, _)| name.starts_with("OP_"))
+        .collect();
+    if ops.is_empty() {
+        return;
+    }
+    report.files_scanned += 1;
+    // Bytes documented in README table rows.
+    let mut documented: Vec<u8> = Vec::new();
+    for line in readme.lines() {
+        let line = line.trim_start();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(at) = rest.find("0x") {
+            let hex: String = rest[at + 2..]
+                .chars()
+                .take_while(|c| c.is_ascii_hexdigit())
+                .collect();
+            if let Ok(v) = u8::from_str_radix(&hex, 16) {
+                if hex.len() <= 2 {
+                    documented.push(v);
+                }
+            }
+            rest = &rest[at + 2..];
+        }
+    }
+    for (name, value, line) in &ops {
+        if !documented.contains(value) {
+            report.findings.push(LintFinding {
+                check: "frame-docs",
+                file: rel(root, &path),
+                line: *line as usize,
+                message: format!(
+                    "opcode {name} = {value:#04x} is not documented in the README frame table; add a row (every wire frame is part of the public protocol)"
+                ),
+            });
+        }
     }
 }
 
 /// Parses "Served objects" rows from `ORDERINGS.md`:
-/// `| TypeName | kind | argument |` — distinguished from the ordering
-/// audit rows by the first cell being a bare CamelCase type name
+/// `| TypeName | kind | argument |` — distinguished from the atomic
+/// site rows by the first cell being a bare CamelCase type name
 /// rather than a `.rs` file name.
 fn parse_served_table(text: &str) -> Vec<(String, String)> {
     let mut rows = Vec::new();
@@ -478,23 +508,23 @@ fn parse_served_table(text: &str) -> Vec<(String, String)> {
 fn check_served_objects(root: &Path, report: &mut LintReport) {
     let src = root.join("crates").join("service").join("src");
     let audit_path = root.join("crates").join("concurrent").join("ORDERINGS.md");
-    // Every `impl ServedObject for <Type>` in the service crate.
-    let mut impls: Vec<(String, PathBuf, usize)> = Vec::new();
+    // Every `impl ServedObject for <Type>` in the service crate,
+    // found on the token stream (a doc example cannot trip it).
+    let mut impls: Vec<(String, PathBuf, u32)> = Vec::new();
     for path in rust_files(&src) {
         let Ok(text) = fs::read_to_string(&path) else {
             continue;
         };
         report.files_scanned += 1;
-        for (i, line) in text.lines().enumerate() {
-            let Some(rest) = line.trim().strip_prefix("impl ServedObject for ") else {
-                continue;
-            };
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                impls.push((name, path.clone(), i + 1));
+        let file = ScannedFile::new(&text);
+        for ci in 0..file.code.len().saturating_sub(3) {
+            if file.code_tok(ci).is_ident("impl")
+                && file.code_tok(ci + 1).is_ident("ServedObject")
+                && file.code_tok(ci + 2).is_ident("for")
+                && file.code_tok(ci + 3).kind == TokKind::Ident
+            {
+                let t = file.code_tok(ci + 3);
+                impls.push((t.text.to_string(), path.clone(), t.line));
             }
         }
     }
@@ -509,7 +539,7 @@ fn check_served_objects(root: &Path, report: &mut LintReport) {
             None => report.findings.push(LintFinding {
                 check: "served-objects",
                 file: rel(root, path),
-                line: *line,
+                line: *line as usize,
                 message: format!(
                     "`{name}` implements ServedObject but the {audit_rel} \"Served objects\" table has no row for it; add `| {name} | <kind> | <recorded functional & verdict argument> |`"
                 ),
@@ -517,7 +547,7 @@ fn check_served_objects(root: &Path, report: &mut LintReport) {
             Some((_, arg)) if arg.is_empty() => report.findings.push(LintFinding {
                 check: "served-objects",
                 file: rel(root, path),
-                line: *line,
+                line: *line as usize,
                 message: format!(
                     "served-objects row for {name} in {audit_rel} has an empty verdict argument"
                 ),
@@ -627,10 +657,11 @@ fn check_envelope_compose(root: &Path, report: &mut LintReport) {
 pub fn run_lints(root: &Path) -> LintReport {
     let mut report = LintReport::default();
     check_crate_attrs(root, &mut report);
-    check_ordering_audit(root, &mut report);
+    crate::atomics::check_conformance(root, &mut report);
     check_rmw_hazard(root, &mut report);
     check_no_sleep(root, &mut report);
     check_frame_tags(root, &mut report);
+    check_frame_docs(root, &mut report);
     check_served_objects(root, &mut report);
     check_envelope_compose(root, &mut report);
     report

@@ -1,0 +1,357 @@
+//! Mutation self-validation for the atomics conformance pass.
+//!
+//! A lint rule that has never caught a bug is an assumption, not a
+//! check. This harness demonstrates the site-level conformance pass
+//! has teeth by *planting* the bugs: for every atomic access site in
+//! `crates/concurrent` whose literal ordering is `Release`, `Acquire`
+//! or `AcqRel`, it writes a scratch copy of the crate with exactly
+//! that one literal weakened to `Relaxed`, runs the conformance pass
+//! (and the `rmw-hazard` pass) over the scratch tree, and records
+//! whether the mutant was flagged. One extra mutant injects a
+//! `compare_exchange` in place of a `fetch_add` in a PCM update path
+//! (`pcm.rs`) — the class of bug `rmw-hazard` exists for. Mutants are
+//! analyzed statically and never compiled, so an injected CAS does
+//! not need to type-check.
+//!
+//! Because the audit table records orderings per *site*, a weakening
+//! is caught even when the weaker ordering is legal somewhere else
+//! under the same discipline: the mutated site no longer matches its
+//! row (ordering drift), independent of row legality.
+//!
+//! For the `sharded.rs` lease pair the harness additionally runs the
+//! happens-before analyzer's step model
+//! ([`crate::hb::lease_handoff_step_model`]) in both correct and
+//! weakened form, asserting the weakening manifests as a write–write
+//! race — the static table catch and the behavioural catch agree.
+//!
+//! `ivl_lint --mutate` runs the whole harness and exits non-zero if
+//! the baseline tree is not clean or any mutant escapes.
+
+use crate::atomics::{collect_file_sites, FileSites};
+use crate::hb::{lease_handoff_step_model, HbIssue};
+use crate::lint::{check_rmw_hazard, LintReport};
+use crate::{atomics, json_escape};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Orderings a mutant may weaken (always to `Relaxed`).
+const STRONG_ORDERINGS: [&str; 3] = ["Release", "Acquire", "AcqRel"];
+
+/// One planted mutant and what the analysis said about it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MutationOutcome {
+    /// Mutant class: `release-store`, `acquire-load`, `acqrel-rmw`
+    /// or `injected-cas`.
+    pub class: &'static str,
+    /// File mutated, relative to `crates/concurrent/src`.
+    pub file: String,
+    /// 1-based line of the mutated access.
+    pub line: u32,
+    /// What was changed, e.g.
+    /// `fn drop: self.parent.in_use[self.shard].store Release -> Relaxed`.
+    pub description: String,
+    /// Whether any `atomics-conformance` / `rmw-hazard` finding
+    /// flagged the mutated file.
+    pub caught: bool,
+    /// The first finding that caught it (rendered), if any.
+    pub finding: Option<String>,
+}
+
+/// Outcome of a full mutation run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MutationReport {
+    /// Whether the *unmutated* tree passed the conformance + hazard
+    /// passes (a dirty baseline voids the experiment: every mutant
+    /// would be "caught" by pre-existing findings).
+    pub baseline_clean: bool,
+    /// Baseline findings, rendered (empty when clean).
+    pub baseline_findings: Vec<String>,
+    /// Every planted mutant, in generation order.
+    pub outcomes: Vec<MutationOutcome>,
+    /// Whether the lease-handoff step model showed the behavioural
+    /// differential: no WW race under the correct protocol, a WW race
+    /// once the acquire half of the lease swap is dropped.
+    pub lease_hb_differential: bool,
+}
+
+impl MutationReport {
+    /// Whether the harness validated the lints: clean baseline, every
+    /// mutant caught, and the HB differential observed.
+    pub fn is_valid(&self) -> bool {
+        self.baseline_clean
+            && !self.outcomes.is_empty()
+            && self.outcomes.iter().all(|o| o.caught)
+            && self.lease_hb_differential
+    }
+
+    /// Number of mutants caught.
+    pub fn caught(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.caught).count()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "ivl_lint --mutate: {} mutant(s), {} caught, baseline {}\n",
+            self.outcomes.len(),
+            self.caught(),
+            if self.baseline_clean {
+                "clean"
+            } else {
+                "DIRTY"
+            }
+        );
+        for f in &self.baseline_findings {
+            out.push_str(&format!("baseline: {f}\n"));
+        }
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "[{}] {}:{} {} — {}\n",
+                o.class,
+                o.file,
+                o.line,
+                o.description,
+                if o.caught { "caught" } else { "ESCAPED" }
+            ));
+        }
+        out.push_str(&format!(
+            "lease handoff HB differential (correct: no WW race, weakened: WW race): {}\n",
+            if self.lease_hb_differential {
+                "observed"
+            } else {
+                "NOT OBSERVED"
+            }
+        ));
+        out.push_str(if self.is_valid() {
+            "mutation self-validation passed\n"
+        } else {
+            "mutation self-validation FAILED\n"
+        });
+        out
+    }
+
+    /// JSON rendering (see README "JSON report schemas").
+    pub fn to_json(&self) -> String {
+        let outcomes: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"class\":\"{}\",\"file\":\"{}\",\"line\":{},\"description\":\"{}\",\"caught\":{},\"finding\":{}}}",
+                    o.class,
+                    json_escape(&o.file),
+                    o.line,
+                    json_escape(&o.description),
+                    o.caught,
+                    match &o.finding {
+                        Some(f) => format!("\"{}\"", json_escape(f)),
+                        None => "null".to_string(),
+                    }
+                )
+            })
+            .collect();
+        let baseline: Vec<String> = self
+            .baseline_findings
+            .iter()
+            .map(|f| format!("\"{}\"", json_escape(f)))
+            .collect();
+        format!(
+            "{{\"valid\":{},\"baseline_clean\":{},\"baseline_findings\":[{}],\"mutants\":{},\"caught\":{},\"lease_hb_differential\":{},\"outcomes\":[{}]}}",
+            self.is_valid(),
+            self.baseline_clean,
+            baseline.join(","),
+            self.outcomes.len(),
+            self.caught(),
+            self.lease_hb_differential,
+            outcomes.join(",")
+        )
+    }
+}
+
+/// Mutant class for weakening `ordering` at a `method` access.
+fn class_of(method: &str, ordering: &str) -> &'static str {
+    match (method, ordering) {
+        ("store", "Release") => "release-store",
+        ("load", "Acquire") => "acquire-load",
+        (_, "Release") => "release-store",
+        (_, "Acquire") => "acquire-load",
+        _ => "acqrel-rmw",
+    }
+}
+
+/// The conformance + hazard passes only, against a (scratch) root.
+fn analyze_tree(root: &Path) -> LintReport {
+    let mut report = LintReport::default();
+    atomics::check_conformance(root, &mut report);
+    check_rmw_hazard(root, &mut report);
+    report
+}
+
+/// Writes a scratch tree under `dir`: every concurrent source file
+/// (one of them overridden with `mutated_src`) plus the real
+/// `ORDERINGS.md`, laid out as `crates/concurrent/{src,ORDERINGS.md}`
+/// so the passes run unchanged.
+fn write_scratch(
+    dir: &Path,
+    files: &[FileSites],
+    audit: &str,
+    mutated_rel: &str,
+    mutated_src: &str,
+) -> io::Result<()> {
+    let concurrent = dir.join("crates").join("concurrent");
+    for f in files {
+        let dst = concurrent.join("src").join(&f.rel);
+        if let Some(parent) = dst.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let body = if f.rel == mutated_rel {
+            mutated_src
+        } else {
+            f.src.as_str()
+        };
+        fs::write(&dst, body)?;
+    }
+    fs::write(concurrent.join("ORDERINGS.md"), audit)?;
+    Ok(())
+}
+
+/// Runs the full harness: baseline pass over `root`, then one scratch
+/// tree per mutant under `scratch` (created, reused per mutant,
+/// removed afterwards).
+pub fn run_mutations(root: &Path, scratch: &Path) -> io::Result<MutationReport> {
+    let src_dir = root.join("crates").join("concurrent").join("src");
+    let audit_path = root.join("crates").join("concurrent").join("ORDERINGS.md");
+    let files = collect_file_sites(&src_dir);
+    let audit = fs::read_to_string(&audit_path).unwrap_or_default();
+
+    let baseline = analyze_tree(root);
+    let baseline_findings: Vec<String> = baseline.findings.iter().map(|f| f.render()).collect();
+
+    let mut outcomes = Vec::new();
+    let mut mutant_id = 0usize;
+    let mut run_mutant = |files: &[FileSites],
+                          rel: &str,
+                          mutated_src: &str,
+                          class: &'static str,
+                          line: u32,
+                          description: String|
+     -> io::Result<MutationOutcome> {
+        let dir = scratch.join(format!("mutant_{mutant_id}"));
+        mutant_id += 1;
+        write_scratch(&dir, files, &audit, rel, mutated_src)?;
+        let report = analyze_tree(&dir);
+        // A finding "catches" the mutant if it points at the mutated
+        // file (baseline is asserted clean separately, so any finding
+        // here is mutant-induced; the file filter keeps the credit
+        // honest).
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.file.ends_with(rel) || f.file.ends_with("ORDERINGS.md"))
+            .map(|f| f.render());
+        fs::remove_dir_all(&dir).ok();
+        Ok(MutationOutcome {
+            class,
+            file: rel.to_string(),
+            line,
+            description,
+            caught: finding.is_some(),
+            finding,
+        })
+    };
+
+    // 1. Weakened-ordering mutants: every strong literal, one at a time.
+    for f in &files {
+        for s in &f.sites {
+            for (k, ord) in s.orderings.iter().enumerate() {
+                if !STRONG_ORDERINGS.contains(&ord.as_str()) {
+                    continue;
+                }
+                let (lo, hi) = s.ordering_spans[k];
+                let mut mutated = f.src.clone();
+                mutated.replace_range(lo..hi, "Relaxed");
+                let description = format!(
+                    "fn {}: {}.{} {} -> Relaxed",
+                    s.func, s.receiver, s.method, ord
+                );
+                outcomes.push(run_mutant(
+                    &files,
+                    &f.rel,
+                    &mutated,
+                    class_of(&s.method, ord),
+                    s.line,
+                    description,
+                )?);
+            }
+        }
+    }
+
+    // 2. Injected CAS in a PCM update path: replace the first
+    // `fetch_add` in `pcm.rs` with `compare_exchange`. The scratch is
+    // analyzed, not compiled, so the arity mismatch is irrelevant —
+    // what matters is that `rmw-hazard` (and the conformance pass)
+    // refuse the shape.
+    if let Some(f) = files.iter().find(|f| f.rel == "pcm.rs") {
+        if let Some(s) = f.sites.iter().find(|s| s.method == "fetch_add") {
+            let (lo, hi) = s.method_span;
+            let mut mutated = f.src.clone();
+            mutated.replace_range(lo..hi, "compare_exchange");
+            let description = format!(
+                "fn {}: {}.fetch_add -> compare_exchange (injected CAS)",
+                s.func, s.receiver
+            );
+            outcomes.push(run_mutant(
+                &files,
+                &f.rel,
+                &mutated,
+                "injected-cas",
+                s.line,
+                description,
+            )?);
+        }
+    }
+
+    // 3. Behavioural differential for the lease pair.
+    let correct = lease_handoff_step_model(false);
+    let weakened = lease_handoff_step_model(true);
+    let ww = |r: &crate::hb::HbReport| {
+        r.findings
+            .iter()
+            .any(|f| matches!(f.issue, HbIssue::WwRace { .. }))
+    };
+    let lease_hb_differential = !ww(&correct) && ww(&weakened);
+
+    Ok(MutationReport {
+        baseline_clean: baseline.is_clean(),
+        baseline_findings,
+        outcomes,
+        lease_hb_differential,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_cover_the_required_classes() {
+        assert_eq!(class_of("store", "Release"), "release-store");
+        assert_eq!(class_of("load", "Acquire"), "acquire-load");
+        assert_eq!(class_of("swap", "AcqRel"), "acqrel-rmw");
+        assert_eq!(class_of("fetch_max", "AcqRel"), "acqrel-rmw");
+    }
+
+    #[test]
+    fn lease_model_differential_holds() {
+        let correct = lease_handoff_step_model(false);
+        let weakened = lease_handoff_step_model(true);
+        let ww = |r: &crate::hb::HbReport| {
+            r.findings
+                .iter()
+                .any(|f| matches!(f.issue, HbIssue::WwRace { .. }))
+        };
+        assert!(!ww(&correct), "{}", correct.render());
+        assert!(ww(&weakened), "{}", weakened.render());
+    }
+}

@@ -1,0 +1,500 @@
+//! `ivl-syn`: a dependency-free Rust lexer and item-level scanner.
+//!
+//! The lint layer used to be regex-over-text: `Ordering::` substrings
+//! in comments and doc examples counted against the audit table, and
+//! which ordering appeared where was invisible. This module gives the
+//! lints an actual view of the code: a byte-exact token stream
+//! (`concat(token texts) == input`, property-tested) that separates
+//! code from comments and string literals, plus just enough item
+//! structure — enclosing `fn` names and the trailing `#[cfg(test)]`
+//! module — for a lint to say *"this atomic access, in this function,
+//! in non-test code"*.
+//!
+//! It is deliberately a lexer, not a parser: no AST, no expression
+//! grammar, no macro expansion. Everything the conformance passes in
+//! [`crate::atomics`] need is recoverable from the token stream with
+//! local pattern matching, in the same vendored-shim spirit as
+//! `vendor/proptest` — small, offline, and auditable.
+
+use std::path::Path;
+
+/// Lexical class of one token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// A run of whitespace (including newlines).
+    Whitespace,
+    /// `// ...` to end of line (doc comments `///` and `//!` too).
+    LineComment,
+    /// `/* ... */`, nested.
+    BlockComment,
+    /// A string literal: `"..."`, `b"..."`, `r"..."`, `r#"..."#`, ...
+    Str,
+    /// A character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A lifetime: `'a`, `'_`, `'static`.
+    Lifetime,
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal (integer or the leading part of a float).
+    Number,
+    /// Any single other character.
+    Punct,
+}
+
+/// One token: its class, the exact source slice, and where it starts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Token<'a> {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// The exact bytes of the token, unmodified.
+    pub text: &'a str,
+    /// Byte offset of the token's first byte in the source.
+    pub lo: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Byte offset one past the token's last byte.
+    pub fn hi(&self) -> usize {
+        self.lo + self.text.len()
+    }
+
+    /// Whether this token is code (not whitespace or a comment).
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Cursor over the source's chars, tracking byte offset and line.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, nth: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(nth)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Consumes chars while `f` holds.
+    fn eat_while(&mut self, f: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&f) {
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into a token stream whose concatenated texts reproduce
+/// `src` byte-for-byte (every byte lands in exactly one token — the
+/// round-trip property `tests/syn_props.rs` exercises).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let lo = cur.pos;
+        let line = cur.line;
+        let kind = lex_one(&mut cur, c);
+        out.push(Token {
+            kind,
+            text: &src[lo..cur.pos],
+            lo,
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes one token starting at `c`; returns its kind.
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> TokKind {
+    if c.is_whitespace() {
+        cur.eat_while(char::is_whitespace);
+        return TokKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek_at(1) {
+            Some('/') => {
+                cur.eat_while(|ch| ch != '\n');
+                return TokKind::LineComment;
+            }
+            Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match cur.bump() {
+                        Some('*') if cur.peek() == Some('/') => {
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        Some('/') if cur.peek() == Some('*') => {
+                            cur.bump();
+                            depth += 1;
+                        }
+                        Some(_) => {}
+                        None => break, // unterminated: swallow to EOF
+                    }
+                }
+                return TokKind::BlockComment;
+            }
+            _ => {}
+        }
+    }
+    // String-ish prefixes: r"...", r#"..."#, b"...", br#"..."#, b'x'.
+    if c == 'r' || c == 'b' {
+        let (raw_at, quote_at) = if c == 'b' && cur.peek_at(1) == Some('r') {
+            (Some(2), None)
+        } else if c == 'r' {
+            (Some(1), None)
+        } else {
+            (None, Some(1)) // plain b"..." / b'...'
+        };
+        if let Some(off) = raw_at {
+            // raw (byte) string: hashes then a quote?
+            let mut n = off;
+            while cur.peek_at(n) == Some('#') {
+                n += 1;
+            }
+            if cur.peek_at(n) == Some('"') {
+                let hashes = n - off;
+                for _ in 0..=n {
+                    cur.bump(); // prefix, hashes and opening quote
+                }
+                loop {
+                    match cur.bump() {
+                        Some('"') => {
+                            let mut k = 0;
+                            while k < hashes && cur.peek() == Some('#') {
+                                cur.bump();
+                                k += 1;
+                            }
+                            if k == hashes {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                return TokKind::Str;
+            }
+        }
+        if let Some(off) = quote_at {
+            match cur.peek_at(off) {
+                Some('"') => {
+                    cur.bump(); // b
+                    return lex_quoted(cur, '"', TokKind::Str);
+                }
+                Some('\'') => {
+                    cur.bump(); // b
+                    return lex_quoted(cur, '\'', TokKind::Char);
+                }
+                _ => {}
+            }
+        }
+        // fall through: plain identifier starting with r/b
+    }
+    if c == '"' {
+        return lex_quoted(cur, '"', TokKind::Str);
+    }
+    if c == '\'' {
+        // Lifetime (`'a`, `'_`) vs char literal (`'x'`, `'\n'`): a
+        // lifetime is `'` + ident with no closing quote right after.
+        let next = cur.peek_at(1);
+        let after = cur.peek_at(2);
+        if next.is_some_and(is_ident_start) && after != Some('\'') {
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            return TokKind::Lifetime;
+        }
+        return lex_quoted(cur, '\'', TokKind::Char);
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return TokKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        cur.eat_while(is_ident_continue);
+        // A fractional part only if `.` is followed by a digit (so
+        // `0..n` and `1.method()` keep their dots as punctuation).
+        if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+        }
+        return TokKind::Number;
+    }
+    cur.bump();
+    TokKind::Punct
+}
+
+/// Consumes a quoted literal (opening quote at the cursor), honoring
+/// backslash escapes; unterminated literals swallow to EOF.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: char, kind: TokKind) -> TokKind {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some(ch) if ch == quote => break,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    kind
+}
+
+/// A lexed source file with the item-level facts the lints consume.
+#[derive(Clone, Debug)]
+pub struct ScannedFile<'a> {
+    /// The full token stream (whitespace and comments included).
+    pub tokens: Vec<Token<'a>>,
+    /// Indices of code tokens (everything but whitespace/comments).
+    pub code: Vec<usize>,
+    /// For each *code* position (index into `code`), the name of the
+    /// innermost enclosing `fn`, or `None` at module level.
+    pub enclosing_fn: Vec<Option<&'a str>>,
+    /// 1-based line where the trailing `#[cfg(test)]` module starts
+    /// (`u32::MAX` when the file has none). By repository convention
+    /// tests sit in a single trailing module, so everything at or
+    /// after this line is test code.
+    pub test_start_line: u32,
+}
+
+impl<'a> ScannedFile<'a> {
+    /// Lexes and scans one source text.
+    pub fn new(src: &'a str) -> Self {
+        let tokens = lex(src);
+        let code: Vec<usize> = (0..tokens.len()).filter(|&i| tokens[i].is_code()).collect();
+        let enclosing_fn = enclosing_fns(&tokens, &code);
+        let test_start_line = cfg_test_line(&tokens, &code).unwrap_or(u32::MAX);
+        ScannedFile {
+            tokens,
+            code,
+            enclosing_fn,
+            test_start_line,
+        }
+    }
+
+    /// The code token at code-position `ci`.
+    pub fn code_tok(&self, ci: usize) -> &Token<'a> {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Whether the code token at code-position `ci` is in test code.
+    pub fn in_test(&self, ci: usize) -> bool {
+        self.code_tok(ci).line >= self.test_start_line
+    }
+}
+
+/// Computes, for every code position, the innermost enclosing `fn`
+/// name, by tracking brace depth: an ident after `fn` becomes the
+/// name of the frame opened by the next `{` (a `;` first cancels it —
+/// trait method signatures have no body).
+fn enclosing_fns<'a>(tokens: &[Token<'a>], code: &[usize]) -> Vec<Option<&'a str>> {
+    let mut out = Vec::with_capacity(code.len());
+    // Each frame: the fn name if the brace belongs to a fn body.
+    let mut stack: Vec<Option<&'a str>> = Vec::new();
+    let mut pending_fn: Option<&'a str> = None;
+    let mut innermost: Vec<&'a str> = Vec::new();
+    for (ci, &ti) in code.iter().enumerate() {
+        let t = &tokens[ti];
+        out.push(innermost.last().copied());
+        if t.is_ident("fn") {
+            if let Some(next) = code.get(ci + 1).map(|&j| &tokens[j]) {
+                if next.kind == TokKind::Ident {
+                    pending_fn = Some(next.text);
+                }
+            }
+        } else if t.is_punct(';') {
+            pending_fn = None;
+        } else if t.is_punct('{') {
+            let name = pending_fn.take();
+            if let Some(n) = name {
+                innermost.push(n);
+            }
+            stack.push(name);
+        } else if t.is_punct('}') {
+            if let Some(frame) = stack.pop() {
+                if frame.is_some() {
+                    innermost.pop();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Line of the first `#[cfg(test)]` attribute (exact token sequence
+/// `#` `[` `cfg` `(` `test` `)` `]`), if any.
+fn cfg_test_line(tokens: &[Token<'_>], code: &[usize]) -> Option<u32> {
+    const WANT: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    'outer: for w in code.windows(WANT.len()) {
+        for (&ti, want) in w.iter().zip(WANT.iter()) {
+            if tokens[ti].text != *want {
+                continue 'outer;
+            }
+        }
+        return Some(tokens[w[0]].line);
+    }
+    None
+}
+
+/// Finds the code-position of the `)`/`]`/`}` matching the opener at
+/// code-position `open` (which must hold `(`, `[` or `{`).
+pub fn matching_close(file: &ScannedFile<'_>, open: usize) -> Option<usize> {
+    let (o, c) = match file.code_tok(open).text {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        "{" => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for ci in open..file.code.len() {
+        let t = file.code_tok(ci);
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(ci);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the code-position of the `(`/`[`/`{` matching the closer at
+/// code-position `close` (which must hold `)`, `]` or `}`).
+pub fn matching_open(file: &ScannedFile<'_>, close: usize) -> Option<usize> {
+    let (o, c) = match file.code_tok(close).text {
+        ")" => ('(', ')'),
+        "]" => ('[', ']'),
+        "}" => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for ci in (0..=close).rev() {
+        let t = file.code_tok(ci);
+        if t.is_punct(c) {
+            depth += 1;
+        } else if t.is_punct(o) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(ci);
+            }
+        }
+    }
+    None
+}
+
+/// Reads and scans a file, returning `None` when it cannot be read.
+/// (The caller keeps the source text alive; this is a convenience for
+/// the owned-source pattern the lint passes use.)
+pub fn read_source(path: &Path) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn round_trips_mixed_source() {
+        let src = "fn f() -> u64 { /* nest /* ed */ */ let s = \"x\\\"y\"; s.len() as u64 } // t\n";
+        let toks = lex(src);
+        let joined: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn classifies_comments_strings_chars_lifetimes() {
+        let ts = kinds("'a 'x' b'z' r#\"raw\"# // c");
+        assert!(ts.contains(&(TokKind::Lifetime, "'a")));
+        assert!(ts.contains(&(TokKind::Char, "'x'")));
+        assert!(ts.contains(&(TokKind::Char, "b'z'")));
+        assert!(ts.contains(&(TokKind::Str, "r#\"raw\"#")));
+        assert!(ts.contains(&(TokKind::LineComment, "// c")));
+    }
+
+    #[test]
+    fn numbers_keep_range_dots_as_punct() {
+        let ts = kinds("0..10 1.5 0x1f");
+        assert!(ts.contains(&(TokKind::Number, "0")));
+        assert!(ts.contains(&(TokKind::Number, "1.5")));
+        assert!(ts.contains(&(TokKind::Number, "0x1f")));
+        assert_eq!(
+            ts.iter()
+                .filter(|(k, t)| *k == TokKind::Punct && *t == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn enclosing_fn_tracks_nesting_and_test_module() {
+        let src = "fn outer() {\n    fn inner() { x(); }\n    y();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { z(); }\n}\n";
+        let f = ScannedFile::new(src);
+        let fn_at = |name: &str| {
+            let ci = (0..f.code.len())
+                .find(|&i| f.code_tok(i).is_ident(name))
+                .unwrap();
+            f.enclosing_fn[ci]
+        };
+        assert_eq!(fn_at("x"), Some("inner"));
+        assert_eq!(fn_at("y"), Some("outer"));
+        assert_eq!(fn_at("z"), Some("t"));
+        assert_eq!(f.test_start_line, 5);
+        let zi = (0..f.code.len())
+            .find(|&i| f.code_tok(i).is_ident("z"))
+            .unwrap();
+        assert!(f.in_test(zi));
+        let yi = (0..f.code.len())
+            .find(|&i| f.code_tok(i).is_ident("y"))
+            .unwrap();
+        assert!(!f.in_test(yi));
+    }
+}

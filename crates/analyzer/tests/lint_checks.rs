@@ -1,5 +1,10 @@
 //! Lint engine tests: the real repository must pass every check, and
 //! fixture trees with planted violations must fail the right one.
+//!
+//! Since PR 7 the passes run on the `ivl-syn` token stream, so the
+//! fixtures also pin the *negative* space: orderings in comments,
+//! strings and `#[cfg(test)]` modules must NOT produce findings (or
+//! satisfy audit rows), and stale `lint:allow` annotations must.
 
 use ivl_analyzer::run_lints;
 use std::fs;
@@ -65,41 +70,119 @@ fn missing_forbid_unsafe_is_flagged() {
 }
 
 #[test]
-fn unaudited_and_drifted_orderings_are_flagged() {
-    let fx = Fixture::new("lint_fx_orderings");
+fn forbid_in_a_comment_does_not_satisfy_crate_attrs() {
+    let fx = Fixture::new("lint_fx_attrs_comment");
     fx.write(
-        "crates/concurrent/src/lib.rs",
-        &format!("{CLEAN_LIB}pub mod a;\npub mod b;\n"),
-    );
-    fx.write(
-        "crates/concurrent/src/a.rs",
-        "pub fn f() { let _ = (Ordering::Relaxed, Ordering::Acquire); }\n",
-    );
-    fx.write(
-        "crates/concurrent/src/b.rs",
-        "pub fn g() { let _ = Ordering::SeqCst; }\n",
-    );
-    // a.rs audited with a stale count; b.rs not audited at all; one
-    // stale row for a file that does not exist.
-    fx.write(
-        "crates/concurrent/ORDERINGS.md",
-        "| file | count | justification |\n| --- | --- | --- |\n| a.rs | 1 | stale count |\n| ghost.rs | 3 | file is gone |\n",
+        "crates/bad/src/lib.rs",
+        "//! Mentions #![forbid(unsafe_code)] in prose only.\npub fn f() {}\n",
     );
     let report = run_lints(&fx.root);
-    let checks: Vec<&str> = report.findings.iter().map(|f| f.check).collect();
-    assert_eq!(checks, vec!["ordering-audit"; 3], "{}", report.render());
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    assert_eq!(report.findings[0].check, "crate-attrs");
+}
+
+#[test]
+fn conformance_catches_every_planted_violation_class() {
+    let fx = Fixture::new("lint_fx_conformance");
+    fx.write("crates/concurrent/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/concurrent/src/a.rs",
+        concat!(
+            "use std::sync::atomic::{AtomicU64, Ordering};\n",
+            "pub fn upd(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+            "pub fn weak(c: &AtomicU64) { c.store(1, Ordering::Relaxed); }\n",
+            "pub fn newsite(c: &AtomicU64) { c.load(Ordering::Acquire); }\n",
+            "pub fn indirect() { let _o = Ordering::SeqCst; }\n",
+        ),
+    );
+    // upd is audited correctly; weak's row still claims Release
+    // (ordering drift); newsite has no row; plus one stale row, one
+    // row whose shape its discipline forbids, one cas-loop row in a
+    // non-exempt file, and one row with no justification.
+    fx.write(
+        "crates/concurrent/ORDERINGS.md",
+        concat!(
+            "| file | fn | receiver | method | orderings | discipline | justification |\n",
+            "| --- | --- | --- | --- | --- | --- | --- |\n",
+            "| a.rs | upd | `c` | fetch_add | Relaxed | pcm-cell | commutative cell |\n",
+            "| a.rs | weak | `c` | store | Release | swmr-slot | writer publish |\n",
+            "| a.rs | ghost | `g` | load | Acquire | swmr-slot | access was removed |\n",
+            "| a.rs | bad | `b` | store | Release | pcm-cell | mis-tagged shape |\n",
+            "| a.rs | casf | `x` | compare_exchange | AcqRel, Acquire | cas-loop | wrong file |\n",
+            "| a.rs | nojust | `n` | load | Acquire | swmr-slot |  |\n",
+        ),
+    );
+    let report = run_lints(&fx.root);
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.check == "atomics-conformance"),
+        "{}",
+        report.render()
+    );
+    let has = |needle: &str| report.findings.iter().any(|f| f.message.contains(needle));
+    assert!(has("ordering drift"), "{}", report.render());
+    assert!(has("unaudited atomic access site"), "{}", report.render());
+    assert!(
+        has("outside a recognized atomic access site"),
+        "{}",
+        report.render()
+    );
+    assert!(has("stale site row"), "{}", report.render());
+    assert!(has("not a legal `pcm-cell` shape"), "{}", report.render());
+    assert!(has("not an exempt file"), "{}", report.render());
+    assert!(has("no justification"), "{}", report.render());
+    // The drifted site anchors to its line in the code.
     assert!(report
         .findings
         .iter()
-        .any(|f| f.file.ends_with("a.rs") && f.message.contains("audits 1")));
-    assert!(report
-        .findings
-        .iter()
-        .any(|f| f.file.ends_with("b.rs") && f.message.contains("no audit row")));
-    assert!(report
-        .findings
-        .iter()
-        .any(|f| f.message.contains("stale audit row for ghost.rs")));
+        .any(|f| f.file.ends_with("a.rs") && f.line == 3 && f.message.contains("drift")));
+}
+
+#[test]
+fn orderings_in_comments_strings_and_tests_need_no_rows() {
+    let fx = Fixture::new("lint_fx_invisible");
+    fx.write("crates/concurrent/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/concurrent/src/quiet.rs",
+        concat!(
+            "//! Doc prose mentioning Ordering::Relaxed and x.load(Ordering::Acquire).\n",
+            "/* block comment: c.fetch_add(1, Ordering::Relaxed) */\n",
+            "pub fn f() -> &'static str { \"Ordering::SeqCst\" }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::sync::atomic::{AtomicU64, Ordering};\n",
+            "    #[test]\n",
+            "    fn t() { AtomicU64::new(0).load(Ordering::SeqCst); }\n",
+            "}\n",
+        ),
+    );
+    // No audit table at all: with no real sites, none is needed —
+    // this is exactly the regex era's false-positive class.
+    let report = run_lints(&fx.root);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn non_literal_ordering_is_flagged() {
+    let fx = Fixture::new("lint_fx_nonliteral");
+    fx.write("crates/concurrent/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/concurrent/src/c.rs",
+        concat!(
+            "use std::sync::atomic::{AtomicU64, Ordering};\n",
+            "pub fn f(c: &AtomicU64, o: Ordering) {\n",
+            "    let _ = c.compare_exchange(0, 1, Ordering::AcqRel, o);\n",
+            "}\n",
+        ),
+    );
+    let report = run_lints(&fx.root);
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert_eq!(f.check, "atomics-conformance");
+    assert_eq!(f.line, 3);
+    assert!(f.message.contains("must be literal"), "{}", f.message);
 }
 
 #[test]
@@ -108,7 +191,16 @@ fn cas_in_pcm_update_path_is_flagged() {
     fx.write("crates/concurrent/src/lib.rs", CLEAN_LIB);
     fx.write(
         "crates/concurrent/src/pcm.rs",
-        "pub fn upd(c: &std::sync::atomic::AtomicU64) {\n    let _ = c.compare_exchange(0, 1, O, O);\n}\n",
+        concat!(
+            "pub fn upd(c: &std::sync::atomic::AtomicU64) {\n",
+            "    let _ = c.compare_exchange(0, 1, O, O);\n",
+            "}\n",
+            "// compare_exchange in a comment is NOT a hazard\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(c: &A) { let _ = c.compare_exchange(0, 1, O, O); }\n",
+            "}\n",
+        ),
     );
     // CAS in the exempt Morris module is fine.
     fx.write(
@@ -116,11 +208,14 @@ fn cas_in_pcm_update_path_is_flagged() {
         "pub fn m(c: &A) { let _ = c.compare_exchange(0, 1, O, O); }\n",
     );
     let report = run_lints(&fx.root);
-    assert_eq!(report.findings.len(), 1, "{}", report.render());
-    let f = &report.findings[0];
-    assert_eq!(f.check, "rmw-hazard");
-    assert!(f.file.ends_with("pcm.rs"));
-    assert_eq!(f.line, 2);
+    let hazards: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.check == "rmw-hazard")
+        .collect();
+    assert_eq!(hazards.len(), 1, "{}", report.render());
+    assert!(hazards[0].file.ends_with("pcm.rs"));
+    assert_eq!(hazards[0].line, 2);
 }
 
 #[test]
@@ -135,6 +230,7 @@ fn hot_path_sleep_is_flagged_and_markers_or_tests_are_exempt() {
             "    // lint:allow sleep — deliberate backoff\n",
             "    std::thread::sleep(d); // annotated: allowed\n",
             "}\n",
+            "// \"thread::sleep\" in a string or comment is not a sleep\n",
             "#[cfg(test)]\n",
             "mod tests {\n",
             "    fn t() { std::thread::sleep(d); } // test code: allowed\n",
@@ -146,6 +242,27 @@ fn hot_path_sleep_is_flagged_and_markers_or_tests_are_exempt() {
     let f = &report.findings[0];
     assert_eq!(f.check, "no-sleep");
     assert_eq!(f.line, 2);
+}
+
+#[test]
+fn stale_allow_annotation_is_flagged() {
+    let fx = Fixture::new("lint_fx_stale_allow");
+    fx.write("crates/service/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/service/src/server.rs",
+        concat!(
+            "pub fn serve() {\n",
+            "    // lint:allow sleep — the backoff this excused is long gone\n",
+            "    do_work();\n",
+            "}\n",
+        ),
+    );
+    let report = run_lints(&fx.root);
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert_eq!(f.check, "stale-allow");
+    assert_eq!(f.line, 2);
+    assert!(f.message.contains("delete it"), "{}", f.message);
 }
 
 #[test]
@@ -161,12 +278,39 @@ fn duplicate_frame_tags_are_flagged() {
             "pub const NOT_A_TAG: u32 = 1;\n",
         ),
     );
+    // Both bytes documented, so frame-docs stays quiet and the
+    // collision is the only finding.
+    fx.write(
+        "README.md",
+        "| frame | opcode |\n|---|---|\n| `UPDATE` | `0x01` |\n| `QUERY` | `0x02` |\n",
+    );
     let report = run_lints(&fx.root);
     assert_eq!(report.findings.len(), 1, "{}", report.render());
     let f = &report.findings[0];
     assert_eq!(f.check, "frame-tags");
     assert_eq!(f.line, 3);
     assert!(f.message.contains("OP_UPDATE"));
+}
+
+#[test]
+fn undocumented_opcode_is_flagged() {
+    let fx = Fixture::new("lint_fx_frame_docs");
+    fx.write("crates/service/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/service/src/protocol.rs",
+        "const OP_UPDATE: u8 = 0x01;\nconst OP_NEW: u8 = 0x15;\n",
+    );
+    fx.write(
+        "README.md",
+        "prose mentioning 0x15 outside a table does not count\n| `UPDATE` | `0x01` | body | reply |\n",
+    );
+    let report = run_lints(&fx.root);
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert_eq!(f.check, "frame-docs");
+    assert_eq!(f.line, 2);
+    assert!(f.message.contains("OP_NEW"), "{}", f.message);
+    assert!(f.message.contains("0x15"), "{}", f.message);
 }
 
 #[test]
@@ -255,5 +399,14 @@ fn json_report_shape_is_stable() {
     let json = report.to_json();
     assert!(json.contains("\"clean\":false"));
     assert!(json.contains("\"check\":\"crate-attrs\""));
-    assert!(json.contains("\"checks\":[\"crate-attrs\",\"ordering-audit\""));
+    // The full checks roster, in execution order — the README schema
+    // and the human renderer both key off this list.
+    assert!(
+        json.contains(concat!(
+            "\"checks\":[\"crate-attrs\",\"atomics-conformance\",\"rmw-hazard\",",
+            "\"no-sleep\",\"stale-allow\",\"frame-tags\",\"frame-docs\",",
+            "\"served-objects\",\"envelope-compose\"]"
+        )),
+        "{json}"
+    );
 }

@@ -1,0 +1,119 @@
+//! End-to-end mutation self-validation against the *real* repository:
+//! the acceptance gate behind `ivl_lint --mutate`.
+//!
+//! The harness plants one weakened-ordering mutant per strong literal
+//! in `crates/concurrent` (plus an injected CAS in a PCM update path)
+//! and must catch every single one, from a clean baseline. This test
+//! is what makes the lint rules *demonstrated* rather than assumed:
+//! if someone relaxes a check (or a table row) far enough that a
+//! weakening slips through, this fails — not a fixture, the actual
+//! tree.
+
+use ivl_analyzer::{run_mutations, MutationReport};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// Each test gets its own scratch dir — the harness deletes mutant
+/// trees as it goes, and tests run in parallel.
+fn run(name: &str) -> MutationReport {
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&scratch);
+    let report = run_mutations(&repo_root(), &scratch).expect("mutation harness I/O");
+    let _ = std::fs::remove_dir_all(&scratch);
+    report
+}
+
+#[test]
+fn every_mutant_is_caught_from_a_clean_baseline() {
+    let report = run("mut_fx_all_caught");
+    assert!(
+        report.baseline_clean,
+        "baseline dirty: {:?}",
+        report.baseline_findings
+    );
+    // The acceptance floor is 6 distinct mutants; the real tree
+    // carries far more strong orderings than that.
+    assert!(
+        report.outcomes.len() >= 6,
+        "only {} mutant(s): {}",
+        report.outcomes.len(),
+        report.render()
+    );
+    let escaped: Vec<_> = report.outcomes.iter().filter(|o| !o.caught).collect();
+    assert!(escaped.is_empty(), "escaped mutants: {escaped:?}");
+    assert!(report.is_valid(), "{}", report.render());
+}
+
+#[test]
+fn required_mutant_classes_are_covered() {
+    let report = run("mut_fx_classes");
+    for class in [
+        "release-store",
+        "acquire-load",
+        "acqrel-rmw",
+        "injected-cas",
+    ] {
+        assert!(
+            report.outcomes.iter().any(|o| o.class == class && o.caught),
+            "class {class} missing or escaped: {}",
+            report.render()
+        );
+    }
+    // The named centerpiece mutants from the issue: the sharded.rs
+    // lease pair, and the CAS injected into pcm.rs.
+    assert!(report.outcomes.iter().any(|o| {
+        o.file == "sharded.rs" && o.class == "release-store" && o.description.contains("drop")
+    }));
+    assert!(report
+        .outcomes
+        .iter()
+        .any(|o| o.file == "sharded.rs" && o.description.contains("acquire_free_shard")));
+    assert!(report
+        .outcomes
+        .iter()
+        .any(|o| o.file == "pcm.rs" && o.class == "injected-cas"));
+}
+
+#[test]
+fn lease_weakening_is_also_caught_behaviourally() {
+    // The static catch (table drift) and the behavioural catch (the
+    // HB analyzer's step model of the handoff) must agree.
+    let report = run("mut_fx_lease");
+    assert!(report.lease_hb_differential, "{}", report.render());
+    let correct = ivl_analyzer::lease_handoff_step_model(false);
+    let weakened = ivl_analyzer::lease_handoff_step_model(true);
+    let ww = |r: &ivl_analyzer::HbReport| {
+        r.findings
+            .iter()
+            .any(|f| matches!(f.issue, ivl_analyzer::HbIssue::WwRace { .. }))
+    };
+    assert!(!ww(&correct), "{}", correct.render());
+    assert!(ww(&weakened), "{}", weakened.render());
+}
+
+#[test]
+fn mutation_json_schema_is_stable() {
+    let report = run("mut_fx_json");
+    let json = report.to_json();
+    for key in [
+        "\"valid\":true",
+        "\"baseline_clean\":true",
+        "\"baseline_findings\":[]",
+        "\"mutants\":",
+        "\"caught\":",
+        "\"lease_hb_differential\":true",
+        "\"outcomes\":[",
+        "\"class\":\"release-store\"",
+        "\"class\":\"injected-cas\"",
+        "\"finding\":\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the `ivl-syn` lexer and the atomic-site
+//! scanner built on it.
+//!
+//! Two properties anchor the whole token-level lint layer:
+//!
+//! 1. **Byte-exact round-trip** — concatenating the token texts of
+//!    `lex(src)` reproduces `src` exactly, for arbitrary
+//!    concatenations of Rust-like fragments (comments, nested block
+//!    comments, strings, raw strings, lifetimes, char literals,
+//!    ranges). Every byte lands in exactly one token, so no code can
+//!    hide between tokens.
+//! 2. **Scanner vs. the regex era** — the orderings the token scanner
+//!    reports (site arguments + strays) are a *subset* of what the
+//!    old `Ordering::` substring count saw, with exact expected
+//!    counts per fragment: code orderings are all found, while
+//!    comments, strings and the trailing `#[cfg(test)]` module — the
+//!    regex era's false positives — are invisible.
+
+use ivl_analyzer::atomics::scan_source;
+use ivl_analyzer::syn::lex;
+use proptest::prelude::*;
+
+/// Fragment pool: `(source, orderings the token scanner must see,
+/// "Ordering::" substring occurrences the old regex scanner saw)`.
+const FRAGMENTS: &[(&str, usize, usize)] = &[
+    (
+        "pub fn fa(x: &std::sync::atomic::AtomicU64) { x.fetch_add(1, Ordering::Relaxed); }",
+        1,
+        1,
+    ),
+    (
+        "pub fn sr(x: &std::sync::atomic::AtomicU64) { x.store(7, Ordering::Release); }",
+        1,
+        1,
+    ),
+    (
+        "pub fn cas(x: &std::sync::atomic::AtomicU64) { let _ = x.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }",
+        2,
+        2,
+    ),
+    // An indirect ordering is still token-visible — as a stray.
+    ("pub fn stray() { let _o = Ordering::SeqCst; }", 1, 1),
+    // The regex era's false positives: text, not code.
+    ("// a comment mentioning Ordering::SeqCst", 0, 1),
+    ("/* block /* nested Ordering::Acquire */ comment */", 0, 1),
+    (
+        "pub fn s() -> &'static str { \"Ordering::Relaxed in a string\" }",
+        0,
+        1,
+    ),
+    (
+        "pub fn raw() -> &'static str { r#\"Ordering::Release raw\"# }",
+        0,
+        1,
+    ),
+    // Ordering-free shapes that stress the lexer's tricky corners.
+    ("pub fn plain(a: u64, b: u64) -> u64 { a.wrapping_mul(b) }", 0, 0),
+    (
+        "pub fn lt<'a>(s: &'a str, c: char) -> bool { s.starts_with(c) && c != 'x' }",
+        0,
+        0,
+    ),
+    ("pub fn rng() -> u64 { (0..10).map(|i| i * 2).sum() }", 0, 0),
+    ("pub fn bytes() -> (&'static [u8], u8) { (b\"x\\\"y\", b'z') }", 0, 0),
+];
+
+/// A trailing test module with one atomic access: one substring hit
+/// for the regex era, zero for the token scanner.
+const TEST_TAIL: &str = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::{AtomicU64, Ordering};\n    #[test]\n    fn t() { AtomicU64::new(0).load(Ordering::SeqCst); }\n}\n";
+
+fn build_source(picks: &[usize], with_test_tail: bool) -> (String, usize, usize) {
+    let mut src = String::new();
+    let mut code_ords = 0;
+    let mut text_ords = 0;
+    for &p in picks {
+        let (frag, c, t) = FRAGMENTS[p % FRAGMENTS.len()];
+        src.push_str(frag);
+        src.push('\n');
+        code_ords += c;
+        text_ords += t;
+    }
+    if with_test_tail {
+        src.push_str(TEST_TAIL);
+        text_ords += 1;
+    }
+    (src, code_ords, text_ords)
+}
+
+/// What the token scanner reports: site ordering arguments + strays.
+fn token_orderings(src: &str) -> usize {
+    let (sites, strays) = scan_source("f.rs", src);
+    sites.iter().map(|s| s.orderings.len()).sum::<usize>() + strays.len()
+}
+
+/// The regex-era oracle: raw substring occurrences.
+fn substring_orderings(src: &str) -> usize {
+    src.matches("Ordering::").count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lex_round_trips_byte_for_byte(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24),
+        with_test_tail in any::<bool>(),
+    ) {
+        let (src, _, _) = build_source(&picks, with_test_tail);
+        let joined: String = lex(&src).iter().map(|t| t.text).collect();
+        prop_assert_eq!(&joined, &src);
+    }
+
+    #[test]
+    fn token_scanner_sees_code_and_only_code(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24),
+        with_test_tail in any::<bool>(),
+    ) {
+        let (src, code_ords, text_ords) = build_source(&picks, with_test_tail);
+        let tok = token_orderings(&src);
+        let sub = substring_orderings(&src);
+        // Exact counts: everything in code (and nothing else).
+        prop_assert_eq!(tok, code_ords, "token scanner on:\n{}", src);
+        prop_assert_eq!(sub, text_ords, "substring oracle on:\n{}", src);
+        // The subset relation the migration preserves: the token
+        // scanner never reports an ordering the regex era missed.
+        prop_assert!(tok <= sub, "token {} > substring {}:\n{}", tok, sub, src);
+    }
+}
+
+/// The same two properties over every real source file of the
+/// workspace's lexed crates — the lexer must round-trip the code it
+/// is actually pointed at, and the token scanner must never exceed
+/// the substring oracle on it.
+#[test]
+fn real_sources_round_trip_and_scanner_is_subset() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let mut files = Vec::new();
+    for krate in ["concurrent", "analyzer", "service", "shmem", "spec"] {
+        collect_rs(&root.join("crates").join(krate).join("src"), &mut files);
+    }
+    assert!(files.len() >= 20, "expected a real tree, found {files:?}");
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let joined: String = lex(&src).iter().map(|t| t.text).collect();
+        assert_eq!(joined, src, "round-trip failed for {}", path.display());
+        assert!(
+            token_orderings(&src) <= substring_orderings(&src),
+            "token scanner exceeded the substring oracle in {}",
+            path.display()
+        );
+    }
+}
+
+fn collect_rs(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}

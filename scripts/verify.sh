@@ -18,6 +18,9 @@ cargo test -q
 echo "==> ivl_lint (repo invariants)"
 cargo run -q -p ivl-analyzer --bin ivl_lint
 
+echo "==> ivl_lint --mutate (lint self-validation)"
+cargo run -q -p ivl-analyzer --bin ivl_lint -- --mutate
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
