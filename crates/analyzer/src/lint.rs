@@ -80,11 +80,12 @@ pub const CHECKS: [&str; 9] = [
 /// buffered path's flush (`buffered.rs` draining into `arena.rs`
 /// cells) is deliberately in scope: batching may defer visibility but
 /// must never smuggle in a CAS loop.
-pub const RMW_HAZARD_FILES: [&str; 6] = [
+pub const RMW_HAZARD_FILES: [&str; 7] = [
     "pcm.rs",
     "sharded.rs",
     "buffered.rs",
     "arena.rs",
+    "batch.rs",
     "delegation.rs",
     "locked.rs",
 ];

@@ -16,7 +16,9 @@
 //! ```
 
 use criterion::{BenchmarkId, Criterion, Throughput};
-use ivl_concurrent::{BufferedPcm, ConcurrentSketch, Pcm, ShardedPcm, SketchHandle, UpdateBuffer};
+use ivl_concurrent::{
+    BatchScratch, BufferedPcm, ConcurrentSketch, Pcm, ShardedPcm, SketchHandle, UpdateBuffer,
+};
 use ivl_sketch::countmin::CountMinParams;
 use ivl_sketch::stream::ZipfStream;
 use ivl_sketch::CoinFlips;
@@ -26,6 +28,24 @@ const ALPHABET: usize = 10_000;
 const ZIPF_S: f64 = 1.1;
 const SHARDS: usize = 4;
 const BATCHES: [u64; 4] = [1, 8, 64, 256];
+/// Wire-batch size for the E20 batch-kernel comparison — the loadgen
+/// default, so the measured ratio is the serving-path speedup.
+const FRAME: usize = 32;
+/// Key alphabet for the E20 batch-kernel comparison: loadgen's default
+/// (`--keys 512`), not this bench's 10k E19 alphabet — the kernel's
+/// coalescing win scales with the duplicate rate inside a frame, so
+/// the honest measurement uses the key distribution the wire actually
+/// carries.
+const FRAME_ALPHABET: usize = 512;
+/// Zipf exponent of the hot-key regime the batch kernel is built for
+/// (the same z=1.5 that makes the buffered coalescing win visible in
+/// the skew group below). A 32-item frame at z=1.5 carries ~0.41
+/// distinct keys per item, versus ~0.67 at the serving default z=1.1 —
+/// and since the kernel's win is proportional to the in-frame
+/// duplicate rate (break-even sits near 0.7 distinct), the enforced
+/// pair measures this regime while the serving-default pair is
+/// reported alongside it (see EXPERIMENTS E20 for both).
+const FRAME_HOT_S: f64 = 1.5;
 
 fn params() -> CountMinParams {
     // α ≈ 0.1%, δ ≈ 1%: the dimensions a production deployment uses.
@@ -134,6 +154,100 @@ fn bench_hot_path(c: &mut Criterion, n: usize) {
                 });
             },
         );
+    }
+    group.finish();
+}
+
+/// E20: the batch ingest kernels vs the per-item loop, on Zipf streams
+/// chunked into wire-sized frames of [`FRAME`]. The kernels coalesce
+/// duplicate keys within each frame, hash each distinct key once, and
+/// touch cells row-major with prefetch — the exact code `BATCH2`
+/// frames take through both serving backends. Two regimes run: the
+/// hot-key regime ([`FRAME_HOT_S`], the enforced pair) where in-frame
+/// duplicates are plentiful, and the serving default ([`ZIPF_S`]),
+/// which sits at the coalescing break-even and is reported for
+/// honesty, not enforced.
+fn bench_batch_kernel(c: &mut Criterion, n: usize) {
+    let mut group = c.benchmark_group("sketch_batch_kernel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(n as u64));
+
+    for (tag, s) in [("z=1.5", FRAME_HOT_S), ("z=1.1", ZIPF_S)] {
+        let items: Vec<u64> = ZipfStream::new(FRAME_ALPHABET, s, 45).take(n).collect();
+        let frames: Vec<Vec<(u64, u64)>> = items
+            .chunks(FRAME)
+            .map(|chunk| chunk.iter().map(|&k| (k, 1)).collect())
+            .collect();
+
+        group.bench_function(BenchmarkId::new("per_item", tag), |b| {
+            b.iter_custom(|iters| {
+                timed_passes(iters, &items, |coins, _| {
+                    let pcm = Pcm::new(params(), coins);
+                    let start = Instant::now();
+                    for frame in &frames {
+                        for &(k, w) in frame {
+                            pcm.update_by(k, w);
+                        }
+                    }
+                    start.elapsed()
+                })
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("batch32", tag), |b| {
+            b.iter_custom(|iters| {
+                timed_passes(iters, &items, |coins, _| {
+                    let pcm = Pcm::new(params(), coins);
+                    let mut scratch = BatchScratch::with_capacity(params().depth, FRAME);
+                    let start = Instant::now();
+                    for frame in &frames {
+                        pcm.update_batch(frame, &mut scratch);
+                    }
+                    start.elapsed()
+                })
+            });
+        });
+
+        // The lease and buffered kernels only run in the hot regime —
+        // they exist to show the kernels compose with the sharded and
+        // buffered write paths, not to re-measure skew sensitivity.
+        if s != FRAME_HOT_S {
+            continue;
+        }
+
+        group.bench_function(BenchmarkId::new("batch32_lease", tag), |b| {
+            b.iter_custom(|iters| {
+                timed_passes(iters, &items, |coins, _| {
+                    let sketch = ShardedPcm::new(params(), SHARDS, coins);
+                    let mut lease = sketch.lease().expect("fresh sketch has free shards");
+                    let mut scratch = BatchScratch::with_capacity(params().depth, FRAME);
+                    let start = Instant::now();
+                    for frame in &frames {
+                        lease.apply_batch(frame, &mut scratch);
+                    }
+                    start.elapsed()
+                })
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("batch32_buf64", tag), |b| {
+            b.iter_custom(|iters| {
+                timed_passes(iters, &items, |coins, _| {
+                    let sketch = BufferedPcm::new(params(), 64, coins);
+                    let mut h = sketch.handle();
+                    let mut scratch = BatchScratch::with_capacity(params().depth, FRAME);
+                    let start = Instant::now();
+                    for frame in &frames {
+                        h.absorb_batch(frame, &mut scratch);
+                    }
+                    h.flush();
+                    start.elapsed()
+                })
+            });
+        });
     }
     group.finish();
 }
@@ -274,11 +388,20 @@ fn write_json(c: &Criterion, path: &str, n: usize, quick: bool) -> std::io::Resu
         (Some(b), Some(s)) if s > 0.0 => b / s,
         _ => 0.0,
     };
+    let pair = |b: &str, p: &str| match (rate_of(c, b), rate_of(c, p)) {
+        (Some(b), Some(p)) if p > 0.0 => b / p,
+        _ => 0.0,
+    };
+    let batch_hot = pair("batch32/z=1.5", "per_item/z=1.5");
+    let batch_serving = pair("batch32/z=1.1", "per_item/z=1.1");
     let doc = format!(
         "{{\n  \"bench\": \"sketch_hot_path\",\n  \"items\": {n},\n  \
          \"alphabet\": {ALPHABET},\n  \"zipf_s\": {ZIPF_S},\n  \
-         \"shards\": {SHARDS},\n  \"quick\": {quick},\n  \
-         \"buffered_b64_vs_strict\": {ratio:.3},\n  \"runs\": [\n{rows}\n  ]\n}}\n"
+         \"shards\": {SHARDS},\n  \"frame\": {FRAME},\n  \
+         \"frame_alphabet\": {FRAME_ALPHABET},\n  \"quick\": {quick},\n  \
+         \"buffered_b64_vs_strict\": {ratio:.3},\n  \
+         \"batch32_vs_per_item_hot\": {batch_hot:.3},\n  \
+         \"batch32_vs_per_item_serving\": {batch_serving:.3},\n  \"runs\": [\n{rows}\n  ]\n}}\n"
     );
     std::fs::write(path, doc)
 }
@@ -300,6 +423,7 @@ fn main() {
     let mut c = Criterion::default();
     let n = if c.is_quick() { 20_000 } else { 200_000 };
     bench_hot_path(&mut c, n);
+    bench_batch_kernel(&mut c, n);
     bench_skew(&mut c, n);
     bench_contended(&mut c, n);
 
@@ -331,6 +455,33 @@ fn main() {
             }
             _ => {
                 eprintln!("enforce: missing strict or buffered b=64 measurement");
+                std::process::exit(1);
+            }
+        }
+        // The batch kernel must beat the per-item loop in its hot-key
+        // regime (z=1.5, where in-frame duplicates are plentiful) —
+        // that's the coalescing payoff the kernel exists for, so a
+        // ratio below 1 means batching regressed into a pessimization.
+        // The serving-default pair (z=1.1) sits at the coalescing
+        // break-even by construction and is reported, not gated.
+        const BATCH_FLOOR: f64 = 1.0;
+        match (rate_of(&c, "batch32/z=1.5"), rate_of(&c, "per_item/z=1.5")) {
+            (Some(batch), Some(per_item)) if batch >= per_item * BATCH_FLOOR => {
+                println!(
+                    "enforce: batch32 kernel at {:.2}x per-item (z=1.5) — ok",
+                    batch / per_item
+                );
+            }
+            (Some(batch), Some(per_item)) => {
+                eprintln!(
+                    "enforce: batch32 kernel at {:.2}x per-item (z=1.5, < {BATCH_FLOOR}) — \
+                     batching has become a pessimization",
+                    batch / per_item
+                );
+                std::process::exit(1);
+            }
+            _ => {
+                eprintln!("enforce: missing batch32 or per_item measurement");
                 std::process::exit(1);
             }
         }

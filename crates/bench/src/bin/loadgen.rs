@@ -376,6 +376,55 @@ impl RunOutcome {
     }
 }
 
+/// Decorrelated-jitter backoff for `busy` retries: each pause is
+/// `min(cap, uniform(base, 3·prev))`. The old fixed 1 ms sleep made
+/// every bounced worker retry in lockstep — they re-collided on the
+/// same exhausted shard pool and the batch p99 smeared across tens of
+/// milliseconds; jitter desynchronizes the herd so a freed lease is
+/// usually contested by one worker, not all of them.
+struct Backoff {
+    rng: u64,
+    last_us: u64,
+}
+
+impl Backoff {
+    /// Shortest pause — well under a lease-return round trip.
+    const BASE_US: u64 = 100;
+    /// Longest pause — a few ms, past which waiting stops helping.
+    const CAP_US: u64 = 4_000;
+
+    fn new(seed: u64) -> Self {
+        Backoff {
+            // xorshift rejects the all-zero state.
+            rng: seed | 1,
+            last_us: Self::BASE_US,
+        }
+    }
+
+    /// xorshift64* step.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Sleeps for the next decorrelated interval. No reset on success:
+    /// the next draw re-derives from the last pause, so a worker that
+    /// just waited long decays back toward `base` within a few draws.
+    fn pause(&mut self) {
+        let hi = self
+            .last_us
+            .saturating_mul(3)
+            .clamp(Self::BASE_US + 1, Self::CAP_US);
+        self.last_us = Self::BASE_US + self.next_u64() % (hi - Self::BASE_US);
+        // lint:allow sleep — load generator backs off on server Busy by design
+        std::thread::sleep(Duration::from_micros(self.last_us));
+    }
+}
+
 /// One ingest connection: `ops` weighted updates in `batch`-sized
 /// frames over Zipf-distributed keys, each batch routed to a mix
 /// object by weighted round-robin and timed per object. A `busy`
@@ -396,6 +445,7 @@ fn ingest_client(
 ) {
     let mut client = Client::connect(addr).expect("connect ingest");
     let mut stream = ZipfStream::new(keys, 1.1, seed);
+    let mut backoff = Backoff::new(seed ^ 0xb0ff);
     let mut pending = Vec::with_capacity(batch);
     let mut locals: Vec<Vec<u64>> = vec![Vec::new(); plan.entries.len()];
     let mut sent = 0u64;
@@ -426,8 +476,7 @@ fn ingest_client(
                 Err(ClientError::Server {
                     code: ErrorCode::Busy,
                     ..
-                    // lint:allow sleep — load generator backs off on server Busy by design
-                }) => std::thread::sleep(Duration::from_millis(1)),
+                }) => backoff.pause(),
                 Err(e) => panic!("batch failed: {e}"),
             }
         }
@@ -831,6 +880,7 @@ fn write_client_history(path: &str, rec: ClientRecorder) -> Result<(), String> {
 /// (a replica's `busy` shard budget), like the single-server path.
 fn group_batch_retrying(
     group: &mut ReplicaGroup,
+    backoff: &mut Backoff,
     object: u32,
     items: &[(u64, u64)],
 ) -> Result<(), String> {
@@ -840,8 +890,7 @@ fn group_batch_retrying(
             Err(ReplicaError::Client(ClientError::Server {
                 code: ErrorCode::Busy,
                 ..
-                // lint:allow sleep — load generator backs off on replica Busy by design
-            })) => std::thread::sleep(Duration::from_millis(1)),
+            })) => backoff.pause(),
             Err(e) => return Err(format!("replicated batch failed: {e}")),
         }
     }
@@ -871,6 +920,7 @@ fn replicated_ingest(
     let mut group =
         ReplicaGroup::new(addrs.to_vec(), mode, seed_group).expect("non-empty replica group");
     let mut stream = ZipfStream::new(keys, 1.1, seed);
+    let mut backoff = Backoff::new(seed ^ 0xb0ff);
     let mut pending = Vec::with_capacity(batch);
     let mut merged_local = Vec::new();
     let mut replica_local: Vec<Vec<u64>> = vec![Vec::new(); n];
@@ -904,7 +954,8 @@ fn replicated_ingest(
                         )
                     });
                     let t0 = Instant::now();
-                    group_batch_retrying(&mut group, object, sub).expect("partitioned batch");
+                    group_batch_retrying(&mut group, &mut backoff, object, sub)
+                        .expect("partitioned batch");
                     let ns = t0.elapsed().as_nanos() as u64;
                     merged_local.push(ns);
                     replica_local[r].push(ns);
@@ -927,7 +978,8 @@ fn replicated_ingest(
                         .collect()
                 });
                 let t0 = Instant::now();
-                group_batch_retrying(&mut group, object, &pending).expect("mirrored batch");
+                group_batch_retrying(&mut group, &mut backoff, object, &pending)
+                    .expect("mirrored batch");
                 merged_local.push(t0.elapsed().as_nanos() as u64);
                 if let (Some(rec), Some(ops)) = (recorders, ops_per_replica) {
                     for (r, op) in rec.iter().zip(ops) {

@@ -78,6 +78,19 @@ impl CellArena {
         &self.lines[row * self.lines_per_row + col / LINE_CELLS][col % LINE_CELLS]
     }
 
+    /// One row's cells behind a single narrowed line slice. The batch
+    /// kernels hoist this outside their per-entry loops, so each cell
+    /// access is a shift, a mask and one in-slice index instead of
+    /// re-deriving the row base from the full arena.
+    #[inline]
+    pub fn row_cells(&self, row: usize) -> RowCells<'_> {
+        let start = row * self.lines_per_row;
+        RowCells {
+            lines: &self.lines[start..start + self.lines_per_row],
+            width: self.width,
+        }
+    }
+
     /// The `width` cells of one row, in column order (padding cells
     /// excluded).
     pub fn row(&self, row: usize) -> impl Iterator<Item = &AtomicU64> {
@@ -92,6 +105,22 @@ impl CellArena {
     /// sequential `CountMin`-shaped view used for snapshots.
     pub fn cells(&self) -> impl Iterator<Item = &AtomicU64> {
         (0..self.depth).flat_map(|r| self.row(r))
+    }
+}
+
+/// A borrowed view of one arena row (see [`CellArena::row_cells`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RowCells<'a> {
+    lines: &'a [Line],
+    width: usize,
+}
+
+impl RowCells<'_> {
+    /// The cell at `col` of this row.
+    #[inline]
+    pub fn cell(&self, col: usize) -> &AtomicU64 {
+        debug_assert!(col < self.width);
+        &self.lines[col / LINE_CELLS][col % LINE_CELLS]
     }
 }
 

@@ -1,0 +1,363 @@
+//! Per-writer scratch for the batch ingest kernels: frame-local key
+//! coalescing plus row-major memoized columns, reused across frames so
+//! a steady-state batch allocates nothing.
+//!
+//! A wire batch (`BATCH2`) arrives as `(key, weight)` pairs. The
+//! kernels ([`Pcm::update_batch`](crate::Pcm::update_batch),
+//! [`ShardLease::apply_batch`](crate::ShardLease::apply_batch),
+//! [`BufferedHandle::absorb_batch`](crate::buffered::BufferedHandle::absorb_batch))
+//! all start the same way: coalesce duplicate keys within the frame
+//! (one table probe per item), then hash each *distinct* key once —
+//! one mod-p reduction plus one per-row hash per deduplicated key (the
+//! split [`PairwiseHash::hash_row_batch`] makes, inlined so columns
+//! land straight in the matrix) instead of that work per occurrence. The
+//! memoized columns land **row-major** (`cols[row * stride + e]`), so
+//! the apply loops walk one sketch row at a time: all of row 0's cell
+//! touches, then row 1's, which keeps each row's [`CellArena`] lines
+//! hot instead of cycling through `depth` distant lines per item.
+//!
+//! Correctness is unchanged from the per-item path: cell adds commute,
+//! so adding a key's coalesced weight once per row equals adding its
+//! occurrences one at a time; the proptests in
+//! `crates/concurrent/tests/batch_props.rs` pin cell-identical state
+//! on every kernel. Visibility-wise a batch kernel publishes a frame's
+//! updates in one pass — a concurrent query may observe any prefix of
+//! the row-major sweep, which is exactly the intermediate-value
+//! freedom IVL already grants the per-item loop (Lemma 7's argument
+//! does not count how many updates a writer applies between two cell
+//! reads). Per-frame coalescing defers visibility *within one frame
+//! only* — bounded by the frame size, which the serving layer's
+//! advertised `lag = shards·b` write-buffer bound already dominates
+//! (DESIGN §13).
+//!
+//! [`CellArena`]: crate::CellArena
+
+use crate::buffered::mix;
+use ivl_sketch::hash::{FastMod, PairwiseHash};
+
+/// How many entries ahead of the write cursor the apply loops warm:
+/// one relaxed load of the upcoming cell pulls its cache line while
+/// the current `fetch_add`/store retires. Far enough to cover a
+/// memory round-trip at a few cells per line, near enough that the
+/// line is still resident when the cursor arrives (16 measured best
+/// across a 1–16 sweep on the dev box; the win appears once the hot
+/// cell set outgrows L1, and the load costs ~2 ns/cell when it
+/// doesn't).
+pub const PREFETCH_DIST: usize = 16;
+
+/// Free-slot marker in the coalescing table's entry half (a frame can
+/// hold at most `MAX_BATCH_ITEMS` ≪ `u32::MAX` distinct keys).
+const EMPTY: u32 = u32::MAX;
+
+/// Reusable frame-ingest scratch: a coalescing table over one batch's
+/// keys plus the row-major column matrix for the distinct keys.
+///
+/// One `BatchScratch` lives per writer (per connection thread or per
+/// reactor) and is reused frame after frame; all growth happens on the
+/// first frame larger than any seen before, so the steady state is
+/// allocation-free. None of this state is shared — the scratch is
+/// plain memory owned by its writer; only the kernels' cell writes
+/// touch atomics.
+/// Every per-entry array is pre-sized to `cap` and written by index
+/// under one local cursor (`len`), not `Vec::push` — in the hot loop a
+/// push's length/capacity bookkeeping lives in the struct that `&mut
+/// self` points to, so the compiler must assume every heap store may
+/// alias it and reload lengths and data pointers after each write.
+/// Disjoint `&mut` slices borrowed once per frame carry a no-alias
+/// guarantee, which keeps the probe loop in registers.
+#[derive(Debug)]
+pub struct BatchScratch {
+    depth: usize,
+    /// Largest frame size servable without regrowing.
+    cap: usize,
+    /// Distinct keys in the current frame (`entries` below).
+    len: usize,
+    /// Open-addressed key → entry table. The key is stored *in* the
+    /// slot so a probe is one 16-byte load with no dependent lookup
+    /// into `keys`; [`EMPTY`] in the entry half marks a free slot.
+    slots: Vec<(u64, u32)>,
+    mask: usize,
+    /// Distinct keys in first-seen order (first `len` live).
+    keys: Vec<u64>,
+    /// Coalesced weight per distinct key (first `len` live).
+    counts: Vec<u64>,
+    /// Table slot each entry landed in — the slots to clear on reset
+    /// (exactly one per entry, so no separate dirty list is needed).
+    slot_of: Vec<u32>,
+    /// Row-major memoized columns: entry `e`'s column in `row` lives
+    /// at `cols[row * cap + e]`.
+    cols: Vec<u32>,
+    /// Per-row strength-reduced `% w` magics, rebuilt (without
+    /// allocating — capacity is reserved for `depth` rows) whenever
+    /// the hash family changes.
+    divs: Vec<FastMod>,
+}
+
+impl BatchScratch {
+    /// Creates a scratch for a depth-`depth` sketch, pre-sized for
+    /// frames of up to `max_items` pairs (larger frames regrow once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0.
+    pub fn with_capacity(depth: usize, max_items: usize) -> Self {
+        assert!(depth > 0, "need at least one row");
+        let mut scratch = BatchScratch {
+            depth,
+            cap: 0,
+            len: 0,
+            slots: Vec::new(),
+            mask: 0,
+            keys: Vec::new(),
+            counts: Vec::new(),
+            slot_of: Vec::new(),
+            cols: Vec::new(),
+            divs: Vec::with_capacity(depth),
+        };
+        scratch.grow(max_items.max(1));
+        scratch
+    }
+
+    /// Creates a scratch pre-sized for modest frames (64 pairs).
+    pub fn new(depth: usize) -> Self {
+        Self::with_capacity(depth, 64)
+    }
+
+    /// Resizes every component for frames of `max_items` pairs.
+    fn grow(&mut self, max_items: usize) {
+        self.cap = max_items.next_power_of_two();
+        let slots = self.cap * 2;
+        self.slots = vec![(0, EMPTY); slots];
+        self.mask = slots - 1;
+        self.keys = vec![0; self.cap];
+        self.counts = vec![0; self.cap];
+        self.slot_of = vec![0; self.cap];
+        self.cols = vec![0; self.cap * self.depth];
+    }
+
+    /// Keeps the per-row `% w` magics in sync with the hash family.
+    /// Steady state is one equality sweep; a rebuild reuses the
+    /// reserved capacity, so no allocation either way.
+    fn sync_divs(&mut self, hashes: &[PairwiseHash]) {
+        let stale = self.divs.len() != hashes.len()
+            || self
+                .divs
+                .iter()
+                .zip(hashes)
+                .any(|(d, h)| d.divisor() != h.range());
+        if stale {
+            self.divs.clear();
+            self.divs
+                .extend(hashes.iter().map(|h| FastMod::new(h.range())));
+        }
+    }
+
+    /// Readies the scratch for a frame of `items_len` pairs: clears
+    /// the previous frame's table slots (only the dirtied ones) and
+    /// regrows once if the frame is the largest seen.
+    fn begin(&mut self, items_len: usize) {
+        for &i in &self.slot_of[..self.len] {
+            self.slots[i as usize] = (0, EMPTY);
+        }
+        self.len = 0;
+        if items_len > self.cap {
+            self.grow(items_len);
+        }
+    }
+
+    /// Coalesces one frame: after this, [`len`](Self::len) distinct
+    /// keys are enumerable via [`entry`](Self::entry) in first-seen
+    /// order, each with the summed weight of its occurrences. One
+    /// table probe per pair; no hashing of sketch rows yet.
+    pub fn coalesce(&mut self, items: &[(u64, u64)]) {
+        self.begin(items.len());
+        let mask = self.mask;
+        let slots = &mut self.slots[..];
+        let keys = &mut self.keys[..];
+        let counts = &mut self.counts[..];
+        let slot_of = &mut self.slot_of[..];
+        let mut len = 0usize;
+        for &(key, weight) in items {
+            let mut i = mix(key) as usize & mask;
+            let e = loop {
+                let (k, e) = slots[i];
+                // One merged exit test (`|`, not `||`): "stop here" is
+                // taken on nearly every first probe, so the only branch
+                // in the loop predicts well. Whether the stop was a
+                // free slot or a duplicate is resolved *below* by
+                // selects, not by a second (data-random) branch.
+                if (e == EMPTY) | (k == key) {
+                    break e;
+                }
+                i = (i + 1) & mask;
+            };
+            let fresh = e == EMPTY;
+            let idx = if fresh { len } else { e as usize };
+            // Unconditional writes: on a duplicate these rewrite the
+            // entry's own key/slot with identical values, which lets
+            // the compiler lower the fresh/dup split to conditional
+            // moves instead of a 30-70 random branch.
+            slots[i] = (key, idx as u32);
+            keys[idx] = key;
+            slot_of[idx] = i as u32;
+            counts[idx] = if fresh { weight } else { counts[idx] + weight };
+            len += fresh as usize;
+        }
+        self.len = len;
+    }
+
+    /// Memoizes every distinct key's per-row columns, row-major: each
+    /// distinct key is reduced mod p exactly once and then hashed once
+    /// per row (the same split [`PairwiseHash::hash_row_batch`] makes,
+    /// inlined here so the columns land straight in the matrix) — the
+    /// single pass of hashing the batch kernels rely on.
+    pub fn hash_rows(&mut self, hashes: &[PairwiseHash]) {
+        debug_assert_eq!(hashes.len(), self.depth, "scratch depth mismatch");
+        self.sync_divs(hashes);
+        for e in 0..self.len {
+            let xr = PairwiseHash::reduce(self.keys[e]);
+            for (row, (h, d)) in hashes.iter().zip(&self.divs).enumerate() {
+                self.cols[row * self.cap + e] = h.hash_reduced_fast(xr, d) as u32;
+            }
+        }
+    }
+
+    /// [`coalesce`](Self::coalesce) + [`hash_rows`](Self::hash_rows),
+    /// fused: a key is hashed at the probe that first sees it, so one
+    /// pass over the frame fills both the entries and the column
+    /// matrix (repeats fold their weight in without re-hashing).
+    /// Returns the number of distinct keys.
+    pub fn prepare(&mut self, hashes: &[PairwiseHash], items: &[(u64, u64)]) -> usize {
+        debug_assert_eq!(hashes.len(), self.depth, "scratch depth mismatch");
+        self.sync_divs(hashes);
+        self.begin(items.len());
+        let cap = self.cap;
+        let mask = self.mask;
+        let slots = &mut self.slots[..];
+        let keys = &mut self.keys[..];
+        let counts = &mut self.counts[..];
+        let slot_of = &mut self.slot_of[..];
+        let cols = &mut self.cols[..];
+        let divs = &self.divs[..];
+        let mut len = 0usize;
+        for &(key, weight) in items {
+            let mut i = mix(key) as usize & mask;
+            let e = loop {
+                let (k, e) = slots[i];
+                if (e == EMPTY) | (k == key) {
+                    break e;
+                }
+                i = (i + 1) & mask;
+            };
+            let fresh = e == EMPTY;
+            let idx = if fresh { len } else { e as usize };
+            slots[i] = (key, idx as u32);
+            keys[idx] = key;
+            slot_of[idx] = i as u32;
+            counts[idx] = if fresh { weight } else { counts[idx] + weight };
+            // Only the hashing itself stays behind a branch — it is
+            // heavy enough (one reduction + `depth` row hashes) that a
+            // mispredict is noise next to doing it redundantly.
+            if fresh {
+                let xr = PairwiseHash::reduce(key);
+                for (row, (h, d)) in hashes.iter().zip(divs).enumerate() {
+                    cols[row * cap + len] = h.hash_reduced_fast(xr, d) as u32;
+                }
+            }
+            len += fresh as usize;
+        }
+        self.len = len;
+        len
+    }
+
+    /// Number of distinct keys in the coalesced frame.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the coalesced frame holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entry `e`'s `(key, coalesced_weight)`.
+    pub fn entry(&self, e: usize) -> (u64, u64) {
+        (self.keys[e], self.counts[e])
+    }
+
+    /// The coalesced weights, entry-indexed.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts[..self.len]
+    }
+
+    /// `row`'s memoized columns, entry-indexed (valid after
+    /// [`hash_rows`](Self::hash_rows)).
+    pub fn row_cols(&self, row: usize) -> &[u32] {
+        &self.cols[row * self.cap..row * self.cap + self.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_sketch::CoinFlips;
+
+    fn hashes(depth: usize, w: u64) -> Vec<PairwiseHash> {
+        let mut coins = CoinFlips::from_seed(11);
+        (0..depth)
+            .map(|_| PairwiseHash::draw(&mut coins, w))
+            .collect()
+    }
+
+    #[test]
+    fn coalesce_sums_duplicate_keys_in_first_seen_order() {
+        let mut s = BatchScratch::new(3);
+        s.coalesce(&[(7, 1), (9, 2), (7, 3), (11, 1), (9, 1)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.entry(0), (7, 4));
+        assert_eq!(s.entry(1), (9, 3));
+        assert_eq!(s.entry(2), (11, 1));
+    }
+
+    #[test]
+    fn reuse_across_frames_leaves_no_residue() {
+        let mut s = BatchScratch::new(2);
+        s.coalesce(&[(1, 1), (2, 2), (1, 1)]);
+        assert_eq!(s.len(), 2);
+        s.coalesce(&[(3, 5)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entry(0), (3, 5));
+        s.coalesce(&[]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn row_cols_match_direct_hashing() {
+        let depth = 4;
+        let hs = hashes(depth, 64);
+        let mut s = BatchScratch::new(depth);
+        let frame = [(0u64, 1u64), (42, 1), (u64::MAX, 1), (42, 1)];
+        let n = s.prepare(&hs, &frame);
+        assert_eq!(n, 3);
+        for (e, key) in [0u64, 42, u64::MAX].into_iter().enumerate() {
+            for (row, h) in hs.iter().enumerate() {
+                assert_eq!(
+                    s.row_cols(row)[e] as usize,
+                    h.hash(key),
+                    "key {key} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frames_larger_than_capacity_regrow() {
+        let mut s = BatchScratch::with_capacity(2, 4);
+        let frame: Vec<(u64, u64)> = (0..500).map(|k| (k, 1)).collect();
+        s.coalesce(&frame);
+        assert_eq!(s.len(), 500);
+        let hs = hashes(2, 32);
+        s.hash_rows(&hs);
+        assert_eq!(s.row_cols(0).len(), 500);
+    }
+}

@@ -34,6 +34,7 @@
 //! the argument in full.
 
 use crate::arena::CellArena;
+use crate::batch::BatchScratch;
 use crate::{ConcurrentSketch, SketchHandle};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hash::PairwiseHash;
@@ -47,9 +48,10 @@ const MAX_ENTRIES: usize = 1024;
 
 /// SplitMix64 finalizer: spreads item bits for the coalescing table.
 /// Only placement in the *local* table depends on it, never sketch
-/// contents, so it needs no drawn randomness.
+/// contents, so it needs no drawn randomness. Shared with the
+/// frame-coalescing table in [`crate::batch`].
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
@@ -270,6 +272,23 @@ impl BufferedHandle<'_> {
     pub fn update_by(&mut self, item: u64, count: u64) {
         if self.buf.push(&self.parent.hashes, item, count) {
             self.propagate();
+        }
+    }
+
+    /// Absorbs a whole frame of `(item, count)` pairs, coalescing
+    /// duplicate keys through `scratch` first so each distinct key
+    /// costs one buffer probe (and at most one `hash_row_batch` pass,
+    /// on first sight in the buffer). Propagates whenever the batch
+    /// bound trips mid-frame, so the buffered weight stays strictly
+    /// under `b` on return — the per-handle `n·b` envelope bound is
+    /// unchanged by frame absorption.
+    pub fn absorb_batch(&mut self, items: &[(u64, u64)], scratch: &mut BatchScratch) {
+        scratch.coalesce(items);
+        for e in 0..scratch.len() {
+            let (item, count) = scratch.entry(e);
+            if self.buf.push(&self.parent.hashes, item, count) {
+                self.propagate();
+            }
         }
     }
 

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arena;
+pub mod batch;
 pub mod buffered;
 pub mod delegation;
 pub mod hll_conc;
@@ -53,6 +54,7 @@ pub mod recorded;
 pub mod sharded;
 
 pub use arena::CellArena;
+pub use batch::BatchScratch;
 pub use buffered::{BufferedPcm, UpdateBuffer};
 pub use delegation::DelegatedCountMin;
 pub use hll_conc::ConcurrentHll;

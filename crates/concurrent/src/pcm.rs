@@ -24,6 +24,7 @@
 //! `ivl-core`.
 
 use crate::arena::CellArena;
+use crate::batch::{BatchScratch, PREFETCH_DIST};
 use crate::{ConcurrentSketch, SketchHandle};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hash::PairwiseHash;
@@ -123,6 +124,39 @@ impl Pcm {
             self.cells
                 .cell(row, h.hash_reduced(xr))
                 .fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a whole frame of `(item, count)` pairs: `scratch`
+    /// coalesces duplicate keys and memoizes each distinct key's
+    /// columns with one hashing sweep, then the cell adds run
+    /// **row-major** — all of row 0's touches, then row 1's — with the
+    /// cell [`PREFETCH_DIST`] entries ahead of the write cursor warmed
+    /// by a relaxed load (split off the loop tail, so the hot loop
+    /// carries no bounds branch). Cell adds commute, so the final
+    /// state is identical to per-item [`update_by`](Self::update_by)
+    /// calls; a concurrent query sees some prefix of the sweep, the
+    /// same intermediate-value freedom Lemma 7 already covers.
+    pub fn update_batch(&self, items: &[(u64, u64)], scratch: &mut BatchScratch) {
+        let n = scratch.prepare(&self.hashes, items);
+        for row in 0..self.params.depth {
+            let cells = self.cells.row_cells(row);
+            let cols = scratch.row_cols(row);
+            let counts = &scratch.counts()[..n];
+            let warm = n.saturating_sub(PREFETCH_DIST);
+            for e in 0..warm {
+                let _ = cells
+                    .cell(cols[e + PREFETCH_DIST] as usize)
+                    .load(Ordering::Relaxed);
+                cells
+                    .cell(cols[e] as usize)
+                    .fetch_add(counts[e], Ordering::Relaxed);
+            }
+            for e in warm..n {
+                cells
+                    .cell(cols[e] as usize)
+                    .fetch_add(counts[e], Ordering::Relaxed);
+            }
         }
     }
 

@@ -20,6 +20,7 @@
 //! analogue of the paper's O(1)-update / O(n)-read batched counter.
 
 use crate::arena::CellArena;
+use crate::batch::{BatchScratch, PREFETCH_DIST};
 use crate::{ConcurrentSketch, SketchHandle};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hash::PairwiseHash;
@@ -272,6 +273,40 @@ impl ShardLease<'_> {
         PairwiseHash::hash_row_batch(&self.parent.hashes, item, &mut self.scratch);
         let m = &self.parent.shards[self.shard];
         add_at_cols(m, self.scratch.iter().copied(), count);
+    }
+
+    /// Applies a whole frame of `(item, count)` pairs to the leased
+    /// shard: `scratch` coalesces duplicate keys and memoizes each
+    /// distinct key's columns with one
+    /// [`PairwiseHash::hash_row_batch`] sweep, then the single-writer
+    /// stores run **row-major** with the next
+    /// [`PREFETCH_DIST`](crate::batch::PREFETCH_DIST) cells warmed
+    /// ahead of the write cursor by a relaxed load. Same load +
+    /// `Release` store per cell as [`add_at_cols`] — the shard still
+    /// has exactly one writer — so the final state is identical to
+    /// per-item [`update_by`](Self::update_by) calls.
+    pub fn apply_batch(&mut self, items: &[(u64, u64)], scratch: &mut BatchScratch) {
+        let n = scratch.prepare(&self.parent.hashes, items);
+        let m = &self.parent.shards[self.shard];
+        for row in 0..self.parent.params.depth {
+            let cells = m.row_cells(row);
+            let cols = scratch.row_cols(row);
+            let counts = &scratch.counts()[..n];
+            let warm = n.saturating_sub(PREFETCH_DIST);
+            for e in 0..warm {
+                let _ = cells
+                    .cell(cols[e + PREFETCH_DIST] as usize)
+                    .load(Ordering::Relaxed);
+                let cell = cells.cell(cols[e] as usize);
+                let cur = cell.load(Ordering::Relaxed);
+                cell.store(cur + counts[e], Ordering::Release);
+            }
+            for e in warm..n {
+                let cell = cells.cell(cols[e] as usize);
+                let cur = cell.load(Ordering::Relaxed);
+                cell.store(cur + counts[e], Ordering::Release);
+            }
+        }
     }
 
     /// Adds `count` at pre-hashed per-row columns (`cols[row]`, one

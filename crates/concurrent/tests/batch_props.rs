@@ -1,0 +1,137 @@
+//! Property tests for the batch ingest kernels: each kernel must be
+//! cell-identical to the per-item loop it replaces (cell adds commute,
+//! so coalescing a frame changes nothing at quiescence), and per-frame
+//! coalescing must never widen a served envelope — the strict kernels
+//! publish everything before returning, and the buffered kernel keeps
+//! the same strictly-under-`b` pending bound the `lag = shards·b`
+//! envelope accounting is built on.
+
+use ivl_concurrent::{BatchScratch, BufferedPcm, ConcurrentSketch, Pcm, ShardedPcm, SketchHandle};
+use ivl_sketch::countmin::{CountMin, CountMinParams};
+use ivl_sketch::{CoinFlips, FrequencySketch};
+use proptest::prelude::*;
+
+const WIDTH: usize = 32;
+const DEPTH: usize = 4;
+
+fn proto(seed: u64) -> CountMin {
+    CountMin::new(
+        CountMinParams {
+            width: WIDTH,
+            depth: DEPTH,
+        },
+        &mut CoinFlips::from_seed(seed),
+    )
+}
+
+/// Frames of (key, weight) pairs over a tiny key space, so duplicate
+/// keys within a frame are the common case, not the exception.
+fn frames() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
+    proptest::collection::vec(proptest::collection::vec((0u64..24, 0u64..6), 0..48), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Pcm::update_batch` leaves the exact cell matrix of the
+    /// per-item `update_by` loop, for any frame sequence.
+    #[test]
+    fn pcm_update_batch_is_cell_identical(frames in frames(), seed in 0u64..1_000) {
+        let proto = proto(seed);
+        let batched = Pcm::from_prototype(&proto);
+        let per_item = Pcm::from_prototype(&proto);
+        let mut scratch = BatchScratch::new(DEPTH);
+        for frame in &frames {
+            batched.update_batch(frame, &mut scratch);
+            for &(key, weight) in frame {
+                per_item.update_by(key, weight);
+            }
+            // Strict kernel: everything published at return — a query
+            // between frames sees identical state, so the per-frame
+            // coalescing widened no envelope.
+            prop_assert_eq!(batched.cells_snapshot(), per_item.cells_snapshot());
+        }
+    }
+
+    /// `ShardLease::apply_batch` matches per-item `update_by` on the
+    /// same shard, frame by frame.
+    #[test]
+    fn lease_apply_batch_is_cell_identical(frames in frames(), seed in 0u64..1_000) {
+        let proto = proto(seed);
+        let batched = ShardedPcm::from_prototype(&proto, 2);
+        let per_item = ShardedPcm::from_prototype(&proto, 2);
+        let mut scratch = BatchScratch::new(DEPTH);
+        let mut bl = batched.lease().expect("free shard");
+        let mut pl = per_item.lease().expect("free shard");
+        for frame in &frames {
+            bl.apply_batch(frame, &mut scratch);
+            for &(key, weight) in frame {
+                pl.update_by(key, weight);
+            }
+            prop_assert_eq!(batched.cells_snapshot(), per_item.cells_snapshot());
+        }
+    }
+
+    /// `BufferedHandle::absorb_batch` + flush matches per-item
+    /// `update_by` + flush, and between frames the buffered weight
+    /// stays strictly under `b` — absorption trips the same mid-frame
+    /// flushes the per-item loop would, so the advertised
+    /// `lag = shards·b` bound dominates any per-frame coalescing.
+    #[test]
+    fn buffered_absorb_batch_is_cell_identical(
+        frames in frames(),
+        b in 1u64..20,
+        seed in 0u64..1_000,
+    ) {
+        let proto = proto(seed);
+        let batched = BufferedPcm::from_prototype(&proto, b);
+        let per_item = BufferedPcm::from_prototype(&proto, b);
+        let mut scratch = BatchScratch::new(DEPTH);
+        let mut bh = batched.handle();
+        let mut ph = per_item.handle();
+        for frame in &frames {
+            bh.absorb_batch(frame, &mut scratch);
+            for &(key, weight) in frame {
+                ph.update_by(key, weight);
+            }
+            prop_assert!(bh.pending() < b, "pending {} >= b {}", bh.pending(), b);
+        }
+        bh.flush();
+        ph.flush();
+        for key in 0u64..24 {
+            prop_assert_eq!(batched.estimate(key), per_item.estimate(key));
+        }
+    }
+
+    /// At quiescence every kernel agrees with the sequential
+    /// `CountMin` fed the concatenated frames — the same `CM(c̄)` the
+    /// replay checker replays against, so Theorem 1 locality and the
+    /// per-object verdicts are untouched by how frames were applied.
+    #[test]
+    fn all_kernels_agree_with_sequential_sketch(frames in frames(), seed in 0u64..1_000) {
+        let mut cm = proto(seed);
+        let pcm = Pcm::from_prototype(&cm);
+        let sharded = ShardedPcm::from_prototype(&cm, 2);
+        let buffered = BufferedPcm::from_prototype(&cm, 7);
+        let mut scratch = BatchScratch::new(DEPTH);
+        {
+            let mut lease = sharded.lease().expect("free shard");
+            let mut bh = buffered.handle();
+            for frame in &frames {
+                pcm.update_batch(frame, &mut scratch);
+                lease.apply_batch(frame, &mut scratch);
+                bh.absorb_batch(frame, &mut scratch);
+                for &(key, weight) in frame {
+                    cm.update_by(key, weight);
+                }
+            }
+            bh.flush();
+        }
+        for key in 0u64..24 {
+            let expect = cm.estimate(key);
+            prop_assert_eq!(pcm.estimate(key), expect, "pcm key {}", key);
+            prop_assert_eq!(sharded.estimate(key), expect, "sharded key {}", key);
+            prop_assert_eq!(buffered.estimate(key), expect, "buffered key {}", key);
+        }
+    }
+}

@@ -41,7 +41,8 @@ use crate::envelope::{Envelope, ErrorEnvelope};
 use crate::metrics::{Metrics, ObjectStats};
 use crate::wspec::WeightedCmSpec;
 use ivl_concurrent::{
-    ConcurrentHll, ConcurrentMinRegister, ConcurrentMorris, ShardLease, ShardedPcm, UpdateBuffer,
+    BatchScratch, ConcurrentHll, ConcurrentMinRegister, ConcurrentMorris, ShardLease, ShardedPcm,
+    UpdateBuffer,
 };
 use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
@@ -337,6 +338,19 @@ pub trait ObjectWriter: fmt::Debug {
     /// [`ensure_ready`](Self::ensure_ready) succeeded.
     fn apply(&mut self, key: u64, weight: u64);
 
+    /// Applies a whole batch frame. Only called after
+    /// [`ensure_ready`](Self::ensure_ready) succeeded. The default
+    /// loops [`apply`](Self::apply); objects with a batch kernel (the
+    /// CountMin) override it to coalesce duplicate keys within the
+    /// frame and hash each distinct key once. Overrides must leave the
+    /// same quiescent state as the per-item loop and must keep any
+    /// buffered-weight bound the object's envelope advertises.
+    fn apply_batch(&mut self, items: &[(u64, u64)]) {
+        for &(key, weight) in items {
+            self.apply(key, weight);
+        }
+    }
+
     /// Propagates any locally buffered weight into the shared object.
     fn flush(&mut self);
 
@@ -602,6 +616,13 @@ impl OpCounters {
         self.observed.fetch_add(weight, Ordering::Relaxed);
     }
 
+    /// Batch-frame accounting: `n` updates of `weight` total observed
+    /// weight in two atomic adds instead of `2n`.
+    fn note_updates(&self, n: u64, weight: u64) {
+        self.updates.fetch_add(n, Ordering::Relaxed);
+        self.observed.fetch_add(weight, Ordering::Relaxed);
+    }
+
     fn note_query(&self) {
         self.queries.fetch_add(1, Ordering::Relaxed);
     }
@@ -699,6 +720,10 @@ impl ServedObject for ServedCountMin {
             lease: None,
             buffer: (self.write_buffer > 0)
                 .then(|| UpdateBuffer::new(self.proto.params().depth, self.write_buffer)),
+            scratch: BatchScratch::with_capacity(
+                self.proto.params().depth,
+                crate::protocol::MAX_BATCH_ITEMS as usize,
+            ),
         })
     }
 
@@ -775,13 +800,17 @@ impl ServedObject for ServedCountMin {
     }
 }
 
-/// CountMin per-writer state: the per-(object, shard) lease plus the
-/// local coalescing buffer.
+/// CountMin per-writer state: the per-(object, shard) lease, the
+/// local coalescing buffer, and the batch-frame scratch.
 struct CmWriter<'a> {
     obj: &'a ServedCountMin,
     metrics: &'a Metrics,
     lease: Option<ShardLease<'a>>,
     buffer: Option<UpdateBuffer>,
+    /// Frame coalescing + row-major column scratch for
+    /// [`ObjectWriter::apply_batch`]; reused across frames so a
+    /// steady-state batch allocates nothing.
+    scratch: BatchScratch,
 }
 
 impl fmt::Debug for CmWriter<'_> {
@@ -819,6 +848,29 @@ impl ObjectWriter for CmWriter<'_> {
         }
         self.obj.ingest.update_slot(lease.shard(), weight);
         self.obj.ops.note_update(0); // observed comes from `ingest`
+    }
+
+    fn apply_batch(&mut self, items: &[(u64, u64)]) {
+        let lease = self.lease.as_mut().expect("ensure_ready acquired a lease");
+        if let Some(buf) = self.buffer.as_mut() {
+            // Coalesce the frame first so each distinct key costs one
+            // buffer probe; the buffer still trips its batch bound
+            // mid-frame, so the advertised lag is unchanged.
+            self.scratch.coalesce(items);
+            for e in 0..self.scratch.len() {
+                let (key, count) = self.scratch.entry(e);
+                self.metrics.record_buffered(count.max(1));
+                if buf.push(self.obj.sketch.hashes(), key, count) {
+                    let flushed = buf.drain(|cols, count| lease.apply_rows(cols, count));
+                    self.metrics.record_flush(flushed);
+                }
+            }
+        } else {
+            lease.apply_batch(items, &mut self.scratch);
+        }
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        self.obj.ingest.update_slot(lease.shard(), total);
+        self.obj.ops.note_updates(items.len() as u64, 0); // observed comes from `ingest`
     }
 
     fn flush(&mut self) {

@@ -485,7 +485,11 @@ impl Request {
                 if count > MAX_BATCH_ITEMS {
                     return Err(WireError::Malformed("batch exceeds MAX_BATCH_ITEMS"));
                 }
-                let mut items = Vec::with_capacity(count as usize);
+                // Cap the pre-allocation: `count` is validated against
+                // MAX_BATCH_ITEMS above, but a hostile length should
+                // never size an allocation before the body bytes back
+                // it up (same pattern as the objects-list decode).
+                let mut items = Vec::with_capacity((count as usize).min(1024));
                 for _ in 0..count {
                     items.push((b.u64()?, b.u64()?));
                 }
@@ -511,6 +515,38 @@ impl Request {
             Request::Stats | Request::Objects | Request::Shutdown => None,
         }
     }
+}
+
+/// Batch-frame fast path: decodes a `BATCH`/`BATCH2` payload into a
+/// caller-owned items vector instead of a fresh [`Request::Batch`]
+/// allocation per frame. Returns `Ok(Some(object))` on a batch frame
+/// (with `items` cleared and refilled), `Ok(None)` when the payload is
+/// some other opcode (untouched — route it through
+/// [`Request::decode`]), and the same [`WireError`]s as the full
+/// decoder on a malformed batch. Growth of `items` is amortized: after
+/// one maximum-size frame (`MAX_BATCH_ITEMS`), steady-state decoding
+/// allocates nothing.
+pub fn decode_batch_into(
+    payload: &[u8],
+    items: &mut Vec<(u64, u64)>,
+) -> Result<Option<u32>, WireError> {
+    let mut b = Body::new(payload);
+    let op = b.u8()?;
+    if op != OP_BATCH && op != OP_BATCH2 {
+        return Ok(None);
+    }
+    let object = if op == OP_BATCH2 { b.u32()? } else { 0 };
+    let count = b.u32()?;
+    if count > MAX_BATCH_ITEMS {
+        return Err(WireError::Malformed("batch exceeds MAX_BATCH_ITEMS"));
+    }
+    items.clear();
+    items.reserve((count as usize).min(1024));
+    for _ in 0..count {
+        items.push((b.u64()?, b.u64()?));
+    }
+    b.finish()?;
+    Ok(Some(object))
 }
 
 impl Response {
@@ -1222,5 +1258,53 @@ mod tests {
             Request::decode(&payload).unwrap_err(),
             WireError::Malformed("batch exceeds MAX_BATCH_ITEMS")
         );
+        // …and the in-place fast path rejects it too.
+        let mut items = Vec::new();
+        assert_eq!(
+            decode_batch_into(&payload, &mut items).unwrap_err(),
+            WireError::Malformed("batch exceeds MAX_BATCH_ITEMS")
+        );
+    }
+
+    #[test]
+    fn decode_batch_into_agrees_with_full_decoder() {
+        for object in [0u32, 9] {
+            let req = Request::Batch {
+                object,
+                items: vec![(7, 3), (7, 1), (42, 2)],
+            };
+            let mut buf = Vec::new();
+            req.encode(&mut buf);
+            let payload = read_frame(&mut buf.as_slice(), 1 << 16).unwrap().unwrap();
+            let mut items = vec![(99u64, 99u64)]; // stale residue must be cleared
+            assert_eq!(
+                decode_batch_into(&payload, &mut items).unwrap(),
+                Some(object)
+            );
+            assert_eq!(items, vec![(7, 3), (7, 1), (42, 2)]);
+            assert_eq!(
+                Request::decode(&payload).unwrap(),
+                Request::Batch { object, items }
+            );
+        }
+        // Non-batch opcodes pass through untouched.
+        let mut buf = Vec::new();
+        Request::Query { object: 0, key: 5 }.encode(&mut buf);
+        let payload = read_frame(&mut buf.as_slice(), 64).unwrap().unwrap();
+        let mut items = vec![(1u64, 1u64)];
+        assert_eq!(decode_batch_into(&payload, &mut items).unwrap(), None);
+        assert_eq!(
+            items,
+            vec![(1, 1)],
+            "non-batch payload must not clobber items"
+        );
+        // Truncated batch body still errors.
+        let mut bad = vec![OP_BATCH];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        assert!(matches!(
+            decode_batch_into(&bad, &mut items).unwrap_err(),
+            WireError::Truncated | WireError::Malformed(_)
+        ));
     }
 }

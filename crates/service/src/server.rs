@@ -34,14 +34,14 @@
 
 use crate::metrics::{Metrics, StatsReport};
 use crate::objects::{ObjectConfig, ObjectKind, ObjectRegistry, ObjectVerdict, ObjectWriter};
-use crate::protocol::{self, ErrorCode, Request, Response, WireError};
+use crate::protocol::{self, ErrorCode, FrameDecoder, Request, Response};
 use crate::wspec::WeightedCmSpec;
 use ivl_concurrent::ShardedPcm;
 use ivl_sketch::countmin::CountMinParams;
 use ivl_spec::history::{History, ObjectId, ProcessId};
 use ivl_spec::record::Recorder;
 use polling::Poller;
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -509,10 +509,25 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
     conns
 }
 
-fn send(stream: &mut TcpStream, rsp: &Response) -> bool {
-    let mut buf = Vec::new();
-    rsp.encode(&mut buf);
-    stream.write_all(&buf).is_ok()
+/// Per-connection (threaded backend) or per-reactor (event loop)
+/// ingest scratch: the batch-frame items vector the fast-path decoder
+/// fills in place, plus the response encode buffer the threaded
+/// backend reuses across frames. Both grow to their high-water mark
+/// once and then serve every further frame allocation-free.
+#[derive(Debug, Default)]
+struct IngestScratch {
+    /// `decode_batch_into` target; capacity is amortized to the
+    /// largest batch seen (at most `MAX_BATCH_ITEMS`).
+    items: Vec<(u64, u64)>,
+    /// Response encode buffer (threaded backend; the reactor pools
+    /// outbox buffers per connection instead).
+    out: Vec<u8>,
+}
+
+fn send(stream: &mut TcpStream, buf: &mut Vec<u8>, rsp: &Response) -> bool {
+    buf.clear();
+    rsp.encode(buf);
+    stream.write_all(buf).is_ok()
 }
 
 fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
@@ -521,7 +536,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = stream;
     let process = ProcessId(conn);
     // The connection's writer state, per object: for a CountMin, a
     // shard lease acquired lazily on first update and held (single
@@ -529,48 +544,81 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
     // when write buffering is on.
     let mut updater = WriterSet::new(shared);
     let mut applied: u64 = 0;
-    loop {
-        let payload = match protocol::read_frame(&mut reader, shared.cfg.max_frame_len) {
-            Ok(Some(p)) => p,
-            Ok(None) => break, // clean EOF
-            Err(e @ WireError::Oversized { .. }) => {
-                // The announced payload was never consumed; the stream
-                // cannot be resynchronized. Report and close.
-                shared.metrics.record_protocol_error();
-                let _ = send(
-                    &mut writer,
-                    &Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: e.to_string(),
-                    },
-                );
-                break;
-            }
-            Err(_) => break, // truncated or connection gone
-        };
-        shared.metrics.record_frame();
-        let request = match Request::decode(&payload) {
-            Ok(r) => r,
-            Err(e) => {
-                // The frame was length-delimited, so the stream is
-                // still in sync: answer and keep serving.
-                shared.metrics.record_protocol_error();
-                if !send(
-                    &mut writer,
-                    &Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: e.to_string(),
-                    },
-                ) {
-                    break;
+    // Resumable decoder + reusable scratch: the steady-state frame
+    // loop below performs no heap allocation — bytes land in the
+    // decoder's ring, batch items land in `scratch.items`, responses
+    // encode into `scratch.out`.
+    let mut decoder = FrameDecoder::new(shared.cfg.max_frame_len);
+    let mut scratch = IngestScratch::default();
+    'serve: loop {
+        // Drain every complete frame already buffered before reading
+        // more bytes from the socket.
+        loop {
+            let payload = match decoder.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(e) => {
+                    // The stream cannot be resynchronized (oversized
+                    // or zero-length prefix). Report and close.
+                    shared.metrics.record_protocol_error();
+                    let _ = send(
+                        &mut writer,
+                        &mut scratch.out,
+                        &Response::Error {
+                            code: ErrorCode::Protocol,
+                            message: e.to_string(),
+                        },
+                    );
+                    break 'serve;
                 }
-                continue;
+            };
+            shared.metrics.record_frame();
+            // Batch-frame fast path: decode straight into the reusable
+            // items vector and apply through the batch kernel, no
+            // `Request` materialized. Everything else (including a
+            // malformed batch) takes the full decoder.
+            let (response, close) = match protocol::decode_batch_into(payload, &mut scratch.items) {
+                Ok(Some(object)) => {
+                    shared.metrics.record_batch();
+                    (
+                        apply_updates(
+                            shared,
+                            &mut updater,
+                            &mut applied,
+                            process,
+                            object,
+                            &scratch.items,
+                        ),
+                        false,
+                    )
+                }
+                _ => match Request::decode(payload) {
+                    Ok(request) => {
+                        execute_request(shared, &mut updater, &mut applied, process, request)
+                    }
+                    Err(e) => {
+                        // The frame was length-delimited, so the stream
+                        // is still in sync: answer and keep serving.
+                        shared.metrics.record_protocol_error();
+                        (
+                            Response::Error {
+                                code: ErrorCode::Protocol,
+                                message: e.to_string(),
+                            },
+                            false,
+                        )
+                    }
+                },
+            };
+            if !send(&mut writer, &mut scratch.out, &response) || close {
+                break 'serve;
             }
-        };
-        let (response, close) =
-            execute_request(shared, &mut updater, &mut applied, process, request);
-        if !send(&mut writer, &response) || close {
-            break;
+        }
+        match decoder.read_from(&mut reader) {
+            Ok(0) => break, // clean EOF
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break, // connection gone
         }
     }
     // Flush any buffered updates, then return leases to their pools.
@@ -581,9 +629,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn: u32) {
     // unbounded read here would hold the socket open until the peer
     // acted.
     let _ = writer.shutdown(std::net::Shutdown::Write);
-    let _ = reader
-        .get_ref()
-        .set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let _ = reader.set_read_timeout(Some(std::time::Duration::from_millis(50)));
     let _ = reader.read(&mut [0u8; 64]);
 }
 
@@ -702,15 +748,22 @@ fn apply_updates<'a>(
         };
     }
     let start = Instant::now();
-    for &(key, weight) in items {
-        let op = shared
-            .recorder
-            .as_ref()
-            .map(|r| r.invoke_update(process, ObjectId(object), (key, weight)));
-        writer.apply(key, weight);
-        if let (Some(r), Some(op)) = (shared.recorder.as_ref(), op) {
-            r.respond_update(op);
+    if let Some(recorder) = shared.recorder.as_ref() {
+        // Recorded runs stay per-item: each update is its own history
+        // operation, so `ivl_check` replays the exact stream the
+        // client sent — batching is a transport detail the history
+        // never sees.
+        for &(key, weight) in items {
+            let op = recorder.invoke_update(process, ObjectId(object), (key, weight));
+            writer.apply(key, weight);
+            recorder.respond_update(op);
         }
+    } else if let [(key, weight)] = *items {
+        writer.apply(key, weight);
+    } else {
+        // Batch kernel: coalesced, one hashing sweep, row-major cell
+        // touches (per-object override; the default loops `apply`).
+        writer.apply_batch(items);
     }
     shared
         .metrics

@@ -25,8 +25,8 @@
 //! all its connections and is flushed before the lease returns at
 //! drain, so graceful shutdown loses no acknowledged update.
 
-use super::{execute_request, Shared, WriterSet};
-use crate::protocol::{ErrorCode, FrameDecoder, Request, Response};
+use super::{apply_updates, execute_request, IngestScratch, Shared, WriterSet};
+use crate::protocol::{self, ErrorCode, FrameDecoder, Request, Response, WireError};
 use ivl_spec::history::ProcessId;
 use polling::{Event, PollMode, Poller};
 use std::collections::{HashMap, VecDeque};
@@ -44,6 +44,11 @@ const HIGH_WATERMARK: usize = 256 * 1024;
 
 /// Buffers per vectored write.
 const MAX_IOVS: usize = 16;
+
+/// Retired response buffers kept per connection for reuse; beyond
+/// this they drop. Matches `MAX_IOVS`, the most buffers one flush can
+/// retire at once.
+const SPARE_RESPONSES: usize = 16;
 
 /// The listener's key in the accept thread's poller.
 const LISTENER_KEY: usize = 0;
@@ -185,6 +190,10 @@ struct Conn {
     /// Our write side is shut down; discarding peer bytes until EOF
     /// so the final frames are not clobbered by a reset.
     draining: bool,
+    /// Retired response buffers (cleared, capacity kept): a
+    /// steady-state request/response exchange reuses these instead of
+    /// allocating a fresh outbox buffer per response.
+    spare: Vec<Vec<u8>>,
 }
 
 impl Conn {
@@ -205,27 +214,32 @@ impl Conn {
             peer_closed: false,
             closing: false,
             draining: false,
+            spare: Vec::new(),
         }
     }
 
     fn enqueue(&mut self, rsp: &Response) {
-        let mut buf = Vec::new();
+        let mut buf = self.spare.pop().unwrap_or_default();
         rsp.encode(&mut buf);
         self.queued += buf.len();
         self.outbox.push_back(buf);
     }
 
     /// Vectored write until the outbox empties or the socket blocks;
-    /// returns whether any bytes moved.
+    /// returns whether any bytes moved. The iovec array lives on the
+    /// stack ([`IoSlice`] is `Copy`), so flushing allocates nothing.
     fn flush(&mut self) -> io::Result<bool> {
+        const EMPTY: &[u8] = &[];
         let mut wrote = false;
         while !self.outbox.is_empty() && self.write_ready {
-            let mut iovs: Vec<IoSlice<'_>> = Vec::with_capacity(self.outbox.len().min(MAX_IOVS));
+            let mut iovs = [IoSlice::new(EMPTY); MAX_IOVS];
+            let mut n_iovs = 0;
             for (i, buf) in self.outbox.iter().take(MAX_IOVS).enumerate() {
                 let skip = if i == 0 { self.cursor } else { 0 };
-                iovs.push(IoSlice::new(&buf[skip..]));
+                iovs[i] = IoSlice::new(&buf[skip..]);
+                n_iovs = i + 1;
             }
-            match self.stream.write_vectored(&iovs) {
+            match self.stream.write_vectored(&iovs[..n_iovs]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => {
                     self.consume(n);
@@ -239,7 +253,8 @@ impl Conn {
         Ok(wrote)
     }
 
-    /// Advances the outbox cursor past `n` written bytes.
+    /// Advances the outbox cursor past `n` written bytes, retiring
+    /// fully written buffers into the spare pool for reuse.
     fn consume(&mut self, mut n: usize) {
         self.queued -= n;
         while n > 0 {
@@ -252,7 +267,11 @@ impl Conn {
             if n >= front_left {
                 n -= front_left;
                 self.cursor = 0;
-                self.outbox.pop_front();
+                let mut buf = self.outbox.pop_front().expect("front exists");
+                if self.spare.len() < SPARE_RESPONSES {
+                    buf.clear();
+                    self.spare.push(buf);
+                }
             } else {
                 self.cursor += n;
                 n = 0;
@@ -269,6 +288,9 @@ fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
     // local update buffer when write buffering is on) — held until
     // the reactor drains.
     let mut writer = WriterSet::new(shared);
+    // Shared across this reactor's connections: the batch-frame fast
+    // path decodes into it, one frame at a time.
+    let mut scratch = IngestScratch::default();
     let mut conns: HashMap<usize, Conn> = HashMap::new();
     let mut next_key = LISTENER_KEY + 1;
     let mut events: Vec<Event> = Vec::new();
@@ -317,7 +339,7 @@ fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
         }
         for &key in &run {
             let alive = match conns.get_mut(&key) {
-                Some(conn) => pump(shared, &mut writer, conn),
+                Some(conn) => pump(shared, &mut writer, &mut scratch, conn),
                 None => continue,
             };
             if !alive {
@@ -355,7 +377,18 @@ fn reactor_loop(shared: &Shared, mailbox: &Mailbox) {
 /// whether it stays alive. The cycle is flush → decode/execute →
 /// read, repeated, so a response generated this pass still reaches
 /// the wire this pass when the socket allows.
-fn pump<'a>(shared: &'a Shared, writer: &mut WriterSet<'a>, conn: &mut Conn) -> bool {
+fn pump<'a>(
+    shared: &'a Shared,
+    writer: &mut WriterSet<'a>,
+    scratch: &mut IngestScratch,
+    conn: &mut Conn,
+) -> bool {
+    /// One decoded frame: either the batch fast path (items already
+    /// in the reactor scratch) or a fully materialized request.
+    enum Step {
+        Batch(u32),
+        Full(Result<Request, WireError>),
+    }
     loop {
         let mut progressed = match conn.flush() {
             Ok(wrote) => wrote,
@@ -364,8 +397,16 @@ fn pump<'a>(shared: &'a Shared, writer: &mut WriterSet<'a>, conn: &mut Conn) -> 
         // Decode and execute buffered frames while under the write
         // watermark.
         while !conn.closing && conn.queued < HIGH_WATERMARK {
-            let decoded = match conn.decoder.next_frame() {
-                Ok(Some(payload)) => Request::decode(payload),
+            let step = match conn.decoder.next_frame() {
+                // Batch-frame fast path: decode straight into the
+                // reusable items vector, no `Request` materialized.
+                // Anything else — including a malformed batch — goes
+                // through the full decoder.
+                Ok(Some(payload)) => match protocol::decode_batch_into(payload, &mut scratch.items)
+                {
+                    Ok(Some(object)) => Step::Batch(object),
+                    _ => Step::Full(Request::decode(payload)),
+                },
                 Ok(None) => break,
                 Err(e) => {
                     // Oversized or empty prefix: the stream cannot be
@@ -383,8 +424,20 @@ fn pump<'a>(shared: &'a Shared, writer: &mut WriterSet<'a>, conn: &mut Conn) -> 
             };
             shared.metrics.record_frame();
             progressed = true;
-            match decoded {
-                Ok(request) => {
+            match step {
+                Step::Batch(object) => {
+                    shared.metrics.record_batch();
+                    let response = apply_updates(
+                        shared,
+                        writer,
+                        &mut conn.applied,
+                        conn.process,
+                        object,
+                        &scratch.items,
+                    );
+                    conn.enqueue(&response);
+                }
+                Step::Full(Ok(request)) => {
                     let (response, close) =
                         execute_request(shared, writer, &mut conn.applied, conn.process, request);
                     conn.enqueue(&response);
@@ -392,7 +445,7 @@ fn pump<'a>(shared: &'a Shared, writer: &mut WriterSet<'a>, conn: &mut Conn) -> 
                         conn.closing = true;
                     }
                 }
-                Err(e) => {
+                Step::Full(Err(e)) => {
                     // Length-delimited, so still in sync: answer and
                     // keep serving.
                     shared.metrics.record_protocol_error();

@@ -88,6 +88,69 @@ impl PairwiseHash {
     pub fn range(&self) -> u64 {
         self.w
     }
+
+    /// [`hash_reduced`](Self::hash_reduced) with the final `% w`
+    /// strength-reduced through a precomputed [`FastMod`]: identical
+    /// output (the batch-kernel proptests and [`FastMod`]'s own tests
+    /// pin this), no hardware divide on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `wmod` was not built for this
+    /// hash's `w`.
+    #[inline]
+    pub fn hash_reduced_fast(&self, xr: u64, wmod: &FastMod) -> usize {
+        debug_assert!(xr < MERSENNE_61, "input must be pre-reduced");
+        debug_assert_eq!(wmod.divisor(), self.w, "FastMod divisor mismatch");
+        let ax = (self.a as u128) * (xr as u128) + self.b as u128;
+        wmod.rem(mod_mersenne61(ax)) as usize
+    }
+}
+
+/// Exact strength-reduced `x % w` for a fixed divisor
+/// (Granlund–Montgomery / Lemire direct-remainder): a 128-bit magic
+/// `m = ⌈2^128 / w⌉` is precomputed once, after which a remainder is
+/// two multiplies — `(m·x mod 2^128) · w / 2^128` — instead of a
+/// hardware divide. Exact for every `x: u64` and `w ≥ 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct FastMod {
+    w: u64,
+    m: u128,
+}
+
+impl FastMod {
+    /// Precomputes the magic for divisor `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is 0.
+    pub fn new(w: u64) -> Self {
+        assert!(w > 0, "divisor must be positive");
+        // ⌈2^128 / w⌉ computed as ⌊(2^128 − 1) / w⌋ + 1; for w = 1
+        // this wraps to 0, and m·x mod 2^128 = 0 ⇒ rem = 0 = x % 1.
+        FastMod {
+            w,
+            m: (u128::MAX / w as u128).wrapping_add(1),
+        }
+    }
+
+    /// The divisor this magic was built for.
+    pub fn divisor(&self) -> u64 {
+        self.w
+    }
+
+    /// `x % w`, exactly.
+    #[inline]
+    pub fn rem(&self, x: u64) -> u64 {
+        let low = self.m.wrapping_mul(x as u128);
+        // High 64 bits of the 128×64 product `low · w`, i.e.
+        // ⌊low · w / 2^128⌋: split low = hi·2^64 + lo and note the
+        // discarded fraction of `lo·w` can never carry past the floor.
+        let w = self.w as u128;
+        let hi = (low >> 64) * w;
+        let lo = (low & u64::MAX as u128) * w;
+        ((hi + (lo >> 64)) >> 64) as u64
+    }
 }
 
 /// A pairwise-independent ±1 sign hash (one bit of a fresh
@@ -197,6 +260,63 @@ mod tests {
         let s = SignHash::draw(&mut coins);
         let pos = (0..10_000u64).filter(|&x| s.sign(x) == 1).count();
         assert!((4000..6000).contains(&pos), "got {pos} positive signs");
+    }
+
+    #[test]
+    fn fastmod_matches_hardware_remainder() {
+        let divisors = [
+            1u64,
+            2,
+            3,
+            7,
+            16,
+            61,
+            2719,
+            65_536,
+            (1 << 31) - 1,
+            u32::MAX as u64,
+            MERSENNE_61,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        // Deterministic xorshift64* covers x across the whole u64 range.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut samples = vec![0u64, 1, 2, u64::MAX, u64::MAX - 1, MERSENNE_61];
+        for _ in 0..4_000 {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            samples.push(x.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        }
+        for &w in &divisors {
+            let f = FastMod::new(w);
+            assert_eq!(f.divisor(), w);
+            for &s in &samples {
+                assert_eq!(f.rem(s), s % w, "x={s} w={w}");
+            }
+            // Boundary values around the divisor itself.
+            for s in [w.wrapping_sub(1), w, w.wrapping_add(1)] {
+                assert_eq!(f.rem(s), s % w, "x={s} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_reduced_fast_matches_hash_reduced() {
+        let mut coins = CoinFlips::from_seed(8);
+        for w in [1u64, 2, 63, 64, 2719, 100_003] {
+            let h = PairwiseHash::draw(&mut coins, w);
+            let f = FastMod::new(w);
+            for x in [0u64, 1, 7, 12345, MERSENNE_61 - 1, u64::MAX / 3] {
+                let xr = PairwiseHash::reduce(x);
+                assert_eq!(
+                    h.hash_reduced_fast(xr, &f),
+                    h.hash_reduced(xr),
+                    "x={x} w={w}"
+                );
+            }
+        }
     }
 
     #[test]

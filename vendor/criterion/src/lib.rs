@@ -98,16 +98,42 @@ pub struct BenchResult {
 #[derive(Debug)]
 pub struct Criterion {
     quick: bool,
+    filter: Option<String>,
     results: Vec<BenchResult>,
+}
+
+/// Extracts the shim's CLI knobs from a bench binary's argument list:
+/// `--quick`, plus real criterion's positional substring filter (the
+/// first argument that is neither a flag nor a flag's value — the only
+/// value-taking flag the workspace benches define is `--json FILE`).
+fn parse_args(args: impl Iterator<Item = String>) -> (bool, Option<String>) {
+    let mut quick = false;
+    let mut filter = None;
+    let mut skip_value = false;
+    for arg in args.skip(1) {
+        if skip_value {
+            skip_value = false;
+        } else if arg == "--quick" {
+            quick = true;
+        } else if arg == "--json" {
+            skip_value = true;
+        } else if !arg.starts_with('-') && filter.is_none() {
+            filter = Some(arg);
+        }
+    }
+    (quick, filter)
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        // Real criterion accepts `--quick` on the bench binary's
-        // command line; honor the same spelling so CI smoke runs can
-        // shrink sample counts without a shim-specific flag.
+        // Real criterion accepts `--quick` and a positional substring
+        // filter on the bench binary's command line; honor the same
+        // spellings so CI smoke runs and local iteration need no
+        // shim-specific flags.
+        let (quick, filter) = parse_args(std::env::args());
         Criterion {
-            quick: std::env::args().any(|a| a == "--quick"),
+            quick,
+            filter,
             results: Vec::new(),
         }
     }
@@ -214,6 +240,16 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.parent.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
         // One warm-up sample, then `sample_size` measured samples
         // (clamped to 3 under `--quick`).
         let samples = if self.parent.quick {
@@ -240,11 +276,6 @@ impl BenchmarkGroup<'_> {
             iters += 1;
         }
         let per_iter = total.as_secs_f64() / iters.max(1) as f64;
-        let label = if self.name.is_empty() {
-            id.to_owned()
-        } else {
-            format!("{}/{}", self.name, id)
-        };
         let mut elems_per_sec = None;
         match self.throughput {
             Some(Throughput::Elements(n)) => {
@@ -299,8 +330,60 @@ mod tests {
     use super::*;
 
     #[test]
+    fn parse_args_extracts_quick_and_filter() {
+        let argv = |args: &[&str]| {
+            parse_args(
+                std::iter::once("bench-bin".to_owned()).chain(args.iter().map(|s| s.to_string())),
+            )
+        };
+        assert_eq!(argv(&[]), (false, None));
+        assert_eq!(argv(&["--quick", "--bench"]), (true, None));
+        assert_eq!(
+            argv(&["--quick", "batch_kernel"]),
+            (true, Some("batch_kernel".to_owned()))
+        );
+        // `--json` consumes its value; the filter is the next free arg.
+        assert_eq!(
+            argv(&["--json", "out.json", "skew"]),
+            (false, Some("skew".to_owned()))
+        );
+        // Only the first free argument filters.
+        assert_eq!(argv(&["a", "b"]), (false, Some("a".to_owned())));
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        let mut c = Criterion {
+            quick: true,
+            filter: Some("keep".to_owned()),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = Vec::new();
+        group.bench_function("keep/this", |b| {
+            ran.push("keep");
+            b.iter(|| 1 + 1);
+        });
+        group.bench_function("drop/this", |b| {
+            ran.push("drop");
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        drop(group);
+        assert_eq!(ran, ["keep"; 4]); // warm-up + 3 quick samples
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].label, "g/keep/this");
+    }
+
+    #[test]
     fn group_runs_benches_and_reports() {
-        let mut c = Criterion::default();
+        // Built explicitly: `Default` reads the *test* binary's argv,
+        // and a libtest filter argument would become a bench filter.
+        let mut c = Criterion {
+            quick: false,
+            filter: None,
+            results: Vec::new(),
+        };
         let mut group = c.benchmark_group("shim");
         group.sample_size(2).throughput(Throughput::Elements(10));
         let mut calls = 0;
