@@ -5,6 +5,7 @@
 //!                [--ops N] [--keys N] [--queries N] [--batch N]
 //!                [--shards N] [--write-buffer B] [--mix SPEC]
 //!                [--replicas N] [--mode partition|mirror]
+//!                [--query-ratio R] [--no-delta]
 //!                [--addr HOST:PORT] [--json FILE] [--history-out FILE]
 //!                [--shutdown] [--no-check]
 //! ```
@@ -56,9 +57,19 @@
 //! sub-batch to its replica, mirror attributes every batch to every
 //! replica, and queries respond with the merged read's per-part
 //! observed weights — replayable with `ivl_check --replicated`.
+//!
+//! `--query-ratio R` sizes the query load so queries make up fraction
+//! `R` of all operations (overriding `--queries`) — the query-heavy
+//! mixes where the group's delta-cached merged reads pay off. The
+//! replicated report then carries merged-read accounting: how the
+//! snapshot roundtrips split across `unchanged`/delta/full replies
+//! and the bytes they moved, in text and under `"merged_reads"` in
+//! `--json`. `--no-delta` turns the querier's delta cache off (every
+//! merged read fetches full snapshots), giving the like-for-like
+//! wire-byte baseline the delta path is judged against.
 
 use ivl_bench::{mops, timed_scope, Worker};
-use ivl_replica::{ReplicaError, ReplicaGroup, ReplicaMode};
+use ivl_replica::{DeltaStats, ReplicaError, ReplicaGroup, ReplicaMode};
 use ivl_service::objects::{ObjectConfig, ObjectKind};
 use ivl_service::server::{serve, Backend, ServerConfig};
 use ivl_service::{Client, ClientError, ErrorCode, ErrorEnvelope, StatsReport};
@@ -187,6 +198,8 @@ struct Opts {
     mix: Vec<MixEntry>,
     replicas: usize,
     replica_mode: ReplicaMode,
+    query_ratio: Option<f64>,
+    delta_reads: bool,
     check: bool,
     addr: Option<String>,
     json: Option<String>,
@@ -208,6 +221,8 @@ impl Default for Opts {
             mix: parse_mix("cm").expect("default mix parses"),
             replicas: 0,
             replica_mode: ReplicaMode::Partition,
+            query_ratio: None,
+            delta_reads: true,
             check: true,
             addr: None,
             json: None,
@@ -233,6 +248,14 @@ fn parse() -> Option<Opts> {
             "--mix" => o.mix = parse_mix(&args.next()?)?,
             "--replicas" => o.replicas = num()? as usize,
             "--mode" => o.replica_mode = args.next()?.parse().ok()?,
+            "--query-ratio" => {
+                let r = args.next()?.parse::<f64>().ok()?;
+                if !(0.0..1.0).contains(&r) {
+                    return None;
+                }
+                o.query_ratio = Some(r);
+            }
+            "--no-delta" => o.delta_reads = false,
             "--no-check" => o.check = false,
             "--shutdown" => o.shutdown = true,
             "--backend" => {
@@ -246,6 +269,13 @@ fn parse() -> Option<Opts> {
             "--history-out" => o.history_out = Some(args.next()?),
             _ => return None,
         }
+    }
+    // `--query-ratio R` sizes the querying connection's load so that
+    // queries make up fraction R of all operations: with U total
+    // updates, Q = U·R/(1−R) queries, overriding `--queries`.
+    if let Some(r) = o.query_ratio {
+        let total_updates = o.ops * o.threads as u64;
+        o.queries = ((total_updates as f64) * r / (1.0 - r)).round() as u64;
     }
     Some(o)
 }
@@ -336,6 +366,10 @@ struct RunOutcome {
     query_ns: Tail,
     objects: Vec<ObjLat>,
     stats: StatsReport,
+    /// Merged-read snapshot accounting (replicated runs only): how the
+    /// group's reads split across unchanged/delta/full replies and
+    /// what they cost on the wire.
+    merged_reads: Option<DeltaStats>,
 }
 
 impl RunOutcome {
@@ -352,13 +386,28 @@ impl RunOutcome {
                 )
             })
             .collect();
+        let merged_reads = match &self.merged_reads {
+            Some(d) => format!(
+                ",\n      \"merged_reads\": {{\"reads\": {}, \"unchanged\": {}, \
+                 \"deltas\": {}, \"fulls\": {}, \"unchanged_rate\": {:.4}, \
+                 \"bytes_out\": {}, \"bytes_in\": {}}}",
+                d.reads,
+                d.unchanged,
+                d.deltas,
+                d.fulls,
+                d.unchanged_rate(),
+                d.bytes_out,
+                d.bytes_in,
+            ),
+            None => String::new(),
+        };
         format!(
             "    {{\n      \"backend\": \"{}\",\n      \"ingest_conns\": {},\n      \
              \"total_updates\": {},\n      \"queries\": {},\n      \"wall_s\": {:.6},\n      \
              \"throughput_mops\": {:.4},\n      \"batch_ns\": {},\n      \"query_ns\": {},\n      \
              \"objects\": [{}],\n      \
              \"server\": {{\"busy_rejections\": {}, \"frames\": {}, \"wakeups\": {}, \
-             \"ready_peak\": {}}}\n    }}",
+             \"ready_peak\": {}}}{}\n    }}",
             self.backend,
             self.ingest_conns,
             self.total_updates,
@@ -372,6 +421,7 @@ impl RunOutcome {
             self.stats.frames,
             self.stats.wakeups,
             self.stats.ready_peak,
+            merged_reads,
         )
     }
 }
@@ -742,6 +792,7 @@ fn run_in_process(o: &Opts, backend: Backend, conns: usize) -> Result<RunOutcome
         query_ns,
         objects,
         stats,
+        merged_reads: None,
     })
 }
 
@@ -801,6 +852,7 @@ fn run_external(o: &Opts, addr_text: &str) -> Result<RunOutcome, String> {
         query_ns,
         objects,
         stats,
+        merged_reads: None,
     })
 }
 
@@ -1011,10 +1063,13 @@ fn replicated_query(
     replica_lat: &[Samples],
     recorders: Option<&Vec<ClientRecorder>>,
     process: ProcessId,
+    delta_reads: bool,
+    delta_out: &Mutex<DeltaStats>,
 ) {
     let n = addrs.len();
     let mut group =
         ReplicaGroup::new(addrs.to_vec(), mode, seed_group).expect("non-empty replica group");
+    group.set_delta_reads(delta_reads);
     let mut direct: Vec<Client> = addrs
         .iter()
         .map(|a| Client::connect(a.parse::<SocketAddr>().expect("replica addr")))
@@ -1063,12 +1118,20 @@ fn replicated_query(
     for (lat, local) in replica_lat.iter().zip(replica_local) {
         lat.push_all(local);
     }
+    *delta_out.lock().unwrap() = group.delta_stats();
 }
 
 /// Boots `n` in-process replicas sharing a seed and drives them
 /// through per-worker [`ReplicaGroup`]s. Overall tails are the merged
 /// group latencies; the per-"object" rows are per-replica tails.
-fn run_replicated(o: &Opts, backend: Backend, n: usize) -> Result<RunOutcome, String> {
+/// `delta_reads` false runs the full-snapshot merged-read baseline
+/// (labelled `-full`) the delta path is compared against.
+fn run_replicated(
+    o: &Opts,
+    backend: Backend,
+    n: usize,
+    delta_reads: bool,
+) -> Result<RunOutcome, String> {
     let mode = o.replica_mode;
     let plan = MixPlan::in_process(&o.mix);
     let handles: Vec<_> = (0..n)
@@ -1128,9 +1191,11 @@ fn run_replicated(o: &Opts, backend: Backend, n: usize) -> Result<RunOutcome, St
         })
         .collect();
     let (queries, keys, threads) = (o.queries, o.keys, o.threads);
+    let delta_out = Mutex::new(DeltaStats::default());
     {
         let (addrs, plan) = (&addrs, &plan);
         let (mlat, rlat, rec) = (&merged_query, &replica_query, recorders.as_ref());
+        let delta_out = &delta_out;
         workers.push(Box::new(move || {
             replicated_query(
                 addrs,
@@ -1143,10 +1208,13 @@ fn run_replicated(o: &Opts, backend: Backend, n: usize) -> Result<RunOutcome, St
                 rlat,
                 rec,
                 ProcessId(threads as u32),
+                delta_reads,
+                delta_out,
             );
         }));
     }
     let wall = timed_scope(workers);
+    let merged_reads = delta_out.into_inner().unwrap();
 
     let batch_ns = Tail::of(&merged_batch.sorted());
     let query_ns = Tail::of(&merged_query.sorted());
@@ -1159,7 +1227,11 @@ fn run_replicated(o: &Opts, backend: Backend, n: usize) -> Result<RunOutcome, St
         });
     }
 
-    let label = format!("replicated-{mode}-x{n}");
+    let label = if delta_reads {
+        format!("replicated-{mode}-x{n}")
+    } else {
+        format!("replicated-{mode}-x{n}-full")
+    };
     report_named(
         &label,
         o.threads,
@@ -1170,6 +1242,19 @@ fn run_replicated(o: &Opts, backend: Backend, n: usize) -> Result<RunOutcome, St
         query_ns,
     );
     report_objects(&label, &objects);
+    if merged_reads.reads > 0 {
+        println!(
+            "[{label}] merged reads: {} snapshot roundtrips ({} unchanged, {} delta, \
+             {} full; unchanged-rate {:.2}), wire {} B out + {} B in",
+            merged_reads.reads,
+            merged_reads.unchanged,
+            merged_reads.deltas,
+            merged_reads.fulls,
+            merged_reads.unchanged_rate(),
+            merged_reads.bytes_out,
+            merged_reads.bytes_in,
+        );
+    }
 
     // Aggregate server-side counters across the replicas; keep the
     // first replica's latency histograms (they are not summable).
@@ -1212,6 +1297,7 @@ fn run_replicated(o: &Opts, backend: Backend, n: usize) -> Result<RunOutcome, St
         query_ns,
         objects,
         stats,
+        merged_reads: Some(merged_reads),
     })
 }
 
@@ -1336,14 +1422,15 @@ fn run(o: &Opts) -> Result<(), String> {
             // layer's own overhead from the fan-out/merge cost.
             let first = runs.len();
             if o.replicas > 1 {
-                runs.push(run_replicated(o, backend, 1)?);
+                runs.push(run_replicated(o, backend, 1, o.delta_reads)?);
             }
-            runs.push(run_replicated(o, backend, o.replicas)?);
+            runs.push(run_replicated(o, backend, o.replicas, o.delta_reads)?);
             if o.replicas > 1 {
                 let (one, many) = (&runs[first], &runs[first + 1]);
                 println!(
                     "compare 1 vs {} replicas ({}): batch p99 {} ns -> {} ns, \
-                     query p99 {} ns -> {} ns (merge-on-query over {} snapshots)",
+                     query p99 {} ns -> {} ns (merge-on-query over {} snapshots); \
+                     merged query p50 {} ns vs single-replica {} ns ({:.1}x)",
                     o.replicas,
                     o.replica_mode,
                     one.batch_ns.p99,
@@ -1351,7 +1438,31 @@ fn run(o: &Opts) -> Result<(), String> {
                     one.query_ns.p99,
                     many.query_ns.p99,
                     o.replicas,
+                    many.query_ns.p50,
+                    one.query_ns.p50,
+                    many.query_ns.p50 as f64 / one.query_ns.p50.max(1) as f64,
                 );
+            }
+            // The full-snapshot baseline: the same query-heavy load
+            // with the delta cache off, so the wire-byte savings of
+            // the `SNAPSHOT_SINCE` path are measured like-for-like
+            // (and committed alongside it in `--json`).
+            if o.replicas > 1 && o.delta_reads {
+                let delta_at = runs.len() - 1;
+                runs.push(run_replicated(o, backend, o.replicas, false)?);
+                let (d, f) = (&runs[delta_at], runs.last().expect("just pushed"));
+                if let (Some(d), Some(f)) = (&d.merged_reads, &f.merged_reads) {
+                    let total_d = d.bytes_out + d.bytes_in;
+                    let total_f = f.bytes_out + f.bytes_in;
+                    println!(
+                        "compare merged-read wire bytes over {} reads: delta {} B \
+                         vs full {} B ({:.1}x fewer)",
+                        d.reads,
+                        total_d,
+                        total_f,
+                        total_f as f64 / total_d.max(1) as f64,
+                    );
+                }
             }
         }
     }
@@ -1364,8 +1475,9 @@ fn main() -> ExitCode {
             "usage: loadgen [--backend threaded|event-loop|both] [--threads N] \
              [--ops N] [--keys N] [--queries N] [--batch N] [--shards N] \
              [--write-buffer B] [--mix cm=8,hll=1,morris=1] [--replicas N] \
-             [--mode partition|mirror] [--addr HOST:PORT] [--json FILE] \
-             [--history-out FILE] [--shutdown] [--no-check]"
+             [--mode partition|mirror] [--query-ratio R] [--no-delta] \
+             [--addr HOST:PORT] [--json FILE] [--history-out FILE] \
+             [--shutdown] [--no-check]"
         );
         return ExitCode::from(1);
     };

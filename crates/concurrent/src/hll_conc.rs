@@ -12,7 +12,7 @@
 
 use ivl_sketch::hll::HyperLogLog;
 use ivl_sketch::CoinFlips;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 /// A shared HyperLogLog sketch.
 #[derive(Debug)]
@@ -21,6 +21,19 @@ pub struct ConcurrentHll {
     /// same deterministic algorithm as the sequential sketch).
     proto: HyperLogLog,
     registers: Vec<AtomicU8>,
+    /// Update epoch: bumped (`fetch_add`, multi-writer) only by
+    /// updates that actually raised a register, so an unchanged epoch
+    /// means an unchanged register vector — the `Unchanged` fast path
+    /// of delta snapshots. The bump follows the register's
+    /// `fetch_max`; a reader that observes the bump (`Acquire`)
+    /// therefore sees the raised register.
+    epoch: AtomicU64,
+    /// Cumulative dirty register range `[lo, hi)`: `fetch_min`/
+    /// `fetch_max` widened by raising updates, never narrowed — a
+    /// delta reader over-approximates (registers outside the range
+    /// still hold their initial 0).
+    dirty_lo: AtomicU32,
+    dirty_hi: AtomicU32,
 }
 
 impl ConcurrentHll {
@@ -36,13 +49,56 @@ impl ConcurrentHll {
         ConcurrentHll {
             proto,
             registers: (0..m).map(|_| AtomicU8::new(0)).collect(),
+            epoch: AtomicU64::new(0),
+            dirty_lo: AtomicU32::new(m as u32),
+            dirty_hi: AtomicU32::new(0),
         }
     }
 
-    /// Observes `item`: one `fetch_max` on its register.
+    /// Observes `item`: one `fetch_max` on its register. When the
+    /// register actually rises, the dirty range widens over it and the
+    /// update epoch is bumped (duplicates stay RMW-free beyond the
+    /// `fetch_max` itself).
     pub fn update(&self, item: u64) {
         let (idx, rank) = self.proto.route(item);
-        self.registers[idx].fetch_max(rank, Ordering::AcqRel);
+        let prev = self.registers[idx].fetch_max(rank, Ordering::AcqRel);
+        if prev < rank {
+            self.dirty_lo.fetch_min(idx as u32, Ordering::AcqRel);
+            self.dirty_hi.fetch_max(idx as u32 + 1, Ordering::AcqRel);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// The sketch's update epoch (`Acquire`): monotone, equal across
+    /// two reads only if the register vector is unchanged between
+    /// them.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The cumulative dirty register range `[lo, hi)` (`Acquire`);
+    /// `lo >= hi` means no register was ever raised. Registers outside
+    /// the range still hold their initial 0.
+    pub fn dirty_range(&self) -> (u32, u32) {
+        (
+            self.dirty_lo.load(Ordering::Acquire),
+            self.dirty_hi.load(Ordering::Acquire),
+        )
+    }
+
+    /// Loads the registers in `[lo, hi)` (`Acquire` each), appending
+    /// to `out` — the sparse read backing a delta snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on an out-of-range span.
+    pub fn registers_range_into(&self, lo: usize, hi: usize, out: &mut Vec<u8>) {
+        debug_assert!(hi <= self.registers.len() && lo <= hi);
+        out.extend(
+            self.registers[lo..hi]
+                .iter()
+                .map(|r| r.load(Ordering::Acquire)),
+        );
     }
 
     /// Loads the register vector.
@@ -177,5 +233,39 @@ mod tests {
             hll.update(x);
         }
         assert_eq!(hll.indicator(), before);
+    }
+
+    #[test]
+    fn epoch_moves_only_on_raising_updates_and_range_covers_them() {
+        let mut coins = CoinFlips::from_seed(5);
+        let hll = ConcurrentHll::new(8, &mut coins);
+        assert_eq!(hll.epoch(), 0);
+        let (lo, hi) = hll.dirty_range();
+        assert!(lo >= hi, "clean sketch has no dirty range");
+        for x in 0..100u64 {
+            hll.update(x);
+        }
+        let e = hll.epoch();
+        assert!(e > 0, "raising updates must bump the epoch");
+        // Duplicates raise nothing: epoch frozen.
+        for x in 0..100u64 {
+            hll.update(x);
+        }
+        assert_eq!(hll.epoch(), e, "duplicate updates must not bump the epoch");
+        // Every nonzero register sits inside the dirty range, and the
+        // range read matches the full snapshot's slice.
+        let snap = hll.registers_snapshot();
+        let (lo, hi) = hll.dirty_range();
+        for (idx, &r) in snap.iter().enumerate() {
+            if r != 0 {
+                assert!(
+                    (lo as usize) <= idx && idx < hi as usize,
+                    "raised register {idx} outside dirty range [{lo}, {hi})"
+                );
+            }
+        }
+        let mut ranged = Vec::new();
+        hll.registers_range_into(lo as usize, hi as usize, &mut ranged);
+        assert_eq!(ranged, snap[lo as usize..hi as usize]);
     }
 }

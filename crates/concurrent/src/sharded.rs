@@ -25,7 +25,68 @@ use crate::{ConcurrentSketch, SketchHandle};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hash::PairwiseHash;
 use ivl_sketch::CoinFlips;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Per-shard delta-snapshot metadata, written only by the shard's
+/// single writer (the same ownership discipline as the cells): a
+/// shard-local update epoch, plus per row the cumulative `[lo, hi)`
+/// span of columns ever touched and the epoch of the row's last touch.
+///
+/// Spans are *cumulative* — they widen and never reset — so a reader
+/// diffing against an older epoch over-approximates the dirty set
+/// (extra columns resent, never a changed column missed): a column
+/// changed after the base epoch was touched by some op, and that op's
+/// span widen and row-epoch stamp are ordered before its epoch bump.
+/// Writer order per op is cells → spans → row epochs → shard epoch
+/// (all stores `Release`); a reader that loads the shard epoch (or a
+/// row epoch) with `Acquire` therefore sees every span and cell the
+/// ops it observed wrote.
+#[derive(Debug)]
+struct ShardMeta {
+    /// Shard-local op counter; bumped once per update/batch applied.
+    epoch: AtomicU64,
+    /// Per-row cumulative touched-column span start (inclusive);
+    /// starts at `width` (empty span).
+    span_lo: Vec<AtomicU32>,
+    /// Per-row cumulative touched-column span end (exclusive).
+    span_hi: Vec<AtomicU32>,
+    /// Per-row shard-local epoch of the last touch (0 = never).
+    row_epoch: Vec<AtomicU64>,
+}
+
+impl ShardMeta {
+    fn new(depth: usize, width: usize) -> Self {
+        ShardMeta {
+            epoch: AtomicU64::new(0),
+            span_lo: (0..depth).map(|_| AtomicU32::new(width as u32)).collect(),
+            span_hi: (0..depth).map(|_| AtomicU32::new(0)).collect(),
+            row_epoch: (0..depth).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Single-writer: widens `row`'s cumulative span to cover
+    /// `[lo, hi)` and stamps the row as touched at `epoch`.
+    fn touch_row(&self, row: usize, lo: u32, hi: u32, epoch: u64) {
+        if lo < self.span_lo[row].load(Ordering::Relaxed) {
+            self.span_lo[row].store(lo, Ordering::Release);
+        }
+        if hi > self.span_hi[row].load(Ordering::Relaxed) {
+            self.span_hi[row].store(hi, Ordering::Release);
+        }
+        self.row_epoch[row].store(epoch, Ordering::Release);
+    }
+
+    /// Single-writer: the epoch the in-progress op will commit as.
+    fn next_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed) + 1
+    }
+
+    /// Single-writer: publishes the op (ordered after its cell stores
+    /// and row touches).
+    fn commit(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
 
 /// A sharded concurrent CountMin (one sub-matrix per handle).
 ///
@@ -57,6 +118,9 @@ pub struct ShardedPcm {
     hashes: Vec<PairwiseHash>,
     /// One padded [`CellArena`] per shard.
     shards: Vec<CellArena>,
+    /// One [`ShardMeta`] per shard (epoch + dirty spans), same
+    /// single-writer ownership as the matching arena.
+    meta: Vec<ShardMeta>,
     /// Single-writer ownership flags, one per shard. [`handle`]
     /// acquires a shard permanently; [`ShardedPcm::lease`] returns it
     /// on drop so serving layers can recycle shards across
@@ -97,6 +161,9 @@ impl ShardedPcm {
             hashes: proto.hashes().to_vec(),
             shards: (0..shards)
                 .map(|_| CellArena::new(params.depth, params.width))
+                .collect(),
+            meta: (0..shards)
+                .map(|_| ShardMeta::new(params.depth, params.width))
                 .collect(),
             in_use: (0..shards).map(|_| AtomicBool::new(false)).collect(),
         }
@@ -202,18 +269,95 @@ impl ShardedPcm {
         }
         out
     }
+
+    /// The sketch's update epoch: the sum of per-shard op counters
+    /// (each `Acquire`-loaded). Monotone, and bumped only by ops that
+    /// may change cell values — so an unchanged epoch means an
+    /// unchanged summed matrix, which is what lets a snapshot server
+    /// answer "since epoch e" with a tiny `Unchanged` frame.
+    pub fn epoch(&self) -> u64 {
+        self.meta
+            .iter()
+            .map(|m| m.epoch.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Appends the per-shard epoch vector (the decomposition of
+    /// [`epoch`](Self::epoch)) to `out`. A snapshot server remembers
+    /// this vector per served epoch so a later
+    /// [`dirty_spans_since`](Self::dirty_spans_since) can diff per
+    /// shard.
+    pub fn shard_epochs_into(&self, out: &mut Vec<u64>) {
+        out.extend(self.meta.iter().map(|m| m.epoch.load(Ordering::Acquire)));
+    }
+
+    /// For each row, the union across shards of the cumulative
+    /// touched-column spans of shards whose row was touched after the
+    /// per-shard base epoch `base` (as captured by
+    /// [`shard_epochs_into`](Self::shard_epochs_into)). Rows clean
+    /// since `base` come back with an empty span (`lo >= hi`).
+    ///
+    /// The answer over-approximates (cumulative spans never narrow)
+    /// but never misses: a column changed after `base` was written by
+    /// an op whose span widen and row stamp precede its epoch bump,
+    /// and that bump is not yet in `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base.len()` differs from the shard count.
+    pub fn dirty_spans_since(&self, base: &[u64]) -> Vec<(u32, u32)> {
+        assert_eq!(base.len(), self.meta.len(), "one base epoch per shard");
+        let (depth, width) = (self.params.depth, self.params.width);
+        let mut spans = vec![(width as u32, 0u32); depth];
+        for (meta, &since) in self.meta.iter().zip(base) {
+            for (row, span) in spans.iter_mut().enumerate() {
+                if meta.row_epoch[row].load(Ordering::Acquire) > since {
+                    span.0 = span.0.min(meta.span_lo[row].load(Ordering::Acquire));
+                    span.1 = span.1.max(meta.span_hi[row].load(Ordering::Acquire));
+                }
+            }
+        }
+        spans
+    }
+
+    /// Appends the summed (across shards) cell values of `row`'s
+    /// columns `[lo, hi)` to `out` — the sparse read backing a delta
+    /// snapshot, same per-cell `Acquire` IVL semantics as
+    /// [`cells_snapshot`](Self::cells_snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on an out-of-range row or span.
+    pub fn sum_row_range_into(&self, row: usize, lo: usize, hi: usize, out: &mut Vec<u64>) {
+        debug_assert!(row < self.params.depth && hi <= self.params.width && lo <= hi);
+        let at = out.len();
+        out.resize(at + (hi - lo), 0);
+        for shard in &self.shards {
+            let cells = shard.row_cells(row);
+            for (slot, col) in out[at..].iter_mut().zip(lo..hi) {
+                *slot += cells.cell(col).load(Ordering::Acquire);
+            }
+        }
+    }
 }
 
 /// Single-writer add of `count` at one pre-hashed column per row:
 /// plain load + `Release` store per cell — no RMW, the shard has
 /// exactly one writer. The shared body of [`ShardHandle::update_by`],
-/// [`ShardLease::update_by`] and [`ShardLease::apply_rows`].
-fn add_at_cols(arena: &CellArena, cols: impl Iterator<Item = usize>, count: u64) {
+/// [`ShardLease::update_by`] and [`ShardLease::apply_rows`]. Folds the
+/// touched columns into the shard's delta metadata (span widen + row
+/// stamp per row, one epoch store per call — still store-only).
+fn add_at_cols(parent: &ShardedPcm, shard: usize, cols: impl Iterator<Item = usize>, count: u64) {
+    let arena = &parent.shards[shard];
+    let meta = &parent.meta[shard];
+    let epoch = meta.next_epoch();
     for (row, col) in cols.enumerate() {
         let cell = arena.cell(row, col);
         let cur = cell.load(Ordering::Relaxed);
         cell.store(cur + count, Ordering::Release);
+        meta.touch_row(row, col as u32, col as u32 + 1, epoch);
     }
+    meta.commit(epoch);
 }
 
 /// Single-writer updater over one shard.
@@ -238,8 +382,7 @@ impl ShardHandle<'_> {
     /// pass into the handle's scratch buffer.
     pub fn update_by(&mut self, item: u64, count: u64) {
         PairwiseHash::hash_row_batch(&self.parent.hashes, item, &mut self.scratch);
-        let m = &self.parent.shards[self.shard];
-        add_at_cols(m, self.scratch.iter().copied(), count);
+        add_at_cols(self.parent, self.shard, self.scratch.iter().copied(), count);
     }
 }
 
@@ -271,8 +414,7 @@ impl ShardLease<'_> {
     /// buffer.
     pub fn update_by(&mut self, item: u64, count: u64) {
         PairwiseHash::hash_row_batch(&self.parent.hashes, item, &mut self.scratch);
-        let m = &self.parent.shards[self.shard];
-        add_at_cols(m, self.scratch.iter().copied(), count);
+        add_at_cols(self.parent, self.shard, self.scratch.iter().copied(), count);
     }
 
     /// Applies a whole frame of `(item, count)` pairs to the leased
@@ -288,6 +430,8 @@ impl ShardLease<'_> {
     pub fn apply_batch(&mut self, items: &[(u64, u64)], scratch: &mut BatchScratch) {
         let n = scratch.prepare(&self.parent.hashes, items);
         let m = &self.parent.shards[self.shard];
+        let meta = &self.parent.meta[self.shard];
+        let epoch = meta.next_epoch();
         for row in 0..self.parent.params.depth {
             let cells = m.row_cells(row);
             let cols = scratch.row_cols(row);
@@ -306,6 +450,21 @@ impl ShardLease<'_> {
                 let cur = cell.load(Ordering::Relaxed);
                 cell.store(cur + counts[e], Ordering::Release);
             }
+            if n > 0 {
+                // One span widen per row for the whole frame: the
+                // coalesced columns' min/max, folded in after the cell
+                // stores so a reader that sees the row stamp sees the
+                // cells too.
+                let (mut lo, mut hi) = (cols[0], cols[0]);
+                for &c in &cols[1..n] {
+                    lo = lo.min(c);
+                    hi = hi.max(c);
+                }
+                meta.touch_row(row, lo, hi + 1, epoch);
+            }
+        }
+        if n > 0 {
+            meta.commit(epoch);
         }
     }
 
@@ -321,8 +480,12 @@ impl ShardLease<'_> {
     /// [`ShardedPcm::hashes`].
     pub fn apply_rows(&mut self, cols: &[u32], count: u64) {
         debug_assert_eq!(cols.len(), self.parent.params.depth);
-        let m = &self.parent.shards[self.shard];
-        add_at_cols(m, cols.iter().map(|&c| c as usize), count);
+        add_at_cols(
+            self.parent,
+            self.shard,
+            cols.iter().map(|&c| c as usize),
+            count,
+        );
     }
 }
 
@@ -496,6 +659,76 @@ mod tests {
             cm.update_by(k % 5, 1);
         }
         assert_eq!(sharded.cells_snapshot(), cm.cells());
+    }
+
+    #[test]
+    fn epoch_tracks_updates_and_dirty_spans_cover_touches() {
+        let mut coins = CoinFlips::from_seed(9);
+        let sharded = ShardedPcm::new(params(), 2, &mut coins);
+        assert_eq!(sharded.epoch(), 0);
+        let mut base = Vec::new();
+        sharded.shard_epochs_into(&mut base);
+        assert_eq!(base, vec![0, 0]);
+        // Nothing written: every span is empty.
+        for (lo, hi) in sharded.dirty_spans_since(&base) {
+            assert!(lo >= hi, "clean sketch has no dirty span");
+        }
+        {
+            let mut a = sharded.lease().expect("shard free");
+            a.update_by(3, 10);
+            a.update_by(11, 5);
+        }
+        assert_eq!(sharded.epoch(), 2, "one epoch bump per update");
+        let spans = sharded.dirty_spans_since(&base);
+        // Every row was touched; each span must cover both keys' cols.
+        for (row, h) in sharded.hashes().iter().enumerate() {
+            let (lo, hi) = spans[row];
+            for key in [3u64, 11] {
+                let col = h.hash_reduced(PairwiseHash::reduce(key)) as u32;
+                assert!(lo <= col && col < hi, "row {row} span misses col {col}");
+            }
+        }
+        // The sparse range read agrees with the full snapshot.
+        let full = sharded.cells_snapshot();
+        for (row, &(lo, hi)) in spans.iter().enumerate() {
+            let mut got = Vec::new();
+            sharded.sum_row_range_into(row, lo as usize, hi as usize, &mut got);
+            assert_eq!(got, full[row * 64 + lo as usize..row * 64 + hi as usize]);
+        }
+        // Diffing against the current epoch vector reports clean rows.
+        let mut now = Vec::new();
+        sharded.shard_epochs_into(&mut now);
+        for (lo, hi) in sharded.dirty_spans_since(&now) {
+            assert!(lo >= hi, "no rows touched since the current epoch");
+        }
+    }
+
+    #[test]
+    fn batch_kernel_folds_spans_and_bumps_epoch_once() {
+        let mut coins = CoinFlips::from_seed(10);
+        let sharded = ShardedPcm::new(params(), 1, &mut coins);
+        let mut base = Vec::new();
+        sharded.shard_epochs_into(&mut base);
+        let mut scratch = BatchScratch::new(4);
+        {
+            let mut l = sharded.lease().expect("shard free");
+            l.apply_batch(&[(1, 2), (2, 3), (1, 1)], &mut scratch);
+        }
+        assert_eq!(sharded.epoch(), 1, "one epoch bump per batch frame");
+        let spans = sharded.dirty_spans_since(&base);
+        for (row, h) in sharded.hashes().iter().enumerate() {
+            let (lo, hi) = spans[row];
+            for key in [1u64, 2] {
+                let col = h.hash_reduced(PairwiseHash::reduce(key)) as u32;
+                assert!(lo <= col && col < hi, "row {row} span misses col {col}");
+            }
+        }
+        // An empty frame changes nothing.
+        {
+            let mut l = sharded.lease().expect("shard free");
+            l.apply_batch(&[], &mut scratch);
+        }
+        assert_eq!(sharded.epoch(), 1, "empty batch must not bump the epoch");
     }
 
     #[test]

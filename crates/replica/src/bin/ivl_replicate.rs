@@ -26,7 +26,9 @@
 
 use ivl_replica::{ReplicaError, ReplicaGroup, ReplicaMode};
 use ivl_service::protocol::{self, read_frame};
-use ivl_service::{ClientError, ErrorCode, Metrics, ObjectSnapshot, Request, Response};
+use ivl_service::{
+    ClientError, DeltaChange, ErrorCode, Metrics, ObjectSnapshot, Request, Response, SnapshotDelta,
+};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
@@ -175,6 +177,28 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
                             object: merged.object,
                             kind: merged.kind,
                             state: merged.state,
+                            envelope: merged.envelope,
+                        })
+                    }
+                    Err(e) => wire_error(e),
+                }
+            }
+            Request::SnapshotSince { object, .. } => {
+                // The frontend keeps no composite epoch bookkeeping,
+                // so it never answers `Unchanged` or a sparse delta:
+                // every SNAPSHOT_SINCE gets the full merged state —
+                // a legal reply at any base (a group stacked on this
+                // frontend just sees no delta savings across the hop).
+                let start = Instant::now();
+                match group.snapshot_merged(object) {
+                    Ok(merged) => {
+                        shared.metrics.record_query(start.elapsed().as_nanos());
+                        let epoch = merged.envelope.observed();
+                        Response::SnapshotDelta(SnapshotDelta {
+                            object: merged.object,
+                            kind: merged.kind,
+                            epoch,
+                            change: DeltaChange::Full(merged.state),
                             envelope: merged.envelope,
                         })
                     }

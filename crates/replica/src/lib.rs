@@ -40,6 +40,21 @@
 //! both envelope sides (`ε` for a possible double count, `lag` for a
 //! possible miss).
 //!
+//! **Delta reads.** Merged queries do not re-pull full state: the
+//! group keeps one cached snapshot per replica per object, keyed to
+//! the connection generation, and asks each replica `SNAPSHOT_SINCE`
+//! its cached epoch. A quiescent replica answers a tiny `Unchanged`
+//! frame; an active one answers a sparse delta that patches the cache
+//! in place; a merged accumulator absorbs the patches so a read on a
+//! quiescent group re-merges nothing. Staleness is IVL-quantified, not
+//! refused: a replica that stops answering keeps contributing its
+//! cached cells, with the frequency `lag` widened by the weight that
+//! may have landed there since the cache was taken. A reconnect (new
+//! [`Client::generation`]) invalidates the replica's cache before a
+//! base epoch is chosen, so no delta is ever applied across
+//! connections; servers predating `SNAPSHOT_SINCE` are detected by
+//! their `Protocol` refusal and served full snapshots thereafter.
+//!
 //! **Merge safety.** Replicas may only be merged if they sampled the
 //! same hash functions — the same `--seed` and object roster. Every
 //! snapshot carries a probe fingerprint of its hashes; the group
@@ -54,7 +69,8 @@
 
 use ivl_service::{
     cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, Client, ClientError, ComposeError,
-    Envelope, ErrorEnvelope, ObjectInfo, ObjectKind, ObjectSnapshot, SnapshotState, WireError,
+    DeltaChange, Envelope, ErrorCode, ErrorEnvelope, ObjectInfo, ObjectKind, ObjectSnapshot,
+    SnapshotDelta, SnapshotState, WireError,
 };
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hll::HyperLogLog;
@@ -169,15 +185,18 @@ pub struct MergedRead {
     /// The composed envelope (estimate re-derived from merged state
     /// for CountMin and HLL).
     pub envelope: ErrorEnvelope,
-    /// Per-replica acknowledged update weight at its snapshot
-    /// (`None` = unreachable, excluded from the merge).
+    /// Per-replica acknowledged update weight at the state that merged
+    /// (`None` = nothing to contribute: unreachable with no cached
+    /// state).
     pub parts: Vec<Option<u64>>,
-    /// Replicas included in the merge.
+    /// Replicas that answered this round (a cached replica can still
+    /// contribute without being reached — its staleness widens `lag`).
     pub reached: usize,
     /// Replicas configured.
     pub total: usize,
-    /// Recorded update weight of the unreachable replicas — the
-    /// amount the frequency envelope's `lag` was widened by.
+    /// Acknowledged weight possibly invisible to this read — missing
+    /// replicas' recorded counts plus cached-but-silent replicas'
+    /// overhang — the amount the frequency `lag` was widened by.
     pub missing_observed: u64,
 }
 
@@ -239,6 +258,88 @@ enum Proto {
     Hll(HyperLogLog),
 }
 
+/// Cumulative accounting for the delta-read path (and for full
+/// gathers, so `--no-delta` runs compare like for like).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Snapshot roundtrips that returned (delta or full).
+    pub reads: u64,
+    /// Replies that were `Unchanged` — the epoch fast path.
+    pub unchanged: u64,
+    /// Replies that were a sparse delta (CountMin runs / HLL range).
+    pub deltas: u64,
+    /// Replies that carried full state (no cache, evicted base, delta
+    /// not worth it, or a non-delta-capable replica).
+    pub fulls: u64,
+    /// Request bytes those roundtrips wrote, frame prefixes included.
+    pub bytes_out: u64,
+    /// Response bytes they read, frame prefixes included.
+    pub bytes_in: u64,
+}
+
+impl DeltaStats {
+    /// Fraction of snapshot roundtrips answered `Unchanged` (0 when
+    /// none happened).
+    pub fn unchanged_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.unchanged as f64 / self.reads as f64
+        }
+    }
+}
+
+/// One replica's cached snapshot of one object — the delta base.
+#[derive(Debug)]
+struct CachedSnapshot {
+    /// [`Client::generation`] of the connection the cache was read
+    /// over. A cache from another generation is never used as a base.
+    generation: u64,
+    /// The replica's update epoch at cache time (`u64::MAX` for caches
+    /// filled over plain `SNAPSHOT`, which carries no epoch — such a
+    /// cache still merges but never serves as a delta base).
+    epoch: u64,
+    /// The cached state and envelope.
+    snapshot: ObjectSnapshot,
+}
+
+/// The persistent merged accumulator: per-replica patches fold into it
+/// so a read on a quiescent group re-merges nothing.
+#[derive(Debug)]
+enum MergedCells {
+    Cm {
+        width: u32,
+        depth: u32,
+        hash_fp: u64,
+        cells: Vec<u64>,
+    },
+    Hll {
+        hash_fp: u64,
+        registers: Vec<u8>,
+    },
+}
+
+/// What one replica's refresh did to its cache.
+enum RefreshOutcome {
+    /// Stayed unreachable; the cache (if any) is served stale.
+    Unreachable,
+    /// Epoch fast path: cells untouched, envelope refreshed.
+    Unchanged,
+    /// A sparse delta patched the cache; fold `PatchOp` into the
+    /// accumulator.
+    Patched(PatchOp),
+    /// Full state replaced the cache; the accumulator must rebuild.
+    Replaced,
+}
+
+/// An accumulator-foldable patch: old and new values of the cells a
+/// delta overwrote (partition subtracts old and adds new; mirror and
+/// HLL max the new value in).
+enum PatchOp {
+    CmCells(Vec<(usize, u64, u64)>),
+    HllRange { lo: usize, registers: Vec<u8> },
+}
+
 /// Why a single-replica write did not succeed.
 enum SendFailure {
     /// No connection could be established (nothing was sent — safe to
@@ -263,6 +364,18 @@ pub struct ReplicaGroup {
     clients: Vec<Option<Client>>,
     ledgers: Vec<Ledger>,
     protos: HashMap<u32, Proto>,
+    /// Per-replica, per-object cached snapshots — the delta bases.
+    caches: Vec<HashMap<u32, CachedSnapshot>>,
+    /// Per-object merged accumulator over the caches.
+    accums: HashMap<u32, MergedCells>,
+    /// Cleared for a replica the first time it refuses
+    /// `SNAPSHOT_SINCE` with a `Protocol` error (a pre-delta server);
+    /// it is served plain full snapshots from then on.
+    supports_delta: Vec<bool>,
+    /// Whether merged reads use the delta path at all (`--no-delta`
+    /// benchmarking flips this off).
+    delta_reads: bool,
+    delta_stats: DeltaStats,
 }
 
 /// splitmix64 finalizer — scrambles keys before the `% n` partition
@@ -307,6 +420,11 @@ impl ReplicaGroup {
             clients: (0..n).map(|_| None).collect(),
             ledgers: (0..n).map(|_| Ledger::default()).collect(),
             protos: HashMap::new(),
+            caches: (0..n).map(|_| HashMap::new()).collect(),
+            accums: HashMap::new(),
+            supports_delta: vec![true; n],
+            delta_reads: true,
+            delta_stats: DeltaStats::default(),
         })
     }
 
@@ -334,6 +452,19 @@ impl ReplicaGroup {
     /// Sets the pause between reconnect attempts (default 20ms).
     pub fn set_backoff(&mut self, backoff: Duration) {
         self.backoff = backoff;
+    }
+
+    /// Turns the delta-cached read path off (on by default): merged
+    /// reads then pull full snapshots every time, as before
+    /// `SNAPSHOT_SINCE` existed — the baseline the wire-byte savings
+    /// are measured against.
+    pub fn set_delta_reads(&mut self, enabled: bool) {
+        self.delta_reads = enabled;
+    }
+
+    /// Cumulative snapshot-read accounting (deltas and fulls alike).
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.delta_stats
     }
 
     /// Drops the held connection to replica `i` (if any). The next
@@ -370,7 +501,15 @@ impl ReplicaGroup {
             let mut attempts_left = self.retry_limit;
             loop {
                 match Client::connect(self.addrs[i].as_str()) {
-                    Ok(c) => {
+                    Ok(mut c) => {
+                        // The group does its own retrying in `read_on`
+                        // (with a *new* client, hence a new
+                        // generation). The client's internal
+                        // reconnect-and-resend must stay off: it would
+                        // resend a delta base chosen under the old
+                        // generation over a connection whose epochs may
+                        // mean something else.
+                        c.set_reconnect_limit(0);
                         self.clients[i] = Some(c);
                         break;
                     }
@@ -552,18 +691,610 @@ impl ReplicaGroup {
     fn gather(&mut self, object: u32) -> Result<Vec<Option<ObjectSnapshot>>, ReplicaError> {
         let mut parts = Vec::with_capacity(self.addrs.len());
         for i in 0..self.addrs.len() {
-            let snap = self.read_on(i, |c| c.snapshot(object))?;
-            if let Some(s) = &snap {
+            let got = self.read_on(i, move |c| {
+                let (out0, in0) = c.wire_bytes();
+                let snap = c.snapshot(object)?;
+                let (out1, in1) = c.wire_bytes();
+                Ok((snap, out1 - out0, in1 - in0))
+            })?;
+            let snap = got.map(|(s, bytes_out, bytes_in)| {
+                self.delta_stats.reads += 1;
+                self.delta_stats.fulls += 1;
+                self.delta_stats.bytes_out += bytes_out;
+                self.delta_stats.bytes_in += bytes_in;
                 self.ledgers[i]
                     .last_seen
                     .insert(object, s.envelope.observed());
-            }
+                s
+            });
             parts.push(snap);
         }
         if parts.iter().all(Option::is_none) {
             return Err(ReplicaError::AllUnreachable { what: "snapshot" });
         }
         Ok(parts)
+    }
+
+    /// Refreshes every replica's cached snapshot of `object` over the
+    /// delta protocol and folds the changes into the merged
+    /// accumulator. Returns which replicas answered this round.
+    fn refresh(&mut self, object: u32) -> Result<Vec<bool>, ReplicaError> {
+        let r = self.refresh_inner(object);
+        if r.is_err() {
+            // An abandoned refresh may have patched caches without
+            // folding the accumulator; drop it so the next read
+            // rebuilds from the caches instead of silently drifting.
+            self.accums.remove(&object);
+        }
+        r
+    }
+
+    /// Drops every connection in `sent[from..]` that still holds an
+    /// unread pipelined reply, so a stale frame is never read as the
+    /// answer to a later request.
+    fn drop_unread(&mut self, sent: &[bool], from: usize) {
+        for (j, &pending) in sent.iter().enumerate().skip(from) {
+            if pending {
+                self.clients[j] = None;
+            }
+        }
+    }
+
+    fn refresh_inner(&mut self, object: u32) -> Result<Vec<bool>, ReplicaError> {
+        let n = self.addrs.len();
+        let mut outcomes: Vec<Option<RefreshOutcome>> = (0..n).map(|_| None).collect();
+        // Phase 1: pipeline the `SNAPSHOT_SINCE` sends over every
+        // already-live delta-capable connection, so the steady-state
+        // merged read costs one roundtrip total instead of one per
+        // replica. Cold or failed connections fall through to the
+        // sequential pass below.
+        let mut sent = vec![false; n];
+        for (i, sent_flag) in sent.iter_mut().enumerate() {
+            if !(self.delta_reads && self.supports_delta[i]) {
+                continue;
+            }
+            let cached = self.caches[i].get(&object).map(|c| (c.epoch, c.generation));
+            let Some(c) = self.clients[i].as_mut() else {
+                continue;
+            };
+            // Same base rule as the sequential path: only a cache from
+            // this exact connection generation may serve as the base.
+            let base = match cached {
+                Some((epoch, generation)) if generation == c.generation() => epoch,
+                _ => u64::MAX,
+            };
+            let (out0, _) = c.wire_bytes();
+            match c.send_snapshot_since(object, base) {
+                Ok(()) => {
+                    let (out1, _) = c.wire_bytes();
+                    self.delta_stats.bytes_out += out1 - out0;
+                    *sent_flag = true;
+                }
+                Err(_) => {
+                    // Dead connection: the sequential pass reconnects
+                    // (new generation, so the read goes full).
+                    self.clients[i] = None;
+                    self.ledgers[i].failures += 1;
+                }
+            }
+        }
+        // Phase 2: collect the pipelined replies in send order.
+        for i in 0..n {
+            if !sent[i] {
+                continue;
+            }
+            let (result, generation) = {
+                let c = self.clients[i].as_mut().expect("sent on a live client");
+                let generation = c.generation();
+                let (_, in0) = c.wire_bytes();
+                let r = c.recv_snapshot_delta();
+                let (_, in1) = c.wire_bytes();
+                (r.map(|delta| (delta, in1 - in0)), generation)
+            };
+            outcomes[i] = match result {
+                Ok((delta, bytes_in)) => {
+                    self.delta_stats.reads += 1;
+                    self.delta_stats.bytes_in += bytes_in;
+                    match self.apply_delta(i, object, delta, generation) {
+                        Ok(outcome) => Some(outcome),
+                        Err(e) => {
+                            self.drop_unread(&sent, i + 1);
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(e) if transient(&e) => {
+                    // A died mid-read: the sequential pass retries with
+                    // a fresh connection (full snapshot).
+                    self.clients[i] = None;
+                    self.ledgers[i].failures += 1;
+                    None
+                }
+                Err(ClientError::Server {
+                    code: ErrorCode::Protocol,
+                    ..
+                }) => {
+                    // A pre-delta server: 0x15 did not parse there.
+                    self.supports_delta[i] = false;
+                    None
+                }
+                Err(e) => {
+                    self.drop_unread(&sent, i + 1);
+                    return Err(e.into());
+                }
+            };
+        }
+        // Phase 3: anything unresolved goes through the sequential
+        // path — cold connections, failed sends or reads, pre-delta
+        // replicas.
+        let mut reached = vec![false; n];
+        let mut rebuild = false;
+        let mut patches: Vec<PatchOp> = Vec::new();
+        for (i, (flag, outcome)) in reached.iter_mut().zip(outcomes).enumerate() {
+            let outcome = match outcome {
+                Some(o) => o,
+                None => self.refresh_one(i, object)?,
+            };
+            match outcome {
+                RefreshOutcome::Unreachable => {}
+                RefreshOutcome::Unchanged => *flag = true,
+                RefreshOutcome::Patched(op) => {
+                    *flag = true;
+                    patches.push(op);
+                }
+                RefreshOutcome::Replaced => {
+                    *flag = true;
+                    rebuild = true;
+                }
+            }
+        }
+        self.fold_accum(object, rebuild, patches)?;
+        Ok(reached)
+    }
+
+    /// One replica's refresh: `SNAPSHOT_SINCE` the cached epoch when
+    /// the cache's connection generation is still live, a full
+    /// snapshot otherwise.
+    fn refresh_one(&mut self, i: usize, object: u32) -> Result<RefreshOutcome, ReplicaError> {
+        if !(self.delta_reads && self.supports_delta[i]) {
+            return self.refresh_one_full(i, object);
+        }
+        let cached = self.caches[i].get(&object).map(|c| (c.epoch, c.generation));
+        let got = self.read_on(i, move |c| {
+            // A cache from another connection generation is dead: its
+            // epoch belongs to whatever server the old connection
+            // reached. Only a live match may serve as the delta base;
+            // `u64::MAX` (never a real epoch) asks for full state.
+            let base = match cached {
+                Some((epoch, generation)) if generation == c.generation() => epoch,
+                _ => u64::MAX,
+            };
+            let (out0, in0) = c.wire_bytes();
+            let delta = c.snapshot_since(object, base)?;
+            let (out1, in1) = c.wire_bytes();
+            Ok((delta, c.generation(), out1 - out0, in1 - in0))
+        });
+        match got {
+            Ok(None) => Ok(RefreshOutcome::Unreachable),
+            Ok(Some((delta, generation, bytes_out, bytes_in))) => {
+                self.delta_stats.reads += 1;
+                self.delta_stats.bytes_out += bytes_out;
+                self.delta_stats.bytes_in += bytes_in;
+                self.apply_delta(i, object, delta, generation)
+            }
+            Err(ReplicaError::Client(ClientError::Server {
+                code: ErrorCode::Protocol,
+                ..
+            })) => {
+                // A pre-delta server: 0x15 did not parse there. Mark it
+                // and serve it plain full snapshots from now on.
+                self.supports_delta[i] = false;
+                self.refresh_one_full(i, object)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Full-snapshot refresh for replicas that cannot (or should not)
+    /// speak deltas; the cache still fills so the replica can be
+    /// served stale later, but it never becomes a delta base.
+    fn refresh_one_full(&mut self, i: usize, object: u32) -> Result<RefreshOutcome, ReplicaError> {
+        let got = self.read_on(i, move |c| {
+            let (out0, in0) = c.wire_bytes();
+            let snap = c.snapshot(object)?;
+            let (out1, in1) = c.wire_bytes();
+            Ok((snap, c.generation(), out1 - out0, in1 - in0))
+        })?;
+        let Some((snapshot, generation, bytes_out, bytes_in)) = got else {
+            return Ok(RefreshOutcome::Unreachable);
+        };
+        self.delta_stats.reads += 1;
+        self.delta_stats.fulls += 1;
+        self.delta_stats.bytes_out += bytes_out;
+        self.delta_stats.bytes_in += bytes_in;
+        self.ledgers[i]
+            .last_seen
+            .insert(object, snapshot.envelope.observed());
+        // Plain `SNAPSHOT` carries no epoch: `u64::MAX` keeps the
+        // cache mergeable without ever offering it as a base.
+        self.caches[i].insert(
+            object,
+            CachedSnapshot {
+                generation,
+                epoch: u64::MAX,
+                snapshot,
+            },
+        );
+        Ok(RefreshOutcome::Replaced)
+    }
+
+    /// Applies one `SNAPSHOT_SINCE` reply to replica `i`'s cache. The
+    /// server echoes the base it diffed from; anything that does not
+    /// line up with the cache that base came from is surfaced as a
+    /// typed mismatch, never silently patched.
+    fn apply_delta(
+        &mut self,
+        i: usize,
+        object: u32,
+        delta: SnapshotDelta,
+        generation: u64,
+    ) -> Result<RefreshOutcome, ReplicaError> {
+        self.ledgers[i]
+            .last_seen
+            .insert(object, delta.envelope.observed());
+        match delta.change {
+            DeltaChange::Full(state) => {
+                self.delta_stats.fulls += 1;
+                self.caches[i].insert(
+                    object,
+                    CachedSnapshot {
+                        generation,
+                        epoch: delta.epoch,
+                        snapshot: ObjectSnapshot {
+                            object,
+                            kind: delta.kind,
+                            state,
+                            envelope: delta.envelope,
+                        },
+                    },
+                );
+                Ok(RefreshOutcome::Replaced)
+            }
+            DeltaChange::Unchanged => {
+                self.delta_stats.unchanged += 1;
+                let Some(cache) = self.caches[i].get_mut(&object) else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica {i} answered `unchanged` with no cache to keep"
+                        ),
+                    });
+                };
+                if cache.generation != generation {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica {i} answered `unchanged` across a reconnect"
+                        ),
+                    });
+                }
+                cache.epoch = delta.epoch;
+                cache.snapshot.envelope = delta.envelope;
+                Ok(RefreshOutcome::Unchanged)
+            }
+            DeltaChange::CmRuns { base_epoch, runs } => {
+                self.delta_stats.deltas += 1;
+                let Some(cache) = self.caches[i].get_mut(&object) else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica {i} sent a delta with no cache to patch"
+                        ),
+                    });
+                };
+                if cache.generation != generation || cache.epoch != base_epoch {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica {i} diffed from base {base_epoch}, cache holds epoch {} (generation moved or server lied)",
+                            cache.epoch
+                        ),
+                    });
+                }
+                let SnapshotState::CountMin {
+                    width,
+                    depth,
+                    cells,
+                    ..
+                } = &mut cache.snapshot.state
+                else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: CountMin runs for a non-CountMin cache"),
+                    });
+                };
+                let (width, depth) = (*width as usize, *depth as usize);
+                let mut patched = Vec::new();
+                for run in runs {
+                    let (row, lo) = (run.row as usize, run.lo as usize);
+                    if row >= depth || lo + run.values.len() > width {
+                        return Err(ReplicaError::MergeMismatch {
+                            why: format!("object {object}: delta run out of bounds"),
+                        });
+                    }
+                    for (k, &value) in run.values.iter().enumerate() {
+                        let idx = row * width + lo + k;
+                        patched.push((idx, cells[idx], value));
+                        cells[idx] = value;
+                    }
+                }
+                cache.epoch = delta.epoch;
+                cache.snapshot.envelope = delta.envelope;
+                Ok(RefreshOutcome::Patched(PatchOp::CmCells(patched)))
+            }
+            DeltaChange::HllRange {
+                base_epoch,
+                lo,
+                registers,
+            } => {
+                self.delta_stats.deltas += 1;
+                let Some(cache) = self.caches[i].get_mut(&object) else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica {i} sent a delta with no cache to patch"
+                        ),
+                    });
+                };
+                if cache.generation != generation || cache.epoch != base_epoch {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!(
+                            "object {object}: replica {i} diffed from base {base_epoch}, cache holds epoch {} (generation moved or server lied)",
+                            cache.epoch
+                        ),
+                    });
+                }
+                let SnapshotState::Hll {
+                    registers: cached, ..
+                } = &mut cache.snapshot.state
+                else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: HLL range for a non-HLL cache"),
+                    });
+                };
+                let lo = lo as usize;
+                if lo + registers.len() > cached.len() {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: delta register range out of bounds"),
+                    });
+                }
+                cached[lo..lo + registers.len()].copy_from_slice(&registers);
+                cache.epoch = delta.epoch;
+                cache.snapshot.envelope = delta.envelope;
+                Ok(RefreshOutcome::Patched(PatchOp::HllRange { lo, registers }))
+            }
+        }
+    }
+
+    /// Folds this round's cache changes into the merged accumulator —
+    /// sparse patches in place; a rebuild when some replica's state was
+    /// wholesale replaced, the accumulator does not exist yet, or a
+    /// patch does not fit (resync beats guessing).
+    fn fold_accum(
+        &mut self,
+        object: u32,
+        rebuild: bool,
+        patches: Vec<PatchOp>,
+    ) -> Result<(), ReplicaError> {
+        if rebuild || (!patches.is_empty() && !self.accums.contains_key(&object)) {
+            return self.rebuild_accum(object);
+        }
+        if patches.is_empty() {
+            return Ok(());
+        }
+        let mode = self.mode;
+        let mut resync = false;
+        if let Some(accum) = self.accums.get_mut(&object) {
+            'fold: for op in &patches {
+                match (op, &mut *accum) {
+                    (PatchOp::CmCells(patch), MergedCells::Cm { cells, .. }) => {
+                        for &(idx, old, new) in patch {
+                            if idx >= cells.len() || new < old {
+                                resync = true;
+                                break 'fold;
+                            }
+                            match mode {
+                                // The accumulator is the sum over
+                                // replicas; this replica's cell moved
+                                // by `new - old` (cells are monotone
+                                // within one connection).
+                                ReplicaMode::Partition => cells[idx] += new - old,
+                                ReplicaMode::Mirror => cells[idx] = cells[idx].max(new),
+                            }
+                        }
+                    }
+                    (
+                        PatchOp::HllRange { lo, registers },
+                        MergedCells::Hll { registers: acc, .. },
+                    ) => {
+                        if lo + registers.len() > acc.len() {
+                            resync = true;
+                            break 'fold;
+                        }
+                        for (k, &b) in registers.iter().enumerate() {
+                            acc[lo + k] = acc[lo + k].max(b);
+                        }
+                    }
+                    _ => {
+                        resync = true;
+                        break 'fold;
+                    }
+                }
+            }
+        }
+        if resync {
+            return self.rebuild_accum(object);
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the merged accumulator for `object` from every cached
+    /// snapshot (scalar kinds keep no accumulator — their merge is
+    /// already O(replicas)).
+    fn rebuild_accum(&mut self, object: u32) -> Result<(), ReplicaError> {
+        let mut states: Vec<&SnapshotState> = Vec::new();
+        let mut kind = None;
+        for cache in self.caches.iter().filter_map(|m| m.get(&object)) {
+            match kind {
+                None => kind = Some(cache.snapshot.kind),
+                Some(k) if k != cache.snapshot.kind => {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: replicas disagree on object kind"),
+                    });
+                }
+                Some(_) => {}
+            }
+            states.push(&cache.snapshot.state);
+        }
+        let accum = match kind {
+            None => None,
+            Some(ObjectKind::CountMin) => {
+                let (width, depth, hash_fp, cells) = cm_merge_cells(self.mode, object, &states)?;
+                Some(MergedCells::Cm {
+                    width,
+                    depth,
+                    hash_fp,
+                    cells,
+                })
+            }
+            Some(ObjectKind::Hll) => {
+                let (hash_fp, registers) = hll_merge_registers(object, &states)?;
+                Some(MergedCells::Hll { hash_fp, registers })
+            }
+            Some(ObjectKind::Morris | ObjectKind::MinRegister) => None,
+        };
+        match accum {
+            Some(a) => {
+                self.accums.insert(object, a);
+            }
+            None => {
+                self.accums.remove(&object);
+            }
+        }
+        Ok(())
+    }
+
+    /// Composes a merged read from the caches — the fast path behind
+    /// [`query`](Self::query). `reached[i]` says whether replica `i`
+    /// answered this round; a cached-but-silent replica still
+    /// contributes its cells, with the weight that may have landed
+    /// there since the cache was taken priced into `lag`.
+    fn answer_cached(
+        &mut self,
+        object: u32,
+        key: u64,
+        reached: &[bool],
+    ) -> Result<MergedRead, ReplicaError> {
+        let n = self.addrs.len();
+        let mut kind: Option<ObjectKind> = None;
+        let mut envelopes = Vec::new();
+        let mut parts: Vec<Option<u64>> = vec![None; n];
+        let mut missing = 0u64; // unreachable with nothing cached
+        let mut stale = 0u64; // cached but silent this round
+        for i in 0..n {
+            let known = Ledger::get(&self.ledgers[i].acked, object)
+                .max(Ledger::get(&self.ledgers[i].last_seen, object));
+            match self.caches[i].get(&object) {
+                Some(cache) => {
+                    match kind {
+                        None => kind = Some(cache.snapshot.kind),
+                        Some(k) if k != cache.snapshot.kind => {
+                            return Err(ReplicaError::MergeMismatch {
+                                why: format!("object {object}: replicas disagree on object kind"),
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                    envelopes.push(cache.snapshot.envelope.clone());
+                    parts[i] = Some(cache.snapshot.envelope.observed());
+                    if !reached[i] {
+                        stale += known.saturating_sub(cache.snapshot.envelope.observed());
+                    }
+                }
+                None => missing += known,
+            }
+        }
+        let Some(kind) = kind else {
+            return Err(ReplicaError::AllUnreachable { what: "snapshot" });
+        };
+        let doubt = self.doubt(object);
+        let mirror_missed = (0..n)
+            .filter(|&i| parts[i].is_some())
+            .map(|i| Ledger::get(&self.ledgers[i].missed, object))
+            .min()
+            .unwrap_or(0);
+        let envelope = match kind {
+            ObjectKind::CountMin => {
+                let Some(MergedCells::Cm {
+                    width,
+                    depth,
+                    hash_fp,
+                    cells,
+                }) = self.accums.get(&object)
+                else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: merged accumulator lost sync with caches"),
+                    });
+                };
+                let (widen_lag, widen_eps) = match self.mode {
+                    ReplicaMode::Partition => (missing + doubt + stale, doubt),
+                    ReplicaMode::Mirror => (mirror_missed + stale, 0),
+                };
+                cm_compose(
+                    &mut self.protos,
+                    self.seed,
+                    self.mode,
+                    object,
+                    Some(key),
+                    (*width, *depth, *hash_fp),
+                    cells,
+                    &envelopes,
+                    widen_lag,
+                    widen_eps,
+                )?
+            }
+            ObjectKind::Hll => {
+                let Some(MergedCells::Hll { hash_fp, registers }) = self.accums.get(&object) else {
+                    return Err(ReplicaError::MergeMismatch {
+                        why: format!("object {object}: merged accumulator lost sync with caches"),
+                    });
+                };
+                hll_compose(
+                    &mut self.protos,
+                    self.seed,
+                    self.mode,
+                    object,
+                    *hash_fp,
+                    registers,
+                    &envelopes,
+                )?
+            }
+            ObjectKind::Morris | ObjectKind::MinRegister => {
+                let included: Vec<&ObjectSnapshot> = self
+                    .caches
+                    .iter()
+                    .filter_map(|m| m.get(&object))
+                    .map(|c| &c.snapshot)
+                    .collect();
+                let (_, envelope) = if kind == ObjectKind::Morris {
+                    merge_morris(object, &included, &envelopes, self.mode)?
+                } else {
+                    merge_min(object, &included, &envelopes, self.mode)?
+                };
+                envelope
+            }
+        };
+        Ok(MergedRead {
+            envelope,
+            reached: reached.iter().filter(|&&r| r).count(),
+            total: n,
+            parts,
+            missing_observed: missing + stale,
+        })
     }
 
     /// The weight the merge cannot see: each unreachable replica's
@@ -601,74 +1332,6 @@ impl ReplicaGroup {
             .map(|(i, _)| Ledger::get(&self.ledgers[i].missed, object))
             .min()
             .unwrap_or(0)
-    }
-
-    /// The CountMin prototype for `object`, rebuilt from the group
-    /// seed and checked against the snapshot fingerprint.
-    fn cm_proto(
-        &mut self,
-        object: u32,
-        width: u32,
-        depth: u32,
-        hash_fp: u64,
-    ) -> Result<&CountMin, ReplicaError> {
-        if !self.protos.contains_key(&object) {
-            let params = CountMinParams {
-                width: width as usize,
-                depth: depth as usize,
-            };
-            let mut coins = slot_coins(self.seed, object);
-            self.protos
-                .insert(object, Proto::Cm(CountMin::new(params, &mut coins)));
-        }
-        match self.protos.get(&object) {
-            Some(Proto::Cm(proto)) => {
-                if cm_hash_fingerprint(proto.hashes()) != hash_fp {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica CountMin coins do not match group seed {}",
-                            self.seed
-                        ),
-                    });
-                }
-                Ok(proto)
-            }
-            _ => Err(ReplicaError::MergeMismatch {
-                why: format!("object {object} changed kind across reads"),
-            }),
-        }
-    }
-
-    /// The HLL prototype for `object`, rebuilt from the group seed and
-    /// checked against the snapshot fingerprint.
-    fn hll_proto(
-        &mut self,
-        object: u32,
-        registers: usize,
-        hash_fp: u64,
-    ) -> Result<&HyperLogLog, ReplicaError> {
-        if !self.protos.contains_key(&object) {
-            let precision = registers.trailing_zeros();
-            let mut coins = slot_coins(self.seed, object);
-            self.protos
-                .insert(object, Proto::Hll(HyperLogLog::new(precision, &mut coins)));
-        }
-        match self.protos.get(&object) {
-            Some(Proto::Hll(proto)) => {
-                if hll_hash_fingerprint(proto) != hash_fp {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica HLL coins do not match group seed {}",
-                            self.seed
-                        ),
-                    });
-                }
-                Ok(proto)
-            }
-            _ => Err(ReplicaError::MergeMismatch {
-                why: format!("object {object} changed kind across reads"),
-            }),
-        }
     }
 
     /// Merges gathered snapshots into one state + composed envelope.
@@ -730,115 +1393,24 @@ impl ReplicaGroup {
         doubt: u64,
         mirror_missed: u64,
     ) -> Result<(SnapshotState, ErrorEnvelope), ReplicaError> {
-        let mut dims: Option<(u32, u32, u64)> = None;
-        let mut merged: Vec<u64> = Vec::new();
-        for snap in included {
-            let SnapshotState::CountMin {
-                width,
-                depth,
-                hash_fp,
-                cells,
-            } = &snap.state
-            else {
-                return Err(ReplicaError::MergeMismatch {
-                    why: format!("object {object}: kind tag and state disagree"),
-                });
-            };
-            match dims {
-                None => {
-                    dims = Some((*width, *depth, *hash_fp));
-                    merged = cells.clone();
-                }
-                Some(d) if d != (*width, *depth, *hash_fp) => {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica CountMin dimensions or coins disagree"
-                        ),
-                    });
-                }
-                Some(_) => {
-                    for (a, b) in merged.iter_mut().zip(cells) {
-                        match self.mode {
-                            ReplicaMode::Partition => *a += b,
-                            ReplicaMode::Mirror => *a = (*a).max(*b),
-                        }
-                    }
-                }
-            }
-        }
-        let (width, depth, hash_fp) = dims.expect("at least one included snapshot");
-        let mode = self.mode;
-        let proto = self.cm_proto(object, width, depth, hash_fp)?;
-        let estimate = key
-            .map(|k| {
-                (0..depth as usize)
-                    .map(|row| merged[proto.cell_index(row, k)])
-                    .min()
-                    .unwrap_or(0)
-            })
-            .unwrap_or(0);
-        let envelope = match mode {
-            ReplicaMode::Partition => {
-                // Compose the parts' (ε, δ, n, lag), then install the
-                // estimate derived from the merged (summed) cells and
-                // widen for what the merge cannot see.
-                let keyed: Vec<ErrorEnvelope> = envelopes
-                    .iter()
-                    .map(|e| match e {
-                        ErrorEnvelope::Frequency(env) => {
-                            let mut env = *env;
-                            env.key = key.unwrap_or(0);
-                            env.estimate = 0;
-                            ErrorEnvelope::Frequency(env)
-                        }
-                        other => other.clone(),
-                    })
-                    .collect();
-                let ErrorEnvelope::Frequency(mut acc) = ErrorEnvelope::compose(&keyed)? else {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!("object {object}: kind tag and envelope disagree"),
-                    });
-                };
-                acc.estimate = estimate;
-                // Missing substream: acknowledged weight invisible to
-                // this read — exactly what `lag` bounds. In-doubt
-                // weight may be missing *or* doubled, so it widens
-                // both sides.
-                acc.lag += missing + doubt;
-                acc.epsilon += doubt;
-                ErrorEnvelope::Frequency(acc)
-            }
-            ReplicaMode::Mirror => {
-                let freqs: Vec<&Envelope> = envelopes
-                    .iter()
-                    .filter_map(ErrorEnvelope::frequency)
-                    .collect();
-                if freqs.len() != envelopes.len() {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!("object {object}: kind tag and envelope disagree"),
-                    });
-                }
-                let head = freqs[0];
-                if freqs.iter().any(|e| e.alpha != head.alpha) {
-                    return Err(ReplicaError::Compose(ComposeError::ParamMismatch("alpha")));
-                }
-                let stream_len = freqs.iter().map(|e| e.stream_len).max().unwrap_or(0);
-                let lag = freqs.iter().map(|e| e.lag).max().unwrap_or(0);
-                let mut env = Envelope::new(
-                    key.unwrap_or(0),
-                    estimate,
-                    stream_len,
-                    head.alpha,
-                    head.delta,
-                    lag,
-                );
-                // Every included replica missed at most `missed`
-                // acknowledged weight; the max-merge undershoots by at
-                // most the smallest such miss.
-                env.lag += mirror_missed;
-                ErrorEnvelope::Frequency(env)
-            }
+        let states: Vec<&SnapshotState> = included.iter().map(|s| &s.state).collect();
+        let (width, depth, hash_fp, merged) = cm_merge_cells(self.mode, object, &states)?;
+        let (widen_lag, widen_eps) = match self.mode {
+            ReplicaMode::Partition => (missing + doubt, doubt),
+            ReplicaMode::Mirror => (mirror_missed, 0),
         };
+        let envelope = cm_compose(
+            &mut self.protos,
+            self.seed,
+            self.mode,
+            object,
+            key,
+            (width, depth, hash_fp),
+            &merged,
+            envelopes,
+            widen_lag,
+            widen_eps,
+        )?;
         let state = SnapshotState::CountMin {
             width,
             depth,
@@ -854,54 +1426,17 @@ impl ReplicaGroup {
         included: &[&ObjectSnapshot],
         envelopes: &[ErrorEnvelope],
     ) -> Result<(SnapshotState, ErrorEnvelope), ReplicaError> {
-        let mut fp: Option<u64> = None;
-        let mut merged: Vec<u8> = Vec::new();
-        for snap in included {
-            let SnapshotState::Hll { hash_fp, registers } = &snap.state else {
-                return Err(ReplicaError::MergeMismatch {
-                    why: format!("object {object}: kind tag and state disagree"),
-                });
-            };
-            match fp {
-                None => {
-                    fp = Some(*hash_fp);
-                    merged = registers.clone();
-                }
-                Some(f) if f != *hash_fp || merged.len() != registers.len() => {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!("object {object}: replica HLL precision or coins disagree"),
-                    });
-                }
-                Some(_) => {
-                    // Register-wise max is the HLL merge in both
-                    // modes (idempotent, commutative).
-                    for (a, &b) in merged.iter_mut().zip(registers) {
-                        *a = (*a).max(b);
-                    }
-                }
-            }
-        }
-        let hash_fp = fp.expect("at least one included snapshot");
-        let mode = self.mode;
-        let proto = self.hll_proto(object, merged.len(), hash_fp)?;
-        let mut seq = proto.clone();
-        seq.merge_registers(&merged);
-        let register_sum: u64 = merged.iter().map(|&b| b as u64).sum();
-        let observed =
-            envelopes
-                .iter()
-                .map(ErrorEnvelope::observed)
-                .fold(0u64, |acc, o| match mode {
-                    ReplicaMode::Partition => acc + o,
-                    ReplicaMode::Mirror => acc.max(o),
-                });
-        let envelope = ErrorEnvelope::Cardinality {
-            estimate: seq.estimate(),
-            rel_std_err: seq.standard_error(),
-            registers: merged.len() as u64,
-            register_sum,
-            observed,
-        };
+        let states: Vec<&SnapshotState> = included.iter().map(|s| &s.state).collect();
+        let (hash_fp, merged) = hll_merge_registers(object, &states)?;
+        let envelope = hll_compose(
+            &mut self.protos,
+            self.seed,
+            self.mode,
+            object,
+            hash_fp,
+            &merged,
+            envelopes,
+        )?;
         Ok((
             SnapshotState::Hll {
                 hash_fp,
@@ -917,19 +1452,26 @@ impl ReplicaGroup {
         self.merge_parts(object, None, parts)
     }
 
-    /// Answers a query for `key` on `object` by merging the reachable
-    /// replicas' snapshots — the group's read primitive.
+    /// Answers a query for `key` on `object` by merging the replicas'
+    /// states — the group's read primitive. With delta reads on (the
+    /// default) each replica is asked only what changed since its
+    /// cached epoch; quiescent replicas answer a tiny `Unchanged`
+    /// frame and the persistent accumulator re-merges nothing.
     pub fn query(&mut self, object: u32, key: u64) -> Result<MergedRead, ReplicaError> {
-        let parts = self.gather(object)?;
-        let total = parts.len();
-        let merged = self.merge_parts(object, Some(key), parts)?;
-        Ok(MergedRead {
-            reached: merged.parts.iter().flatten().count(),
-            total,
-            envelope: merged.envelope,
-            parts: merged.parts,
-            missing_observed: merged.missing_observed,
-        })
+        if !self.delta_reads {
+            let parts = self.gather(object)?;
+            let total = parts.len();
+            let merged = self.merge_parts(object, Some(key), parts)?;
+            return Ok(MergedRead {
+                reached: merged.parts.iter().flatten().count(),
+                total,
+                envelope: merged.envelope,
+                parts: merged.parts,
+                missing_observed: merged.missing_observed,
+            });
+        }
+        let reached = self.refresh(object)?;
+        self.answer_cached(object, key, &reached)
     }
 
     /// The object roster, from the first reachable replica (rosters
@@ -957,6 +1499,272 @@ impl ReplicaGroup {
         }
         acked
     }
+}
+
+/// The CountMin prototype for `object`, rebuilt from the group seed
+/// and checked against the snapshot fingerprint.
+fn cm_proto_for(
+    protos: &mut HashMap<u32, Proto>,
+    seed: u64,
+    object: u32,
+    width: u32,
+    depth: u32,
+    hash_fp: u64,
+) -> Result<&CountMin, ReplicaError> {
+    let entry = protos.entry(object).or_insert_with(|| {
+        let params = CountMinParams {
+            width: width as usize,
+            depth: depth as usize,
+        };
+        let mut coins = slot_coins(seed, object);
+        Proto::Cm(CountMin::new(params, &mut coins))
+    });
+    match entry {
+        Proto::Cm(proto) => {
+            if cm_hash_fingerprint(proto.hashes()) != hash_fp {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!(
+                        "object {object}: replica CountMin coins do not match group seed {seed}"
+                    ),
+                });
+            }
+            Ok(proto)
+        }
+        _ => Err(ReplicaError::MergeMismatch {
+            why: format!("object {object} changed kind across reads"),
+        }),
+    }
+}
+
+/// The HLL prototype for `object`, rebuilt from the group seed and
+/// checked against the snapshot fingerprint.
+fn hll_proto_for(
+    protos: &mut HashMap<u32, Proto>,
+    seed: u64,
+    object: u32,
+    registers: usize,
+    hash_fp: u64,
+) -> Result<&HyperLogLog, ReplicaError> {
+    let entry = protos.entry(object).or_insert_with(|| {
+        let precision = registers.trailing_zeros();
+        let mut coins = slot_coins(seed, object);
+        Proto::Hll(HyperLogLog::new(precision, &mut coins))
+    });
+    match entry {
+        Proto::Hll(proto) => {
+            if hll_hash_fingerprint(proto) != hash_fp {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!(
+                        "object {object}: replica HLL coins do not match group seed {seed}"
+                    ),
+                });
+            }
+            Ok(proto)
+        }
+        _ => Err(ReplicaError::MergeMismatch {
+            why: format!("object {object} changed kind across reads"),
+        }),
+    }
+}
+
+/// Cell-merges CountMin states (sum in partition, max in mirror) after
+/// checking they share dimensions and coins. Returns
+/// `(width, depth, hash_fp, merged_cells)`.
+fn cm_merge_cells(
+    mode: ReplicaMode,
+    object: u32,
+    states: &[&SnapshotState],
+) -> Result<(u32, u32, u64, Vec<u64>), ReplicaError> {
+    let mut dims: Option<(u32, u32, u64)> = None;
+    let mut merged: Vec<u64> = Vec::new();
+    for state in states {
+        let SnapshotState::CountMin {
+            width,
+            depth,
+            hash_fp,
+            cells,
+        } = state
+        else {
+            return Err(ReplicaError::MergeMismatch {
+                why: format!("object {object}: kind tag and state disagree"),
+            });
+        };
+        match dims {
+            None => {
+                dims = Some((*width, *depth, *hash_fp));
+                merged = cells.clone();
+            }
+            Some(d) if d != (*width, *depth, *hash_fp) => {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!("object {object}: replica CountMin dimensions or coins disagree"),
+                });
+            }
+            Some(_) => {
+                for (a, b) in merged.iter_mut().zip(cells) {
+                    match mode {
+                        ReplicaMode::Partition => *a += b,
+                        ReplicaMode::Mirror => *a = (*a).max(*b),
+                    }
+                }
+            }
+        }
+    }
+    let (width, depth, hash_fp) = dims.expect("at least one included snapshot");
+    Ok((width, depth, hash_fp, merged))
+}
+
+/// Composes the CountMin envelope for already-merged cells: derives
+/// the point estimate from them, composes the parts' envelopes, and
+/// widens `lag` by `widen_lag` and `ε` by `widen_eps` (the weight the
+/// merge cannot see, and the weight that may have double-counted).
+#[allow(clippy::too_many_arguments)]
+fn cm_compose(
+    protos: &mut HashMap<u32, Proto>,
+    seed: u64,
+    mode: ReplicaMode,
+    object: u32,
+    key: Option<u64>,
+    dims: (u32, u32, u64),
+    merged: &[u64],
+    envelopes: &[ErrorEnvelope],
+    widen_lag: u64,
+    widen_eps: u64,
+) -> Result<ErrorEnvelope, ReplicaError> {
+    let (width, depth, hash_fp) = dims;
+    let proto = cm_proto_for(protos, seed, object, width, depth, hash_fp)?;
+    let estimate = key
+        .map(|k| {
+            (0..depth as usize)
+                .map(|row| merged[proto.cell_index(row, k)])
+                .min()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    match mode {
+        ReplicaMode::Partition => {
+            // Compose the parts' (ε, δ, n, lag), then install the
+            // estimate derived from the merged (summed) cells and
+            // widen for what the merge cannot see.
+            let keyed: Vec<ErrorEnvelope> = envelopes
+                .iter()
+                .map(|e| match e {
+                    ErrorEnvelope::Frequency(env) => {
+                        let mut env = *env;
+                        env.key = key.unwrap_or(0);
+                        env.estimate = 0;
+                        ErrorEnvelope::Frequency(env)
+                    }
+                    other => other.clone(),
+                })
+                .collect();
+            let ErrorEnvelope::Frequency(mut acc) = ErrorEnvelope::compose(&keyed)? else {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!("object {object}: kind tag and envelope disagree"),
+                });
+            };
+            acc.estimate = estimate;
+            acc.lag += widen_lag;
+            acc.epsilon += widen_eps;
+            Ok(ErrorEnvelope::Frequency(acc))
+        }
+        ReplicaMode::Mirror => {
+            let freqs: Vec<&Envelope> = envelopes
+                .iter()
+                .filter_map(ErrorEnvelope::frequency)
+                .collect();
+            if freqs.len() != envelopes.len() {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!("object {object}: kind tag and envelope disagree"),
+                });
+            }
+            let head = freqs[0];
+            if freqs.iter().any(|e| e.alpha != head.alpha) {
+                return Err(ReplicaError::Compose(ComposeError::ParamMismatch("alpha")));
+            }
+            let stream_len = freqs.iter().map(|e| e.stream_len).max().unwrap_or(0);
+            let lag = freqs.iter().map(|e| e.lag).max().unwrap_or(0);
+            let mut env = Envelope::new(
+                key.unwrap_or(0),
+                estimate,
+                stream_len,
+                head.alpha,
+                head.delta,
+                lag,
+            );
+            // Every included replica missed at most the smallest
+            // recorded miss (plus any staleness), folded in by the
+            // caller as `widen_lag`.
+            env.lag += widen_lag;
+            env.epsilon += widen_eps;
+            Ok(ErrorEnvelope::Frequency(env))
+        }
+    }
+}
+
+/// Register-merges HLL states (max in both modes) after checking they
+/// share precision and coins. Returns `(hash_fp, merged_registers)`.
+fn hll_merge_registers(
+    object: u32,
+    states: &[&SnapshotState],
+) -> Result<(u64, Vec<u8>), ReplicaError> {
+    let mut fp: Option<u64> = None;
+    let mut merged: Vec<u8> = Vec::new();
+    for state in states {
+        let SnapshotState::Hll { hash_fp, registers } = state else {
+            return Err(ReplicaError::MergeMismatch {
+                why: format!("object {object}: kind tag and state disagree"),
+            });
+        };
+        match fp {
+            None => {
+                fp = Some(*hash_fp);
+                merged = registers.clone();
+            }
+            Some(f) if f != *hash_fp || merged.len() != registers.len() => {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!("object {object}: replica HLL precision or coins disagree"),
+                });
+            }
+            Some(_) => {
+                // Register-wise max is the HLL merge in both modes
+                // (idempotent, commutative).
+                for (a, &b) in merged.iter_mut().zip(registers) {
+                    *a = (*a).max(b);
+                }
+            }
+        }
+    }
+    Ok((fp.expect("at least one included snapshot"), merged))
+}
+
+/// Composes the cardinality envelope for already-merged HLL registers.
+fn hll_compose(
+    protos: &mut HashMap<u32, Proto>,
+    seed: u64,
+    mode: ReplicaMode,
+    object: u32,
+    hash_fp: u64,
+    merged: &[u8],
+    envelopes: &[ErrorEnvelope],
+) -> Result<ErrorEnvelope, ReplicaError> {
+    let proto = hll_proto_for(protos, seed, object, merged.len(), hash_fp)?;
+    let mut seq = proto.clone();
+    seq.merge_registers(merged);
+    let register_sum: u64 = merged.iter().map(|&b| b as u64).sum();
+    let observed = envelopes
+        .iter()
+        .map(ErrorEnvelope::observed)
+        .fold(0u64, |acc, o| match mode {
+            ReplicaMode::Partition => acc + o,
+            ReplicaMode::Mirror => acc.max(o),
+        });
+    Ok(ErrorEnvelope::Cardinality {
+        estimate: seq.estimate(),
+        rel_std_err: seq.standard_error(),
+        registers: merged.len() as u64,
+        register_sum,
+        observed,
+    })
 }
 
 /// Morris merge: envelope-level (the exponent is the state). Partition

@@ -6,7 +6,8 @@
 //! errors — never a panic, never a silently wrong merge.
 
 use ivl_service::{
-    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, ComposeError, Envelope, ErrorEnvelope,
+    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, ComposeError, DeltaChange, Envelope,
+    ErrorEnvelope, Metrics, ObjectConfig, ObjectKind, ObjectRegistry, SnapshotDelta, SnapshotState,
 };
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::{FrequencySketch, HyperLogLog};
@@ -38,6 +39,109 @@ fn truth_of(stream: &[(u64, u64)]) -> HashMap<u64, u64> {
         *t.entry(k).or_default() += w;
     }
     t
+}
+
+/// A served registry as a delta-capable replica runs it: a CountMin
+/// and an HLL sharing the group seed, zero write buffer so every
+/// update is snapshot-visible immediately.
+fn delta_registry(seed: u64) -> ObjectRegistry {
+    ObjectRegistry::build(
+        &[
+            ObjectConfig::new("cm", ObjectKind::CountMin),
+            ObjectConfig::new("hll", ObjectKind::Hll),
+        ],
+        0.005,
+        0.01,
+        2,
+        0,
+        seed,
+    )
+}
+
+/// Applies `batch` to object `id` through its ordinary write path.
+fn feed(r: &ObjectRegistry, metrics: &Metrics, id: u32, batch: &[(u64, u64)]) {
+    let obj = r.get(id).expect("registered object");
+    let mut w = obj.writer(metrics);
+    w.ensure_ready().expect("zero-buffer writer acquires");
+    for &(k, wt) in batch {
+        w.apply(k, wt);
+    }
+    w.release();
+}
+
+/// Applies a `SNAPSHOT_SINCE` reply into a client-side `(epoch, state)`
+/// cache exactly as `ReplicaGroup` does: `Unchanged` keeps the cells,
+/// runs and register ranges overwrite in place (runs carry summed
+/// values, so patching is idempotent), `Full` replaces — refusing any
+/// delta whose base epoch does not match the cache.
+fn apply_delta(
+    cache: &mut Option<(u64, SnapshotState)>,
+    delta: SnapshotDelta,
+) -> Result<(), String> {
+    match delta.change {
+        DeltaChange::Unchanged => {
+            let Some((epoch, _)) = cache else {
+                return Err("`unchanged` reply with no cache to keep".into());
+            };
+            *epoch = delta.epoch;
+        }
+        DeltaChange::CmRuns { base_epoch, runs } => {
+            let Some((
+                epoch,
+                SnapshotState::CountMin {
+                    width,
+                    depth,
+                    cells,
+                    ..
+                },
+            )) = cache
+            else {
+                return Err("cell runs against a missing or non-CountMin cache".into());
+            };
+            if *epoch != base_epoch {
+                return Err(format!(
+                    "delta diffed from base {base_epoch}, cache holds epoch {epoch}"
+                ));
+            }
+            let (w, d) = (*width as usize, *depth as usize);
+            for run in runs {
+                let (row, lo) = (run.row as usize, run.lo as usize);
+                if row >= d || lo + run.values.len() > w {
+                    return Err("delta run out of bounds".into());
+                }
+                cells[row * w + lo..row * w + lo + run.values.len()].copy_from_slice(&run.values);
+            }
+            *epoch = delta.epoch;
+        }
+        DeltaChange::HllRange {
+            base_epoch,
+            lo,
+            registers,
+        } => {
+            let Some((
+                epoch,
+                SnapshotState::Hll {
+                    registers: cached, ..
+                },
+            )) = cache
+            else {
+                return Err("register range against a missing or non-HLL cache".into());
+            };
+            if *epoch != base_epoch {
+                return Err(format!(
+                    "delta diffed from base {base_epoch}, cache holds epoch {epoch}"
+                ));
+            }
+            let lo = lo as usize;
+            if lo + registers.len() > cached.len() {
+                return Err("delta register range out of bounds".into());
+            }
+            cached[lo..lo + registers.len()].copy_from_slice(&registers);
+            *epoch = delta.epoch;
+        }
+        DeltaChange::Full(state) => *cache = Some((delta.epoch, state)),
+    }
+    Ok(())
 }
 
 proptest! {
@@ -194,5 +298,189 @@ proptest! {
             ErrorEnvelope::compose(&[]),
             Err(ComposeError::Empty)
         ));
+    }
+
+    /// Random update/delta interleavings against a served registry: a
+    /// client cache maintained purely by applying `SNAPSHOT_SINCE`
+    /// replies (unchanged / sparse runs / register ranges / full
+    /// fallback) stays cell-identical to a fresh full snapshot at
+    /// every sync point, for both the CountMin and the HLL — the
+    /// equivalence the replicated delta read path rests on. Rounds
+    /// that drop the cache (a reconnect) must be answered with a full
+    /// state, never a diff against the forgotten base.
+    #[test]
+    fn delta_applied_cache_is_cell_identical_to_full_snapshot(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec((0u64..64, 1u64..4), 0..20), any::<bool>()),
+            1..12,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let metrics = Metrics::new();
+        let r = delta_registry(seed);
+        let mut caches: Vec<Option<(u64, SnapshotState)>> = vec![None, None];
+        for (batch, drop_cache) in rounds {
+            for id in 0..2u32 {
+                feed(&r, &metrics, id, &batch);
+            }
+            for id in 0..2u32 {
+                let cache = &mut caches[id as usize];
+                if drop_cache {
+                    *cache = None;
+                }
+                let base = cache.as_ref().map_or(u64::MAX, |&(e, _)| e);
+                let delta = r.snapshot_since(id, base).expect("registered object");
+                if base == u64::MAX {
+                    prop_assert!(
+                        matches!(delta.change, DeltaChange::Full(_)),
+                        "an unknown base must be answered with a full state"
+                    );
+                }
+                if let Err(why) = apply_delta(cache, delta) {
+                    return Err(proptest::test_runner::TestCaseError::fail(why));
+                }
+                let fresh = r.snapshot(id).expect("registered object");
+                let (epoch, state) = cache.as_ref().expect("cache filled by reply");
+                prop_assert_eq!(
+                    state,
+                    &fresh.state,
+                    "delta-applied cache drifted from the full snapshot"
+                );
+                prop_assert_eq!(*epoch, r.get(id).expect("registered object").epoch());
+            }
+            // A quiet re-poll must answer `Unchanged` without touching
+            // the (already current) cached cells.
+            let delta = r.snapshot_since(0, caches[0].as_ref().expect("cached").0)
+                .expect("registered object");
+            prop_assert!(matches!(delta.change, DeltaChange::Unchanged));
+        }
+    }
+
+    /// Partitioned replicas read only through delta caches: summing
+    /// the caches' cells reproduces the single-stream CountMin exactly,
+    /// and the envelope composed from the parts' cached estimates —
+    /// with the merged-cells estimate installed, as the group serves
+    /// it — still covers the union stream's true frequencies.
+    #[test]
+    fn partitioned_delta_caches_merge_covers_union_truth(
+        stream in proptest::collection::vec((0u64..40, 1u64..4), 1..160),
+        parts in 1usize..4,
+        syncs in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let metrics = Metrics::new();
+        let replicas: Vec<ObjectRegistry> = (0..parts).map(|_| delta_registry(seed)).collect();
+        let full = delta_registry(seed);
+        let mut caches: Vec<Option<(u64, SnapshotState)>> = vec![None; parts];
+        let mut part_len = vec![0u64; parts];
+        // Feed the stream in `syncs` slices, refreshing every replica's
+        // delta cache after each slice — the interleaving a querying
+        // group actually sees.
+        let chunk = stream.len().div_ceil(syncs).max(1);
+        for (slice_at, slice) in stream.chunks(chunk).enumerate() {
+            for (j, &(k, w)) in slice.iter().enumerate() {
+                let i = (slice_at * chunk + j) % parts;
+                feed(&replicas[i], &metrics, CM_OBJECT, &[(k, w)]);
+                feed(&full, &metrics, CM_OBJECT, &[(k, w)]);
+                part_len[i] += w;
+            }
+            for (i, r) in replicas.iter().enumerate() {
+                let base = caches[i].as_ref().map_or(u64::MAX, |&(e, _)| e);
+                let delta = r.snapshot_since(CM_OBJECT, base).expect("registered object");
+                if let Err(why) = apply_delta(&mut caches[i], delta) {
+                    return Err(proptest::test_runner::TestCaseError::fail(why));
+                }
+            }
+        }
+        // Merge the caches cell-wise, as the group's accumulator does.
+        let mut dims = None;
+        let mut merged: Vec<u64> = Vec::new();
+        for cache in &caches {
+            let Some((_, SnapshotState::CountMin { width, depth, hash_fp, cells })) =
+                cache.as_ref()
+            else {
+                return Err(proptest::test_runner::TestCaseError::fail(
+                    "every replica cache holds a CountMin after syncing",
+                ));
+            };
+            match dims {
+                None => {
+                    dims = Some((*width, *depth, *hash_fp));
+                    merged = cells.clone();
+                }
+                Some(d) => {
+                    prop_assert_eq!(d, (*width, *depth, *hash_fp));
+                    for (m, c) in merged.iter_mut().zip(cells) {
+                        *m += c;
+                    }
+                }
+            }
+        }
+        let (width, depth, hash_fp) = dims.expect("at least one part");
+        let proto = CountMin::new(
+            CountMinParams {
+                width: width as usize,
+                depth: depth as usize,
+            },
+            &mut slot_coins(seed, CM_OBJECT),
+        );
+        prop_assert_eq!(cm_hash_fingerprint(proto.hashes()), hash_fp);
+        // Exactness: delta-applied part caches sum to the single-stream
+        // cells (CountMin updates are linear, so partitioning is
+        // lossless).
+        let full_snap = full.snapshot(CM_OBJECT).expect("registered object");
+        let SnapshotState::CountMin { cells: full_cells, .. } = &full_snap.state else {
+            return Err(proptest::test_runner::TestCaseError::fail(
+                "object 0 snapshots as a CountMin",
+            ));
+        };
+        prop_assert_eq!(&merged, full_cells);
+        // Coverage: compose the parts' cached-estimate envelopes and
+        // install the merged-cells estimate, as the group serves it.
+        let estimate = |cells: &[u64], k: u64| {
+            (0..depth as usize)
+                .map(|row| cells[proto.cell_index(row, k)])
+                .min()
+                .unwrap_or(0)
+        };
+        let alpha = proto.params().alpha();
+        let delta_p = proto.params().delta();
+        for (&k, &f) in &truth_of(&stream) {
+            let part_envs: Vec<ErrorEnvelope> = caches
+                .iter()
+                .enumerate()
+                .map(|(i, cache)| {
+                    let Some((_, SnapshotState::CountMin { cells, .. })) = cache.as_ref() else {
+                        unreachable!("checked above");
+                    };
+                    ErrorEnvelope::Frequency(Envelope::new(
+                        k,
+                        estimate(cells, k),
+                        part_len[i],
+                        alpha,
+                        delta_p,
+                        0,
+                    ))
+                })
+                .collect();
+            let composed = match ErrorEnvelope::compose(&part_envs) {
+                Ok(env) => env,
+                Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                    format!("same-coin parts must compose: {e}"),
+                )),
+            };
+            let Some(env) = composed.frequency() else {
+                return Err(proptest::test_runner::TestCaseError::fail(
+                    "composed frequency envelope changed kind",
+                ));
+            };
+            prop_assert_eq!(env.stream_len, stream.iter().map(|&(_, w)| w).sum::<u64>());
+            let mut installed = *env;
+            installed.estimate = estimate(&merged, k);
+            prop_assert!(
+                installed.covers(f, f),
+                "merged delta-cache estimate outside the composed envelope"
+            );
+        }
     }
 }

@@ -14,11 +14,18 @@
 
 use crate::envelope::{Envelope, ErrorEnvelope};
 use crate::metrics::StatsReport;
-use crate::objects::{ObjectInfo, ObjectSnapshot};
+use crate::objects::{ObjectInfo, ObjectSnapshot, SnapshotDelta};
 use crate::protocol::{self, ErrorCode, FrameDecoder, Request, Response, WireError};
 use std::fmt;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide generation counter: every connection a [`Client`]
+/// holds — initial or reconnected — gets a number no other connection
+/// in this process ever had, so generation equality implies "same
+/// uninterrupted connection" even across client instances.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(0);
 
 /// Errors a client call can produce.
 #[derive(Debug)]
@@ -89,6 +96,17 @@ pub struct Client {
     buf: Vec<u8>,
     /// Reconnect-and-resend attempts allowed per idempotent call.
     reconnect_limit: u32,
+    /// Replaced (from [`NEXT_GENERATION`]) on every reconnect.
+    /// Snapshot caches keyed to this connection (the replica layer's
+    /// delta bases) must be dropped when it moves: a resolved address
+    /// can land on a *different* server whose epochs mean something
+    /// else entirely, so no delta may ever be applied across a
+    /// generation change.
+    generation: u64,
+    /// Cumulative request bytes written, including frame prefixes.
+    bytes_out: u64,
+    /// Cumulative response bytes consumed, including frame prefixes.
+    bytes_in: u64,
 }
 
 impl Client {
@@ -103,6 +121,9 @@ impl Client {
             decoder: FrameDecoder::new(protocol::DEFAULT_MAX_FRAME_LEN),
             buf: Vec::new(),
             reconnect_limit: 1,
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            bytes_out: 0,
+            bytes_in: 0,
         })
     }
 
@@ -124,7 +145,24 @@ impl Client {
         stream.set_nodelay(true)?;
         self.stream = stream;
         self.decoder = FrameDecoder::new(protocol::DEFAULT_MAX_FRAME_LEN);
+        self.generation = NEXT_GENERATION.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// The connection generation: unique to this connection across the
+    /// whole process, replaced on every reconnect. A snapshot cache
+    /// recorded under one generation must not be used as a delta base
+    /// under another — equality here is proof the connection never
+    /// moved.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cumulative wire traffic as `(bytes_out, bytes_in)`, frame
+    /// prefixes included. Survives reconnects; sample before and after
+    /// a call to cost it.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        (self.bytes_out, self.bytes_in)
     }
 
     /// Whether an error means the connection died (as opposed to the
@@ -137,12 +175,21 @@ impl Client {
         )
     }
 
-    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+    /// Writes one encoded request without waiting for its reply.
+    fn send_request(&mut self, req: &Request) -> Result<(), ClientError> {
         self.buf.clear();
         req.encode(&mut self.buf);
         self.stream.write_all(&self.buf)?;
+        self.bytes_out += self.buf.len() as u64;
+        Ok(())
+    }
+
+    /// Reads the next response frame, turning a server `Error` reply
+    /// into [`ClientError::Server`].
+    fn read_response(&mut self) -> Result<Response, ClientError> {
         let rsp = loop {
             if let Some(payload) = self.decoder.next_frame()? {
+                self.bytes_in += payload.len() as u64 + 4;
                 break Response::decode(payload)?;
             }
             match self.decoder.read_from(&mut self.stream) {
@@ -156,6 +203,11 @@ impl Client {
             return Err(ClientError::Server { code, message });
         }
         Ok(rsp)
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send_request(req)?;
+        self.read_response()
     }
 
     /// [`roundtrip`](Self::roundtrip) with bounded reconnect-and-resend
@@ -208,6 +260,17 @@ impl Client {
         }
     }
 
+    fn snapshot_since_object(
+        &mut self,
+        object: u32,
+        base_epoch: u64,
+    ) -> Result<SnapshotDelta, ClientError> {
+        match self.roundtrip_idempotent(&Request::SnapshotSince { object, base_epoch })? {
+            Response::SnapshotDelta(delta) => Ok(delta),
+            _ => Err(ClientError::Unexpected("wanted SNAPSHOT_DELTA_REPLY")),
+        }
+    }
+
     /// Ingests `weight` occurrences of `key` into object 0 (the
     /// default CountMin); returns the connection's cumulative
     /// applied-update count.
@@ -235,6 +298,42 @@ impl Client {
     /// current envelope — the replication layer's read primitive.
     pub fn snapshot(&mut self, object: u32) -> Result<ObjectSnapshot, ClientError> {
         self.snapshot_object(object)
+    }
+
+    /// Asks object `object` what changed since `base_epoch` — the
+    /// delta-capable snapshot read. Pass `u64::MAX` (never a real
+    /// epoch) when holding no cached state; the reply is then a full
+    /// state. Beware reconnects: the retry inside is fine (the request
+    /// carries the base), but a cache written under an older
+    /// [`generation`](Self::generation) must be invalidated *before*
+    /// choosing `base_epoch`.
+    pub fn snapshot_since(
+        &mut self,
+        object: u32,
+        base_epoch: u64,
+    ) -> Result<SnapshotDelta, ClientError> {
+        self.snapshot_since_object(object, base_epoch)
+    }
+
+    /// Writes a `SNAPSHOT_SINCE` request without waiting for the reply
+    /// — the send half of a pipelined fan-out read across several
+    /// servers. Pair with exactly one
+    /// [`recv_snapshot_delta`](Self::recv_snapshot_delta) per
+    /// successful send, in send order. No reconnect handling on either
+    /// half: a failure means the caller retries on a fresh connection,
+    /// whose moved [`generation`](Self::generation) invalidates any
+    /// delta base chosen against this one.
+    pub fn send_snapshot_since(&mut self, object: u32, base_epoch: u64) -> Result<(), ClientError> {
+        self.send_request(&Request::SnapshotSince { object, base_epoch })
+    }
+
+    /// Reads the reply to one pipelined
+    /// [`send_snapshot_since`](Self::send_snapshot_since).
+    pub fn recv_snapshot_delta(&mut self) -> Result<SnapshotDelta, ClientError> {
+        match self.read_response()? {
+            Response::SnapshotDelta(delta) => Ok(delta),
+            _ => Err(ClientError::Unexpected("wanted SNAPSHOT_DELTA_REPLY")),
+        }
     }
 
     /// Lists the server's registered objects.
@@ -326,6 +425,12 @@ impl ObjectHandle<'_> {
     pub fn snapshot(&mut self) -> Result<ObjectSnapshot, ClientError> {
         self.client.snapshot_object(self.object)
     }
+
+    /// Asks this object what changed since `base_epoch` (see
+    /// [`Client::snapshot_since`]).
+    pub fn snapshot_since(&mut self, base_epoch: u64) -> Result<SnapshotDelta, ClientError> {
+        self.client.snapshot_since_object(self.object, base_epoch)
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +502,23 @@ mod tests {
         let env = c.query(6).unwrap();
         assert_eq!(env.key, 6);
         assert_eq!(frames.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn generations_are_process_unique_and_move_on_reconnect() {
+        let (addr, _) = half_close_fixture(2);
+        let mut c = Client::connect(addr).unwrap();
+        let g0 = c.generation();
+        c.query(5).unwrap(); // first connection half-closes → reconnect
+        let g1 = c.generation();
+        assert_ne!(g0, g1, "reconnect must move the generation");
+        let (out, inn) = c.wire_bytes();
+        assert!(out > 0 && inn > 0, "wire accounting: out={out} in={inn}");
+        // A brand-new client never reuses a generation some other
+        // connection had — equality proves "same connection".
+        let (addr2, _) = half_close_fixture(u64::MAX);
+        let d = Client::connect(addr2).unwrap();
+        assert!(d.generation() != g0 && d.generation() != g1);
     }
 
     #[test]

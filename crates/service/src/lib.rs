@@ -67,8 +67,9 @@ pub use client::{Client, ClientError, ObjectHandle};
 pub use envelope::{ComposeError, Envelope, ErrorEnvelope};
 pub use metrics::{Metrics, ObjectStats, StatsReport};
 pub use objects::{
-    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, ObjectConfig, ObjectInfo, ObjectKind,
-    ObjectRegistry, ObjectSnapshot, ObjectVerdict, ServedObject, SnapshotState,
+    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, CellRun, DeltaChange, ObjectConfig,
+    ObjectInfo, ObjectKind, ObjectRegistry, ObjectSnapshot, ObjectVerdict, ServedObject,
+    SnapshotDelta, SnapshotState,
 };
 pub use protocol::{ErrorCode, Request, Response, WireError};
 pub use server::{serve, Backend, JoinedServer, ServerConfig, ServerHandle};

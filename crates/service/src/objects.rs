@@ -52,8 +52,10 @@ use ivl_sketch::CoinFlips;
 use ivl_spec::history::History;
 use ivl_spec::ivl::check_ivl_monotone;
 use ivl_spec::spec::{MonotoneSpec, ObjectSpec};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Register precision of served HLL objects (`2^12` registers, ~1.6%
 /// standard error) — a fixed serving choice, like the CountMin taking
@@ -250,6 +252,69 @@ pub struct ObjectSnapshot {
     pub envelope: ErrorEnvelope,
 }
 
+/// One sparse overwrite run of a CountMin delta: `values` replace the
+/// client's cached cells `[lo, lo + values.len())` of `row`. Runs
+/// carry current summed cell values (not increments), so applying a
+/// delta is idempotent and never double-counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellRun {
+    /// Matrix row the run overwrites.
+    pub row: u32,
+    /// First column (inclusive) of the overwrite.
+    pub lo: u32,
+    /// The replacement cell sums.
+    pub values: Vec<u64>,
+}
+
+/// How a `SNAPSHOT_SINCE` reply changes the client's cached state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaChange {
+    /// Nothing changed since the client's base epoch: keep the cached
+    /// state (the reply still carries a fresh envelope — acknowledged
+    /// weight may move without a cell change).
+    Unchanged,
+    /// Sparse cell overwrites against a cached CountMin whose epoch is
+    /// `base_epoch`.
+    CmRuns {
+        /// The cache epoch these runs patch.
+        base_epoch: u64,
+        /// The overwrite runs (row-sparse, column-contiguous).
+        runs: Vec<CellRun>,
+    },
+    /// A register-range overwrite against a cached HLL whose epoch is
+    /// `base_epoch`: `registers` replace `[lo, lo + registers.len())`.
+    HllRange {
+        /// The cache epoch this range patches.
+        base_epoch: u64,
+        /// First register (inclusive) of the overwrite.
+        lo: u32,
+        /// The replacement register bytes.
+        registers: Vec<u8>,
+    },
+    /// A full replacement state: the client's base was unknown (or too
+    /// old to diff), or a delta would not beat the full frame.
+    Full(SnapshotState),
+}
+
+/// A `SNAPSHOT_SINCE` reply: the object's current epoch, the change
+/// against the client's base, and the envelope in force — the
+/// versioned, delta-capable sibling of [`ObjectSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotDelta {
+    /// Object id on the serving replica.
+    pub object: u32,
+    /// Object kind (decides how `change` decodes on the wire).
+    pub kind: ObjectKind,
+    /// The epoch this reply brings the client up to; the client
+    /// records it as the base of its next `SNAPSHOT_SINCE`.
+    pub epoch: u64,
+    /// The state change since the client's base.
+    pub change: DeltaChange,
+    /// The envelope at reply time (same sentinel conventions as
+    /// [`ObjectSnapshot::envelope`]).
+    pub envelope: ErrorEnvelope,
+}
+
 /// Fixed probe keys hashed by the fingerprint helpers. Two hash
 /// functions that agree on all probes are overwhelmingly likely the
 /// same sampled function; replicas built from the same seed (see
@@ -383,6 +448,27 @@ pub trait ServedObject: Send + Sync + fmt::Debug {
     /// the concurrent updates), so merging snapshots composes exactly
     /// like merging sequential summaries.
     fn snapshot(&self) -> (SnapshotState, ErrorEnvelope);
+
+    /// This object's monotone update epoch. Equal epochs across two
+    /// reads mean the snapshot state is unchanged between them, so a
+    /// client holding state at epoch `e` can be answered `Unchanged`
+    /// while the epoch is still `e`.
+    fn epoch(&self) -> u64;
+
+    /// Answers `SNAPSHOT_SINCE` against a client base epoch: the
+    /// current epoch, the change to apply, and the envelope in force.
+    /// The default is epoch-compare only — `Unchanged` when the base
+    /// is current, a full replacement otherwise. Objects with sparse
+    /// dirty tracking (CountMin, HLL) override with real deltas.
+    fn snapshot_since(&self, base: u64) -> (u64, DeltaChange, ErrorEnvelope) {
+        let epoch = self.epoch();
+        let (state, envelope) = self.snapshot();
+        if epoch == base {
+            (epoch, DeltaChange::Unchanged, envelope)
+        } else {
+            (epoch, DeltaChange::Full(state), envelope)
+        }
+    }
 
     /// Per-object operation counters (the `STATS` rows).
     fn op_stats(&self) -> ObjectStats;
@@ -535,6 +621,21 @@ impl ObjectRegistry {
         })
     }
 
+    /// A `SNAPSHOT_SINCE` reply for object `id` against a client base
+    /// epoch (`None` for unknown ids).
+    pub fn snapshot_since(&self, id: u32, base: u64) -> Option<SnapshotDelta> {
+        self.get(id).map(|o| {
+            let (epoch, change, envelope) = o.snapshot_since(base);
+            SnapshotDelta {
+                object: id,
+                kind: o.kind(),
+                epoch,
+                change,
+                envelope,
+            }
+        })
+    }
+
     /// The wire listing served by `OBJECTS`.
     pub fn infos(&self) -> Vec<ObjectInfo> {
         self.entries
@@ -655,7 +756,18 @@ pub struct ServedCountMin {
     ingest: IvlBatchedCounter,
     write_buffer: u64,
     ops: OpCounters,
+    /// Bounded ring of recently served `(sum epoch → per-shard epoch
+    /// vector)` decompositions. The wire epoch is the *sum* of the
+    /// per-shard epochs, but dirty rows are tracked per shard, so a
+    /// delta against a client base needs the base's decomposition
+    /// back. Only the snapshot path locks it — never the ingest path.
+    ledger: Mutex<VecDeque<(u64, Vec<u64>)>>,
 }
+
+/// How many served snapshot epochs [`ServedCountMin`] remembers the
+/// per-shard decomposition of. A client more than this many snapshots
+/// behind falls back to a full snapshot.
+const SNAPSHOT_LEDGER_CAP: usize = 32;
 
 impl ServedCountMin {
     /// Creates a sharded CountMin for `(alpha, delta)` with `shards`
@@ -675,8 +787,48 @@ impl ServedCountMin {
             ingest: IvlBatchedCounter::new(shards),
             write_buffer,
             ops: OpCounters::default(),
+            ledger: Mutex::new(VecDeque::with_capacity(SNAPSHOT_LEDGER_CAP)),
             proto,
         }
+    }
+
+    /// Records a served `(sum epoch, per-shard epochs)` decomposition
+    /// so later `SNAPSHOT_SINCE` calls can diff against it. Per-shard
+    /// epochs are monotone, so a sum epoch decomposes uniquely —
+    /// duplicates are skipped, the ring stays bounded.
+    fn ledger_remember(&self, epoch: u64, shard_epochs: &[u64]) {
+        let mut ring = self.ledger.lock().unwrap();
+        if ring.iter().any(|(e, _)| *e == epoch) {
+            return;
+        }
+        if ring.len() == SNAPSHOT_LEDGER_CAP {
+            ring.pop_front();
+        }
+        ring.push_back((epoch, shard_epochs.to_vec()));
+    }
+
+    /// The per-shard decomposition of a client base epoch, if still
+    /// remembered.
+    fn ledger_lookup(&self, epoch: u64) -> Option<Vec<u64>> {
+        let ring = self.ledger.lock().unwrap();
+        ring.iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// The frequency envelope served alongside snapshots and deltas
+    /// (key/estimate zeroed — the receiver queries the merged state).
+    fn snapshot_envelope(&self) -> ErrorEnvelope {
+        let stream_len = self.ingest.read();
+        let params = self.proto.params();
+        ErrorEnvelope::Frequency(Envelope::new(
+            0,
+            0,
+            stream_len,
+            params.alpha(),
+            params.delta(),
+            self.lag_bound(),
+        ))
     }
 
     /// The sketch dimensions in force.
@@ -745,25 +897,84 @@ impl ServedObject for ServedCountMin {
     fn snapshot(&self) -> (SnapshotState, ErrorEnvelope) {
         self.ops.note_query();
         let params = self.proto.params();
+        // Epochs before cells: the shipped cells are then at least as
+        // new as the recorded decomposition, so a later delta against
+        // this epoch only ever re-sends (never misses) a write.
+        let mut shard_epochs = Vec::with_capacity(self.sketch.num_shards());
+        self.sketch.shard_epochs_into(&mut shard_epochs);
+        self.ledger_remember(shard_epochs.iter().sum(), &shard_epochs);
         // Cells before stream length, the same read discipline as
         // `query` (cells lead the ingest counter on the write side).
         let cells = self.sketch.cells_snapshot();
-        let stream_len = self.ingest.read();
         let state = SnapshotState::CountMin {
             width: params.width as u32,
             depth: params.depth as u32,
             hash_fp: cm_hash_fingerprint(self.proto.hashes()),
             cells,
         };
-        let envelope = ErrorEnvelope::Frequency(Envelope::new(
-            0,
-            0,
-            stream_len,
-            params.alpha(),
-            params.delta(),
-            self.lag_bound(),
-        ));
-        (state, envelope)
+        (state, self.snapshot_envelope())
+    }
+
+    fn epoch(&self) -> u64 {
+        self.sketch.epoch()
+    }
+
+    fn snapshot_since(&self, base: u64) -> (u64, DeltaChange, ErrorEnvelope) {
+        self.ops.note_query();
+        let mut shard_epochs = Vec::with_capacity(self.sketch.num_shards());
+        self.sketch.shard_epochs_into(&mut shard_epochs);
+        let epoch: u64 = shard_epochs.iter().sum();
+        self.ledger_remember(epoch, &shard_epochs);
+        if epoch == base {
+            // Per-shard epochs are monotone, so equal sums mean the
+            // decomposition (hence every row epoch, hence every cell
+            // the client holds) is unchanged.
+            return (epoch, DeltaChange::Unchanged, self.snapshot_envelope());
+        }
+        let params = self.proto.params();
+        let change = self
+            .ledger_lookup(base)
+            .and_then(|base_epochs| {
+                let spans = self.sketch.dirty_spans_since(&base_epochs);
+                // A run costs 12 bytes of header plus its cells; fall
+                // back to the full frame when sparseness does not pay.
+                let delta_bytes: usize = spans
+                    .iter()
+                    .filter(|&&(lo, hi)| lo < hi)
+                    .map(|&(lo, hi)| 12 + 8 * (hi - lo) as usize)
+                    .sum();
+                if delta_bytes >= params.width * params.depth * 8 {
+                    return None;
+                }
+                let mut runs = Vec::new();
+                for (row, &(lo, hi)) in spans.iter().enumerate() {
+                    if lo >= hi {
+                        continue;
+                    }
+                    let mut values = Vec::with_capacity((hi - lo) as usize);
+                    self.sketch
+                        .sum_row_range_into(row, lo as usize, hi as usize, &mut values);
+                    runs.push(CellRun {
+                        row: row as u32,
+                        lo,
+                        values,
+                    });
+                }
+                Some(DeltaChange::CmRuns {
+                    base_epoch: base,
+                    runs,
+                })
+            })
+            .unwrap_or_else(|| {
+                let cells = self.sketch.cells_snapshot();
+                DeltaChange::Full(SnapshotState::CountMin {
+                    width: params.width as u32,
+                    depth: params.depth as u32,
+                    hash_fp: cm_hash_fingerprint(self.proto.hashes()),
+                    cells,
+                })
+            });
+        (epoch, change, self.snapshot_envelope())
     }
 
     fn op_stats(&self) -> ObjectStats {
@@ -995,6 +1206,56 @@ impl ServedObject for ServedHll {
         (state, envelope)
     }
 
+    fn epoch(&self) -> u64 {
+        self.hll.epoch()
+    }
+
+    fn snapshot_since(&self, base: u64) -> (u64, DeltaChange, ErrorEnvelope) {
+        self.ops.note_query();
+        // Epoch before registers: the shipped registers are at least
+        // as new as the reported epoch (register-wise max makes any
+        // over-read harmless on re-apply).
+        let epoch = self.hll.epoch();
+        let snap = self.hll.registers_snapshot();
+        let register_sum = snap.iter().map(|&r| r as u64).sum();
+        let mut seq = self.hll.prototype().clone();
+        seq.merge_registers(&snap);
+        let envelope = ErrorEnvelope::Cardinality {
+            estimate: seq.estimate(),
+            rel_std_err: seq.standard_error(),
+            registers: snap.len() as u64,
+            register_sum,
+            observed: self.ops.observed.load(Ordering::Relaxed),
+        };
+        if epoch == base {
+            return (epoch, DeltaChange::Unchanged, envelope);
+        }
+        let (lo, hi) = self.hll.dirty_range();
+        let (lo, hi) = if lo < hi {
+            (lo as usize, hi as usize)
+        } else {
+            (0, 0)
+        };
+        // The dirty range is cumulative (never narrows), so it always
+        // covers every register the client's base missed. Ship the
+        // full frame when the base is not a real prior epoch (the
+        // no-cache sentinel is `u64::MAX`) or when the range is
+        // nearly the whole vector.
+        let change = if base > epoch || hi - lo + 16 >= snap.len() {
+            DeltaChange::Full(SnapshotState::Hll {
+                hash_fp: hll_hash_fingerprint(self.hll.prototype()),
+                registers: snap,
+            })
+        } else {
+            DeltaChange::HllRange {
+                base_epoch: base,
+                lo: lo as u32,
+                registers: snap[lo..hi].to_vec(),
+            }
+        };
+        (epoch, change, envelope)
+    }
+
     fn op_stats(&self) -> ObjectStats {
         self.ops.stats()
     }
@@ -1106,6 +1367,12 @@ impl ServedObject for ServedMorris {
         (SnapshotState::Morris { exponent }, envelope)
     }
 
+    fn epoch(&self) -> u64 {
+        // The exponent is the whole state and only ever grows: it is
+        // its own update epoch.
+        self.morris.exponent() as u64
+    }
+
     fn op_stats(&self) -> ObjectStats {
         self.ops.stats()
     }
@@ -1202,6 +1469,10 @@ impl ServedObject for ServedMinRegister {
             observed: self.ops.observed.load(Ordering::Relaxed),
         };
         (SnapshotState::MinRegister { minimum }, envelope)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.reg.epoch()
     }
 
     fn op_stats(&self) -> ObjectStats {
@@ -1541,6 +1812,131 @@ mod tests {
             other => panic!("wanted min-register state, got {other:?}"),
         }
         assert!(r.snapshot(9).is_none());
+    }
+
+    #[test]
+    fn delta_snapshots_patch_caches_into_full_snapshot_equality() {
+        let metrics = Metrics::new();
+        let r = registry();
+        let write = |id: u32, key: u64, weight: u64| {
+            let obj = r.get(id).unwrap();
+            let mut w = obj.writer(&metrics);
+            w.ensure_ready().unwrap();
+            w.apply(key, weight);
+            w.release();
+        };
+        for id in 0..4u32 {
+            write(id, 41, 3);
+        }
+
+        // An unknown base (the no-cache sentinel) gets a full state.
+        let d0 = r.snapshot_since(0, u64::MAX).unwrap();
+        let mut cached = match d0.change {
+            DeltaChange::Full(SnapshotState::CountMin { cells, .. }) => cells,
+            other => panic!("unknown base must go full, got {other:?}"),
+        };
+
+        // A current base is answered `Unchanged` with a live envelope.
+        let d1 = r.snapshot_since(0, d0.epoch).unwrap();
+        assert_eq!(d1.epoch, d0.epoch);
+        assert_eq!(d1.change, DeltaChange::Unchanged);
+        match d1.envelope {
+            ErrorEnvelope::Frequency(env) => assert_eq!(env.stream_len, 3),
+            other => panic!("wanted frequency envelope, got {other:?}"),
+        }
+
+        // New writes turn into sparse runs that patch the cache into
+        // exactly the fresh full snapshot.
+        write(0, 977, 5);
+        write(0, 3, 1);
+        let d2 = r.snapshot_since(0, d0.epoch).unwrap();
+        assert!(d2.epoch > d0.epoch);
+        let cm = r.cm(0).unwrap();
+        let width = cm.params().width;
+        match &d2.change {
+            DeltaChange::CmRuns { base_epoch, runs } => {
+                assert_eq!(*base_epoch, d0.epoch);
+                assert!(!runs.is_empty());
+                for run in runs {
+                    let at = run.row as usize * width + run.lo as usize;
+                    cached[at..at + run.values.len()].copy_from_slice(&run.values);
+                }
+            }
+            other => panic!("wanted sparse runs, got {other:?}"),
+        }
+        match r.snapshot(0).unwrap().state {
+            SnapshotState::CountMin { cells, .. } => {
+                assert_eq!(cached, cells, "patched cache must equal a fresh snapshot");
+            }
+            other => panic!("wanted CountMin state, got {other:?}"),
+        }
+        // And the new epoch is now `Unchanged`-able.
+        assert_eq!(
+            r.snapshot_since(0, d2.epoch).unwrap().change,
+            DeltaChange::Unchanged
+        );
+
+        // HLL: a dirty register range patches the cached vector.
+        let h0 = r.snapshot_since(1, u64::MAX).unwrap();
+        let mut hcache = match h0.change {
+            DeltaChange::Full(SnapshotState::Hll { registers, .. }) => registers,
+            other => panic!("unknown base must go full, got {other:?}"),
+        };
+        write(1, 12345, 1);
+        let h1 = r.snapshot_since(1, h0.epoch).unwrap();
+        match &h1.change {
+            DeltaChange::HllRange { lo, registers, .. } => {
+                hcache[*lo as usize..*lo as usize + registers.len()].copy_from_slice(registers);
+            }
+            DeltaChange::Unchanged => panic!("a raising update must change the epoch"),
+            // A near-full dirty range legitimately falls back.
+            DeltaChange::Full(SnapshotState::Hll { registers, .. }) => {
+                hcache = registers.clone();
+            }
+            other => panic!("wanted an hll delta, got {other:?}"),
+        }
+        match r.snapshot(1).unwrap().state {
+            SnapshotState::Hll { registers, .. } => assert_eq!(hcache, registers),
+            other => panic!("wanted hll state, got {other:?}"),
+        }
+        assert_eq!(
+            r.snapshot_since(1, h1.epoch).unwrap().change,
+            DeltaChange::Unchanged
+        );
+
+        // Morris and the min register use the epoch-only default:
+        // stale base → full state, current base → `Unchanged`.
+        for id in [2u32, 3] {
+            let f = r.snapshot_since(id, u64::MAX).unwrap();
+            assert!(matches!(f.change, DeltaChange::Full(_)));
+            assert_eq!(
+                r.snapshot_since(id, f.epoch).unwrap().change,
+                DeltaChange::Unchanged
+            );
+        }
+        assert!(r.snapshot_since(9, 0).is_none());
+    }
+
+    #[test]
+    fn cm_delta_falls_back_to_full_when_the_base_left_the_ledger() {
+        let metrics = Metrics::new();
+        let r = registry();
+        let obj = r.get(0).unwrap();
+        let base = r.snapshot_since(0, u64::MAX).unwrap().epoch;
+        // Push more epochs through the ledger than it remembers.
+        for i in 0..(SNAPSHOT_LEDGER_CAP as u64 + 4) {
+            let mut w = obj.writer(&metrics);
+            w.ensure_ready().unwrap();
+            w.apply(i, 1);
+            w.release();
+            let _ = r.snapshot_since(0, u64::MAX);
+        }
+        let d = r.snapshot_since(0, base).unwrap();
+        assert!(
+            matches!(d.change, DeltaChange::Full(_)),
+            "evicted base must fall back to a full snapshot, got {:?}",
+            d.change
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@
 
 use crate::envelope::{Envelope, ErrorEnvelope};
 use crate::metrics::{ObjectStats, StatsReport};
-use crate::objects::{ObjectInfo, ObjectKind, ObjectSnapshot, SnapshotState};
+use crate::objects::{
+    CellRun, DeltaChange, ObjectInfo, ObjectKind, ObjectSnapshot, SnapshotDelta, SnapshotState,
+};
 use std::fmt;
 use std::io::{self, Read};
 
@@ -175,6 +177,16 @@ pub enum Request {
         /// Target object id (registry index).
         object: u32,
     },
+    /// Ask `object` what changed since the client's cached epoch —
+    /// answered by a `SNAPSHOT_DELTA_REPLY` carrying `Unchanged`, a
+    /// sparse delta, or a full state. `u64::MAX` is the conventional
+    /// no-cache base (never a real epoch, always answered full).
+    SnapshotSince {
+        /// Target object id (registry index).
+        object: u32,
+        /// The epoch of the client's cached state.
+        base_epoch: u64,
+    },
     /// Ask for the server's operation counters and latency quantiles.
     Stats,
     /// Ask for the registry listing (id, kind, name per object).
@@ -199,6 +211,9 @@ pub enum Response {
     /// Answer to a snapshot request: the object's mergeable state
     /// plus its current envelope.
     Snapshot(ObjectSnapshot),
+    /// Answer to a snapshot-since request: the change against the
+    /// client's base epoch plus the envelope in force.
+    SnapshotDelta(SnapshotDelta),
     /// Answer to a stats request.
     Stats(StatsReport),
     /// Answer to an objects request: the registry listing.
@@ -224,6 +239,7 @@ const OP_UPDATE2: u8 = 0x11;
 const OP_QUERY2: u8 = 0x12;
 const OP_BATCH2: u8 = 0x13;
 const OP_SNAPSHOT: u8 = 0x14;
+const OP_SNAPSHOT_SINCE: u8 = 0x15;
 const OP_ACK: u8 = 0x81;
 const OP_ENVELOPE: u8 = 0x82;
 const OP_ENVELOPE2: u8 = 0x83;
@@ -231,7 +247,17 @@ const OP_STATS_REPLY: u8 = 0x84;
 const OP_GOODBYE: u8 = 0x85;
 const OP_OBJECTS_REPLY: u8 = 0x86;
 const OP_SNAPSHOT_REPLY: u8 = 0x87;
+const OP_SNAPSHOT_DELTA_REPLY: u8 = 0x88;
 const OP_ERROR: u8 = 0xEE;
+
+/// Change tags of the `SNAPSHOT_DELTA_REPLY` body (one per
+/// [`DeltaChange`] variant; which sparse tag is legal depends on the
+/// reply's object kind — CountMin runs for CountMin, a register range
+/// for HLL, and epoch-only objects only ever ship `Unchanged`/full).
+const DELTA_UNCHANGED: u8 = 0;
+const DELTA_CM_RUNS: u8 = 1;
+const DELTA_HLL_RANGE: u8 = 2;
+const DELTA_FULL: u8 = 3;
 
 /// Kind tags of the kind-tagged envelope body shared by `ENVELOPE2`
 /// and the `SNAPSHOT` reply (one per [`ErrorEnvelope`] variant; an
@@ -450,6 +476,10 @@ impl Request {
                 })
             }
             Request::Snapshot { object } => frame(buf, OP_SNAPSHOT, |b| push_u32(b, *object)),
+            Request::SnapshotSince { object, base_epoch } => frame(buf, OP_SNAPSHOT_SINCE, |b| {
+                push_u32(b, *object);
+                push_u64(b, *base_epoch);
+            }),
             Request::Stats => frame(buf, OP_STATS, |_| {}),
             Request::Objects => frame(buf, OP_OBJECTS, |_| {}),
             Request::Shutdown => frame(buf, OP_SHUTDOWN, |_| {}),
@@ -496,6 +526,10 @@ impl Request {
                 Request::Batch { object, items }
             }
             OP_SNAPSHOT => Request::Snapshot { object: b.u32()? },
+            OP_SNAPSHOT_SINCE => Request::SnapshotSince {
+                object: b.u32()?,
+                base_epoch: b.u64()?,
+            },
             OP_STATS => Request::Stats,
             OP_OBJECTS => Request::Objects,
             OP_SHUTDOWN => Request::Shutdown,
@@ -511,7 +545,8 @@ impl Request {
             Request::Update { object, .. }
             | Request::Query { object, .. }
             | Request::Batch { object, .. }
-            | Request::Snapshot { object } => Some(*object),
+            | Request::Snapshot { object }
+            | Request::SnapshotSince { object, .. } => Some(*object),
             Request::Stats | Request::Objects | Request::Shutdown => None,
         }
     }
@@ -549,6 +584,78 @@ pub fn decode_batch_into(
     Ok(Some(object))
 }
 
+/// Writes the kind-implied snapshot state body shared by the
+/// `SNAPSHOT_REPLY` frame and the full-change arm of the
+/// `SNAPSHOT_DELTA_REPLY` frame.
+fn push_snapshot_state(b: &mut Vec<u8>, state: &SnapshotState) {
+    match state {
+        SnapshotState::CountMin {
+            width,
+            depth,
+            hash_fp,
+            cells,
+        } => {
+            push_u32(b, *width);
+            push_u32(b, *depth);
+            push_u64(b, *hash_fp);
+            for cell in cells {
+                push_u64(b, *cell);
+            }
+        }
+        SnapshotState::Hll { hash_fp, registers } => {
+            push_u64(b, *hash_fp);
+            push_u32(b, registers.len() as u32);
+            b.extend_from_slice(registers);
+        }
+        SnapshotState::Morris { exponent } => push_u32(b, *exponent),
+        SnapshotState::MinRegister { minimum } => push_u64(b, *minimum),
+    }
+}
+
+/// Reads a snapshot state body for `kind` (the inverse of
+/// [`push_snapshot_state`]), guarding every allocation against lying
+/// dimension headers.
+fn read_snapshot_state(b: &mut Body<'_>, kind: ObjectKind) -> Result<SnapshotState, WireError> {
+    Ok(match kind {
+        ObjectKind::CountMin => {
+            let width = b.u32()?;
+            let depth = b.u32()?;
+            let hash_fp = b.u64()?;
+            let cells_len = width as u64 * depth as u64;
+            // Guard the allocation against a lying header: the cells
+            // must already be buffered.
+            if cells_len > (b.rest.len() / 8) as u64 {
+                return Err(WireError::Malformed("body shorter than its schema"));
+            }
+            let mut cells = Vec::with_capacity(cells_len as usize);
+            for _ in 0..cells_len {
+                cells.push(b.u64()?);
+            }
+            SnapshotState::CountMin {
+                width,
+                depth,
+                hash_fp,
+                cells,
+            }
+        }
+        ObjectKind::Hll => {
+            let hash_fp = b.u64()?;
+            let len = b.u32()? as usize;
+            if b.rest.len() < len {
+                return Err(WireError::Malformed("body shorter than its schema"));
+            }
+            let (raw, rest) = b.rest.split_at(len);
+            b.rest = rest;
+            SnapshotState::Hll {
+                hash_fp,
+                registers: raw.to_vec(),
+            }
+        }
+        ObjectKind::Morris => SnapshotState::Morris { exponent: b.u32()? },
+        ObjectKind::MinRegister => SnapshotState::MinRegister { minimum: b.u64()? },
+    })
+}
+
 impl Response {
     /// Appends this response as one frame to `buf`.
     pub fn encode(&self, buf: &mut Vec<u8>) {
@@ -564,29 +671,45 @@ impl Response {
             Response::Snapshot(snap) => frame(buf, OP_SNAPSHOT_REPLY, |b| {
                 push_u32(b, snap.object);
                 b.push(snap.kind.to_u8());
-                match &snap.state {
-                    SnapshotState::CountMin {
-                        width,
-                        depth,
-                        hash_fp,
-                        cells,
-                    } => {
-                        push_u32(b, *width);
-                        push_u32(b, *depth);
-                        push_u64(b, *hash_fp);
-                        for cell in cells {
-                            push_u64(b, *cell);
+                push_snapshot_state(b, &snap.state);
+                push_envelope(b, &snap.envelope);
+            }),
+            Response::SnapshotDelta(delta) => frame(buf, OP_SNAPSHOT_DELTA_REPLY, |b| {
+                push_u32(b, delta.object);
+                b.push(delta.kind.to_u8());
+                push_u64(b, delta.epoch);
+                match &delta.change {
+                    DeltaChange::Unchanged => b.push(DELTA_UNCHANGED),
+                    DeltaChange::CmRuns { base_epoch, runs } => {
+                        b.push(DELTA_CM_RUNS);
+                        push_u64(b, *base_epoch);
+                        push_u32(b, runs.len() as u32);
+                        for run in runs {
+                            push_u32(b, run.row);
+                            push_u32(b, run.lo);
+                            push_u32(b, run.values.len() as u32);
+                            for v in &run.values {
+                                push_u64(b, *v);
+                            }
                         }
                     }
-                    SnapshotState::Hll { hash_fp, registers } => {
-                        push_u64(b, *hash_fp);
+                    DeltaChange::HllRange {
+                        base_epoch,
+                        lo,
+                        registers,
+                    } => {
+                        b.push(DELTA_HLL_RANGE);
+                        push_u64(b, *base_epoch);
+                        push_u32(b, *lo);
                         push_u32(b, registers.len() as u32);
                         b.extend_from_slice(registers);
                     }
-                    SnapshotState::Morris { exponent } => push_u32(b, *exponent),
-                    SnapshotState::MinRegister { minimum } => push_u64(b, *minimum),
+                    DeltaChange::Full(state) => {
+                        b.push(DELTA_FULL);
+                        push_snapshot_state(b, state);
+                    }
                 }
-                push_envelope(b, &snap.envelope);
+                push_envelope(b, &delta.envelope);
             }),
             Response::Stats(report) => frame(buf, OP_STATS_REPLY, |b| {
                 for field in report.as_fields() {
@@ -631,49 +754,77 @@ impl Response {
                 let object = b.u32()?;
                 let kind = ObjectKind::from_u8(b.u8()?)
                     .ok_or(WireError::Malformed("unknown object kind tag"))?;
-                let state = match kind {
-                    ObjectKind::CountMin => {
-                        let width = b.u32()?;
-                        let depth = b.u32()?;
-                        let hash_fp = b.u64()?;
-                        let cells_len = width as u64 * depth as u64;
-                        // Guard the allocation against a lying header:
-                        // the cells must already be buffered.
-                        if cells_len > (b.rest.len() / 8) as u64 {
-                            return Err(WireError::Malformed("body shorter than its schema"));
+                let state = read_snapshot_state(&mut b, kind)?;
+                let envelope = read_envelope(&mut b)?;
+                Response::Snapshot(ObjectSnapshot {
+                    object,
+                    kind,
+                    state,
+                    envelope,
+                })
+            }
+            OP_SNAPSHOT_DELTA_REPLY => {
+                let object = b.u32()?;
+                let kind = ObjectKind::from_u8(b.u8()?)
+                    .ok_or(WireError::Malformed("unknown object kind tag"))?;
+                let epoch = b.u64()?;
+                let change = match b.u8()? {
+                    DELTA_UNCHANGED => DeltaChange::Unchanged,
+                    DELTA_CM_RUNS => {
+                        if kind != ObjectKind::CountMin {
+                            return Err(WireError::Malformed(
+                                "cell runs on a non-CountMin delta reply",
+                            ));
                         }
-                        let mut cells = Vec::with_capacity(cells_len as usize);
-                        for _ in 0..cells_len {
-                            cells.push(b.u64()?);
+                        let base_epoch = b.u64()?;
+                        let count = b.u32()?;
+                        let mut runs = Vec::with_capacity(count.min(1024) as usize);
+                        for _ in 0..count {
+                            let row = b.u32()?;
+                            let lo = b.u32()?;
+                            let len = b.u32()? as u64;
+                            // Guard the allocation against a lying
+                            // header: the cells must be buffered.
+                            if len > (b.rest.len() / 8) as u64 {
+                                return Err(WireError::Malformed("body shorter than its schema"));
+                            }
+                            let mut values = Vec::with_capacity(len as usize);
+                            for _ in 0..len {
+                                values.push(b.u64()?);
+                            }
+                            runs.push(CellRun { row, lo, values });
                         }
-                        SnapshotState::CountMin {
-                            width,
-                            depth,
-                            hash_fp,
-                            cells,
-                        }
+                        DeltaChange::CmRuns { base_epoch, runs }
                     }
-                    ObjectKind::Hll => {
-                        let hash_fp = b.u64()?;
+                    DELTA_HLL_RANGE => {
+                        if kind != ObjectKind::Hll {
+                            return Err(WireError::Malformed(
+                                "register range on a non-HLL delta reply",
+                            ));
+                        }
+                        let base_epoch = b.u64()?;
+                        let lo = b.u32()?;
                         let len = b.u32()? as usize;
                         if b.rest.len() < len {
                             return Err(WireError::Malformed("body shorter than its schema"));
                         }
                         let (raw, rest) = b.rest.split_at(len);
                         b.rest = rest;
-                        SnapshotState::Hll {
-                            hash_fp,
+                        DeltaChange::HllRange {
+                            base_epoch,
+                            lo,
                             registers: raw.to_vec(),
                         }
                     }
-                    ObjectKind::Morris => SnapshotState::Morris { exponent: b.u32()? },
-                    ObjectKind::MinRegister => SnapshotState::MinRegister { minimum: b.u64()? },
+                    DELTA_FULL => DeltaChange::Full(read_snapshot_state(&mut b, kind)?),
+                    _ => return Err(WireError::Malformed("unknown delta change tag")),
                 };
                 let envelope = read_envelope(&mut b)?;
-                Response::Snapshot(ObjectSnapshot {
+                Response::SnapshotDelta(SnapshotDelta {
                     object,
                     kind,
-                    state,
+                    epoch,
+                    change,
                     envelope,
                 })
             }
@@ -951,6 +1102,14 @@ mod tests {
             },
             Request::Snapshot { object: 0 },
             Request::Snapshot { object: 5 },
+            Request::SnapshotSince {
+                object: 0,
+                base_epoch: 0,
+            },
+            Request::SnapshotSince {
+                object: 3,
+                base_epoch: u64::MAX,
+            },
             Request::Stats,
             Request::Objects,
             Request::Shutdown,
@@ -967,6 +1126,16 @@ mod tests {
         Request::Snapshot { object: 0 }.encode(&mut buf);
         assert_eq!(buf[4], OP_SNAPSHOT);
         assert_eq!(buf.len(), 4 + 1 + 4);
+
+        // Snapshot-since likewise: object id then base epoch.
+        buf.clear();
+        Request::SnapshotSince {
+            object: 0,
+            base_epoch: 9,
+        }
+        .encode(&mut buf);
+        assert_eq!(buf[4], OP_SNAPSHOT_SINCE);
+        assert_eq!(buf.len(), 4 + 1 + 4 + 8);
     }
 
     #[test]
@@ -1146,6 +1315,184 @@ mod tests {
                 .unwrap();
             assert_eq!(Response::decode(&payload).unwrap(), rsp);
         }
+    }
+
+    #[test]
+    fn snapshot_delta_responses_roundtrip() {
+        let freq = ErrorEnvelope::Frequency(crate::envelope::Envelope {
+            key: 0,
+            estimate: 0,
+            epsilon: 3,
+            stream_len: 500,
+            alpha: 0.005,
+            delta: 0.01,
+            lag: 128,
+        });
+        let card = ErrorEnvelope::Cardinality {
+            estimate: 812.5,
+            rel_std_err: 0.016,
+            registers: 4,
+            register_sum: 8,
+            observed: 900,
+        };
+        for rsp in [
+            // The tiny `Unchanged` frame — the fast path under test.
+            Response::SnapshotDelta(SnapshotDelta {
+                object: 0,
+                kind: ObjectKind::CountMin,
+                epoch: 17,
+                change: DeltaChange::Unchanged,
+                envelope: freq.clone(),
+            }),
+            Response::SnapshotDelta(SnapshotDelta {
+                object: 0,
+                kind: ObjectKind::CountMin,
+                epoch: 21,
+                change: DeltaChange::CmRuns {
+                    base_epoch: 17,
+                    runs: vec![
+                        CellRun {
+                            row: 0,
+                            lo: 3,
+                            values: vec![5, 0, 9],
+                        },
+                        CellRun {
+                            row: 2,
+                            lo: 7,
+                            values: vec![1],
+                        },
+                    ],
+                },
+                envelope: freq.clone(),
+            }),
+            Response::SnapshotDelta(SnapshotDelta {
+                object: 1,
+                kind: ObjectKind::Hll,
+                epoch: 4,
+                change: DeltaChange::HllRange {
+                    base_epoch: 2,
+                    lo: 9,
+                    registers: vec![3, 0, 7],
+                },
+                envelope: card.clone(),
+            }),
+            Response::SnapshotDelta(SnapshotDelta {
+                object: 1,
+                kind: ObjectKind::Hll,
+                epoch: 4,
+                change: DeltaChange::Full(SnapshotState::Hll {
+                    hash_fp: 42,
+                    registers: vec![0, 7, 1, 0],
+                }),
+                envelope: card,
+            }),
+            Response::SnapshotDelta(SnapshotDelta {
+                object: 2,
+                kind: ObjectKind::Morris,
+                epoch: 9,
+                change: DeltaChange::Full(SnapshotState::Morris { exponent: 9 }),
+                envelope: ErrorEnvelope::ApproxCount {
+                    estimate: 14.0,
+                    a: 0.5,
+                    exponent: 9,
+                    observed: 15,
+                },
+            }),
+            Response::SnapshotDelta(SnapshotDelta {
+                object: 3,
+                kind: ObjectKind::MinRegister,
+                epoch: 2,
+                change: DeltaChange::Full(SnapshotState::MinRegister { minimum: 3 }),
+                envelope: ErrorEnvelope::Minimum {
+                    minimum: 3,
+                    observed: 44,
+                },
+            }),
+        ] {
+            let mut buf = Vec::new();
+            rsp.encode(&mut buf);
+            let payload = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .unwrap();
+            assert_eq!(Response::decode(&payload).unwrap(), rsp);
+        }
+    }
+
+    #[test]
+    fn unchanged_delta_frame_is_small() {
+        // The whole point of the fast path: an `Unchanged` CountMin
+        // reply must be a few dozen bytes, not width×depth×8.
+        let mut buf = Vec::new();
+        Response::SnapshotDelta(SnapshotDelta {
+            object: 0,
+            kind: ObjectKind::CountMin,
+            epoch: u64::MAX,
+            change: DeltaChange::Unchanged,
+            envelope: ErrorEnvelope::Frequency(crate::envelope::Envelope {
+                key: 0,
+                estimate: 0,
+                epsilon: 3,
+                stream_len: 500,
+                alpha: 0.005,
+                delta: 0.01,
+                lag: 128,
+            }),
+        })
+        .encode(&mut buf);
+        assert!(buf.len() < 96, "unchanged frame is {} bytes", buf.len());
+    }
+
+    #[test]
+    fn snapshot_delta_with_lying_or_mismatched_body_rejected() {
+        // A run announcing more cells than the body carries must fail
+        // cleanly before allocating.
+        let mut payload = vec![OP_SNAPSHOT_DELTA_REPLY];
+        payload.extend_from_slice(&0u32.to_le_bytes()); // object
+        payload.push(ObjectKind::CountMin.to_u8());
+        payload.extend_from_slice(&9u64.to_le_bytes()); // epoch
+        payload.push(DELTA_CM_RUNS);
+        payload.extend_from_slice(&7u64.to_le_bytes()); // base epoch
+        payload.extend_from_slice(&1u32.to_le_bytes()); // one run
+        payload.extend_from_slice(&0u32.to_le_bytes()); // row
+        payload.extend_from_slice(&0u32.to_le_bytes()); // lo
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // len (lie)
+        assert_eq!(
+            Response::decode(&payload).unwrap_err(),
+            WireError::Malformed("body shorter than its schema")
+        );
+
+        // Cell runs are only legal on a CountMin reply.
+        let mut payload = vec![OP_SNAPSHOT_DELTA_REPLY];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(ObjectKind::Hll.to_u8());
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.push(DELTA_CM_RUNS);
+        assert_eq!(
+            Response::decode(&payload).unwrap_err(),
+            WireError::Malformed("cell runs on a non-CountMin delta reply")
+        );
+
+        // A register range is only legal on an HLL reply.
+        let mut payload = vec![OP_SNAPSHOT_DELTA_REPLY];
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.push(ObjectKind::Morris.to_u8());
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.push(DELTA_HLL_RANGE);
+        assert_eq!(
+            Response::decode(&payload).unwrap_err(),
+            WireError::Malformed("register range on a non-HLL delta reply")
+        );
+
+        // Unknown change tag.
+        let mut payload = vec![OP_SNAPSHOT_DELTA_REPLY];
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.push(ObjectKind::CountMin.to_u8());
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.push(0x7f);
+        assert_eq!(
+            Response::decode(&payload).unwrap_err(),
+            WireError::Malformed("unknown delta change tag")
+        );
     }
 
     #[test]

@@ -703,6 +703,17 @@ fn execute_request<'a>(
             shared.metrics.record_query(start.elapsed().as_nanos());
             (Response::Snapshot(snap), false)
         }
+        Request::SnapshotSince { object, base_epoch } => {
+            // Same read discipline as `Snapshot`: counted as a query,
+            // not recorded — the delta is a compressed transport of
+            // the same IVL read.
+            let start = Instant::now();
+            let Some(delta) = shared.registry.snapshot_since(object, base_epoch) else {
+                return (unknown_object(shared, object), false);
+            };
+            shared.metrics.record_query(start.elapsed().as_nanos());
+            (Response::SnapshotDelta(delta), false)
+        }
         Request::Stats => (
             Response::Stats(shared.metrics.report(
                 shared.registry.total_observed(),
