@@ -42,8 +42,10 @@
 //!    each namespace (the constant's name prefix: `OP_*` frame
 //!    opcodes, `ENV_*` envelope kind tags, ...).
 //! 7. **frame-docs** — every `OP_*` opcode constant appears (by its
-//!    byte, e.g. `0x14`) in the README's frame table, so adding an
-//!    opcode without documenting it fails the lint.
+//!    byte, e.g. `0x14`) in the README's frame table, and (by its
+//!    name) in `protocol.rs` test code — the round-trip suite — so
+//!    adding an opcode without documenting *and* testing it fails the
+//!    lint.
 //! 8. **served-objects** — every `impl ServedObject for <Type>` in
 //!    `crates/service` has a row in the "Served objects" table of
 //!    `crates/concurrent/ORDERINGS.md` naming the concurrent
@@ -417,10 +419,11 @@ fn check_frame_tags(root: &Path, report: &mut LintReport) {
     }
 }
 
-/// Cross-checks the `OP_*` opcode constants against the README frame
-/// table: every opcode byte must appear (as `0xNN`) in a table line
-/// (a README line starting with `|`), so a new frame cannot land
-/// undocumented.
+/// Cross-checks the `OP_*` opcode constants two ways: every opcode
+/// byte must appear (as `0xNN`) in a README frame-table line (a README
+/// line starting with `|`), and every opcode constant must be
+/// referenced by name from `protocol.rs` test code — the round-trip
+/// suite — so a new frame can land neither undocumented nor untested.
 fn check_frame_docs(root: &Path, report: &mut LintReport) {
     let path = root
         .join("crates")
@@ -462,6 +465,13 @@ fn check_frame_docs(root: &Path, report: &mut LintReport) {
             rest = &rest[at + 2..];
         }
     }
+    // Opcode names referenced from the file's `#[cfg(test)]` module —
+    // the protocol round-trip suite.
+    let tested: Vec<&str> = (0..file.code.len())
+        .filter(|&ci| file.in_test(ci))
+        .map(|ci| file.code_tok(ci).text)
+        .filter(|t| t.starts_with("OP_"))
+        .collect();
     for (name, value, line) in &ops {
         if !documented.contains(value) {
             report.findings.push(LintFinding {
@@ -470,6 +480,16 @@ fn check_frame_docs(root: &Path, report: &mut LintReport) {
                 line: *line as usize,
                 message: format!(
                     "opcode {name} = {value:#04x} is not documented in the README frame table; add a row (every wire frame is part of the public protocol)"
+                ),
+            });
+        }
+        if !tested.iter().any(|t| t == name) {
+            report.findings.push(LintFinding {
+                check: "frame-docs",
+                file: rel(root, &path),
+                line: *line as usize,
+                message: format!(
+                    "opcode {name} = {value:#04x} is never referenced from protocol.rs test code; cover it in a round-trip test (every wire frame must encode/decode under test)"
                 ),
             });
         }

@@ -276,6 +276,10 @@ fn duplicate_frame_tags_are_flagged() {
             "const OP_QUERY: u8 = 0x02;\n",
             "const OP_CLASH: u8 = 0x01;\n",
             "pub const NOT_A_TAG: u32 = 1;\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn roundtrip() { let _ = (OP_UPDATE, OP_QUERY, OP_CLASH); }\n",
+            "}\n",
         ),
     );
     // Both bytes documented, so frame-docs stays quiet and the
@@ -298,7 +302,14 @@ fn undocumented_opcode_is_flagged() {
     fx.write("crates/service/src/lib.rs", CLEAN_LIB);
     fx.write(
         "crates/service/src/protocol.rs",
-        "const OP_UPDATE: u8 = 0x01;\nconst OP_NEW: u8 = 0x15;\n",
+        concat!(
+            "const OP_UPDATE: u8 = 0x01;\n",
+            "const OP_NEW: u8 = 0x15;\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn roundtrip() { let _ = (OP_UPDATE, OP_NEW); }\n",
+            "}\n",
+        ),
     );
     fx.write(
         "README.md",
@@ -311,6 +322,39 @@ fn undocumented_opcode_is_flagged() {
     assert_eq!(f.line, 2);
     assert!(f.message.contains("OP_NEW"), "{}", f.message);
     assert!(f.message.contains("0x15"), "{}", f.message);
+    assert!(f.message.contains("README"), "{}", f.message);
+}
+
+#[test]
+fn untested_opcode_is_flagged() {
+    // Documented in the README but never referenced from the file's
+    // test module: the frame-docs check's round-trip leg fires. A
+    // mention in non-test code (the decoder) does not count.
+    let fx = Fixture::new("lint_fx_frame_tests");
+    fx.write("crates/service/src/lib.rs", CLEAN_LIB);
+    fx.write(
+        "crates/service/src/protocol.rs",
+        concat!(
+            "const OP_UPDATE: u8 = 0x01;\n",
+            "const OP_NEW: u8 = 0x15;\n",
+            "fn decode(op: u8) -> bool { op == OP_NEW }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn roundtrip() { let _ = OP_UPDATE; }\n",
+            "}\n",
+        ),
+    );
+    fx.write(
+        "README.md",
+        "| `UPDATE` | `0x01` | body | reply |\n| `NEW` | `0x15` | body | reply |\n",
+    );
+    let report = run_lints(&fx.root);
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    let f = &report.findings[0];
+    assert_eq!(f.check, "frame-docs");
+    assert_eq!(f.line, 2);
+    assert!(f.message.contains("OP_NEW"), "{}", f.message);
+    assert!(f.message.contains("round-trip test"), "{}", f.message);
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //!                [--ops N] [--keys N] [--queries N] [--batch N]
 //!                [--shards N] [--write-buffer B] [--mix SPEC]
 //!                [--replicas N] [--mode partition|mirror]
-//!                [--query-ratio R] [--no-delta]
+//!                [--query-ratio R] [--no-delta] [--rejoin]
 //!                [--addr HOST:PORT] [--json FILE] [--history-out FILE]
 //!                [--shutdown] [--no-check]
 //! ```
@@ -58,6 +58,20 @@
 //! replica, and queries respond with the merged read's per-part
 //! observed weights — replayable with `ivl_check --replicated`.
 //!
+//! `--rejoin` runs the anti-entropy acceptance scenario instead of the
+//! normal runs: 3 partitioned in-process replicas (or `--replicas N`,
+//! N >= 2) take a pre-kill load, one is killed and restarted empty at
+//! the same address, and the driver measures the composed envelope's
+//! `lag` at each stage — pre-kill (L0), during the outage, widened on
+//! rejoin detection (the forgotten weight), and after the group's
+//! catch-up push — failing (exit 2) unless the post-catch-up lag
+//! returns within 2x L0. Updates routed to the dead replica are held
+//! client-side and replayed after the rejoin, so each per-replica
+//! `--history-out` history stays a faithful record of what that
+//! replica acknowledged (the catch-up push itself is re-delivered
+//! weight, not a new update, and is deliberately not recorded).
+//! Time-to-convergence and the catch-up counters land in `--json`.
+//!
 //! `--query-ratio R` sizes the query load so queries make up fraction
 //! `R` of all operations (overriding `--queries`) — the query-heavy
 //! mixes where the group's delta-cached merged reads pay off. The
@@ -69,7 +83,7 @@
 //! wire-byte baseline the delta path is judged against.
 
 use ivl_bench::{mops, timed_scope, Worker};
-use ivl_replica::{DeltaStats, ReplicaError, ReplicaGroup, ReplicaMode};
+use ivl_replica::{DeltaStats, MergedRead, ReplicaError, ReplicaGroup, ReplicaMode};
 use ivl_service::objects::{ObjectConfig, ObjectKind};
 use ivl_service::server::{serve, Backend, ServerConfig};
 use ivl_service::{Client, ClientError, ErrorCode, ErrorEnvelope, StatsReport};
@@ -200,6 +214,7 @@ struct Opts {
     replica_mode: ReplicaMode,
     query_ratio: Option<f64>,
     delta_reads: bool,
+    rejoin: bool,
     check: bool,
     addr: Option<String>,
     json: Option<String>,
@@ -223,6 +238,7 @@ impl Default for Opts {
             replica_mode: ReplicaMode::Partition,
             query_ratio: None,
             delta_reads: true,
+            rejoin: false,
             check: true,
             addr: None,
             json: None,
@@ -256,6 +272,7 @@ fn parse() -> Option<Opts> {
                 o.query_ratio = Some(r);
             }
             "--no-delta" => o.delta_reads = false,
+            "--rejoin" => o.rejoin = true,
             "--no-check" => o.check = false,
             "--shutdown" => o.shutdown = true,
             "--backend" => {
@@ -1301,6 +1318,350 @@ fn run_replicated(
     })
 }
 
+/// Sends `updates` weighted updates through the group in route-split
+/// sub-batches. With `down` set, sub-batches routed to that replica
+/// are *held* in `held` instead of sent (the replica is dead; its
+/// history must not claim acknowledgements) — the caller replays them
+/// after the rejoin. Sent weight per mix object accumulates in
+/// `sent_weight` for the parts-coverage check.
+#[allow(clippy::too_many_arguments)]
+fn rejoin_send(
+    group: &mut ReplicaGroup,
+    backoff: &mut Backoff,
+    stream: &mut ZipfStream,
+    plan: &MixPlan,
+    n: usize,
+    batch: usize,
+    updates: u64,
+    seq: &mut u64,
+    recorders: Option<&Vec<ClientRecorder>>,
+    process: ProcessId,
+    down: Option<usize>,
+    held: &mut Vec<(u32, Vec<(u64, u64)>)>,
+    sent_weight: &mut [u64],
+) -> Result<(), String> {
+    let mut pending = Vec::with_capacity(batch);
+    let mut sent = 0u64;
+    while sent < updates {
+        pending.clear();
+        while pending.len() < batch && sent < updates {
+            let key = stream.next_item();
+            pending.push((key, 1 + key % 3));
+            sent += 1;
+        }
+        let obj_idx = plan.pick(*seq);
+        *seq += 1;
+        let object = plan.ids[obj_idx];
+        let mut subs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+        for &(k, w) in &pending {
+            subs[group.route(k)].push((k, w));
+        }
+        for (r, sub) in subs.iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            if down == Some(r) {
+                held.push((object, sub.clone()));
+                continue;
+            }
+            let weight: u64 = sub.iter().map(|&(_, w)| w).sum();
+            let op = recorders.map(|rec| {
+                rec[r]
+                    .builder
+                    .lock()
+                    .unwrap()
+                    .invoke_update(process, ObjectId(object), weight)
+            });
+            group_batch_retrying(group, backoff, object, sub)?;
+            sent_weight[obj_idx] += weight;
+            if let (Some(rec), Some(op)) = (recorders, op) {
+                rec[r].builder.lock().unwrap().respond_update(op);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One merged read recorded into every replica's client history (the
+/// read's per-part observed weights are each replica's counter value).
+/// Only called while the whole group is reachable: a `None` part would
+/// leave a dangling invocation, so it is an error here.
+fn rejoin_query_recorded(
+    group: &mut ReplicaGroup,
+    object: u32,
+    key: u64,
+    recorders: Option<&Vec<ClientRecorder>>,
+    process: ProcessId,
+) -> Result<MergedRead, String> {
+    let ops = recorders.map(|rec| {
+        rec.iter()
+            .map(|r| {
+                r.builder
+                    .lock()
+                    .unwrap()
+                    .invoke_query(process, ObjectId(object), 0)
+            })
+            .collect::<Vec<_>>()
+    });
+    let read = group
+        .query(object, key)
+        .map_err(|e| format!("merged query failed: {e}"))?;
+    if let (Some(rec), Some(ops)) = (recorders, ops) {
+        for ((r, op), part) in rec.iter().zip(ops).zip(&read.parts) {
+            let observed =
+                part.ok_or_else(|| "recorded query saw an unreachable replica".to_string())?;
+            r.builder.lock().unwrap().respond_query(op, observed);
+        }
+    }
+    Ok(read)
+}
+
+/// The `--rejoin` scenario: load, kill, restart, converge. Fails
+/// unless the composed envelope's lag returns within 2x its pre-kill
+/// width once the group's catch-up push is absorbed.
+fn run_rejoin(o: &Opts) -> Result<(), String> {
+    let n = if o.replicas >= 2 { o.replicas } else { 3 };
+    let plan = MixPlan::in_process(&o.mix);
+    let cfg = || ServerConfig {
+        backend: Backend::Threaded,
+        shards: o.shards,
+        write_buffer: o.write_buffer,
+        objects: plan.object_configs(),
+        ..ServerConfig::default()
+    };
+    let mut handles: Vec<_> = (0..n)
+        .map(|_| serve("127.0.0.1:0", cfg()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let seed_group = ServerConfig::default().seed;
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    println!(
+        "rejoin: {n} replicas [{}] in partition mode (threaded backend, seed {seed_group})",
+        addrs.join(", ")
+    );
+    let mut group = ReplicaGroup::new(addrs, ReplicaMode::Partition, seed_group)
+        .expect("non-empty replica group");
+    group.set_retry_limit(3);
+    group.set_backoff(Duration::from_millis(5));
+    let recorders_owned: Option<Vec<ClientRecorder>> = o
+        .history_out
+        .as_ref()
+        .map(|_| (0..n).map(|_| ClientRecorder::new()).collect());
+    let recorders = recorders_owned.as_ref();
+    let process = ProcessId(0);
+    let mut stream = ZipfStream::new(o.keys, 1.1, 0x10ad);
+    let mut backoff = Backoff::new(0xb0ff);
+    let mut seq = 0u64;
+    let mut held: Vec<(u32, Vec<(u64, u64)>)> = Vec::new();
+    let mut sent_weight = vec![0u64; plan.entries.len()];
+
+    // Phase 1 — pre-kill load, then the L0 baseline read.
+    let ops_a = o.ops.max(64);
+    rejoin_send(
+        &mut group,
+        &mut backoff,
+        &mut stream,
+        &plan,
+        n,
+        o.batch,
+        ops_a,
+        &mut seq,
+        recorders,
+        process,
+        None,
+        &mut held,
+        &mut sent_weight,
+    )?;
+    let mut pre_lag = 0;
+    for (idx, &object) in plan.ids.iter().enumerate() {
+        let read = rejoin_query_recorded(&mut group, object, 7, recorders, process)?;
+        if idx == 0 {
+            pre_lag = read
+                .envelope
+                .frequency()
+                .expect("object 0 is the CountMin")
+                .lag;
+        }
+    }
+
+    // Phase 2 — kill replica 0 (close our side first: its connection
+    // threads only exit at client EOF) and keep loading. Its route
+    // share is held client-side; merged reads degrade but answer.
+    let victim = handles.remove(0);
+    let victim_addr = victim.addr().to_string();
+    group.disconnect(0);
+    drop(victim.join());
+    rejoin_send(
+        &mut group,
+        &mut backoff,
+        &mut stream,
+        &plan,
+        n,
+        o.batch,
+        ops_a / 2,
+        &mut seq,
+        recorders,
+        process,
+        Some(0),
+        &mut held,
+        &mut sent_weight,
+    )?;
+    let down_read = group
+        .query(0, 7)
+        .map_err(|e| format!("downtime query failed: {e}"))?;
+    let down_lag = down_read.envelope.frequency().expect("frequency").lag;
+
+    // Phase 3 — restart the replica empty at its old address (the old
+    // listener needs a moment to release it).
+    let reborn = {
+        let mut reborn = None;
+        for _ in 0..100 {
+            match serve(&victim_addr, cfg()) {
+                Ok(h) => {
+                    reborn = Some(h);
+                    break;
+                }
+                // lint:allow sleep — waiting for the OS to release the address
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        reborn.ok_or_else(|| format!("could not rebind {victim_addr}"))?
+    };
+    let t_restart = Instant::now();
+
+    // Detection round: one unrecorded read per object while the reborn
+    // replica still observes less than the displaced caches — each
+    // detection retains that cache for the push and widens lag by the
+    // forgotten weight.
+    let mut widened_lag = 0;
+    for (idx, &object) in plan.ids.iter().enumerate() {
+        let read = group
+            .query(object, 7)
+            .map_err(|e| format!("rejoin-detection query failed: {e}"))?;
+        if idx == 0 {
+            widened_lag = read.envelope.frequency().expect("frequency").lag;
+        }
+    }
+    if widened_lag <= pre_lag {
+        return Err(format!(
+            "the kill lost no weight (lag {pre_lag} -> {widened_lag}): \
+             the scenario did not exercise catch-up"
+        ));
+    }
+
+    // Replay the held share now that its replica is back — recorded as
+    // ordinary acknowledged updates, after the detection round so the
+    // replayed weight can never mask the rejoin (detection compares
+    // against the displaced cache's observed count).
+    let mut held_weight = 0u64;
+    for (object, items) in &held {
+        let weight: u64 = items.iter().map(|&(_, w)| w).sum();
+        let op = recorders.map(|rec| {
+            rec[0]
+                .builder
+                .lock()
+                .unwrap()
+                .invoke_update(process, ObjectId(*object), weight)
+        });
+        group_batch_retrying(&mut group, &mut backoff, *object, items)?;
+        if let Some(idx) = plan.ids.iter().position(|&id| id == *object) {
+            sent_weight[idx] += weight;
+        }
+        held_weight += weight;
+        if let (Some(rec), Some(op)) = (recorders, op) {
+            rec[0].builder.lock().unwrap().respond_update(op);
+        }
+    }
+
+    // Convergence: each read first flushes the pending pushes, then
+    // re-pulls the absorbed state, so the lag narrows back as soon as
+    // the pushes are acknowledged.
+    let bound = pre_lag.saturating_mul(2);
+    let mut post_lag = u64::MAX;
+    let mut convergence = None;
+    for _ in 0..16 {
+        let read = group
+            .query(0, 7)
+            .map_err(|e| format!("post-restart query failed: {e}"))?;
+        post_lag = read.envelope.frequency().expect("frequency").lag;
+        if group.catchup_pending() == 0 && post_lag <= bound {
+            convergence = Some(t_restart.elapsed());
+            break;
+        }
+    }
+    let Some(convergence) = convergence else {
+        return Err(format!(
+            "lag did not converge: pre-kill {pre_lag}, bound {bound}, still {post_lag} \
+             with {} pushes pending",
+            group.catchup_pending()
+        ));
+    };
+    let cstats = group.catchup_stats();
+    if cstats.failed > 0 {
+        return Err(format!("{} catch-up pushes failed", cstats.failed));
+    }
+
+    // Final recorded reads: the whole group is reachable again and the
+    // parts must cover every acknowledged update.
+    for (idx, &object) in plan.ids.iter().enumerate() {
+        let read = rejoin_query_recorded(&mut group, object, 7, recorders, process)?;
+        if idx == 0 {
+            let covered: u64 = read.parts.iter().flatten().sum();
+            if covered != sent_weight[0] {
+                return Err(format!(
+                    "post-catch-up parts cover {covered} weight, {} was acknowledged",
+                    sent_weight[0]
+                ));
+            }
+        }
+    }
+
+    println!(
+        "[rejoin] lag: pre-kill {pre_lag}, downtime {down_lag}, widened {widened_lag} \
+         on detection, post-catch-up {post_lag} (bound {bound})"
+    );
+    println!(
+        "[rejoin] converged {:.1} ms after restart; catch-up: {} detected, {} pushed, \
+         {} acked, {} weight settled; {held_weight} held weight replayed",
+        convergence.as_secs_f64() * 1e3,
+        cstats.detected,
+        cstats.pushed,
+        cstats.acked,
+        cstats.settled_weight,
+    );
+
+    drop(group);
+    drop(reborn.join());
+    for h in handles {
+        drop(h.join());
+    }
+    if let (Some(path), Some(recs)) = (&o.history_out, recorders_owned) {
+        for (r, rec) in recs.into_iter().enumerate() {
+            write_client_history(&format!("{path}.replica{r}"), rec)?;
+        }
+    }
+    if let Some(path) = &o.json {
+        let doc = format!(
+            "{{\n  \"bench\": \"ivl-service loadgen rejoin\",\n  \"replicas\": {n},\n  \
+             \"pre_kill_lag\": {pre_lag},\n  \"downtime_lag\": {down_lag},\n  \
+             \"widened_lag\": {widened_lag},\n  \"post_catchup_lag\": {post_lag},\n  \
+             \"lag_bound\": {bound},\n  \"convergence_ms\": {:.3},\n  \
+             \"held_weight_replayed\": {held_weight},\n  \
+             \"catchup\": {{\"detected\": {}, \"pushed\": {}, \"acked\": {}, \
+             \"failed\": {}, \"settled_weight\": {}}}\n}}\n",
+            convergence.as_secs_f64() * 1e3,
+            cstats.detected,
+            cstats.pushed,
+            cstats.acked,
+            cstats.failed,
+            cstats.settled_weight,
+        );
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// A second, tiny run whose history fits the exact checker's bound.
 fn run_exact_check(backend: Backend) -> Result<(), String> {
     let cfg = ServerConfig {
@@ -1368,6 +1729,12 @@ fn write_json(o: &Opts, runs: &[RunOutcome]) -> Result<(), String> {
 }
 
 fn run(o: &Opts) -> Result<(), String> {
+    if o.rejoin {
+        if o.addr.is_some() {
+            return Err("--rejoin boots its own in-process replicas; drop --addr".into());
+        }
+        return run_rejoin(o);
+    }
     let mut runs = Vec::new();
     if let Some(addr) = &o.addr {
         if o.replicas > 0 {
@@ -1475,7 +1842,7 @@ fn main() -> ExitCode {
             "usage: loadgen [--backend threaded|event-loop|both] [--threads N] \
              [--ops N] [--keys N] [--queries N] [--batch N] [--shards N] \
              [--write-buffer B] [--mix cm=8,hll=1,morris=1] [--replicas N] \
-             [--mode partition|mirror] [--query-ratio R] [--no-delta] \
+             [--mode partition|mirror] [--query-ratio R] [--no-delta] [--rejoin] \
              [--addr HOST:PORT] [--json FILE] [--history-out FILE] \
              [--shutdown] [--no-check]"
         );

@@ -69,6 +69,42 @@ impl ConcurrentHll {
         }
     }
 
+    /// Absorbs a peer's full register vector — the HLL absorb path of
+    /// replication catch-up: register-wise `fetch_max`, i.e. exactly
+    /// the union-merge the sequential sketch performs, applied with
+    /// the same monotone-merge discipline as [`update`](Self::update).
+    /// Registers that actually rise widen the dirty range; the epoch
+    /// is bumped once when anything rose (so delta snapshots notice),
+    /// and not at all for an absorb that changes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers.len()` differs from the register count —
+    /// callers gate peer precision (and hash fingerprints) first.
+    pub fn absorb(&self, registers: &[u8]) {
+        assert_eq!(
+            registers.len(),
+            self.registers.len(),
+            "peer register vector must match this sketch's precision"
+        );
+        let mut raised: Option<(u32, u32)> = None;
+        for (idx, &rank) in registers.iter().enumerate() {
+            if rank == 0 {
+                continue;
+            }
+            let prev = self.registers[idx].fetch_max(rank, Ordering::AcqRel);
+            if prev < rank {
+                let (lo, hi) = raised.unwrap_or((idx as u32, idx as u32 + 1));
+                raised = Some((lo.min(idx as u32), hi.max(idx as u32 + 1)));
+            }
+        }
+        if let Some((lo, hi)) = raised {
+            self.dirty_lo.fetch_min(lo, Ordering::AcqRel);
+            self.dirty_hi.fetch_max(hi, Ordering::AcqRel);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
     /// The sketch's update epoch (`Acquire`): monotone, equal across
     /// two reads only if the register vector is unchanged between
     /// them.
@@ -233,6 +269,39 @@ mod tests {
             hll.update(x);
         }
         assert_eq!(hll.indicator(), before);
+    }
+
+    #[test]
+    fn absorb_takes_register_max_and_bumps_the_epoch_once() {
+        let mut coins = CoinFlips::from_seed(6);
+        let a = ConcurrentHll::new(8, &mut coins);
+        let mut peer_coins = CoinFlips::from_seed(6);
+        let b = ConcurrentHll::new(8, &mut peer_coins);
+        for x in 0..500u64 {
+            a.update(x);
+        }
+        for x in 300..900u64 {
+            b.update(x);
+        }
+        // The union via absorb equals the sequential union-merge.
+        let mut seq = a.prototype().clone();
+        seq.merge_registers(&a.registers_snapshot());
+        seq.merge_registers(&b.registers_snapshot());
+        let e = a.epoch();
+        a.absorb(&b.registers_snapshot());
+        assert_eq!(a.registers_snapshot(), seq.registers().to_vec());
+        assert_eq!(a.epoch(), e + 1, "raising absorb bumps the epoch once");
+        // Absorbing the same peer again raises nothing: epoch frozen.
+        a.absorb(&b.registers_snapshot());
+        assert_eq!(a.epoch(), e + 1, "no-op absorb must not bump the epoch");
+        // Dirty range still covers every nonzero register.
+        let snap = a.registers_snapshot();
+        let (lo, hi) = a.dirty_range();
+        for (idx, &r) in snap.iter().enumerate() {
+            if r != 0 {
+                assert!((lo as usize) <= idx && idx < hi as usize);
+            }
+        }
     }
 
     #[test]

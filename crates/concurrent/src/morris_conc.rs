@@ -59,6 +59,27 @@ impl ConcurrentMorris {
         }
     }
 
+    /// Raises the exponent to at least `target` — the Morris absorb
+    /// path of replication catch-up, i.e. the exponent-max merge of
+    /// the sequential counter. Unlike [`update`](Self::update), whose
+    /// one-shot CAS may legitimately drop a raced coin, a merge must
+    /// not lose the peer's exponent, so this retries: a failed CAS
+    /// reloads and either finds the register already past `target`
+    /// (done — max is idempotent) or tries again. The loop is bounded
+    /// because the exponent only grows toward `target`.
+    pub fn raise_to(&self, target: u32) {
+        let mut cur = self.exponent.load(Ordering::Acquire);
+        while cur < target {
+            match self
+                .exponent
+                .compare_exchange(cur, target, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// The current exponent (monotone).
     pub fn exponent(&self) -> u32 {
         self.exponent.load(Ordering::Acquire)
@@ -136,6 +157,32 @@ mod tests {
             });
         })
         .unwrap();
+    }
+
+    #[test]
+    fn raise_to_is_a_max_merge_and_survives_races() {
+        let m = ConcurrentMorris::new(0.5, CoinFlips::from_seed(9));
+        m.raise_to(7);
+        assert_eq!(m.exponent(), 7);
+        // Raising to a lower or equal target is a no-op (max merge).
+        m.raise_to(3);
+        m.raise_to(7);
+        assert_eq!(m.exponent(), 7);
+        // Under contention the final exponent is the max of all
+        // targets and never below any of them mid-flight.
+        let m = ConcurrentMorris::new(0.5, CoinFlips::from_seed(10));
+        crossbeam::scope(|s| {
+            for t in 1..=8u32 {
+                let m = &m;
+                s.spawn(move |_| {
+                    for step in 0..100u32 {
+                        m.raise_to(t * 100 + step);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.exponent(), 899);
     }
 
     #[test]

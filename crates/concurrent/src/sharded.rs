@@ -468,6 +468,53 @@ impl ShardLease<'_> {
         }
     }
 
+    /// Adds a peer's full `depth × width` cell matrix (row-major, as
+    /// shipped by a snapshot) into the leased shard — the CountMin
+    /// absorb path of replication catch-up. Cells are additive, so
+    /// adding the peer matrix into any one shard makes the summed
+    /// sketch equal the cell-wise merge of the two sketches
+    /// (concatenated-stream semantics, like `CountMin::merge`). Same
+    /// single-writer discipline as [`update_by`](Self::update_by):
+    /// plain load + `Release` store per touched cell, span widen + row
+    /// stamp per touched row, one epoch commit for the whole matrix.
+    /// Zero cells are skipped (no store, no span widen), so absorbing
+    /// a sparse peer keeps deltas sparse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len()` differs from `depth * width` — callers
+    /// gate peer dimensions (and hash fingerprints) before absorbing.
+    pub fn absorb_cells(&mut self, cells: &[u64]) {
+        let (depth, width) = (self.parent.params.depth, self.parent.params.width);
+        assert_eq!(cells.len(), depth * width, "one cell per (row, col)");
+        let arena = &self.parent.shards[self.shard];
+        let meta = &self.parent.meta[self.shard];
+        let epoch = meta.next_epoch();
+        let mut touched = false;
+        for row in 0..depth {
+            let row_cells = arena.row_cells(row);
+            let src = &cells[row * width..(row + 1) * width];
+            let (mut lo, mut hi) = (width as u32, 0u32);
+            for (col, &add) in src.iter().enumerate() {
+                if add == 0 {
+                    continue;
+                }
+                let cell = row_cells.cell(col);
+                let cur = cell.load(Ordering::Relaxed);
+                cell.store(cur + add, Ordering::Release);
+                lo = lo.min(col as u32);
+                hi = hi.max(col as u32 + 1);
+            }
+            if lo < hi {
+                meta.touch_row(row, lo, hi, epoch);
+                touched = true;
+            }
+        }
+        if touched {
+            meta.commit(epoch);
+        }
+    }
+
     /// Adds `count` at pre-hashed per-row columns (`cols[row]`, one
     /// per row, as memoized by
     /// [`UpdateBuffer`](crate::buffered::UpdateBuffer)): the buffered
@@ -729,6 +776,55 @@ mod tests {
             l.apply_batch(&[], &mut scratch);
         }
         assert_eq!(sharded.epoch(), 1, "empty batch must not bump the epoch");
+    }
+
+    #[test]
+    fn absorb_cells_adds_a_peer_matrix_and_bumps_the_epoch_once() {
+        let mut coins = CoinFlips::from_seed(11);
+        let sharded = ShardedPcm::new(params(), 2, &mut coins);
+        let mut peer_coins = CoinFlips::from_seed(11);
+        let peer = ShardedPcm::new(params(), 2, &mut peer_coins);
+        {
+            let mut l = sharded.lease().expect("shard free");
+            l.update_by(3, 10);
+        }
+        {
+            let mut l = peer.lease().expect("shard free");
+            l.update_by(3, 4);
+            l.update_by(9, 6);
+        }
+        let mut base = Vec::new();
+        sharded.shard_epochs_into(&mut base);
+        let peer_cells = peer.cells_snapshot();
+        {
+            let mut l = sharded.lease().expect("shard free");
+            l.absorb_cells(&peer_cells);
+        }
+        // The absorbed sketch equals the cell-wise merge.
+        assert_eq!(sharded.stream_len_estimate(), 20);
+        assert!(sharded.estimate(3) >= 14);
+        assert!(sharded.estimate(9) >= 6);
+        // One epoch bump for the whole matrix; dirty spans cover the
+        // absorbed columns so deltas against older bases still work.
+        let mut now = Vec::new();
+        sharded.shard_epochs_into(&mut now);
+        assert_eq!(now.iter().sum::<u64>(), base.iter().sum::<u64>() + 1);
+        let spans = sharded.dirty_spans_since(&base);
+        for (row, h) in sharded.hashes().iter().enumerate() {
+            let (lo, hi) = spans[row];
+            for key in [3u64, 9] {
+                let col = h.hash_reduced(PairwiseHash::reduce(key)) as u32;
+                assert!(lo <= col && col < hi, "row {row} span misses col {col}");
+            }
+        }
+        // An all-zero matrix is a no-op (no epoch bump).
+        {
+            let mut l = sharded.lease().expect("shard free");
+            l.absorb_cells(&vec![0u64; 64 * 4]);
+        }
+        let mut after = Vec::new();
+        sharded.shard_epochs_into(&mut after);
+        assert_eq!(after, now, "zero matrix must not bump the epoch");
     }
 
     #[test]

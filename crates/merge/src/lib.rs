@@ -1,0 +1,850 @@
+//! `ivl-merge`: the mergeable-state layer shared by the serving and
+//! replication subsystems.
+//!
+//! The full *Fast Concurrent Data Sketches* line of work builds on one
+//! algebraic fact: the served sketches are **mergeable summaries** —
+//! CountMin cell matrices add cell-wise, HyperLogLog registers max
+//! register-wise, Morris exponents and min registers join as scalars —
+//! so any number of independently grown copies combine into one
+//! summary of the union (or, for mirrored copies, the common stream).
+//! Before this crate existed that algebra was written three times:
+//! once in the served objects (snapshot bodies), once in the wire
+//! codec (`SNAPSHOT`/`SNAPSHOT_SINCE` frames), and once in the replica
+//! group's per-kind merge arms. This crate is the single home:
+//!
+//! * [`SnapshotState`] — the kind-tagged state itself, with
+//!   [`CellRun`]/[`DeltaChange`] as its sparse-delta vocabulary.
+//! * [`MergeableState`] — the trait tying the algebra together:
+//!   kind-tagged `encode_into`/`decode_from` (the exact wire schema of
+//!   the snapshot frames), `merge_into` (the summary join, under a
+//!   [`MergePolicy`]), `apply_change` (delta application against a
+//!   cached copy), fingerprints, and `absorb_into` — the entry point
+//!   replication catch-up uses to push a peer's state back into a
+//!   *live* served structure through an [`AbsorbSink`].
+//! * [`cm_hash_fingerprint`]/[`hll_hash_fingerprint`]/[`slot_coins`] —
+//!   the coin/fingerprint discipline that makes merging safe: state is
+//!   only combined when both sides provably sampled the same hash
+//!   functions, and a mismatch is a typed [`MergeError`] (the wire's
+//!   `MergeMismatch`), never a silent wrong merge.
+//!
+//! Everything here is sequential and allocation-explicit; the
+//! concurrent absorb paths (shard leases, register `fetch_max`) live
+//! with the live structures and implement [`AbsorbSink`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use ivl_sketch::hash::PairwiseHash;
+use ivl_sketch::hll::HyperLogLog;
+use ivl_sketch::CoinFlips;
+use std::fmt;
+
+/// The kinds of quantitative objects the server can register. The
+/// discriminant is the wire tag used by kind-tagged envelope frames
+/// and the `OBJECTS` listing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// Sharded CountMin frequency sketch (the original served object).
+    CountMin,
+    /// Concurrent HyperLogLog cardinality sketch.
+    Hll,
+    /// Concurrent Morris approximate counter.
+    Morris,
+    /// Concurrent min register (antitone).
+    MinRegister,
+}
+
+impl ObjectKind {
+    /// Wire tag of this kind.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ObjectKind::CountMin => 0,
+            ObjectKind::Hll => 1,
+            ObjectKind::Morris => 2,
+            ObjectKind::MinRegister => 3,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(ObjectKind::CountMin),
+            1 => Some(ObjectKind::Hll),
+            2 => Some(ObjectKind::Morris),
+            3 => Some(ObjectKind::MinRegister),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ObjectKind::CountMin => "cm",
+            ObjectKind::Hll => "hll",
+            ObjectKind::Morris => "morris",
+            ObjectKind::MinRegister => "min",
+        })
+    }
+}
+
+impl std::str::FromStr for ObjectKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cm" | "countmin" | "count-min" => Ok(ObjectKind::CountMin),
+            "hll" => Ok(ObjectKind::Hll),
+            "morris" => Ok(ObjectKind::Morris),
+            "min" | "min-register" => Ok(ObjectKind::MinRegister),
+            other => Err(format!(
+                "unknown object kind {other:?} (want cm|hll|morris|min)"
+            )),
+        }
+    }
+}
+
+/// The kind-specific mergeable state carried by a `SNAPSHOT` reply.
+///
+/// Each variant is the raw material of that kind's merge operator
+/// (CountMin cells add cell-wise, HLL registers max register-wise,
+/// Morris exponents and min registers are scalars), so a replication
+/// layer can combine any number of snapshots into one summary over
+/// the union (partition) or the common stream (mirror) — the
+/// "mergeable summaries" property the full paper builds on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotState {
+    /// A CountMin cell matrix, row-major (`depth × width` sums).
+    CountMin {
+        /// Matrix width (columns per row).
+        width: u32,
+        /// Matrix depth (rows).
+        depth: u32,
+        /// Probe fingerprint of the row hash functions (see
+        /// [`cm_hash_fingerprint`]); peers whose fingerprints differ
+        /// sampled different coins and must not be merged.
+        hash_fp: u64,
+        /// The `depth * width` cell sums.
+        cells: Vec<u64>,
+    },
+    /// HLL registers (one max-rank byte per bucket).
+    Hll {
+        /// Probe fingerprint of the routing hash (see
+        /// [`hll_hash_fingerprint`]).
+        hash_fp: u64,
+        /// The `2^precision` register bytes.
+        registers: Vec<u8>,
+    },
+    /// A Morris counter's exponent.
+    Morris {
+        /// Current exponent.
+        exponent: u32,
+    },
+    /// A min register's current minimum.
+    MinRegister {
+        /// Current minimum (`u64::MAX` when empty).
+        minimum: u64,
+    },
+}
+
+/// One sparse overwrite run of a CountMin delta: `values` replace the
+/// client's cached cells `[lo, lo + values.len())` of `row`. Runs
+/// carry current summed cell values (not increments), so applying a
+/// delta is idempotent and never double-counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellRun {
+    /// Matrix row the run overwrites.
+    pub row: u32,
+    /// First column (inclusive) of the overwrite.
+    pub lo: u32,
+    /// The replacement cell sums.
+    pub values: Vec<u64>,
+}
+
+/// How a `SNAPSHOT_SINCE` reply changes the client's cached state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaChange {
+    /// Nothing changed since the client's base epoch: keep the cached
+    /// state (the reply still carries a fresh envelope — acknowledged
+    /// weight may move without a cell change).
+    Unchanged,
+    /// Sparse cell overwrites against a cached CountMin whose epoch is
+    /// `base_epoch`.
+    CmRuns {
+        /// The cache epoch these runs patch.
+        base_epoch: u64,
+        /// The overwrite runs (row-sparse, column-contiguous).
+        runs: Vec<CellRun>,
+    },
+    /// A register-range overwrite against a cached HLL whose epoch is
+    /// `base_epoch`: `registers` replace `[lo, lo + registers.len())`.
+    HllRange {
+        /// The cache epoch this range patches.
+        base_epoch: u64,
+        /// First register (inclusive) of the overwrite.
+        lo: u32,
+        /// The replacement register bytes.
+        registers: Vec<u8>,
+    },
+    /// A full replacement state: the client's base was unknown (or too
+    /// old to diff), or a delta would not beat the full frame.
+    Full(SnapshotState),
+}
+
+/// Fixed probe keys hashed by the fingerprint helpers. Two hash
+/// functions that agree on all probes are overwhelmingly likely the
+/// same sampled function; replicas built from the same seed (see
+/// [`slot_coins`]) always agree exactly.
+const FP_PROBES: [u64; 8] = [
+    0,
+    1,
+    0x5bd1_e995,
+    0x0b1e_c7ed,
+    u64::MAX / 3,
+    u64::MAX / 2,
+    u64::MAX - 1,
+    u64::MAX,
+];
+
+fn fp_mix(acc: u64, v: u64) -> u64 {
+    // splitmix64-style finalizer: order-sensitive, avalanching.
+    let mut x = acc.wrapping_add(v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 27)
+}
+
+/// A u64 fingerprint of a CountMin's row hash functions, computed by
+/// hashing [`FP_PROBES`] through every row. Snapshots carry it so a
+/// merging peer can refuse mismatched coins with a typed error
+/// instead of silently adding cells that count different things.
+pub fn cm_hash_fingerprint(hashes: &[PairwiseHash]) -> u64 {
+    let mut acc = fp_mix(0x1dea_c0de, hashes.len() as u64);
+    for h in hashes {
+        for probe in FP_PROBES {
+            acc = fp_mix(acc, h.hash(probe) as u64);
+        }
+    }
+    acc
+}
+
+/// A u64 fingerprint of an HLL's routing hash (bucket and rank of
+/// every [`FP_PROBES`] key) — the HLL counterpart of
+/// [`cm_hash_fingerprint`].
+pub fn hll_hash_fingerprint(hll: &HyperLogLog) -> u64 {
+    let mut acc = fp_mix(0xca8d_117a, hll.num_registers() as u64);
+    for probe in FP_PROBES {
+        let (bucket, rank) = hll.route(probe);
+        acc = fp_mix(acc, ((bucket as u64) << 8) | rank as u64);
+    }
+    acc
+}
+
+/// The coin-flip stream for registry slot `idx` under `seed`.
+///
+/// Exposed (and kept deliberately simple) because replication depends
+/// on it: replicas started with the same `--seed` and the same object
+/// roster sample identical hash functions per slot, which is exactly
+/// the precondition for merging their snapshots. A replica-group
+/// client rebuilds prototypes with this same function to re-derive
+/// estimates from merged state.
+pub fn slot_coins(seed: u64, idx: u32) -> CoinFlips {
+    // Distinct streams per registry slot, so two `hll` objects do not
+    // share hash functions.
+    CoinFlips::from_seed(seed ^ ((idx as u64) << 32 | 0x0b1ec7))
+}
+
+/// How two copies of the same-kind state combine.
+///
+/// CountMin cells are the only place the distinction matters: copies
+/// that counted **disjoint substreams** (a partitioned group) add
+/// cell-wise, while copies that counted the **same stream** (a
+/// mirrored group) join by cell-wise max. The other kinds' operators
+/// are idempotent joins (register max, exponent max, scalar min) and
+/// behave identically under either policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Cell-wise addition: summaries of disjoint substreams.
+    Add,
+    /// Cell-wise max: summaries of the same stream.
+    Join,
+}
+
+/// A refused merge or absorb: kinds, dimensions, or hash fingerprints
+/// disagree, or a delta does not fit the cache it claims to patch.
+/// Maps to the wire's `MergeMismatch` error code; callers prefix the
+/// object id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeError {
+    reason: String,
+}
+
+impl MergeError {
+    /// A new typed refusal with a human-readable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        MergeError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// What [`MergeableState::apply_change`] did to the cached state, with
+/// enough detail for a caller keeping a derived accumulator (the
+/// replica group's merged cells) to patch it incrementally instead of
+/// rebuilding from every cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StatePatch {
+    /// The delta was `Unchanged`: the cache is already current.
+    Unchanged,
+    /// Sparse CountMin overwrites were applied; each entry is
+    /// `(flat cell index, old value, new value)`.
+    CmCells(Vec<(usize, u64, u64)>),
+    /// An HLL register range `[lo, lo + registers.len())` was
+    /// overwritten with `registers`.
+    HllRange {
+        /// First overwritten register.
+        lo: usize,
+        /// The bytes now in place.
+        registers: Vec<u8>,
+    },
+    /// The delta carried a full state; the cache was replaced wholesale.
+    Replaced,
+}
+
+/// A live served structure a peer's [`SnapshotState`] can be absorbed
+/// into — the receiving half of replication catch-up.
+///
+/// [`MergeableState::absorb_into`] dispatches on the state's kind;
+/// implementations override exactly the method matching the structure
+/// they serve (the defaults refuse with a kind-mismatch
+/// [`MergeError`]), and own whatever concurrency discipline the write
+/// needs: the CountMin sink adds cells under its shard lease
+/// (single-writer stores, one epoch commit), the HLL sink `fetch_max`es
+/// registers, Morris raises its exponent by CAS, the min register
+/// `fetch_min`s. All four absorb operations are joins with the
+/// structure's own update algebra, so absorbing an IVL snapshot keeps
+/// the structure an intermediate mix of real updates.
+pub trait AbsorbSink {
+    /// Absorbs a CountMin cell matrix (cell-wise add).
+    fn absorb_cm(
+        &mut self,
+        width: u32,
+        depth: u32,
+        hash_fp: u64,
+        cells: &[u64],
+    ) -> Result<(), MergeError> {
+        let _ = (width, depth, hash_fp, cells);
+        Err(MergeError::new(KIND_MISMATCH))
+    }
+
+    /// Absorbs HLL registers (register-wise max).
+    fn absorb_hll(&mut self, hash_fp: u64, registers: &[u8]) -> Result<(), MergeError> {
+        let _ = (hash_fp, registers);
+        Err(MergeError::new(KIND_MISMATCH))
+    }
+
+    /// Absorbs a Morris exponent (raise to at least `exponent`).
+    fn absorb_morris(&mut self, exponent: u32) -> Result<(), MergeError> {
+        let _ = exponent;
+        Err(MergeError::new(KIND_MISMATCH))
+    }
+
+    /// Absorbs a minimum (lower to at most `minimum`).
+    fn absorb_min(&mut self, minimum: u64) -> Result<(), MergeError> {
+        let _ = minimum;
+        Err(MergeError::new(KIND_MISMATCH))
+    }
+}
+
+/// Default [`AbsorbSink`] refusal: the pushed state's kind does not
+/// match the structure absorbing it.
+pub const KIND_MISMATCH: &str = "peer state kind does not match the served object";
+
+/// The mergeable-summary algebra, tied to a wire schema.
+///
+/// One implementation ships ([`SnapshotState`]); the trait names the
+/// contract the servers, the codec, and the replica group all rely on:
+///
+/// * `encode_into`/`decode_from` are exact inverses and *are* the wire
+///   schema of the snapshot frame bodies (kind tag carried separately).
+/// * `merge_into` is associative and commutative per kind (pinned by
+///   this crate's property tests), so merge order across replicas
+///   never matters.
+/// * `apply_change` applies a `SNAPSHOT_SINCE` delta to a cached copy;
+///   runs carry absolute values, so re-application is idempotent.
+/// * `absorb_into` pushes the state into a live structure through an
+///   [`AbsorbSink`] — `absorb`-then-snapshot equals
+///   snapshot-then-`merge_into` (also property-pinned).
+pub trait MergeableState: Sized {
+    /// This state's kind tag.
+    fn kind(&self) -> ObjectKind;
+
+    /// The hash/coin fingerprint guarding merges, for kinds that carry
+    /// one (CountMin, HLL).
+    fn fingerprint(&self) -> Option<u64>;
+
+    /// Appends the kind-specific wire body (little-endian, no kind
+    /// tag — the frame carries that).
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes a wire body of `kind` from the front of `body`,
+    /// consuming exactly the encoded bytes. Never trusts a length
+    /// field further than the bytes actually present.
+    fn decode_from(kind: ObjectKind, body: &mut &[u8]) -> Result<Self, &'static str>;
+
+    /// Merges `self` into `target` under `policy`.
+    fn merge_into(&self, target: &mut Self, policy: MergePolicy) -> Result<(), MergeError>;
+
+    /// Applies a delta to this cached state, reporting what changed.
+    fn apply_change(&mut self, change: DeltaChange) -> Result<StatePatch, MergeError>;
+
+    /// Absorbs this state into a live served structure.
+    fn absorb_into(&self, sink: &mut dyn AbsorbSink) -> Result<(), MergeError>;
+}
+
+fn take_u32(body: &mut &[u8]) -> Result<u32, &'static str> {
+    if body.len() < 4 {
+        return Err(SHORT_BODY);
+    }
+    let (head, rest) = body.split_at(4);
+    *body = rest;
+    Ok(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn take_u64(body: &mut &[u8]) -> Result<u64, &'static str> {
+    if body.len() < 8 {
+        return Err(SHORT_BODY);
+    }
+    let (head, rest) = body.split_at(8);
+    *body = rest;
+    Ok(u64::from_le_bytes(head.try_into().unwrap()))
+}
+
+const SHORT_BODY: &str = "body shorter than its schema";
+
+impl MergeableState for SnapshotState {
+    fn kind(&self) -> ObjectKind {
+        match self {
+            SnapshotState::CountMin { .. } => ObjectKind::CountMin,
+            SnapshotState::Hll { .. } => ObjectKind::Hll,
+            SnapshotState::Morris { .. } => ObjectKind::Morris,
+            SnapshotState::MinRegister { .. } => ObjectKind::MinRegister,
+        }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        match self {
+            SnapshotState::CountMin { hash_fp, .. } | SnapshotState::Hll { hash_fp, .. } => {
+                Some(*hash_fp)
+            }
+            SnapshotState::Morris { .. } | SnapshotState::MinRegister { .. } => None,
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            SnapshotState::CountMin {
+                width,
+                depth,
+                hash_fp,
+                cells,
+            } => {
+                out.extend_from_slice(&width.to_le_bytes());
+                out.extend_from_slice(&depth.to_le_bytes());
+                out.extend_from_slice(&hash_fp.to_le_bytes());
+                // No cell-count field: the count is `width * depth`.
+                for &cell in cells {
+                    out.extend_from_slice(&cell.to_le_bytes());
+                }
+            }
+            SnapshotState::Hll { hash_fp, registers } => {
+                out.extend_from_slice(&hash_fp.to_le_bytes());
+                out.extend_from_slice(&(registers.len() as u32).to_le_bytes());
+                out.extend_from_slice(registers);
+            }
+            SnapshotState::Morris { exponent } => {
+                out.extend_from_slice(&exponent.to_le_bytes());
+            }
+            SnapshotState::MinRegister { minimum } => {
+                out.extend_from_slice(&minimum.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_from(kind: ObjectKind, body: &mut &[u8]) -> Result<Self, &'static str> {
+        match kind {
+            ObjectKind::CountMin => {
+                let width = take_u32(body)?;
+                let depth = take_u32(body)?;
+                let hash_fp = take_u64(body)?;
+                let cells_len = width as u64 * depth as u64;
+                // Cross-check the claimed dimensions against the bytes
+                // actually present before allocating.
+                if cells_len > (body.len() / 8) as u64 {
+                    return Err(SHORT_BODY);
+                }
+                let mut cells = Vec::with_capacity(cells_len as usize);
+                for _ in 0..cells_len {
+                    cells.push(take_u64(body)?);
+                }
+                Ok(SnapshotState::CountMin {
+                    width,
+                    depth,
+                    hash_fp,
+                    cells,
+                })
+            }
+            ObjectKind::Hll => {
+                let hash_fp = take_u64(body)?;
+                let len = take_u32(body)? as usize;
+                if body.len() < len {
+                    return Err(SHORT_BODY);
+                }
+                let (raw, rest) = body.split_at(len);
+                *body = rest;
+                Ok(SnapshotState::Hll {
+                    hash_fp,
+                    registers: raw.to_vec(),
+                })
+            }
+            ObjectKind::Morris => Ok(SnapshotState::Morris {
+                exponent: take_u32(body)?,
+            }),
+            ObjectKind::MinRegister => Ok(SnapshotState::MinRegister {
+                minimum: take_u64(body)?,
+            }),
+        }
+    }
+
+    fn merge_into(&self, target: &mut Self, policy: MergePolicy) -> Result<(), MergeError> {
+        match (self, target) {
+            (
+                SnapshotState::CountMin {
+                    width,
+                    depth,
+                    hash_fp,
+                    cells,
+                },
+                SnapshotState::CountMin {
+                    width: tw,
+                    depth: td,
+                    hash_fp: tf,
+                    cells: tc,
+                },
+            ) => {
+                if (width, depth, hash_fp) != (tw, td, tf) {
+                    return Err(MergeError::new(
+                        "replica CountMin dimensions or coins disagree",
+                    ));
+                }
+                for (t, &c) in tc.iter_mut().zip(cells) {
+                    match policy {
+                        MergePolicy::Add => *t += c,
+                        MergePolicy::Join => *t = (*t).max(c),
+                    }
+                }
+                Ok(())
+            }
+            (
+                SnapshotState::Hll { hash_fp, registers },
+                SnapshotState::Hll {
+                    hash_fp: tf,
+                    registers: tr,
+                },
+            ) => {
+                if hash_fp != tf || registers.len() != tr.len() {
+                    return Err(MergeError::new("replica HLL precision or coins disagree"));
+                }
+                // Register max under either policy: both copies hold
+                // max-ranks, and max is the union summary.
+                for (t, &r) in tr.iter_mut().zip(registers) {
+                    *t = (*t).max(r);
+                }
+                Ok(())
+            }
+            (SnapshotState::Morris { exponent }, SnapshotState::Morris { exponent: te }) => {
+                *te = (*te).max(*exponent);
+                Ok(())
+            }
+            (
+                SnapshotState::MinRegister { minimum },
+                SnapshotState::MinRegister { minimum: tm },
+            ) => {
+                *tm = (*tm).min(*minimum);
+                Ok(())
+            }
+            _ => Err(MergeError::new("kind tag and state disagree")),
+        }
+    }
+
+    fn apply_change(&mut self, change: DeltaChange) -> Result<StatePatch, MergeError> {
+        match change {
+            DeltaChange::Unchanged => Ok(StatePatch::Unchanged),
+            DeltaChange::Full(state) => {
+                *self = state;
+                Ok(StatePatch::Replaced)
+            }
+            DeltaChange::CmRuns { runs, .. } => {
+                let SnapshotState::CountMin {
+                    width,
+                    depth,
+                    cells,
+                    ..
+                } = self
+                else {
+                    return Err(MergeError::new("CountMin runs for a non-CountMin cache"));
+                };
+                let (width, depth) = (*width as usize, *depth as usize);
+                let mut patched = Vec::new();
+                for run in &runs {
+                    let (row, lo) = (run.row as usize, run.lo as usize);
+                    if row >= depth || lo + run.values.len() > width {
+                        return Err(MergeError::new("delta run out of bounds"));
+                    }
+                    for (k, &value) in run.values.iter().enumerate() {
+                        let idx = row * width + lo + k;
+                        patched.push((idx, cells[idx], value));
+                        cells[idx] = value;
+                    }
+                }
+                Ok(StatePatch::CmCells(patched))
+            }
+            DeltaChange::HllRange { lo, registers, .. } => {
+                let SnapshotState::Hll {
+                    registers: cached, ..
+                } = self
+                else {
+                    return Err(MergeError::new("HLL range for a non-HLL cache"));
+                };
+                let lo = lo as usize;
+                if lo + registers.len() > cached.len() {
+                    return Err(MergeError::new("delta register range out of bounds"));
+                }
+                cached[lo..lo + registers.len()].copy_from_slice(&registers);
+                Ok(StatePatch::HllRange { lo, registers })
+            }
+        }
+    }
+
+    fn absorb_into(&self, sink: &mut dyn AbsorbSink) -> Result<(), MergeError> {
+        match self {
+            SnapshotState::CountMin {
+                width,
+                depth,
+                hash_fp,
+                cells,
+            } => sink.absorb_cm(*width, *depth, *hash_fp, cells),
+            SnapshotState::Hll { hash_fp, registers } => sink.absorb_hll(*hash_fp, registers),
+            SnapshotState::Morris { exponent } => sink.absorb_morris(*exponent),
+            SnapshotState::MinRegister { minimum } => sink.absorb_min(*minimum),
+        }
+    }
+}
+
+/// Folds any number of same-kind states into one merged summary under
+/// `policy`. Errors on an empty slice, on mixed kinds, and on any
+/// dimension/fingerprint disagreement.
+pub fn merge_states(
+    policy: MergePolicy,
+    states: &[&SnapshotState],
+) -> Result<SnapshotState, MergeError> {
+    let mut iter = states.iter();
+    let Some(first) = iter.next() else {
+        return Err(MergeError::new("no states to merge"));
+    };
+    let mut merged = (*first).clone();
+    for state in iter {
+        state.merge_into(&mut merged, policy)?;
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm(cells: Vec<u64>) -> SnapshotState {
+        SnapshotState::CountMin {
+            width: 3,
+            depth: 2,
+            hash_fp: 0xfeed,
+            cells,
+        }
+    }
+
+    #[test]
+    fn kinds_roundtrip_through_wire_tags_and_strings() {
+        for kind in [
+            ObjectKind::CountMin,
+            ObjectKind::Hll,
+            ObjectKind::Morris,
+            ObjectKind::MinRegister,
+        ] {
+            assert_eq!(ObjectKind::from_u8(kind.to_u8()), Some(kind));
+            assert_eq!(kind.to_string().parse::<ObjectKind>().unwrap(), kind);
+        }
+        assert_eq!(ObjectKind::from_u8(9), None);
+        assert!("quartz".parse::<ObjectKind>().is_err());
+    }
+
+    #[test]
+    fn encode_decode_is_the_identity_and_consumes_exactly_the_body() {
+        let states = [
+            cm(vec![1, 2, 3, 4, 5, 6]),
+            SnapshotState::Hll {
+                hash_fp: 9,
+                registers: vec![0, 3, 1, 7],
+            },
+            SnapshotState::Morris { exponent: 12 },
+            SnapshotState::MinRegister { minimum: 41 },
+        ];
+        for state in &states {
+            let mut buf = Vec::new();
+            state.encode_into(&mut buf);
+            buf.extend_from_slice(b"trailer");
+            let mut body = buf.as_slice();
+            let back = SnapshotState::decode_from(state.kind(), &mut body).unwrap();
+            assert_eq!(&back, state);
+            assert_eq!(body, b"trailer");
+        }
+    }
+
+    #[test]
+    fn decode_refuses_lying_lengths_without_allocating() {
+        // CM header claiming a huge matrix over a tiny body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let mut body = buf.as_slice();
+        assert_eq!(
+            SnapshotState::decode_from(ObjectKind::CountMin, &mut body),
+            Err(SHORT_BODY)
+        );
+        // HLL register count beyond the bytes present.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+        let mut body = buf.as_slice();
+        assert_eq!(
+            SnapshotState::decode_from(ObjectKind::Hll, &mut body),
+            Err(SHORT_BODY)
+        );
+    }
+
+    #[test]
+    fn merge_adds_or_joins_cells_and_refuses_mismatches() {
+        let a = cm(vec![1, 0, 2, 3, 0, 0]);
+        let mut add = cm(vec![4, 1, 0, 0, 2, 0]);
+        a.merge_into(&mut add, MergePolicy::Add).unwrap();
+        assert_eq!(add, cm(vec![5, 1, 2, 3, 2, 0]));
+        let mut join = cm(vec![4, 1, 0, 0, 2, 0]);
+        a.merge_into(&mut join, MergePolicy::Join).unwrap();
+        assert_eq!(join, cm(vec![4, 1, 2, 3, 2, 0]));
+
+        let mut wrong_fp = cm(vec![0; 6]);
+        if let SnapshotState::CountMin { hash_fp, .. } = &mut wrong_fp {
+            *hash_fp = 1;
+        }
+        assert!(a.merge_into(&mut wrong_fp, MergePolicy::Add).is_err());
+        let mut wrong_kind = SnapshotState::Morris { exponent: 0 };
+        let err = a.merge_into(&mut wrong_kind, MergePolicy::Add).unwrap_err();
+        assert_eq!(err.to_string(), "kind tag and state disagree");
+    }
+
+    #[test]
+    fn apply_change_patches_and_reports_old_and_new_values() {
+        let mut cache = cm(vec![1, 2, 3, 4, 5, 6]);
+        let patch = cache
+            .apply_change(DeltaChange::CmRuns {
+                base_epoch: 1,
+                runs: vec![CellRun {
+                    row: 1,
+                    lo: 1,
+                    values: vec![50, 60],
+                }],
+            })
+            .unwrap();
+        assert_eq!(patch, StatePatch::CmCells(vec![(4, 5, 50), (5, 6, 60)]));
+        assert_eq!(cache, cm(vec![1, 2, 3, 4, 50, 60]));
+        assert!(cache
+            .apply_change(DeltaChange::CmRuns {
+                base_epoch: 1,
+                runs: vec![CellRun {
+                    row: 2,
+                    lo: 0,
+                    values: vec![1],
+                }],
+            })
+            .is_err());
+
+        let mut hll = SnapshotState::Hll {
+            hash_fp: 0,
+            registers: vec![1, 2, 3, 4],
+        };
+        let patch = hll
+            .apply_change(DeltaChange::HllRange {
+                base_epoch: 1,
+                lo: 2,
+                registers: vec![9, 9],
+            })
+            .unwrap();
+        assert_eq!(
+            patch,
+            StatePatch::HllRange {
+                lo: 2,
+                registers: vec![9, 9]
+            }
+        );
+        assert!(hll
+            .apply_change(DeltaChange::HllRange {
+                base_epoch: 1,
+                lo: 3,
+                registers: vec![9, 9],
+            })
+            .is_err());
+        assert!(matches!(
+            hll.apply_change(DeltaChange::Full(SnapshotState::Morris { exponent: 1 })),
+            Ok(StatePatch::Replaced)
+        ));
+    }
+
+    #[test]
+    fn default_sink_refuses_every_kind() {
+        struct Deaf;
+        impl AbsorbSink for Deaf {}
+        let mut deaf = Deaf;
+        for state in [
+            cm(vec![0; 6]),
+            SnapshotState::Hll {
+                hash_fp: 0,
+                registers: vec![0],
+            },
+            SnapshotState::Morris { exponent: 0 },
+            SnapshotState::MinRegister { minimum: 0 },
+        ] {
+            let err = state.absorb_into(&mut deaf).unwrap_err();
+            assert_eq!(err.to_string(), KIND_MISMATCH);
+        }
+    }
+
+    #[test]
+    fn merge_states_folds_and_refuses_empty() {
+        let a = cm(vec![1, 0, 0, 0, 0, 0]);
+        let b = cm(vec![0, 2, 0, 0, 0, 0]);
+        let c = cm(vec![0, 0, 3, 0, 0, 0]);
+        let merged = merge_states(MergePolicy::Add, &[&a, &b, &c]).unwrap();
+        assert_eq!(merged, cm(vec![1, 2, 3, 0, 0, 0]));
+        assert!(merge_states(MergePolicy::Add, &[]).is_err());
+    }
+}

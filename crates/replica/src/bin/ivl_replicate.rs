@@ -205,6 +205,20 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
                     Err(e) => wire_error(e),
                 }
             }
+            Request::PushState { object, .. } => {
+                // Catch-up pushes belong between a group and its own
+                // backends: the frontend holds no mergeable state of
+                // its own to absorb into, and relaying a peer's state
+                // into *every* replica would double-count it under
+                // partition placement. Refused typed, never absorbed.
+                Response::Error {
+                    code: ErrorCode::MergeMismatch,
+                    message: format!(
+                        "object {object}: the replication frontend serves merged state but \
+                         absorbs none; push to a backend replica instead"
+                    ),
+                }
+            }
             Request::Objects => match group.objects() {
                 Ok(infos) => Response::Objects(infos),
                 Err(e) => wire_error(e),

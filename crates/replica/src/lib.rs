@@ -55,6 +55,25 @@
 //! connections; servers predating `SNAPSHOT_SINCE` are detected by
 //! their `Protocol` refusal and served full snapshots thereafter.
 //!
+//! **Catch-up (anti-entropy).** A replica that restarts comes back
+//! empty; reactive degradation alone would widen merged envelopes by
+//! its forgotten weight forever. The group detects the rejoin — a
+//! fresh full snapshot whose `observed` is *below* the replica's
+//! cached one means the replica lost history — retains the displaced
+//! cache as the catch-up payload, and pushes it back over
+//! `PUSH_STATE` on the next refresh. The pushed state is the
+//! replica's *own* retained summary, so absorbing it (cell-wise add;
+//! the other kinds' idempotent joins) is the exact union of the two
+//! disjoint uptime windows in both placement modes. Until the push is
+//! acknowledged the forgotten weight is carried in a `lost` ledger
+//! bucket that widens merged `lag`; an acknowledged push settles it
+//! (and any in-doubt weight at that replica), invalidates the cache,
+//! and the next refresh re-pulls the absorbed state — the envelope
+//! narrows back to its pre-kill width. `PUSH_STATE` is not
+//! idempotent, so a push whose connection dies mid-roundtrip is never
+//! resent; its weight simply stays on the `lost` ledger
+//! (conservative). [`ReplicaGroup::catchup_stats`] counts all of it.
+//!
 //! **Merge safety.** Replicas may only be merged if they sampled the
 //! same hash functions — the same `--seed` and object roster. Every
 //! snapshot carries a probe fingerprint of its hashes; the group
@@ -68,9 +87,9 @@
 #![warn(missing_debug_implementations)]
 
 use ivl_service::{
-    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, Client, ClientError, ComposeError,
-    DeltaChange, Envelope, ErrorCode, ErrorEnvelope, ObjectInfo, ObjectKind, ObjectSnapshot,
-    SnapshotDelta, SnapshotState, WireError,
+    cm_hash_fingerprint, hll_hash_fingerprint, merge_states, slot_coins, Client, ClientError,
+    ComposeError, DeltaChange, Envelope, ErrorCode, ErrorEnvelope, MergePolicy, MergeableState,
+    ObjectInfo, ObjectKind, ObjectSnapshot, SnapshotDelta, SnapshotState, StatePatch, WireError,
 };
 use ivl_sketch::countmin::{CountMin, CountMinParams};
 use ivl_sketch::hll::HyperLogLog;
@@ -238,6 +257,14 @@ struct Ledger {
     /// Mirror mode: weight acknowledged by the group that this
     /// replica did not receive (it was unreachable).
     missed: HashMap<u32, u64>,
+    /// Weight this replica demonstrably forgot (it rejoined observing
+    /// less than its cached state) that has not yet been pushed back —
+    /// widens merged `lag` until the catch-up push is acknowledged.
+    lost: HashMap<u32, u64>,
+    /// Weight settled by acknowledged catch-up pushes: recovered
+    /// `lost` weight plus resolved `in_doubt` weight — kept for audit,
+    /// no longer widening anything.
+    settled: HashMap<u32, u64>,
 }
 
 impl Ledger {
@@ -289,6 +316,37 @@ impl DeltaStats {
     }
 }
 
+/// Cumulative catch-up (anti-entropy) accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatchupStats {
+    /// Rejoins detected: a replica answered a fresh full state whose
+    /// `observed` was below its cached one (it restarted and lost
+    /// history).
+    pub detected: u64,
+    /// `PUSH_STATE` frames sent.
+    pub pushed: u64,
+    /// Pushes the replica acknowledged absorbing.
+    pub acked: u64,
+    /// Pushes that failed: the connection died (never resent — absorb
+    /// is not idempotent) or the replica refused.
+    pub failed: u64,
+    /// Ledger weight settled by acknowledged pushes: recovered `lost`
+    /// weight plus resolved `in_doubt` weight.
+    pub settled_weight: u64,
+}
+
+/// A retained catch-up payload: the cache a rejoin displaced, held
+/// until it can be pushed back to the replica that forgot it.
+#[derive(Debug)]
+struct PendingPush {
+    replica: usize,
+    object: u32,
+    /// Acknowledged weight the retained state covers — the `observed`
+    /// the push reports so the replica can credit it.
+    observed: u64,
+    state: SnapshotState,
+}
+
 /// One replica's cached snapshot of one object — the delta base.
 #[derive(Debug)]
 struct CachedSnapshot {
@@ -323,21 +381,10 @@ enum MergedCells {
 enum RefreshOutcome {
     /// Stayed unreachable; the cache (if any) is served stale.
     Unreachable,
-    /// Epoch fast path: cells untouched, envelope refreshed.
-    Unchanged,
-    /// A sparse delta patched the cache; fold `PatchOp` into the
-    /// accumulator.
-    Patched(PatchOp),
-    /// Full state replaced the cache; the accumulator must rebuild.
-    Replaced,
-}
-
-/// An accumulator-foldable patch: old and new values of the cells a
-/// delta overwrote (partition subtracts old and adds new; mirror and
-/// HLL max the new value in).
-enum PatchOp {
-    CmCells(Vec<(usize, u64, u64)>),
-    HllRange { lo: usize, registers: Vec<u8> },
+    /// The cache is current; the [`StatePatch`] reported by
+    /// [`MergeableState::apply_change`] says what moved (nothing, a
+    /// foldable sparse patch, or a wholesale replacement).
+    Refreshed(StatePatch),
 }
 
 /// Why a single-replica write did not succeed.
@@ -376,6 +423,19 @@ pub struct ReplicaGroup {
     /// benchmarking flips this off).
     delta_reads: bool,
     delta_stats: DeltaStats,
+    /// Retained states awaiting a catch-up push to a rejoined replica.
+    pending_pushes: Vec<PendingPush>,
+    catchup: CatchupStats,
+}
+
+/// The merge policy a placement mode implies: partitioned replicas
+/// hold disjoint substreams (cells add), mirrored replicas hold copies
+/// of one stream (cells join by max).
+fn policy_for(mode: ReplicaMode) -> MergePolicy {
+    match mode {
+        ReplicaMode::Partition => MergePolicy::Add,
+        ReplicaMode::Mirror => MergePolicy::Join,
+    }
 }
 
 /// splitmix64 finalizer — scrambles keys before the `% n` partition
@@ -425,6 +485,8 @@ impl ReplicaGroup {
             supports_delta: vec![true; n],
             delta_reads: true,
             delta_stats: DeltaStats::default(),
+            pending_pushes: Vec::new(),
+            catchup: CatchupStats::default(),
         })
     }
 
@@ -465,6 +527,17 @@ impl ReplicaGroup {
     /// Cumulative snapshot-read accounting (deltas and fulls alike).
     pub fn delta_stats(&self) -> DeltaStats {
         self.delta_stats
+    }
+
+    /// Cumulative catch-up (anti-entropy) accounting.
+    pub fn catchup_stats(&self) -> CatchupStats {
+        self.catchup
+    }
+
+    /// Retained states still waiting to be pushed back to a rejoined
+    /// replica (0 once the group has converged).
+    pub fn catchup_pending(&self) -> usize {
+        self.pending_pushes.len()
     }
 
     /// Drops the held connection to replica `i` (if any). The next
@@ -719,6 +792,10 @@ impl ReplicaGroup {
     /// delta protocol and folds the changes into the merged
     /// accumulator. Returns which replicas answered this round.
     fn refresh(&mut self, object: u32) -> Result<Vec<bool>, ReplicaError> {
+        // Catch-up pushes detected by the previous refresh go out
+        // first: a replica caught up here re-reads as fully converged
+        // in this very round.
+        self.flush_pending_pushes()?;
         let r = self.refresh_inner(object);
         if r.is_err() {
             // An abandoned refresh may have patched caches without
@@ -727,6 +804,111 @@ impl ReplicaGroup {
             self.accums.remove(&object);
         }
         r
+    }
+
+    /// Records a rejoin of replica `i`: its fresh state observes less
+    /// than what this group had cached from it, so it restarted and
+    /// lost history. The displaced cache is retained as the catch-up
+    /// payload and the forgotten weight moves to the `lost` ledger
+    /// bucket, widening merged envelopes until the push lands.
+    fn note_rejoin(&mut self, i: usize, object: u32, old: ObjectSnapshot, lost: u64) {
+        self.catchup.detected += 1;
+        Ledger::bump(&mut self.ledgers[i].lost, object, lost);
+        let observed = old.envelope.observed();
+        if let Some(p) = self
+            .pending_pushes
+            .iter_mut()
+            .find(|p| p.replica == i && p.object == object)
+        {
+            // The replica flapped again before the first push went
+            // out. The two retained copies cover disjoint uptime
+            // windows of the same replica, so cell-wise addition is
+            // their exact union.
+            if old.state.merge_into(&mut p.state, MergePolicy::Add).is_ok() {
+                p.observed += observed;
+            }
+            return;
+        }
+        self.pending_pushes.push(PendingPush {
+            replica: i,
+            object,
+            observed,
+            state: old.state,
+        });
+    }
+
+    /// Sends every retained catch-up payload back over `PUSH_STATE`.
+    /// An acknowledged push settles the ledger (`lost` recovered,
+    /// `in_doubt` resolved, both moved to `settled`) and invalidates
+    /// that replica's cache so the next refresh re-pulls the absorbed
+    /// state. An unreachable replica keeps its payload for the next
+    /// round; a connection dying mid-roundtrip drops it (absorb is not
+    /// idempotent — a resend could double-count) and leaves the `lost`
+    /// weight widening, which is conservative. A typed refusal (seed
+    /// or fingerprint skew) is surfaced as a [`ReplicaError`].
+    fn flush_pending_pushes(&mut self) -> Result<(), ReplicaError> {
+        if self.pending_pushes.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending_pushes);
+        let mut fatal = None;
+        for push in pending {
+            if fatal.is_some() {
+                self.pending_pushes.push(push);
+                continue;
+            }
+            let i = push.replica;
+            let object = push.object;
+            let sent = match self.ensure_client(i) {
+                None => {
+                    // Still down: retry on a later refresh (nothing
+                    // was sent, so resending later is safe).
+                    self.pending_pushes.push(push);
+                    continue;
+                }
+                Some(client) => client.push_state(object, push.observed, push.state),
+            };
+            self.catchup.pushed += 1;
+            match sent {
+                Ok(_epoch) => {
+                    self.catchup.acked += 1;
+                    let ledger = &mut self.ledgers[i];
+                    let lost = ledger.lost.remove(&object).unwrap_or(0);
+                    let doubt = ledger.in_doubt.remove(&object).unwrap_or(0);
+                    Ledger::bump(&mut ledger.settled, object, lost + doubt);
+                    self.catchup.settled_weight += lost + doubt;
+                    // The replica's state just jumped by the absorbed
+                    // weight: drop the cache and the accumulator so
+                    // the next refresh re-pulls instead of diffing a
+                    // pre-absorb base.
+                    self.caches[i].remove(&object);
+                    self.accums.remove(&object);
+                }
+                Err(e) if transient(&e) => {
+                    self.clients[i] = None;
+                    self.ledgers[i].failures += 1;
+                    self.catchup.failed += 1;
+                }
+                Err(ClientError::Server {
+                    code: ErrorCode::MergeMismatch,
+                    message,
+                }) => {
+                    // The replica refused the absorb (seed or
+                    // fingerprint skew): surface it in the group's own
+                    // typed shape, payload dropped (it can never land).
+                    self.catchup.failed += 1;
+                    fatal = Some(ReplicaError::MergeMismatch { why: message });
+                }
+                Err(e) => {
+                    self.catchup.failed += 1;
+                    fatal = Some(ReplicaError::from(e));
+                }
+            }
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Drops every connection in `sent[from..]` that still holds an
@@ -829,7 +1011,7 @@ impl ReplicaGroup {
         // replicas.
         let mut reached = vec![false; n];
         let mut rebuild = false;
-        let mut patches: Vec<PatchOp> = Vec::new();
+        let mut patches: Vec<StatePatch> = Vec::new();
         for (i, (flag, outcome)) in reached.iter_mut().zip(outcomes).enumerate() {
             let outcome = match outcome {
                 Some(o) => o,
@@ -837,14 +1019,14 @@ impl ReplicaGroup {
             };
             match outcome {
                 RefreshOutcome::Unreachable => {}
-                RefreshOutcome::Unchanged => *flag = true,
-                RefreshOutcome::Patched(op) => {
-                    *flag = true;
-                    patches.push(op);
-                }
-                RefreshOutcome::Replaced => {
+                RefreshOutcome::Refreshed(StatePatch::Unchanged) => *flag = true,
+                RefreshOutcome::Refreshed(StatePatch::Replaced) => {
                     *flag = true;
                     rebuild = true;
+                }
+                RefreshOutcome::Refreshed(patch) => {
+                    *flag = true;
+                    patches.push(patch);
                 }
             }
         }
@@ -912,9 +1094,15 @@ impl ReplicaGroup {
         self.delta_stats.fulls += 1;
         self.delta_stats.bytes_out += bytes_out;
         self.delta_stats.bytes_in += bytes_in;
-        self.ledgers[i]
-            .last_seen
-            .insert(object, snapshot.envelope.observed());
+        let observed = snapshot.envelope.observed();
+        self.ledgers[i].last_seen.insert(object, observed);
+        if let Some(old) = self.caches[i].get(&object) {
+            let old_observed = old.snapshot.envelope.observed();
+            if observed < old_observed {
+                let old = self.caches[i].remove(&object).expect("just found");
+                self.note_rejoin(i, object, old.snapshot, old_observed - observed);
+            }
+        }
         // Plain `SNAPSHOT` carries no epoch: `u64::MAX` keeps the
         // cache mergeable without ever offering it as a base.
         self.caches[i].insert(
@@ -925,7 +1113,7 @@ impl ReplicaGroup {
                 snapshot,
             },
         );
-        Ok(RefreshOutcome::Replaced)
+        Ok(RefreshOutcome::Refreshed(StatePatch::Replaced))
     }
 
     /// Applies one `SNAPSHOT_SINCE` reply to replica `i`'s cache. The
@@ -939,135 +1127,94 @@ impl ReplicaGroup {
         delta: SnapshotDelta,
         generation: u64,
     ) -> Result<RefreshOutcome, ReplicaError> {
-        self.ledgers[i]
-            .last_seen
-            .insert(object, delta.envelope.observed());
-        match delta.change {
-            DeltaChange::Full(state) => {
-                self.delta_stats.fulls += 1;
-                self.caches[i].insert(
-                    object,
-                    CachedSnapshot {
-                        generation,
-                        epoch: delta.epoch,
-                        snapshot: ObjectSnapshot {
-                            object,
-                            kind: delta.kind,
-                            state,
-                            envelope: delta.envelope,
-                        },
+        let observed = delta.envelope.observed();
+        self.ledgers[i].last_seen.insert(object, observed);
+        // A full state needs no base: it installs a fresh cache. It is
+        // also where a rejoin shows itself — a server's `observed` is
+        // monotone within one process, so a full state observing
+        // *less* than the cache means the replica restarted and lost
+        // history; the displaced cache becomes the catch-up payload.
+        if let DeltaChange::Full(state) = delta.change {
+            self.delta_stats.fulls += 1;
+            if let Some(old) = self.caches[i].get(&object) {
+                let old_observed = old.snapshot.envelope.observed();
+                if observed < old_observed {
+                    let old = self.caches[i].remove(&object).expect("just found");
+                    self.note_rejoin(i, object, old.snapshot, old_observed - observed);
+                }
+            }
+            self.caches[i].insert(
+                object,
+                CachedSnapshot {
+                    generation,
+                    epoch: delta.epoch,
+                    snapshot: ObjectSnapshot {
+                        object,
+                        kind: delta.kind,
+                        state,
+                        envelope: delta.envelope,
                     },
-                );
-                Ok(RefreshOutcome::Replaced)
-            }
-            DeltaChange::Unchanged => {
-                self.delta_stats.unchanged += 1;
-                let Some(cache) = self.caches[i].get_mut(&object) else {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica {i} answered `unchanged` with no cache to keep"
-                        ),
-                    });
-                };
-                if cache.generation != generation {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica {i} answered `unchanged` across a reconnect"
-                        ),
-                    });
-                }
-                cache.epoch = delta.epoch;
-                cache.snapshot.envelope = delta.envelope;
-                Ok(RefreshOutcome::Unchanged)
-            }
-            DeltaChange::CmRuns { base_epoch, runs } => {
-                self.delta_stats.deltas += 1;
-                let Some(cache) = self.caches[i].get_mut(&object) else {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica {i} sent a delta with no cache to patch"
-                        ),
-                    });
-                };
-                if cache.generation != generation || cache.epoch != base_epoch {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica {i} diffed from base {base_epoch}, cache holds epoch {} (generation moved or server lied)",
-                            cache.epoch
-                        ),
-                    });
-                }
-                let SnapshotState::CountMin {
-                    width,
-                    depth,
-                    cells,
-                    ..
-                } = &mut cache.snapshot.state
-                else {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!("object {object}: CountMin runs for a non-CountMin cache"),
-                    });
-                };
-                let (width, depth) = (*width as usize, *depth as usize);
-                let mut patched = Vec::new();
-                for run in runs {
-                    let (row, lo) = (run.row as usize, run.lo as usize);
-                    if row >= depth || lo + run.values.len() > width {
-                        return Err(ReplicaError::MergeMismatch {
-                            why: format!("object {object}: delta run out of bounds"),
-                        });
-                    }
-                    for (k, &value) in run.values.iter().enumerate() {
-                        let idx = row * width + lo + k;
-                        patched.push((idx, cells[idx], value));
-                        cells[idx] = value;
-                    }
-                }
-                cache.epoch = delta.epoch;
-                cache.snapshot.envelope = delta.envelope;
-                Ok(RefreshOutcome::Patched(PatchOp::CmCells(patched)))
-            }
-            DeltaChange::HllRange {
-                base_epoch,
-                lo,
-                registers,
-            } => {
-                self.delta_stats.deltas += 1;
-                let Some(cache) = self.caches[i].get_mut(&object) else {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica {i} sent a delta with no cache to patch"
-                        ),
-                    });
-                };
-                if cache.generation != generation || cache.epoch != base_epoch {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!(
-                            "object {object}: replica {i} diffed from base {base_epoch}, cache holds epoch {} (generation moved or server lied)",
-                            cache.epoch
-                        ),
-                    });
-                }
-                let SnapshotState::Hll {
-                    registers: cached, ..
-                } = &mut cache.snapshot.state
-                else {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!("object {object}: HLL range for a non-HLL cache"),
-                    });
-                };
-                let lo = lo as usize;
-                if lo + registers.len() > cached.len() {
-                    return Err(ReplicaError::MergeMismatch {
-                        why: format!("object {object}: delta register range out of bounds"),
-                    });
-                }
-                cached[lo..lo + registers.len()].copy_from_slice(&registers);
-                cache.epoch = delta.epoch;
-                cache.snapshot.envelope = delta.envelope;
-                Ok(RefreshOutcome::Patched(PatchOp::HllRange { lo, registers }))
-            }
+                },
+            );
+            return Ok(RefreshOutcome::Refreshed(StatePatch::Replaced));
         }
+        // Everything else patches the cache in place; the base the
+        // server claims must be the cache actually held, over the same
+        // connection generation.
+        let (unchanged, base_epoch) = match &delta.change {
+            DeltaChange::Unchanged => (true, None),
+            DeltaChange::CmRuns { base_epoch, .. } | DeltaChange::HllRange { base_epoch, .. } => {
+                (false, Some(*base_epoch))
+            }
+            DeltaChange::Full(_) => unreachable!("handled above"),
+        };
+        if unchanged {
+            self.delta_stats.unchanged += 1;
+        } else {
+            self.delta_stats.deltas += 1;
+        }
+        let Some(cache) = self.caches[i].get_mut(&object) else {
+            return Err(ReplicaError::MergeMismatch {
+                why: if unchanged {
+                    format!(
+                        "object {object}: replica {i} answered `unchanged` with no cache to keep"
+                    )
+                } else {
+                    format!("object {object}: replica {i} sent a delta with no cache to patch")
+                },
+            });
+        };
+        match base_epoch {
+            None if cache.generation != generation => {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!(
+                        "object {object}: replica {i} answered `unchanged` across a reconnect"
+                    ),
+                });
+            }
+            Some(base) if cache.generation != generation || cache.epoch != base => {
+                return Err(ReplicaError::MergeMismatch {
+                    why: format!(
+                        "object {object}: replica {i} diffed from base {base}, cache holds epoch {} (generation moved or server lied)",
+                        cache.epoch
+                    ),
+                });
+            }
+            _ => {}
+        }
+        // The kind and bounds checks — and the patch itself — are the
+        // mergeable-state layer's job; this layer only prefixes the
+        // object for the operator.
+        let patch = cache
+            .snapshot
+            .state
+            .apply_change(delta.change)
+            .map_err(|e| ReplicaError::MergeMismatch {
+                why: format!("object {object}: {e}"),
+            })?;
+        cache.epoch = delta.epoch;
+        cache.snapshot.envelope = delta.envelope;
+        Ok(RefreshOutcome::Refreshed(patch))
     }
 
     /// Folds this round's cache changes into the merged accumulator —
@@ -1078,7 +1225,7 @@ impl ReplicaGroup {
         &mut self,
         object: u32,
         rebuild: bool,
-        patches: Vec<PatchOp>,
+        patches: Vec<StatePatch>,
     ) -> Result<(), ReplicaError> {
         if rebuild || (!patches.is_empty() && !self.accums.contains_key(&object)) {
             return self.rebuild_accum(object);
@@ -1091,7 +1238,7 @@ impl ReplicaGroup {
         if let Some(accum) = self.accums.get_mut(&object) {
             'fold: for op in &patches {
                 match (op, &mut *accum) {
-                    (PatchOp::CmCells(patch), MergedCells::Cm { cells, .. }) => {
+                    (StatePatch::CmCells(patch), MergedCells::Cm { cells, .. }) => {
                         for &(idx, old, new) in patch {
                             if idx >= cells.len() || new < old {
                                 resync = true;
@@ -1108,7 +1255,7 @@ impl ReplicaGroup {
                         }
                     }
                     (
-                        PatchOp::HllRange { lo, registers },
+                        StatePatch::HllRange { lo, registers },
                         MergedCells::Hll { registers: acc, .. },
                     ) => {
                         if lo + registers.len() > acc.len() {
@@ -1222,6 +1369,7 @@ impl ReplicaGroup {
             return Err(ReplicaError::AllUnreachable { what: "snapshot" });
         };
         let doubt = self.doubt(object);
+        let lost = self.lost(object);
         let mirror_missed = (0..n)
             .filter(|&i| parts[i].is_some())
             .map(|i| Ledger::get(&self.ledgers[i].missed, object))
@@ -1241,8 +1389,8 @@ impl ReplicaGroup {
                     });
                 };
                 let (widen_lag, widen_eps) = match self.mode {
-                    ReplicaMode::Partition => (missing + doubt + stale, doubt),
-                    ReplicaMode::Mirror => (mirror_missed + stale, 0),
+                    ReplicaMode::Partition => (missing + doubt + stale + lost, doubt),
+                    ReplicaMode::Mirror => (mirror_missed + stale + lost, 0),
                 };
                 cm_compose(
                     &mut self.protos,
@@ -1293,7 +1441,7 @@ impl ReplicaGroup {
             reached: reached.iter().filter(|&&r| r).count(),
             total: n,
             parts,
-            missing_observed: missing + stale,
+            missing_observed: missing + stale + lost,
         })
     }
 
@@ -1318,6 +1466,16 @@ impl ReplicaGroup {
         self.ledgers
             .iter()
             .map(|l| Ledger::get(&l.in_doubt, object))
+            .sum()
+    }
+
+    /// Total weight rejoined replicas demonstrably forgot and have not
+    /// yet been caught up on — widens merged `lag` in both modes until
+    /// the retained state is pushed back and acknowledged.
+    fn lost(&self, object: u32) -> u64 {
+        self.ledgers
+            .iter()
+            .map(|l| Ledger::get(&l.lost, object))
             .sum()
     }
 
@@ -1352,6 +1510,7 @@ impl ReplicaGroup {
         }
         let missing = self.missing_observed(object, &parts);
         let doubt = self.doubt(object);
+        let lost = self.lost(object);
         let mirror_missed = self.mirror_missed(object, &parts);
         let envelopes: Vec<ErrorEnvelope> = included.iter().map(|s| s.envelope.clone()).collect();
 
@@ -1361,9 +1520,9 @@ impl ReplicaGroup {
                 key,
                 &included,
                 &envelopes,
-                missing,
+                missing + lost,
                 doubt,
-                mirror_missed,
+                mirror_missed + lost,
             )?,
             ObjectKind::Hll => self.merge_hll(object, &included, &envelopes)?,
             ObjectKind::Morris => merge_morris(object, &included, &envelopes, self.mode)?,
@@ -1567,50 +1726,31 @@ fn hll_proto_for(
     }
 }
 
-/// Cell-merges CountMin states (sum in partition, max in mirror) after
-/// checking they share dimensions and coins. Returns
+/// Cell-merges CountMin states through the mergeable-state layer (sum
+/// in partition, max in mirror — [`policy_for`]) after it checks they
+/// share dimensions and coins. Returns
 /// `(width, depth, hash_fp, merged_cells)`.
 fn cm_merge_cells(
     mode: ReplicaMode,
     object: u32,
     states: &[&SnapshotState],
 ) -> Result<(u32, u32, u64, Vec<u64>), ReplicaError> {
-    let mut dims: Option<(u32, u32, u64)> = None;
-    let mut merged: Vec<u64> = Vec::new();
-    for state in states {
-        let SnapshotState::CountMin {
-            width,
-            depth,
-            hash_fp,
-            cells,
-        } = state
-        else {
-            return Err(ReplicaError::MergeMismatch {
-                why: format!("object {object}: kind tag and state disagree"),
-            });
-        };
-        match dims {
-            None => {
-                dims = Some((*width, *depth, *hash_fp));
-                merged = cells.clone();
-            }
-            Some(d) if d != (*width, *depth, *hash_fp) => {
-                return Err(ReplicaError::MergeMismatch {
-                    why: format!("object {object}: replica CountMin dimensions or coins disagree"),
-                });
-            }
-            Some(_) => {
-                for (a, b) in merged.iter_mut().zip(cells) {
-                    match mode {
-                        ReplicaMode::Partition => *a += b,
-                        ReplicaMode::Mirror => *a = (*a).max(*b),
-                    }
-                }
-            }
-        }
-    }
-    let (width, depth, hash_fp) = dims.expect("at least one included snapshot");
-    Ok((width, depth, hash_fp, merged))
+    let merged =
+        merge_states(policy_for(mode), states).map_err(|e| ReplicaError::MergeMismatch {
+            why: format!("object {object}: {e}"),
+        })?;
+    let SnapshotState::CountMin {
+        width,
+        depth,
+        hash_fp,
+        cells,
+    } = merged
+    else {
+        return Err(ReplicaError::MergeMismatch {
+            why: format!("object {object}: kind tag and state disagree"),
+        });
+    };
+    Ok((width, depth, hash_fp, cells))
 }
 
 /// Composes the CountMin envelope for already-merged cells: derives
@@ -1701,40 +1841,23 @@ fn cm_compose(
     }
 }
 
-/// Register-merges HLL states (max in both modes) after checking they
-/// share precision and coins. Returns `(hash_fp, merged_registers)`.
+/// Register-merges HLL states through the mergeable-state layer (max
+/// in both modes — the register join is idempotent) after it checks
+/// they share precision and coins. Returns `(hash_fp, merged_registers)`.
 fn hll_merge_registers(
     object: u32,
     states: &[&SnapshotState],
 ) -> Result<(u64, Vec<u8>), ReplicaError> {
-    let mut fp: Option<u64> = None;
-    let mut merged: Vec<u8> = Vec::new();
-    for state in states {
-        let SnapshotState::Hll { hash_fp, registers } = state else {
-            return Err(ReplicaError::MergeMismatch {
-                why: format!("object {object}: kind tag and state disagree"),
-            });
-        };
-        match fp {
-            None => {
-                fp = Some(*hash_fp);
-                merged = registers.clone();
-            }
-            Some(f) if f != *hash_fp || merged.len() != registers.len() => {
-                return Err(ReplicaError::MergeMismatch {
-                    why: format!("object {object}: replica HLL precision or coins disagree"),
-                });
-            }
-            Some(_) => {
-                // Register-wise max is the HLL merge in both modes
-                // (idempotent, commutative).
-                for (a, &b) in merged.iter_mut().zip(registers) {
-                    *a = (*a).max(b);
-                }
-            }
-        }
-    }
-    Ok((fp.expect("at least one included snapshot"), merged))
+    let merged =
+        merge_states(MergePolicy::Join, states).map_err(|e| ReplicaError::MergeMismatch {
+            why: format!("object {object}: {e}"),
+        })?;
+    let SnapshotState::Hll { hash_fp, registers } = merged else {
+        return Err(ReplicaError::MergeMismatch {
+            why: format!("object {object}: kind tag and state disagree"),
+        });
+    };
+    Ok((hash_fp, registers))
 }
 
 /// Composes the cardinality envelope for already-merged HLL registers.
@@ -1777,15 +1900,16 @@ fn merge_morris(
     envelopes: &[ErrorEnvelope],
     mode: ReplicaMode,
 ) -> Result<(SnapshotState, ErrorEnvelope), ReplicaError> {
-    let mut exp_max = 0u32;
-    for snap in included {
-        let SnapshotState::Morris { exponent } = &snap.state else {
-            return Err(ReplicaError::MergeMismatch {
-                why: format!("object {object}: kind tag and state disagree"),
-            });
-        };
-        exp_max = exp_max.max(*exponent);
-    }
+    let states: Vec<&SnapshotState> = included.iter().map(|s| &s.state).collect();
+    let merged =
+        merge_states(MergePolicy::Join, &states).map_err(|e| ReplicaError::MergeMismatch {
+            why: format!("object {object}: {e}"),
+        })?;
+    let SnapshotState::Morris { exponent: exp_max } = merged else {
+        return Err(ReplicaError::MergeMismatch {
+            why: format!("object {object}: kind tag and state disagree"),
+        });
+    };
     let envelope = match mode {
         ReplicaMode::Partition => ErrorEnvelope::compose(envelopes)?,
         ReplicaMode::Mirror => {
@@ -1832,15 +1956,16 @@ fn merge_min(
     envelopes: &[ErrorEnvelope],
     mode: ReplicaMode,
 ) -> Result<(SnapshotState, ErrorEnvelope), ReplicaError> {
-    let mut min = u64::MAX;
-    for snap in included {
-        let SnapshotState::MinRegister { minimum } = &snap.state else {
-            return Err(ReplicaError::MergeMismatch {
-                why: format!("object {object}: kind tag and state disagree"),
-            });
-        };
-        min = min.min(*minimum);
-    }
+    let states: Vec<&SnapshotState> = included.iter().map(|s| &s.state).collect();
+    let merged =
+        merge_states(MergePolicy::Join, &states).map_err(|e| ReplicaError::MergeMismatch {
+            why: format!("object {object}: {e}"),
+        })?;
+    let SnapshotState::MinRegister { minimum: min } = merged else {
+        return Err(ReplicaError::MergeMismatch {
+            why: format!("object {object}: kind tag and state disagree"),
+        });
+    };
     let envelope = match mode {
         ReplicaMode::Partition => ErrorEnvelope::compose(envelopes)?,
         ReplicaMode::Mirror => {

@@ -351,6 +351,124 @@ fn restarted_replica_never_gets_a_stale_epoch_delta() {
 }
 
 #[test]
+fn rejoined_replica_converges_after_catchup_push() {
+    // The anti-entropy acceptance scenario: kill a replica, restart it
+    // empty at the same address, and watch the group (a) detect the
+    // rejoin and widen `lag` by exactly the forgotten weight, then
+    // (b) push the retained state back, after which the merged
+    // envelope narrows to its pre-kill width and the parts cover the
+    // whole stream again.
+    let mut replicas: Vec<ServerHandle> = (0..3)
+        .map(|_| spawn_replica(Backend::Threaded, SEED))
+        .collect();
+    let mut group = group_over(&replicas, ReplicaMode::Partition);
+    group.set_retry_limit(3);
+    group.set_backoff(Duration::from_millis(5));
+
+    let mut truth = [0u64; 16];
+    for k in 0..16u64 {
+        group.update(0, k, k + 1).expect("partitioned update");
+        truth[k as usize] += k + 1;
+    }
+    let read0 = group.query(0, 7).expect("pre-kill query");
+    let pre_lag = read0.envelope.frequency().expect("frequency").lag;
+    let victim_weight = read0.parts[0].expect("replica 0 answered");
+    assert!(victim_weight > 0, "16 keys must touch replica 0");
+
+    let victim = replicas.remove(0);
+    let addr = victim.addr().to_string();
+    group.disconnect(0);
+    drop(victim.join());
+    let reborn = respawn_at(&addr, SEED);
+
+    // First read after the restart: the fresh full state observes less
+    // than the cache — rejoin detected, forgotten weight widens lag,
+    // the displaced cache is retained for the push.
+    let read1 = group.query(0, 7).expect("rejoin-detection query");
+    let env1 = read1.envelope.frequency().expect("frequency");
+    assert_eq!(
+        env1.lag,
+        pre_lag + victim_weight,
+        "lag must widen by exactly the weight the replica forgot"
+    );
+    assert_freq_within(&read1.envelope, truth[7]);
+    assert_eq!(group.catchup_stats().detected, 1);
+    assert_eq!(group.catchup_pending(), 1);
+
+    // Second read flushes the push first: the replica absorbs its own
+    // retained state and this very read observes the converged group.
+    let read2 = group.query(0, 7).expect("post-catchup query");
+    let env2 = read2.envelope.frequency().expect("frequency");
+    let stats = group.catchup_stats();
+    assert_eq!(
+        (stats.pushed, stats.acked, stats.failed),
+        (1, 1, 0),
+        "one push, acknowledged"
+    );
+    assert_eq!(stats.settled_weight, victim_weight);
+    assert_eq!(group.catchup_pending(), 0);
+    assert_eq!(
+        env2.lag, pre_lag,
+        "the envelope narrows back to its pre-kill width after catch-up"
+    );
+    assert_eq!(
+        read2.parts.iter().flatten().sum::<u64>(),
+        truth.iter().sum::<u64>(),
+        "the rejoined replica holds its substream again"
+    );
+    assert_freq_within(&read2.envelope, truth[7]);
+
+    drop(group);
+    drop(reborn.join());
+    for r in replicas {
+        drop(r.join());
+    }
+}
+
+#[test]
+fn catchup_push_to_a_skewed_server_is_refused_typed() {
+    // A rejoined address answering with the wrong seed must never
+    // absorb the retained state: the push is refused with the typed
+    // merge-mismatch, surfaced through the group, payload dropped.
+    let a = spawn_replica(Backend::Threaded, SEED);
+    let addr = a.addr().to_string();
+    let mut group =
+        ReplicaGroup::new(vec![addr.clone()], ReplicaMode::Partition, SEED).expect("group");
+    group.set_retry_limit(3);
+    group.set_backoff(Duration::from_millis(5));
+    group.update(0, 3, 5).expect("update");
+    group.query(0, 3).expect("prime the cache");
+
+    group.disconnect(0);
+    drop(a.join());
+    let b = respawn_at(&addr, SEED + 1);
+
+    // Detection read: the wrong-seed state cannot even compose.
+    match group.query(0, 3) {
+        Err(ReplicaError::MergeMismatch { why }) => assert!(why.contains("seed"), "{why}"),
+        other => panic!("wanted MergeMismatch, got {other:?}"),
+    }
+    assert_eq!(group.catchup_pending(), 1);
+    // The flush on the next read pushes the retained state; the
+    // skewed server refuses the absorb with its own typed mismatch.
+    match group.query(0, 3) {
+        Err(ReplicaError::MergeMismatch { why }) => {
+            assert!(why.contains("do not match"), "{why}");
+        }
+        other => panic!("wanted MergeMismatch, got {other:?}"),
+    }
+    let stats = group.catchup_stats();
+    assert_eq!((stats.pushed, stats.acked, stats.failed), (1, 0, 1));
+    assert_eq!(
+        group.catchup_pending(),
+        0,
+        "a refused payload is dropped, not retried forever"
+    );
+    drop(group);
+    drop(b.join());
+}
+
+#[test]
 fn morris_merges_at_the_envelope_level() {
     let replicas: Vec<ServerHandle> = (0..2)
         .map(|_| spawn_replica(Backend::Threaded, SEED))

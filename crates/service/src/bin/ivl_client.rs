@@ -5,6 +5,9 @@
 //!   update <key> <weight>     ingest weight occurrences of key
 //!   query <key>               estimate + IVL error envelope
 //!   batch <key:weight> ...    many updates in one frame
+//!   snapshot [--since EPOCH]  mergeable state summary: kind, epoch,
+//!                             envelope, and hash fingerprint; with
+//!                             --since, the delta against that epoch
 //!   objects                   list the server's registered objects
 //!   stats                     server counters, latency quantiles, and
 //!                             per-object operation rows
@@ -16,12 +19,13 @@
 
 use ivl_service::client::Client;
 use ivl_service::envelope::ErrorEnvelope;
+use ivl_service::{DeltaChange, MergeableState, SnapshotDelta, SnapshotState};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ivl_client <addr> [--object NAME] <update <key> <weight> | query <key> | \
-         batch <key:weight>... | objects | stats | shutdown>"
+         batch <key:weight>... | snapshot [--since EPOCH] | objects | stats | shutdown>"
     );
     ExitCode::from(1)
 }
@@ -65,6 +69,108 @@ fn print_envelope(key: u64, env: &ErrorEnvelope) {
                 println!("minimum: empty (observed weight {observed}); queried key {key}");
             } else {
                 println!("minimum: {minimum} (observed weight {observed}); queried key {key}");
+            }
+        }
+    }
+}
+
+fn state_fingerprint(state: &SnapshotState) -> String {
+    match state.fingerprint() {
+        Some(fp) => format!("{fp:#018x}"),
+        None => "none".into(),
+    }
+}
+
+fn print_snapshot(delta: &SnapshotDelta, base: u64) {
+    println!(
+        "object {} [{}] at epoch {}",
+        delta.object, delta.kind, delta.epoch
+    );
+    match &delta.change {
+        DeltaChange::Full(state) => match state {
+            SnapshotState::CountMin {
+                width,
+                depth,
+                cells,
+                ..
+            } => {
+                let nonzero = cells.iter().filter(|&&c| c != 0).count();
+                println!(
+                    "  state: full CountMin {depth}x{width} ({nonzero} nonzero cells, \
+                     fingerprint {})",
+                    state_fingerprint(state)
+                );
+            }
+            SnapshotState::Hll { registers, .. } => {
+                let set = registers.iter().filter(|&&r| r != 0).count();
+                println!(
+                    "  state: full HLL ({} registers, {set} set, fingerprint {})",
+                    registers.len(),
+                    state_fingerprint(state)
+                );
+            }
+            SnapshotState::Morris { exponent } => {
+                println!("  state: full Morris exponent {exponent} (fingerprint none)");
+            }
+            SnapshotState::MinRegister { minimum } => {
+                if *minimum == u64::MAX {
+                    println!("  state: full min register, empty (fingerprint none)");
+                } else {
+                    println!("  state: full min register, minimum {minimum} (fingerprint none)");
+                }
+            }
+        },
+        DeltaChange::Unchanged => println!("  state: unchanged since epoch {base}"),
+        DeltaChange::CmRuns { base_epoch, runs } => {
+            let cells: usize = runs.iter().map(|r| r.values.len()).sum();
+            println!(
+                "  state: {} CountMin overwrite runs ({cells} cells) against epoch {base_epoch}",
+                runs.len()
+            );
+        }
+        DeltaChange::HllRange {
+            base_epoch,
+            lo,
+            registers,
+        } => {
+            println!(
+                "  state: HLL register overwrite [{lo}, {}) against epoch {base_epoch}",
+                *lo as usize + registers.len()
+            );
+        }
+    }
+    match &delta.envelope {
+        ErrorEnvelope::Frequency(env) => println!(
+            "  envelope: epsilon {} = ceil({:.4} * {}) w.p. >= {:.3}, write-buffer lag {}",
+            env.epsilon,
+            env.alpha,
+            env.stream_len,
+            1.0 - env.delta,
+            env.lag
+        ),
+        ErrorEnvelope::Cardinality {
+            rel_std_err,
+            registers,
+            register_sum,
+            observed,
+            ..
+        } => println!(
+            "  envelope: rel std err {rel_std_err:.4}, {registers} registers \
+             (sum {register_sum}), observed weight {observed}"
+        ),
+        ErrorEnvelope::ApproxCount {
+            a,
+            exponent,
+            observed,
+            ..
+        } => println!(
+            "  envelope: Morris a {a}, exponent {exponent}, acknowledged weight {observed}"
+        ),
+        ErrorEnvelope::Minimum { minimum, observed } => {
+            if *minimum == u64::MAX {
+                println!("  envelope: minimum empty, observed weight {observed}");
+            } else {
+                println!("  envelope: minimum {minimum}, observed weight {observed}");
             }
         }
     }
@@ -123,6 +229,22 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             .map_err(|e| e.to_string())?;
             println!("ack: {applied} updates applied on this connection");
+        }
+        ("snapshot", rest) => {
+            let since = match rest {
+                [] => u64::MAX,
+                [flag, epoch] if flag == "--since" => {
+                    epoch.parse().map_err(|_| "bad --since epoch")?
+                }
+                _ => return Err("snapshot takes no arguments or --since EPOCH".into()),
+            };
+            // One code path for both shapes: `SNAPSHOT_SINCE` with the
+            // never-an-epoch sentinel base always answers a full state
+            // and, unlike plain `SNAPSHOT`, carries the object epoch.
+            let delta = client
+                .snapshot_since(object.unwrap_or(0), since)
+                .map_err(|e| e.to_string())?;
+            print_snapshot(&delta, since);
         }
         ("objects", []) => {
             let infos = client.objects().map_err(|e| e.to_string())?;

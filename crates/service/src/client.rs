@@ -14,7 +14,7 @@
 
 use crate::envelope::{Envelope, ErrorEnvelope};
 use crate::metrics::StatsReport;
-use crate::objects::{ObjectInfo, ObjectSnapshot, SnapshotDelta};
+use crate::objects::{ObjectInfo, ObjectSnapshot, SnapshotDelta, SnapshotState};
 use crate::protocol::{self, ErrorCode, FrameDecoder, Request, Response, WireError};
 use std::fmt;
 use std::io::{self, Write};
@@ -333,6 +333,30 @@ impl Client {
         match self.read_response()? {
             Response::SnapshotDelta(delta) => Ok(delta),
             _ => Err(ClientError::Unexpected("wanted SNAPSHOT_DELTA_REPLY")),
+        }
+    }
+
+    /// Pushes a peer's mergeable state into object `object` for the
+    /// server to absorb (merge into its live structure), crediting
+    /// `observed` toward the object's stream length — the anti-entropy
+    /// write primitive of replica catch-up. Returns the object's epoch
+    /// after the merge. **Never silently retried**: absorbing an
+    /// additive state (a CountMin cell matrix) twice double-counts, so
+    /// like updates, a dead connection mid-roundtrip surfaces as an
+    /// error and the caller owns the retry decision.
+    pub fn push_state(
+        &mut self,
+        object: u32,
+        observed: u64,
+        state: SnapshotState,
+    ) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::PushState {
+            object,
+            observed,
+            state,
+        })? {
+            Response::Absorbed { epoch, .. } => Ok(epoch),
+            _ => Err(ClientError::Unexpected("wanted ABSORBED")),
         }
     }
 

@@ -23,7 +23,11 @@
 //!   `SNAPSHOT`) carry an explicit object id, and object-0 requests
 //!   still encode in v1 form byte for byte, so old clients and
 //!   servers interoperate. `SNAPSHOT` serializes an object's
-//!   mergeable state for the replication layer (`ivl-replica`).
+//!   mergeable state for the replication layer (`ivl-replica`), and
+//!   `PUSH_STATE` carries a peer's state the other way — the absorb
+//!   half of replica catch-up (anti-entropy). State bodies encode and
+//!   decode through the [`MergeableState`] trait of `ivl-merge`, so
+//!   their byte layout lives in exactly one place.
 //! * [`envelope`] — every query answer carries an **IVL error
 //!   envelope** ([`ErrorEnvelope`]): for the CountMin,
 //!   `(estimate, ε, δ, n, lag)` with `ε = α·n`, the Theorem 6
@@ -65,6 +69,12 @@ pub mod wspec;
 
 pub use client::{Client, ClientError, ObjectHandle};
 pub use envelope::{ComposeError, Envelope, ErrorEnvelope};
+// The mergeable-state layer (`ivl-merge`) this service serves over the
+// wire: re-exported whole so servers, replicas, and tools name one
+// vocabulary for kind-tagged state, merging, and absorption.
+pub use ivl_merge::{
+    merge_states, AbsorbSink, MergeError, MergePolicy, MergeableState, StatePatch,
+};
 pub use metrics::{Metrics, ObjectStats, StatsReport};
 pub use objects::{
     cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, CellRun, DeltaChange, ObjectConfig,

@@ -26,6 +26,7 @@ pub struct Metrics {
     protocol_errors: AtomicU64,
     busy_rejections: AtomicU64,
     frames: AtomicU64,
+    absorbs: AtomicU64,
     wakeups: AtomicU64,
     ready_peak: AtomicU64,
     buffered_total: AtomicU64,
@@ -60,6 +61,7 @@ impl Metrics {
             protocol_errors: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             frames: AtomicU64::new(0),
+            absorbs: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
             ready_peak: AtomicU64::new(0),
             buffered_total: AtomicU64::new(0),
@@ -124,6 +126,14 @@ impl Metrics {
         self.frames.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one absorbed `PUSH_STATE` (a peer's state merged into a
+    /// served object during replica catch-up). Absorbs are counted
+    /// apart from updates: the weight they carry was already counted
+    /// as updates on the pushing peer.
+    pub fn record_absorb(&self) {
+        self.absorbs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one reactor wakeup that delivered `ready` ready events
     /// (event-loop backend only; the ready-queue depth gauge keeps the
     /// high-water mark).
@@ -186,6 +196,7 @@ impl Metrics {
             update_p99_ns,
             query_p50_ns,
             query_p99_ns,
+            absorbs: self.absorbs.load(Ordering::Relaxed),
             objects,
         }
     }
@@ -251,6 +262,9 @@ pub struct StatsReport {
     pub query_p50_ns: u64,
     /// 99th-percentile query latency (power-of-two ns).
     pub query_p99_ns: u64,
+    /// `PUSH_STATE` frames absorbed (replica catch-up merges; their
+    /// weight is not in `updates`).
+    pub absorbs: u64,
     /// Per-object counters, one row per registered object, ordered by
     /// object id (travels after the fixed fields on the wire).
     pub objects: Vec<ObjectStats>,
@@ -263,7 +277,7 @@ impl StatsReport {
     /// report means appending to [`as_fields`](Self::as_fields) /
     /// [`from_fields`](Self::from_fields) and bumping it — every other
     /// layer follows.
-    pub const NUM_FIELDS: usize = 18;
+    pub const NUM_FIELDS: usize = 19;
 
     /// The fields in wire order.
     pub fn as_fields(&self) -> [u64; Self::NUM_FIELDS] {
@@ -286,6 +300,7 @@ impl StatsReport {
             self.update_p99_ns,
             self.query_p50_ns,
             self.query_p99_ns,
+            self.absorbs,
         ]
     }
 
@@ -310,6 +325,7 @@ impl StatsReport {
             update_p99_ns: f[15],
             query_p50_ns: f[16],
             query_p99_ns: f[17],
+            absorbs: f[18],
             objects: Vec::new(),
         }
     }
@@ -393,7 +409,10 @@ mod tests {
         let m = Metrics::new();
         m.record_updates(7, 123);
         m.record_batch();
+        m.record_absorb();
         let r = m.report(9, Vec::new());
+        assert_eq!(r.absorbs, 1);
+        assert_eq!(r.updates, 7, "absorbs must not count as updates");
         assert_eq!(StatsReport::from_fields(r.as_fields()), r);
     }
 }

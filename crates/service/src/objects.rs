@@ -45,8 +45,8 @@ use ivl_concurrent::{
     UpdateBuffer,
 };
 use ivl_counter::{IvlBatchedCounter, SharedBatchedCounter};
+use ivl_merge::{AbsorbSink, MergeError, MergeableState};
 use ivl_sketch::countmin::{CountMin, CountMinParams};
-use ivl_sketch::hash::PairwiseHash;
 use ivl_sketch::hll::HyperLogLog;
 use ivl_sketch::CoinFlips;
 use ivl_spec::history::History;
@@ -71,70 +71,14 @@ pub const MORRIS_A: f64 = 0.5;
 /// bounding per-frame service time against hostile weights.
 pub const MORRIS_MAX_EVENTS_PER_UPDATE: u64 = 1 << 16;
 
-/// The kinds of quantitative objects the server can register. The
-/// discriminant is the wire tag used by kind-tagged envelope frames
-/// and the `OBJECTS` listing.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ObjectKind {
-    /// Sharded CountMin frequency sketch (the original served object).
-    CountMin,
-    /// Concurrent HyperLogLog cardinality sketch.
-    Hll,
-    /// Concurrent Morris approximate counter.
-    Morris,
-    /// Concurrent min register (antitone).
-    MinRegister,
-}
-
-impl ObjectKind {
-    /// Wire tag of this kind.
-    pub fn to_u8(self) -> u8 {
-        match self {
-            ObjectKind::CountMin => 0,
-            ObjectKind::Hll => 1,
-            ObjectKind::Morris => 2,
-            ObjectKind::MinRegister => 3,
-        }
-    }
-
-    /// Parses a wire tag.
-    pub fn from_u8(v: u8) -> Option<Self> {
-        match v {
-            0 => Some(ObjectKind::CountMin),
-            1 => Some(ObjectKind::Hll),
-            2 => Some(ObjectKind::Morris),
-            3 => Some(ObjectKind::MinRegister),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for ObjectKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ObjectKind::CountMin => "cm",
-            ObjectKind::Hll => "hll",
-            ObjectKind::Morris => "morris",
-            ObjectKind::MinRegister => "min",
-        })
-    }
-}
-
-impl std::str::FromStr for ObjectKind {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "cm" | "countmin" | "count-min" => Ok(ObjectKind::CountMin),
-            "hll" => Ok(ObjectKind::Hll),
-            "morris" => Ok(ObjectKind::Morris),
-            "min" | "min-register" => Ok(ObjectKind::MinRegister),
-            other => Err(format!(
-                "unknown object kind {other:?} (want cm|hll|morris|min)"
-            )),
-        }
-    }
-}
+// The kind-tagged mergeable-state vocabulary and the coin/fingerprint
+// discipline now live in `ivl-merge` (one property-tested home shared
+// with the replication layer); re-exported here so the served-object
+// API — and every `crate::objects::*` path — is unchanged.
+pub use ivl_merge::{
+    cm_hash_fingerprint, hll_hash_fingerprint, slot_coins, CellRun, DeltaChange, ObjectKind,
+    SnapshotState,
+};
 
 /// One named object to register at server start.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -190,49 +134,6 @@ pub struct ObjectInfo {
     pub name: String,
 }
 
-/// The kind-specific mergeable state carried by a `SNAPSHOT` reply.
-///
-/// Each variant is the raw material of that kind's merge operator
-/// (CountMin cells add cell-wise, HLL registers max register-wise,
-/// Morris exponents and min registers are scalars), so a replication
-/// layer can combine any number of snapshots into one summary over
-/// the union (partition) or the common stream (mirror) — the
-/// "mergeable summaries" property the full paper builds on.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SnapshotState {
-    /// A CountMin cell matrix, row-major (`depth × width` sums).
-    CountMin {
-        /// Matrix width (columns per row).
-        width: u32,
-        /// Matrix depth (rows).
-        depth: u32,
-        /// Probe fingerprint of the row hash functions (see
-        /// [`cm_hash_fingerprint`]); peers whose fingerprints differ
-        /// sampled different coins and must not be merged.
-        hash_fp: u64,
-        /// The `depth * width` cell sums.
-        cells: Vec<u64>,
-    },
-    /// HLL registers (one max-rank byte per bucket).
-    Hll {
-        /// Probe fingerprint of the routing hash (see
-        /// [`hll_hash_fingerprint`]).
-        hash_fp: u64,
-        /// The `2^precision` register bytes.
-        registers: Vec<u8>,
-    },
-    /// A Morris counter's exponent.
-    Morris {
-        /// Current exponent.
-        exponent: u32,
-    },
-    /// A min register's current minimum.
-    MinRegister {
-        /// Current minimum (`u64::MAX` when empty).
-        minimum: u64,
-    },
-}
-
 /// One object's `SNAPSHOT` reply: its mergeable state plus the error
 /// envelope in force at snapshot time.
 ///
@@ -252,50 +153,6 @@ pub struct ObjectSnapshot {
     pub envelope: ErrorEnvelope,
 }
 
-/// One sparse overwrite run of a CountMin delta: `values` replace the
-/// client's cached cells `[lo, lo + values.len())` of `row`. Runs
-/// carry current summed cell values (not increments), so applying a
-/// delta is idempotent and never double-counts.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CellRun {
-    /// Matrix row the run overwrites.
-    pub row: u32,
-    /// First column (inclusive) of the overwrite.
-    pub lo: u32,
-    /// The replacement cell sums.
-    pub values: Vec<u64>,
-}
-
-/// How a `SNAPSHOT_SINCE` reply changes the client's cached state.
-#[derive(Clone, Debug, PartialEq)]
-pub enum DeltaChange {
-    /// Nothing changed since the client's base epoch: keep the cached
-    /// state (the reply still carries a fresh envelope — acknowledged
-    /// weight may move without a cell change).
-    Unchanged,
-    /// Sparse cell overwrites against a cached CountMin whose epoch is
-    /// `base_epoch`.
-    CmRuns {
-        /// The cache epoch these runs patch.
-        base_epoch: u64,
-        /// The overwrite runs (row-sparse, column-contiguous).
-        runs: Vec<CellRun>,
-    },
-    /// A register-range overwrite against a cached HLL whose epoch is
-    /// `base_epoch`: `registers` replace `[lo, lo + registers.len())`.
-    HllRange {
-        /// The cache epoch this range patches.
-        base_epoch: u64,
-        /// First register (inclusive) of the overwrite.
-        lo: u32,
-        /// The replacement register bytes.
-        registers: Vec<u8>,
-    },
-    /// A full replacement state: the client's base was unknown (or too
-    /// old to diff), or a delta would not beat the full frame.
-    Full(SnapshotState),
-}
-
 /// A `SNAPSHOT_SINCE` reply: the object's current epoch, the change
 /// against the client's base, and the envelope in force — the
 /// versioned, delta-capable sibling of [`ObjectSnapshot`].
@@ -313,69 +170,6 @@ pub struct SnapshotDelta {
     /// The envelope at reply time (same sentinel conventions as
     /// [`ObjectSnapshot::envelope`]).
     pub envelope: ErrorEnvelope,
-}
-
-/// Fixed probe keys hashed by the fingerprint helpers. Two hash
-/// functions that agree on all probes are overwhelmingly likely the
-/// same sampled function; replicas built from the same seed (see
-/// [`slot_coins`]) always agree exactly.
-const FP_PROBES: [u64; 8] = [
-    0,
-    1,
-    0x5bd1_e995,
-    0x0b1e_c7ed,
-    u64::MAX / 3,
-    u64::MAX / 2,
-    u64::MAX - 1,
-    u64::MAX,
-];
-
-fn fp_mix(acc: u64, v: u64) -> u64 {
-    // splitmix64-style finalizer: order-sensitive, avalanching.
-    let mut x = acc.wrapping_add(v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x ^ (x >> 27)
-}
-
-/// A u64 fingerprint of a CountMin's row hash functions, computed by
-/// hashing [`FP_PROBES`] through every row. Snapshots carry it so a
-/// merging peer can refuse mismatched coins with a typed error
-/// instead of silently adding cells that count different things.
-pub fn cm_hash_fingerprint(hashes: &[PairwiseHash]) -> u64 {
-    let mut acc = fp_mix(0x1dea_c0de, hashes.len() as u64);
-    for h in hashes {
-        for probe in FP_PROBES {
-            acc = fp_mix(acc, h.hash(probe) as u64);
-        }
-    }
-    acc
-}
-
-/// A u64 fingerprint of an HLL's routing hash (bucket and rank of
-/// every [`FP_PROBES`] key) — the HLL counterpart of
-/// [`cm_hash_fingerprint`].
-pub fn hll_hash_fingerprint(hll: &HyperLogLog) -> u64 {
-    let mut acc = fp_mix(0xca8d_117a, hll.num_registers() as u64);
-    for probe in FP_PROBES {
-        let (bucket, rank) = hll.route(probe);
-        acc = fp_mix(acc, ((bucket as u64) << 8) | rank as u64);
-    }
-    acc
-}
-
-/// The coin-flip stream for registry slot `idx` under `seed`.
-///
-/// Exposed (and kept deliberately simple) because replication depends
-/// on it: replicas started with the same `--seed` and the same object
-/// roster sample identical hash functions per slot, which is exactly
-/// the precondition for merging their snapshots. A replica-group
-/// client rebuilds prototypes with this same function to re-derive
-/// estimates from merged state.
-pub fn slot_coins(seed: u64, idx: u32) -> CoinFlips {
-    // Distinct streams per registry slot, so two `hll` objects do not
-    // share hash functions.
-    CoinFlips::from_seed(seed ^ ((idx as u64) << 32 | 0x0b1ec7))
 }
 
 /// An update refused by an object's writer (the CountMin's shard pool
@@ -415,6 +209,17 @@ pub trait ObjectWriter: fmt::Debug {
             self.apply(key, weight);
         }
     }
+
+    /// Absorbs a peer's pushed snapshot state into the shared object —
+    /// the receiving half of replication catch-up (`PUSH_STATE`). Only
+    /// called after [`ensure_ready`](Self::ensure_ready) succeeded.
+    /// `observed` is the acknowledged update weight the pushed state
+    /// covers; on success it is credited to the object's observed
+    /// counter so envelopes account for the restored weight. Refuses
+    /// with a typed [`MergeError`] (mapping to the wire's
+    /// `MergeMismatch`) when the state's kind, dimensions, or hash
+    /// fingerprint do not match the served structure.
+    fn absorb(&mut self, state: &SnapshotState, observed: u64) -> Result<(), MergeError>;
 
     /// Propagates any locally buffered weight into the shared object.
     fn flush(&mut self);
@@ -721,6 +526,13 @@ impl OpCounters {
     /// weight in two atomic adds instead of `2n`.
     fn note_updates(&self, n: u64, weight: u64) {
         self.updates.fetch_add(n, Ordering::Relaxed);
+        self.observed.fetch_add(weight, Ordering::Relaxed);
+    }
+
+    /// Catch-up accounting: absorbed weight raises `observed` (the
+    /// envelope's acknowledged-weight field) without counting as an
+    /// update operation — the peer already counted those updates.
+    fn note_absorbed(&self, weight: u64) {
         self.observed.fetch_add(weight, Ordering::Relaxed);
     }
 
@@ -1084,6 +896,15 @@ impl ObjectWriter for CmWriter<'_> {
         self.obj.ops.note_updates(items.len() as u64, 0); // observed comes from `ingest`
     }
 
+    fn absorb(&mut self, state: &SnapshotState, observed: u64) -> Result<(), MergeError> {
+        state.absorb_into(self)?;
+        // Cells lead the ingest counter, the same discipline as the
+        // update path.
+        let lease = self.lease.as_ref().expect("ensure_ready acquired a lease");
+        self.obj.ingest.update_slot(lease.shard(), observed);
+        Ok(())
+    }
+
     fn flush(&mut self) {
         if let (Some(buf), Some(lease)) = (self.buffer.as_mut(), self.lease.as_mut()) {
             if !buf.is_empty() {
@@ -1096,6 +917,33 @@ impl ObjectWriter for CmWriter<'_> {
     fn release(&mut self) -> bool {
         self.flush();
         self.lease.take().is_some()
+    }
+}
+
+/// The CountMin's absorb sink: peer cells add into the leased shard
+/// under the single-writer discipline (plain stores, one epoch commit)
+/// after the fingerprint/dimension guard — merging a peer's matrix is
+/// the same algebra as applying its substream locally.
+impl AbsorbSink for CmWriter<'_> {
+    fn absorb_cm(
+        &mut self,
+        width: u32,
+        depth: u32,
+        hash_fp: u64,
+        cells: &[u64],
+    ) -> Result<(), MergeError> {
+        let params = self.obj.proto.params();
+        if (width as usize, depth as usize) != (params.width, params.depth)
+            || cells.len() != params.width * params.depth
+            || hash_fp != cm_hash_fingerprint(self.obj.proto.hashes())
+        {
+            return Err(MergeError::new(
+                "peer CountMin dimensions or coins do not match the served object",
+            ));
+        }
+        let lease = self.lease.as_mut().expect("ensure_ready acquired a lease");
+        lease.absorb_cells(cells);
+        Ok(())
     }
 }
 
@@ -1278,6 +1126,33 @@ impl AtomicApply for ServedHll {
         self.hll.update(key);
         self.ops.note_update(weight);
     }
+
+    fn absorb_state(&self, state: &SnapshotState) -> Result<(), MergeError> {
+        let mut sink = self;
+        state.absorb_into(&mut sink)
+    }
+
+    fn note_absorbed(&self, weight: u64) {
+        self.ops.note_absorbed(weight);
+    }
+}
+
+/// The HLL's absorb sink: register-wise `fetch_max` into the live
+/// vector after the fingerprint guard — a join with the update path,
+/// so concurrent updates and an absorb interleave safely.
+impl AbsorbSink for &ServedHll {
+    fn absorb_hll(&mut self, hash_fp: u64, registers: &[u8]) -> Result<(), MergeError> {
+        let proto = self.hll.prototype();
+        if hash_fp != hll_hash_fingerprint(proto)
+            || registers.len() as u64 != proto.num_registers() as u64
+        {
+            return Err(MergeError::new(
+                "peer HLL precision or coins do not match the served object",
+            ));
+        }
+        self.hll.absorb(registers);
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1397,6 +1272,25 @@ impl AtomicApply for ServedMorris {
         }
         self.ops.note_update(weight);
     }
+
+    fn absorb_state(&self, state: &SnapshotState) -> Result<(), MergeError> {
+        let mut sink = self;
+        state.absorb_into(&mut sink)
+    }
+
+    fn note_absorbed(&self, weight: u64) {
+        self.ops.note_absorbed(weight);
+    }
+}
+
+/// The Morris counter's absorb sink: raise the exponent to at least
+/// the peer's (exponent max is the Morris merge; no coins are
+/// involved, so there is nothing to fingerprint).
+impl AbsorbSink for &ServedMorris {
+    fn absorb_morris(&mut self, exponent: u32) -> Result<(), MergeError> {
+        self.morris.raise_to(exponent);
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1495,6 +1389,25 @@ impl AtomicApply for ServedMinRegister {
         self.reg.insert(key);
         self.ops.note_update(weight);
     }
+
+    fn absorb_state(&self, state: &SnapshotState) -> Result<(), MergeError> {
+        let mut sink = self;
+        state.absorb_into(&mut sink)
+    }
+
+    fn note_absorbed(&self, weight: u64) {
+        self.ops.note_absorbed(weight);
+    }
+}
+
+/// The min register's absorb sink: `fetch_min` with the peer's
+/// minimum (`u64::MAX` is the empty sentinel and inserting it is a
+/// no-op join either way).
+impl AbsorbSink for &ServedMinRegister {
+    fn absorb_min(&mut self, minimum: u64) -> Result<(), MergeError> {
+        self.reg.insert(minimum);
+        Ok(())
+    }
 }
 
 /// Shared writer shape for the wait-free objects: updates go straight
@@ -1502,6 +1415,13 @@ impl AtomicApply for ServedMinRegister {
 trait AtomicApply: ServedObject {
     /// Applies one update to the shared object.
     fn apply_one(&self, key: u64, weight: u64);
+
+    /// Absorbs a peer's pushed state into the shared object (the
+    /// kind dispatch goes through [`ivl_merge::AbsorbSink`]).
+    fn absorb_state(&self, state: &SnapshotState) -> Result<(), MergeError>;
+
+    /// Credits absorbed acknowledged weight to the observed counter.
+    fn note_absorbed(&self, weight: u64);
 }
 
 struct AtomicWriter<'a, T: AtomicApply + ?Sized> {
@@ -1521,6 +1441,12 @@ impl<T: AtomicApply + ?Sized> ObjectWriter for AtomicWriter<'_, T> {
 
     fn apply(&mut self, key: u64, weight: u64) {
         self.obj.apply_one(key, weight);
+    }
+
+    fn absorb(&mut self, state: &SnapshotState, observed: u64) -> Result<(), MergeError> {
+        self.obj.absorb_state(state)?;
+        self.obj.note_absorbed(observed);
+        Ok(())
     }
 
     fn flush(&mut self) {}
@@ -1965,6 +1891,75 @@ mod tests {
         );
         assert_ne!(fp(&a, 0), fp(&other, 0));
         assert_ne!(fp(&a, 1), fp(&other, 1));
+    }
+
+    #[test]
+    fn absorb_then_snapshot_equals_snapshot_then_merge() {
+        use ivl_merge::{merge_states, MergePolicy};
+        let metrics = Metrics::new();
+        let a = registry();
+        let b = registry(); // same seed: merging is legal
+        for id in 0..4u32 {
+            for (reg, keys) in [(&a, [5u64, 9, 31]), (&b, [9u64, 77, 200])] {
+                let obj = reg.get(id).unwrap();
+                let mut w = obj.writer(&metrics);
+                w.ensure_ready().unwrap();
+                for k in keys {
+                    w.apply(k, 2);
+                }
+                w.release();
+            }
+        }
+        for id in 0..4u32 {
+            let sa = a.snapshot(id).unwrap();
+            let sb = b.snapshot(id).unwrap();
+            let merged = merge_states(MergePolicy::Add, &[&sa.state, &sb.state]).unwrap();
+            let obj = a.get(id).unwrap();
+            let mut w = obj.writer(&metrics);
+            w.ensure_ready().unwrap();
+            w.absorb(&sb.state, 6).unwrap();
+            w.release();
+            assert_eq!(
+                a.snapshot(id).unwrap().state,
+                merged,
+                "object {id}: absorb-then-snapshot must equal snapshot-then-merge"
+            );
+            // The absorbed acknowledged weight is credited once.
+            assert_eq!(a.get(id).unwrap().op_stats().observed, 12);
+        }
+    }
+
+    #[test]
+    fn absorb_refuses_mismatched_coins_and_kinds() {
+        let metrics = Metrics::new();
+        let a = registry();
+        let skewed = ObjectRegistry::build(
+            &[
+                ObjectConfig::new("cm", ObjectKind::CountMin),
+                ObjectConfig::new("hll", ObjectKind::Hll),
+            ],
+            0.005,
+            0.01,
+            2,
+            0,
+            8, // different seed: different coins, must be refused
+        );
+        for id in 0..2u32 {
+            let snap = skewed.snapshot(id).unwrap();
+            let obj = a.get(id).unwrap();
+            let mut w = obj.writer(&metrics);
+            w.ensure_ready().unwrap();
+            assert!(
+                w.absorb(&snap.state, 1).is_err(),
+                "object {id}: mismatched coins must be refused"
+            );
+            // Kind mismatch: push the other kind's state at this writer.
+            let other = a.snapshot(1 - id).unwrap();
+            assert!(w.absorb(&other.state, 1).is_err());
+            w.release();
+        }
+        // Nothing was credited by refused pushes.
+        assert_eq!(a.total_observed(), 0);
     }
 
     #[test]

@@ -14,23 +14,31 @@
 //! object 0: `UPDATE` 0x01, `QUERY` 0x02, `BATCH` 0x03, `STATS` 0x04,
 //! `SHUTDOWN` 0x05. **v2** opcodes lead their body with a `u32` object
 //! id (a registry index): `OBJECTS` 0x06, `UPDATE2` 0x11, `QUERY2`
-//! 0x12, `BATCH2` 0x13, `SNAPSHOT` 0x14. Encoding picks the generation
-//! by object id — object 0 emits the v1 form byte-for-byte, so a
-//! registry-unaware peer sees exactly the old protocol; decoding
-//! accepts both. (`SNAPSHOT` is v2-only: the replication layer that
-//! needs it always speaks v2.)
+//! 0x12, `BATCH2` 0x13, `SNAPSHOT` 0x14, `SNAPSHOT_SINCE` 0x15,
+//! `PUSH_STATE` 0x16. Encoding picks the generation by object id —
+//! object 0 emits the v1 form byte-for-byte, so a registry-unaware
+//! peer sees exactly the old protocol; decoding accepts both.
+//! (`SNAPSHOT`, `SNAPSHOT_SINCE`, and `PUSH_STATE` are v2-only: the
+//! replication layer that needs them always speaks v2.)
 //! Response opcodes: `ACK` 0x81, `ENVELOPE` 0x82 (the legacy CountMin
 //! frequency body), `ENVELOPE2` 0x83 (object-kind-tagged envelope
 //! bodies for the other kinds), `STATS` 0x84, `GOODBYE` 0x85,
 //! `OBJECTS` 0x86, `SNAPSHOT` 0x87 (an object's mergeable state — a
 //! kind-tagged body carrying the raw cells/registers plus the object's
-//! current envelope), `ERROR` 0xEE.
+//! current envelope), `SNAPSHOT_DELTA` 0x88, `ABSORBED` 0x89 (a
+//! `PUSH_STATE` was merged into the served object), `ERROR` 0xEE.
+//!
+//! Mergeable-state bodies (the kind-tagged cells/registers payloads of
+//! `SNAPSHOT`/`SNAPSHOT_DELTA`/`PUSH_STATE`) are encoded and decoded
+//! by the [`ivl_merge::MergeableState`] trait itself — the wire layer
+//! only frames them, so a state's byte layout is defined exactly once.
 
 use crate::envelope::{Envelope, ErrorEnvelope};
 use crate::metrics::{ObjectStats, StatsReport};
 use crate::objects::{
     CellRun, DeltaChange, ObjectInfo, ObjectKind, ObjectSnapshot, SnapshotDelta, SnapshotState,
 };
+use ivl_merge::MergeableState;
 use std::fmt;
 use std::io::{self, Read};
 
@@ -187,6 +195,22 @@ pub enum Request {
         /// The epoch of the client's cached state.
         base_epoch: u64,
     },
+    /// Push a peer's mergeable state into `object` — the anti-entropy
+    /// write primitive of replica catch-up: the server merges the
+    /// carried state into the live served structure (cells add,
+    /// registers max, scalars join) and credits `observed` toward the
+    /// object's observed-weight counter. Answered by `ABSORBED`, or a
+    /// typed [`ErrorCode::MergeMismatch`] refusal when the peer's
+    /// dimensions or hash coins disagree. Not idempotent for additive
+    /// kinds: a resent `PUSH_STATE` double-counts.
+    PushState {
+        /// Target object id (registry index).
+        object: u32,
+        /// Total observed weight the pushed state summarizes.
+        observed: u64,
+        /// The kind-tagged mergeable state to absorb.
+        state: SnapshotState,
+    },
     /// Ask for the server's operation counters and latency quantiles.
     Stats,
     /// Ask for the registry listing (id, kind, name per object).
@@ -214,6 +238,17 @@ pub enum Response {
     /// Answer to a snapshot-since request: the change against the
     /// client's base epoch plus the envelope in force.
     SnapshotDelta(SnapshotDelta),
+    /// Answer to a push-state request: the pushed state was merged
+    /// into the served object.
+    Absorbed {
+        /// The object that absorbed the state.
+        object: u32,
+        /// The object's epoch after the merge (a raising absorb moves
+        /// it, so cached snapshots notice).
+        epoch: u64,
+        /// The observed weight credited by this absorb.
+        observed: u64,
+    },
     /// Answer to a stats request.
     Stats(StatsReport),
     /// Answer to an objects request: the registry listing.
@@ -240,6 +275,7 @@ const OP_QUERY2: u8 = 0x12;
 const OP_BATCH2: u8 = 0x13;
 const OP_SNAPSHOT: u8 = 0x14;
 const OP_SNAPSHOT_SINCE: u8 = 0x15;
+const OP_PUSH_STATE: u8 = 0x16;
 const OP_ACK: u8 = 0x81;
 const OP_ENVELOPE: u8 = 0x82;
 const OP_ENVELOPE2: u8 = 0x83;
@@ -248,6 +284,7 @@ const OP_GOODBYE: u8 = 0x85;
 const OP_OBJECTS_REPLY: u8 = 0x86;
 const OP_SNAPSHOT_REPLY: u8 = 0x87;
 const OP_SNAPSHOT_DELTA_REPLY: u8 = 0x88;
+const OP_ABSORBED: u8 = 0x89;
 const OP_ERROR: u8 = 0xEE;
 
 /// Change tags of the `SNAPSHOT_DELTA_REPLY` body (one per
@@ -480,6 +517,16 @@ impl Request {
                 push_u32(b, *object);
                 push_u64(b, *base_epoch);
             }),
+            Request::PushState {
+                object,
+                observed,
+                state,
+            } => frame(buf, OP_PUSH_STATE, |b| {
+                push_u32(b, *object);
+                b.push(state.kind().to_u8());
+                push_u64(b, *observed);
+                push_snapshot_state(b, state);
+            }),
             Request::Stats => frame(buf, OP_STATS, |_| {}),
             Request::Objects => frame(buf, OP_OBJECTS, |_| {}),
             Request::Shutdown => frame(buf, OP_SHUTDOWN, |_| {}),
@@ -530,6 +577,18 @@ impl Request {
                 object: b.u32()?,
                 base_epoch: b.u64()?,
             },
+            OP_PUSH_STATE => {
+                let object = b.u32()?;
+                let kind = ObjectKind::from_u8(b.u8()?)
+                    .ok_or(WireError::Malformed("unknown object kind tag"))?;
+                let observed = b.u64()?;
+                let state = read_snapshot_state(&mut b, kind)?;
+                Request::PushState {
+                    object,
+                    observed,
+                    state,
+                }
+            }
             OP_STATS => Request::Stats,
             OP_OBJECTS => Request::Objects,
             OP_SHUTDOWN => Request::Shutdown,
@@ -546,7 +605,8 @@ impl Request {
             | Request::Query { object, .. }
             | Request::Batch { object, .. }
             | Request::Snapshot { object }
-            | Request::SnapshotSince { object, .. } => Some(*object),
+            | Request::SnapshotSince { object, .. }
+            | Request::PushState { object, .. } => Some(*object),
             Request::Stats | Request::Objects | Request::Shutdown => None,
         }
     }
@@ -585,75 +645,23 @@ pub fn decode_batch_into(
 }
 
 /// Writes the kind-implied snapshot state body shared by the
-/// `SNAPSHOT_REPLY` frame and the full-change arm of the
-/// `SNAPSHOT_DELTA_REPLY` frame.
+/// `SNAPSHOT_REPLY` frame, the full-change arm of the
+/// `SNAPSHOT_DELTA_REPLY` frame, and the `PUSH_STATE` request — a
+/// framing shim over [`MergeableState::encode_into`], which owns the
+/// byte layout.
 fn push_snapshot_state(b: &mut Vec<u8>, state: &SnapshotState) {
-    match state {
-        SnapshotState::CountMin {
-            width,
-            depth,
-            hash_fp,
-            cells,
-        } => {
-            push_u32(b, *width);
-            push_u32(b, *depth);
-            push_u64(b, *hash_fp);
-            for cell in cells {
-                push_u64(b, *cell);
-            }
-        }
-        SnapshotState::Hll { hash_fp, registers } => {
-            push_u64(b, *hash_fp);
-            push_u32(b, registers.len() as u32);
-            b.extend_from_slice(registers);
-        }
-        SnapshotState::Morris { exponent } => push_u32(b, *exponent),
-        SnapshotState::MinRegister { minimum } => push_u64(b, *minimum),
-    }
+    state.encode_into(b);
 }
 
 /// Reads a snapshot state body for `kind` (the inverse of
-/// [`push_snapshot_state`]), guarding every allocation against lying
-/// dimension headers.
+/// [`push_snapshot_state`]) — a framing shim over
+/// [`MergeableState::decode_from`], which guards every allocation
+/// against lying dimension headers.
 fn read_snapshot_state(b: &mut Body<'_>, kind: ObjectKind) -> Result<SnapshotState, WireError> {
-    Ok(match kind {
-        ObjectKind::CountMin => {
-            let width = b.u32()?;
-            let depth = b.u32()?;
-            let hash_fp = b.u64()?;
-            let cells_len = width as u64 * depth as u64;
-            // Guard the allocation against a lying header: the cells
-            // must already be buffered.
-            if cells_len > (b.rest.len() / 8) as u64 {
-                return Err(WireError::Malformed("body shorter than its schema"));
-            }
-            let mut cells = Vec::with_capacity(cells_len as usize);
-            for _ in 0..cells_len {
-                cells.push(b.u64()?);
-            }
-            SnapshotState::CountMin {
-                width,
-                depth,
-                hash_fp,
-                cells,
-            }
-        }
-        ObjectKind::Hll => {
-            let hash_fp = b.u64()?;
-            let len = b.u32()? as usize;
-            if b.rest.len() < len {
-                return Err(WireError::Malformed("body shorter than its schema"));
-            }
-            let (raw, rest) = b.rest.split_at(len);
-            b.rest = rest;
-            SnapshotState::Hll {
-                hash_fp,
-                registers: raw.to_vec(),
-            }
-        }
-        ObjectKind::Morris => SnapshotState::Morris { exponent: b.u32()? },
-        ObjectKind::MinRegister => SnapshotState::MinRegister { minimum: b.u64()? },
-    })
+    let mut rest = b.rest;
+    let state = SnapshotState::decode_from(kind, &mut rest).map_err(WireError::Malformed)?;
+    b.rest = rest;
+    Ok(state)
 }
 
 impl Response {
@@ -710,6 +718,15 @@ impl Response {
                     }
                 }
                 push_envelope(b, &delta.envelope);
+            }),
+            Response::Absorbed {
+                object,
+                epoch,
+                observed,
+            } => frame(buf, OP_ABSORBED, |b| {
+                push_u32(b, *object);
+                push_u64(b, *epoch);
+                push_u64(b, *observed);
             }),
             Response::Stats(report) => frame(buf, OP_STATS_REPLY, |b| {
                 for field in report.as_fields() {
@@ -828,6 +845,11 @@ impl Response {
                     envelope,
                 })
             }
+            OP_ABSORBED => Response::Absorbed {
+                object: b.u32()?,
+                epoch: b.u64()?,
+                observed: b.u64()?,
+            },
             OP_STATS_REPLY => {
                 let mut fields = [0u64; StatsReport::NUM_FIELDS];
                 for f in &mut fields {
@@ -1119,6 +1141,63 @@ mod tests {
     }
 
     #[test]
+    fn push_state_requests_roundtrip_every_kind() {
+        for state in [
+            SnapshotState::CountMin {
+                width: 3,
+                depth: 2,
+                hash_fp: 0xDEAD_BEEF,
+                cells: vec![1, 2, 3, 4, 5, 6],
+            },
+            SnapshotState::Hll {
+                hash_fp: 42,
+                registers: vec![0, 7, 1, 0],
+            },
+            SnapshotState::Morris { exponent: 9 },
+            SnapshotState::MinRegister { minimum: 3 },
+        ] {
+            let req = Request::PushState {
+                object: 2,
+                observed: 501,
+                state,
+            };
+            assert_eq!(roundtrip_request(&req), req);
+            assert_eq!(req.object(), Some(2));
+        }
+        // Push-state is v2-only: object 0 still leads the body with
+        // its id.
+        let mut buf = Vec::new();
+        Request::PushState {
+            object: 0,
+            observed: 1,
+            state: SnapshotState::Morris { exponent: 1 },
+        }
+        .encode(&mut buf);
+        assert_eq!(buf[4], OP_PUSH_STATE);
+        assert_eq!(buf.len(), 4 + 1 + 4 + 1 + 8 + 4);
+
+        // A lying CountMin header inside the push body is refused
+        // before allocating (the shared state decoder guards it).
+        let mut payload = vec![OP_PUSH_STATE];
+        payload.extend_from_slice(&0u32.to_le_bytes()); // object
+        payload.push(ObjectKind::CountMin.to_u8());
+        payload.extend_from_slice(&9u64.to_le_bytes()); // observed
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // width
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // depth
+        payload.extend_from_slice(&7u64.to_le_bytes()); // hash_fp
+        assert_eq!(
+            Request::decode(&payload).unwrap_err(),
+            WireError::Malformed("body shorter than its schema")
+        );
+        // An unknown kind tag is refused.
+        let payload = [OP_PUSH_STATE, 0, 0, 0, 0, 0x7f];
+        assert_eq!(
+            Request::decode(&payload).unwrap_err(),
+            WireError::Malformed("unknown object kind tag")
+        );
+    }
+
+    #[test]
     fn snapshot_request_is_v2_even_for_object_zero() {
         // Unlike update/query/batch there is no v1 form to fall back
         // to: the body always leads with the object id.
@@ -1199,6 +1278,11 @@ mod tests {
         });
         for rsp in [
             Response::Ack { applied: 9 },
+            Response::Absorbed {
+                object: 2,
+                epoch: 17,
+                observed: 501,
+            },
             Response::Envelope(ErrorEnvelope::Frequency(env)),
             Response::Envelope(ErrorEnvelope::Cardinality {
                 estimate: 812.5,
@@ -1653,5 +1737,155 @@ mod tests {
             decode_batch_into(&bad, &mut items).unwrap_err(),
             WireError::Truncated | WireError::Malformed(_)
         ));
+    }
+
+    /// Every wire opcode, exercised end-to-end: encode a
+    /// representative frame, pin its opcode byte to the named
+    /// constant, and decode it back to the original value. This is
+    /// the conformance floor the analyzer's frame-docs lint enforces —
+    /// an opcode constant that appears in no round-trip test here is
+    /// a lint failure, so a new frame cannot ship untested.
+    #[test]
+    fn every_opcode_byte_matches_its_constant_and_roundtrips() {
+        let freq = crate::envelope::Envelope {
+            key: 5,
+            estimate: 100,
+            epsilon: 3,
+            stream_len: 500,
+            alpha: 0.005,
+            delta: 0.01,
+            lag: 128,
+        };
+        let requests: Vec<(u8, Request)> = vec![
+            (
+                OP_UPDATE,
+                Request::Update {
+                    object: 0,
+                    key: 7,
+                    weight: 3,
+                },
+            ),
+            (
+                OP_UPDATE2,
+                Request::Update {
+                    object: 1,
+                    key: 7,
+                    weight: 3,
+                },
+            ),
+            (OP_QUERY, Request::Query { object: 0, key: 9 }),
+            (OP_QUERY2, Request::Query { object: 1, key: 9 }),
+            (
+                OP_BATCH,
+                Request::Batch {
+                    object: 0,
+                    items: vec![(1, 1)],
+                },
+            ),
+            (
+                OP_BATCH2,
+                Request::Batch {
+                    object: 1,
+                    items: vec![(1, 1)],
+                },
+            ),
+            (OP_STATS, Request::Stats),
+            (OP_OBJECTS, Request::Objects),
+            (OP_SHUTDOWN, Request::Shutdown),
+            (OP_SNAPSHOT, Request::Snapshot { object: 1 }),
+            (
+                OP_SNAPSHOT_SINCE,
+                Request::SnapshotSince {
+                    object: 1,
+                    base_epoch: 4,
+                },
+            ),
+            (
+                OP_PUSH_STATE,
+                Request::PushState {
+                    object: 1,
+                    observed: 8,
+                    state: SnapshotState::Morris { exponent: 2 },
+                },
+            ),
+        ];
+        for (opcode, req) in requests {
+            let mut buf = Vec::new();
+            req.encode(&mut buf);
+            assert_eq!(buf[4], opcode, "request {req:?} wears the wrong opcode");
+            assert_eq!(roundtrip_request(&req), req);
+        }
+        let responses: Vec<(u8, Response)> = vec![
+            (OP_ACK, Response::Ack { applied: 9 }),
+            (
+                OP_ENVELOPE,
+                Response::Envelope(ErrorEnvelope::Frequency(freq)),
+            ),
+            (
+                OP_ENVELOPE2,
+                Response::Envelope(ErrorEnvelope::Minimum {
+                    minimum: 3,
+                    observed: 44,
+                }),
+            ),
+            (OP_STATS_REPLY, Response::Stats(StatsReport::default())),
+            (OP_GOODBYE, Response::Goodbye),
+            (
+                OP_OBJECTS_REPLY,
+                Response::Objects(vec![ObjectInfo {
+                    id: 0,
+                    kind: ObjectKind::CountMin,
+                    name: "cm".into(),
+                }]),
+            ),
+            (
+                OP_SNAPSHOT_REPLY,
+                Response::Snapshot(ObjectSnapshot {
+                    object: 2,
+                    kind: ObjectKind::Morris,
+                    state: SnapshotState::Morris { exponent: 9 },
+                    envelope: ErrorEnvelope::ApproxCount {
+                        estimate: 14.0,
+                        a: 0.5,
+                        exponent: 9,
+                        observed: 15,
+                    },
+                }),
+            ),
+            (
+                OP_SNAPSHOT_DELTA_REPLY,
+                Response::SnapshotDelta(SnapshotDelta {
+                    object: 0,
+                    kind: ObjectKind::CountMin,
+                    epoch: 17,
+                    change: DeltaChange::Unchanged,
+                    envelope: ErrorEnvelope::Frequency(freq),
+                }),
+            ),
+            (
+                OP_ABSORBED,
+                Response::Absorbed {
+                    object: 1,
+                    epoch: 4,
+                    observed: 8,
+                },
+            ),
+            (
+                OP_ERROR,
+                Response::Error {
+                    code: ErrorCode::MergeMismatch,
+                    message: "coins disagree".into(),
+                },
+            ),
+        ];
+        for (opcode, rsp) in responses {
+            let mut buf = Vec::new();
+            rsp.encode(&mut buf);
+            assert_eq!(buf[4], opcode, "response {rsp:?} wears the wrong opcode");
+            let payload = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .unwrap();
+            assert_eq!(Response::decode(&payload).unwrap(), rsp);
+        }
     }
 }

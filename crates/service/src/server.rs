@@ -714,6 +714,53 @@ fn execute_request<'a>(
             shared.metrics.record_query(start.elapsed().as_nanos());
             (Response::SnapshotDelta(delta), false)
         }
+        Request::PushState {
+            object,
+            observed,
+            state,
+        } => {
+            // The anti-entropy write: merge a peer's pushed state into
+            // the live served structure under the same single-writer
+            // discipline as updates (a CountMin absorb holds a shard
+            // lease). Not recorded into the history — the pushed
+            // weight summarizes updates already recorded against the
+            // peer, so recording the absorb would double-count them;
+            // `ivl_check` sees the weight exactly once.
+            let Some(obj) = shared.registry.get(object) else {
+                return (unknown_object(shared, object), false);
+            };
+            let writer = writers.writer(object);
+            if let Err(busy) = writer.ensure_ready() {
+                shared.metrics.record_busy_rejection();
+                return (
+                    Response::Error {
+                        code: ErrorCode::Busy,
+                        message: busy.message,
+                    },
+                    false,
+                );
+            }
+            match writer.absorb(&state, observed) {
+                Ok(()) => {
+                    shared.metrics.record_absorb();
+                    (
+                        Response::Absorbed {
+                            object,
+                            epoch: obj.epoch(),
+                            observed,
+                        },
+                        false,
+                    )
+                }
+                Err(e) => (
+                    Response::Error {
+                        code: ErrorCode::MergeMismatch,
+                        message: format!("object {object}: {e}"),
+                    },
+                    false,
+                ),
+            }
+        }
         Request::Stats => (
             Response::Stats(shared.metrics.report(
                 shared.registry.total_observed(),
@@ -942,6 +989,137 @@ mod tests {
     #[test]
     fn snapshots_serve_mergeable_state_event_loop() {
         snapshots_serve_mergeable_state(Backend::EventLoop);
+    }
+
+    fn push_state_absorbs_a_peer_snapshot(backend: Backend) {
+        use crate::objects::SnapshotState;
+        let objects = || {
+            vec![
+                ObjectConfig::new("cm", ObjectKind::CountMin),
+                ObjectConfig::new("hits", ObjectKind::Hll),
+                ObjectConfig::new("events", ObjectKind::Morris),
+                ObjectConfig::new("low", ObjectKind::MinRegister),
+            ]
+        };
+        let cfg = |seed| ServerConfig {
+            objects: objects(),
+            seed,
+            ..config_with(backend, 2, false)
+        };
+        let ha = serve("127.0.0.1:0", cfg(1)).unwrap();
+        let hb = serve("127.0.0.1:0", cfg(1)).unwrap();
+        let mut a = Client::connect(ha.addr()).unwrap();
+        let mut b = Client::connect(hb.addr()).unwrap();
+        // Grow the two servers on disjoint streams.
+        a.batch(&[(7, 2), (9, 5)]).unwrap();
+        b.batch(&[(7, 3)]).unwrap();
+        for x in 0..200u64 {
+            a.object_id(1).update(x, 1).unwrap();
+        }
+        for x in 150..300u64 {
+            b.object_id(1).update(x, 1).unwrap();
+        }
+        a.object_id(3).update(17, 1).unwrap();
+        b.object_id(3).update(40, 1).unwrap();
+        // Absorb every one of A's objects into B: afterward B answers
+        // for the union of the two streams.
+        for id in 0..4u32 {
+            let snap = a.snapshot(id).unwrap();
+            let observed = match id {
+                0 => 7,
+                1 => 200,
+                2 => 0,
+                _ => 1,
+            };
+            b.push_state(id, observed, snap.state).unwrap();
+        }
+        let env = b.query(7).unwrap();
+        assert!(
+            env.estimate >= 5,
+            "union estimate {} < true 5",
+            env.estimate
+        );
+        assert_eq!(env.stream_len, 10, "absorb credits the pushed weight");
+        match b.object_id(1).query(0).unwrap() {
+            crate::envelope::ErrorEnvelope::Cardinality {
+                estimate, observed, ..
+            } => {
+                assert!(
+                    (estimate - 300.0).abs() / 300.0 < 0.15,
+                    "union cardinality {estimate} far from 300"
+                );
+                assert_eq!(observed, 350, "150 own updates plus 200 pushed");
+            }
+            other => panic!("wanted cardinality envelope, got {other:?}"),
+        }
+        match b.object_id(3).query(0).unwrap() {
+            crate::envelope::ErrorEnvelope::Minimum { minimum, .. } => {
+                assert_eq!(minimum, 17, "absorb joins the peer's minimum");
+            }
+            other => panic!("wanted minimum envelope, got {other:?}"),
+        }
+        let stats = b.stats().unwrap();
+        assert_eq!(stats.absorbs, 4);
+        assert_eq!(stats.updates, 152, "absorbs must not count as updates");
+
+        // A peer grown from different coins is refused with a typed
+        // merge-mismatch, not merged into nonsense.
+        let hc = serve("127.0.0.1:0", cfg(2)).unwrap();
+        let mut c = Client::connect(hc.addr()).unwrap();
+        c.update(7, 1).unwrap();
+        let alien = c.snapshot(0).unwrap();
+        let err = b.push_state(0, 1, alien.state).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                crate::client::ClientError::Server {
+                    code: ErrorCode::MergeMismatch,
+                    ..
+                }
+            ),
+            "expected merge-mismatch, got {err:?}"
+        );
+        // So is a state of the wrong kind entirely.
+        let err = b
+            .push_state(1, 0, SnapshotState::Morris { exponent: 3 })
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                crate::client::ClientError::Server {
+                    code: ErrorCode::MergeMismatch,
+                    ..
+                }
+            ),
+            "expected kind mismatch, got {err:?}"
+        );
+        // And an unknown object id stays unknown-object.
+        let err = b
+            .push_state(9, 0, SnapshotState::Morris { exponent: 3 })
+            .unwrap_err();
+        assert!(matches!(
+            &err,
+            crate::client::ClientError::Server {
+                code: ErrorCode::UnknownObject,
+                ..
+            }
+        ));
+        let stats = b.stats().unwrap();
+        assert_eq!(stats.absorbs, 4, "refused pushes are not absorbed");
+        drop((a, b, c));
+        ha.join();
+        hb.join();
+        hc.join();
+    }
+
+    #[test]
+    fn push_state_absorbs_a_peer_snapshot_threaded() {
+        push_state_absorbs_a_peer_snapshot(Backend::Threaded);
+    }
+
+    #[test]
+    fn push_state_absorbs_a_peer_snapshot_event_loop() {
+        push_state_absorbs_a_peer_snapshot(Backend::EventLoop);
     }
 
     #[test]

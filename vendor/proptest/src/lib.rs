@@ -170,6 +170,14 @@ pub mod strategy {
         }
     }
 
+    impl Strategy for Any<u8> {
+        type Value = u8;
+
+        fn generate(&self, rng: &mut StdRng) -> u8 {
+            rng.gen()
+        }
+    }
+
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {

@@ -32,6 +32,12 @@ impl SampleValue for u32 {
     }
 }
 
+impl SampleValue for u8 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
 impl SampleValue for bool {
     fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64() & 1 == 1
